@@ -1,0 +1,71 @@
+//! Ablation: the group-table hash function (DESIGN.md).
+//!
+//! The operator's hot path is a hash-map probe keyed by a small tuple of
+//! integer values per packet. The Rust perf guide recommends FxHash for
+//! integer-heavy keys; this ablation quantifies the choice against the
+//! standard library's SipHash on exactly our key shape.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
+use sso_types::{Tuple, Value};
+
+const N: usize = 100_000;
+
+fn group_keys() -> Vec<Tuple> {
+    // (tb, srcIP, destIP, uts): the subset-sum query's group key shape.
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..N)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::U64(i as u64 / 20_000),
+                Value::U64(rng.gen_range(0..4096u64)),
+                Value::U64(rng.gen_range(0..512u64)),
+                Value::U64(i as u64),
+            ])
+        })
+        .collect()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let keys = group_keys();
+    let mut group = c.benchmark_group("group_table_hash");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    group.bench_function("fxhash_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: FxHashMap<Tuple, u64> = FxHashMap::default();
+            for k in &keys {
+                *m.entry(k.clone()).or_insert(0) += 1;
+            }
+            let mut hits = 0u64;
+            for k in &keys {
+                hits += m.get(std::hint::black_box(k)).copied().unwrap_or(0);
+            }
+            hits
+        })
+    });
+
+    group.bench_function("siphash_insert_lookup", |b| {
+        b.iter(|| {
+            let mut m: HashMap<Tuple, u64> = HashMap::new();
+            for k in &keys {
+                *m.entry(k.clone()).or_insert(0) += 1;
+            }
+            let mut hits = 0u64;
+            for k in &keys {
+                hits += m.get(std::hint::black_box(k)).copied().unwrap_or(0);
+            }
+            hits
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: the cost of generality (DESIGN.md).
+//!
+//! The paper's whole argument is that one *generic* operator — with
+//! interpreted expressions, a group table, superaggregates, and
+//! dyn-dispatched stateful functions — is cheap enough to host any
+//! sampling algorithm at line rate. This ablation measures exactly what
+//! that generality costs by running dynamic subset-sum sampling twice
+//! over the same packets:
+//!
+//! 1. hosted on the sampling operator (the §6.1 query), and
+//! 2. as a hand-coded monomorphic loop over `DynamicSubsetSum`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sso_core::libs::subset_sum::SubsetSumOpConfig;
+use sso_core::{queries, SamplingOperator};
+use sso_netgen::datacenter_feed;
+use sso_sampling::subset_sum::{DynamicSubsetSum, SubsetSumConfig};
+use sso_types::{Packet, Tuple};
+
+fn bench_interpretation(c: &mut Criterion) {
+    let packets: Vec<Packet> = datacenter_feed(55).take_seconds(1);
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+    let n = packets.len() as u64;
+
+    let mut group = c.benchmark_group("cost_of_generality");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    group.bench_function("operator_hosted", |b| {
+        b.iter(|| {
+            let cfg =
+                SubsetSumOpConfig { target: 1000, initial_z: 50.0, ..Default::default() };
+            let mut op =
+                SamplingOperator::new(queries::subset_sum_query(20, cfg, false).unwrap())
+                    .unwrap();
+            for t in &tuples {
+                op.process(std::hint::black_box(t)).unwrap();
+            }
+            op.finish().unwrap().map(|w| w.rows.len())
+        })
+    });
+
+    group.bench_function("hand_coded_loop", |b| {
+        b.iter(|| {
+            let cfg = SubsetSumConfig::new(1000).with_initial_z(50.0);
+            let mut ss = DynamicSubsetSum::new(cfg);
+            for p in &packets {
+                ss.offer(
+                    (p.src_ip, p.dest_ip),
+                    std::hint::black_box(p.len as u64),
+                );
+            }
+            ss.end_window().samples.len()
+        })
+    });
+
+    // Also isolate the tuple-conversion (copy) cost the low-level node
+    // pays per forwarded packet.
+    group.bench_function("tuple_conversion_only", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for p in &packets {
+                total += std::hint::black_box(p.to_tuple()).arity() as u64;
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpretation);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Per-tuple cost of each paper query shape on the sampling operator.
+//!
+//! The paper's line-rate claim rests on the operator's per-tuple work
+//! being small; this bench measures tuples/second for plain
+//! aggregation, dynamic subset-sum (relaxed and non-relaxed), heavy
+//! hitters, min-hash, and reservoir sampling, all over the same
+//! data-center-shaped tuple stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sso_core::libs::reservoir::ReservoirOpConfig;
+use sso_core::libs::subset_sum::SubsetSumOpConfig;
+use sso_core::{queries, OperatorSpec, SamplingOperator};
+use sso_netgen::datacenter_feed;
+use sso_types::Tuple;
+
+type SpecMaker = Box<dyn Fn() -> OperatorSpec>;
+
+fn tuple_stream(seconds: u64) -> Vec<Tuple> {
+    datacenter_feed(77).take_seconds(seconds).iter().map(|p| p.to_tuple()).collect()
+}
+
+fn run(spec: OperatorSpec, tuples: &[Tuple]) {
+    let mut op = SamplingOperator::new(spec).expect("valid spec");
+    for t in tuples {
+        op.process(std::hint::black_box(t)).expect("process");
+    }
+    op.finish().expect("finish");
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let tuples = tuple_stream(1);
+    let n = tuples.len() as u64;
+    let mut group = c.benchmark_group("operator_throughput");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    let ss = SubsetSumOpConfig { target: 1000, initial_z: 50_000.0, ..Default::default() };
+    let cases: Vec<(&str, SpecMaker)> = vec![
+        ("aggregation", Box::new(|| queries::total_sum_query(20))),
+        (
+            "subset_sum_relaxed",
+            Box::new(move || queries::subset_sum_query(20, ss, false).unwrap()),
+        ),
+        (
+            "subset_sum_nonrelaxed",
+            Box::new(move || queries::subset_sum_query(20, ss.non_relaxed(), false).unwrap()),
+        ),
+        (
+            "basic_subset_sum",
+            Box::new(|| queries::basic_subset_sum_query(20, 50_000.0).unwrap()),
+        ),
+        (
+            "heavy_hitters",
+            Box::new(|| queries::heavy_hitters_query(20, 1000, None).unwrap()),
+        ),
+        ("minhash", Box::new(|| queries::minhash_query(20, 100).unwrap())),
+        (
+            "reservoir",
+            Box::new(|| {
+                queries::reservoir_query(20, ReservoirOpConfig { n: 1000, ..Default::default() })
+                    .unwrap()
+            }),
+        ),
+    ];
+    for (name, make) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| run(make(), &tuples));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenches of the reference algorithms in `sso-sampling` — the
+//! per-record costs that bound what any operator hosting them can
+//! achieve.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sso_sampling::subset_sum::{BasicSubsetSum, DynamicSubsetSum, SubsetSumConfig};
+use sso_sampling::{KmvSketch, LossyCounter, Reservoir, SkipReservoir};
+
+const N: usize = 100_000;
+
+fn weights() -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..N).map(|_| rng.gen_range(40..1500)).collect()
+}
+
+fn keys() -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(2);
+    (0..N).map(|_| rng.gen_range(0..5000)).collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let ws = weights();
+    let ks = keys();
+    let mut group = c.benchmark_group("reference_algorithms");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    group.bench_function("reservoir_algorithm_r", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut r = Reservoir::new(1000);
+            for &k in &ks {
+                r.offer(std::hint::black_box(k), &mut rng);
+            }
+            r.items().len()
+        })
+    });
+
+    group.bench_function("reservoir_skip_based", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut r = SkipReservoir::new(1000);
+            for &k in &ks {
+                r.offer(std::hint::black_box(k), &mut rng);
+            }
+            r.items().len()
+        })
+    });
+
+    group.bench_function("lossy_counting", |b| {
+        b.iter(|| {
+            let mut lc = LossyCounter::new(0.001);
+            for &k in &ks {
+                lc.insert(std::hint::black_box(k));
+            }
+            lc.tracked()
+        })
+    });
+
+    group.bench_function("kmv_minhash", |b| {
+        b.iter(|| {
+            let mut s = KmvSketch::new(256);
+            for &k in &ks {
+                s.insert(std::hint::black_box(k));
+            }
+            s.kth_smallest()
+        })
+    });
+
+    group.bench_function("basic_subset_sum", |b| {
+        b.iter(|| {
+            let mut ss = BasicSubsetSum::new(20_000.0);
+            let mut sampled = 0u64;
+            for &w in &ws {
+                sampled += ss.offer(std::hint::black_box(w)) as u64;
+            }
+            sampled
+        })
+    });
+
+    group.bench_function("dynamic_subset_sum", |b| {
+        b.iter(|| {
+            let cfg = SubsetSumConfig::new(1000).with_initial_z(1.0);
+            let mut ss = DynamicSubsetSum::new(cfg);
+            for &w in &ws {
+                ss.offer((), std::hint::black_box(w));
+            }
+            ss.end_window().samples.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! **Figure 3 — Samples per period** (1000 samples per period).
+//!
+//! The number of tuples the dynamic subset-sum algorithm *admits* per
+//! 20-second period. The relaxed algorithm starts each window with a
+//! deliberately low threshold and therefore occasionally over-samples
+//! (cleaning pulls it back); the non-relaxed algorithm frequently
+//! under-samples after load drops — the direct cause of Figure 2's
+//! under-estimation.
+
+use sso_bench::{header, maybe_json, run_subset_sum};
+use sso_core::libs::subset_sum::SubsetSumOpConfig;
+use sso_netgen::research_feed;
+
+#[derive(serde::Serialize)]
+struct Row {
+    tb: u64,
+    relaxed_admissions: u64,
+    nonrelaxed_admissions: u64,
+    relaxed_final: usize,
+    nonrelaxed_final: usize,
+}
+
+fn main() {
+    const WINDOW: u64 = 20;
+    const N: usize = 1000;
+    const SECONDS: u64 = 600;
+
+    let packets = research_feed(0xf162).take_seconds(SECONDS);
+    let relaxed = run_subset_sum(
+        &packets,
+        WINDOW,
+        SubsetSumOpConfig { target: N, initial_z: 1.0, ..Default::default() },
+    )
+    .expect("relaxed run");
+    let nonrelaxed = run_subset_sum(
+        &packets,
+        WINDOW,
+        SubsetSumOpConfig { target: N, initial_z: 1.0, ..Default::default() }.non_relaxed(),
+    )
+    .expect("non-relaxed run");
+
+    let rows: Vec<Row> = relaxed
+        .iter()
+        .zip(&nonrelaxed)
+        .map(|(r, n)| Row {
+            tb: r.tb,
+            relaxed_admissions: r.admissions,
+            nonrelaxed_admissions: n.admissions,
+            relaxed_final: r.samples,
+            nonrelaxed_final: n.samples,
+        })
+        .collect();
+
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Figure 3: samples per period (target N = 1000, 20s periods)");
+    println!(
+        "{:>6} {:>18} {:>18} {:>14} {:>14}",
+        "period", "relaxed admitted", "nonrelaxed admitted", "relaxed final", "nonrel final"
+    );
+    let mut under = 0;
+    let mut over = 0;
+    for r in rows.iter().skip(1) {
+        if r.nonrelaxed_admissions < (0.8 * N as f64) as u64 {
+            under += 1;
+        }
+        if r.relaxed_admissions > N as u64 {
+            over += 1;
+        }
+    }
+    for r in &rows {
+        println!(
+            "{:>6} {:>18} {:>18} {:>14} {:>14}",
+            r.tb, r.relaxed_admissions, r.nonrelaxed_admissions, r.relaxed_final, r.nonrelaxed_final
+        );
+    }
+    println!(
+        "\nafter warm-up: non-relaxed under-samples (<0.8N) on {under} periods; \
+         relaxed over-samples (>N, later cleaned) on {over} periods."
+    );
+    println!(
+        "paper's shape: relaxed occasionally over-samples; non-relaxed frequently \
+         under-samples, causing the under-estimation of Figure 2."
+    );
+}

@@ -1,0 +1,67 @@
+//! **Figure 4 — Cleaning phases per period** (1000 samples per period).
+//!
+//! The cost of relaxation: each window the relaxed algorithm starts with
+//! a 10× too-low threshold, so a handful of cleaning phases raise it
+//! back (the paper observes ~4, with a spike while the very first
+//! windows find the right threshold); the non-relaxed algorithm settles
+//! to ~1 (just the final window-border subsample).
+
+use sso_bench::{header, maybe_json, run_subset_sum};
+use sso_core::libs::subset_sum::SubsetSumOpConfig;
+use sso_netgen::research_feed;
+
+#[derive(serde::Serialize)]
+struct Row {
+    tb: u64,
+    relaxed: u64,
+    nonrelaxed: u64,
+}
+
+fn main() {
+    const WINDOW: u64 = 20;
+    const N: usize = 1000;
+    const SECONDS: u64 = 600;
+
+    let packets = research_feed(0xf162).take_seconds(SECONDS);
+    let relaxed = run_subset_sum(
+        &packets,
+        WINDOW,
+        SubsetSumOpConfig { target: N, initial_z: 1.0, ..Default::default() },
+    )
+    .expect("relaxed run");
+    let nonrelaxed = run_subset_sum(
+        &packets,
+        WINDOW,
+        SubsetSumOpConfig { target: N, initial_z: 1.0, ..Default::default() }.non_relaxed(),
+    )
+    .expect("non-relaxed run");
+
+    let rows: Vec<Row> = relaxed
+        .iter()
+        .zip(&nonrelaxed)
+        .map(|(r, n)| Row { tb: r.tb, relaxed: r.cleanings, nonrelaxed: n.cleanings })
+        .collect();
+
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Figure 4: cleaning phases per period (N = 1000, 20s periods)");
+    println!("{:>6} {:>10} {:>12}", "period", "relaxed", "nonrelaxed");
+    for r in &rows {
+        println!("{:>6} {:>10} {:>12}", r.tb, r.relaxed, r.nonrelaxed);
+    }
+    let tail = &rows[rows.len().min(3)..];
+    let mean = |f: fn(&Row) -> u64| {
+        tail.iter().map(f).sum::<u64>() as f64 / tail.len().max(1) as f64
+    };
+    println!(
+        "\nsteady state (after the first windows): relaxed {:.1} cleanings/period, \
+         non-relaxed {:.1}.",
+        mean(|r| r.relaxed),
+        mean(|r| r.nonrelaxed)
+    );
+    println!(
+        "paper's shape: both spike while finding the threshold, then relaxed \
+         stabilizes around ~4 phases vs ~1 for non-relaxed."
+    );
+}

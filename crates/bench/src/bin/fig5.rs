@@ -1,0 +1,129 @@
+//! **Figure 5 — Subset-sum sampling CPU usage.**
+//!
+//! The per-tuple cost of dynamic subset-sum sampling hosted on the
+//! sampling operator (relaxed and non-relaxed) against basic subset-sum
+//! sampling expressed as a plain selection-style query, at sample sizes
+//! of 100 / 1,000 / 10,000 per 20-second period, on the steady ~100k
+//! pkt/s data-center feed. The paper's result: even at 100k+ pkt/s the
+//! operator uses a small fraction of a CPU; the dynamic algorithm adds
+//! only a few points of CPU over the basic selection, and relaxation
+//! adds ~2 points at most over non-relaxed.
+//!
+//! Measurement: every (shape, N) configuration is rerun in interleaved
+//! rounds and the per-configuration minimum busy time is reported, so
+//! slow system phases cannot bias one configuration against another.
+//!
+//! Absolute percentages differ from the paper's 2005 dual-Xeon (and our
+//! operator is interpreted, not compiled C); the comparisons are the
+//! reproducible object.
+
+use std::time::Duration;
+
+use sso_bench::{cpu_pct, header, maybe_json, measure_operator, stream_span};
+use sso_core::libs::subset_sum::SubsetSumOpConfig;
+use sso_core::queries;
+use sso_core::SamplingOperator;
+use sso_netgen::datacenter_feed;
+use sso_types::Tuple;
+
+#[derive(serde::Serialize)]
+struct Row {
+    samples_per_period: usize,
+    basic_cpu_pct: f64,
+    nonrelaxed_cpu_pct: f64,
+    relaxed_cpu_pct: f64,
+    relaxed_over_basic_pts: f64,
+    relaxed_over_nonrelaxed_pts: f64,
+}
+
+fn main() {
+    const WINDOW: u64 = 20;
+    const SECONDS: u64 = 40; // two full periods
+    const ROUNDS: usize = 5;
+    const SIZES: [usize; 3] = [100, 1000, 10_000];
+
+    let packets = datacenter_feed(0xf165).take_seconds(SECONDS);
+    let span = stream_span(&packets);
+    let volume_per_window: u64 =
+        packets.iter().filter(|p| p.time() < WINDOW).map(|p| p.len as u64).sum();
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+
+    // (shape, N) -> minimum busy time across rounds.
+    let mut best = [[Duration::MAX; 3]; 3];
+    let make = |shape: usize, n: usize| -> SamplingOperator {
+        let z = volume_per_window as f64 / n as f64;
+        let cfg = SubsetSumOpConfig { target: n, initial_z: z, ..Default::default() };
+        let spec = match shape {
+            0 => queries::basic_subset_sum_query(WINDOW, z).unwrap(),
+            1 => queries::subset_sum_query(WINDOW, cfg.non_relaxed(), false).unwrap(),
+            _ => queries::subset_sum_query(WINDOW, cfg, false).unwrap(),
+        };
+        SamplingOperator::new(spec).unwrap()
+    };
+
+    for round in 0..=ROUNDS {
+        for (ni, &n) in SIZES.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)]
+            for shape in 0..3 {
+                let mut op = make(shape, n);
+                let (busy, windows) = measure_operator(&mut op, &tuples).unwrap();
+                if round == 0 {
+                    // Warm-up round: check sample sizes, discard timing.
+                    if shape == 0 {
+                        let got: usize =
+                            windows.iter().map(|w| w.rows.len()).sum::<usize>() / windows.len();
+                        assert!(
+                            got as f64 > 0.5 * n as f64 && (got as f64) < 2.0 * n as f64,
+                            "basic sampled {got}/period for target {n}"
+                        );
+                    }
+                    continue;
+                }
+                best[shape][ni] = best[shape][ni].min(busy);
+            }
+        }
+    }
+
+    let rows: Vec<Row> = SIZES
+        .iter()
+        .enumerate()
+        .map(|(ni, &n)| {
+            let basic = cpu_pct(best[0][ni], span);
+            let nr = cpu_pct(best[1][ni], span);
+            let rx = cpu_pct(best[2][ni], span);
+            Row {
+                samples_per_period: n,
+                basic_cpu_pct: basic,
+                nonrelaxed_cpu_pct: nr,
+                relaxed_cpu_pct: rx,
+                relaxed_over_basic_pts: rx - basic,
+                relaxed_over_nonrelaxed_pts: rx - nr,
+            }
+        })
+        .collect();
+
+    if maybe_json(&rows) {
+        return;
+    }
+    header("Figure 5: subset-sum sampling CPU usage (~100k pkt/s data-center feed)");
+    println!(
+        "{:>16} {:>12} {:>14} {:>12} {:>14} {:>16}",
+        "samples/period", "basic SS %", "SS nonrelaxed %", "SS relaxed %", "relaxed-basic", "relaxed-nonrel"
+    );
+    for r in &rows {
+        println!(
+            "{:>16} {:>12.2} {:>14.2} {:>12.2} {:>13.2}pt {:>15.2}pt",
+            r.samples_per_period,
+            r.basic_cpu_pct,
+            r.nonrelaxed_cpu_pct,
+            r.relaxed_cpu_pct,
+            r.relaxed_over_basic_pts,
+            r.relaxed_over_nonrelaxed_pts
+        );
+    }
+    println!(
+        "\npaper's shape: all three use a small fraction of a CPU; the operator's \
+         dynamic algorithm costs a few points over the basic selection; relaxation \
+         adds the least (≈2 points at most)."
+    );
+}

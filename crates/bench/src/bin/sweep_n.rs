@@ -1,0 +1,85 @@
+//! **§7.1 in-text sweep — sample size.**
+//!
+//! "We repeated these experiments to collect 100 and 10,000 samples per
+//! period, and obtained nearly identical results." This binary runs the
+//! Figure 2 accuracy experiment at N ∈ {100, 1000, 10000} and reports
+//! the relaxed/non-relaxed accuracy contrast at each size.
+
+use sso_bench::{header, maybe_json, run_subset_sum, SsWindow};
+use sso_core::libs::subset_sum::SubsetSumOpConfig;
+use sso_netgen::research_feed;
+
+#[derive(serde::Serialize)]
+struct Row {
+    n: usize,
+    relaxed_mean_abs_err_pct: f64,
+    nonrelaxed_mean_abs_err_pct: f64,
+    relaxed_worst_abs_err_pct: f64,
+    nonrelaxed_worst_abs_err_pct: f64,
+}
+
+fn err_stats(series: &[SsWindow]) -> (f64, f64) {
+    let errs: Vec<f64> = series
+        .iter()
+        .filter(|w| w.actual > 0)
+        .map(|w| 100.0 * (w.estimate - w.actual as f64).abs() / w.actual as f64)
+        .collect();
+    let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+    let worst = errs.iter().cloned().fold(0.0, f64::max);
+    (mean, worst)
+}
+
+fn main() {
+    const WINDOW: u64 = 20;
+    const SECONDS: u64 = 600;
+    let packets = research_feed(0xf162).take_seconds(SECONDS);
+
+    let mut rows = Vec::new();
+    for n in [100usize, 1000, 10_000] {
+        let relaxed = run_subset_sum(
+            &packets,
+            WINDOW,
+            SubsetSumOpConfig { target: n, initial_z: 1.0, ..Default::default() },
+        )
+        .unwrap();
+        let nonrelaxed = run_subset_sum(
+            &packets,
+            WINDOW,
+            SubsetSumOpConfig { target: n, initial_z: 1.0, ..Default::default() }
+                .non_relaxed(),
+        )
+        .unwrap();
+        let (rx_mean, rx_worst) = err_stats(&relaxed);
+        let (nr_mean, nr_worst) = err_stats(&nonrelaxed);
+        rows.push(Row {
+            n,
+            relaxed_mean_abs_err_pct: rx_mean,
+            nonrelaxed_mean_abs_err_pct: nr_mean,
+            relaxed_worst_abs_err_pct: rx_worst,
+            nonrelaxed_worst_abs_err_pct: nr_worst,
+        });
+    }
+
+    if maybe_json(&rows) {
+        return;
+    }
+    header("§7.1 sweep: accuracy at N ∈ {100, 1000, 10000} (20s periods)");
+    println!(
+        "{:>8} {:>16} {:>18} {:>16} {:>18}",
+        "N", "relaxed mean|e|%", "nonrelaxed mean|e|%", "relaxed worst%", "nonrelaxed worst%"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>16.2} {:>18.2} {:>16.2} {:>18.2}",
+            r.n,
+            r.relaxed_mean_abs_err_pct,
+            r.nonrelaxed_mean_abs_err_pct,
+            r.relaxed_worst_abs_err_pct,
+            r.nonrelaxed_worst_abs_err_pct
+        );
+    }
+    println!(
+        "\npaper's claim: the relaxed-vs-non-relaxed picture is nearly identical at \
+         every sample size — relaxation fixes accuracy at 100, 1000, and 10000 alike."
+    );
+}

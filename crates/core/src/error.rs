@@ -1,0 +1,77 @@
+//! Operator-level errors.
+
+use std::fmt;
+
+use sso_types::TypeError;
+
+/// Errors raised while building or evaluating a sampling operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpError {
+    /// A value-level type error during expression evaluation.
+    Type(TypeError),
+    /// An expression referenced context that the current clause does not
+    /// provide (e.g. an aggregate in the WHERE clause).
+    MissingContext {
+        /// What was referenced, e.g. `"aggregate"`.
+        what: &'static str,
+        /// Which clause was being evaluated.
+        clause: &'static str,
+    },
+    /// A stateful function was called with the wrong arguments.
+    BadSfunCall {
+        /// Function name.
+        function: String,
+        /// Why the call was rejected.
+        reason: String,
+    },
+    /// The operator specification is inconsistent.
+    InvalidSpec(String),
+    /// A scalar function rejected its arguments.
+    BadScalarCall {
+        /// Function name.
+        function: String,
+        /// Why the call was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Type(e) => write!(f, "type error: {e}"),
+            OpError::MissingContext { what, clause } => {
+                write!(f, "{what} referenced in {clause}, which does not provide it")
+            }
+            OpError::BadSfunCall { function, reason } => {
+                write!(f, "bad call to stateful function {function}: {reason}")
+            }
+            OpError::InvalidSpec(msg) => write!(f, "invalid operator spec: {msg}"),
+            OpError::BadScalarCall { function, reason } => {
+                write!(f, "bad call to function {function}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<TypeError> for OpError {
+    fn from(e: TypeError) -> Self {
+        OpError::Type(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: OpError = TypeError::DivisionByZero.into();
+        assert_eq!(e.to_string(), "type error: division by zero");
+        let e = OpError::MissingContext { what: "aggregate", clause: "WHERE" };
+        assert_eq!(e.to_string(), "aggregate referenced in WHERE, which does not provide it");
+        let e = OpError::InvalidSpec("no group by".into());
+        assert!(e.to_string().contains("no group by"));
+    }
+}

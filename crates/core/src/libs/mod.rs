@@ -1,0 +1,28 @@
+//! Stateful-function libraries implementing the paper's four
+//! representative algorithms on the generic operator.
+//!
+//! Each library corresponds to one `STATE` declaration plus its `SFUN`s
+//! in the paper's runtime-library model (§6.2):
+//!
+//! * [`subset_sum`] — `ssample`, `ssdo_clean`, `ssclean_with`,
+//!   `ssfinal_clean`, `ssthreshold`, `sscleanings` (dynamic subset-sum
+//!   sampling, with relaxed/non-relaxed window carry-over);
+//! * [`reservoir`] — `rsample`, `rsdo_clean`, `rsclean_with`,
+//!   `rsfinal_clean` (candidate-reservoir sampling with random
+//!   subsampling cleans);
+//! * [`heavy_hitter`] — `local_count`, `current_bucket` (the bucket
+//!   machinery of Manku–Motwani lossy counting; the prune rule itself is
+//!   an ordinary CLEANING BY expression over `count(*)` and
+//!   `first(current_bucket())`);
+//! * [`distinct`] — `dsample`, `ddo_clean`, `dclean_with`, `dlevel`,
+//!   `dscale` (Gibbons' distinct sampling, reference \[19\] — a bonus
+//!   fifth algorithm demonstrating the operator's generality).
+//!
+//! Min-hash sampling needs no stateful functions: it is expressed with
+//! the `H()` scalar and the `Kth_smallest_value$` superaggregate alone
+//! (§6.6).
+
+pub mod distinct;
+pub mod heavy_hitter;
+pub mod reservoir;
+pub mod subset_sum;

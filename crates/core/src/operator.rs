@@ -1,0 +1,723 @@
+//! The generic sampling operator: specification and runtime.
+//!
+//! [`SamplingOperator::process`] implements the evaluation loop of §6.4:
+//!
+//! 1. compute the group-by variable values for the tuple;
+//! 2. if an ordered (window-defining) group-by value changed, close the
+//!    window: run each state's window-end hook, evaluate HAVING on every
+//!    group, emit the sampled groups, move supergroup states to the "old"
+//!    table, and clear the group and supergroup tables;
+//! 3. find or create the tuple's supergroup — a new supergroup whose key
+//!    existed in the previous window inherits its state via the library's
+//!    `state_init(old)`;
+//! 4. evaluate WHERE (with tuple, group-by values, superaggregates and
+//!    SFUN states in scope); discard the tuple on false;
+//! 5. update superaggregates;
+//! 6. find or create the group; update its aggregates; register new
+//!    groups with the supergroup and its superaggregates;
+//! 7. evaluate CLEANING WHEN; when true, apply CLEANING BY to every
+//!    group of this supergroup and evict the groups for which it is
+//!    false (updating superaggregates).
+//!
+//! Three tables back this, as in §6.4: the group table, the supergroup
+//! table (with its "old" twin for cross-window state carry-over), and
+//! the supergroup→groups index (kept in insertion order so output is
+//! deterministic).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
+use sso_types::{Tuple, Value};
+
+use crate::agg::{AggSpec, AggState};
+use crate::error::OpError;
+use crate::expr::{EvalCtx, Expr};
+use crate::sfun::{SfunLibrary, SfunStates};
+use crate::superagg::{SuperAggSpec, SuperAggState};
+
+/// Full specification of a sampling (or plain aggregation) query over
+/// one input stream.
+#[derive(Debug, Clone)]
+pub struct OperatorSpec {
+    /// Output columns: name + group-phase expression.
+    pub select: Vec<(String, Expr)>,
+    /// Tuple-phase admission predicate (may call SFUNs, e.g.
+    /// `ssample(len, 1000) = TRUE`).
+    pub where_clause: Option<Expr>,
+    /// Group-by variables: name + tuple-phase expression.
+    pub group_by: Vec<(String, Expr)>,
+    /// Indices into `group_by` of the window-defining (ordered)
+    /// variables, e.g. `time/20 as tb`.
+    pub window_indices: Vec<usize>,
+    /// Indices into `group_by` forming the supergroup key (excluding
+    /// window variables). Empty = the `ALL` supergroup.
+    pub supergroup_indices: Vec<usize>,
+    /// Finishing-off predicate, evaluated per group at window close.
+    pub having: Option<Expr>,
+    /// Cleaning trigger, evaluated per admitted tuple.
+    pub cleaning_when: Option<Expr>,
+    /// Per-group keep predicate of the cleaning phase (false = evict).
+    pub cleaning_by: Option<Expr>,
+    /// Group aggregate slots.
+    pub aggregates: Vec<AggSpec>,
+    /// Superaggregate slots.
+    pub superaggs: Vec<SuperAggSpec>,
+    /// Stateful-function libraries (state slots per supergroup).
+    pub sfun_libs: Vec<Arc<SfunLibrary>>,
+}
+
+impl OperatorSpec {
+    /// A minimal aggregation spec (no sampling clauses) — useful as a
+    /// starting point for builders.
+    pub fn aggregation(select: Vec<(String, Expr)>, group_by: Vec<(String, Expr)>) -> Self {
+        OperatorSpec {
+            select,
+            where_clause: None,
+            group_by,
+            window_indices: Vec::new(),
+            supergroup_indices: Vec::new(),
+            having: None,
+            cleaning_when: None,
+            cleaning_by: None,
+            aggregates: Vec::new(),
+            superaggs: Vec::new(),
+            sfun_libs: Vec::new(),
+        }
+    }
+
+    /// The schema of this operator's output stream: one field per SELECT
+    /// column. Fields whose expression is a window-defining group-by
+    /// variable are marked `increasing`, so a downstream operator (a §8
+    /// *cascade*) can window on them. Field types are nominal (`U64`) —
+    /// values stay dynamically typed end to end.
+    pub fn output_schema(&self, name: &str) -> sso_types::Schema {
+        use sso_types::{Field, FieldType, Ordering};
+        let fields = self
+            .select
+            .iter()
+            .map(|(col_name, expr)| {
+                let ordering = match expr {
+                    Expr::GroupVar(i) if self.window_indices.contains(i) => Ordering::Increasing,
+                    _ => Ordering::None,
+                };
+                Field { name: col_name.clone(), ty: FieldType::U64, ordering }
+            })
+            .collect();
+        sso_types::Schema::new(name, fields)
+    }
+
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), OpError> {
+        if self.select.is_empty() {
+            return Err(OpError::InvalidSpec("SELECT list is empty".into()));
+        }
+        if self.group_by.is_empty() {
+            return Err(OpError::InvalidSpec("GROUP BY list is empty".into()));
+        }
+        for &i in &self.window_indices {
+            if i >= self.group_by.len() {
+                return Err(OpError::InvalidSpec(format!(
+                    "window index {i} out of range ({} group-by vars)",
+                    self.group_by.len()
+                )));
+            }
+        }
+        for &i in &self.supergroup_indices {
+            if i >= self.group_by.len() {
+                return Err(OpError::InvalidSpec(format!(
+                    "supergroup index {i} out of range ({} group-by vars)",
+                    self.group_by.len()
+                )));
+            }
+            if self.window_indices.contains(&i) {
+                return Err(OpError::InvalidSpec(format!(
+                    "supergroup index {i} is a window variable; window variables are \
+                     implicitly part of every supergroup and must not be listed"
+                )));
+            }
+        }
+        if self.cleaning_when.is_some() != self.cleaning_by.is_some() {
+            return Err(OpError::InvalidSpec(
+                "CLEANING WHEN and CLEANING BY must be specified together".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One group: its aggregate states. The key lives in the table.
+#[derive(Debug)]
+struct GroupEntry {
+    aggs: Vec<AggState>,
+}
+
+/// One supergroup: superaggregates, SFUN states, and its member groups
+/// in insertion order.
+struct SupergroupEntry {
+    key: Tuple,
+    superaggs: Vec<SuperAggState>,
+    states: SfunStates,
+    groups: Vec<Tuple>,
+}
+
+/// Per-window counters (Figures 3–4 read these).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Tuples that arrived in the window.
+    pub tuples: u64,
+    /// Tuples that passed WHERE.
+    pub admitted: u64,
+    /// Cleaning phases triggered by CLEANING WHEN.
+    pub cleaning_phases: u64,
+    /// Groups created.
+    pub groups_created: u64,
+    /// Rows emitted at window close.
+    pub output_rows: u64,
+}
+
+/// Cumulative counters across the operator's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorStats {
+    /// Windows closed.
+    pub windows: u64,
+    /// Tuples processed.
+    pub tuples: u64,
+    /// Tuples admitted by WHERE.
+    pub admitted: u64,
+    /// Cleaning phases.
+    pub cleaning_phases: u64,
+    /// Groups created.
+    pub groups_created: u64,
+    /// Rows emitted.
+    pub output_rows: u64,
+}
+
+impl OperatorStats {
+    fn accumulate(&mut self, w: &WindowStats) {
+        self.windows += 1;
+        self.tuples += w.tuples;
+        self.admitted += w.admitted;
+        self.cleaning_phases += w.cleaning_phases;
+        self.groups_created += w.groups_created;
+        self.output_rows += w.output_rows;
+    }
+}
+
+/// The output of one closed window.
+#[derive(Debug, Clone)]
+pub struct WindowOutput {
+    /// The window-defining group-by values (e.g. the time bucket).
+    pub window: Tuple,
+    /// Output rows, one per group that passed HAVING, in group insertion
+    /// order (per supergroup, supergroups in insertion order).
+    pub rows: Vec<Tuple>,
+    /// The window's counters.
+    pub stats: WindowStats,
+}
+
+/// The sampling operator runtime.
+pub struct SamplingOperator {
+    spec: Arc<OperatorSpec>,
+    groups: FxHashMap<Tuple, GroupEntry>,
+    sg_index: FxHashMap<Tuple, usize>,
+    sgs: Vec<SupergroupEntry>,
+    old_sgs: FxHashMap<Tuple, SfunStates>,
+    window: Option<Vec<Value>>,
+    wstats: WindowStats,
+    stats: OperatorStats,
+}
+
+impl std::fmt::Debug for SamplingOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplingOperator")
+            .field("group_by", &self.spec.group_by.len())
+            .field("groups", &self.groups.len())
+            .field("supergroups", &self.sgs.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SamplingOperator {
+    /// Build an operator from a validated spec.
+    pub fn new(spec: OperatorSpec) -> Result<Self, OpError> {
+        spec.validate()?;
+        Ok(SamplingOperator {
+            spec: Arc::new(spec),
+            groups: FxHashMap::default(),
+            sg_index: FxHashMap::default(),
+            sgs: Vec::new(),
+            old_sgs: FxHashMap::default(),
+            window: None,
+            wstats: WindowStats::default(),
+            stats: OperatorStats::default(),
+        })
+    }
+
+    /// The spec this operator runs.
+    pub fn spec(&self) -> &OperatorSpec {
+        &self.spec
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &OperatorStats {
+        &self.stats
+    }
+
+    /// Live group count (current window).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Live supergroup count (current window).
+    pub fn supergroup_count(&self) -> usize {
+        self.sgs.len()
+    }
+
+    /// Output column names, in SELECT order.
+    pub fn output_columns(&self) -> Vec<&str> {
+        self.spec.select.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Process one tuple. If the tuple opens a new window, the previous
+    /// window's output is returned (the tuple itself is processed into
+    /// the new window).
+    pub fn process(&mut self, tuple: &Tuple) -> Result<Option<WindowOutput>, OpError> {
+        let spec = Arc::clone(&self.spec);
+        // 1. Group-by values.
+        let mut gb = Vec::with_capacity(spec.group_by.len());
+        {
+            let mut ctx = EvalCtx { tuple: Some(tuple), ..EvalCtx::empty("GROUP BY") };
+            for (_, e) in &spec.group_by {
+                gb.push(e.eval(&mut ctx)?);
+            }
+        }
+        // 2. Window boundary.
+        let wvals: Vec<Value> =
+            spec.window_indices.iter().map(|&i| gb[i].clone()).collect();
+        let out = match &self.window {
+            Some(cur) if *cur != wvals => {
+                let o = self.flush_window()?;
+                self.window = Some(wvals);
+                Some(o)
+            }
+            Some(_) => None,
+            None => {
+                self.window = Some(wvals);
+                None
+            }
+        };
+        self.wstats.tuples += 1;
+        // 3. Supergroup lookup / creation (with state carry-over).
+        let sg_key =
+            Tuple::new(spec.supergroup_indices.iter().map(|&i| gb[i].clone()).collect());
+        let sg_idx = match self.sg_index.get(&sg_key) {
+            Some(&i) => i,
+            None => {
+                let old = self.old_sgs.get(&sg_key);
+                let states: SfunStates = spec
+                    .sfun_libs
+                    .iter()
+                    .enumerate()
+                    .map(|(li, lib)| {
+                        let prev =
+                            old.and_then(|v| v.get(li)).map(|b| b.as_ref() as &dyn Any);
+                        lib.init_state(prev)
+                    })
+                    .collect();
+                let superaggs = spec.superaggs.iter().map(|s| s.init()).collect();
+                let idx = self.sgs.len();
+                self.sgs.push(SupergroupEntry {
+                    key: sg_key.clone(),
+                    superaggs,
+                    states,
+                    groups: Vec::new(),
+                });
+                self.sg_index.insert(sg_key, idx);
+                idx
+            }
+        };
+        // 4. WHERE.
+        let admitted = match &spec.where_clause {
+            Some(w) => {
+                let SupergroupEntry { superaggs, states, .. } = &mut self.sgs[sg_idx];
+                let mut ctx = EvalCtx {
+                    clause: "WHERE",
+                    tuple: Some(tuple),
+                    group_vars: Some(&gb),
+                    aggs: None,
+                    superaggs: Some(superaggs),
+                    sfun_states: Some(states.as_mut_slice()),
+                };
+                w.eval_bool(&mut ctx)?
+            }
+            None => true,
+        };
+        if !admitted {
+            return Ok(out);
+        }
+        self.wstats.admitted += 1;
+        // 5. Superaggregate per-tuple updates.
+        {
+            let SupergroupEntry { superaggs, states, .. } = &mut self.sgs[sg_idx];
+            for (i, sa) in spec.superaggs.iter().enumerate() {
+                let mut ctx = EvalCtx {
+                    clause: "SUPERAGG",
+                    tuple: Some(tuple),
+                    group_vars: Some(&gb),
+                    aggs: None,
+                    superaggs: None,
+                    sfun_states: Some(states.as_mut_slice()),
+                };
+                sa.on_tuple(&mut superaggs[i], &mut ctx)?;
+            }
+        }
+        // 6. Group lookup / creation and aggregate update.
+        let gkey = Tuple::new(gb.clone());
+        let is_new = !self.groups.contains_key(&gkey);
+        if is_new {
+            let aggs = spec.aggregates.iter().map(|a| a.init()).collect();
+            self.groups.insert(gkey.clone(), GroupEntry { aggs });
+            self.wstats.groups_created += 1;
+        }
+        {
+            let entry = self.groups.get_mut(&gkey).expect("group just ensured");
+            let SupergroupEntry { superaggs, states, groups: sg_groups, .. } =
+                &mut self.sgs[sg_idx];
+            for (i, a) in spec.aggregates.iter().enumerate() {
+                let mut ctx = EvalCtx {
+                    clause: "AGGREGATE",
+                    tuple: Some(tuple),
+                    group_vars: Some(&gb),
+                    aggs: None,
+                    superaggs: None,
+                    sfun_states: Some(states.as_mut_slice()),
+                };
+                a.update(&mut entry.aggs[i], &mut ctx)?;
+            }
+            if is_new {
+                sg_groups.push(gkey.clone());
+                for (i, sa) in spec.superaggs.iter().enumerate() {
+                    sa.on_group_add(&mut superaggs[i], &gb)?;
+                }
+            }
+        }
+        // 7. CLEANING WHEN / cleaning phase.
+        if let Some(cw) = &spec.cleaning_when {
+            let trigger = {
+                let SupergroupEntry { superaggs, states, .. } = &mut self.sgs[sg_idx];
+                let mut ctx = EvalCtx {
+                    clause: "CLEANING WHEN",
+                    tuple: Some(tuple),
+                    group_vars: Some(&gb),
+                    aggs: None,
+                    superaggs: Some(superaggs),
+                    sfun_states: Some(states.as_mut_slice()),
+                };
+                cw.eval_bool(&mut ctx)?
+            };
+            if trigger {
+                self.wstats.cleaning_phases += 1;
+                self.clean_supergroup(sg_idx)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply CLEANING BY to every group of supergroup `sg_idx`, evicting
+    /// groups for which it is false.
+    fn clean_supergroup(&mut self, sg_idx: usize) -> Result<(), OpError> {
+        let spec = Arc::clone(&self.spec);
+        let Some(cb) = &spec.cleaning_by else {
+            return Ok(());
+        };
+        let group_keys = std::mem::take(&mut self.sgs[sg_idx].groups);
+        let mut kept = Vec::with_capacity(group_keys.len());
+        for gkey in group_keys {
+            let keep = {
+                let entry = self.groups.get(&gkey).expect("group listed in supergroup");
+                let SupergroupEntry { superaggs, states, .. } = &mut self.sgs[sg_idx];
+                let mut ctx = EvalCtx {
+                    clause: "CLEANING BY",
+                    tuple: None,
+                    group_vars: Some(gkey.values()),
+                    aggs: Some(&entry.aggs),
+                    superaggs: Some(superaggs),
+                    sfun_states: Some(states.as_mut_slice()),
+                };
+                cb.eval_bool(&mut ctx)?
+            };
+            if keep {
+                kept.push(gkey);
+            } else {
+                let entry = self.groups.remove(&gkey).expect("group listed in supergroup");
+                let superaggs = &mut self.sgs[sg_idx].superaggs;
+                for (i, sa) in spec.superaggs.iter().enumerate() {
+                    sa.on_group_remove(&mut superaggs[i], gkey.values(), &entry.aggs)?;
+                }
+            }
+        }
+        self.sgs[sg_idx].groups = kept;
+        Ok(())
+    }
+
+    /// Close the current window: HAVING + SELECT per group, state
+    /// carry-over, table reset.
+    fn flush_window(&mut self) -> Result<WindowOutput, OpError> {
+        let spec = Arc::clone(&self.spec);
+        // Signal window end to every state (the paper's final_init()).
+        for sg in &mut self.sgs {
+            for (li, lib) in spec.sfun_libs.iter().enumerate() {
+                lib.on_window_end(sg.states[li].as_mut());
+            }
+        }
+        let mut rows = Vec::new();
+        for sg_idx in 0..self.sgs.len() {
+            let group_keys = std::mem::take(&mut self.sgs[sg_idx].groups);
+            for gkey in group_keys {
+                let entry = self.groups.get(&gkey).expect("group listed in supergroup");
+                let SupergroupEntry { superaggs, states, .. } = &mut self.sgs[sg_idx];
+                let mut ctx = EvalCtx {
+                    clause: "HAVING",
+                    tuple: None,
+                    group_vars: Some(gkey.values()),
+                    aggs: Some(&entry.aggs),
+                    superaggs: Some(superaggs),
+                    sfun_states: Some(states.as_mut_slice()),
+                };
+                let keep = match &spec.having {
+                    Some(h) => h.eval_bool(&mut ctx)?,
+                    None => true,
+                };
+                if keep {
+                    ctx.clause = "SELECT";
+                    let mut row = Vec::with_capacity(spec.select.len());
+                    for (_, e) in &spec.select {
+                        row.push(e.eval(&mut ctx)?);
+                    }
+                    rows.push(Tuple::new(row));
+                }
+            }
+        }
+        // Carry supergroup states into the old table for the next window.
+        self.old_sgs.clear();
+        for sg in self.sgs.drain(..) {
+            self.old_sgs.insert(sg.key, sg.states);
+        }
+        self.sg_index.clear();
+        self.groups.clear();
+        let mut stats = std::mem::take(&mut self.wstats);
+        stats.output_rows = rows.len() as u64;
+        self.stats.accumulate(&stats);
+        let window = Tuple::new(self.window.clone().unwrap_or_default());
+        Ok(WindowOutput { window, rows, stats })
+    }
+
+    /// Force-close the current window at end of stream.
+    pub fn finish(&mut self) -> Result<Option<WindowOutput>, OpError> {
+        if self.window.is_none() {
+            return Ok(None);
+        }
+        let out = self.flush_window()?;
+        self.window = None;
+        Ok(Some(out))
+    }
+
+    /// Convenience: run a whole tuple iterator, returning every window's
+    /// output (including the final partial window).
+    pub fn run<'a>(
+        &mut self,
+        tuples: impl IntoIterator<Item = &'a Tuple>,
+    ) -> Result<Vec<WindowOutput>, OpError> {
+        let mut out = Vec::new();
+        for t in tuples {
+            if let Some(w) = self.process(t)? {
+                out.push(w);
+            }
+        }
+        if let Some(w) = self.finish()? {
+            out.push(w);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggSpec;
+
+    /// SELECT tb, sum(v), count(*) GROUP BY t/10 as tb, k
+    fn simple_agg_spec() -> OperatorSpec {
+        let mut spec = OperatorSpec::aggregation(
+            vec![
+                ("tb".into(), Expr::GroupVar(0)),
+                ("k".into(), Expr::GroupVar(1)),
+                ("sum_v".into(), Expr::Aggregate(0)),
+                ("cnt".into(), Expr::Aggregate(1)),
+            ],
+            vec![
+                ("tb".into(), Expr::Column(0).div(Expr::lit(10u64))),
+                ("k".into(), Expr::Column(1)),
+            ],
+        );
+        spec.window_indices = vec![0];
+        spec.aggregates = vec![AggSpec::Sum(Expr::Column(2)), AggSpec::Count];
+        spec
+    }
+
+    fn t(time: u64, k: u64, v: u64) -> Tuple {
+        Tuple::new(vec![Value::U64(time), Value::U64(k), Value::U64(v)])
+    }
+
+    #[test]
+    fn aggregation_per_window() {
+        let mut op = SamplingOperator::new(simple_agg_spec()).unwrap();
+        let tuples = [t(1, 7, 10), t(2, 7, 5), t(3, 8, 1), t(11, 7, 100)];
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs.len(), 2);
+        // Window 0: group (0,7) sum 15 count 2; group (0,8) sum 1 count 1.
+        assert_eq!(outs[0].window, Tuple::new(vec![Value::U64(0)]));
+        assert_eq!(
+            outs[0].rows,
+            vec![
+                Tuple::new(vec![Value::U64(0), Value::U64(7), Value::U64(15), Value::U64(2)]),
+                Tuple::new(vec![Value::U64(0), Value::U64(8), Value::U64(1), Value::U64(1)]),
+            ]
+        );
+        // Window 1: group (1,7) sum 100.
+        assert_eq!(
+            outs[1].rows,
+            vec![Tuple::new(vec![Value::U64(1), Value::U64(7), Value::U64(100), Value::U64(1)])]
+        );
+        assert_eq!(op.stats().windows, 2);
+        assert_eq!(op.stats().tuples, 4);
+    }
+
+    #[test]
+    fn where_filters_tuples() {
+        let mut spec = simple_agg_spec();
+        // WHERE v > 4
+        spec.where_clause = Some(Expr::Column(2).gt(Expr::lit(4u64)));
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let tuples = [t(1, 7, 10), t(2, 7, 3)];
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs[0].rows.len(), 1);
+        assert_eq!(outs[0].rows[0].get(2), &Value::U64(10));
+        assert_eq!(outs[0].stats.tuples, 2);
+        assert_eq!(outs[0].stats.admitted, 1);
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut spec = simple_agg_spec();
+        // HAVING count(*) >= 2
+        spec.having = Some(Expr::Aggregate(1).ge(Expr::lit(2u64)));
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let tuples = [t(1, 7, 10), t(2, 7, 5), t(3, 8, 1)];
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs[0].rows.len(), 1);
+        assert_eq!(outs[0].rows[0].get(1), &Value::U64(7));
+    }
+
+    #[test]
+    fn count_distinct_superagg_and_cleaning() {
+        // Keep at most 2 groups per supergroup: clean when
+        // count_distinct$ > 2, keep only groups with sum >= 10.
+        let mut spec = simple_agg_spec();
+        spec.superaggs = vec![SuperAggSpec::CountDistinct];
+        spec.cleaning_when = Some(Expr::SuperAgg(0).gt(Expr::lit(2u64)));
+        spec.cleaning_by = Some(Expr::Aggregate(0).ge(Expr::lit(10u64)));
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let tuples = [t(1, 1, 100), t(2, 2, 3), t(3, 3, 50)];
+        let outs = op.run(tuples.iter()).unwrap();
+        // Third group triggers cleaning; group k=2 (sum 3) evicted.
+        assert_eq!(outs[0].stats.cleaning_phases, 1);
+        let keys: Vec<&Value> = outs[0].rows.iter().map(|r| r.get(1)).collect();
+        assert_eq!(keys, vec![&Value::U64(1), &Value::U64(3)]);
+    }
+
+    #[test]
+    fn supergroup_partitioning() {
+        // Supergroup by k: each k gets its own count_distinct$.
+        let mut spec = OperatorSpec::aggregation(
+            vec![
+                ("k".into(), Expr::GroupVar(1)),
+                ("v".into(), Expr::GroupVar(2)),
+                ("cd".into(), Expr::SuperAgg(0)),
+            ],
+            vec![
+                ("tb".into(), Expr::Column(0).div(Expr::lit(10u64))),
+                ("k".into(), Expr::Column(1)),
+                ("v".into(), Expr::Column(2)),
+            ],
+        );
+        spec.window_indices = vec![0];
+        spec.supergroup_indices = vec![1];
+        spec.superaggs = vec![SuperAggSpec::CountDistinct];
+        let mut op = SamplingOperator::new(spec).unwrap();
+        // k=1 has groups v=1,2; k=2 has v=3.
+        let tuples = [t(1, 1, 1), t(2, 1, 2), t(3, 2, 3)];
+        let outs = op.run(tuples.iter()).unwrap();
+        let rows = &outs[0].rows;
+        assert_eq!(rows.len(), 3);
+        // count_distinct$ read at flush: 2 for k=1's groups, 1 for k=2's.
+        assert_eq!(rows[0].get(2), &Value::U64(2));
+        assert_eq!(rows[1].get(2), &Value::U64(2));
+        assert_eq!(rows[2].get(2), &Value::U64(1));
+    }
+
+    #[test]
+    fn window_stats_reset_between_windows() {
+        let mut op = SamplingOperator::new(simple_agg_spec()).unwrap();
+        let tuples = [t(1, 1, 1), t(2, 2, 2), t(11, 3, 3)];
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs[0].stats.tuples, 2);
+        assert_eq!(outs[0].stats.groups_created, 2);
+        assert_eq!(outs[1].stats.tuples, 1);
+        assert_eq!(outs[1].stats.groups_created, 1);
+    }
+
+    #[test]
+    fn finish_without_tuples_is_none() {
+        let mut op = SamplingOperator::new(simple_agg_spec()).unwrap();
+        assert!(op.finish().unwrap().is_none());
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut spec = simple_agg_spec();
+        spec.select.clear();
+        assert!(SamplingOperator::new(spec).is_err());
+
+        let mut spec = simple_agg_spec();
+        spec.window_indices = vec![9];
+        assert!(SamplingOperator::new(spec).is_err());
+
+        let mut spec = simple_agg_spec();
+        spec.supergroup_indices = vec![0]; // window var listed as supergroup
+        assert!(SamplingOperator::new(spec).is_err());
+
+        let mut spec = simple_agg_spec();
+        spec.cleaning_when = Some(Expr::lit(true));
+        assert!(SamplingOperator::new(spec).is_err(), "CLEANING WHEN without CLEANING BY");
+    }
+
+    #[test]
+    fn group_and_supergroup_counts_track_tables() {
+        let mut op = SamplingOperator::new(simple_agg_spec()).unwrap();
+        op.process(&t(1, 1, 1)).unwrap();
+        op.process(&t(2, 2, 1)).unwrap();
+        assert_eq!(op.group_count(), 2);
+        assert_eq!(op.supergroup_count(), 1);
+        op.process(&t(11, 1, 1)).unwrap(); // new window
+        assert_eq!(op.group_count(), 1);
+    }
+
+    #[test]
+    fn output_columns_match_select() {
+        let op = SamplingOperator::new(simple_agg_spec()).unwrap();
+        assert_eq!(op.output_columns(), vec!["tb", "k", "sum_v", "cnt"]);
+    }
+}

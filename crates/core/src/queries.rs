@@ -1,0 +1,600 @@
+//! Ready-made [`OperatorSpec`]s for the paper's query examples (§6.1,
+//! §6.6), built programmatically against the `PKT` schema. The textual
+//! query front end in `sso-query` produces equivalent specs from query
+//! strings; these builders exist so the operator can be exercised
+//! without the parser, and are what the benchmark harness uses.
+
+use std::sync::Arc;
+
+use sso_types::Packet;
+
+use crate::agg::AggSpec;
+use crate::error::OpError;
+use crate::expr::Expr;
+use crate::libs::subset_sum::SubsetSumOpConfig;
+use crate::libs::{heavy_hitter, reservoir, subset_sum};
+use crate::operator::OperatorSpec;
+use crate::sfun::SfunLibrary;
+use crate::superagg::SuperAggSpec;
+
+/// Build an SFUN-call expression against library slot `lib_idx`.
+pub fn sfun_expr(
+    lib_idx: usize,
+    lib: &SfunLibrary,
+    name: &'static str,
+    args: Vec<Expr>,
+) -> Result<Expr, OpError> {
+    let fun = lib.function(name).ok_or_else(|| {
+        OpError::InvalidSpec(format!("library {} has no function {name}", lib.name()))
+    })?;
+    Ok(Expr::Sfun { lib: lib_idx, name, fun, args })
+}
+
+fn col(name: &str) -> Expr {
+    let idx = Packet::schema().index_of(name).expect("PKT column");
+    Expr::Column(idx)
+}
+
+/// Plain per-window aggregation — the "actual" query of the accuracy
+/// experiment:
+///
+/// ```text
+/// SELECT tb, sum(len), count(*)
+/// FROM PKT
+/// GROUP BY time/<window_secs> as tb
+/// ```
+pub fn total_sum_query(window_secs: u64) -> OperatorSpec {
+    let mut spec = OperatorSpec::aggregation(
+        vec![
+            ("tb".into(), Expr::GroupVar(0)),
+            ("sum_len".into(), Expr::Aggregate(0)),
+            ("cnt".into(), Expr::Aggregate(1)),
+        ],
+        vec![("tb".into(), col("time").div(Expr::lit(window_secs)))],
+    );
+    spec.window_indices = vec![0];
+    spec.aggregates = vec![AggSpec::Sum(col("len")), AggSpec::Count];
+    spec
+}
+
+/// The dynamic subset-sum sampling query of §6.1:
+///
+/// ```text
+/// SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+/// FROM PKTS
+/// WHERE ssample(len, N) = TRUE
+/// GROUP BY time/<window_secs> as tb, srcIP, destIP, uts
+/// HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+/// CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+/// CLEANING BY ssclean_with(sum(len)) = TRUE
+/// ```
+///
+/// `uts` in the GROUP BY makes every packet its own group. When
+/// `with_stats` is set, two extra output columns `cleanings` and
+/// `admissions` expose the per-window counters Figures 3–4 chart.
+pub fn subset_sum_query(
+    window_secs: u64,
+    cfg: SubsetSumOpConfig,
+    with_stats: bool,
+) -> Result<OperatorSpec, OpError> {
+    if cfg.target == 0 {
+        return Err(OpError::InvalidSpec("subset-sum target sample size must be set".into()));
+    }
+    let lib = Arc::new(subset_sum::library(cfg));
+    let ssample = sfun_expr(
+        0,
+        &lib,
+        "ssample",
+        vec![col("len"), Expr::lit(cfg.target as u64)],
+    )?;
+    let ssthreshold = sfun_expr(0, &lib, "ssthreshold", vec![])?;
+    let ssdo_clean = sfun_expr(0, &lib, "ssdo_clean", vec![Expr::SuperAgg(0)])?;
+    let ssclean_with = sfun_expr(0, &lib, "ssclean_with", vec![Expr::Aggregate(0)])?;
+    let ssfinal_clean =
+        sfun_expr(0, &lib, "ssfinal_clean", vec![Expr::Aggregate(0), Expr::SuperAgg(0)])?;
+
+    let mut select = vec![
+        ("tb".to_string(), Expr::GroupVar(0)),
+        ("srcIP".to_string(), Expr::GroupVar(1)),
+        ("destIP".to_string(), Expr::GroupVar(2)),
+        (
+            "adj_len".to_string(),
+            Expr::Scalar {
+                name: "UMAX",
+                fun: crate::scalar::umax(),
+                args: vec![Expr::Aggregate(0), ssthreshold],
+            },
+        ),
+    ];
+    if with_stats {
+        select.push(("cleanings".into(), sfun_expr(0, &lib, "sscleanings", vec![])?));
+        select.push(("admissions".into(), sfun_expr(0, &lib, "ssadmissions", vec![])?));
+    }
+
+    Ok(OperatorSpec {
+        select,
+        where_clause: Some(ssample),
+        group_by: vec![
+            ("tb".into(), col("time").div(Expr::lit(window_secs))),
+            ("srcIP".into(), col("srcIP")),
+            ("destIP".into(), col("destIP")),
+            ("uts".into(), col("uts")),
+        ],
+        window_indices: vec![0],
+        supergroup_indices: vec![],
+        having: Some(ssfinal_clean),
+        cleaning_when: Some(ssdo_clean),
+        cleaning_by: Some(ssclean_with),
+        aggregates: vec![AggSpec::Sum(col("len"))],
+        superaggs: vec![SuperAggSpec::CountDistinct],
+        sfun_libs: vec![lib],
+    })
+}
+
+/// Basic (fixed-threshold) subset-sum sampling expressed as a plain
+/// selection-style query — the paper's Figure 5 comparator ("basic
+/// subset-sum sampling using a user-defined function in a selection
+/// operator"):
+///
+/// ```text
+/// SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+/// FROM PKTS
+/// WHERE ssample(len, 1) = TRUE
+/// GROUP BY time/<window_secs> as tb, srcIP, destIP, uts
+/// ```
+///
+/// No cleaning clauses: the threshold stays at `z` and the sample size
+/// floats with the load.
+pub fn basic_subset_sum_query(window_secs: u64, z: f64) -> Result<OperatorSpec, OpError> {
+    let cfg = SubsetSumOpConfig {
+        target: 1, // unused: no cleaning ever triggers
+        initial_z: z,
+        relax_factor: 1.0,
+        gamma: f64::MAX,
+    };
+    let lib = Arc::new(subset_sum::library(cfg));
+    let ssample = sfun_expr(0, &lib, "ssample", vec![col("len"), Expr::lit(1u64)])?;
+    let ssthreshold = sfun_expr(0, &lib, "ssthreshold", vec![])?;
+    Ok(OperatorSpec {
+        select: vec![
+            ("tb".to_string(), Expr::GroupVar(0)),
+            ("srcIP".to_string(), Expr::GroupVar(1)),
+            ("destIP".to_string(), Expr::GroupVar(2)),
+            (
+                "adj_len".to_string(),
+                Expr::Scalar {
+                    name: "UMAX",
+                    fun: crate::scalar::umax(),
+                    args: vec![Expr::Aggregate(0), ssthreshold],
+                },
+            ),
+        ],
+        where_clause: Some(ssample),
+        group_by: vec![
+            ("tb".into(), col("time").div(Expr::lit(window_secs))),
+            ("srcIP".into(), col("srcIP")),
+            ("destIP".into(), col("destIP")),
+            ("uts".into(), col("uts")),
+        ],
+        window_indices: vec![0],
+        supergroup_indices: vec![],
+        having: None,
+        cleaning_when: None,
+        cleaning_by: None,
+        aggregates: vec![AggSpec::Sum(col("len"))],
+        superaggs: vec![],
+        sfun_libs: vec![lib],
+    })
+}
+
+/// The heavy-hitters query of §6.6 (Manku–Motwani over the operator):
+///
+/// ```text
+/// SELECT tb, srcIP, sum(len), count(*)
+/// FROM TCP
+/// GROUP BY time/<window_secs> as tb, srcIP
+/// [HAVING count(*) >= <min_count>]
+/// CLEANING WHEN local_count(<bucket_width>) = TRUE
+/// CLEANING BY count(*) + first(current_bucket()) > current_bucket()
+/// ```
+///
+/// The CLEANING BY expression is lossy counting's keep rule `f + Δ > b`
+/// (the paper's example writes the delete rule; see
+/// [`crate::libs::heavy_hitter`]).
+pub fn heavy_hitters_query(
+    window_secs: u64,
+    bucket_width: u64,
+    min_count: Option<u64>,
+) -> Result<OperatorSpec, OpError> {
+    let lib = Arc::new(heavy_hitter::library());
+    let local_count = sfun_expr(0, &lib, "local_count", vec![Expr::lit(bucket_width)])?;
+    let current_bucket_clean = sfun_expr(0, &lib, "current_bucket", vec![])?;
+    let current_bucket_agg = sfun_expr(0, &lib, "current_bucket", vec![])?;
+
+    Ok(OperatorSpec {
+        select: vec![
+            ("tb".into(), Expr::GroupVar(0)),
+            ("srcIP".into(), Expr::GroupVar(1)),
+            ("sum_len".into(), Expr::Aggregate(0)),
+            ("cnt".into(), Expr::Aggregate(1)),
+        ],
+        where_clause: None,
+        group_by: vec![
+            ("tb".into(), col("time").div(Expr::lit(window_secs))),
+            ("srcIP".into(), col("srcIP")),
+        ],
+        window_indices: vec![0],
+        supergroup_indices: vec![],
+        having: min_count.map(|m| Expr::Aggregate(1).ge(Expr::lit(m))),
+        cleaning_when: Some(local_count),
+        cleaning_by: Some(
+            Expr::Aggregate(1).add(Expr::Aggregate(2)).gt(current_bucket_clean),
+        ),
+        aggregates: vec![
+            AggSpec::Sum(col("len")),
+            AggSpec::Count,
+            AggSpec::First(current_bucket_agg),
+        ],
+        superaggs: vec![],
+        sfun_libs: vec![lib],
+    })
+}
+
+/// The min-hash query of §6.6: `k` min-hash values of destination IP per
+/// source IP, per window.
+///
+/// ```text
+/// SELECT tb, srcIP, HX
+/// FROM TCP
+/// WHERE HX <= Kth_smallest_value$(HX, k)
+/// GROUP BY time/<window_secs> as tb, srcIP, H(destIP) as HX
+/// SUPERGROUP tb, srcIP
+/// HAVING HX <= Kth_smallest_value$(HX, k)
+/// CLEANING WHEN count_distinct$(*) > k
+/// CLEANING BY HX <= Kth_smallest_value$(HX, k)
+/// ```
+///
+/// (The paper triggers on `>= k`; we trigger on `> k` so a full-but-
+/// not-overfull signature does not run a no-op cleaning pass per tuple.)
+pub fn minhash_query(window_secs: u64, k: usize) -> Result<OperatorSpec, OpError> {
+    if k == 0 {
+        return Err(OpError::InvalidSpec("min-hash signature size must be positive".into()));
+    }
+    let hx = || Expr::GroupVar(2);
+    let kth = || Expr::SuperAgg(0);
+    Ok(OperatorSpec {
+        select: vec![
+            ("tb".into(), Expr::GroupVar(0)),
+            ("srcIP".into(), Expr::GroupVar(1)),
+            ("HX".into(), Expr::GroupVar(2)),
+        ],
+        where_clause: Some(hx().le(kth())),
+        group_by: vec![
+            ("tb".into(), col("time").div(Expr::lit(window_secs))),
+            ("srcIP".into(), col("srcIP")),
+            (
+                "HX".into(),
+                Expr::Scalar { name: "H", fun: crate::scalar::hash_fn(), args: vec![col("destIP")] },
+            ),
+        ],
+        window_indices: vec![0],
+        supergroup_indices: vec![1],
+        having: Some(hx().le(kth())),
+        cleaning_when: Some(Expr::SuperAgg(1).gt(Expr::lit(k as u64))),
+        cleaning_by: Some(hx().le(kth())),
+        aggregates: vec![AggSpec::Count],
+        superaggs: vec![
+            SuperAggSpec::KthSmallest { expr: Expr::GroupVar(2), k },
+            SuperAggSpec::CountDistinct,
+        ],
+        sfun_libs: vec![],
+    })
+}
+
+/// Distinct sampling (Gibbons, VLDB 2001 — the paper's reference \[19\])
+/// on the operator: a bounded uniform sample of distinct source hosts
+/// per window, with `count_distinct$(*) · dscale()` estimating the true
+/// distinct count.
+///
+/// ```text
+/// SELECT tb, srcIP, count(*), dscale(), count_distinct$(*)
+/// FROM PKT
+/// WHERE dsample(srcIP, capacity) = TRUE
+/// GROUP BY time/<window_secs> as tb, srcIP
+/// CLEANING WHEN ddo_clean(count_distinct$(*)) = TRUE
+/// CLEANING BY dclean_with(srcIP) = TRUE
+/// ```
+pub fn distinct_sample_query(
+    window_secs: u64,
+    cfg: crate::libs::distinct::DistinctOpConfig,
+) -> Result<OperatorSpec, OpError> {
+    if cfg.capacity == 0 {
+        return Err(OpError::InvalidSpec("distinct sampler capacity must be set".into()));
+    }
+    let lib = Arc::new(crate::libs::distinct::library(cfg));
+    let dsample =
+        sfun_expr(0, &lib, "dsample", vec![col("srcIP"), Expr::lit(cfg.capacity as u64)])?;
+    let ddo_clean = sfun_expr(0, &lib, "ddo_clean", vec![Expr::SuperAgg(0)])?;
+    let dclean_with = sfun_expr(0, &lib, "dclean_with", vec![Expr::GroupVar(1)])?;
+    let dscale = sfun_expr(0, &lib, "dscale", vec![])?;
+    Ok(OperatorSpec {
+        select: vec![
+            ("tb".into(), Expr::GroupVar(0)),
+            ("srcIP".into(), Expr::GroupVar(1)),
+            ("cnt".into(), Expr::Aggregate(0)),
+            ("scale".into(), dscale),
+            ("retained".into(), Expr::SuperAgg(0)),
+        ],
+        where_clause: Some(dsample),
+        group_by: vec![
+            ("tb".into(), col("time").div(Expr::lit(window_secs))),
+            ("srcIP".into(), col("srcIP")),
+        ],
+        window_indices: vec![0],
+        supergroup_indices: vec![],
+        having: None,
+        cleaning_when: Some(ddo_clean),
+        cleaning_by: Some(dclean_with),
+        aggregates: vec![AggSpec::Count],
+        superaggs: vec![SuperAggSpec::CountDistinct],
+        sfun_libs: vec![lib],
+    })
+}
+
+/// The reservoir-sampling query of §6.6: `n` uniform random
+/// (srcIP, destIP) samples per window.
+///
+/// ```text
+/// SELECT tb, srcIP, destIP
+/// FROM TCP
+/// WHERE rsample(n) = TRUE
+/// GROUP BY time/<window_secs> as tb, srcIP, destIP
+/// HAVING rsfinal_clean(count_distinct$(*)) = TRUE
+/// CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE
+/// CLEANING BY rsclean_with() = TRUE
+/// ```
+pub fn reservoir_query(
+    window_secs: u64,
+    cfg: reservoir::ReservoirOpConfig,
+) -> Result<OperatorSpec, OpError> {
+    if cfg.n == 0 {
+        return Err(OpError::InvalidSpec("reservoir sample size must be set".into()));
+    }
+    let lib = Arc::new(reservoir::library(cfg));
+    let rsample = sfun_expr(0, &lib, "rsample", vec![Expr::lit(cfg.n as u64)])?;
+    let rsdo_clean = sfun_expr(0, &lib, "rsdo_clean", vec![Expr::SuperAgg(0)])?;
+    let rsclean_with = sfun_expr(0, &lib, "rsclean_with", vec![])?;
+    let rsfinal_clean = sfun_expr(0, &lib, "rsfinal_clean", vec![Expr::SuperAgg(0)])?;
+    Ok(OperatorSpec {
+        select: vec![
+            ("tb".into(), Expr::GroupVar(0)),
+            ("srcIP".into(), Expr::GroupVar(1)),
+            ("destIP".into(), Expr::GroupVar(2)),
+        ],
+        where_clause: Some(rsample),
+        group_by: vec![
+            ("tb".into(), col("time").div(Expr::lit(window_secs))),
+            ("srcIP".into(), col("srcIP")),
+            ("destIP".into(), col("destIP")),
+        ],
+        window_indices: vec![0],
+        supergroup_indices: vec![],
+        having: Some(rsfinal_clean),
+        cleaning_when: Some(rsdo_clean),
+        cleaning_by: Some(rsclean_with),
+        aggregates: vec![AggSpec::Count],
+        superaggs: vec![SuperAggSpec::CountDistinct],
+        sfun_libs: vec![lib],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::SamplingOperator;
+    use sso_types::{Protocol, Tuple, Value};
+
+    /// A small deterministic packet stream: `count` packets per second
+    /// for `secs` seconds, round-robin over `flows` (src,dst) pairs with
+    /// the given length pattern.
+    fn stream(secs: u64, per_sec: u64, flows: &[(u32, u32)], lens: &[u32]) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        for s in 0..secs {
+            for j in 0..per_sec {
+                let (src, dst) = flows[(i % flows.len() as u64) as usize];
+                let len = lens[(i % lens.len() as u64) as usize];
+                let p = Packet {
+                    uts: s * 1_000_000_000 + j * (1_000_000_000 / per_sec) + 1,
+                    src_ip: src,
+                    dest_ip: dst,
+                    src_port: 1000,
+                    dest_port: 80,
+                    proto: Protocol::Tcp,
+                    len,
+                };
+                out.push(p.to_tuple());
+                i += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn total_sum_query_matches_manual_sum() {
+        let tuples = stream(4, 100, &[(1, 2)], &[100, 200]);
+        let mut op = SamplingOperator::new(total_sum_query(2)).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert_eq!(o.rows.len(), 1);
+            assert_eq!(o.rows[0].get(1), &Value::U64(200 * 150)); // 200 pkts * mean 150
+            assert_eq!(o.rows[0].get(2), &Value::U64(200));
+        }
+    }
+
+    #[test]
+    fn subset_sum_query_estimates_window_volume() {
+        // 2000 packets/window of mixed sizes; target 100 samples.
+        let tuples = stream(4, 1000, &[(1, 2), (3, 4), (5, 6)], &[40, 1500, 576, 40, 1500]);
+        let true_per_window: u64 =
+            2 * 1000 * (40 + 1500 + 576 + 40 + 1500) / 5; // uniform pattern
+        let cfg = SubsetSumOpConfig { target: 100, initial_z: 1.0, ..Default::default() };
+        let spec = subset_sum_query(2, cfg, true).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert!(
+                o.rows.len() <= 110,
+                "sample should be near target, got {}",
+                o.rows.len()
+            );
+            let est: f64 = o.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
+            let rel = (est - true_per_window as f64).abs() / true_per_window as f64;
+            assert!(rel < 0.35, "estimate {est} vs {true_per_window} (rel {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn subset_sum_stats_columns_present() {
+        let tuples = stream(1, 500, &[(1, 2)], &[100]);
+        let cfg = SubsetSumOpConfig { target: 20, initial_z: 1.0, ..Default::default() };
+        let spec = subset_sum_query(1, cfg, true).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        let row = &outs[0].rows[0];
+        let cleanings = row.get(4).as_u64().unwrap();
+        let admissions = row.get(5).as_u64().unwrap();
+        assert!(cleanings > 0, "cleanings should have run");
+        assert!(admissions >= 20, "admissions {admissions}");
+    }
+
+    #[test]
+    fn heavy_hitters_query_finds_the_elephant() {
+        // Source 99 sends 60% of packets; sources 1..=40 share the rest.
+        let mut flows = vec![(99u32, 1u32); 60];
+        for s in 1..=40u32 {
+            flows.push((s, 1));
+        }
+        let tuples = stream(2, 1000, &flows, &[100]);
+        let spec = heavy_hitters_query(2, 100, Some(50)).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        let rows = &outs[0].rows;
+        assert!(
+            rows.iter().any(|r| r.get(1) == &Value::U64(99)),
+            "heavy hitter 99 must be reported"
+        );
+        // The lossy-counting table stays small despite 41 sources.
+        assert!(outs[0].stats.cleaning_phases > 0);
+    }
+
+    #[test]
+    fn minhash_query_emits_k_smallest_hashes_per_source() {
+        // One source, 50 distinct destinations, k = 10.
+        let flows: Vec<(u32, u32)> = (0..50).map(|d| (7, 100 + d)).collect();
+        let tuples = stream(1, 500, &flows, &[100]);
+        let spec = minhash_query(1, 10).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        let rows = &outs[0].rows;
+        assert_eq!(rows.len(), 10, "exactly k min-hash values");
+        // They must be the k smallest hashes of the 50 destinations.
+        let mut expected: Vec<u64> =
+            (0..50u64).map(|d| sso_sampling::hash::splitmix64(100 + d)).collect();
+        expected.sort_unstable();
+        expected.truncate(10);
+        let mut got: Vec<u64> = rows.iter().map(|r| r.get(2).as_u64().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn minhash_query_is_per_source_supergroup() {
+        // Two sources with disjoint destination sets.
+        let mut flows: Vec<(u32, u32)> = (0..30).map(|d| (1, 100 + d)).collect();
+        flows.extend((0..30).map(|d| (2, 500 + d)));
+        let tuples = stream(1, 600, &flows, &[100]);
+        let spec = minhash_query(1, 5).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        let per_src = |src: u64| {
+            outs[0].rows.iter().filter(|r| r.get(1) == &Value::U64(src)).count()
+        };
+        assert_eq!(per_src(1), 5);
+        assert_eq!(per_src(2), 5);
+    }
+
+    #[test]
+    fn reservoir_query_returns_exactly_n_when_enough_input() {
+        let flows: Vec<(u32, u32)> = (0..200).map(|d| (d, d + 1000)).collect();
+        let tuples = stream(1, 2000, &flows, &[100]);
+        let cfg = reservoir::ReservoirOpConfig { n: 25, ..Default::default() };
+        let spec = reservoir_query(1, cfg).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs[0].rows.len(), 25);
+    }
+
+    #[test]
+    fn reservoir_query_keeps_all_when_short() {
+        let flows: Vec<(u32, u32)> = (0..10).map(|d| (d, d + 1000)).collect();
+        let tuples = stream(1, 10, &flows, &[100]);
+        let cfg = reservoir::ReservoirOpConfig { n: 25, ..Default::default() };
+        let spec = reservoir_query(1, cfg).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs[0].rows.len(), 10, "short window keeps everything");
+    }
+
+    #[test]
+    fn distinct_sample_query_bounds_sample_and_estimates_distinct_count() {
+        // 3000 distinct sources, capacity 256.
+        let flows: Vec<(u32, u32)> = (0..3000).map(|s| (s, 9)).collect();
+        let tuples = stream(1, 9000, &flows, &[100]);
+        let cfg = crate::libs::distinct::DistinctOpConfig { capacity: 256, carry_level: true };
+        let mut op = SamplingOperator::new(distinct_sample_query(1, cfg).unwrap()).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        let rows = &outs[0].rows;
+        assert!(rows.len() <= 256, "sample bounded: {}", rows.len());
+        assert!(!rows.is_empty());
+        // Estimate = retained * 2^level, read from the output columns.
+        let retained = rows[0].get(4).as_f64().unwrap();
+        let scale = rows[0].get(3).as_f64().unwrap();
+        let est = retained * scale;
+        let rel = (est - 3000.0).abs() / 3000.0;
+        assert!(rel < 0.35, "distinct estimate {est} vs 3000 (rel {rel:.3})");
+        assert!(outs[0].stats.cleaning_phases > 0, "level must have risen");
+    }
+
+    #[test]
+    fn basic_subset_sum_query_holds_threshold_across_windows() {
+        // Fixed z = 600: each window of 200 packets x 150B mean = 30000B
+        // yields ~50 samples, every window, with unbiased estimates.
+        let tuples = stream(4, 100, &[(1, 2)], &[100, 200]);
+        let spec = basic_subset_sum_query(2, 600.0).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            let est: f64 = o.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
+            let truth = 200.0 * 150.0;
+            assert!(
+                (est - truth).abs() <= 600.0,
+                "estimate {est} vs {truth} beyond one threshold"
+            );
+            assert_eq!(o.stats.cleaning_phases, 0, "basic variant never cleans");
+        }
+    }
+
+    #[test]
+    fn builders_reject_zero_sizes() {
+        assert!(subset_sum_query(20, SubsetSumOpConfig::default(), false).is_err());
+        assert!(minhash_query(60, 0).is_err());
+        assert!(
+            reservoir_query(60, reservoir::ReservoirOpConfig { n: 0, ..Default::default() })
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Pure scalar functions available in queries.
+//!
+//! The paper's queries use `UMAX(val1, val2)` (e.g. to adjust a sampled
+//! weight to the subset-sum threshold at output time) and `H(x)` (the
+//! hash used by the min-hash query's `H(destIP) as HX` group-by
+//! variable).
+
+use std::sync::Arc;
+
+use sso_types::Value;
+
+/// A pure scalar function: values in, value out. Errors are returned as
+/// human-readable strings and wrapped by the evaluator.
+pub type ScalarFn = dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync;
+
+fn arity(name: &str, args: &[Value], n: usize) -> Result<(), String> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(format!("{name} expects {n} arguments, got {}", args.len()))
+    }
+}
+
+/// `UMAX(a, b)`: the larger of two numeric values.
+pub fn umax() -> Arc<ScalarFn> {
+    Arc::new(|args| {
+        arity("UMAX", args, 2)?;
+        let ord = args[0].compare(&args[1]).map_err(|e| e.to_string())?;
+        Ok(if ord == std::cmp::Ordering::Less { args[1].clone() } else { args[0].clone() })
+    })
+}
+
+/// `UMIN(a, b)`: the smaller of two numeric values.
+pub fn umin() -> Arc<ScalarFn> {
+    Arc::new(|args| {
+        arity("UMIN", args, 2)?;
+        let ord = args[0].compare(&args[1]).map_err(|e| e.to_string())?;
+        Ok(if ord == std::cmp::Ordering::Greater { args[1].clone() } else { args[0].clone() })
+    })
+}
+
+/// `H(x)`: a strong 64-bit hash of an integer value, used by the
+/// min-hash query (`H(destIP) as HX`).
+pub fn hash_fn() -> Arc<ScalarFn> {
+    Arc::new(|args| {
+        arity("H", args, 1)?;
+        let k = args[0].as_u64().map_err(|e| e.to_string())?;
+        Ok(Value::U64(sso_sampling::hash::splitmix64(k)))
+    })
+}
+
+/// `prefix(ip, bits)`: mask an IPv4 integer down to its `bits`-bit
+/// network prefix — `prefix(srcIP, 24)` groups traffic by /24 subnet.
+pub fn prefix_fn() -> Arc<ScalarFn> {
+    Arc::new(|args| {
+        arity("prefix", args, 2)?;
+        let ip = args[0].as_u64().map_err(|e| e.to_string())?;
+        let bits = args[1].as_u64().map_err(|e| e.to_string())?;
+        if bits > 32 {
+            return Err(format!("prefix: bits must be 0..=32, got {bits}"));
+        }
+        let mask = if bits == 0 { 0u64 } else { (!0u32 << (32 - bits)) as u64 };
+        Ok(Value::U64(ip & mask))
+    })
+}
+
+/// Look up a scalar function by (case-insensitive) name.
+pub fn lookup(name: &str) -> Option<(&'static str, Arc<ScalarFn>)> {
+    match name.to_ascii_uppercase().as_str() {
+        "UMAX" => Some(("UMAX", umax())),
+        "UMIN" => Some(("UMIN", umin())),
+        "H" => Some(("H", hash_fn())),
+        "PREFIX" => Some(("prefix", prefix_fn())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn umax_and_umin() {
+        let f = umax();
+        assert_eq!(f(&[Value::U64(3), Value::U64(9)]).unwrap(), Value::U64(9));
+        assert_eq!(f(&[Value::F64(3.5), Value::U64(3)]).unwrap(), Value::F64(3.5));
+        let f = umin();
+        assert_eq!(f(&[Value::U64(3), Value::U64(9)]).unwrap(), Value::U64(3));
+    }
+
+    #[test]
+    fn umax_rejects_wrong_arity() {
+        let f = umax();
+        assert!(f(&[Value::U64(3)]).is_err());
+        assert!(f(&[]).is_err());
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let f = hash_fn();
+        let a = f(&[Value::U64(42)]).unwrap();
+        let b = f(&[Value::U64(42)]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, f(&[Value::U64(43)]).unwrap());
+    }
+
+    #[test]
+    fn hash_rejects_non_numeric() {
+        let f = hash_fn();
+        assert!(f(&[Value::str("x")]).is_err());
+    }
+
+    #[test]
+    fn prefix_masks_to_subnet() {
+        let f = prefix_fn();
+        let ip = 0x0a01_0203u64; // 10.1.2.3
+        assert_eq!(f(&[Value::U64(ip), Value::U64(24)]).unwrap(), Value::U64(0x0a01_0200));
+        assert_eq!(f(&[Value::U64(ip), Value::U64(16)]).unwrap(), Value::U64(0x0a01_0000));
+        assert_eq!(f(&[Value::U64(ip), Value::U64(32)]).unwrap(), Value::U64(ip));
+        assert_eq!(f(&[Value::U64(ip), Value::U64(0)]).unwrap(), Value::U64(0));
+        assert!(f(&[Value::U64(ip), Value::U64(33)]).is_err());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(lookup("umax").is_some());
+        assert!(lookup("Umin").is_some());
+        assert!(lookup("h").is_some());
+        assert!(lookup("Prefix").is_some());
+        assert!(lookup("nope").is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Stateful functions (§6.2).
+//!
+//! A *stateful function* (SFUN) is like a UDAF except that (a) it can
+//! produce output many times during execution and (b) a whole family of
+//! functions shares one state structure. The paper declares them as
+//!
+//! ```text
+//! STATE char[50] subsetsum_sampling_state;
+//! SFUN int subsetsum_sampling_state ssample(int, CONST int);
+//! ```
+//!
+//! and implicitly passes every function a `void*` to the state. Our Rust
+//! model is [`SfunLibrary`]: a named state constructor (with the paper's
+//! `_sfun_state_init_<state>(new, old)` carry-over semantics — the `old`
+//! pointer is the equivalent state from the previous time window), an
+//! optional window-end hook (the paper's `final_init()` signal), and a
+//! map of functions `fn(&mut dyn Any, &[Value]) -> Value` sharing that
+//! state.
+//!
+//! One state instance lives in each supergroup's superaggregate
+//! structure, exactly as in §6.2.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sso_types::Value;
+
+/// A stateful function implementation: mutable shared state + evaluated
+/// arguments in, value out. Errors are strings, wrapped into
+/// [`crate::OpError::BadSfunCall`] by the evaluator.
+pub type SfunFn = dyn Fn(&mut dyn Any, &[Value]) -> Result<Value, String> + Send + Sync;
+
+/// State-constructor: receives the equivalent state from the previous
+/// time window (if the supergroup existed then) for carry-over.
+pub type SfunInit = dyn Fn(Option<&dyn Any>) -> Box<dyn Any + Send> + Send + Sync;
+
+/// Window-end hook, invoked on every live state when the window closes,
+/// before the HAVING clause runs (the paper's `final_init()`).
+pub type SfunWindowEnd = dyn Fn(&mut dyn Any) + Send + Sync;
+
+/// The per-supergroup states of all libraries used by a query, one per
+/// library slot.
+pub type SfunStates = Vec<Box<dyn Any + Send>>;
+
+/// A family of stateful functions sharing one state type.
+pub struct SfunLibrary {
+    name: &'static str,
+    init: Box<SfunInit>,
+    window_end: Option<Box<SfunWindowEnd>>,
+    functions: HashMap<&'static str, Arc<SfunFn>>,
+}
+
+impl std::fmt::Debug for SfunLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<_> = self.functions.keys().collect();
+        names.sort();
+        f.debug_struct("SfunLibrary").field("name", &self.name).field("functions", &names).finish()
+    }
+}
+
+impl SfunLibrary {
+    /// Create a library with the given state constructor.
+    pub fn new(
+        name: &'static str,
+        init: impl Fn(Option<&dyn Any>) -> Box<dyn Any + Send> + Send + Sync + 'static,
+    ) -> Self {
+        SfunLibrary { name, init: Box::new(init), window_end: None, functions: HashMap::new() }
+    }
+
+    /// Install the window-end hook.
+    pub fn with_window_end(mut self, hook: impl Fn(&mut dyn Any) + Send + Sync + 'static) -> Self {
+        self.window_end = Some(Box::new(hook));
+        self
+    }
+
+    /// Register one function.
+    pub fn register(
+        mut self,
+        name: &'static str,
+        f: impl Fn(&mut dyn Any, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    ) -> Self {
+        self.functions.insert(name, Arc::new(f));
+        self
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<Arc<SfunFn>> {
+        self.functions.get(name).cloned()
+    }
+
+    /// Look up a function by name, returning the library's canonical
+    /// `'static` name alongside the implementation (the planner stores
+    /// this in compiled expressions).
+    pub fn function_entry(&self, name: &str) -> Option<(&'static str, Arc<SfunFn>)> {
+        self.functions.get_key_value(name).map(|(k, v)| (*k, Arc::clone(v)))
+    }
+
+    /// Names of all registered functions.
+    pub fn function_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.functions.keys().copied()
+    }
+
+    /// Construct a state, carrying over from the previous window's
+    /// equivalent state if provided.
+    pub fn init_state(&self, prev: Option<&dyn Any>) -> Box<dyn Any + Send> {
+        (self.init)(prev)
+    }
+
+    /// Signal the end of the sampling window to a state.
+    pub fn on_window_end(&self, state: &mut dyn Any) {
+        if let Some(hook) = &self.window_end {
+            hook(state);
+        }
+    }
+}
+
+/// Downcast helper for SFUN implementations.
+pub fn state_mut<'a, T: 'static>(state: &'a mut dyn Any, fname: &str) -> Result<&'a mut T, String> {
+    state
+        .downcast_mut::<T>()
+        .ok_or_else(|| format!("{fname}: state has unexpected type (library misconfigured)"))
+}
+
+/// Argument-extraction helpers shared by the SFUN libraries.
+pub mod args {
+    use sso_types::Value;
+
+    /// The `idx`-th argument as `u64`.
+    pub fn u64_arg(fname: &str, argv: &[Value], idx: usize) -> Result<u64, String> {
+        argv.get(idx)
+            .ok_or_else(|| format!("{fname}: missing argument {idx}"))?
+            .as_u64()
+            .map_err(|e| format!("{fname}: argument {idx}: {e}"))
+    }
+
+    /// The `idx`-th argument as `f64`.
+    pub fn f64_arg(fname: &str, argv: &[Value], idx: usize) -> Result<f64, String> {
+        argv.get(idx)
+            .ok_or_else(|| format!("{fname}: missing argument {idx}"))?
+            .as_f64()
+            .map_err(|e| format!("{fname}: argument {idx}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CounterState {
+        count: u64,
+        carried: bool,
+    }
+
+    fn counter_library() -> SfunLibrary {
+        SfunLibrary::new("counter", |prev| {
+            let carried = prev.and_then(|p| p.downcast_ref::<CounterState>()).is_some();
+            Box::new(CounterState { count: 0, carried })
+        })
+        .register("bump", |state, _argv| {
+            let s = state_mut::<CounterState>(state, "bump")?;
+            s.count += 1;
+            Ok(Value::U64(s.count))
+        })
+        .register("carried", |state, _argv| {
+            let s = state_mut::<CounterState>(state, "carried")?;
+            Ok(Value::Bool(s.carried))
+        })
+    }
+
+    #[test]
+    fn functions_share_state() {
+        let lib = counter_library();
+        let mut state = lib.init_state(None);
+        let bump = lib.function("bump").unwrap();
+        assert_eq!(bump(state.as_mut(), &[]).unwrap(), Value::U64(1));
+        assert_eq!(bump(state.as_mut(), &[]).unwrap(), Value::U64(2));
+    }
+
+    #[test]
+    fn init_receives_previous_state() {
+        let lib = counter_library();
+        let old = lib.init_state(None);
+        let carried = lib.function("carried").unwrap();
+        let mut fresh = lib.init_state(None);
+        assert_eq!(carried(fresh.as_mut(), &[]).unwrap(), Value::Bool(false));
+        let mut next = lib.init_state(Some(old.as_ref()));
+        assert_eq!(carried(next.as_mut(), &[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unknown_function_is_none() {
+        let lib = counter_library();
+        assert!(lib.function("nope").is_none());
+        assert!(lib.function("bump").is_some());
+    }
+
+    #[test]
+    fn wrong_state_type_is_a_clean_error() {
+        let lib = counter_library();
+        let bump = lib.function("bump").unwrap();
+        let mut wrong: Box<dyn Any + Send> = Box::new(42u32);
+        let err = bump(wrong.as_mut(), &[]).unwrap_err();
+        assert!(err.contains("unexpected type"));
+    }
+
+    #[test]
+    fn window_end_hook_runs() {
+        let lib = SfunLibrary::new("w", |_| Box::new(CounterState { count: 0, carried: false }))
+            .with_window_end(|state| {
+                if let Some(s) = state.downcast_mut::<CounterState>() {
+                    s.count = 999;
+                }
+            });
+        let mut state = lib.init_state(None);
+        lib.on_window_end(state.as_mut());
+        assert_eq!(state.downcast_ref::<CounterState>().unwrap().count, 999);
+    }
+
+    #[test]
+    fn arg_helpers() {
+        use super::args::*;
+        assert_eq!(u64_arg("f", &[Value::U64(5)], 0).unwrap(), 5);
+        assert!(u64_arg("f", &[], 0).unwrap_err().contains("missing argument"));
+        assert!(u64_arg("f", &[Value::str("x")], 0).unwrap_err().contains("argument 0"));
+        assert_eq!(f64_arg("f", &[Value::F64(2.5)], 0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn debug_lists_functions() {
+        let lib = counter_library();
+        let s = format!("{lib:?}");
+        assert!(s.contains("counter") && s.contains("bump"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # sso-gigascope
+//!
+//! A miniature Gigascope-style DSMS runtime (§3) hosting the sampling
+//! operator:
+//!
+//! * a fixed-size [`ring::RingBuffer`] standing in for the NIC ring that
+//!   feeds low-level queries without copying;
+//! * **low-level query nodes** ([`nodes`]) that perform early data
+//!   reduction directly on packet records — plain selection, or the
+//!   §7.2 trick of running *basic* subset-sum sampling as a prefilter at
+//!   a tenth of the dynamic algorithm's threshold. Only packets that
+//!   survive the low-level node are copied into tuples (the copy is the
+//!   dominant low-level cost, as in the paper's Figure 6);
+//! * **high-level nodes**: a [`sso_core::SamplingOperator`] consuming
+//!   the low-level node's tuple stream;
+//! * an [`engine`] that wires one low-level and one high-level node into
+//!   a two-level plan, runs it over a packet source (single-threaded, or
+//!   with the two levels on separate threads connected by a bounded
+//!   channel), and accounts each node's busy time so the benchmark
+//!   harness can report the paper's "%CPU at line rate" figures.
+
+pub mod cascade;
+pub mod engine;
+pub mod fanout;
+pub mod network;
+pub mod nodes;
+pub mod partial;
+pub mod ring;
+
+pub use cascade::Cascade;
+pub use engine::{run_plan, run_plan_threaded, NodeStats, RunReport, TwoLevelPlan};
+pub use fanout::{run_fanout, FanoutPlan, FanoutReport, QueryResult};
+pub use network::{Input, NetworkReport, QueryNetwork};
+pub use nodes::{LowLevelQuery, PrefilterNode, SelectionNode};
+pub use partial::PartialAggNode;
+pub use ring::RingBuffer;

@@ -1,0 +1,174 @@
+//! Low-level query nodes: early data reduction at the packet level.
+//!
+//! Gigascope's low-level queries are "simple data reduction operators"
+//! — selection and partial aggregation — running directly against the
+//! ring buffer. Crucially, a packet only incurs a *copy* (here: the
+//! construction of a boxed-value [`Tuple`]) when it is forwarded to a
+//! high-level query. The paper's Figure 6 shows why this matters: a
+//! pass-everything selection subquery burned ~60% of a CPU in memory
+//! copies, while pushing *basic* subset-sum sampling (threshold `z/10`)
+//! down into the low-level node cut it to ~4%.
+
+use sso_sampling::subset_sum::BasicSubsetSum;
+use sso_types::{Packet, Tuple};
+
+/// A low-level query node: packet in, optional forwarded tuple out.
+pub trait LowLevelQuery: Send {
+    /// The node's display name.
+    fn name(&self) -> &'static str;
+
+    /// Process one packet; `Some(tuple)` forwards it to the high level.
+    fn process(&mut self, pkt: &Packet) -> Option<Tuple>;
+
+    /// End of stream: flush any buffered output (e.g. a partial
+    /// aggregation epoch). Defaults to nothing.
+    fn finish(&mut self) -> Vec<Tuple> {
+        Vec::new()
+    }
+}
+
+/// A cheap native predicate over packet fields.
+pub type PacketPredicate = Box<dyn FnMut(&Packet) -> bool + Send>;
+
+/// A selection node with a cheap native predicate over packet fields.
+pub struct SelectionNode {
+    predicate: Option<PacketPredicate>,
+}
+
+impl SelectionNode {
+    /// Forward every packet (the paper's baseline low-level query).
+    pub fn pass_all() -> Self {
+        SelectionNode { predicate: None }
+    }
+
+    /// Forward packets matching the predicate.
+    pub fn with_predicate(pred: impl FnMut(&Packet) -> bool + Send + 'static) -> Self {
+        SelectionNode { predicate: Some(Box::new(pred)) }
+    }
+}
+
+impl LowLevelQuery for SelectionNode {
+    fn name(&self) -> &'static str {
+        "selection"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> Option<Tuple> {
+        let pass = match &mut self.predicate {
+            Some(p) => p(pkt),
+            None => true,
+        };
+        // The tuple construction is the "memory copy" of the real
+        // system: it only happens for forwarded packets.
+        pass.then(|| pkt.to_tuple())
+    }
+}
+
+/// The §7.2 prefilter: *basic* subset-sum sampling at a low threshold in
+/// the low-level node. The high-level dynamic algorithm then sees an
+/// already-thinned stream and adapts its own threshold upward.
+///
+/// Per the basic algorithm (§4.4), a sampled *small* tuple's measure is
+/// adjusted to the threshold ("setting t.x to z") before forwarding, so
+/// downstream sums over the thinned stream remain unbiased.
+pub struct PrefilterNode {
+    basic: BasicSubsetSum,
+    len_idx: usize,
+}
+
+impl PrefilterNode {
+    /// Prefilter with the given threshold (the paper used a tenth of the
+    /// dynamic algorithm's steady-state threshold).
+    pub fn new(z: f64) -> Self {
+        let len_idx = Packet::schema().index_of("len").expect("PKT has len");
+        PrefilterNode { basic: BasicSubsetSum::new(z), len_idx }
+    }
+
+    /// The prefilter's threshold.
+    pub fn z(&self) -> f64 {
+        self.basic.z()
+    }
+
+    /// Packets offered / sampled so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.basic.offered(), self.basic.sampled())
+    }
+}
+
+impl LowLevelQuery for PrefilterNode {
+    fn name(&self) -> &'static str {
+        "basic-ss-prefilter"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> Option<Tuple> {
+        if !self.basic.offer(pkt.len as u64) {
+            return None;
+        }
+        let mut tuple = pkt.to_tuple();
+        let adjusted = self.basic.adjusted_weight(pkt.len as u64);
+        tuple.set(self.len_idx, sso_types::Value::U64(adjusted as u64));
+        Some(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sso_types::Protocol;
+
+    fn pkt(len: u32) -> Packet {
+        Packet {
+            uts: 1,
+            src_ip: 1,
+            dest_ip: 2,
+            src_port: 3,
+            dest_port: 4,
+            proto: Protocol::Tcp,
+            len,
+        }
+    }
+
+    #[test]
+    fn pass_all_forwards_everything() {
+        let mut n = SelectionNode::pass_all();
+        assert!(n.process(&pkt(100)).is_some());
+        assert!(n.process(&pkt(40)).is_some());
+    }
+
+    #[test]
+    fn predicate_filters() {
+        let mut n = SelectionNode::with_predicate(|p| p.len > 100);
+        assert!(n.process(&pkt(1500)).is_some());
+        assert!(n.process(&pkt(40)).is_none());
+    }
+
+    #[test]
+    fn forwarded_tuple_matches_schema() {
+        let mut n = SelectionNode::pass_all();
+        let t = n.process(&pkt(123)).unwrap();
+        t.check_arity(&Packet::schema()).unwrap();
+    }
+
+    #[test]
+    fn prefilter_thins_small_packets() {
+        let mut n = PrefilterNode::new(10_000.0);
+        let mut forwarded = 0;
+        for _ in 0..1000 {
+            if n.process(&pkt(100)).is_some() {
+                forwarded += 1;
+            }
+        }
+        // 1000 * 100 bytes = 100k total, z = 10k -> ~10 samples.
+        assert!((5..=15).contains(&forwarded), "forwarded {forwarded}");
+        let (offered, sampled) = n.counts();
+        assert_eq!(offered, 1000);
+        assert_eq!(sampled as usize, forwarded);
+    }
+
+    #[test]
+    fn prefilter_always_forwards_large_packets() {
+        let mut n = PrefilterNode::new(1000.0);
+        for _ in 0..10 {
+            assert!(n.process(&pkt(1500)).is_some());
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Low-level **partial aggregation** — the second early-reduction
+//! operator real Gigascope supports ("currently only selection and
+//! (partial) aggregation are supported", §7.2), and the one the paper's
+//! conclusion recommends for the heavy-hitters algorithm ("the
+//! Manku–Motwani heavy hitters algorithm would be best supported by
+//! aggregation at the low-level queries", §8).
+//!
+//! [`PartialAggNode`] groups packets by (srcIP, destIP) in a bounded
+//! table and emits one *partial* tuple per group per flush epoch, in the
+//! [`PartialAggNode::schema`] stream `PKTAGG(time, srcIP, destIP, len,
+//! cnt)` where `len` is the partial byte sum and `cnt` the partial
+//! packet count. Flushes happen whenever the packet clock advances one
+//! second (so any ≥1s high-level window sees correctly-attributed
+//! partials) or when the table reaches its bound.
+//!
+//! A high-level query over `PKTAGG` re-aggregates exactly:
+//! `sum(len)` and `sum(cnt)` over partials equal `sum(len)` and
+//! `count(*)` over raw packets — at a fraction of the tuple flow.
+
+use std::collections::VecDeque;
+
+use rustc_hash::FxHashMap;
+use sso_types::{Field, FieldType, Packet, Schema, Tuple, Value};
+
+use crate::nodes::LowLevelQuery;
+
+/// Low-level partial-aggregation node.
+pub struct PartialAggNode {
+    /// Maximum live groups before an early flush.
+    max_groups: usize,
+    groups: FxHashMap<(u32, u32), (u64, u64)>,
+    /// Insertion order, so emitted partials are deterministic.
+    order: Vec<(u32, u32)>,
+    pending: VecDeque<Tuple>,
+    current_second: Option<u64>,
+}
+
+impl PartialAggNode {
+    /// Create a node with the given group-table bound.
+    ///
+    /// # Panics
+    /// Panics if `max_groups == 0`.
+    pub fn new(max_groups: usize) -> Self {
+        assert!(max_groups > 0, "partial aggregation needs a positive group bound");
+        PartialAggNode {
+            max_groups,
+            groups: FxHashMap::default(),
+            order: Vec::new(),
+            pending: VecDeque::new(),
+            current_second: None,
+        }
+    }
+
+    /// The output stream schema: `PKTAGG(time increasing, srcIP,
+    /// destIP, len, cnt)`.
+    pub fn schema() -> Schema {
+        Schema::new(
+            "PKTAGG",
+            vec![
+                Field::increasing("time", FieldType::U64),
+                Field::new("srcIP", FieldType::U64),
+                Field::new("destIP", FieldType::U64),
+                Field::new("len", FieldType::U64),
+                Field::new("cnt", FieldType::U64),
+            ],
+        )
+    }
+
+    fn flush(&mut self, second: u64) {
+        for key in self.order.drain(..) {
+            let (len, cnt) = self.groups.remove(&key).expect("ordered key in table");
+            self.pending.push_back(Tuple::new(vec![
+                Value::U64(second),
+                Value::U64(key.0 as u64),
+                Value::U64(key.1 as u64),
+                Value::U64(len),
+                Value::U64(cnt),
+            ]));
+        }
+    }
+}
+
+impl LowLevelQuery for PartialAggNode {
+    fn name(&self) -> &'static str {
+        "partial-aggregation"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> Option<Tuple> {
+        let second = pkt.time();
+        match self.current_second {
+            Some(s) if s != second => {
+                // The packet clock advanced: flush the finished second so
+                // high-level windows see correctly-attributed partials.
+                self.flush(s);
+                self.current_second = Some(second);
+            }
+            None => self.current_second = Some(second),
+            _ => {}
+        }
+        let key = (pkt.src_ip, pkt.dest_ip);
+        let entry = self.groups.entry(key).or_insert_with(|| {
+            self.order.push(key);
+            (0, 0)
+        });
+        entry.0 += pkt.len as u64;
+        entry.1 += 1;
+        if self.groups.len() >= self.max_groups {
+            self.flush(second);
+        }
+        self.pending.pop_front()
+    }
+
+    fn finish(&mut self) -> Vec<Tuple> {
+        if let Some(s) = self.current_second.take() {
+            self.flush(s);
+        }
+        self.pending.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_plan, TwoLevelPlan};
+    use sso_core::SamplingOperator;
+    use sso_netgen::datacenter_feed;
+    use sso_query::{parse_query, plan, PlannerConfig};
+    use std::collections::HashMap;
+
+    fn reaggregate_query(window_secs: u64) -> SamplingOperator {
+        let q = parse_query(&format!(
+            "SELECT tb, destIP, sum(len), sum(cnt) FROM PKTAGG \
+             GROUP BY time/{window_secs} as tb, destIP"
+        ))
+        .unwrap();
+        SamplingOperator::new(
+            plan(&q, &PartialAggNode::schema(), &PlannerConfig::empty()).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partial_aggregation_is_exact_after_reaggregation() {
+        let packets = datacenter_feed(601).take_seconds(4);
+        let mut truth: HashMap<(u64, u64), (u64, u64)> = HashMap::new();
+        for p in &packets {
+            let e = truth.entry((p.time() / 2, p.dest_ip as u64)).or_default();
+            e.0 += p.len as u64;
+            e.1 += 1;
+        }
+        let plan2 =
+            TwoLevelPlan::new(Box::new(PartialAggNode::new(8192)), reaggregate_query(2));
+        let report = run_plan(plan2, packets).unwrap();
+        let mut got = 0usize;
+        for w in &report.windows {
+            let tb = w.window.get(0).as_u64().unwrap();
+            for r in &w.rows {
+                let key = (tb, r.get(1).as_u64().unwrap());
+                let (len, cnt) = truth[&key];
+                assert_eq!(r.get(2), &Value::U64(len), "byte sum exact for {key:?}");
+                assert_eq!(r.get(3), &Value::U64(cnt), "packet count exact for {key:?}");
+                got += 1;
+            }
+        }
+        assert_eq!(got, truth.len(), "every (window, dest) reported exactly once");
+    }
+
+    #[test]
+    fn partial_aggregation_slashes_the_tuple_flow() {
+        let packets = datacenter_feed(602).take_seconds(2);
+        let n = packets.len() as u64;
+        let plan2 =
+            TwoLevelPlan::new(Box::new(PartialAggNode::new(8192)), reaggregate_query(1));
+        let report = run_plan(plan2, packets).unwrap();
+        assert_eq!(report.low.tuples_in, n);
+        // Reduction factor is bounded by the per-second key cardinality
+        // (~16k (src,dest) pairs on this feed): ~6x here.
+        assert!(
+            report.low.tuples_out < n / 5,
+            "partials ({}) should be far fewer than packets ({n})",
+            report.low.tuples_out
+        );
+    }
+
+    #[test]
+    fn bounded_table_flushes_early() {
+        // A tiny bound forces mid-second flushes; re-aggregation must
+        // still be exact.
+        let packets = datacenter_feed(603).take_seconds(1);
+        let truth: u64 = packets.iter().map(|p| p.len as u64).sum();
+        let plan2 = TwoLevelPlan::new(Box::new(PartialAggNode::new(64)), reaggregate_query(1));
+        let report = run_plan(plan2, packets).unwrap();
+        let total: u64 = report
+            .windows
+            .iter()
+            .flat_map(|w| &w.rows)
+            .map(|r| r.get(2).as_u64().unwrap())
+            .sum();
+        assert_eq!(total, truth);
+    }
+
+    #[test]
+    fn heavy_hitters_over_partials_matches_heavy_hitters_over_packets() {
+        // The §8 transform: run the HH *query shape* over partial
+        // aggregates (weighting by cnt) and compare the heavy set to the
+        // exact per-destination counts.
+        let packets = datacenter_feed(604).take_seconds(3);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        for p in &packets {
+            *exact.entry(p.dest_ip as u64).or_default() += 1;
+        }
+        let q = parse_query(
+            "SELECT tb, destIP, sum(cnt) FROM PKTAGG \
+             GROUP BY time/3 as tb, destIP \
+             HAVING sum(cnt) >= 3000",
+        )
+        .unwrap();
+        let hh = SamplingOperator::new(
+            plan(&q, &PartialAggNode::schema(), &PlannerConfig::standard()).unwrap(),
+        )
+        .unwrap();
+        let plan2 = TwoLevelPlan::new(Box::new(PartialAggNode::new(8192)), hh);
+        let report = run_plan(plan2, packets).unwrap();
+        let reported: HashMap<u64, u64> = report
+            .windows
+            .iter()
+            .flat_map(|w| &w.rows)
+            .map(|r| (r.get(1).as_u64().unwrap(), r.get(2).as_u64().unwrap()))
+            .collect();
+        for (&dest, &cnt) in &exact {
+            if cnt >= 3000 {
+                assert_eq!(reported.get(&dest), Some(&cnt), "heavy dest {dest}");
+            } else {
+                assert!(!reported.contains_key(&dest), "light dest {dest} reported");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive group bound")]
+    fn zero_bound_panics() {
+        let _ = PartialAggNode::new(0);
+    }
+}

@@ -1,0 +1,147 @@
+//! A fixed-size single-producer ring buffer modeling the NIC ring that
+//! feeds Gigascope's low-level queries.
+//!
+//! The real system sniffs packets into a ring and hands them to
+//! low-level queries *without copying*; if the consumer falls behind,
+//! the ring overwrites (drops) and the monitor loses packets. This
+//! implementation preserves those semantics: bounded capacity, `push`
+//! reports drops, `pop` yields in FIFO order.
+
+/// A bounded FIFO ring buffer with drop accounting.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    slots: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+    pushed: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Create a ring with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        RingBuffer { slots, head: 0, len: 0, dropped: 0, pushed: 0 }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if a push would drop.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Offer an element. Returns `true` if queued, `false` if the ring
+    /// was full and the element was dropped (counted).
+    pub fn push(&mut self, item: T) -> bool {
+        self.pushed += 1;
+        if self.is_full() {
+            self.dropped += 1;
+            return false;
+        }
+        let idx = (self.head + self.len) % self.slots.len();
+        self.slots[idx] = Some(item);
+        self.len += 1;
+        true
+    }
+
+    /// Dequeue the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        item
+    }
+
+    /// Elements dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total elements offered.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::<u32>::new(0);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..4 {
+            assert!(r.push(i));
+        }
+        for i in 0..4 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut r = RingBuffer::new(2);
+        assert!(r.push(1));
+        assert!(r.push(2));
+        assert!(!r.push(3));
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.pushed(), 3);
+        assert_eq!(r.pop(), Some(1));
+        assert!(r.push(4));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(4));
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let mut r = RingBuffer::new(3);
+        for round in 0..100u32 {
+            assert!(r.push(round));
+            assert_eq!(r.pop(), Some(round));
+        }
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn len_tracking() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_full());
+        r.push(3);
+        assert!(r.is_full());
+        r.pop();
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Trace generation: turning a rate process and a flow model into an
+//! ordered packet stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sso_types::Packet;
+
+use crate::flow::{spawn_flow, AddressSpace, Flow};
+use crate::rate::{DatacenterRate, DdosRate, RateProcess, ResearchRate};
+
+/// Configuration of a [`TraceGenerator`].
+#[derive(Debug, Clone)]
+pub struct FeedConfig {
+    /// RNG seed — the same seed always produces the same trace.
+    pub seed: u64,
+    /// Probability that a packet slot starts a new flow rather than
+    /// continuing an active one.
+    pub new_flow_prob: f64,
+    /// Upper bound on concurrently active flows (memory guard).
+    pub max_active_flows: usize,
+    /// Address space packets are drawn from.
+    pub space: AddressSpace,
+    /// When `Some((start, end))`, packets in that second range are drawn
+    /// from tiny spoofed attack flows (the DDoS scenario).
+    pub attack_seconds: Option<(u64, u64)>,
+}
+
+impl FeedConfig {
+    /// Defaults shared by all feeds.
+    pub fn new(seed: u64) -> Self {
+        FeedConfig {
+            seed,
+            new_flow_prob: 0.08,
+            max_active_flows: 50_000,
+            space: AddressSpace::new(),
+            attack_seconds: None,
+        }
+    }
+}
+
+/// A deterministic packet-trace generator: an iterator over [`Packet`]s
+/// with strictly increasing nanosecond timestamps.
+pub struct TraceGenerator {
+    rng: StdRng,
+    cfg: FeedConfig,
+    rate: Box<dyn RateProcess + Send>,
+    active: Vec<Flow>,
+    second: u64,
+    /// Packets remaining in the current second and the inter-packet gap.
+    budget: u64,
+    gap_ns: u64,
+    next_uts: u64,
+    last_uts: u64,
+}
+
+impl TraceGenerator {
+    /// Build a generator from a config and a rate process.
+    pub fn new(cfg: FeedConfig, rate: Box<dyn RateProcess + Send>) -> Self {
+        TraceGenerator {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            rate,
+            active: Vec::new(),
+            second: 0,
+            budget: 0,
+            gap_ns: 1,
+            next_uts: 0,
+            last_uts: 0,
+        }
+    }
+
+    /// The current trace second (useful for scenario assertions).
+    pub fn second(&self) -> u64 {
+        self.second
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Generate all packets for the first `seconds` seconds of the trace.
+    pub fn take_seconds(&mut self, seconds: u64) -> Vec<Packet> {
+        let end_uts = seconds * 1_000_000_000;
+        let mut out = Vec::new();
+        for p in self {
+            if p.uts >= end_uts {
+                break;
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    fn in_attack(&self) -> bool {
+        match self.cfg.attack_seconds {
+            Some((start, end)) => self.second >= start && self.second < end,
+            None => false,
+        }
+    }
+
+    fn begin_second(&mut self) {
+        let rate = self.rate.next_rate(&mut self.rng).max(1);
+        self.budget = rate;
+        self.gap_ns = (1_000_000_000 / rate).max(1);
+        self.next_uts = self.second * 1_000_000_000;
+    }
+
+    fn next_packet(&mut self) -> Packet {
+        let attack = self.in_attack();
+        let spawn_prob = if attack { 0.9 } else { self.cfg.new_flow_prob };
+        let need_new = self.active.is_empty()
+            || (self.active.len() < self.cfg.max_active_flows
+                && self.rng.gen::<f64>() < spawn_prob);
+        if need_new {
+            let f = spawn_flow(&mut self.rng, &self.cfg.space, attack);
+            self.active.push(f);
+        }
+        let idx = self.rng.gen_range(0..self.active.len());
+        // Strictly increasing uts: the paper relies on uts uniqueness to
+        // make every packet its own group.
+        let uts = self.next_uts.max(self.last_uts + 1);
+        self.last_uts = uts;
+        let pkt = self.active[idx].emit(uts, &mut self.rng);
+        if self.active[idx].done() {
+            self.active.swap_remove(idx);
+        }
+        self.next_uts += self.gap_ns;
+        pkt
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.budget == 0 {
+            // Advance to the next second. A fresh generator starts at
+            // second 0 without advancing.
+            if self.last_uts != 0 || self.second != 0 || self.next_uts != 0 {
+                self.second += 1;
+            }
+            self.begin_second();
+        }
+        self.budget -= 1;
+        Some(self.next_packet())
+    }
+}
+
+/// The bursty research-center feed (Figures 2–4): 5k–15k pkt/s typical,
+/// log-AR(1) swings, occasional deep lulls.
+pub fn research_feed(seed: u64) -> TraceGenerator {
+    TraceGenerator::new(FeedConfig::new(seed), Box::new(ResearchRate::new()))
+}
+
+/// The steady data-center feed (Figures 5–6): ~100k pkt/s ± 2%, highly
+/// aggregated (many concurrent flows).
+pub fn datacenter_feed(seed: u64) -> TraceGenerator {
+    let mut cfg = FeedConfig::new(seed);
+    cfg.new_flow_prob = 0.15; // more aggregation: more concurrent flows
+    TraceGenerator::new(cfg, Box::new(DatacenterRate::new()))
+}
+
+/// The DDoS stress scenario from the paper's conclusion: a baseline feed
+/// with a storm of tiny single-packet spoofed flows during
+/// `[attack_start, attack_end)` seconds.
+pub fn ddos_feed(seed: u64, attack_start: u64, attack_end: u64) -> TraceGenerator {
+    let mut cfg = FeedConfig::new(seed);
+    cfg.attack_seconds = Some((attack_start, attack_end));
+    TraceGenerator::new(
+        cfg,
+        Box::new(DdosRate::new(5_000.0, 60_000.0, attack_start, attack_end)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let mut gen = research_feed(1);
+        let pkts = gen.take_seconds(5);
+        assert!(!pkts.is_empty());
+        for pair in pkts.windows(2) {
+            assert!(pair[1].uts > pair[0].uts, "uts must strictly increase");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = research_feed(7).take_seconds(3);
+        let b = research_feed(7).take_seconds(3);
+        assert_eq!(a, b);
+        let c = research_feed(8).take_seconds(3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn research_feed_rate_is_in_paper_band() {
+        let pkts = research_feed(2).take_seconds(60);
+        let rate = pkts.len() as f64 / 60.0;
+        // "5,000 to 15,000 packets per second ... highly variable":
+        // the long-run mean should land in or near that band.
+        assert!((2_000.0..20_000.0).contains(&rate), "mean rate {rate}");
+    }
+
+    #[test]
+    fn research_feed_volume_swings_between_windows() {
+        let pkts = research_feed(3).take_seconds(400);
+        // 20-second windows, byte volume per window.
+        let mut volumes = vec![0u64; 20];
+        for p in &pkts {
+            volumes[(p.time() / 20) as usize] += p.len as u64;
+        }
+        let max = *volumes.iter().max().unwrap() as f64;
+        let min = *volumes.iter().min().unwrap().max(&1) as f64;
+        assert!(max / min > 5.0, "volume swing too small: {volumes:?}");
+    }
+
+    #[test]
+    fn datacenter_feed_is_fast_and_stable() {
+        let pkts = datacenter_feed(4).take_seconds(5);
+        let mut per_second = [0u64; 5];
+        for p in &pkts {
+            per_second[p.time() as usize] += 1;
+        }
+        for (s, &n) in per_second.iter().enumerate() {
+            assert!(
+                (95_000..=105_000).contains(&n),
+                "second {s}: {n} packets, expected ~100k"
+            );
+        }
+    }
+
+    #[test]
+    fn datacenter_bitrate_is_roughly_400_mbit() {
+        let pkts = datacenter_feed(5).take_seconds(3);
+        let bytes: u64 = pkts.iter().map(|p| p.len as u64).sum();
+        let mbits = bytes as f64 * 8.0 / 3.0 / 1e6;
+        // The paper reports ~400 Mbit/s at 100k pkt/s (i.e. ~500B mean).
+        assert!((300.0..900.0).contains(&mbits), "bitrate {mbits} Mbit/s");
+    }
+
+    #[test]
+    fn ddos_feed_explodes_flow_count_during_attack() {
+        let mut gen = ddos_feed(6, 2, 4);
+        let pkts = gen.take_seconds(6);
+        let flows = |lo: u64, hi: u64| -> usize {
+            let set: HashSet<_> = pkts
+                .iter()
+                .filter(|p| p.time() >= lo && p.time() < hi)
+                .map(|p| p.flow_key())
+                .collect();
+            set.len()
+        };
+        let before = flows(0, 2);
+        let during = flows(2, 4);
+        assert!(
+            during > 10 * before,
+            "attack flows ({during}) should dwarf baseline ({before})"
+        );
+    }
+
+    #[test]
+    fn ddos_attack_packets_are_tiny_and_focused() {
+        let mut gen = ddos_feed(7, 0, 2);
+        let pkts = gen.take_seconds(1);
+        let tiny_to_victim = pkts
+            .iter()
+            .filter(|p| p.len == 40 && p.dest_ip == 0xc0a8_0001)
+            .count() as f64
+            / pkts.len() as f64;
+        assert!(tiny_to_victim > 0.5, "attack fraction {tiny_to_victim}");
+    }
+
+    #[test]
+    fn take_seconds_respects_boundary() {
+        let mut gen = datacenter_feed(8);
+        let pkts = gen.take_seconds(2);
+        assert!(pkts.iter().all(|p| p.time() < 2));
+    }
+
+    #[test]
+    fn flow_pool_stays_bounded() {
+        let mut gen = ddos_feed(9, 0, 30);
+        let _ = gen.take_seconds(10);
+        assert!(gen.active_flows() <= gen.cfg.max_active_flows);
+    }
+}

@@ -1,0 +1,279 @@
+//! Flow-level traffic structure: 5-tuples, heavy-tailed flow lengths,
+//! and per-flow packet-size profiles.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sso_types::{Packet, Protocol};
+
+/// The packet-size character of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowProfile {
+    /// Bulk transfer: mostly MTU-sized data packets plus small ACKs.
+    Bulk,
+    /// Interactive / request-response: small packets.
+    Interactive,
+    /// Attack traffic: minimum-size packets.
+    Tiny,
+}
+
+/// One active flow emitting packets.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dest_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dest_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+    /// Packets this flow has left to send.
+    pub remaining: u32,
+    /// Size profile.
+    pub profile: FlowProfile,
+}
+
+impl Flow {
+    /// Draw one packet length according to the flow's profile.
+    pub fn packet_len(&self, rng: &mut StdRng) -> u32 {
+        match self.profile {
+            FlowProfile::Bulk => {
+                let r: f64 = rng.gen();
+                if r < 0.62 {
+                    1500
+                } else if r < 0.87 {
+                    40
+                } else {
+                    rng.gen_range(100..1400)
+                }
+            }
+            FlowProfile::Interactive => {
+                let r: f64 = rng.gen();
+                if r < 0.5 {
+                    40
+                } else {
+                    rng.gen_range(41..576)
+                }
+            }
+            FlowProfile::Tiny => 40,
+        }
+    }
+
+    /// Emit one packet at `uts`, decrementing the remaining count.
+    pub fn emit(&mut self, uts: u64, rng: &mut StdRng) -> Packet {
+        debug_assert!(self.remaining > 0);
+        self.remaining -= 1;
+        Packet {
+            uts,
+            src_ip: self.src_ip,
+            dest_ip: self.dest_ip,
+            src_port: self.src_port,
+            dest_port: self.dest_port,
+            proto: self.proto,
+            len: self.packet_len(rng),
+        }
+    }
+
+    /// `true` when the flow has sent all its packets.
+    pub fn done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Draw a Pareto-distributed flow length: `min · U^(-1/alpha)`, capped.
+///
+/// `alpha ≈ 1.2` gives the classic elephant/mice internet mix: most flows
+/// are a handful of packets; a few carry most of the volume.
+pub fn pareto_flow_len(rng: &mut StdRng, min: u32, alpha: f64, cap: u32) -> u32 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let len = min as f64 * u.powf(-1.0 / alpha);
+    (len as u32).clamp(min, cap)
+}
+
+/// Parameters of the address/port space packets are drawn from.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    /// Number of distinct client (source) addresses.
+    pub clients: u32,
+    /// Number of distinct server (destination) addresses.
+    pub servers: u32,
+    /// Zipf skew for destination popularity (0 = uniform).
+    pub dest_skew: f64,
+}
+
+impl AddressSpace {
+    /// Defaults: 4k clients, 512 servers, strong skew so heavy hitters
+    /// exist.
+    pub fn new() -> Self {
+        AddressSpace { clients: 4096, servers: 512, dest_skew: 1.1 }
+    }
+
+    /// Draw a client address (uniform over `10.0.0.0/16`-ish space).
+    pub fn client(&self, rng: &mut StdRng) -> u32 {
+        0x0a00_0000 | rng.gen_range(0..self.clients)
+    }
+
+    /// Draw a server address with Zipf-like popularity: server rank `k`
+    /// has probability ~ `1/(k+1)^skew`.
+    pub fn server(&self, rng: &mut StdRng) -> u32 {
+        // Inverse-CDF approximation for a Zipf-ish rank draw.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let n = self.servers as f64;
+        let rank = if self.dest_skew <= 0.0 {
+            (u * n) as u32
+        } else {
+            // rank ~ n * u^(1/(1-s)) degenerates at s=1; use exponentiated
+            // inverse: rank = floor(n^u) - 1 gives a heavy head.
+            (n.powf(u) - 1.0) as u32
+        };
+        0xc0a8_0000 | rank.min(self.servers - 1)
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Spawn a new flow in the given address space.
+///
+/// `tiny` forces the attack profile (single-packet flows from spoofed
+/// sources) used by the DDoS scenario.
+pub fn spawn_flow(rng: &mut StdRng, space: &AddressSpace, tiny: bool) -> Flow {
+    if tiny {
+        return Flow {
+            // Spoofed, effectively unique sources.
+            src_ip: rng.gen(),
+            dest_ip: 0xc0a8_0001,
+            src_port: rng.gen_range(1024..u16::MAX),
+            dest_port: 80,
+            proto: Protocol::Udp,
+            remaining: rng.gen_range(1..=2),
+            profile: FlowProfile::Tiny,
+        };
+    }
+    let remaining = pareto_flow_len(rng, 2, 1.2, 20_000);
+    let profile = if remaining >= 20 { FlowProfile::Bulk } else { FlowProfile::Interactive };
+    let proto = if rng.gen::<f64>() < 0.9 { Protocol::Tcp } else { Protocol::Udp };
+    Flow {
+        src_ip: space.client(rng),
+        dest_ip: space.server(rng),
+        src_port: rng.gen_range(1024..u16::MAX),
+        dest_port: *[80u16, 443, 443, 443, 22, 53, 8080].get(rng.gen_range(0..7)).unwrap(),
+        proto,
+        remaining,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn pareto_lengths_are_heavy_tailed() {
+        let mut g = rng(1);
+        let lens: Vec<u32> = (0..20_000).map(|_| pareto_flow_len(&mut g, 2, 1.2, 20_000)).collect();
+        let small = lens.iter().filter(|&&l| l <= 10).count() as f64 / lens.len() as f64;
+        let huge = lens.iter().filter(|&&l| l >= 1000).count();
+        assert!(small > 0.6, "most flows should be mice: {small}");
+        assert!(huge > 0, "some flows should be elephants");
+        assert!(lens.iter().all(|&l| (2..=20_000).contains(&l)));
+    }
+
+    #[test]
+    fn flow_emits_exactly_remaining_packets() {
+        let mut g = rng(2);
+        let space = AddressSpace::new();
+        let mut f = spawn_flow(&mut g, &space, false);
+        let n = f.remaining;
+        let mut emitted = 0;
+        while !f.done() {
+            let p = f.emit(emitted as u64, &mut g);
+            assert_eq!(p.src_ip, f.src_ip);
+            emitted += 1;
+        }
+        assert_eq!(emitted, n);
+    }
+
+    #[test]
+    fn bulk_flows_carry_mtu_packets() {
+        let mut g = rng(3);
+        let f = Flow {
+            src_ip: 1,
+            dest_ip: 2,
+            src_port: 3,
+            dest_port: 4,
+            proto: Protocol::Tcp,
+            remaining: 1000,
+            profile: FlowProfile::Bulk,
+        };
+        let lens: Vec<u32> = (0..1000).map(|_| f.packet_len(&mut g)).collect();
+        let mtu = lens.iter().filter(|&&l| l == 1500).count() as f64 / 1000.0;
+        assert!((0.5..0.75).contains(&mtu), "MTU fraction {mtu}");
+        assert!(lens.iter().all(|&l| (40..=1500).contains(&l)));
+    }
+
+    #[test]
+    fn interactive_flows_stay_small() {
+        let mut g = rng(4);
+        let f = Flow {
+            src_ip: 1,
+            dest_ip: 2,
+            src_port: 3,
+            dest_port: 4,
+            proto: Protocol::Tcp,
+            remaining: 1000,
+            profile: FlowProfile::Interactive,
+        };
+        for _ in 0..1000 {
+            assert!(f.packet_len(&mut g) < 576);
+        }
+    }
+
+    #[test]
+    fn destination_popularity_is_skewed() {
+        let mut g = rng(5);
+        let space = AddressSpace::new();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(space.server(&mut g)).or_insert(0u32) += 1;
+        }
+        let max = *counts.values().max().unwrap() as f64 / 50_000.0;
+        assert!(max > 0.05, "top destination should be a heavy hitter: {max}");
+        assert!(counts.len() > 50, "but many destinations should appear: {}", counts.len());
+    }
+
+    #[test]
+    fn tiny_flows_are_single_packet_spoofed() {
+        let mut g = rng(6);
+        let space = AddressSpace::new();
+        let mut srcs = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let f = spawn_flow(&mut g, &space, true);
+            assert!(f.remaining <= 2);
+            assert_eq!(f.profile, FlowProfile::Tiny);
+            assert_eq!(f.dest_ip, 0xc0a8_0001);
+            srcs.insert(f.src_ip);
+        }
+        assert!(srcs.len() > 990, "attack sources should be ~unique: {}", srcs.len());
+    }
+
+    #[test]
+    fn client_addresses_in_expected_prefix() {
+        let mut g = rng(7);
+        let space = AddressSpace::new();
+        for _ in 0..100 {
+            let ip = space.client(&mut g);
+            assert_eq!(ip >> 24, 0x0a);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # sso-netgen
+//!
+//! Synthetic IP packet feeds standing in for the paper's two live network
+//! taps (§7). The paper evaluated on:
+//!
+//! 1. a **research-center link**: 5,000–15,000 packets/s, *highly
+//!    variable* — used for the accuracy experiments (Figures 2–4) exactly
+//!    because sharp inter-window load swings expose estimation problems;
+//! 2. a **data-center tap**: ~100,000 packets/s (~400 Mbit/s), highly
+//!    aggregated and therefore *stable* — used for the CPU-overhead
+//!    experiments (Figures 5–6) because consistent load gives consistent
+//!    measurements.
+//!
+//! [`research_feed`] and [`datacenter_feed`] reproduce those two traffic
+//! *shapes* deterministically from a seed:
+//!
+//! * flow-structured traffic (5-tuples) with heavy-tailed flow lengths
+//!   (Pareto), so per-packet weights have the elephant/mice mix
+//!   subset-sum sampling is designed for;
+//! * Zipf-like destination popularity, so heavy-hitter queries have
+//!   genuine heavy hitters;
+//! * the research feed's per-second rate follows a log-AR(1) process with
+//!   occasional deep lulls, producing the 10–100× inter-window volume
+//!   swings that trigger the paper's non-relaxed under-sampling pathology;
+//! * the data-center feed holds 100k pkt/s within a ±2% jitter band.
+//!
+//! [`ddos_feed`] adds the concluding section's stress scenario: a storm
+//! of tiny single-packet flows that explodes the group table of a naive
+//! flow-aggregation query.
+
+pub mod feed;
+pub mod flow;
+pub mod rate;
+pub mod trace;
+
+pub use feed::{datacenter_feed, ddos_feed, research_feed, FeedConfig, TraceGenerator};
+pub use flow::{Flow, FlowProfile};
+pub use rate::{DatacenterRate, DdosRate, RateProcess, ResearchRate};
+pub use trace::{read_trace, write_trace, TraceError};

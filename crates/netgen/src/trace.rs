@@ -1,0 +1,160 @@
+//! Trace persistence: write generated packet traces to a simple CSV
+//! form and read them back, so experiments can be pinned to an exact
+//! trace file (the closest equivalent of the paper's captured feeds).
+//!
+//! Format: one packet per line,
+//! `uts,src_ip,dest_ip,src_port,dest_port,proto,len`, all decimal, with
+//! a fixed header line.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use sso_types::{Packet, Protocol};
+
+/// The header line written before the packets.
+pub const HEADER: &str = "uts,src_ip,dest_ip,src_port,dest_port,proto,len";
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Write a trace in CSV form.
+pub fn write_trace(packets: &[Packet], mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for p in packets {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            p.uts,
+            p.src_ip,
+            p.dest_ip,
+            p.src_port,
+            p.dest_port,
+            p.proto.number(),
+            p.len
+        )?;
+    }
+    Ok(())
+}
+
+/// Read a trace written by [`write_trace`].
+pub fn read_trace(r: impl Read) -> Result<Vec<Packet>, TraceError> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if i == 0 {
+            if line.trim() != HEADER {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    message: format!("expected header `{HEADER}`"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = |what: &str| -> Result<u64, TraceError> {
+            fields
+                .next()
+                .ok_or_else(|| TraceError::Parse {
+                    line: lineno,
+                    message: format!("missing field `{what}`"),
+                })?
+                .trim()
+                .parse()
+                .map_err(|e| TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad `{what}`: {e}"),
+                })
+        };
+        let uts = next("uts")?;
+        let src_ip = next("src_ip")? as u32;
+        let dest_ip = next("dest_ip")? as u32;
+        let src_port = next("src_port")? as u16;
+        let dest_port = next("dest_port")? as u16;
+        let proto = Protocol::from_number(next("proto")? as u8);
+        let len = next("len")? as u32;
+        if fields.next().is_some() {
+            return Err(TraceError::Parse { line: lineno, message: "trailing fields".into() });
+        }
+        out.push(Packet { uts, src_ip, dest_ip, src_port, dest_port, proto, len });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::research_feed;
+
+    #[test]
+    fn round_trip_preserves_the_trace() {
+        let packets = research_feed(9).take_seconds(2);
+        let mut buf = Vec::new();
+        write_trace(&packets, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(packets, back);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_trace("1,2,3,4,5,6,7\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected header"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let text = format!("{HEADER}\n1,2,3\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let text = format!("{HEADER}\n1,2,3,4,5,6,7,8\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+
+        let text = format!("{HEADER}\n1,2,x,4,5,6,7\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad `dest_ip`"), "{err}");
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = format!("{HEADER}\n1,2,3,4,5,6,700\n\n");
+        let packets = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(packets.len(), 1);
+        assert_eq!(packets[0].len, 700);
+        assert_eq!(packets[0].proto, Protocol::Tcp);
+    }
+}

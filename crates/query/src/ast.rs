@@ -1,0 +1,285 @@
+//! The parsed query representation, plus a pretty-printer used for
+//! diagnostics and round-trip tests.
+
+use std::fmt;
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinAstOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinAstOp {
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinAstOp::Add => "+",
+            BinAstOp::Sub => "-",
+            BinAstOp::Mul => "*",
+            BinAstOp::Div => "/",
+            BinAstOp::Rem => "%",
+            BinAstOp::Eq => "=",
+            BinAstOp::Ne => "<>",
+            BinAstOp::Lt => "<",
+            BinAstOp::Le => "<=",
+            BinAstOp::Gt => ">",
+            BinAstOp::Ge => ">=",
+            BinAstOp::And => "AND",
+            BinAstOp::Or => "OR",
+        }
+    }
+}
+
+/// An unresolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Integer literal.
+    Int(u64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// A name: column, group-by variable — resolved by the planner.
+    Ident(String),
+    /// `*` (only valid as a call argument, e.g. `count_distinct$(*)`).
+    Star,
+    /// A function call; `superagg` marks the `$` suffix.
+    Call {
+        /// Function name.
+        name: String,
+        /// `true` for `name$(...)`.
+        superagg: bool,
+        /// Arguments.
+        args: Vec<AstExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinAstOp,
+        /// Left operand.
+        lhs: Box<AstExpr>,
+        /// Right operand.
+        rhs: Box<AstExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<AstExpr>),
+    /// `-expr`.
+    Neg(Box<AstExpr>),
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Int(v) => write!(f, "{v}"),
+            AstExpr::Float(v) => {
+                if v.fract() == 0.0 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            AstExpr::Str(s) => write!(f, "'{s}'"),
+            AstExpr::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            AstExpr::Ident(n) => write!(f, "{n}"),
+            AstExpr::Star => write!(f, "*"),
+            AstExpr::Call { name, superagg, args } => {
+                write!(f, "{name}{}(", if *superagg { "$" } else { "" })?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            AstExpr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            AstExpr::Not(e) => write!(f, "(NOT {e})"),
+            AstExpr::Neg(e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+/// One SELECT-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// Optional `AS` alias.
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// The output column name: the alias, a bare identifier's own name,
+    /// or a generated `col<i>`.
+    pub fn output_name(&self, index: usize) -> String {
+        if let Some(a) = &self.alias {
+            return a.clone();
+        }
+        match &self.expr {
+            AstExpr::Ident(n) => n.clone(),
+            AstExpr::Call { name, superagg, .. } => {
+                format!("{name}{}", if *superagg { "$" } else { "" })
+            }
+            _ => format!("col{index}"),
+        }
+    }
+}
+
+/// One GROUP BY entry: an expression with an optional `AS` name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupItem {
+    /// The grouping expression.
+    pub expr: AstExpr,
+    /// Optional `AS` name; a bare identifier names itself.
+    pub alias: Option<String>,
+}
+
+impl GroupItem {
+    /// The group-by variable's name.
+    pub fn name(&self, index: usize) -> String {
+        if let Some(a) = &self.alias {
+            return a.clone();
+        }
+        match &self.expr {
+            AstExpr::Ident(n) => n.clone(),
+            _ => format!("gb{index}"),
+        }
+    }
+}
+
+/// A parsed sampling query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM stream name.
+    pub from: String,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY list.
+    pub group_by: Vec<GroupItem>,
+    /// SUPERGROUP variable names (empty = the ALL supergroup).
+    pub supergroup: Vec<String>,
+    /// HAVING predicate.
+    pub having: Option<AstExpr>,
+    /// CLEANING WHEN predicate.
+    pub cleaning_when: Option<AstExpr>,
+    /// CLEANING BY predicate.
+    pub cleaning_by: Option<AstExpr>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", s.expr)?;
+            if let Some(a) = &s.alias {
+                write!(f, " as {a}")?;
+            }
+        }
+        write!(f, " FROM {}", self.from)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        write!(f, " GROUP BY ")?;
+        for (i, g) in self.group_by.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", g.expr)?;
+            if let Some(a) = &g.alias {
+                write!(f, " as {a}")?;
+            }
+        }
+        if !self.supergroup.is_empty() {
+            write!(f, " SUPERGROUP {}", self.supergroup.join(", "))?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if let Some(c) = &self.cleaning_when {
+            write!(f, " CLEANING WHEN {c}")?;
+        }
+        if let Some(c) = &self.cleaning_by {
+            write!(f, " CLEANING BY {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display() {
+        let e = AstExpr::Binary {
+            op: BinAstOp::Le,
+            lhs: Box::new(AstExpr::Ident("HX".into())),
+            rhs: Box::new(AstExpr::Call {
+                name: "Kth_smallest_value".into(),
+                superagg: true,
+                args: vec![AstExpr::Ident("HX".into()), AstExpr::Int(100)],
+            }),
+        };
+        assert_eq!(e.to_string(), "(HX <= Kth_smallest_value$(HX, 100))");
+    }
+
+    #[test]
+    fn select_item_names() {
+        let item = SelectItem { expr: AstExpr::Ident("srcIP".into()), alias: None };
+        assert_eq!(item.output_name(0), "srcIP");
+        let item = SelectItem {
+            expr: AstExpr::Call { name: "sum".into(), superagg: false, args: vec![] },
+            alias: Some("total".into()),
+        };
+        assert_eq!(item.output_name(1), "total");
+        let item = SelectItem { expr: AstExpr::Int(1), alias: None };
+        assert_eq!(item.output_name(2), "col2");
+    }
+
+    #[test]
+    fn group_item_names() {
+        let g = GroupItem {
+            expr: AstExpr::Binary {
+                op: BinAstOp::Div,
+                lhs: Box::new(AstExpr::Ident("time".into())),
+                rhs: Box::new(AstExpr::Int(60)),
+            },
+            alias: Some("tb".into()),
+        };
+        assert_eq!(g.name(0), "tb");
+        let g = GroupItem { expr: AstExpr::Ident("srcIP".into()), alias: None };
+        assert_eq!(g.name(1), "srcIP");
+    }
+}

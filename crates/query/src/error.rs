@@ -1,0 +1,65 @@
+//! Query front-end errors.
+
+use std::fmt;
+
+use sso_core::OpError;
+
+/// Errors from lexing, parsing, or planning a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A lexical error at a byte offset.
+    Lex {
+        /// Byte position in the query text.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Byte position in the query text (approximate: token start).
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// A semantic error (unknown name, clause misuse, ...).
+    Semantic(String),
+    /// An error surfaced from the operator layer during planning or
+    /// instantiation.
+    Plan(OpError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            QueryError::Parse { position, message } => {
+                write!(f, "syntax error at byte {position}: {message}")
+            }
+            QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+            QueryError::Plan(e) => write!(f, "planning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<OpError> for QueryError {
+    fn from(e: OpError) -> Self {
+        QueryError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QueryError::Lex { position: 3, message: "bad char".into() };
+        assert_eq!(e.to_string(), "lexical error at byte 3: bad char");
+        let e = QueryError::Semantic("unknown column x".into());
+        assert!(e.to_string().contains("unknown column x"));
+    }
+}

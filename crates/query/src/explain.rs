@@ -1,0 +1,132 @@
+//! Human-readable rendering of a planned operator — `EXPLAIN` output
+//! for the CLI and for debugging planner changes.
+
+use sso_core::agg::AggSpec;
+use sso_core::operator::OperatorSpec;
+use sso_core::superagg::SuperAggSpec;
+
+/// Render a planned spec as an indented plan description.
+pub fn explain(spec: &OperatorSpec) -> String {
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+
+    line("SamplingOperator".to_string());
+    line(format!("  select ({} columns):", spec.select.len()));
+    for (name, e) in &spec.select {
+        line(format!("    {name} := {e:?}"));
+    }
+    if let Some(w) = &spec.where_clause {
+        line(format!("  where: {w:?}"));
+    }
+    line(format!("  group by ({} variables):", spec.group_by.len()));
+    for (i, (name, e)) in spec.group_by.iter().enumerate() {
+        let mut tags = Vec::new();
+        if spec.window_indices.contains(&i) {
+            tags.push("window");
+        }
+        if spec.supergroup_indices.contains(&i) {
+            tags.push("supergroup");
+        }
+        let tag = if tags.is_empty() { String::new() } else { format!("  [{}]", tags.join(", ")) };
+        line(format!("    {name} := {e:?}{tag}"));
+    }
+    if spec.supergroup_indices.is_empty() {
+        line("  supergroup: ALL (one state per window)".to_string());
+    }
+    if !spec.aggregates.is_empty() {
+        line(format!("  aggregates ({} slots):", spec.aggregates.len()));
+        for (i, a) in spec.aggregates.iter().enumerate() {
+            let desc = match a {
+                AggSpec::Count => "count(*)".to_string(),
+                AggSpec::Sum(e) => format!("sum({e:?})"),
+                AggSpec::Min(e) => format!("min({e:?})"),
+                AggSpec::Max(e) => format!("max({e:?})"),
+                AggSpec::First(e) => format!("first({e:?})"),
+                AggSpec::Last(e) => format!("last({e:?})"),
+            };
+            line(format!("    [{i}] {desc}"));
+        }
+    }
+    if !spec.superaggs.is_empty() {
+        line(format!("  superaggregates ({} slots):", spec.superaggs.len()));
+        for (i, a) in spec.superaggs.iter().enumerate() {
+            let desc = match a {
+                SuperAggSpec::CountDistinct => "count_distinct$(*)".to_string(),
+                SuperAggSpec::KthSmallest { expr, k } => {
+                    format!("Kth_smallest_value$({expr:?}, {k})")
+                }
+                SuperAggSpec::Sum { expr, agg_slot } => {
+                    format!("sum$({expr:?})  [paired with aggregate slot {agg_slot}]")
+                }
+                SuperAggSpec::Extreme { expr, max } => {
+                    format!("{}$({expr:?})", if *max { "max" } else { "min" })
+                }
+            };
+            line(format!("    [{i}] {desc}"));
+        }
+    }
+    if !spec.sfun_libs.is_empty() {
+        line(format!("  stateful-function libraries ({}):", spec.sfun_libs.len()));
+        for (i, lib) in spec.sfun_libs.iter().enumerate() {
+            line(format!("    [{i}] {}", lib.name()));
+        }
+    }
+    if let Some(c) = &spec.cleaning_when {
+        line(format!("  cleaning when: {c:?}"));
+    }
+    if let Some(c) = &spec.cleaning_by {
+        line(format!("  cleaning by (keep): {c:?}"));
+    }
+    if let Some(h) = &spec.having {
+        line(format!("  having: {h:?}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::plan::{plan, PlannerConfig};
+    use sso_types::Packet;
+
+    #[test]
+    fn explains_the_subset_sum_query() {
+        let q = parse_query(
+            "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+             FROM PKT
+             WHERE ssample(len, 100) = TRUE
+             GROUP BY time/20 as tb, srcIP, destIP, uts
+             HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+             CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+             CLEANING BY ssclean_with(sum(len)) = TRUE",
+        )
+        .unwrap();
+        let spec = plan(&q, &Packet::schema(), &PlannerConfig::standard()).unwrap();
+        let text = explain(&spec);
+        assert!(text.contains("tb := (Column(0) Div Literal(20))  [window]"), "{text}");
+        assert!(text.contains("supergroup: ALL"), "{text}");
+        assert!(text.contains("subsetsum_sampling_state"), "{text}");
+        assert!(text.contains("count_distinct$(*)"), "{text}");
+        assert!(text.contains("cleaning when"), "{text}");
+        assert!(text.contains("having"), "{text}");
+    }
+
+    #[test]
+    fn explains_supergroup_tags() {
+        let q = parse_query(
+            "SELECT tb, srcIP, HX FROM PKT
+             WHERE HX <= Kth_smallest_value$(HX, 8)
+             GROUP BY time/60 as tb, srcIP, H(destIP) as HX
+             SUPERGROUP srcIP",
+        )
+        .unwrap();
+        let spec = plan(&q, &Packet::schema(), &PlannerConfig::empty()).unwrap();
+        let text = explain(&spec);
+        assert!(text.contains("srcIP := Column(2)  [supergroup]"), "{text}");
+        assert!(text.contains("Kth_smallest_value$"), "{text}");
+    }
+}

@@ -1,0 +1,394 @@
+//! Tokenizer for the sampling-query language.
+//!
+//! Keywords are case-insensitive. Identifiers may carry the paper's `$`
+//! suffix marking superaggregates (`count_distinct$`). Both `GROUP BY`
+//! and the paper's occasional `GROUP_BY` spelling are accepted.
+
+use crate::error::QueryError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords.
+    /// `SELECT`
+    Select,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `GROUP`
+    Group,
+    /// `BY`
+    By,
+    /// `AS`
+    As,
+    /// `SUPERGROUP`
+    Supergroup,
+    /// `HAVING`
+    Having,
+    /// `CLEANING`
+    Cleaning,
+    /// `WHEN`
+    When,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    // Values and names.
+    /// An identifier.
+    Ident(String),
+    /// A `$`-suffixed identifier (superaggregate reference).
+    DollarIdent(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal.
+    Str(String),
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub position: usize,
+}
+
+/// The tokenizer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over the query text.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Spanned>, QueryError> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_token()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn next_token(&mut self) -> Result<Option<Spanned>, QueryError> {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+        // Comments: `--` to end of line.
+        if self.src[self.pos..].starts_with(b"--") {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+            return self.next_token();
+        }
+        let start = self.pos;
+        let Some(c) = self.bump() else {
+            return Ok(None);
+        };
+        let token = match c {
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b',' => Token::Comma,
+            b'*' => Token::Star,
+            b'/' => Token::Slash,
+            b'%' => Token::Percent,
+            b'+' => Token::Plus,
+            b'-' => Token::Minus,
+            b'=' => Token::Eq,
+            b'<' => match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    Token::Ne
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    Token::Le
+                }
+                _ => Token::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => {
+                    self.pos += 1;
+                    Token::Ge
+                }
+                _ => Token::Gt,
+            },
+            b'!' => match self.peek() {
+                Some(b'=') => {
+                    self.pos += 1;
+                    Token::Ne
+                }
+                _ => {
+                    return Err(QueryError::Lex {
+                        position: start,
+                        message: "unexpected '!'".to_string(),
+                    })
+                }
+            },
+            b'\'' => {
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => break,
+                        Some(ch) => s.push(ch as char),
+                        None => {
+                            return Err(QueryError::Lex {
+                                position: start,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                Token::Str(s)
+            }
+            b'0'..=b'9' => {
+                let mut end = self.pos;
+                while matches!(self.src.get(end), Some(b'0'..=b'9')) {
+                    end += 1;
+                }
+                let mut is_float = false;
+                if self.src.get(end) == Some(&b'.')
+                    && matches!(self.src.get(end + 1), Some(b'0'..=b'9'))
+                {
+                    is_float = true;
+                    end += 1;
+                    while matches!(self.src.get(end), Some(b'0'..=b'9')) {
+                        end += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..end]).expect("ascii digits");
+                self.pos = end;
+                if is_float {
+                    Token::Float(text.parse().map_err(|e| QueryError::Lex {
+                        position: start,
+                        message: format!("bad float literal: {e}"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|e| QueryError::Lex {
+                        position: start,
+                        message: format!("bad integer literal: {e}"),
+                    })?)
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut end = self.pos;
+                while matches!(
+                    self.src.get(end),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                ) {
+                    end += 1;
+                }
+                let word = std::str::from_utf8(&self.src[start..end]).expect("ascii ident");
+                self.pos = end;
+                // The paper's `$` superaggregate suffix.
+                if self.peek() == Some(b'$') {
+                    self.pos += 1;
+                    return Ok(Some(Spanned {
+                        token: Token::DollarIdent(word.to_string()),
+                        position: start,
+                    }));
+                }
+                match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Select,
+                    "FROM" => Token::From,
+                    "WHERE" => Token::Where,
+                    "GROUP" => Token::Group,
+                    // The paper writes GROUP_BY in some examples.
+                    "GROUP_BY" => Token::Group,
+                    "BY" => Token::By,
+                    "AS" => Token::As,
+                    "SUPERGROUP" => Token::Supergroup,
+                    "HAVING" => Token::Having,
+                    "CLEANING" => Token::Cleaning,
+                    "WHEN" => Token::When,
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    "NOT" => Token::Not,
+                    "TRUE" => Token::True,
+                    "FALSE" => Token::False,
+                    _ => Token::Ident(word.to_string()),
+                }
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    position: start,
+                    message: format!("unexpected character '{}'", other as char),
+                })
+            }
+        };
+        Ok(Some(Spanned { token, position: start }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("select FROM Where"), vec![Token::Select, Token::From, Token::Where]);
+        assert_eq!(toks("cleaning when"), vec![Token::Cleaning, Token::When]);
+    }
+
+    #[test]
+    fn group_by_variants() {
+        assert_eq!(toks("GROUP BY"), vec![Token::Group, Token::By]);
+        assert_eq!(toks("GROUP_BY"), vec![Token::Group]);
+    }
+
+    #[test]
+    fn identifiers_and_dollar_suffix() {
+        assert_eq!(
+            toks("srcIP count_distinct$ Kth_smallest_value$"),
+            vec![
+                Token::Ident("srcIP".into()),
+                Token::DollarIdent("count_distinct".into()),
+                Token::DollarIdent("Kth_smallest_value".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 3.5 0"), vec![Token::Int(42), Token::Float(3.5), Token::Int(0)]);
+        // A bare '.' (no fraction digits) is not part of the language.
+        assert!(Lexer::new("7.").tokenize().is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= <> <= >= < > + - * / % != ( ) ,"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Ne,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_errors() {
+        assert_eq!(toks("'abc'"), vec![Token::Str("abc".into())]);
+        assert!(matches!(
+            Lexer::new("'abc").tokenize(),
+            Err(QueryError::Lex { message, .. }) if message.contains("unterminated")
+        ));
+        assert!(matches!(
+            Lexer::new("a # b").tokenize(),
+            Err(QueryError::Lex { message, .. }) if message.contains("unexpected character")
+        ));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- a comment\n x"),
+            vec![Token::Select, Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let spanned = Lexer::new("SELECT tb").tokenize().unwrap();
+        assert_eq!(spanned[0].position, 0);
+        assert_eq!(spanned[1].position, 7);
+    }
+
+    proptest::proptest! {
+        /// The lexer never panics, whatever bytes it gets: it either
+        /// tokenizes or returns a positioned error.
+        #[test]
+        fn lexer_never_panics(input in "\\PC{0,200}") {
+            let _ = Lexer::new(&input).tokenize();
+        }
+
+        /// Tokenizing valid identifier soup always succeeds and returns
+        /// one token per word.
+        #[test]
+        fn identifier_soup_tokenizes(words in proptest::collection::vec("[a-zA-Z_][a-zA-Z0-9_]{0,10}", 1..20)) {
+            let text = words.join(" ");
+            let toks = Lexer::new(&text).tokenize().unwrap();
+            proptest::prop_assert_eq!(toks.len(), words.len());
+        }
+    }
+
+    #[test]
+    fn paper_query_fragment_lexes() {
+        let q = "WHERE HX <= Kth_smallest_value$(HX, 100)";
+        let t = toks(q);
+        assert_eq!(t[0], Token::Where);
+        assert_eq!(t[2], Token::Le);
+        assert_eq!(t[3], Token::DollarIdent("Kth_smallest_value".into()));
+    }
+}

@@ -1,0 +1,60 @@
+//! # sso-query
+//!
+//! The textual front end for the sampling operator: a lexer, a
+//! recursive-descent parser for the extended aggregation syntax of §5,
+//!
+//! ```text
+//! SELECT <select expression list>
+//! FROM <stream>
+//! WHERE <predicate>
+//! GROUP BY <group-by variable definition list>
+//! [SUPERGROUP <group-by variable list>]
+//! [HAVING <predicate>]
+//! CLEANING WHEN <predicate>
+//! CLEANING BY <predicate>
+//! ```
+//!
+//! and a planner that resolves names against a stream [`Schema`] and a
+//! set of registered SFUN libraries, producing an executable
+//! [`sso_core::OperatorSpec`].
+//!
+//! ```
+//! use sso_query::{compile, PlannerConfig};
+//! use sso_types::Packet;
+//!
+//! let mut op = compile(
+//!     "SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/60 as tb, srcIP",
+//!     &Packet::schema(),
+//!     &PlannerConfig::standard(),
+//! ).unwrap();
+//! let out = op.run(std::iter::empty()).unwrap();
+//! assert!(out.is_empty());
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod explain;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{AstExpr, BinAstOp, Query, SelectItem};
+pub use error::QueryError;
+pub use explain::explain;
+pub use lexer::{Lexer, Token};
+pub use parser::parse_query;
+pub use plan::{plan, PlannerConfig};
+
+use sso_core::SamplingOperator;
+use sso_types::Schema;
+
+/// Parse, plan, and instantiate a query in one step.
+pub fn compile(
+    text: &str,
+    schema: &Schema,
+    config: &PlannerConfig,
+) -> Result<SamplingOperator, QueryError> {
+    let q = parse_query(text)?;
+    let spec = plan(&q, schema, config)?;
+    SamplingOperator::new(spec).map_err(QueryError::Plan)
+}

@@ -1,0 +1,457 @@
+//! Recursive-descent parser for the §5 query syntax.
+
+use crate::ast::{AstExpr, BinAstOp, GroupItem, Query, SelectItem};
+use crate::error::QueryError;
+use crate::lexer::{Lexer, Spanned, Token};
+
+/// Parse a complete query.
+pub fn parse_query(text: &str) -> Result<Query, QueryError> {
+    let tokens = Lexer::new(text).tokenize()?;
+    let mut p = Parser { tokens, pos: 0, len: text.len() };
+    let q = p.query()?;
+    if let Some(t) = p.peek_spanned() {
+        return Err(QueryError::Parse {
+            position: t.position,
+            message: format!("unexpected trailing input: {:?}", t.token),
+        });
+    }
+    Ok(q)
+}
+
+/// Parse a standalone expression (useful for tests and tools).
+pub fn parse_expr(text: &str) -> Result<AstExpr, QueryError> {
+    let tokens = Lexer::new(text).tokenize()?;
+    let mut p = Parser { tokens, pos: 0, len: text.len() };
+    let e = p.expr()?;
+    if let Some(t) = p.peek_spanned() {
+        return Err(QueryError::Parse {
+            position: t.position,
+            message: format!("unexpected trailing input: {:?}", t.token),
+        });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek_spanned(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.peek_spanned().map(|s| &s.token)
+    }
+
+    fn position(&self) -> usize {
+        self.peek_spanned().map(|s| s.position).unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token, what: &str) -> Result<(), QueryError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(QueryError::Parse {
+                position: self.position(),
+                message: format!("expected {what}, found {:?}", self.peek()),
+            })
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, QueryError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(QueryError::Parse {
+                position: self.position(),
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.expect(Token::Select, "SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect(Token::From, "FROM")?;
+        let from = self.ident("stream name")?;
+        let where_clause = if self.eat(&Token::Where) { Some(self.expr()?) } else { None };
+        self.expect(Token::Group, "GROUP BY")?;
+        // GROUP_BY lexes as a single Group token; GROUP BY as two.
+        let _ = self.eat(&Token::By);
+        let mut group_by = vec![self.group_item()?];
+        while self.eat(&Token::Comma) {
+            group_by.push(self.group_item()?);
+        }
+        let mut supergroup = Vec::new();
+        if self.eat(&Token::Supergroup) {
+            let _ = self.eat(&Token::By); // "SUPERGROUP BY" variant
+            supergroup.push(self.ident("supergroup variable")?);
+            while self.eat(&Token::Comma) {
+                supergroup.push(self.ident("supergroup variable")?);
+            }
+        }
+        let having = if self.eat(&Token::Having) { Some(self.expr()?) } else { None };
+        let mut cleaning_when = None;
+        let mut cleaning_by = None;
+        while self.eat(&Token::Cleaning) {
+            match self.bump() {
+                Some(Token::When) => cleaning_when = Some(self.expr()?),
+                Some(Token::By) => cleaning_by = Some(self.expr()?),
+                other => {
+                    return Err(QueryError::Parse {
+                        position: self.position(),
+                        message: format!("expected WHEN or BY after CLEANING, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            supergroup,
+            having,
+            cleaning_when,
+            cleaning_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, QueryError> {
+        let expr = self.expr()?;
+        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn group_item(&mut self) -> Result<GroupItem, QueryError> {
+        let expr = self.expr()?;
+        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        Ok(GroupItem { expr, alias })
+    }
+
+    /// Expression entry: OR-level.
+    pub(crate) fn expr(&mut self) -> Result<AstExpr, QueryError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.and_expr()?;
+            lhs = AstExpr::Binary { op: BinAstOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, QueryError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&Token::And) {
+            let rhs = self.not_expr()?;
+            lhs = AstExpr::Binary { op: BinAstOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr, QueryError> {
+        if self.eat(&Token::Not) {
+            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr, QueryError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinAstOp::Eq,
+            Some(Token::Ne) => BinAstOp::Ne,
+            Some(Token::Le) => BinAstOp::Le,
+            Some(Token::Ge) => BinAstOp::Ge,
+            Some(Token::Lt) => BinAstOp::Lt,
+            Some(Token::Gt) => BinAstOp::Gt,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.additive()?;
+        Ok(AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn additive(&mut self) -> Result<AstExpr, QueryError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinAstOp::Add,
+                Some(Token::Minus) => BinAstOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr, QueryError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinAstOp::Mul,
+                Some(Token::Slash) => BinAstOp::Div,
+                Some(Token::Percent) => BinAstOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr, QueryError> {
+        if self.eat(&Token::Minus) {
+            Ok(AstExpr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, QueryError> {
+        let position = self.position();
+        match self.bump() {
+            Some(Token::Int(v)) => Ok(AstExpr::Int(v)),
+            Some(Token::Float(v)) => Ok(AstExpr::Float(v)),
+            Some(Token::Str(s)) => Ok(AstExpr::Str(s)),
+            Some(Token::True) => Ok(AstExpr::Bool(true)),
+            Some(Token::False) => Ok(AstExpr::Bool(false)),
+            Some(Token::Star) => Ok(AstExpr::Star),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.eat(&Token::LParen) {
+                    let args = self.call_args()?;
+                    Ok(AstExpr::Call { name, superagg: false, args })
+                } else {
+                    Ok(AstExpr::Ident(name))
+                }
+            }
+            Some(Token::DollarIdent(name)) => {
+                self.expect(Token::LParen, "'(' after superaggregate name")?;
+                let args = self.call_args()?;
+                Ok(AstExpr::Call { name, superagg: true, args })
+            }
+            other => Err(QueryError::Parse {
+                position,
+                message: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<AstExpr>, QueryError> {
+        let mut args = Vec::new();
+        if self.eat(&Token::RParen) {
+            return Ok(args);
+        }
+        args.push(self.expr()?);
+        while self.eat(&Token::Comma) {
+            args.push(self.expr()?);
+        }
+        self.expect(Token::RParen, "')'")?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_aggregation() {
+        let q = parse_query(
+            "Select tb, srcIP, destIP, sum(len) From PKT Group by time/60 as tb, srcIP, destIP",
+        )
+        .unwrap();
+        assert_eq!(q.from, "PKT");
+        assert_eq!(q.select.len(), 4);
+        assert_eq!(q.group_by.len(), 3);
+        assert_eq!(q.group_by[0].name(0), "tb");
+        assert!(q.cleaning_when.is_none());
+    }
+
+    #[test]
+    fn parses_the_subset_sum_query_from_the_paper() {
+        let q = parse_query(
+            "SELECT uts, srcIP, destIP, UMAX(sum(len), ssthreshold()) \
+             FROM PKTS \
+             WHERE ssample(len, 100) = TRUE \
+             GROUP BY time/20 as tb, srcIP, destIP, uts \
+             HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE \
+             CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY ssclean_with(sum(len)) = TRUE",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 4);
+        assert!(q.where_clause.is_some());
+        assert!(q.having.is_some());
+        assert!(q.cleaning_when.is_some());
+        assert!(q.cleaning_by.is_some());
+        // count_distinct$(*) parsed as a superaggregate over Star.
+        let h = q.having.unwrap().to_string();
+        assert!(h.contains("count_distinct$(*)"), "{h}");
+    }
+
+    #[test]
+    fn parses_the_minhash_query_with_supergroup() {
+        let q = parse_query(
+            "SELECT tb, srcIP, HX \
+             FROM TCP \
+             WHERE HX <= Kth_smallest_value$(HX, 100) \
+             GROUP_BY time/60 as tb, srcIP, H(destIP) as HX \
+             SUPERGROUP BY tb, srcIP \
+             HAVING HX <= Kth_smallest_value$(HX, 100) \
+             CLEANING WHEN count_distinct$(*) >= 100 \
+             CLEANING BY HX <= Kth_smallest_value$(HX, 100)",
+        )
+        .unwrap();
+        assert_eq!(q.supergroup, vec!["tb".to_string(), "srcIP".to_string()]);
+        assert_eq!(q.group_by[2].name(2), "HX");
+    }
+
+    #[test]
+    fn parses_the_heavy_hitter_query() {
+        let q = parse_query(
+            "SELECT tb, srcIP, sum(len), count(*) \
+             FROM TCP \
+             GROUP BY time/60 as tb, srcIP \
+             CLEANING WHEN local_count(100) = TRUE \
+             CLEANING BY count(*) + first(current_bucket()) > current_bucket()",
+        )
+        .unwrap();
+        assert!(q.cleaning_by.unwrap().to_string().contains("current_bucket()"));
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + (2 * 3))");
+        let e = parse_expr("a = 1 AND b = 2 OR NOT c").unwrap();
+        assert_eq!(e.to_string(), "(((a = 1) AND (b = 2)) OR (NOT c))");
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "((1 + 2) * 3)");
+        let e = parse_expr("-x + 1").unwrap();
+        assert_eq!(e.to_string(), "((-x) + 1)");
+    }
+
+    #[test]
+    fn cleaning_clauses_in_either_order() {
+        let q = parse_query(
+            "SELECT a FROM S GROUP BY a CLEANING BY x = 1 CLEANING WHEN y = 2",
+        )
+        .unwrap();
+        assert!(q.cleaning_when.is_some());
+        assert!(q.cleaning_by.is_some());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_query("SELECT FROM S GROUP BY a").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }), "{err}");
+        let err = parse_query("SELECT a FROM S").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+        let err = parse_expr("1 +").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        let err = parse_expr("1 2").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let text = "SELECT tb, srcIP, HX FROM TCP WHERE HX <= Kth_smallest_value$(HX, 100) \
+                    GROUP BY time/60 as tb, srcIP, H(destIP) as HX SUPERGROUP tb, srcIP";
+        let q1 = parse_query(text).unwrap();
+        let q2 = parse_query(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2, "pretty-printed query must re-parse to the same AST");
+    }
+
+    proptest::proptest! {
+        /// Any expression the generator builds must survive a
+        /// print -> parse round trip.
+        #[test]
+        fn expr_round_trips(e in arb_expr(3)) {
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed).unwrap();
+            proptest::prop_assert_eq!(e, reparsed, "printed: {}", printed);
+        }
+    }
+
+    fn arb_expr(depth: u32) -> impl proptest::strategy::Strategy<Value = AstExpr> {
+        use proptest::prelude::*;
+        let leaf = prop_oneof![
+            (0u64..1000).prop_map(AstExpr::Int),
+            "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+                !matches!(
+                    s.to_ascii_uppercase().as_str(),
+                    "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "AS" | "SUPERGROUP"
+                        | "HAVING" | "CLEANING" | "WHEN" | "AND" | "OR" | "NOT" | "TRUE"
+                        | "FALSE" | "GROUP_BY"
+                )
+            }).prop_map(AstExpr::Ident),
+            Just(AstExpr::Bool(true)),
+            Just(AstExpr::Bool(false)),
+        ];
+        leaf.prop_recursive(depth, 32, 3, |inner| {
+            use proptest::prelude::*;
+            prop_oneof![
+                (
+                    prop_oneof![
+                        Just(BinAstOp::Add),
+                        Just(BinAstOp::Mul),
+                        Just(BinAstOp::Le),
+                        Just(BinAstOp::And),
+                        Just(BinAstOp::Or),
+                    ],
+                    inner.clone(),
+                    inner.clone()
+                )
+                    .prop_map(|(op, l, r)| AstExpr::Binary {
+                        op,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r)
+                    }),
+                inner.clone().prop_map(|e| AstExpr::Not(Box::new(e))),
+                (
+                    "[a-z][a-z0-9_]{0,6}".prop_filter("not kw", |s| !matches!(
+                        s.to_ascii_uppercase().as_str(),
+                        "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "AS" | "SUPERGROUP"
+                            | "HAVING" | "CLEANING" | "WHEN" | "AND" | "OR" | "NOT"
+                            | "TRUE" | "FALSE" | "GROUP_BY"
+                    )),
+                    proptest::bool::ANY,
+                    proptest::collection::vec(inner, 0..3)
+                )
+                    .prop_map(|(name, superagg, args)| AstExpr::Call { name, superagg, args }),
+            ]
+        })
+    }
+}

@@ -1,0 +1,772 @@
+//! The planner: resolve a parsed [`Query`] against a stream [`Schema`]
+//! and the registered SFUN libraries, producing an executable
+//! [`OperatorSpec`].
+//!
+//! Name resolution (per clause scope):
+//!
+//! * **GROUP BY expressions** see only input columns and scalar
+//!   functions.
+//! * **Tuple-phase clauses** (WHERE, CLEANING WHEN, aggregate arguments)
+//!   see input columns, group-by variables, stateful functions, and
+//!   superaggregates — but no aggregates.
+//! * **Group-phase clauses** (SELECT, HAVING, CLEANING BY) see group-by
+//!   variables, aggregates, superaggregates, and stateful functions —
+//!   but no raw input columns (a bare column must be a group-by
+//!   variable).
+//!
+//! Window variables are inferred: a group-by expression referencing an
+//! *ordered* schema attribute (e.g. `time/20 as tb` over
+//! `time increasing`) defines the query window, exactly as Gigascope
+//! determines evaluation windows by analyzing how queries reference
+//! ordered attributes (§3).
+
+use std::sync::Arc;
+
+use sso_core::agg::AggSpec;
+use sso_core::expr::{BinOp, Expr};
+use sso_core::libs::distinct::{self, DistinctOpConfig};
+use sso_core::libs::heavy_hitter;
+use sso_core::libs::reservoir::{self, ReservoirOpConfig};
+use sso_core::libs::subset_sum::{self, SubsetSumOpConfig};
+use sso_core::operator::OperatorSpec;
+use sso_core::sfun::SfunLibrary;
+use sso_core::superagg::SuperAggSpec;
+use sso_types::Schema;
+
+use crate::ast::{AstExpr, BinAstOp, Query};
+use crate::error::QueryError;
+
+/// The libraries (and thereby algorithm parameters) available to
+/// queries.
+#[derive(Clone)]
+pub struct PlannerConfig {
+    /// SFUN libraries, searched in order for function names.
+    pub libraries: Vec<Arc<SfunLibrary>>,
+}
+
+impl PlannerConfig {
+    /// All four SFUN libraries with their default parameters.
+    pub fn standard() -> Self {
+        Self::with_configs(SubsetSumOpConfig::default(), ReservoirOpConfig::default())
+    }
+
+    /// All four SFUN libraries with explicit subset-sum and reservoir
+    /// parameters (the paper's knobs: `N`, `γ`, `f`, `T`).
+    pub fn with_configs(ss: SubsetSumOpConfig, rs: ReservoirOpConfig) -> Self {
+        PlannerConfig {
+            libraries: vec![
+                Arc::new(subset_sum::library(ss)),
+                Arc::new(reservoir::library(rs)),
+                Arc::new(heavy_hitter::library()),
+                Arc::new(distinct::library(DistinctOpConfig::default())),
+            ],
+        }
+    }
+
+    /// No libraries (aggregation/min-hash queries only).
+    pub fn empty() -> Self {
+        PlannerConfig { libraries: Vec::new() }
+    }
+}
+
+/// Plan a parsed query into an operator spec.
+pub fn plan(
+    query: &Query,
+    schema: &Schema,
+    config: &PlannerConfig,
+) -> Result<OperatorSpec, QueryError> {
+    Planner::new(query, schema, config)?.finish(query)
+}
+
+/// Where an expression is being compiled; controls name resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scope {
+    /// A GROUP BY expression.
+    GroupBy,
+    /// WHERE / CLEANING WHEN / aggregate arguments.
+    Tuple,
+    /// SELECT / HAVING / CLEANING BY.
+    Group,
+    /// The key expression of `Kth_smallest_value$`.
+    SuperKey,
+}
+
+impl Scope {
+    fn name(self) -> &'static str {
+        match self {
+            Scope::GroupBy => "GROUP BY",
+            Scope::Tuple => "a tuple-phase clause",
+            Scope::Group => "a group-phase clause",
+            Scope::SuperKey => "a superaggregate key",
+        }
+    }
+}
+
+struct Planner<'a> {
+    schema: &'a Schema,
+    config: &'a PlannerConfig,
+    gb_names: Vec<String>,
+    gb_exprs: Vec<Expr>,
+    window_indices: Vec<usize>,
+    aggregates: Vec<AggSpec>,
+    agg_keys: Vec<String>,
+    superaggs: Vec<SuperAggSpec>,
+    superagg_keys: Vec<String>,
+    /// config library index -> spec slot (first-use order).
+    lib_slots: Vec<Option<usize>>,
+    used_libs: Vec<Arc<SfunLibrary>>,
+}
+
+impl<'a> Planner<'a> {
+    fn new(
+        query: &Query,
+        schema: &'a Schema,
+        config: &'a PlannerConfig,
+    ) -> Result<Self, QueryError> {
+        let mut p = Planner {
+            schema,
+            config,
+            gb_names: Vec::new(),
+            gb_exprs: Vec::new(),
+            window_indices: Vec::new(),
+            aggregates: Vec::new(),
+            agg_keys: Vec::new(),
+            superaggs: Vec::new(),
+            superagg_keys: Vec::new(),
+            lib_slots: vec![None; config.libraries.len()],
+            used_libs: Vec::new(),
+        };
+        if query.group_by.is_empty() {
+            return Err(QueryError::Semantic("GROUP BY list is empty".into()));
+        }
+        for (i, item) in query.group_by.iter().enumerate() {
+            let name = item.name(i);
+            if p.gb_names.contains(&name) {
+                return Err(QueryError::Semantic(format!(
+                    "duplicate group-by variable name `{name}`"
+                )));
+            }
+            let compiled = p.compile(&item.expr, Scope::GroupBy)?;
+            if references_ordered_column(&item.expr, schema) {
+                p.window_indices.push(i);
+            }
+            p.gb_names.push(name);
+            p.gb_exprs.push(compiled);
+        }
+        Ok(p)
+    }
+
+    fn finish(mut self, query: &Query) -> Result<OperatorSpec, QueryError> {
+        // Supergroup: named group-by variables, minus the implicit
+        // window variables.
+        let mut supergroup_indices = Vec::new();
+        for name in &query.supergroup {
+            let idx = self
+                .gb_names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| {
+                    QueryError::Semantic(format!(
+                        "SUPERGROUP variable `{name}` is not a group-by variable"
+                    ))
+                })?;
+            if self.window_indices.contains(&idx) {
+                continue; // ordered vars are implicitly part of every supergroup
+            }
+            if !supergroup_indices.contains(&idx) {
+                supergroup_indices.push(idx);
+            }
+        }
+
+        let where_clause = query
+            .where_clause
+            .as_ref()
+            .map(|e| self.compile(e, Scope::Tuple))
+            .transpose()?;
+        let cleaning_when = query
+            .cleaning_when
+            .as_ref()
+            .map(|e| self.compile(e, Scope::Tuple))
+            .transpose()?;
+        let cleaning_by = query
+            .cleaning_by
+            .as_ref()
+            .map(|e| self.compile(e, Scope::Group))
+            .transpose()?;
+        let having =
+            query.having.as_ref().map(|e| self.compile(e, Scope::Group)).transpose()?;
+        let mut select = Vec::with_capacity(query.select.len());
+        for (i, item) in query.select.iter().enumerate() {
+            let name = item.output_name(i);
+            let compiled = self.compile(&item.expr, Scope::Group)?;
+            select.push((name, compiled));
+        }
+
+        let spec = OperatorSpec {
+            select,
+            where_clause,
+            group_by: self
+                .gb_names
+                .iter()
+                .cloned()
+                .zip(self.gb_exprs.iter().cloned())
+                .collect(),
+            window_indices: self.window_indices.clone(),
+            supergroup_indices,
+            having,
+            cleaning_when,
+            cleaning_by,
+            aggregates: self.aggregates,
+            superaggs: self.superaggs,
+            sfun_libs: self.used_libs,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn gb_index(&self, name: &str) -> Option<usize> {
+        self.gb_names.iter().position(|n| n == name)
+    }
+
+    fn compile(&mut self, e: &AstExpr, scope: Scope) -> Result<Expr, QueryError> {
+        match e {
+            AstExpr::Int(v) => Ok(Expr::lit(*v)),
+            AstExpr::Float(v) => Ok(Expr::lit(*v)),
+            AstExpr::Str(s) => Ok(Expr::lit(s.as_str())),
+            AstExpr::Bool(b) => Ok(Expr::lit(*b)),
+            AstExpr::Star => Err(QueryError::Semantic(
+                "`*` is only valid as the argument of count(*) or count_distinct$(*)".into(),
+            )),
+            AstExpr::Neg(inner) => {
+                let c = self.compile(inner, scope)?;
+                Ok(Expr::lit(0i64).sub(c))
+            }
+            AstExpr::Not(inner) => {
+                let c = self.compile(inner, scope)?;
+                Ok(Expr::Not(Box::new(c)))
+            }
+            AstExpr::Binary { op, lhs, rhs } => {
+                let l = self.compile(lhs, scope)?;
+                let r = self.compile(rhs, scope)?;
+                Ok(Expr::bin(bin_op(*op), l, r))
+            }
+            AstExpr::Ident(name) => {
+                // Group-by variables shadow columns outside GROUP BY.
+                if scope != Scope::GroupBy {
+                    if let Some(i) = self.gb_index(name) {
+                        return Ok(Expr::GroupVar(i));
+                    }
+                }
+                match scope {
+                    Scope::GroupBy | Scope::Tuple => {
+                        let idx = self.schema.index_of(name).map_err(|_| {
+                            QueryError::Semantic(format!(
+                                "unknown name `{name}` (not a column of {} or a group-by variable)",
+                                self.schema.name
+                            ))
+                        })?;
+                        Ok(Expr::Column(idx))
+                    }
+                    Scope::Group => Err(QueryError::Semantic(format!(
+                        "`{name}` referenced in {} but is not a group-by variable or aggregate",
+                        scope.name()
+                    ))),
+                    Scope::SuperKey => Err(QueryError::Semantic(format!(
+                        "superaggregate key `{name}` must be a group-by variable"
+                    ))),
+                }
+            }
+            AstExpr::Call { name, superagg: true, args } => {
+                self.compile_superagg(name, args, scope)
+            }
+            AstExpr::Call { name, superagg: false, args } => {
+                self.compile_call(name, args, scope, e)
+            }
+        }
+    }
+
+    fn compile_superagg(
+        &mut self,
+        name: &str,
+        args: &[AstExpr],
+        scope: Scope,
+    ) -> Result<Expr, QueryError> {
+        if scope == Scope::GroupBy {
+            return Err(QueryError::Semantic(format!(
+                "superaggregate `{name}$` is not allowed in GROUP BY"
+            )));
+        }
+        let key = format!("{name}$({})", join_args(args));
+        if let Some(i) = self.superagg_keys.iter().position(|k| *k == key) {
+            return Ok(Expr::SuperAgg(i));
+        }
+        let spec = match name.to_ascii_lowercase().as_str() {
+            "count_distinct" => {
+                if !(args.is_empty() || args == [AstExpr::Star]) {
+                    return Err(QueryError::Semantic(
+                        "count_distinct$ takes no argument or `*`".into(),
+                    ));
+                }
+                SuperAggSpec::CountDistinct
+            }
+            "kth_smallest_value" => {
+                if args.len() != 2 {
+                    return Err(QueryError::Semantic(
+                        "Kth_smallest_value$ expects (expr, k)".into(),
+                    ));
+                }
+                let expr = self.compile(&args[0], Scope::SuperKey)?;
+                let k = match args[1] {
+                    AstExpr::Int(k) if k > 0 => k as usize,
+                    _ => {
+                        return Err(QueryError::Semantic(
+                            "Kth_smallest_value$'s second argument must be a positive \
+                             integer literal"
+                                .into(),
+                        ))
+                    }
+                };
+                SuperAggSpec::KthSmallest { expr, k }
+            }
+            "min" | "max" => {
+                if args.len() != 1 {
+                    return Err(QueryError::Semantic(format!("{name}$ expects one argument")));
+                }
+                let expr = self.compile(&args[0], Scope::SuperKey)?;
+                SuperAggSpec::Extreme { expr, max: name.eq_ignore_ascii_case("max") }
+            }
+            "sum" => {
+                if args.len() != 1 {
+                    return Err(QueryError::Semantic("sum$ expects one argument".into()));
+                }
+                let tuple_expr = self.compile(&args[0], Scope::Tuple)?;
+                // Pair with a group aggregate over the same expression so
+                // evictions can subtract the group's contribution.
+                let agg_slot =
+                    self.agg_slot(&format!("sum({})", args[0]), || {
+                        Ok(AggSpec::Sum(tuple_expr.clone()))
+                    })?;
+                SuperAggSpec::Sum { expr: tuple_expr, agg_slot }
+            }
+            other => {
+                return Err(QueryError::Semantic(format!("unknown superaggregate `{other}$`")))
+            }
+        };
+        self.superaggs.push(spec);
+        self.superagg_keys.push(key);
+        Ok(Expr::SuperAgg(self.superaggs.len() - 1))
+    }
+
+    fn agg_slot(
+        &mut self,
+        key: &str,
+        make: impl FnOnce() -> Result<AggSpec, QueryError>,
+    ) -> Result<usize, QueryError> {
+        if let Some(i) = self.agg_keys.iter().position(|k| k == key) {
+            return Ok(i);
+        }
+        let spec = make()?;
+        self.aggregates.push(spec);
+        self.agg_keys.push(key.to_string());
+        Ok(self.aggregates.len() - 1)
+    }
+
+    fn compile_call(
+        &mut self,
+        name: &str,
+        args: &[AstExpr],
+        scope: Scope,
+        whole: &AstExpr,
+    ) -> Result<Expr, QueryError> {
+        let lower = name.to_ascii_lowercase();
+        // avg(x) rewrites to sum(x) * 1.0 / count(*) (float-promoted so
+        // integer division cannot truncate).
+        if lower == "avg" {
+            if scope != Scope::Group {
+                return Err(QueryError::Semantic(
+                    "aggregate `avg` is not allowed outside group-phase clauses".into(),
+                ));
+            }
+            if args.len() != 1 {
+                return Err(QueryError::Semantic("avg expects one argument".into()));
+            }
+            let sum = self.compile_call(
+                "sum",
+                args,
+                scope,
+                &AstExpr::Call { name: "sum".into(), superagg: false, args: args.to_vec() },
+            )?;
+            let count = self.compile_call(
+                "count",
+                &[AstExpr::Star],
+                scope,
+                &AstExpr::Call { name: "count".into(), superagg: false, args: vec![AstExpr::Star] },
+            )?;
+            return Ok(Expr::bin(BinOp::Mul, sum, Expr::lit(1.0f64)).div(count));
+        }
+        // Aggregates.
+        if matches!(lower.as_str(), "count" | "sum" | "min" | "max" | "first" | "last") {
+            if scope != Scope::Group {
+                return Err(QueryError::Semantic(format!(
+                    "aggregate `{name}` is not allowed in {}",
+                    scope.name()
+                )));
+            }
+            let key = whole.to_string().to_ascii_lowercase();
+            if let Some(i) = self.agg_keys.iter().position(|k| *k == key) {
+                return Ok(Expr::Aggregate(i));
+            }
+            let spec = if lower == "count" {
+                if !(args.is_empty() || args == [AstExpr::Star]) {
+                    return Err(QueryError::Semantic("count takes `*` or nothing".into()));
+                }
+                AggSpec::Count
+            } else {
+                if args.len() != 1 {
+                    return Err(QueryError::Semantic(format!(
+                        "aggregate `{name}` expects one argument"
+                    )));
+                }
+                let arg = self.compile(&args[0], Scope::Tuple)?;
+                match lower.as_str() {
+                    "sum" => AggSpec::Sum(arg),
+                    "min" => AggSpec::Min(arg),
+                    "max" => AggSpec::Max(arg),
+                    "first" => AggSpec::First(arg),
+                    "last" => AggSpec::Last(arg),
+                    _ => unreachable!("count handled above"),
+                }
+            };
+            self.aggregates.push(spec);
+            self.agg_keys.push(key);
+            return Ok(Expr::Aggregate(self.aggregates.len() - 1));
+        }
+        // Scalar functions.
+        if let Some((sname, fun)) = sso_core::scalar::lookup(name) {
+            let mut compiled = Vec::with_capacity(args.len());
+            for a in args {
+                compiled.push(self.compile(a, scope)?);
+            }
+            return Ok(Expr::Scalar { name: sname, fun, args: compiled });
+        }
+        // Stateful functions.
+        for (ci, lib) in self.config.libraries.iter().enumerate() {
+            if let Some((fname, fun)) = lib.function_entry(name) {
+                if scope == Scope::GroupBy {
+                    return Err(QueryError::Semantic(format!(
+                        "stateful function `{name}` is not allowed in GROUP BY"
+                    )));
+                }
+                let slot = match self.lib_slots[ci] {
+                    Some(s) => s,
+                    None => {
+                        let s = self.used_libs.len();
+                        self.used_libs.push(Arc::clone(lib));
+                        self.lib_slots[ci] = Some(s);
+                        s
+                    }
+                };
+                let mut compiled = Vec::with_capacity(args.len());
+                for a in args {
+                    compiled.push(self.compile(a, scope)?);
+                }
+                return Ok(Expr::Sfun { lib: slot, name: fname, fun, args: compiled });
+            }
+        }
+        Err(QueryError::Semantic(format!("unknown function `{name}`")))
+    }
+}
+
+fn bin_op(op: BinAstOp) -> BinOp {
+    match op {
+        BinAstOp::Add => BinOp::Add,
+        BinAstOp::Sub => BinOp::Sub,
+        BinAstOp::Mul => BinOp::Mul,
+        BinAstOp::Div => BinOp::Div,
+        BinAstOp::Rem => BinOp::Rem,
+        BinAstOp::Eq => BinOp::Eq,
+        BinAstOp::Ne => BinOp::Ne,
+        BinAstOp::Lt => BinOp::Lt,
+        BinAstOp::Le => BinOp::Le,
+        BinAstOp::Gt => BinOp::Gt,
+        BinAstOp::Ge => BinOp::Ge,
+        BinAstOp::And => BinOp::And,
+        BinAstOp::Or => BinOp::Or,
+    }
+}
+
+/// Does this (GROUP BY) expression reference an ordered schema column?
+fn references_ordered_column(e: &AstExpr, schema: &Schema) -> bool {
+    match e {
+        AstExpr::Ident(name) => schema.is_ordered(name),
+        AstExpr::Binary { lhs, rhs, .. } => {
+            references_ordered_column(lhs, schema) || references_ordered_column(rhs, schema)
+        }
+        AstExpr::Not(inner) | AstExpr::Neg(inner) => references_ordered_column(inner, schema),
+        AstExpr::Call { args, .. } => args.iter().any(|a| references_ordered_column(a, schema)),
+        _ => false,
+    }
+}
+
+fn join_args(args: &[AstExpr]) -> String {
+    args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use sso_types::Packet;
+
+    fn pkt_schema() -> Schema {
+        Packet::schema()
+    }
+
+    fn plan_text(text: &str) -> Result<OperatorSpec, QueryError> {
+        let q = parse_query(text).unwrap();
+        plan(&q, &pkt_schema(), &PlannerConfig::standard())
+    }
+
+    #[test]
+    fn plans_simple_aggregation() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, sum(len), count(*) FROM PKT GROUP BY time/60 as tb, srcIP",
+        )
+        .unwrap();
+        assert_eq!(spec.group_by.len(), 2);
+        assert_eq!(spec.window_indices, vec![0], "time/60 defines the window");
+        assert_eq!(spec.aggregates.len(), 2);
+        assert_eq!(spec.select.len(), 4);
+        assert!(spec.sfun_libs.is_empty());
+    }
+
+    #[test]
+    fn dedupes_repeated_aggregates() {
+        let spec = plan_text(
+            "SELECT sum(len), sum(len), sum(len) + count(*) FROM PKT GROUP BY time/60 as tb",
+        )
+        .unwrap();
+        assert_eq!(spec.aggregates.len(), 2, "sum(len) appears once, count(*) once");
+    }
+
+    #[test]
+    fn plans_the_papers_subset_sum_query() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) \
+             FROM PKT \
+             WHERE ssample(len, 100) = TRUE \
+             GROUP BY time/20 as tb, srcIP, destIP, uts \
+             HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE \
+             CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY ssclean_with(sum(len)) = TRUE",
+        )
+        .unwrap();
+        assert_eq!(spec.window_indices, vec![0]);
+        assert!(spec.supergroup_indices.is_empty(), "default ALL supergroup");
+        assert_eq!(spec.sfun_libs.len(), 1);
+        assert_eq!(spec.sfun_libs[0].name(), "subsetsum_sampling_state");
+        assert_eq!(spec.superaggs.len(), 1, "count_distinct$ deduped");
+        assert_eq!(spec.aggregates.len(), 1, "sum(len) deduped");
+    }
+
+    #[test]
+    fn plans_the_papers_minhash_query() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, HX \
+             FROM PKT \
+             WHERE HX <= Kth_smallest_value$(HX, 100) \
+             GROUP_BY time/60 as tb, srcIP, H(destIP) as HX \
+             SUPERGROUP BY tb, srcIP \
+             HAVING HX <= Kth_smallest_value$(HX, 100) \
+             CLEANING WHEN count_distinct$(*) > 100 \
+             CLEANING BY HX <= Kth_smallest_value$(HX, 100)",
+        )
+        .unwrap();
+        assert_eq!(spec.window_indices, vec![0]);
+        // tb is ordered and therefore implicit; srcIP remains.
+        assert_eq!(spec.supergroup_indices, vec![1]);
+        assert_eq!(spec.superaggs.len(), 2, "kth_smallest and count_distinct");
+        assert!(spec.sfun_libs.is_empty());
+    }
+
+    #[test]
+    fn plans_the_papers_heavy_hitter_query() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, sum(len), count(*) \
+             FROM PKT \
+             GROUP BY time/60 as tb, srcIP \
+             CLEANING WHEN local_count(100) = TRUE \
+             CLEANING BY count(*) + first(current_bucket()) > current_bucket()",
+        )
+        .unwrap();
+        assert_eq!(spec.sfun_libs.len(), 1);
+        assert_eq!(spec.sfun_libs[0].name(), "heavy_hitter_state");
+        // sum, count, first(current_bucket()).
+        assert_eq!(spec.aggregates.len(), 3);
+    }
+
+    #[test]
+    fn plans_the_papers_reservoir_query() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, destIP \
+             FROM PKT \
+             WHERE rsample(100) = TRUE \
+             GROUP_BY time/60 as tb, srcIP, destIP \
+             HAVING rsfinal_clean(count_distinct$(*)) = TRUE \
+             CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY rsclean_with() = TRUE",
+        )
+        .unwrap();
+        assert_eq!(spec.sfun_libs.len(), 1);
+        assert_eq!(spec.sfun_libs[0].name(), "reservoir_sampling_state");
+    }
+
+    #[test]
+    fn sum_superaggregate_pairs_a_group_aggregate() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, sum$(len) FROM PKT GROUP BY time/60 as tb, srcIP \
+             SUPERGROUP srcIP",
+        )
+        .unwrap();
+        assert_eq!(spec.superaggs.len(), 1);
+        assert_eq!(spec.aggregates.len(), 1, "paired sum(len) auto-added");
+    }
+
+    #[test]
+    fn avg_rewrites_to_float_sum_over_count() {
+        let spec =
+            plan_text("SELECT tb, avg(len) FROM PKT GROUP BY time/60 as tb").unwrap();
+        // avg adds sum(len) and count(*) slots.
+        assert_eq!(spec.aggregates.len(), 2);
+        // And it dedupes against explicit uses.
+        let spec = plan_text(
+            "SELECT tb, avg(len), sum(len), count(*) FROM PKT GROUP BY time/60 as tb",
+        )
+        .unwrap();
+        assert_eq!(spec.aggregates.len(), 2);
+    }
+
+    #[test]
+    fn min_max_superaggregates_plan() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, HX FROM PKT \
+             WHERE HX <= max$(HX) GROUP BY time/60 as tb, srcIP, H(destIP) as HX \
+             SUPERGROUP srcIP HAVING HX > min$(HX)",
+        )
+        .unwrap();
+        assert_eq!(spec.superaggs.len(), 2);
+    }
+
+    #[test]
+    fn prefix_scalar_groups_by_subnet() {
+        let spec = plan_text(
+            "SELECT net, sum(len) FROM PKT GROUP BY time/60 as tb, prefix(srcIP, 24) as net",
+        )
+        .unwrap();
+        assert_eq!(spec.group_by.len(), 2);
+    }
+
+    #[test]
+    fn distinct_sampling_query_plans_from_text() {
+        let spec = plan_text(
+            "SELECT tb, srcIP, count(*), dscale() FROM PKT \
+             WHERE dsample(srcIP, 256) = TRUE \
+             GROUP BY time/60 as tb, srcIP \
+             CLEANING WHEN ddo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY dclean_with(srcIP) = TRUE",
+        )
+        .unwrap();
+        assert_eq!(spec.sfun_libs.len(), 1);
+        assert_eq!(spec.sfun_libs[0].name(), "distinct_sampling_state");
+    }
+
+    #[test]
+    fn semantic_errors() {
+        // Unknown column.
+        let e = plan_text("SELECT nope FROM PKT GROUP BY time/60 as tb").unwrap_err();
+        assert!(e.to_string().contains("nope"), "{e}");
+        // Aggregate in WHERE.
+        let e = plan_text("SELECT tb FROM PKT WHERE sum(len) > 1 GROUP BY time/60 as tb")
+            .unwrap_err();
+        assert!(e.to_string().contains("not allowed"), "{e}");
+        // Raw column in SELECT that is not grouped.
+        let e = plan_text("SELECT len FROM PKT GROUP BY time/60 as tb").unwrap_err();
+        assert!(e.to_string().contains("group-by variable"), "{e}");
+        // Unknown supergroup variable.
+        let e = plan_text("SELECT tb FROM PKT GROUP BY time/60 as tb SUPERGROUP bogus")
+            .unwrap_err();
+        assert!(e.to_string().contains("bogus"), "{e}");
+        // Unknown function.
+        let e = plan_text("SELECT tb, zap(len) FROM PKT GROUP BY time/60 as tb").unwrap_err();
+        assert!(e.to_string().contains("unknown function"), "{e}");
+        // Unknown superaggregate.
+        let e = plan_text("SELECT tb, weird$(*) FROM PKT GROUP BY time/60 as tb").unwrap_err();
+        assert!(e.to_string().contains("unknown superaggregate"), "{e}");
+        // Duplicate group-by names.
+        let e = plan_text("SELECT tb FROM PKT GROUP BY time/60 as tb, len as tb").unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+        // Bare star.
+        let e = plan_text("SELECT * FROM PKT GROUP BY time/60 as tb").unwrap_err();
+        assert!(e.to_string().contains("only valid"), "{e}");
+    }
+
+    #[test]
+    fn kth_smallest_requires_literal_k_and_gb_key() {
+        let e = plan_text(
+            "SELECT tb FROM PKT WHERE len <= Kth_smallest_value$(len, 10) \
+             GROUP BY time/60 as tb",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("group-by variable"), "{e}");
+        let e = plan_text(
+            "SELECT tb FROM PKT WHERE tb <= Kth_smallest_value$(tb, 0) GROUP BY time/60 as tb",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("positive integer"), "{e}");
+    }
+
+    #[test]
+    fn group_by_variables_shadow_columns() {
+        // srcIP is both a column and (by naming) a group-by variable;
+        // SELECT resolves it as the group-by var.
+        let spec =
+            plan_text("SELECT srcIP FROM PKT GROUP BY time/60 as tb, srcIP").unwrap();
+        match &spec.select[0].1 {
+            Expr::GroupVar(1) => {}
+            other => panic!("expected GroupVar(1), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_and_run_end_to_end() {
+        use crate::compile;
+        use sso_types::{Protocol, Value};
+        let mut op = compile(
+            "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/2 as tb",
+            &pkt_schema(),
+            &PlannerConfig::standard(),
+        )
+        .unwrap();
+        let mut tuples = Vec::new();
+        for s in 0..4u64 {
+            for i in 0..10u64 {
+                let p = Packet {
+                    uts: s * 1_000_000_000 + i,
+                    src_ip: 1,
+                    dest_ip: 2,
+                    src_port: 3,
+                    dest_port: 4,
+                    proto: Protocol::Tcp,
+                    len: 100,
+                };
+                tuples.push(p.to_tuple());
+            }
+        }
+        let outs = op.run(tuples.iter()).unwrap();
+        assert_eq!(outs.len(), 2);
+        for o in &outs {
+            assert_eq!(o.rows[0].get(1), &Value::U64(2000));
+            assert_eq!(o.rows[0].get(2), &Value::U64(20));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! K-minimum-values (KMV) min-hash signatures (§4.3).
+//!
+//! A min-hash signature compresses a set so that the *resemblance*
+//! `ρ(A,B) = |A∩B| / |A∪B|` of two sets can be estimated from the
+//! signatures alone. Following Broder (and the paper), instead of the
+//! minimum of `k` hash functions we keep the `k` minimum values of a
+//! single hash function over the set's elements.
+//!
+//! The sketch also supports the Datar–Muthukrishnan estimators the paper
+//! cites: **distinct count** (from the k-th minimum) and **rarity** (the
+//! fraction of distinct elements appearing exactly once), the latter by
+//! tracking a multiplicity counter per retained hash value.
+
+use std::collections::BTreeMap;
+
+use crate::hash::{splitmix64, to_unit};
+
+/// A KMV sketch: the `k` smallest distinct hash values seen, each with a
+/// multiplicity count (for rarity estimation).
+#[derive(Debug, Clone)]
+pub struct KmvSketch {
+    k: usize,
+    /// hash value -> number of times an element with this hash was seen
+    /// while the hash was retained.
+    mins: BTreeMap<u64, u64>,
+}
+
+impl KmvSketch {
+    /// Create a sketch retaining the `k` smallest hash values.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "kmv signature size must be positive");
+        KmvSketch { k, mins: BTreeMap::new() }
+    }
+
+    /// Signature size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Observe an element by its 64-bit key (hashed internally).
+    pub fn insert(&mut self, key: u64) {
+        self.insert_hash(splitmix64(key));
+    }
+
+    /// Observe a pre-hashed value. Returns `true` if the value is (now)
+    /// part of the signature.
+    pub fn insert_hash(&mut self, h: u64) -> bool {
+        if let Some(count) = self.mins.get_mut(&h) {
+            *count += 1;
+            return true;
+        }
+        if self.mins.len() < self.k {
+            self.mins.insert(h, 1);
+            return true;
+        }
+        let &max = self.mins.last_key_value().expect("non-empty").0;
+        if h < max {
+            self.mins.remove(&max);
+            self.mins.insert(h, 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current number of retained values (≤ k).
+    pub fn len(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// `true` if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.mins.is_empty()
+    }
+
+    /// The k-th smallest hash value seen so far, or `u64::MAX` while fewer
+    /// than `k` values are retained (so `h <= kth_smallest()` admits
+    /// everything during warm-up, matching the operator's WHERE clause).
+    pub fn kth_smallest(&self) -> u64 {
+        if self.mins.len() < self.k {
+            u64::MAX
+        } else {
+            *self.mins.last_key_value().expect("non-empty").0
+        }
+    }
+
+    /// The retained hash values in increasing order.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.mins.keys().copied()
+    }
+
+    /// Estimate of the number of distinct elements: `(k-1) / U(h_k)` where
+    /// `U` maps hashes to the unit interval. Exact when fewer than `k`
+    /// distinct values were seen.
+    pub fn distinct_estimate(&self) -> f64 {
+        if self.mins.len() < self.k {
+            return self.mins.len() as f64;
+        }
+        let kth = to_unit(self.kth_smallest());
+        if kth == 0.0 {
+            return self.mins.len() as f64;
+        }
+        (self.k as f64 - 1.0) / kth
+    }
+
+    /// Estimate of the rarity: the fraction of *distinct* elements that
+    /// appeared exactly once, estimated over the min-wise sample.
+    pub fn rarity_estimate(&self) -> f64 {
+        if self.mins.is_empty() {
+            return 0.0;
+        }
+        let singletons = self.mins.values().filter(|&&c| c == 1).count();
+        singletons as f64 / self.mins.len() as f64
+    }
+
+    /// Merge with another sketch of the same `k`: the signature of the
+    /// union of the two underlying sets.
+    ///
+    /// # Panics
+    /// Panics if the signature sizes differ.
+    pub fn merge(&self, other: &KmvSketch) -> KmvSketch {
+        assert_eq!(self.k, other.k, "cannot merge sketches of different k");
+        let mut out = KmvSketch::new(self.k);
+        let mut merged: BTreeMap<u64, u64> = self.mins.clone();
+        for (&h, &c) in &other.mins {
+            *merged.entry(h).or_insert(0) += c;
+        }
+        out.mins = merged.into_iter().take(self.k).collect();
+        out
+    }
+
+    /// Estimate the resemblance `|A∩B| / |A∪B|` from two signatures:
+    /// among the `k` smallest hashes of the union, the fraction present in
+    /// both signatures.
+    ///
+    /// # Panics
+    /// Panics if the signature sizes differ.
+    pub fn resemblance(&self, other: &KmvSketch) -> f64 {
+        assert_eq!(self.k, other.k, "cannot compare sketches of different k");
+        let union = self.merge(other);
+        if union.is_empty() {
+            return 0.0;
+        }
+        let in_both = union
+            .mins
+            .keys()
+            .filter(|h| self.mins.contains_key(h) && other.mins.contains_key(h))
+            .count();
+        in_both as f64 / union.mins.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "signature size must be positive")]
+    fn zero_k_panics() {
+        let _ = KmvSketch::new(0);
+    }
+
+    #[test]
+    fn retains_k_smallest_distinct() {
+        let mut s = KmvSketch::new(3);
+        for h in [50u64, 10, 40, 20, 30] {
+            s.insert_hash(h);
+        }
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(s.kth_smallest(), 30);
+    }
+
+    #[test]
+    fn kth_smallest_is_max_while_filling() {
+        let mut s = KmvSketch::new(3);
+        assert_eq!(s.kth_smallest(), u64::MAX);
+        s.insert_hash(5);
+        s.insert_hash(6);
+        assert_eq!(s.kth_smallest(), u64::MAX);
+        s.insert_hash(7);
+        assert_eq!(s.kth_smallest(), 7);
+    }
+
+    #[test]
+    fn duplicates_increment_multiplicity_not_size() {
+        let mut s = KmvSketch::new(4);
+        s.insert(1);
+        s.insert(1);
+        s.insert(2);
+        assert_eq!(s.len(), 2);
+        // One of {1,2} appeared twice, the other once.
+        assert!((s.rarity_estimate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_estimate_exact_when_small() {
+        let mut s = KmvSketch::new(100);
+        for key in 0..37u64 {
+            s.insert(key);
+        }
+        assert_eq!(s.distinct_estimate(), 37.0);
+    }
+
+    #[test]
+    fn distinct_estimate_accuracy() {
+        let mut s = KmvSketch::new(256);
+        let true_distinct = 50_000u64;
+        for key in 0..true_distinct {
+            s.insert(key);
+            s.insert(key); // duplicates must not matter
+        }
+        let est = s.distinct_estimate();
+        let rel = (est - true_distinct as f64).abs() / true_distinct as f64;
+        // Standard error ~ 1/sqrt(k) ~ 6%; allow 4 sigma.
+        assert!(rel < 0.25, "estimate {est} vs {true_distinct} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn resemblance_of_identical_sets_is_one() {
+        let mut a = KmvSketch::new(64);
+        let mut b = KmvSketch::new(64);
+        for key in 0..1000u64 {
+            a.insert(key);
+            b.insert(key);
+        }
+        assert_eq!(a.resemblance(&b), 1.0);
+    }
+
+    #[test]
+    fn resemblance_of_disjoint_sets_is_zero() {
+        let mut a = KmvSketch::new(64);
+        let mut b = KmvSketch::new(64);
+        for key in 0..1000u64 {
+            a.insert(key);
+            b.insert(key + 1_000_000);
+        }
+        assert_eq!(a.resemblance(&b), 0.0);
+    }
+
+    #[test]
+    fn resemblance_estimates_overlap() {
+        // |A| = |B| = 3000, |A ∩ B| = 1500, |A ∪ B| = 4500 -> rho = 1/3.
+        let mut a = KmvSketch::new(400);
+        let mut b = KmvSketch::new(400);
+        for key in 0..3000u64 {
+            a.insert(key);
+            b.insert(key + 1500);
+        }
+        let rho = a.resemblance(&b);
+        assert!((rho - 1.0 / 3.0).abs() < 0.1, "rho = {rho}");
+    }
+
+    #[test]
+    fn merge_equals_sketch_of_union() {
+        let mut a = KmvSketch::new(32);
+        let mut b = KmvSketch::new(32);
+        let mut ab = KmvSketch::new(32);
+        for key in 0..500u64 {
+            a.insert(key);
+            ab.insert(key);
+        }
+        for key in 400..900u64 {
+            b.insert(key);
+            ab.insert(key);
+        }
+        let merged = a.merge(&b);
+        assert_eq!(
+            merged.values().collect::<Vec<_>>(),
+            ab.values().collect::<Vec<_>>(),
+            "merged signature must equal the union's signature"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different k")]
+    fn merging_different_k_panics() {
+        let a = KmvSketch::new(4);
+        let b = KmvSketch::new(8);
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn rarity_estimate_tracks_singleton_fraction() {
+        // 100 distinct keys; keys 0..50 appear once, keys 50..100 appear 3x.
+        let mut s = KmvSketch::new(100);
+        for key in 0..50u64 {
+            s.insert(key);
+        }
+        for key in 50..100u64 {
+            for _ in 0..3 {
+                s.insert(key);
+            }
+        }
+        // Sketch holds all 100 distinct keys, so the estimate is exact.
+        assert!((s.rarity_estimate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sketch_estimates() {
+        let s = KmvSketch::new(8);
+        assert!(s.is_empty());
+        assert_eq!(s.distinct_estimate(), 0.0);
+        assert_eq!(s.rarity_estimate(), 0.0);
+        assert_eq!(s.resemblance(&KmvSketch::new(8)), 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # sso-sampling
+//!
+//! Standalone, operator-independent reference implementations of the four
+//! stream-sampling algorithm families the paper runs on its generic
+//! sampling operator (§4):
+//!
+//! * [`reservoir`] — fixed-size uniform sampling: Vitter's Algorithm R and
+//!   the skip-based Algorithm Z ("generate a skip, jump, replace").
+//! * [`lossy`] — the Manku–Motwani lossy-counting heavy-hitters sketch,
+//!   and [`sticky`] — the probabilistic sticky-sampling sibling from the
+//!   same VLDB 2002 paper.
+//! * [`kmv`] — k-minimum-values min-hash signatures with resemblance and
+//!   rarity estimators (Broder; Datar–Muthukrishnan).
+//! * [`subset_sum`] — Duffield–Lund–Thorup threshold ("subset-sum")
+//!   sampling: the basic fixed-threshold form, the dynamic fixed-size form
+//!   with aggressive threshold adjustment, and the paper's **relaxed**
+//!   cross-window variant (§7.1).
+//! * [`distinct`] — Gibbons' distinct sampling (the paper's reference
+//!   \[19\]): a bounded uniform sample over distinct values via hash-level
+//!   thresholds, for distinct-count and distinct-subset queries.
+//! * [`quantile`] — the Greenwald–Khanna quantile summary, the paper's
+//!   §8 example of an algorithm whose COMPRESS phase needs inter-sample
+//!   communication and therefore does *not* fit the operator (it runs
+//!   as a stream UDAF instead).
+//!
+//! These are the ground-truth baselines: the operator-hosted versions in
+//! `sso-core` are tested for distributional agreement against this crate,
+//! and the benchmark harness uses these as the "algorithm outside the
+//! DSMS" comparators.
+
+pub mod distinct;
+pub mod hash;
+pub mod kmv;
+pub mod lossy;
+pub mod quantile;
+pub mod reservoir;
+pub mod sticky;
+pub mod subset_sum;
+
+pub use distinct::DistinctSampler;
+pub use kmv::KmvSketch;
+pub use lossy::LossyCounter;
+pub use quantile::GkSummary;
+pub use reservoir::{Reservoir, SkipReservoir};
+pub use sticky::StickySampler;
+pub use subset_sum::{
+    BasicSubsetSum, DynamicSubsetSum, SubsetSumConfig, ThresholdCarry, WeightedSample,
+};

@@ -1,0 +1,249 @@
+//! Lossy counting (Manku & Motwani, *Approximate frequency counts over
+//! data streams*, VLDB 2002) — the paper's representative "heavy hitters"
+//! algorithm (§4.2).
+//!
+//! The stream is conceptually divided into buckets of width `w = ⌈1/ε⌉`.
+//! Each tracked element carries `(f, Δ)`: its counted frequency since
+//! insertion and the maximum frequency it could have had before insertion
+//! (`b_current - 1` at insertion time). At every bucket boundary, entries
+//! with `f + Δ ≤ b_current` are pruned.
+//!
+//! Guarantees (for true frequency `f_e` and support threshold `s`):
+//! * every element with `f_e ≥ s·N` is reported (no false negatives);
+//! * no element with `f_e < (s - ε)·N` is reported;
+//! * estimated frequencies undercount by at most `ε·N`;
+//! * space is `O((1/ε)·log(ε·N))`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One tracked entry in the lossy-counting sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossyEntry {
+    /// Counted occurrences since the element entered the sketch.
+    pub frequency: u64,
+    /// Maximum possible undercount (`b_current - 1` at insertion).
+    pub delta: u64,
+}
+
+/// The Manku–Motwani lossy-counting sketch.
+#[derive(Debug, Clone)]
+pub struct LossyCounter<T: Eq + Hash> {
+    epsilon: f64,
+    bucket_width: u64,
+    stream_len: u64,
+    entries: HashMap<T, LossyEntry>,
+    prunes: u64,
+}
+
+impl<T: Eq + Hash + Clone> LossyCounter<T> {
+    /// Create a sketch with error bound `epsilon` (0 < ε < 1).
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        LossyCounter {
+            epsilon,
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            stream_len: 0,
+            entries: HashMap::new(),
+            prunes: 0,
+        }
+    }
+
+    /// The current bucket id, `⌈N / w⌉` (1-based; 0 before any insert).
+    pub fn current_bucket(&self) -> u64 {
+        self.stream_len.div_ceil(self.bucket_width)
+    }
+
+    /// Observe one element.
+    pub fn insert(&mut self, item: T) {
+        self.stream_len += 1;
+        let b_current = self.current_bucket();
+        self.entries
+            .entry(item)
+            .and_modify(|e| e.frequency += 1)
+            .or_insert(LossyEntry { frequency: 1, delta: b_current - 1 });
+        // Bucket boundary: prune.
+        if self.stream_len.is_multiple_of(self.bucket_width) {
+            self.entries.retain(|_, e| e.frequency + e.delta > b_current);
+            self.prunes += 1;
+        }
+    }
+
+    /// Elements with estimated frequency at least `(s - ε)·N`, i.e. the
+    /// answer to a heavy-hitters query with support `s`.
+    pub fn query(&self, support: f64) -> Vec<(T, u64)> {
+        let threshold = (support - self.epsilon) * self.stream_len as f64;
+        let mut out: Vec<(T, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.frequency as f64 >= threshold)
+            .map(|(k, e)| (k.clone(), e.frequency))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+
+    /// Estimated frequency of `item` (0 if not tracked). Undercounts the
+    /// true frequency by at most `ε·N`.
+    pub fn estimate(&self, item: &T) -> u64 {
+        self.entries.get(item).map(|e| e.frequency).unwrap_or(0)
+    }
+
+    /// Total elements observed.
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Number of tracked entries (the sketch's space).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// How many prune (cleaning) phases have run.
+    pub fn prunes(&self) -> u64 {
+        self.prunes
+    }
+
+    /// The configured error bound.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Bucket width `w = ⌈1/ε⌉`.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn rejects_bad_epsilon() {
+        let _ = LossyCounter::<u64>::new(1.5);
+    }
+
+    #[test]
+    fn bucket_width_is_ceil_inverse_epsilon() {
+        assert_eq!(LossyCounter::<u64>::new(0.01).bucket_width(), 100);
+        assert_eq!(LossyCounter::<u64>::new(0.3).bucket_width(), 4);
+    }
+
+    #[test]
+    fn exact_counts_within_first_bucket() {
+        let mut lc = LossyCounter::new(0.1); // w = 10
+        for _ in 0..3 {
+            lc.insert("a");
+        }
+        lc.insert("b");
+        assert_eq!(lc.estimate(&"a"), 3);
+        assert_eq!(lc.estimate(&"b"), 1);
+        assert_eq!(lc.estimate(&"c"), 0);
+    }
+
+    #[test]
+    fn prunes_rare_items_at_bucket_boundary() {
+        let mut lc = LossyCounter::new(0.25); // w = 4
+        // Bucket 1: a a a b  -> boundary prunes b (f=1, Δ=0, 1+0 <= 1).
+        for item in ["a", "a", "a", "b"] {
+            lc.insert(item);
+        }
+        assert_eq!(lc.estimate(&"b"), 0);
+        assert_eq!(lc.estimate(&"a"), 3);
+        assert_eq!(lc.prunes(), 1);
+    }
+
+    /// The two-sided guarantee on a skewed random stream.
+    #[test]
+    fn heavy_hitter_guarantees_hold() {
+        let epsilon = 0.005;
+        let support = 0.02;
+        let mut lc = LossyCounter::new(epsilon);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        let n = 200_000;
+        for _ in 0..n {
+            // Zipf-ish: item k chosen with probability ~ 1/(k+1).
+            let r: f64 = rng.gen();
+            let item = ((1.0 / (r + 0.005)) as u32).min(400);
+            lc.insert(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let n = lc.stream_len();
+        let reported: HashMap<u32, u64> = lc.query(support).into_iter().collect();
+        for (&item, &f) in &truth {
+            let frac = f as f64 / n as f64;
+            if frac >= support {
+                assert!(reported.contains_key(&item), "missed heavy hitter {item} ({frac:.4})");
+            }
+            if frac < support - epsilon {
+                assert!(!reported.contains_key(&item), "false positive {item} ({frac:.4})");
+            }
+            // Estimate undercounts by at most eps*N.
+            let est = lc.estimate(&item);
+            assert!(est <= f, "overcount for {item}: est {est} > true {f}");
+            assert!(
+                f - est <= (epsilon * n as f64).ceil() as u64,
+                "undercount too large for {item}: est {est}, true {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_stays_bounded_on_uniform_stream() {
+        // Uniform stream over a large domain is the worst case for naive
+        // counting; lossy counting keeps O((1/eps) log(eps N)) entries.
+        let epsilon = 0.01;
+        let mut lc = LossyCounter::new(epsilon);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100_000u64 {
+            lc.insert(rng.gen::<u32>());
+        }
+        let n = lc.stream_len() as f64;
+        let bound = (1.0 / epsilon) * (epsilon * n).ln();
+        // Generous multiple of the theoretical bound.
+        assert!(
+            (lc.tracked() as f64) < 3.0 * bound,
+            "tracked {} exceeds 3x bound {bound:.0}",
+            lc.tracked()
+        );
+    }
+
+    #[test]
+    fn current_bucket_progression() {
+        let mut lc = LossyCounter::new(0.5); // w = 2
+        assert_eq!(lc.current_bucket(), 0);
+        lc.insert(1u8);
+        assert_eq!(lc.current_bucket(), 1);
+        lc.insert(1);
+        assert_eq!(lc.current_bucket(), 1);
+        lc.insert(1);
+        assert_eq!(lc.current_bucket(), 2);
+    }
+
+    #[test]
+    fn query_is_sorted_by_frequency_descending() {
+        let mut lc = LossyCounter::new(0.01);
+        for _ in 0..5 {
+            lc.insert("x");
+        }
+        for _ in 0..9 {
+            lc.insert("y");
+        }
+        for _ in 0..2 {
+            lc.insert("z");
+        }
+        let out = lc.query(0.05);
+        let freqs: Vec<u64> = out.iter().map(|(_, f)| *f).collect();
+        let mut sorted = freqs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(freqs, sorted);
+    }
+}

@@ -1,0 +1,247 @@
+//! Greenwald–Khanna ε-approximate quantile summaries (SIGMOD 2001) —
+//! the paper's §8 counter-example.
+//!
+//! The conclusion singles out this algorithm as one that does **not**
+//! fit the sampling operator: its COMPRESS phase merges *adjacent*
+//! samples, which requires inter-sample communication, whereas the
+//! operator's cleaning phase evaluates each group independently. We
+//! implement it here (a) to make that boundary concrete in code — see
+//! the `operator_expressibility` notes and tests — and (b) because the
+//! paper's companion work \[14\] ran it as a stream UDAF, which our
+//! `sso-gigascope` users can do directly with this type.
+//!
+//! Guarantee: after `insert`ing `n` values, `query(phi)` returns a value
+//! whose rank is within `ε·n` of `⌈phi·n⌉`.
+
+/// One summary tuple `(v, g, Δ)`: value, rank gap to the previous
+/// tuple's minimum rank, and maximum rank uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GkEntry {
+    value: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// A Greenwald–Khanna ε-approximate quantile summary.
+#[derive(Debug, Clone)]
+pub struct GkSummary {
+    epsilon: f64,
+    entries: Vec<GkEntry>,
+    count: u64,
+    compress_every: u64,
+}
+
+impl GkSummary {
+    /// Create a summary with error bound `epsilon` (0 < ε < 1).
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        GkSummary {
+            epsilon,
+            entries: Vec::new(),
+            count: 0,
+            compress_every: (1.0 / (2.0 * epsilon)).floor().max(1.0) as u64,
+        }
+    }
+
+    /// Observe one value.
+    pub fn insert(&mut self, value: f64) {
+        let pos = self.entries.partition_point(|e| e.value < value);
+        let delta = if pos == 0 || pos == self.entries.len() {
+            // New minimum or maximum: exact rank.
+            0
+        } else {
+            ((2.0 * self.epsilon * self.count as f64).floor() as u64).saturating_sub(1)
+        };
+        self.entries.insert(pos, GkEntry { value, g: 1, delta });
+        self.count += 1;
+        if self.count.is_multiple_of(self.compress_every) {
+            self.compress();
+        }
+    }
+
+    /// The COMPRESS phase: merge a tuple into its successor when their
+    /// combined uncertainty stays within `2·ε·n`. This is exactly the
+    /// *inter-sample* operation the sampling operator cannot express —
+    /// a CLEANING BY predicate sees one group at a time, but deleting a
+    /// GK tuple must add its `g` to the *adjacent* tuple.
+    fn compress(&mut self) {
+        let threshold = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let mut i = self.entries.len().saturating_sub(2);
+        while i >= 1 {
+            let merged_g = self.entries[i].g + self.entries[i + 1].g;
+            if merged_g + self.entries[i + 1].delta <= threshold {
+                self.entries[i + 1].g = merged_g;
+                self.entries.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// The ε-approximate `phi`-quantile (0 ≤ phi ≤ 1).
+    ///
+    /// Returns `None` before any insert.
+    pub fn query(&self, phi: f64) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let phi = phi.clamp(0.0, 1.0);
+        let rank = (phi * self.count as f64).ceil().max(1.0) as u64;
+        let allow = (self.epsilon * self.count as f64) as u64;
+        // Standard GK query: the last entry whose maximum possible rank
+        // stays within rank + εn.
+        let mut r_min = 0u64;
+        let mut answer = self.entries[0].value;
+        for e in &self.entries {
+            r_min += e.g;
+            if r_min + e.delta > rank + allow {
+                return Some(answer);
+            }
+            answer = e.value;
+        }
+        Some(answer)
+    }
+
+    /// Values observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Summary size in tuples (the space the sketch actually uses).
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The configured error bound.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0,1)")]
+    fn rejects_bad_epsilon() {
+        let _ = GkSummary::new(0.0);
+    }
+
+    #[test]
+    fn empty_summary_returns_none() {
+        let s = GkSummary::new(0.01);
+        assert_eq!(s.query(0.5), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_value_is_every_quantile() {
+        let mut s = GkSummary::new(0.1);
+        s.insert(42.0);
+        assert_eq!(s.query(0.0), Some(42.0));
+        assert_eq!(s.query(0.5), Some(42.0));
+        assert_eq!(s.query(1.0), Some(42.0));
+    }
+
+    fn rank_error(sorted: &[f64], answer: f64, phi: f64) -> f64 {
+        let n = sorted.len() as f64;
+        let target = (phi * n).ceil().max(1.0);
+        // The answer's possible ranks span its duplicate run.
+        let lo = sorted.partition_point(|&v| v < answer) as f64 + 1.0;
+        let hi = sorted.partition_point(|&v| v <= answer) as f64;
+        if target < lo {
+            (lo - target) / n
+        } else if target > hi {
+            (target - hi) / n
+        } else {
+            0.0
+        }
+    }
+
+    #[test]
+    fn quantiles_within_epsilon_on_uniform_data() {
+        let epsilon = 0.01;
+        let mut s = GkSummary::new(epsilon);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut values: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>() * 1000.0).collect();
+        for &v in &values {
+            s.insert(v);
+        }
+        values.sort_by(f64::total_cmp);
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let ans = s.query(phi).unwrap();
+            let err = rank_error(&values, ans, phi);
+            assert!(err <= epsilon + 1e-9, "phi {phi}: rank error {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_within_epsilon_on_skewed_data() {
+        let epsilon = 0.02;
+        let mut s = GkSummary::new(epsilon);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Heavy-tailed: packet-length-like mix.
+        let mut values: Vec<f64> = (0..30_000)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.5 {
+                    40.0
+                } else if rng.gen::<f64>() < 0.6 {
+                    1500.0
+                } else {
+                    rng.gen_range(41.0..1500.0)
+                }
+            })
+            .collect();
+        for &v in &values {
+            s.insert(v);
+        }
+        values.sort_by(f64::total_cmp);
+        for phi in [0.1, 0.5, 0.9] {
+            let ans = s.query(phi).unwrap();
+            let err = rank_error(&values, ans, phi);
+            assert!(err <= epsilon + 1e-9, "phi {phi}: rank error {err} (answer {ans})");
+        }
+    }
+
+    #[test]
+    fn sorted_input_compresses() {
+        // Sorted input is GK's best case; the summary must stay far
+        // below n.
+        let mut s = GkSummary::new(0.01);
+        for i in 0..100_000 {
+            s.insert(i as f64);
+        }
+        assert!(
+            s.size() < 2_000,
+            "summary size {} should be O((1/eps) log(eps n))",
+            s.size()
+        );
+        let median = s.query(0.5).unwrap();
+        assert!((median - 50_000.0).abs() < 1_500.0, "median {median}");
+    }
+
+    #[test]
+    fn space_stays_sublinear_on_random_input() {
+        let mut s = GkSummary::new(0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            s.insert(rng.gen::<f64>());
+        }
+        assert!(s.size() < 5_000, "summary size {}", s.size());
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut s = GkSummary::new(0.05);
+        for i in 0..1000 {
+            s.insert(i as f64);
+        }
+        assert_eq!(s.query(0.0), Some(0.0));
+        assert_eq!(s.query(1.0), Some(999.0));
+    }
+}

@@ -1,0 +1,240 @@
+//! Sticky sampling (Manku & Motwani, VLDB 2002) — the probabilistic
+//! sibling of lossy counting from the same paper (the paper's reference
+//! \[3\] describes both).
+//!
+//! Entries are *sampled into* the table with rate `r` (an element not in
+//! the table is added with probability `1/r`); once tracked, an entry's
+//! count is exact from that point ("sticky"). The rate doubles as the
+//! stream grows, and at each rate change every tracked entry is
+//! re-certified by a sequence of coin flips (its count is decremented
+//! per tails; heads stops the flips; a count hitting zero evicts the
+//! entry).
+//!
+//! Guarantees (support `s`, error `ε`, failure probability `δ`): every
+//! element with true frequency ≥ `s·n` is reported with probability at
+//! least `1 − δ`; estimated counts undercount by at most `ε·n` in
+//! expectation; space is `O((2/ε)·log(1/(s·δ)))` *independent of n*.
+//!
+//! On the sampling operator this is yet another admit/clean/finalize
+//! instance: WHERE = the sampling coin, CLEANING WHEN = the rate change,
+//! CLEANING BY = the re-certification flips.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rand::Rng;
+
+/// The sticky-sampling sketch.
+#[derive(Debug, Clone)]
+pub struct StickySampler<T: Eq + Hash> {
+    support: f64,
+    epsilon: f64,
+    /// `t = (2/ε)·log(1/(s·δ))`: the window after which the rate doubles.
+    t: f64,
+    rate: u64,
+    stream_len: u64,
+    /// Length at which the next rate doubling happens.
+    next_boundary: u64,
+    entries: HashMap<T, u64>,
+    rate_changes: u64,
+}
+
+impl<T: Eq + Hash + Clone> StickySampler<T> {
+    /// Create a sketch for support `s`, error `ε < s`, and failure
+    /// probability `δ`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < s < 1` and `0 < δ < 1`.
+    pub fn new(support: f64, epsilon: f64, delta: f64) -> Self {
+        assert!(
+            0.0 < epsilon && epsilon < support && support < 1.0,
+            "need 0 < epsilon < support < 1"
+        );
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let t = 2.0 / epsilon * (1.0 / (support * delta)).ln();
+        StickySampler {
+            support,
+            epsilon,
+            t,
+            rate: 1,
+            stream_len: 0,
+            next_boundary: (2.0 * t) as u64,
+            entries: HashMap::new(),
+            rate_changes: 0,
+        }
+    }
+
+    /// Observe one element.
+    pub fn insert<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.stream_len += 1;
+        if self.stream_len > self.next_boundary {
+            self.rate *= 2;
+            self.next_boundary *= 2;
+            self.rate_changes += 1;
+            self.recertify(rng);
+        }
+        if let Some(count) = self.entries.get_mut(&item) {
+            *count += 1;
+            return;
+        }
+        // Sample new entries with probability 1/rate.
+        if self.rate == 1 || rng.gen_range(0..self.rate) == 0 {
+            self.entries.insert(item, 1);
+        }
+    }
+
+    /// The rate-change cleaning phase: for each entry, flip coins and
+    /// decrement per tails until heads; evict entries that reach zero.
+    fn recertify<R: Rng>(&mut self, rng: &mut R) {
+        self.entries.retain(|_, count| {
+            while *count > 0 && rng.gen_bool(0.5) {
+                *count -= 1;
+            }
+            *count > 0
+        });
+    }
+
+    /// Elements with estimated frequency at least `(s − ε)·n`.
+    pub fn query(&self) -> Vec<(T, u64)> {
+        let threshold = (self.support - self.epsilon) * self.stream_len as f64;
+        let mut out: Vec<(T, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, &c)| c as f64 >= threshold)
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+
+    /// Estimated count of `item` (0 if untracked; never overcounts).
+    pub fn estimate(&self, item: &T) -> u64 {
+        self.entries.get(item).copied().unwrap_or(0)
+    }
+
+    /// Elements observed.
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Tracked entries (the sketch's space).
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Rate-doubling (cleaning) phases so far.
+    pub fn rate_changes(&self) -> u64 {
+        self.rate_changes
+    }
+
+    /// The configured space window `t`.
+    pub fn t(&self) -> f64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "epsilon < support")]
+    fn rejects_bad_parameters() {
+        let _ = StickySampler::<u64>::new(0.01, 0.02, 0.1);
+    }
+
+    #[test]
+    fn exact_until_first_boundary() {
+        let mut s = StickySampler::new(0.1, 0.01, 0.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            s.insert("a", &mut rng);
+        }
+        assert_eq!(s.estimate(&"a"), 100, "rate 1 counts exactly");
+    }
+
+    #[test]
+    fn never_overcounts() {
+        let mut s = StickySampler::new(0.05, 0.01, 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for i in 0..200_000u64 {
+            let item = (i % 97) as u32; // uniform over 97 items
+            s.insert(item, &mut rng);
+            *truth.entry(item).or_default() += 1;
+        }
+        for (item, &f) in &truth {
+            assert!(s.estimate(item) <= f, "overcount for {item}");
+        }
+    }
+
+    #[test]
+    fn reports_heavy_hitters() {
+        let support = 0.05;
+        let epsilon = 0.01;
+        let mut s = StickySampler::new(support, epsilon, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        let n = 500_000u64;
+        for i in 0..n {
+            // Item 0: 20% of the stream; item 1: 8%; the rest uniform.
+            let item = match i % 25 {
+                0..=4 => 0u32,
+                5..=6 => 1,
+                r => 100 + r as u32,
+            };
+            s.insert(item, &mut rng);
+            *truth.entry(item).or_default() += 1;
+        }
+        let reported: HashMap<u32, u64> = s.query().into_iter().collect();
+        for (&item, &f) in &truth {
+            if f as f64 >= support * n as f64 {
+                assert!(
+                    reported.contains_key(&item),
+                    "missed heavy hitter {item} (freq {})",
+                    f as f64 / n as f64
+                );
+            }
+            if (f as f64) < (support - epsilon) * n as f64 {
+                assert!(!reported.contains_key(&item), "false positive {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn space_is_independent_of_stream_length() {
+        let mut s = StickySampler::new(0.02, 0.01, 0.1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut peak = 0usize;
+        for i in 0..1_000_000u64 {
+            // Uniform over a huge domain: worst case for space.
+            s.insert(i, &mut rng);
+            peak = peak.max(s.tracked());
+        }
+        // Expected space ~ 2t = (4/eps) ln(1/(s*delta)) ~ 2500; generous.
+        assert!(peak < 10_000, "peak tracked {peak}");
+        assert!(s.rate_changes() > 5, "rate must have doubled repeatedly");
+    }
+
+    #[test]
+    fn undercount_is_bounded_in_expectation() {
+        // For a heavily repeated item, the undercount is the time before
+        // it got sampled at the final rate ~ rate coin flips ~ eps*n/2.
+        let epsilon = 0.02;
+        let mut s = StickySampler::new(0.1, epsilon, 0.05);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 300_000u64;
+        for _ in 0..n {
+            s.insert("hot", &mut rng);
+        }
+        let est = s.estimate(&"hot");
+        assert!(est <= n);
+        assert!(
+            n - est <= (2.0 * epsilon * n as f64) as u64,
+            "undercount {} beyond 2*eps*n",
+            n - est
+        );
+    }
+}

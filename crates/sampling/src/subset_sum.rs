@@ -1,0 +1,627 @@
+//! Subset-sum (threshold) sampling (Duffield, Lund, Thorup — "learn more,
+//! sample less"; §4.4 of the paper).
+//!
+//! Given tuples `(color, weight)`, the sample supports unbiased estimates
+//! of `Σ weight` over *any* color subset: every tuple with `weight > z` is
+//! kept, and small tuples are sampled one per `z` of accumulated small
+//! weight via a deterministic counter, reported at adjusted weight `z`.
+//!
+//! Three variants, matching the paper:
+//!
+//! * [`BasicSubsetSum`] — fixed threshold `z`; sample size varies with
+//!   load.
+//! * [`DynamicSubsetSum`] — fixed *sample size* `N`: collect with the
+//!   basic scheme, and whenever the sample exceeds `γ·N`, raise `z`
+//!   (aggressive adjustment) and re-subsample the collected sample — the
+//!   operator's *cleaning phase*. At the window border a final cleaning
+//!   brings the sample to ≈ `N`.
+//! * relaxed vs non-relaxed cross-window carry-over ([`ThresholdCarry`]):
+//!   the next window's starting threshold is the load-adjusted final
+//!   threshold divided by the relaxation factor `f` (paper: `f = 10`).
+//!   `f = 1` is the non-relaxed algorithm, which badly *under-estimates*
+//!   when load drops sharply — with `z` near the whole window's volume,
+//!   the small-tuple counter never crosses `z` and all small traffic is
+//!   lost (Figure 2's pathology).
+
+/// A sampled tuple with its original weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedSample<T> {
+    /// The sampled item.
+    pub item: T,
+    /// The item's original (unadjusted) weight.
+    pub weight: u64,
+}
+
+/// Basic threshold sampling with a fixed threshold `z`.
+///
+/// The unbiased estimator for the sampled set is `Σ max(weight, z)`.
+#[derive(Debug, Clone)]
+pub struct BasicSubsetSum {
+    z: f64,
+    counter: f64,
+    offered: u64,
+    sampled: u64,
+}
+
+impl BasicSubsetSum {
+    /// Create with threshold `z` (must be non-negative; `z = 0` samples
+    /// every tuple).
+    pub fn new(z: f64) -> Self {
+        assert!(z >= 0.0 && z.is_finite(), "threshold must be finite and non-negative");
+        BasicSubsetSum { z, counter: 0.0, offered: 0, sampled: 0 }
+    }
+
+    /// Decide whether to sample a tuple of the given weight.
+    ///
+    /// Large tuples (`weight > z`) are always sampled; small tuples are
+    /// sampled once per `z` of accumulated small weight.
+    #[inline]
+    pub fn offer(&mut self, weight: u64) -> bool {
+        self.offered += 1;
+        let w = weight as f64;
+        let keep = if w > self.z {
+            true
+        } else {
+            self.counter += w;
+            if self.counter > self.z {
+                self.counter -= self.z;
+                true
+            } else {
+                false
+            }
+        };
+        if keep {
+            self.sampled += 1;
+        }
+        keep
+    }
+
+    /// The threshold.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The estimator weight of a sampled tuple: `max(weight, z)`.
+    pub fn adjusted_weight(&self, weight: u64) -> f64 {
+        (weight as f64).max(self.z)
+    }
+
+    /// Tuples offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Tuples sampled so far.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Residual small-tuple weight not yet represented by a sample. This
+    /// (bounded by `z`) is the volume the deterministic scheme loses at a
+    /// window border — the root cause of the non-relaxed pathology.
+    pub fn residual(&self) -> f64 {
+        self.counter
+    }
+}
+
+/// Configuration of the dynamic (fixed-size) subset-sum sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsetSumConfig {
+    /// Desired sample size `N` per window.
+    pub target: usize,
+    /// Cleaning trigger: clean when the sample exceeds `gamma * target`.
+    /// The paper uses `γ = 2`.
+    pub gamma: f64,
+    /// Starting threshold for the first window.
+    pub initial_z: f64,
+    /// Cross-window relaxation factor `f` (`1.0` = non-relaxed; the paper
+    /// recommends `10.0`).
+    pub relax_factor: f64,
+}
+
+impl SubsetSumConfig {
+    /// Paper-default configuration: `γ = 2`, relaxed with `f = 10`.
+    pub fn new(target: usize) -> Self {
+        SubsetSumConfig { target, gamma: 2.0, initial_z: 0.0, relax_factor: 10.0 }
+    }
+
+    /// Disable relaxation (`f = 1`), the paper's "non-relaxed" baseline.
+    pub fn non_relaxed(mut self) -> Self {
+        self.relax_factor = 1.0;
+        self
+    }
+
+    /// Set the cleaning-trigger multiplier γ.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(gamma > 1.0, "gamma must exceed 1");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Set the first window's threshold.
+    pub fn with_initial_z(mut self, z: f64) -> Self {
+        self.initial_z = z;
+        self
+    }
+
+    /// Set the relaxation factor `f`.
+    pub fn with_relax_factor(mut self, f: f64) -> Self {
+        assert!(f >= 1.0, "relaxation factor must be at least 1");
+        self.relax_factor = f;
+        self
+    }
+}
+
+/// Cross-window threshold carry-over policy (§6.1, §7.1).
+///
+/// The next window's starting threshold is estimated from the old
+/// window's final threshold, scaled down when the window under-sampled,
+/// then divided by the relaxation factor `f`.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdCarry {
+    /// Relaxation factor `f ≥ 1`.
+    pub relax_factor: f64,
+}
+
+impl ThresholdCarry {
+    /// Compute the next window's starting threshold.
+    pub fn next_z(&self, z_end: f64, final_count: usize, target: usize) -> f64 {
+        let base = if final_count >= target || target == 0 {
+            z_end
+        } else if final_count == 0 {
+            // Nothing sampled: assume the threshold overshot by at least
+            // the full target factor.
+            z_end / target as f64
+        } else {
+            // The paper's downward adjustment: z' = z * (|S| / M).
+            z_end * final_count as f64 / target as f64
+        };
+        base / self.relax_factor
+    }
+}
+
+/// Result of closing one window of dynamic subset-sum sampling.
+#[derive(Debug, Clone)]
+pub struct WindowResult<T> {
+    /// The final sample (≈ `target` tuples).
+    pub samples: Vec<WeightedSample<T>>,
+    /// The final threshold; `ssthreshold()` in the paper's query.
+    pub z_final: f64,
+    /// Cleaning phases run during the window (including the final one).
+    pub cleanings: u32,
+    /// Tuples admitted to the sample during the window (before cleaning
+    /// evictions) — Figure 3's metric.
+    pub admissions: u64,
+    /// Tuples offered during the window.
+    pub offered: u64,
+}
+
+impl<T> WindowResult<T> {
+    /// Unbiased estimate of the window's total weight:
+    /// `Σ max(weight, z_final)`.
+    pub fn estimate(&self) -> f64 {
+        self.samples.iter().map(|s| (s.weight as f64).max(self.z_final)).sum()
+    }
+}
+
+/// Dynamic (fixed-sample-size) subset-sum sampling over successive
+/// windows.
+#[derive(Debug, Clone)]
+pub struct DynamicSubsetSum<T> {
+    cfg: SubsetSumConfig,
+    z: f64,
+    counter: f64,
+    samples: Vec<WeightedSample<T>>,
+    cleanings: u32,
+    admissions: u64,
+    offered: u64,
+}
+
+impl<T: Clone> DynamicSubsetSum<T> {
+    /// Create a sampler; the first window starts at `cfg.initial_z`.
+    pub fn new(cfg: SubsetSumConfig) -> Self {
+        assert!(cfg.target > 0, "target sample size must be positive");
+        DynamicSubsetSum {
+            z: cfg.initial_z,
+            cfg,
+            counter: 0.0,
+            samples: Vec::new(),
+            cleanings: 0,
+            admissions: 0,
+            offered: 0,
+        }
+    }
+
+    /// The current threshold.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The current (uncleaned) sample size.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Cleaning phases run in the current window so far.
+    pub fn cleanings(&self) -> u32 {
+        self.cleanings
+    }
+
+    /// Offer one tuple. Returns `true` if it was admitted to the sample
+    /// (it may still be evicted by a later cleaning phase).
+    pub fn offer(&mut self, item: T, weight: u64) -> bool {
+        self.offered += 1;
+        let w = weight as f64;
+        let admit = if w > self.z {
+            true
+        } else {
+            self.counter += w;
+            if self.counter > self.z {
+                self.counter -= self.z;
+                true
+            } else {
+                false
+            }
+        };
+        if admit {
+            self.samples.push(WeightedSample { item, weight });
+            self.admissions += 1;
+            if self.samples.len() as f64 > self.cfg.gamma * self.cfg.target as f64 {
+                self.clean();
+            }
+        }
+        admit
+    }
+
+    /// The threshold the next cleaning phase would adopt: the paper's
+    /// aggressive adjustment `z' = z · max(1, (|S|-B)/(M-B))`, with a
+    /// volume-based bootstrap when the formula is unusable (`z = 0` or
+    /// `B ≥ M`).
+    fn target_z(&self) -> f64 {
+        let s = self.samples.len();
+        let m = self.cfg.target;
+        let b = self.samples.iter().filter(|x| (x.weight as f64) > self.z).count();
+        if self.z > 0.0 && b < m {
+            self.z * (1.0f64).max((s - b) as f64 / (m - b) as f64)
+        } else {
+            // Threshold that would retain ~m expected samples: with
+            // threshold z', expected samples ≈ Σ min(1, w_eff/z') ≈
+            // total_effective / z' when weights are small.
+            let total: f64 = self.samples.iter().map(|x| (x.weight as f64).max(self.z)).sum();
+            (total / m as f64).max(self.z * 1.0000001).max(f64::MIN_POSITIVE)
+        }
+    }
+
+    /// Run one cleaning phase: raise `z` and re-subsample the current
+    /// sample with the counter scheme, treating each retained sample's
+    /// effective weight as `max(weight, z_prev)`.
+    fn clean(&mut self) {
+        let z_prev = self.z;
+        let z_new = self.target_z();
+        let mut counter = 0.0f64;
+        self.samples.retain(|x| {
+            let eff = (x.weight as f64).max(z_prev);
+            if eff > z_new {
+                true
+            } else {
+                counter += eff;
+                if counter > z_new {
+                    counter -= z_new;
+                    true
+                } else {
+                    false
+                }
+            }
+        });
+        self.z = z_new;
+        self.cleanings += 1;
+    }
+
+    /// Close the window: run the final cleaning if over target, compute
+    /// the result, and prime the threshold for the next window via
+    /// [`ThresholdCarry`].
+    pub fn end_window(&mut self) -> WindowResult<T> {
+        if self.samples.len() > self.cfg.target {
+            self.clean();
+        }
+        let result = WindowResult {
+            samples: std::mem::take(&mut self.samples),
+            z_final: self.z,
+            cleanings: self.cleanings,
+            admissions: self.admissions,
+            offered: self.offered,
+        };
+        let carry = ThresholdCarry { relax_factor: self.cfg.relax_factor };
+        self.z = carry.next_z(self.z, result.samples.len(), self.cfg.target);
+        self.counter = 0.0;
+        self.cleanings = 0;
+        self.admissions = 0;
+        self.offered = 0;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn basic_always_samples_large_tuples() {
+        let mut s = BasicSubsetSum::new(100.0);
+        assert!(s.offer(101));
+        assert!(s.offer(1_000_000));
+        assert_eq!(s.sampled(), 2);
+    }
+
+    #[test]
+    fn basic_samples_small_tuples_once_per_z() {
+        let mut s = BasicSubsetSum::new(100.0);
+        // 30+30+30 = 90 <= 100: no samples; +30 -> 120 > 100: sample.
+        assert!(!s.offer(30));
+        assert!(!s.offer(30));
+        assert!(!s.offer(30));
+        assert!(s.offer(30));
+        assert!((s.residual() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn basic_zero_threshold_samples_everything() {
+        let mut s = BasicSubsetSum::new(0.0);
+        for w in [1u64, 5, 1000] {
+            assert!(s.offer(w));
+        }
+    }
+
+    #[test]
+    fn basic_estimator_is_unbiased_over_small_tuples() {
+        // Deterministic counter scheme: number of small samples =
+        // floor-ish of total/z, each reported at weight z, so the
+        // estimate is within z of the truth.
+        let z = 500.0;
+        let mut s = BasicSubsetSum::new(z);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut truth = 0u64;
+        let mut est = 0.0;
+        for _ in 0..10_000 {
+            let w = rng.gen_range(1..400u64);
+            truth += w;
+            if s.offer(w) {
+                est += s.adjusted_weight(w);
+            }
+        }
+        assert!(
+            (est - truth as f64).abs() <= z,
+            "estimate {est} vs truth {truth}: off by more than z"
+        );
+    }
+
+    #[test]
+    fn basic_estimator_handles_mixed_sizes() {
+        let z = 1000.0;
+        let mut s = BasicSubsetSum::new(z);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut truth = 0u64;
+        let mut est = 0.0;
+        for i in 0..20_000u64 {
+            // Heavy tail: occasional huge tuples.
+            let w = if i % 97 == 0 { rng.gen_range(5_000..50_000u64) } else { rng.gen_range(40..1500u64) };
+            truth += w;
+            if s.offer(w) {
+                est += s.adjusted_weight(w);
+            }
+        }
+        let rel = (est - truth as f64).abs() / truth as f64;
+        assert!(rel < 0.01, "relative error {rel}");
+    }
+
+    #[test]
+    fn carry_policy_non_relaxed_keeps_z_when_on_target() {
+        let c = ThresholdCarry { relax_factor: 1.0 };
+        assert_eq!(c.next_z(800.0, 1000, 1000), 800.0);
+        assert_eq!(c.next_z(800.0, 1500, 1000), 800.0);
+    }
+
+    #[test]
+    fn carry_policy_scales_down_on_undersampling() {
+        let c = ThresholdCarry { relax_factor: 1.0 };
+        assert_eq!(c.next_z(800.0, 500, 1000), 400.0);
+        assert_eq!(c.next_z(800.0, 0, 1000), 0.8);
+    }
+
+    #[test]
+    fn carry_policy_relaxed_divides_by_f() {
+        let c = ThresholdCarry { relax_factor: 10.0 };
+        assert_eq!(c.next_z(800.0, 1000, 1000), 80.0);
+    }
+
+    #[test]
+    fn dynamic_converges_to_target_sample_size() {
+        let cfg = SubsetSumConfig::new(100).with_initial_z(1.0);
+        let mut d = DynamicSubsetSum::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50_000u64 {
+            d.offer((), rng.gen_range(40..1500u64));
+        }
+        let w = d.end_window();
+        assert!(w.cleanings > 0, "cleaning must have triggered");
+        assert!(
+            w.samples.len() <= 100 && w.samples.len() >= 40,
+            "final sample size {} should be near target 100",
+            w.samples.len()
+        );
+    }
+
+    #[test]
+    fn dynamic_estimate_tracks_truth_when_cleaned() {
+        let cfg = SubsetSumConfig::new(1000).with_initial_z(1.0);
+        let mut d = DynamicSubsetSum::new(cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut truth = 0u64;
+        for _ in 0..200_000u64 {
+            let w = rng.gen_range(40..1500u64);
+            truth += w;
+            d.offer((), w);
+        }
+        let w = d.end_window();
+        let rel = (w.estimate() - truth as f64).abs() / truth as f64;
+        // ~1000 samples -> CLT error ~ 3/sqrt(1000) ~ 10%; be generous.
+        assert!(rel < 0.15, "relative error {rel:.4}");
+    }
+
+    /// The Figure 2 pathology: after a sharp load drop the non-relaxed
+    /// carry-over leaves `z` near the whole window's volume, so the
+    /// small-tuple counter loses a large fraction of it (expected loss
+    /// `z/2` per window, i.e. `drop_factor / (2·N)` of the volume).
+    /// Relaxed carry-over divides `z` by `f`, shrinking the loss tenfold.
+    #[test]
+    fn load_drop_pathology_and_relaxed_fix() {
+        // Alternate busy and quiet windows (volume ratio ~100x) and
+        // aggregate the estimates over the quiet ones.
+        let run = |relax: f64| -> (f64, f64) {
+            let cfg =
+                SubsetSumConfig::new(200).with_initial_z(1.0).with_relax_factor(relax);
+            let mut d = DynamicSubsetSum::new(cfg);
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut est_quiet = 0.0;
+            let mut truth_quiet = 0u64;
+            for _ in 0..10 {
+                // Busy window: ~77M bytes.
+                for _ in 0..100_000u64 {
+                    d.offer((), rng.gen_range(40..1500u64));
+                }
+                d.end_window();
+                // Quiet window: ~0.77M bytes (100x drop).
+                for _ in 0..1_000u64 {
+                    let w = rng.gen_range(40..1500u64);
+                    truth_quiet += w;
+                    d.offer((), w);
+                }
+                est_quiet += d.end_window().estimate();
+            }
+            (est_quiet, truth_quiet as f64)
+        };
+        let (est_nr, truth_nr) = run(1.0);
+        let (est_rx, truth_rx) = run(10.0);
+        let ratio_nr = est_nr / truth_nr;
+        let ratio_rx = est_rx / truth_rx;
+        assert!(
+            ratio_nr < 0.9,
+            "non-relaxed should under-estimate quiet windows: ratio {ratio_nr:.3}"
+        );
+        assert!(
+            ratio_rx > 0.9 && ratio_rx < 1.1,
+            "relaxed should track the truth: ratio {ratio_rx:.3}"
+        );
+        assert!(ratio_rx > ratio_nr, "relaxation must improve accuracy");
+    }
+
+    /// Figure 4's shape: the relaxed algorithm pays a few extra cleaning
+    /// phases per window in steady state.
+    #[test]
+    fn relaxed_costs_more_cleanings() {
+        let run = |relax: f64| -> u32 {
+            let cfg = SubsetSumConfig::new(200).with_initial_z(1.0).with_relax_factor(relax);
+            let mut d = DynamicSubsetSum::new(cfg);
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut cleanings = 0;
+            for _ in 0..5 {
+                for _ in 0..50_000u64 {
+                    d.offer((), rng.gen_range(40..1500u64));
+                }
+                let w = d.end_window();
+                cleanings = w.cleanings; // steady-state (last window)
+            }
+            cleanings
+        };
+        let relaxed = run(10.0);
+        let non_relaxed = run(1.0);
+        assert!(
+            relaxed > non_relaxed,
+            "relaxed ({relaxed}) should clean more than non-relaxed ({non_relaxed})"
+        );
+        assert!(non_relaxed <= 2, "steady-state non-relaxed cleanings: {non_relaxed}");
+    }
+
+    #[test]
+    fn admissions_and_offered_are_tracked_per_window() {
+        let cfg = SubsetSumConfig::new(10).with_initial_z(1_000_000.0).non_relaxed();
+        let mut d = DynamicSubsetSum::new(cfg);
+        for _ in 0..100u64 {
+            d.offer((), 10);
+        }
+        let w = d.end_window();
+        assert_eq!(w.offered, 100);
+        assert_eq!(w.admissions, 0, "z too high: nothing admitted");
+        // Counters reset for the next window.
+        d.offer((), 10);
+        let w2 = d.end_window();
+        assert_eq!(w2.offered, 1);
+    }
+
+    #[test]
+    fn window_result_estimate_uses_final_threshold() {
+        let w = WindowResult {
+            samples: vec![
+                WeightedSample { item: (), weight: 50 },
+                WeightedSample { item: (), weight: 2000 },
+            ],
+            z_final: 100.0,
+            cleanings: 0,
+            admissions: 2,
+            offered: 2,
+        };
+        assert_eq!(w.estimate(), 100.0 + 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target sample size must be positive")]
+    fn zero_target_panics() {
+        let _ = DynamicSubsetSum::<()>::new(SubsetSumConfig::new(0));
+    }
+
+    proptest::proptest! {
+        /// Property: basic subset-sum with any threshold over any weight
+        /// sequence has estimate within z of truth (deterministic scheme
+        /// loses at most the residual counter).
+        #[test]
+        fn basic_estimate_error_bounded_by_z(
+            z in 1.0f64..10_000.0,
+            weights in proptest::collection::vec(1u64..5_000, 1..500),
+        ) {
+            let mut s = BasicSubsetSum::new(z);
+            let mut est = 0.0;
+            let mut truth = 0u64;
+            for &w in &weights {
+                truth += w;
+                if s.offer(w) {
+                    est += s.adjusted_weight(w);
+                }
+            }
+            // Each small sample is reported at z >= its weight, and the
+            // residual is < z, so the estimate is within z of the truth
+            // from below and within (z - min contribution) above... the
+            // tight deterministic bound is |est - truth| <= z.
+            proptest::prop_assert!((est - truth as f64).abs() <= z + 1e-6,
+                "z={z} est={est} truth={truth}");
+        }
+
+        /// Property: dynamic sampler never retains more than gamma*target
+        /// + 1 samples at any point.
+        #[test]
+        fn dynamic_sample_size_is_bounded(
+            weights in proptest::collection::vec(1u64..5_000, 1..2000),
+            target in 5usize..50,
+        ) {
+            let cfg = SubsetSumConfig::new(target).with_initial_z(0.0);
+            let mut d = DynamicSubsetSum::new(cfg);
+            let bound = (cfg.gamma * target as f64) as usize + 1;
+            for &w in &weights {
+                d.offer((), w);
+                proptest::prop_assert!(d.sample_count() <= bound,
+                    "sample count {} exceeded bound {bound}", d.sample_count());
+            }
+        }
+    }
+}

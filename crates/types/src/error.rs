@@ -1,0 +1,83 @@
+//! Error types for value and schema operations.
+
+use std::fmt;
+
+/// Errors raised by typed operations on [`crate::Value`]s and schema lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A binary or unary operation was applied to operands of unsupported
+    /// types, e.g. `"abc" + 1`.
+    InvalidOperands {
+        /// The operation that failed, e.g. `"+"` or `"AND"`.
+        op: &'static str,
+        /// Human-readable description of the left (or only) operand type.
+        lhs: &'static str,
+        /// Human-readable description of the right operand type, if any.
+        rhs: Option<&'static str>,
+    },
+    /// Division or modulus by zero.
+    DivisionByZero,
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A tuple had a different arity than its schema.
+    ArityMismatch {
+        /// Number of fields the schema declares.
+        expected: usize,
+        /// Number of values the tuple carried.
+        actual: usize,
+    },
+    /// A value could not be converted to the requested Rust type.
+    InvalidConversion {
+        /// The requested target type.
+        target: &'static str,
+        /// Description of the actual value kind.
+        actual: &'static str,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidOperands { op, lhs, rhs } => match rhs {
+                Some(r) => write!(f, "invalid operands for `{op}`: {lhs} and {r}"),
+                None => write!(f, "invalid operand for `{op}`: {lhs}"),
+            },
+            TypeError::DivisionByZero => write!(f, "division by zero"),
+            TypeError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TypeError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity mismatch: schema has {expected} fields, tuple has {actual}")
+            }
+            TypeError::InvalidConversion { target, actual } => {
+                write!(f, "cannot convert {actual} value to {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_readable() {
+        let e = TypeError::InvalidOperands { op: "+", lhs: "str", rhs: Some("u64") };
+        assert_eq!(e.to_string(), "invalid operands for `+`: str and u64");
+        let e = TypeError::InvalidOperands { op: "NOT", lhs: "str", rhs: None };
+        assert_eq!(e.to_string(), "invalid operand for `NOT`: str");
+        assert_eq!(TypeError::DivisionByZero.to_string(), "division by zero");
+        assert_eq!(
+            TypeError::UnknownColumn("srcIP".into()).to_string(),
+            "unknown column `srcIP`"
+        );
+        assert_eq!(
+            TypeError::ArityMismatch { expected: 4, actual: 3 }.to_string(),
+            "tuple arity mismatch: schema has 4 fields, tuple has 3"
+        );
+        assert_eq!(
+            TypeError::InvalidConversion { target: "u64", actual: "str" }.to_string(),
+            "cannot convert str value to u64"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # sso-types
+//!
+//! The row model shared by every crate in the `stream-sampler` workspace:
+//! dynamically typed [`Value`]s, positional [`Tuple`]s, and named, ordered
+//! [`Schema`]s with Gigascope-style *ordered attribute* annotations.
+//!
+//! The paper's substrate (Gigascope) compiles queries against a packet
+//! schema such as `PKT(time increasing, srcIP, destIP, len)`. The `time`
+//! attribute being marked `increasing` is what drives window semantics:
+//! a query's evaluation window closes whenever an ordered group-by
+//! expression changes value. [`Schema`] carries that annotation via
+//! [`Ordering`].
+//!
+//! The concrete packet record used throughout the evaluation lives in
+//! [`packet`], together with the canonical `PKT` schema.
+
+pub mod error;
+pub mod packet;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::TypeError;
+pub use packet::{format_ipv4, parse_ipv4, Packet, Protocol};
+pub use schema::{Field, FieldType, Ordering, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,151 @@
+//! Stream schemas with Gigascope-style ordered-attribute annotations.
+
+use crate::error::TypeError;
+
+/// Declared type of a schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// Unsigned 64-bit integer (timestamps, lengths, IPv4 addresses).
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+    /// Double-precision float.
+    F64,
+    /// Boolean.
+    Bool,
+    /// String.
+    Str,
+}
+
+/// Monotonicity annotation on a stream attribute.
+///
+/// Gigascope marks one or more attributes of a stream as *ordered*; query
+/// windows close when a group-by expression over an ordered attribute
+/// changes value. `PKT(time increasing, ...)` is the canonical example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Ordering {
+    /// No monotonicity guarantee.
+    #[default]
+    None,
+    /// Values are non-decreasing over the stream.
+    Increasing,
+    /// Values are non-increasing over the stream.
+    Decreasing,
+}
+
+/// One named, typed field of a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name, e.g. `srcIP`.
+    pub name: String,
+    /// Declared type.
+    pub ty: FieldType,
+    /// Monotonicity annotation.
+    pub ordering: Ordering,
+}
+
+impl Field {
+    /// An unordered field.
+    pub fn new(name: &str, ty: FieldType) -> Self {
+        Field { name: name.to_string(), ty, ordering: Ordering::None }
+    }
+
+    /// A field marked `increasing`.
+    pub fn increasing(name: &str, ty: FieldType) -> Self {
+        Field { name: name.to_string(), ty, ordering: Ordering::Increasing }
+    }
+}
+
+/// An ordered list of named fields describing a stream's tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Stream name, e.g. `PKT`.
+    pub name: String,
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from a name and field list.
+    pub fn new(name: &str, fields: Vec<Field>) -> Self {
+        Schema { name: name.to_string(), fields }
+    }
+
+    /// The fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Position of the named field.
+    pub fn index_of(&self, name: &str) -> Result<usize, TypeError> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| TypeError::UnknownColumn(name.to_string()))
+    }
+
+    /// The named field, if present.
+    pub fn field(&self, name: &str) -> Result<&Field, TypeError> {
+        let idx = self.index_of(name)?;
+        Ok(&self.fields[idx])
+    }
+
+    /// `true` if the named field carries an ordering annotation.
+    pub fn is_ordered(&self, name: &str) -> bool {
+        self.field(name).map(|f| f.ordering != Ordering::None).unwrap_or(false)
+    }
+
+    /// Indices of all ordered fields.
+    pub fn ordered_indices(&self) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ordering != Ordering::None)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt() -> Schema {
+        Schema::new(
+            "PKT",
+            vec![
+                Field::increasing("time", FieldType::U64),
+                Field::new("srcIP", FieldType::U64),
+                Field::new("destIP", FieldType::U64),
+                Field::new("len", FieldType::U64),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = pkt();
+        assert_eq!(s.index_of("time").unwrap(), 0);
+        assert_eq!(s.index_of("len").unwrap(), 3);
+        assert!(matches!(s.index_of("nope"), Err(TypeError::UnknownColumn(_))));
+        assert_eq!(s.field("srcIP").unwrap().ty, FieldType::U64);
+    }
+
+    #[test]
+    fn ordering_annotations() {
+        let s = pkt();
+        assert!(s.is_ordered("time"));
+        assert!(!s.is_ordered("srcIP"));
+        assert!(!s.is_ordered("missing"));
+        assert_eq!(s.ordered_indices(), vec![0]);
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(pkt().arity(), 4);
+    }
+}

@@ -1,0 +1,460 @@
+//! Dynamically typed values flowing through operators.
+//!
+//! Packet-monitoring queries are overwhelmingly integer-typed (timestamps,
+//! IPv4 addresses, lengths, counters), so [`Value`] keeps the integer
+//! variants unboxed and cheap to copy. Strings are reference-counted so
+//! tuples remain cheap to clone on the hot path.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::TypeError;
+
+/// A dynamically typed scalar value.
+///
+/// Arithmetic follows SQL-ish numeric promotion: `U64 op U64 -> U64`
+/// (signed if subtraction underflows), any operand `F64` promotes the
+/// result to `F64`, and `I64` mixes promote to `I64`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absent / undefined value (e.g. an aggregate over an empty group).
+    Null,
+    /// Boolean, produced by predicates.
+    Bool(bool),
+    /// Unsigned 64-bit integer: timestamps, lengths, counts, IPv4 addresses.
+    U64(u64),
+    /// Signed 64-bit integer, produced by subtraction underflow and literals.
+    I64(i64),
+    /// Double-precision float: thresholds, probabilities, estimates.
+    F64(f64),
+    /// Interned string (rare on the packet hot path).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Short name of this value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Build a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// `true` iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as a boolean. `Null` is `false`; numbers are true iff
+    /// nonzero, mirroring the loose C-style predicates of the Gigascope
+    /// runtime library.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::U64(v) => *v != 0,
+            Value::I64(v) => *v != 0,
+            Value::F64(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Convert to `u64`, accepting any non-negative integral value.
+    pub fn as_u64(&self) -> Result<u64, TypeError> {
+        match self {
+            Value::U64(v) => Ok(*v),
+            Value::I64(v) if *v >= 0 => Ok(*v as u64),
+            Value::Bool(b) => Ok(*b as u64),
+            Value::F64(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Ok(*v as u64)
+            }
+            other => Err(TypeError::InvalidConversion { target: "u64", actual: other.kind() }),
+        }
+    }
+
+    /// Convert to `i64`.
+    pub fn as_i64(&self) -> Result<i64, TypeError> {
+        match self {
+            Value::U64(v) if *v <= i64::MAX as u64 => Ok(*v as i64),
+            Value::I64(v) => Ok(*v),
+            Value::Bool(b) => Ok(*b as i64),
+            Value::F64(v) if v.fract() == 0.0 => Ok(*v as i64),
+            other => Err(TypeError::InvalidConversion { target: "i64", actual: other.kind() }),
+        }
+    }
+
+    /// Convert to `f64`, accepting any numeric value.
+    pub fn as_f64(&self) -> Result<f64, TypeError> {
+        match self {
+            Value::U64(v) => Ok(*v as f64),
+            Value::I64(v) => Ok(*v as f64),
+            Value::F64(v) => Ok(*v),
+            Value::Bool(b) => Ok(*b as u8 as f64),
+            other => Err(TypeError::InvalidConversion { target: "f64", actual: other.kind() }),
+        }
+    }
+
+    /// Convert to `&str` if this is a string.
+    pub fn as_str(&self) -> Result<&str, TypeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(TypeError::InvalidConversion { target: "str", actual: other.kind() }),
+        }
+    }
+
+    fn numeric_pair(&self, other: &Self, op: &'static str) -> Result<NumPair, TypeError> {
+        use Value::*;
+        Ok(match (self, other) {
+            (F64(a), _) => NumPair::F(*a, other.as_f64().map_err(|_| binop_err(op, self, other))?),
+            (_, F64(b)) => NumPair::F(self.as_f64().map_err(|_| binop_err(op, self, other))?, *b),
+            (U64(a), U64(b)) => NumPair::U(*a, *b),
+            (I64(a), I64(b)) => NumPair::I(*a, *b),
+            (U64(a), I64(b)) | (I64(b), U64(a)) => {
+                // Mixed signedness: compute in i128 and narrow on use.
+                NumPair::Mixed(*a as i128, *b as i128)
+            }
+            (Bool(a), _) => {
+                return U64(*a as u64).numeric_pair(other, op);
+            }
+            (_, Bool(b)) => {
+                return self.numeric_pair(&U64(*b as u64), op);
+            }
+            _ => return Err(binop_err(op, self, other)),
+        })
+    }
+
+    /// Addition with numeric promotion.
+    pub fn add(&self, other: &Self) -> Result<Value, TypeError> {
+        match self.numeric_pair(other, "+")? {
+            NumPair::U(a, b) => Ok(Value::U64(a.wrapping_add(b))),
+            NumPair::I(a, b) => Ok(Value::I64(a.wrapping_add(b))),
+            NumPair::F(a, b) => Ok(Value::F64(a + b)),
+            NumPair::Mixed(a, b) => Ok(narrow_i128(a + b)),
+        }
+    }
+
+    /// Subtraction; `U64 - U64` yields `I64` when the result is negative.
+    pub fn sub(&self, other: &Self) -> Result<Value, TypeError> {
+        match self.numeric_pair(other, "-")? {
+            NumPair::U(a, b) => {
+                if a >= b {
+                    Ok(Value::U64(a - b))
+                } else {
+                    Ok(Value::I64(-((b - a) as i64)))
+                }
+            }
+            NumPair::I(a, b) => Ok(Value::I64(a.wrapping_sub(b))),
+            NumPair::F(a, b) => Ok(Value::F64(a - b)),
+            NumPair::Mixed(a, b) => Ok(narrow_i128(a - b)),
+        }
+    }
+
+    /// Multiplication with numeric promotion.
+    pub fn mul(&self, other: &Self) -> Result<Value, TypeError> {
+        match self.numeric_pair(other, "*")? {
+            NumPair::U(a, b) => Ok(Value::U64(a.wrapping_mul(b))),
+            NumPair::I(a, b) => Ok(Value::I64(a.wrapping_mul(b))),
+            NumPair::F(a, b) => Ok(Value::F64(a * b)),
+            NumPair::Mixed(a, b) => Ok(narrow_i128(a * b)),
+        }
+    }
+
+    /// Integer division truncates (this is what `time/60 as tb` relies on);
+    /// float division is exact.
+    pub fn div(&self, other: &Self) -> Result<Value, TypeError> {
+        match self.numeric_pair(other, "/")? {
+            NumPair::U(_, 0) | NumPair::I(_, 0) | NumPair::Mixed(_, 0) => {
+                Err(TypeError::DivisionByZero)
+            }
+            NumPair::U(a, b) => Ok(Value::U64(a / b)),
+            NumPair::I(a, b) => Ok(Value::I64(a / b)),
+            NumPair::F(a, b) => {
+                if b == 0.0 {
+                    Err(TypeError::DivisionByZero)
+                } else {
+                    Ok(Value::F64(a / b))
+                }
+            }
+            NumPair::Mixed(a, b) => Ok(narrow_i128(a / b)),
+        }
+    }
+
+    /// Modulus; errors on zero divisor.
+    pub fn rem(&self, other: &Self) -> Result<Value, TypeError> {
+        match self.numeric_pair(other, "%")? {
+            NumPair::U(_, 0) | NumPair::I(_, 0) | NumPair::Mixed(_, 0) => {
+                Err(TypeError::DivisionByZero)
+            }
+            NumPair::U(a, b) => Ok(Value::U64(a % b)),
+            NumPair::I(a, b) => Ok(Value::I64(a % b)),
+            NumPair::F(a, b) => {
+                if b == 0.0 {
+                    Err(TypeError::DivisionByZero)
+                } else {
+                    Ok(Value::F64(a % b))
+                }
+            }
+            NumPair::Mixed(a, b) => Ok(narrow_i128(a % b)),
+        }
+    }
+
+    /// Three-way comparison across numeric types and strings.
+    ///
+    /// `Null` compares equal to `Null` and less than everything else, so
+    /// sorting and grouping are total. Cross-kind numeric comparisons
+    /// promote to `f64`.
+    pub fn compare(&self, other: &Self) -> Result<CmpOrdering, TypeError> {
+        use Value::*;
+        Ok(match (self, other) {
+            (Null, Null) => CmpOrdering::Equal,
+            (Null, _) => CmpOrdering::Less,
+            (_, Null) => CmpOrdering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (U64(a), U64(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (U64(a), I64(b)) => (*a as i128).cmp(&(*b as i128)),
+            (I64(a), U64(b)) => (*a as i128).cmp(&(*b as i128)),
+            _ => {
+                let a = self.as_f64().map_err(|_| binop_err("<=>", self, other))?;
+                let b = other.as_f64().map_err(|_| binop_err("<=>", self, other))?;
+                a.partial_cmp(&b).unwrap_or(CmpOrdering::Equal)
+            }
+        })
+    }
+
+    /// Equality via [`Value::compare`].
+    pub fn eq_value(&self, other: &Self) -> Result<bool, TypeError> {
+        Ok(self.compare(other)? == CmpOrdering::Equal)
+    }
+}
+
+fn binop_err(op: &'static str, lhs: &Value, rhs: &Value) -> TypeError {
+    TypeError::InvalidOperands { op, lhs: lhs.kind(), rhs: Some(rhs.kind()) }
+}
+
+fn narrow_i128(v: i128) -> Value {
+    if v >= 0 && v <= u64::MAX as i128 {
+        Value::U64(v as u64)
+    } else {
+        Value::I64(v as i64)
+    }
+}
+
+enum NumPair {
+    U(u64, u64),
+    I(i64, i64),
+    F(f64, f64),
+    Mixed(i128, i128),
+}
+
+/// Structural equality used for group keys: kinds must match exactly,
+/// except numerically equal integers of different signedness, which hash
+/// and compare equal so `U64(5)` and `I64(5)` land in the same group.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (U64(a), I64(b)) | (I64(b), U64(a)) => *b >= 0 && *a == *b as u64,
+            (F64(a), F64(b)) => a.to_bits() == b.to_bits(),
+            (Str(a), Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(*b as u8);
+            }
+            // Non-negative I64 hashes like the equal U64 (see PartialEq).
+            Value::U64(v) => {
+                state.write_u8(2);
+                state.write_u64(*v);
+            }
+            Value::I64(v) if *v >= 0 => {
+                state.write_u8(2);
+                state.write_u64(*v as u64);
+            }
+            Value::I64(v) => {
+                state.write_u8(3);
+                state.write_i64(*v);
+            }
+            Value::F64(v) => {
+                state.write_u8(4);
+                state.write_u64(v.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(5);
+                state.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert_eq!(Value::U64(3).add(&Value::U64(4)).unwrap(), Value::U64(7));
+        assert_eq!(Value::U64(3).sub(&Value::U64(4)).unwrap(), Value::I64(-1));
+        assert_eq!(Value::U64(4).sub(&Value::U64(3)).unwrap(), Value::U64(1));
+        assert_eq!(Value::F64(1.5).add(&Value::U64(1)).unwrap(), Value::F64(2.5));
+        assert_eq!(Value::I64(-2).mul(&Value::U64(3)).unwrap(), Value::I64(-6));
+        assert_eq!(Value::U64(7).div(&Value::U64(2)).unwrap(), Value::U64(3));
+        assert_eq!(Value::U64(7).rem(&Value::U64(2)).unwrap(), Value::U64(1));
+    }
+
+    #[test]
+    fn integer_division_truncates_like_time_bucketing() {
+        // time/60 as tb: the window id of t=119 is 1, of t=120 is 2.
+        assert_eq!(Value::U64(119).div(&Value::U64(60)).unwrap(), Value::U64(1));
+        assert_eq!(Value::U64(120).div(&Value::U64(60)).unwrap(), Value::U64(2));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(Value::U64(1).div(&Value::U64(0)), Err(TypeError::DivisionByZero));
+        assert_eq!(Value::F64(1.0).div(&Value::F64(0.0)), Err(TypeError::DivisionByZero));
+        assert_eq!(Value::U64(1).rem(&Value::U64(0)), Err(TypeError::DivisionByZero));
+    }
+
+    #[test]
+    fn invalid_operands_error() {
+        let err = Value::str("a").add(&Value::U64(1)).unwrap_err();
+        assert!(matches!(err, TypeError::InvalidOperands { op: "+", .. }));
+    }
+
+    #[test]
+    fn comparisons_across_kinds() {
+        assert_eq!(Value::U64(5).compare(&Value::I64(5)).unwrap(), CmpOrdering::Equal);
+        assert_eq!(Value::I64(-1).compare(&Value::U64(0)).unwrap(), CmpOrdering::Less);
+        assert_eq!(Value::F64(2.5).compare(&Value::U64(2)).unwrap(), CmpOrdering::Greater);
+        assert_eq!(Value::Null.compare(&Value::U64(0)).unwrap(), CmpOrdering::Less);
+        assert_eq!(Value::Null.compare(&Value::Null).unwrap(), CmpOrdering::Equal);
+        assert_eq!(Value::str("a").compare(&Value::str("b")).unwrap(), CmpOrdering::Less);
+    }
+
+    #[test]
+    fn mixed_sign_equality_hashes_consistently() {
+        // Required for group keys: equal values must have equal hashes.
+        assert_eq!(Value::U64(5), Value::I64(5));
+        assert_eq!(hash_of(&Value::U64(5)), hash_of(&Value::I64(5)));
+        assert_ne!(Value::I64(-5), Value::U64(5));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::U64(1).truthy());
+        assert!(!Value::U64(0).truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::str("").truthy());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::U64(7).as_u64().unwrap(), 7);
+        assert_eq!(Value::I64(7).as_u64().unwrap(), 7);
+        assert!(Value::I64(-7).as_u64().is_err());
+        assert_eq!(Value::F64(7.0).as_u64().unwrap(), 7);
+        assert!(Value::F64(7.5).as_u64().is_err());
+        assert_eq!(Value::U64(7).as_f64().unwrap(), 7.0);
+        assert_eq!(Value::str("hi").as_str().unwrap(), "hi");
+        assert!(Value::U64(1).as_str().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+        assert_eq!(Value::U64(42).to_string(), "42");
+        assert_eq!(Value::I64(-1).to_string(), "-1");
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+
+    #[test]
+    fn f64_equality_is_bitwise() {
+        // NaN == NaN under bitwise semantics, so groups keyed on a float
+        // expression cannot multiply without bound.
+        let nan = Value::F64(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(hash_of(&nan), hash_of(&nan.clone()));
+    }
+}

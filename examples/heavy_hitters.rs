@@ -1,0 +1,60 @@
+//! Heavy hitters: report the top traffic destinations per minute with the
+//! Manku–Motwani lossy-counting algorithm expressed on the sampling
+//! operator (§6.6), and cross-check against exact counts.
+//!
+//! ```sh
+//! cargo run --release --example heavy_hitters
+//! ```
+
+use std::collections::HashMap;
+
+use stream_sampler::prelude::*;
+
+fn main() {
+    // Bucket width w = 1/epsilon = 1000 (epsilon = 0.1%); support: report
+    // destinations receiving at least ~1% of the window's packets.
+    let query = "
+        SELECT tb, destIP, sum(len), count(*)
+        FROM PKT
+        GROUP BY time/60 as tb, destIP
+        HAVING count(*) >= 60000
+        CLEANING WHEN local_count(1000) = TRUE
+        CLEANING BY count(*) + first(current_bucket()) > current_bucket()";
+
+    let mut op = compile(query, &Packet::schema(), &PlannerConfig::standard())
+        .expect("heavy-hitters query compiles");
+
+    let packets = datacenter_feed(11).take_seconds(120);
+    println!("feed: {} packets over 120s (~100k pkt/s)", packets.len());
+
+    // Exact per-window per-source counts for verification.
+    let mut exact: HashMap<(u64, u64), u64> = HashMap::new();
+    for p in &packets {
+        *exact.entry((p.time() / 60, p.dest_ip as u64)).or_default() += 1;
+    }
+
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+    let windows = op.run(tuples.iter()).unwrap();
+
+    for w in &windows {
+        let tb = w.window.get(0).as_u64().unwrap();
+        println!("\nwindow {tb}: {} heavy hitters, {} cleaning phases", w.rows.len(), w.stats.cleaning_phases);
+        let mut rows: Vec<_> = w.rows.iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.get(3).as_u64().unwrap()));
+        println!("{:<18} {:>12} {:>10} {:>10}", "destIP", "bytes", "pkts~", "pkts exact");
+        for row in rows.iter().take(10) {
+            let dst = row.get(1).as_u64().unwrap();
+            let est = row.get(3).as_u64().unwrap();
+            let exact_count = exact.get(&(tb, dst)).copied().unwrap_or(0);
+            println!(
+                "{:<18} {:>12} {:>10} {:>10}",
+                format_ipv4(dst as u32),
+                row.get(2).as_u64().unwrap(),
+                est,
+                exact_count
+            );
+            // Lossy counting never overcounts and undercounts by <= eps*N.
+            assert!(est <= exact_count, "lossy counting must not overcount");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Min-hash sampling on the operator: per-source min-hash signatures of
+//! destination sets (§6.6), used to estimate *resemblance* between the
+//! destination sets of pairs of sources — plus rarity estimation with
+//! the reference KMV sketch.
+//!
+//! ```sh
+//! cargo run --release --example minhash_similarity
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use stream_sampler::prelude::*;
+use stream_sampler::sampling::KmvSketch;
+
+fn main() {
+    const K: usize = 100;
+    let query = format!(
+        "SELECT tb, srcIP, HX
+         FROM PKT
+         WHERE HX <= Kth_smallest_value$(HX, {K})
+         GROUP BY time/60 as tb, srcIP, H(destIP) as HX
+         SUPERGROUP tb, srcIP
+         HAVING HX <= Kth_smallest_value$(HX, {K})
+         CLEANING WHEN count_distinct$(*) > {K}
+         CLEANING BY HX <= Kth_smallest_value$(HX, {K})"
+    );
+    let mut op = compile(&query, &Packet::schema(), &PlannerConfig::empty())
+        .expect("min-hash query compiles");
+
+    let packets = research_feed(23).take_seconds(60);
+    println!("feed: {} packets over 60s", packets.len());
+
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+    let windows = op.run(tuples.iter()).unwrap();
+
+    // Collect each source's signature from the operator output.
+    let w = windows.last().expect("one window");
+    let mut signatures: HashMap<u64, Vec<u64>> = HashMap::new();
+    for row in &w.rows {
+        signatures
+            .entry(row.get(1).as_u64().unwrap())
+            .or_default()
+            .push(row.get(2).as_u64().unwrap());
+    }
+    println!("window {}: signatures for {} sources", w.window, signatures.len());
+
+    // Exact destination sets for verification.
+    let tb = w.window.get(0).as_u64().unwrap();
+    let mut dests: HashMap<u64, HashSet<u32>> = HashMap::new();
+    for p in packets.iter().filter(|p| p.time() / 60 == tb) {
+        dests.entry(p.src_ip as u64).or_default().insert(p.dest_ip);
+    }
+
+    // Compare the busiest pairs: estimated vs exact resemblance.
+    let mut sources: Vec<u64> = signatures.keys().copied().collect();
+    sources.sort_by_key(|s| std::cmp::Reverse(dests.get(s).map_or(0, |d| d.len())));
+    println!("\n{:<34} {:>10} {:>10}", "source pair", "rho (est)", "rho exact");
+    for pair in sources.windows(2).take(8) {
+        let (a, b) = (pair[0], pair[1]);
+        let rho_est = resemblance(&signatures[&a], &signatures[&b], K);
+        let (da, db) = (&dests[&a], &dests[&b]);
+        let inter = da.intersection(db).count() as f64;
+        let union = da.union(db).count() as f64;
+        let rho_exact = if union > 0.0 { inter / union } else { 0.0 };
+        println!(
+            "{:<16} ~ {:<16} {:>9.3} {:>9.3}",
+            format_ipv4(a as u32),
+            format_ipv4(b as u32),
+            rho_est,
+            rho_exact
+        );
+    }
+
+    // Rarity of the destination-IP stream, via the reference KMV sketch.
+    let mut kmv = KmvSketch::new(256);
+    for p in &packets {
+        kmv.insert(p.dest_ip as u64);
+    }
+    println!(
+        "\ndestination IPs: ~{:.0} distinct, rarity ~{:.3} (fraction seen exactly once)",
+        kmv.distinct_estimate(),
+        kmv.rarity_estimate()
+    );
+}
+
+/// Resemblance from two k-minimum-value signatures: among the k smallest
+/// of the union, the fraction present in both.
+fn resemblance(a: &[u64], b: &[u64], k: usize) -> f64 {
+    let sa: HashSet<u64> = a.iter().copied().collect();
+    let sb: HashSet<u64> = b.iter().copied().collect();
+    let mut union: Vec<u64> = sa.union(&sb).copied().collect();
+    union.sort_unstable();
+    union.truncate(k);
+    if union.is_empty() {
+        return 0.0;
+    }
+    let both = union.iter().filter(|h| sa.contains(h) && sb.contains(h)).count();
+    both as f64 / union.len() as f64
+}

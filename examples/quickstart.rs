@@ -1,0 +1,67 @@
+//! Quickstart: compile the paper's dynamic subset-sum sampling query
+//! from text and run it over a synthetic bursty feed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stream_sampler::prelude::*;
+
+fn main() {
+    // The paper's §6.1 query: collect ~100 weight-aware packet samples
+    // per 20-second window, such that sums over any subset of the
+    // samples estimate the true subset sums.
+    let query = "
+        SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+        FROM PKT
+        WHERE ssample(len, 100) = TRUE
+        GROUP BY time/20 as tb, srcIP, destIP, uts
+        HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+        CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+        CLEANING BY ssclean_with(sum(len)) = TRUE";
+
+    let mut op = compile(query, &Packet::schema(), &PlannerConfig::standard())
+        .expect("the paper's query compiles");
+
+    // 60 seconds of the bursty research-center feed (5k-15k pkt/s).
+    let packets = research_feed(7).take_seconds(60);
+    println!("feed: {} packets over 60s", packets.len());
+
+    // Ground truth, for comparison.
+    let mut truth = std::collections::BTreeMap::<u64, u64>::new();
+    for p in &packets {
+        *truth.entry(p.time() / 20).or_default() += p.len as u64;
+    }
+
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+    let windows = op.run(tuples.iter()).unwrap();
+
+    println!("{:<6} {:>9} {:>14} {:>14} {:>7}", "window", "samples", "estimate", "actual", "err%");
+    for w in &windows {
+        let tb = w.window.get(0).as_u64().unwrap();
+        let estimate: f64 = w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
+        let actual = *truth.get(&tb).unwrap_or(&0) as f64;
+        let err = if actual > 0.0 { 100.0 * (estimate - actual) / actual } else { 0.0 };
+        println!(
+            "{:<6} {:>9} {:>14.0} {:>14.0} {:>6.2}%",
+            tb,
+            w.rows.len(),
+            estimate,
+            actual,
+            err
+        );
+    }
+
+    // Show a few sampled packets from the last window.
+    if let Some(w) = windows.last() {
+        println!("\nsample rows from window {} (srcIP -> destIP, adjusted bytes):", w.window);
+        for row in w.rows.iter().take(5) {
+            println!(
+                "  {} -> {}  {:.0}",
+                format_ipv4(row.get(1).as_u64().unwrap() as u32),
+                format_ipv4(row.get(2).as_u64().unwrap() as u32),
+                row.get(3).as_f64().unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Subnet traffic report: heavy-hitting /24 client subnets per minute,
+//! with average packet size — showing the query language's scalar
+//! functions (`prefix`) and the `avg` rewrite on top of the operator's
+//! lossy-counting machinery.
+//!
+//! ```sh
+//! cargo run --release --example subnet_report
+//! ```
+
+use stream_sampler::prelude::*;
+
+fn main() {
+    let query = "
+        SELECT tb, net, sum(len), count(*), avg(len)
+        FROM PKT
+        GROUP BY time/60 as tb, prefix(srcIP, 24) as net
+        HAVING count(*) >= 10000
+        CLEANING WHEN local_count(1000) = TRUE
+        CLEANING BY count(*) + first(current_bucket()) > current_bucket()";
+
+    let mut op = compile(query, &Packet::schema(), &PlannerConfig::standard())
+        .expect("subnet query compiles");
+
+    let packets = datacenter_feed(61).take_seconds(60);
+    println!("feed: {} packets over 60s", packets.len());
+
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+    let windows = op.run(tuples.iter()).unwrap();
+
+    for w in &windows {
+        println!(
+            "\nwindow {}: {} heavy subnets (of {} tracked at peak; {} cleaning phases)",
+            w.window,
+            w.rows.len(),
+            w.stats.groups_created,
+            w.stats.cleaning_phases
+        );
+        let mut rows: Vec<_> = w.rows.iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.get(2).as_u64().unwrap()));
+        println!("{:<18} {:>14} {:>10} {:>10}", "subnet", "bytes", "pkts", "avg len");
+        for row in rows.iter().take(10) {
+            println!(
+                "{:<18} {:>14} {:>10} {:>10.1}",
+                format!("{}/24", format_ipv4(row.get(1).as_u64().unwrap() as u32)),
+                row.get(2).as_u64().unwrap(),
+                row.get(3).as_u64().unwrap(),
+                row.get(4).as_f64().unwrap(),
+            );
+        }
+    }
+}

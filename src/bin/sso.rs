@@ -1,0 +1,246 @@
+//! `sso` — run sampling queries from the command line against the
+//! synthetic feeds.
+//!
+//! ```sh
+//! sso --feed research --seconds 60 \
+//!     "SELECT tb, destIP, sum(len), count(*) FROM PKT \
+//!      GROUP BY time/20 as tb, destIP \
+//!      CLEANING WHEN local_count(1000) = TRUE \
+//!      CLEANING BY count(*) + first(current_bucket()) > current_bucket()"
+//!
+//! sso --explain "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKT ..."
+//! ```
+//!
+//! Options:
+//!   --feed research|datacenter|ddos   packet source (default research)
+//!   --trace FILE                      read packets from a CSV trace instead
+//!   --dump FILE                       also write the packets to a CSV trace
+//!   --seconds N                       trace length (default 60)
+//!   --seed S                          feed seed (default 1)
+//!   --limit R                         print at most R rows per window (default 20)
+//!   --explain                         print the plan instead of running
+//!   --json                            machine-readable window output
+
+use stream_sampler::prelude::*;
+use stream_sampler::query::explain::explain;
+
+struct Options {
+    feed: String,
+    trace: Option<String>,
+    dump: Option<String>,
+    seconds: u64,
+    seed: u64,
+    limit: usize,
+    explain: bool,
+    json: bool,
+    query: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sso [--feed research|datacenter|ddos] [--trace FILE] [--dump FILE] \
+         [--seconds N] [--seed S] [--limit R] [--explain] [--json] 'QUERY'"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        feed: "research".to_string(),
+        trace: None,
+        dump: None,
+        seconds: 60,
+        seed: 1,
+        limit: 20,
+        explain: false,
+        json: false,
+        query: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--feed" => opts.feed = args.next().unwrap_or_else(|| usage()),
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--dump" => opts.dump = Some(args.next().unwrap_or_else(|| usage())),
+            "--seconds" => {
+                opts.seconds =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--limit" => {
+                opts.limit =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--explain" => opts.explain = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => usage(),
+            q if !q.starts_with("--") && opts.query.is_none() => opts.query = Some(q.to_string()),
+            _ => usage(),
+        }
+    }
+    if opts.query.is_none() {
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let query_text = opts.query.as_deref().expect("query checked in parse_args");
+
+    let schema = Packet::schema();
+    let config = PlannerConfig::standard();
+    let parsed = match parse_query(query_text) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let spec = match stream_sampler::query::plan(&parsed, &schema, &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if opts.explain {
+        print!("{}", explain(&spec));
+        return;
+    }
+    let mut op = match SamplingOperator::new(spec) {
+        Ok(op) => op,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let packets = if let Some(path) = &opts.trace {
+        match std::fs::File::open(path).map_err(Into::into).and_then(|f| {
+            stream_sampler::netgen::read_trace(f)
+        }) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match opts.feed.as_str() {
+            "research" => research_feed(opts.seed).take_seconds(opts.seconds),
+            "datacenter" => datacenter_feed(opts.seed).take_seconds(opts.seconds),
+            "ddos" => ddos_feed(opts.seed, opts.seconds / 3, 2 * opts.seconds / 3)
+                .take_seconds(opts.seconds),
+            other => {
+                eprintln!("error: unknown feed `{other}` (research | datacenter | ddos)");
+                std::process::exit(1);
+            }
+        }
+    };
+    if let Some(path) = &opts.dump {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {path}: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = stream_sampler::netgen::write_trace(&packets, std::io::BufWriter::new(file)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        if !opts.json {
+            eprintln!("# wrote {} packets to {path}", packets.len());
+        }
+    }
+    if !opts.json {
+        eprintln!(
+            "# feed={} seed={} seconds={} packets={}",
+            opts.feed,
+            opts.seed,
+            opts.seconds,
+            packets.len()
+        );
+    }
+
+    let columns: Vec<String> = op.output_columns().iter().map(|s| s.to_string()).collect();
+    let mut total_rows = 0u64;
+    for pkt in &packets {
+        match op.process(&pkt.to_tuple()) {
+            Ok(Some(w)) => total_rows += print_window(&w, &columns, &opts),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match op.finish() {
+        Ok(Some(w)) => total_rows += print_window(&w, &columns, &opts),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !opts.json {
+        eprintln!("# {total_rows} rows total");
+    }
+}
+
+fn print_window(
+    w: &stream_sampler::operator::WindowOutput,
+    columns: &[String],
+    opts: &Options,
+) -> u64 {
+    if opts.json {
+        // One JSON object per window, rows as arrays of strings.
+        let rows: Vec<Vec<String>> = w
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
+            .collect();
+        println!(
+            "{}",
+            serde_json_lite(&w.window.to_string(), columns, &rows, &w.stats)
+        );
+        return w.rows.len() as u64;
+    }
+    println!(
+        "\n== window {} ({} tuples in, {} admitted, {} cleaning phases, {} rows) ==",
+        w.window, w.stats.tuples, w.stats.admitted, w.stats.cleaning_phases, w.rows.len()
+    );
+    println!("{}", columns.join("\t"));
+    for row in w.rows.iter().take(opts.limit) {
+        let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    if w.rows.len() > opts.limit {
+        println!("... ({} more rows)", w.rows.len() - opts.limit);
+    }
+    w.rows.len() as u64
+}
+
+/// Tiny hand-rolled JSON encoder for the window record (values are
+/// numbers/strings only; strings contain no quotes).
+fn serde_json_lite(
+    window: &str,
+    columns: &[String],
+    rows: &[Vec<String>],
+    stats: &stream_sampler::operator::WindowStats,
+) -> String {
+    let cols = columns.iter().map(|c| format!("\"{c}\"")).collect::<Vec<_>>().join(",");
+    let rows = rows
+        .iter()
+        .map(|r| {
+            let cells = r.iter().map(|v| format!("\"{v}\"")).collect::<Vec<_>>().join(",");
+            format!("[{cells}]")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"window\":\"{window}\",\"columns\":[{cols}],\"rows\":[{rows}],\
+         \"tuples\":{},\"admitted\":{},\"cleaning_phases\":{}}}",
+        stats.tuples, stats.admitted, stats.cleaning_phases
+    )
+}

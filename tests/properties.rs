@@ -1,0 +1,204 @@
+//! Property-based integration tests: invariants of the operator stack
+//! over randomized packet streams.
+
+use proptest::prelude::*;
+use stream_sampler::operator::libs::subset_sum::SubsetSumOpConfig;
+use stream_sampler::prelude::*;
+
+/// Arbitrary packet streams: a few seconds, random per-second rates,
+/// random flow keys and heavy-tailed lengths.
+fn arb_packets() -> impl Strategy<Value = Vec<Packet>> {
+    (
+        proptest::collection::vec(1u64..400, 2..6), // per-second packet counts
+        any::<u64>(),
+    )
+        .prop_map(|(rates, seed)| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            for (sec, &n) in rates.iter().enumerate() {
+                for i in 0..n {
+                    let len = if rng.gen::<f64>() < 0.05 {
+                        rng.gen_range(1500..9000)
+                    } else {
+                        rng.gen_range(40..1500)
+                    };
+                    out.push(Packet {
+                        uts: sec as u64 * 1_000_000_000 + i * (1_000_000_000 / n) + 1,
+                        src_ip: rng.gen_range(0..16),
+                        dest_ip: rng.gen_range(0..16),
+                        src_port: rng.gen_range(0..4),
+                        dest_port: 80,
+                        proto: stream_sampler::types::Protocol::Udp,
+                        len,
+                    });
+                }
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The subset-sum operator's per-window estimate is within the
+    /// deterministic counter scheme's error envelope of the true volume:
+    /// each counter phase (one per cleaning, plus admission and the
+    /// final pass) loses at most its threshold, and thresholds only grow
+    /// within a window, so
+    /// `actual − (cleanings+2)·z_final ≤ estimate ≤ actual + z_final`.
+    #[test]
+    fn subset_sum_estimate_error_is_bounded(packets in arb_packets()) {
+        let query = "
+            SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()),
+                   sscleanings(), ssthreshold()
+            FROM PKT
+            WHERE ssample(len, 30) = TRUE
+            GROUP BY time/1 as tb, srcIP, destIP, uts
+            HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+            CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+            CLEANING BY ssclean_with(sum(len)) = TRUE";
+        let cfg = SubsetSumOpConfig { target: 0, initial_z: 1.0, ..Default::default() };
+        let mut op = compile(
+            query,
+            &Packet::schema(),
+            &stream_sampler::query::PlannerConfig::with_configs(cfg, Default::default()),
+        )
+        .unwrap();
+        let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+        let mut truth = std::collections::HashMap::<u64, u64>::new();
+        for p in &packets {
+            *truth.entry(p.time()).or_default() += p.len as u64;
+        }
+        let windows = op.run(tuples.iter()).unwrap();
+        for w in &windows {
+            let tb = w.window.get(0).as_u64().unwrap();
+            let actual = truth[&tb] as f64;
+            let est: f64 = w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
+            if w.rows.is_empty() {
+                // Everything metered away: the loss is below z, which is
+                // at most initial_z here (no cleanings without samples).
+                continue;
+            }
+            let cleanings = w.rows[0].get(4).as_u64().unwrap() as f64;
+            let z_final = w.rows[0].get(5).as_f64().unwrap();
+            prop_assert!(
+                est <= actual + z_final + 1e-6,
+                "window {tb}: over-estimate {est:.0} vs {actual:.0} (z {z_final:.1})"
+            );
+            prop_assert!(
+                est >= actual - (cleanings + 2.0) * z_final - 1e-6,
+                "window {tb}: under-estimate {est:.0} vs {actual:.0} \
+                 (z {z_final:.1}, cleanings {cleanings})"
+            );
+        }
+    }
+
+    /// The group table never exceeds γ·N + 1 live groups for the
+    /// per-packet subset-sum query, regardless of input.
+    #[test]
+    fn subset_sum_group_table_is_bounded(packets in arb_packets()) {
+        let cfg = SubsetSumOpConfig { target: 25, initial_z: 0.0, ..Default::default() };
+        let spec = queries::subset_sum_query(1, cfg, false).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let bound = (cfg.gamma * 25.0) as usize + 1;
+        for p in &packets {
+            op.process(&p.to_tuple()).unwrap();
+            prop_assert!(
+                op.group_count() <= bound,
+                "group table grew to {} (bound {bound})",
+                op.group_count()
+            );
+        }
+    }
+
+    /// The min-hash query's per-source output is always the k smallest
+    /// hashes of that source's distinct destinations.
+    #[test]
+    fn minhash_output_is_exactly_k_smallest(packets in arb_packets()) {
+        use std::collections::{HashMap, HashSet};
+        const K: usize = 4;
+        let query = format!(
+            "SELECT tb, srcIP, HX FROM PKT
+             WHERE HX <= Kth_smallest_value$(HX, {K})
+             GROUP BY time/100 as tb, srcIP, H(destIP) as HX
+             SUPERGROUP srcIP
+             HAVING HX <= Kth_smallest_value$(HX, {K})
+             CLEANING WHEN count_distinct$(*) > {K}
+             CLEANING BY HX <= Kth_smallest_value$(HX, {K})"
+        );
+        let mut op = compile(&query, &Packet::schema(), &PlannerConfig::empty()).unwrap();
+        let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+        let windows = op.run(tuples.iter()).unwrap();
+        prop_assert_eq!(windows.len(), 1);
+        let mut got: HashMap<u64, Vec<u64>> = HashMap::new();
+        for r in &windows[0].rows {
+            got.entry(r.get(1).as_u64().unwrap())
+                .or_default()
+                .push(r.get(2).as_u64().unwrap());
+        }
+        let mut dests: HashMap<u64, HashSet<u32>> = HashMap::new();
+        for p in &packets {
+            dests.entry(p.src_ip as u64).or_default().insert(p.dest_ip);
+        }
+        for (src, set) in dests {
+            let mut expected: Vec<u64> = set
+                .into_iter()
+                .map(|d| stream_sampler::sampling::hash::splitmix64(d as u64))
+                .collect();
+            expected.sort_unstable();
+            expected.truncate(K);
+            let mut actual = got.remove(&src).unwrap_or_default();
+            actual.sort_unstable();
+            prop_assert_eq!(actual, expected, "source {}", src);
+        }
+        prop_assert!(got.is_empty(), "no phantom sources");
+    }
+
+    /// Plain aggregation through the whole stack is exact, whatever the
+    /// stream.
+    #[test]
+    fn aggregation_is_exact(packets in arb_packets()) {
+        let mut op = SamplingOperator::new(queries::total_sum_query(1)).unwrap();
+        let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+        let mut truth = std::collections::HashMap::<u64, (u64, u64)>::new();
+        for p in &packets {
+            let e = truth.entry(p.time()).or_default();
+            e.0 += p.len as u64;
+            e.1 += 1;
+        }
+        let windows = op.run(tuples.iter()).unwrap();
+        let mut seen = 0;
+        for w in &windows {
+            let tb = w.window.get(0).as_u64().unwrap();
+            let (sum, cnt) = truth[&tb];
+            prop_assert_eq!(w.rows[0].get(1), &Value::U64(sum));
+            prop_assert_eq!(w.rows[0].get(2), &Value::U64(cnt));
+            seen += 1;
+        }
+        prop_assert_eq!(seen, truth.len());
+    }
+
+    /// The reservoir query returns min(n, distinct keys) rows and only
+    /// keys that actually appeared.
+    #[test]
+    fn reservoir_sample_is_a_subset_of_the_stream(packets in arb_packets()) {
+        use std::collections::HashSet;
+        let cfg = stream_sampler::prelude::ReservoirOpConfig { n: 8, ..Default::default() };
+        let spec = queries::reservoir_query(1000, cfg).unwrap();
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+        let windows = op.run(tuples.iter()).unwrap();
+        let keys: HashSet<(u64, u64)> = packets
+            .iter()
+            .map(|p| (p.src_ip as u64, p.dest_ip as u64))
+            .collect();
+        for w in &windows {
+            prop_assert!(w.rows.len() <= 8);
+            for r in &w.rows {
+                let key = (r.get(1).as_u64().unwrap(), r.get(2).as_u64().unwrap());
+                prop_assert!(keys.contains(&key), "sampled key {key:?} never appeared");
+            }
+        }
+    }
+}

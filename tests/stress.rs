@@ -1,0 +1,133 @@
+//! Long-run stability: millions of tuples through the operator stack
+//! with bounded memory and sane throughput.
+
+use std::time::Instant;
+
+use stream_sampler::operator::libs::subset_sum::SubsetSumOpConfig;
+use stream_sampler::prelude::*;
+
+#[test]
+fn subset_sum_survives_minutes_of_datacenter_load() {
+    // ~2M packets, 20 one-second windows: the group table must stay at
+    // γ·N, window stats must be consistent, and throughput must exceed
+    // the paper's 100k pkt/s line rate with margin.
+    let packets = datacenter_feed(501).take_seconds(20);
+    let n = packets.len();
+    assert!(n > 1_900_000, "feed should be ~2M packets: {n}");
+    let cfg = SubsetSumOpConfig { target: 1000, initial_z: 100.0, ..Default::default() };
+    let mut op =
+        SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+
+    let t0 = Instant::now();
+    let mut windows = 0;
+    let mut peak_groups = 0;
+    for (i, t) in tuples.iter().enumerate() {
+        if op.process(t).unwrap().is_some() {
+            windows += 1;
+        }
+        if i % 4096 == 0 {
+            peak_groups = peak_groups.max(op.group_count());
+        }
+    }
+    op.finish().unwrap();
+    let elapsed = t0.elapsed();
+    let rate = n as f64 / elapsed.as_secs_f64();
+
+    assert_eq!(windows, 19, "one window boundary per second");
+    assert!(peak_groups <= 2001, "group table bounded by gamma*N: {peak_groups}");
+    assert!(
+        rate > 200_000.0,
+        "throughput {rate:.0} tuples/s should clear the paper's 100k pkt/s line rate"
+    );
+    let stats = op.stats();
+    assert_eq!(stats.tuples, n as u64);
+    assert!(stats.admitted < stats.tuples / 10, "admission is the rare path");
+}
+
+#[test]
+fn window_gaps_and_idle_periods_are_handled() {
+    // Packets only in seconds 0, 7, and 30: window ids jump. Each burst
+    // becomes its own window; the operator must not emit phantom
+    // windows or leak groups.
+    let mut packets = Vec::new();
+    for &sec in &[0u64, 7, 30] {
+        for i in 0..1000u64 {
+            packets.push(Packet {
+                uts: sec * 1_000_000_000 + i * 1_000_000,
+                src_ip: i as u32 % 10,
+                dest_ip: 1,
+                src_port: 1,
+                dest_port: 2,
+                proto: stream_sampler::types::Protocol::Udp,
+                len: 100,
+            });
+        }
+    }
+    let mut op = SamplingOperator::new(queries::total_sum_query(1)).unwrap();
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+    let outs = op.run(tuples.iter()).unwrap();
+    assert_eq!(outs.len(), 3);
+    let tbs: Vec<u64> = outs.iter().map(|w| w.window.get(0).as_u64().unwrap()).collect();
+    assert_eq!(tbs, vec![0, 7, 30]);
+    for w in &outs {
+        assert_eq!(w.rows.len(), 1);
+        assert_eq!(w.rows[0].get(1), &Value::U64(100_000));
+    }
+}
+
+#[test]
+fn ddos_storm_does_not_blow_up_the_sampled_flow_query() {
+    // 30s with a 10s attack of tiny spoofed flows; the integrated
+    // sampled-flow query's live group count stays bounded throughout.
+    let packets = ddos_feed(502, 10, 20).take_seconds(30);
+    let query = "
+        SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+        FROM PKT
+        WHERE ssample(len, 500) = TRUE
+        GROUP BY time/5 as tb, srcIP, destIP, srcPort, destPort, proto
+        HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+        CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+        CLEANING BY ssclean_with(sum(len)) = TRUE";
+    let mut op = compile(query, &Packet::schema(), &PlannerConfig::standard()).unwrap();
+    let mut peak = 0;
+    for p in &packets {
+        op.process(&p.to_tuple()).unwrap();
+        peak = peak.max(op.group_count());
+    }
+    op.finish().unwrap();
+    assert!(peak <= 1001, "sampled flow table bounded through the attack: {peak}");
+}
+
+#[test]
+fn operator_is_reusable_across_hundreds_of_windows() {
+    // 600 tiny windows: carry-over, table resets, and stats must stay
+    // consistent for a long-lived operator.
+    let mut packets = Vec::new();
+    for sec in 0..600u64 {
+        for i in 0..50u64 {
+            packets.push(Packet {
+                uts: sec * 1_000_000_000 + i * 10_000_000,
+                src_ip: (i % 5) as u32,
+                dest_ip: 1,
+                src_port: 1,
+                dest_port: 2,
+                proto: stream_sampler::types::Protocol::Tcp,
+                len: 500,
+            });
+        }
+    }
+    let cfg = SubsetSumOpConfig { target: 10, initial_z: 1.0, ..Default::default() };
+    let mut op =
+        SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
+    let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
+    let outs = op.run(tuples.iter()).unwrap();
+    assert_eq!(outs.len(), 600);
+    for w in &outs {
+        let est: f64 = w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
+        let rel = (est - 25_000.0).abs() / 25_000.0;
+        assert!(rel < 0.4, "window {}: est {est}", w.window);
+    }
+    assert_eq!(op.stats().windows, 600);
+    assert_eq!(op.stats().tuples, 30_000);
+}
