@@ -28,11 +28,9 @@ fn bench_interpretation(c: &mut Criterion) {
 
     group.bench_function("operator_hosted", |b| {
         b.iter(|| {
-            let cfg =
-                SubsetSumOpConfig { target: 1000, initial_z: 50.0, ..Default::default() };
+            let cfg = SubsetSumOpConfig { target: 1000, initial_z: 50.0, ..Default::default() };
             let mut op =
-                SamplingOperator::new(queries::subset_sum_query(20, cfg, false).unwrap())
-                    .unwrap();
+                SamplingOperator::new(queries::subset_sum_query(20, cfg, false).unwrap()).unwrap();
             for t in &tuples {
                 op.process(std::hint::black_box(t)).unwrap();
             }
@@ -45,10 +43,7 @@ fn bench_interpretation(c: &mut Criterion) {
             let cfg = SubsetSumConfig::new(1000).with_initial_z(50.0);
             let mut ss = DynamicSubsetSum::new(cfg);
             for p in &packets {
-                ss.offer(
-                    (p.src_ip, p.dest_ip),
-                    std::hint::black_box(p.len as u64),
-                );
+                ss.offer((p.src_ip, p.dest_ip), std::hint::black_box(p.len as u64));
             }
             ss.end_window().samples.len()
         })

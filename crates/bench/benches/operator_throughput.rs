@@ -37,22 +37,13 @@ fn bench_queries(c: &mut Criterion) {
     let ss = SubsetSumOpConfig { target: 1000, initial_z: 50_000.0, ..Default::default() };
     let cases: Vec<(&str, SpecMaker)> = vec![
         ("aggregation", Box::new(|| queries::total_sum_query(20))),
-        (
-            "subset_sum_relaxed",
-            Box::new(move || queries::subset_sum_query(20, ss, false).unwrap()),
-        ),
+        ("subset_sum_relaxed", Box::new(move || queries::subset_sum_query(20, ss, false).unwrap())),
         (
             "subset_sum_nonrelaxed",
             Box::new(move || queries::subset_sum_query(20, ss.non_relaxed(), false).unwrap()),
         ),
-        (
-            "basic_subset_sum",
-            Box::new(|| queries::basic_subset_sum_query(20, 50_000.0).unwrap()),
-        ),
-        (
-            "heavy_hitters",
-            Box::new(|| queries::heavy_hitters_query(20, 1000, None).unwrap()),
-        ),
+        ("basic_subset_sum", Box::new(|| queries::basic_subset_sum_query(20, 50_000.0).unwrap())),
+        ("heavy_hitters", Box::new(|| queries::heavy_hitters_query(20, 1000, None).unwrap())),
         ("minhash", Box::new(|| queries::minhash_query(20, 100).unwrap())),
         (
             "reservoir",

@@ -41,7 +41,12 @@ fn main() {
     let rows: Vec<Row> = relaxed
         .iter()
         .zip(&nonrelaxed)
-        .map(|(r, n)| Row { tb: r.tb, actual: r.actual, relaxed: r.estimate, nonrelaxed: n.estimate })
+        .map(|(r, n)| Row {
+            tb: r.tb,
+            actual: r.actual,
+            relaxed: r.estimate,
+            nonrelaxed: n.estimate,
+        })
         .collect();
 
     if maybe_json(&rows) {

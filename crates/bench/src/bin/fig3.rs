@@ -72,7 +72,11 @@ fn main() {
     for r in &rows {
         println!(
             "{:>6} {:>18} {:>18} {:>14} {:>14}",
-            r.tb, r.relaxed_admissions, r.nonrelaxed_admissions, r.relaxed_final, r.nonrelaxed_final
+            r.tb,
+            r.relaxed_admissions,
+            r.nonrelaxed_admissions,
+            r.relaxed_final,
+            r.nonrelaxed_final
         );
     }
     println!(

@@ -51,9 +51,8 @@ fn main() {
         println!("{:>6} {:>10} {:>12}", r.tb, r.relaxed, r.nonrelaxed);
     }
     let tail = &rows[rows.len().min(3)..];
-    let mean = |f: fn(&Row) -> u64| {
-        tail.iter().map(f).sum::<u64>() as f64 / tail.len().max(1) as f64
-    };
+    let mean =
+        |f: fn(&Row) -> u64| tail.iter().map(f).sum::<u64>() as f64 / tail.len().max(1) as f64;
     println!(
         "\nsteady state (after the first windows): relaxed {:.1} cleanings/period, \
          non-relaxed {:.1}.",

@@ -108,7 +108,12 @@ fn main() {
     header("Figure 5: subset-sum sampling CPU usage (~100k pkt/s data-center feed)");
     println!(
         "{:>16} {:>12} {:>14} {:>12} {:>14} {:>16}",
-        "samples/period", "basic SS %", "SS nonrelaxed %", "SS relaxed %", "relaxed-basic", "relaxed-nonrel"
+        "samples/period",
+        "basic SS %",
+        "SS nonrelaxed %",
+        "SS relaxed %",
+        "relaxed-basic",
+        "relaxed-nonrel"
     );
     for r in &rows {
         println!(

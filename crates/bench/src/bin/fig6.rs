@@ -69,8 +69,7 @@ fn main() {
         });
 
         // Plan B: basic-SS prefilter at z/10 feeds the dynamic operator.
-        let cfg_b =
-            SubsetSumOpConfig { target: n, initial_z: z_dyn / 10.0, ..Default::default() };
+        let cfg_b = SubsetSumOpConfig { target: n, initial_z: z_dyn / 10.0, ..Default::default() };
         let report_b = best(&|| {
             TwoLevelPlan::new(
                 Box::new(PrefilterNode::new(z_dyn / 10.0)),

@@ -31,8 +31,7 @@ fn main() {
     for gamma in [1.25f64, 1.5, 2.0, 3.0, 4.0] {
         let cfg = SubsetSumOpConfig { target: N, initial_z: 1.0, gamma, relax_factor: 10.0 };
         let mut op =
-            SamplingOperator::new(queries::subset_sum_query(WINDOW, cfg, true).unwrap())
-                .unwrap();
+            SamplingOperator::new(queries::subset_sum_query(WINDOW, cfg, true).unwrap()).unwrap();
         let (busy, windows) = measure_operator(&mut op, &tuples).unwrap();
         let cleanings: u64 = windows
             .iter()

@@ -45,8 +45,7 @@ fn main() {
         let nonrelaxed = run_subset_sum(
             &packets,
             WINDOW,
-            SubsetSumOpConfig { target: n, initial_z: 1.0, ..Default::default() }
-                .non_relaxed(),
+            SubsetSumOpConfig { target: n, initial_z: 1.0, ..Default::default() }.non_relaxed(),
         )
         .unwrap();
         let (rx_mean, rx_worst) = err_stats(&relaxed);

@@ -50,10 +50,8 @@ fn main() {
              GROUP BY time/{WINDOW} as tb, destIP"
         ))
         .unwrap();
-        SamplingOperator::new(
-            plan(&q, &PartialAggNode::schema(), &PlannerConfig::empty()).unwrap(),
-        )
-        .unwrap()
+        SamplingOperator::new(plan(&q, &PartialAggNode::schema(), &PlannerConfig::empty()).unwrap())
+            .unwrap()
     };
 
     let best = |make: &dyn Fn() -> TwoLevelPlan| {
@@ -71,21 +69,13 @@ fn main() {
         best.unwrap()
     };
 
-    let sel = best(&|| {
-        TwoLevelPlan::new(Box::new(SelectionNode::pass_all()), packet_query())
-    });
-    let agg = best(&|| {
-        TwoLevelPlan::new(Box::new(PartialAggNode::new(65_536)), partial_query())
-    });
+    let sel = best(&|| TwoLevelPlan::new(Box::new(SelectionNode::pass_all()), packet_query()));
+    let agg = best(&|| TwoLevelPlan::new(Box::new(PartialAggNode::new(65_536)), partial_query()));
 
     // Both plans must agree byte-for-byte.
     let totals = |r: &sso_gigascope::RunReport| -> (u64, u64) {
-        let bytes = r
-            .windows
-            .iter()
-            .flat_map(|w| &w.rows)
-            .map(|row| row.get(2).as_u64().unwrap())
-            .sum();
+        let bytes =
+            r.windows.iter().flat_map(|w| &w.rows).map(|row| row.get(2).as_u64().unwrap()).sum();
         let rows = r.windows.iter().map(|w| w.rows.len() as u64).sum();
         (bytes, rows)
     };

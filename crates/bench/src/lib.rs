@@ -191,8 +191,7 @@ mod tests {
     fn measure_operator_counts_windows() {
         let packets = research_feed(3).take_seconds(4);
         let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
-        let mut op =
-            SamplingOperator::new(sso_core::queries::total_sum_query(2)).unwrap();
+        let mut op = SamplingOperator::new(sso_core::queries::total_sum_query(2)).unwrap();
         let (busy, windows) = measure_operator(&mut op, &tuples).unwrap();
         assert!(busy > Duration::ZERO);
         assert_eq!(windows.len(), 2);

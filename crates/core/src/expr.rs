@@ -242,20 +242,16 @@ impl Expr {
                 let state = states.get_mut(*lib).ok_or_else(|| {
                     OpError::InvalidSpec(format!("sfun library slot {lib} out of range"))
                 })?;
-                fun(state.as_mut(), &argv).map_err(|reason| OpError::BadSfunCall {
-                    function: name.to_string(),
-                    reason,
-                })
+                fun(state.as_mut(), &argv)
+                    .map_err(|reason| OpError::BadSfunCall { function: name.to_string(), reason })
             }
             Expr::Scalar { name, fun, args } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
                     argv.push(a.eval(ctx)?);
                 }
-                fun(&argv).map_err(|reason| OpError::BadScalarCall {
-                    function: name.to_string(),
-                    reason,
-                })
+                fun(&argv)
+                    .map_err(|reason| OpError::BadScalarCall { function: name.to_string(), reason })
             }
         }
     }
@@ -424,11 +420,8 @@ mod tests {
     #[test]
     fn scalar_call() {
         let umax = crate::scalar::umax();
-        let e = Expr::Scalar {
-            name: "UMAX",
-            fun: umax,
-            args: vec![Expr::lit(3u64), Expr::lit(9u64)],
-        };
+        let e =
+            Expr::Scalar { name: "UMAX", fun: umax, args: vec![Expr::lit(3u64), Expr::lit(9u64)] };
         assert_eq!(e.eval(&mut EvalCtx::empty("T")).unwrap(), Value::U64(9));
     }
 

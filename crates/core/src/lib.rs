@@ -41,5 +41,5 @@ pub use agg::{AggSpec, AggState};
 pub use error::OpError;
 pub use expr::{BinOp, EvalCtx, Expr};
 pub use operator::{OperatorSpec, OperatorStats, SamplingOperator, WindowOutput, WindowStats};
-pub use sfun::{SfunLibrary, SfunStates};
+pub use sfun::{SfunLibrary, SfunStates, Signature};
 pub use superagg::{SuperAggSpec, SuperAggState};

@@ -18,10 +18,10 @@
 //! *event report* for value `x` is `count(*) · dscale()`.
 
 use sso_sampling::hash::splitmix64;
-use sso_types::Value;
+use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::u64_arg;
-use crate::sfun::{state_mut, SfunLibrary};
+use crate::sfun::{state_mut, SfunLibrary, Signature};
 
 /// Configuration for [`library`].
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +56,7 @@ fn value_level(v: u64) -> u32 {
 
 /// Build the distinct-sampling SFUN library.
 pub fn library(cfg: DistinctOpConfig) -> SfunLibrary {
+    let cfg_capacity = cfg.capacity;
     SfunLibrary::new("distinct_sampling_state", move |prev| {
         let level = match prev.and_then(|p| p.downcast_ref::<DistinctSfunState>()) {
             Some(old) if cfg.carry_level => old.level.saturating_sub(1),
@@ -67,19 +68,29 @@ pub fn library(cfg: DistinctOpConfig) -> SfunLibrary {
             .unwrap_or(cfg.capacity);
         Box::new(DistinctSfunState { capacity, level })
     })
-    .register("dsample", |state, argv| {
-        let s = state_mut::<DistinctSfunState>(state, "dsample")?;
-        let v = u64_arg("dsample", argv, 0)?;
-        if s.capacity == 0 {
-            let cap = u64_arg("dsample", argv, 1)? as usize;
-            if cap == 0 {
-                return Err("dsample: capacity must be positive".to_string());
+    .register(
+        "dsample",
+        // Second (capacity) argument is only needed when the config
+        // does not preset it.
+        if cfg_capacity > 0 {
+            Signature::range(1, 2, ValueKind::Bool)
+        } else {
+            Signature::exact(2, ValueKind::Bool)
+        },
+        |state, argv| {
+            let s = state_mut::<DistinctSfunState>(state, "dsample")?;
+            let v = u64_arg("dsample", argv, 0)?;
+            if s.capacity == 0 {
+                let cap = u64_arg("dsample", argv, 1)? as usize;
+                if cap == 0 {
+                    return Err("dsample: capacity must be positive".to_string());
+                }
+                s.capacity = cap;
             }
-            s.capacity = cap;
-        }
-        Ok(Value::Bool(value_level(v) >= s.level))
-    })
-    .register("ddo_clean", |state, argv| {
+            Ok(Value::Bool(value_level(v) >= s.level))
+        },
+    )
+    .register("ddo_clean", Signature::exact(1, ValueKind::Bool), |state, argv| {
         let s = state_mut::<DistinctSfunState>(state, "ddo_clean")?;
         let count = u64_arg("ddo_clean", argv, 0)? as usize;
         if s.capacity > 0 && count > s.capacity {
@@ -89,16 +100,16 @@ pub fn library(cfg: DistinctOpConfig) -> SfunLibrary {
             Ok(Value::Bool(false))
         }
     })
-    .register("dclean_with", |state, argv| {
+    .register("dclean_with", Signature::exact(1, ValueKind::Bool), |state, argv| {
         let s = state_mut::<DistinctSfunState>(state, "dclean_with")?;
         let v = u64_arg("dclean_with", argv, 0)?;
         Ok(Value::Bool(value_level(v) >= s.level))
     })
-    .register("dlevel", |state, _argv| {
+    .register("dlevel", Signature::exact(0, ValueKind::UInt), |state, _argv| {
         let s = state_mut::<DistinctSfunState>(state, "dlevel")?;
         Ok(Value::U64(s.level as u64))
     })
-    .register("dscale", |state, _argv| {
+    .register("dscale", Signature::exact(0, ValueKind::UInt), |state, _argv| {
         let s = state_mut::<DistinctSfunState>(state, "dscale")?;
         Ok(Value::U64(1u64 << s.level))
     })
@@ -118,10 +129,7 @@ mod tests {
         let lib = library(DistinctOpConfig { capacity: 100, ..Default::default() });
         let mut st = lib.init_state(None);
         for v in 0..50u64 {
-            assert_eq!(
-                call(&lib, &mut st, "dsample", &[Value::U64(v)]),
-                Value::Bool(true)
-            );
+            assert_eq!(call(&lib, &mut st, "dsample", &[Value::U64(v)]), Value::Bool(true));
         }
         assert_eq!(call(&lib, &mut st, "dscale", &[]), Value::U64(1));
     }

@@ -23,10 +23,10 @@
 //! under the operator's false-means-evict semantics the keep form above
 //! is the consistent one.)
 
-use sso_types::Value;
+use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::u64_arg;
-use crate::sfun::{state_mut, SfunLibrary};
+use crate::sfun::{state_mut, SfunLibrary, Signature};
 
 /// The shared state: bucket width and per-window tuple count.
 #[derive(Debug, Clone, Default)]
@@ -42,7 +42,7 @@ pub struct HeavyHitterState {
 /// carry-over): the paper's query emits its report every window.
 pub fn library() -> SfunLibrary {
     SfunLibrary::new("heavy_hitter_state", |_prev| Box::new(HeavyHitterState::default()))
-        .register("local_count", |state, argv| {
+        .register("local_count", Signature::exact(1, ValueKind::Bool), |state, argv| {
             let s = state_mut::<HeavyHitterState>(state, "local_count")?;
             if s.w == 0 {
                 let w = u64_arg("local_count", argv, 0)?;
@@ -54,7 +54,7 @@ pub fn library() -> SfunLibrary {
             s.count += 1;
             Ok(Value::Bool(s.count % s.w == 0))
         })
-        .register("current_bucket", |state, _argv| {
+        .register("current_bucket", Signature::exact(0, ValueKind::UInt), |state, _argv| {
             let s = state_mut::<HeavyHitterState>(state, "current_bucket")?;
             if s.w == 0 {
                 // Before the first local_count call everything is in

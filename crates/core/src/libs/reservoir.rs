@@ -15,10 +15,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sso_types::Value;
+use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::u64_arg;
-use crate::sfun::{state_mut, SfunLibrary};
+use crate::sfun::{state_mut, SfunLibrary, Signature};
 
 /// Configuration for [`library`].
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +68,7 @@ impl ReservoirSfunState {
 /// Build the reservoir SFUN library. Reservoir state does not carry
 /// across windows; each window samples afresh.
 pub fn library(cfg: ReservoirOpConfig) -> SfunLibrary {
+    let cfg_n = cfg.n;
     // Distinct deterministic RNG stream per created state.
     let instance = AtomicU64::new(0);
     SfunLibrary::new("reservoir_sampling_state", move |_prev| {
@@ -83,25 +84,35 @@ pub fn library(cfg: ReservoirOpConfig) -> SfunLibrary {
             final_subsample: false,
         })
     })
-    .register("rsample", |state, argv| {
-        let s = state_mut::<ReservoirSfunState>(state, "rsample")?;
-        if s.n == 0 {
-            let n = u64_arg("rsample", argv, 0)? as usize;
-            if n == 0 {
-                return Err("rsample: sample size must be positive".to_string());
-            }
-            s.n = n;
-        }
-        s.seen += 1;
-        let admit = if s.seen <= s.n as u64 {
-            true
+    .register(
+        "rsample",
+        // The sample size argument is only needed when the config does
+        // not preset it.
+        if cfg_n > 0 {
+            Signature::range(0, 1, ValueKind::Bool)
         } else {
-            // Candidate with probability n / t.
-            (s.rng.gen::<f64>() * s.seen as f64) < s.n as f64
-        };
-        Ok(Value::Bool(admit))
-    })
-    .register("rsdo_clean", |state, argv| {
+            Signature::exact(1, ValueKind::Bool)
+        },
+        |state, argv| {
+            let s = state_mut::<ReservoirSfunState>(state, "rsample")?;
+            if s.n == 0 {
+                let n = u64_arg("rsample", argv, 0)? as usize;
+                if n == 0 {
+                    return Err("rsample: sample size must be positive".to_string());
+                }
+                s.n = n;
+            }
+            s.seen += 1;
+            let admit = if s.seen <= s.n as u64 {
+                true
+            } else {
+                // Candidate with probability n / t.
+                (s.rng.gen::<f64>() * s.seen as f64) < s.n as f64
+            };
+            Ok(Value::Bool(admit))
+        },
+    )
+    .register("rsdo_clean", Signature::exact(1, ValueKind::Bool), |state, argv| {
         let s = state_mut::<ReservoirSfunState>(state, "rsdo_clean")?;
         let count = u64_arg("rsdo_clean", argv, 0)? as usize;
         if s.n > 0 && count > s.t_factor as usize * s.n {
@@ -112,11 +123,11 @@ pub fn library(cfg: ReservoirOpConfig) -> SfunLibrary {
             Ok(Value::Bool(false))
         }
     })
-    .register("rsclean_with", |state, _argv| {
+    .register("rsclean_with", Signature::exact(0, ValueKind::Bool), |state, _argv| {
         let s = state_mut::<ReservoirSfunState>(state, "rsclean_with")?;
         Ok(Value::Bool(s.selection_step()))
     })
-    .register("rsfinal_clean", |state, argv| {
+    .register("rsfinal_clean", Signature::exact(1, ValueKind::Bool), |state, argv| {
         let s = state_mut::<ReservoirSfunState>(state, "rsfinal_clean")?;
         if !s.final_started {
             s.final_started = true;
@@ -195,10 +206,7 @@ mod tests {
         let mut st = lib.init_state(None);
         call(&lib, &mut st, "rsample", &[Value::U64(5)]);
         for _ in 0..3 {
-            assert_eq!(
-                call(&lib, &mut st, "rsfinal_clean", &[Value::U64(3)]),
-                Value::Bool(true)
-            );
+            assert_eq!(call(&lib, &mut st, "rsfinal_clean", &[Value::U64(3)]), Value::Bool(true));
         }
         // New state: over target.
         let mut st = lib.init_state(None);

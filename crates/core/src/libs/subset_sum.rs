@@ -18,12 +18,11 @@
 //! | `ssthreshold()` | SELECT | the final threshold (for `UMAX(sum(len), ssthreshold())`) |
 //! | `sscleanings()` | SELECT | cleaning phases this window (Figure 4's metric) |
 
-
 use sso_sampling::subset_sum::ThresholdCarry;
-use sso_types::Value;
+use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::{f64_arg, u64_arg};
-use crate::sfun::{state_mut, SfunLibrary};
+use crate::sfun::{state_mut, SfunLibrary, Signature};
 
 /// Configuration for [`library`].
 #[derive(Debug, Clone, Copy)]
@@ -197,6 +196,7 @@ impl SubsetSumSfunState {
 /// [`SubsetSumSfunState`]; a supergroup recurring in the next window
 /// inherits a threshold via the configured [`ThresholdCarry`].
 pub fn library(cfg: SubsetSumOpConfig) -> SfunLibrary {
+    let cfg_target = cfg.target;
     SfunLibrary::new("subsetsum_sampling_state", move |prev| {
         let z = match prev.and_then(|p| p.downcast_ref::<SubsetSumSfunState>()) {
             Some(old) => ThresholdCarry { relax_factor: cfg.relax_factor }.next_z(
@@ -219,19 +219,29 @@ pub fn library(cfg: SubsetSumOpConfig) -> SfunLibrary {
             s.final_kept = 0;
         }
     })
-    .register("ssample", |state, argv| {
-        let s = state_mut::<SubsetSumSfunState>(state, "ssample")?;
-        let len = f64_arg("ssample", argv, 0)?;
-        if s.target == 0 {
-            let n = u64_arg("ssample", argv, 1)? as usize;
-            if n == 0 {
-                return Err("ssample: sample size must be positive".to_string());
+    .register(
+        "ssample",
+        // Second (target sample size) argument is only needed when the
+        // config does not preset it.
+        if cfg_target > 0 {
+            Signature::range(1, 2, ValueKind::Bool)
+        } else {
+            Signature::exact(2, ValueKind::Bool)
+        },
+        |state, argv| {
+            let s = state_mut::<SubsetSumSfunState>(state, "ssample")?;
+            let len = f64_arg("ssample", argv, 0)?;
+            if s.target == 0 {
+                let n = u64_arg("ssample", argv, 1)? as usize;
+                if n == 0 {
+                    return Err("ssample: sample size must be positive".to_string());
+                }
+                s.target = n;
             }
-            s.target = n;
-        }
-        Ok(Value::Bool(s.admit(len)))
-    })
-    .register("ssdo_clean", |state, argv| {
+            Ok(Value::Bool(s.admit(len)))
+        },
+    )
+    .register("ssdo_clean", Signature::exact(1, ValueKind::Bool), |state, argv| {
         let s = state_mut::<SubsetSumSfunState>(state, "ssdo_clean")?;
         s.fold_pass();
         let count = u64_arg("ssdo_clean", argv, 0)? as usize;
@@ -242,12 +252,12 @@ pub fn library(cfg: SubsetSumOpConfig) -> SfunLibrary {
             Ok(Value::Bool(false))
         }
     })
-    .register("ssclean_with", |state, argv| {
+    .register("ssclean_with", Signature::exact(1, ValueKind::Bool), |state, argv| {
         let s = state_mut::<SubsetSumSfunState>(state, "ssclean_with")?;
         let w = f64_arg("ssclean_with", argv, 0)?;
         Ok(Value::Bool(s.clean_keep(w)))
     })
-    .register("ssfinal_clean", |state, argv| {
+    .register("ssfinal_clean", Signature::exact(2, ValueKind::Bool), |state, argv| {
         let s = state_mut::<SubsetSumSfunState>(state, "ssfinal_clean")?;
         let w = f64_arg("ssfinal_clean", argv, 0)?;
         let count = u64_arg("ssfinal_clean", argv, 1)? as usize;
@@ -264,15 +274,15 @@ pub fn library(cfg: SubsetSumOpConfig) -> SfunLibrary {
         }
         Ok(Value::Bool(keep))
     })
-    .register("ssthreshold", |state, _argv| {
+    .register("ssthreshold", Signature::exact(0, ValueKind::Float), |state, _argv| {
         let s = state_mut::<SubsetSumSfunState>(state, "ssthreshold")?;
         Ok(Value::F64(s.z))
     })
-    .register("sscleanings", |state, _argv| {
+    .register("sscleanings", Signature::exact(0, ValueKind::UInt), |state, _argv| {
         let s = state_mut::<SubsetSumSfunState>(state, "sscleanings")?;
         Ok(Value::U64(s.cleanings as u64))
     })
-    .register("ssadmissions", |state, _argv| {
+    .register("ssadmissions", Signature::exact(0, ValueKind::UInt), |state, _argv| {
         let s = state_mut::<SubsetSumSfunState>(state, "ssadmissions")?;
         Ok(Value::U64(s.admissions))
     })
@@ -282,7 +292,12 @@ pub fn library(cfg: SubsetSumOpConfig) -> SfunLibrary {
 mod tests {
     use super::*;
 
-    fn call(lib: &SfunLibrary, state: &mut Box<dyn std::any::Any + Send>, f: &str, args: &[Value]) -> Value {
+    fn call(
+        lib: &SfunLibrary,
+        state: &mut Box<dyn std::any::Any + Send>,
+        f: &str,
+        args: &[Value],
+    ) -> Value {
         lib.function(f).expect(f)(state.as_mut(), args).unwrap()
     }
 
@@ -290,11 +305,23 @@ mod tests {
     fn ssample_admits_large_and_meters_small() {
         let lib = library(SubsetSumOpConfig { initial_z: 100.0, target: 10, ..Default::default() });
         let mut st = lib.init_state(None);
-        assert_eq!(call(&lib, &mut st, "ssample", &[Value::U64(500), Value::U64(10)]), Value::Bool(true));
+        assert_eq!(
+            call(&lib, &mut st, "ssample", &[Value::U64(500), Value::U64(10)]),
+            Value::Bool(true)
+        );
         // 40+40 = 80 <= 100 -> no; +40 = 120 > 100 -> yes.
-        assert_eq!(call(&lib, &mut st, "ssample", &[Value::U64(40), Value::U64(10)]), Value::Bool(false));
-        assert_eq!(call(&lib, &mut st, "ssample", &[Value::U64(40), Value::U64(10)]), Value::Bool(false));
-        assert_eq!(call(&lib, &mut st, "ssample", &[Value::U64(40), Value::U64(10)]), Value::Bool(true));
+        assert_eq!(
+            call(&lib, &mut st, "ssample", &[Value::U64(40), Value::U64(10)]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            call(&lib, &mut st, "ssample", &[Value::U64(40), Value::U64(10)]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            call(&lib, &mut st, "ssample", &[Value::U64(40), Value::U64(10)]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -307,7 +334,12 @@ mod tests {
 
     #[test]
     fn ssdo_clean_triggers_past_gamma_target_and_raises_z() {
-        let lib = library(SubsetSumOpConfig { initial_z: 10.0, target: 5, gamma: 2.0, ..Default::default() });
+        let lib = library(SubsetSumOpConfig {
+            initial_z: 10.0,
+            target: 5,
+            gamma: 2.0,
+            ..Default::default()
+        });
         let mut st = lib.init_state(None);
         // Build up some sample weight so the adjustment has data.
         for _ in 0..12 {
@@ -323,7 +355,12 @@ mod tests {
 
     #[test]
     fn ssclean_with_keeps_bigs_and_meters_smalls() {
-        let lib = library(SubsetSumOpConfig { initial_z: 10.0, target: 2, gamma: 2.0, ..Default::default() });
+        let lib = library(SubsetSumOpConfig {
+            initial_z: 10.0,
+            target: 2,
+            gamma: 2.0,
+            ..Default::default()
+        });
         let mut st = lib.init_state(None);
         for _ in 0..5 {
             call(&lib, &mut st, "ssample", &[Value::U64(50), Value::U64(2)]);
@@ -331,10 +368,7 @@ mod tests {
         assert_eq!(call(&lib, &mut st, "ssdo_clean", &[Value::U64(5)]), Value::Bool(true));
         let z = st.downcast_ref::<SubsetSumSfunState>().unwrap().z;
         // A sample far above the new threshold is always kept.
-        assert_eq!(
-            call(&lib, &mut st, "ssclean_with", &[Value::F64(z * 10.0)]),
-            Value::Bool(true)
-        );
+        assert_eq!(call(&lib, &mut st, "ssclean_with", &[Value::F64(z * 10.0)]), Value::Bool(true));
         // Small samples are metered: some kept, some dropped.
         let mut kept = 0;
         for _ in 0..10 {

@@ -294,8 +294,7 @@ impl SamplingOperator {
             }
         }
         // 2. Window boundary.
-        let wvals: Vec<Value> =
-            spec.window_indices.iter().map(|&i| gb[i].clone()).collect();
+        let wvals: Vec<Value> = spec.window_indices.iter().map(|&i| gb[i].clone()).collect();
         let out = match &self.window {
             Some(cur) if *cur != wvals => {
                 let o = self.flush_window()?;
@@ -310,8 +309,7 @@ impl SamplingOperator {
         };
         self.wstats.tuples += 1;
         // 3. Supergroup lookup / creation (with state carry-over).
-        let sg_key =
-            Tuple::new(spec.supergroup_indices.iter().map(|&i| gb[i].clone()).collect());
+        let sg_key = Tuple::new(spec.supergroup_indices.iter().map(|&i| gb[i].clone()).collect());
         let sg_idx = match self.sg_index.get(&sg_key) {
             Some(&i) => i,
             None => {
@@ -321,8 +319,7 @@ impl SamplingOperator {
                     .iter()
                     .enumerate()
                     .map(|(li, lib)| {
-                        let prev =
-                            old.and_then(|v| v.get(li)).map(|b| b.as_ref() as &dyn Any);
+                        let prev = old.and_then(|v| v.get(li)).map(|b| b.as_ref() as &dyn Any);
                         lib.init_state(prev)
                     })
                     .collect();

@@ -17,6 +17,68 @@ use crate::operator::OperatorSpec;
 use crate::sfun::SfunLibrary;
 use crate::superagg::SuperAggSpec;
 
+/// The textual form of every builder in this module, with concrete
+/// parameter values, in the surface syntax the `sso-query` front end
+/// parses. Each entry is `(builder name, query text)`.
+///
+/// The query crate's round-trip tests parse each text, pretty-print
+/// the AST, and re-parse, asserting structural equality — so the doc
+/// comments above the builders cannot silently drift away from what
+/// the grammar accepts.
+pub const EXAMPLE_QUERIES: &[(&str, &str)] = &[
+    ("total_sum_query", "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/60 as tb"),
+    (
+        "subset_sum_query",
+        "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKTS \
+         WHERE ssample(len, 100) = TRUE \
+         GROUP BY time/60 as tb, srcIP, destIP, uts \
+         HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE \
+         CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE \
+         CLEANING BY ssclean_with(sum(len)) = TRUE",
+    ),
+    (
+        "basic_subset_sum_query",
+        "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKTS \
+         WHERE ssample(len, 1) = TRUE \
+         GROUP BY time/60 as tb, srcIP, destIP, uts",
+    ),
+    (
+        "heavy_hitters_query",
+        "SELECT tb, srcIP, sum(len), count(*) FROM TCP \
+         GROUP BY time/60 as tb, srcIP \
+         HAVING count(*) >= 50 \
+         CLEANING WHEN local_count(100) = TRUE \
+         CLEANING BY count(*) + first(current_bucket()) > current_bucket()",
+    ),
+    (
+        "minhash_query",
+        "SELECT tb, srcIP, HX FROM TCP \
+         WHERE HX <= Kth_smallest_value$(HX, 10) \
+         GROUP BY time/60 as tb, srcIP, H(destIP) as HX \
+         SUPERGROUP tb, srcIP \
+         HAVING HX <= Kth_smallest_value$(HX, 10) \
+         CLEANING WHEN count_distinct$(*) > 10 \
+         CLEANING BY HX <= Kth_smallest_value$(HX, 10)",
+    ),
+    (
+        "distinct_sample_query",
+        "SELECT tb, srcIP, count(*), dscale(), count_distinct$(*) FROM PKT \
+         WHERE dsample(srcIP, 256) = TRUE \
+         GROUP BY time/60 as tb, srcIP \
+         CLEANING WHEN ddo_clean(count_distinct$(*)) = TRUE \
+         CLEANING BY dclean_with(srcIP) = TRUE",
+    ),
+    (
+        "reservoir_query",
+        "SELECT tb, srcIP, destIP FROM TCP \
+         WHERE rsample(25) = TRUE \
+         GROUP BY time/60 as tb, srcIP, destIP \
+         HAVING rsfinal_clean(count_distinct$(*)) = TRUE \
+         CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE \
+         CLEANING BY rsclean_with() = TRUE",
+    ),
+];
+
 /// Build an SFUN-call expression against library slot `lib_idx`.
 pub fn sfun_expr(
     lib_idx: usize,
@@ -81,12 +143,7 @@ pub fn subset_sum_query(
         return Err(OpError::InvalidSpec("subset-sum target sample size must be set".into()));
     }
     let lib = Arc::new(subset_sum::library(cfg));
-    let ssample = sfun_expr(
-        0,
-        &lib,
-        "ssample",
-        vec![col("len"), Expr::lit(cfg.target as u64)],
-    )?;
+    let ssample = sfun_expr(0, &lib, "ssample", vec![col("len"), Expr::lit(cfg.target as u64)])?;
     let ssthreshold = sfun_expr(0, &lib, "ssthreshold", vec![])?;
     let ssdo_clean = sfun_expr(0, &lib, "ssdo_clean", vec![Expr::SuperAgg(0)])?;
     let ssclean_with = sfun_expr(0, &lib, "ssclean_with", vec![Expr::Aggregate(0)])?;
@@ -227,9 +284,7 @@ pub fn heavy_hitters_query(
         supergroup_indices: vec![],
         having: min_count.map(|m| Expr::Aggregate(1).ge(Expr::lit(m))),
         cleaning_when: Some(local_count),
-        cleaning_by: Some(
-            Expr::Aggregate(1).add(Expr::Aggregate(2)).gt(current_bucket_clean),
-        ),
+        cleaning_by: Some(Expr::Aggregate(1).add(Expr::Aggregate(2)).gt(current_bucket_clean)),
         aggregates: vec![
             AggSpec::Sum(col("len")),
             AggSpec::Count,
@@ -274,7 +329,11 @@ pub fn minhash_query(window_secs: u64, k: usize) -> Result<OperatorSpec, OpError
             ("srcIP".into(), col("srcIP")),
             (
                 "HX".into(),
-                Expr::Scalar { name: "H", fun: crate::scalar::hash_fn(), args: vec![col("destIP")] },
+                Expr::Scalar {
+                    name: "H",
+                    fun: crate::scalar::hash_fn(),
+                    args: vec![col("destIP")],
+                },
             ),
         ],
         window_indices: vec![0],
@@ -437,19 +496,14 @@ mod tests {
     fn subset_sum_query_estimates_window_volume() {
         // 2000 packets/window of mixed sizes; target 100 samples.
         let tuples = stream(4, 1000, &[(1, 2), (3, 4), (5, 6)], &[40, 1500, 576, 40, 1500]);
-        let true_per_window: u64 =
-            2 * 1000 * (40 + 1500 + 576 + 40 + 1500) / 5; // uniform pattern
+        let true_per_window: u64 = 2 * 1000 * (40 + 1500 + 576 + 40 + 1500) / 5; // uniform pattern
         let cfg = SubsetSumOpConfig { target: 100, initial_z: 1.0, ..Default::default() };
         let spec = subset_sum_query(2, cfg, true).unwrap();
         let mut op = SamplingOperator::new(spec).unwrap();
         let outs = op.run(tuples.iter()).unwrap();
         assert_eq!(outs.len(), 2);
         for o in &outs {
-            assert!(
-                o.rows.len() <= 110,
-                "sample should be near target, got {}",
-                o.rows.len()
-            );
+            assert!(o.rows.len() <= 110, "sample should be near target, got {}", o.rows.len());
             let est: f64 = o.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
             let rel = (est - true_per_window as f64).abs() / true_per_window as f64;
             assert!(rel < 0.35, "estimate {est} vs {true_per_window} (rel {rel:.3})");
@@ -519,9 +573,8 @@ mod tests {
         let spec = minhash_query(1, 5).unwrap();
         let mut op = SamplingOperator::new(spec).unwrap();
         let outs = op.run(tuples.iter()).unwrap();
-        let per_src = |src: u64| {
-            outs[0].rows.iter().filter(|r| r.get(1) == &Value::U64(src)).count()
-        };
+        let per_src =
+            |src: u64| outs[0].rows.iter().filter(|r| r.get(1) == &Value::U64(src)).count();
         assert_eq!(per_src(1), 5);
         assert_eq!(per_src(2), 5);
     }
@@ -580,10 +633,7 @@ mod tests {
         for o in &outs {
             let est: f64 = o.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
             let truth = 200.0 * 150.0;
-            assert!(
-                (est - truth).abs() <= 600.0,
-                "estimate {est} vs {truth} beyond one threshold"
-            );
+            assert!((est - truth).abs() <= 600.0, "estimate {est} vs {truth} beyond one threshold");
             assert_eq!(o.stats.cleaning_phases, 0, "basic variant never cleans");
         }
     }
@@ -592,9 +642,7 @@ mod tests {
     fn builders_reject_zero_sizes() {
         assert!(subset_sum_query(20, SubsetSumOpConfig::default(), false).is_err());
         assert!(minhash_query(60, 0).is_err());
-        assert!(
-            reservoir_query(60, reservoir::ReservoirOpConfig { n: 0, ..Default::default() })
-                .is_err()
-        );
+        assert!(reservoir_query(60, reservoir::ReservoirOpConfig { n: 0, ..Default::default() })
+            .is_err());
     }
 }

@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use sso_types::Value;
+use sso_types::{Value, ValueKind};
+
+use crate::sfun::Signature;
 
 /// A pure scalar function: values in, value out. Errors are returned as
 /// human-readable strings and wrapped by the evaluator.
@@ -75,6 +77,18 @@ pub fn lookup(name: &str) -> Option<(&'static str, Arc<ScalarFn>)> {
     }
 }
 
+/// Look up a scalar function's static signature by (case-insensitive)
+/// name. `UMAX`/`UMIN` return one of their (numeric) operands, so their
+/// result kind is `Num` rather than a concrete kind.
+pub fn signature(name: &str) -> Option<Signature> {
+    match name.to_ascii_uppercase().as_str() {
+        "UMAX" | "UMIN" => Some(Signature::exact(2, ValueKind::Num)),
+        "H" => Some(Signature::exact(1, ValueKind::UInt)),
+        "PREFIX" => Some(Signature::exact(2, ValueKind::UInt)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +142,24 @@ mod tests {
         assert!(lookup("h").is_some());
         assert!(lookup("Prefix").is_some());
         assert!(lookup("nope").is_none());
+    }
+
+    #[test]
+    fn signatures_match_implementations() {
+        for name in ["UMAX", "UMIN", "H", "prefix"] {
+            let sig = signature(name).unwrap();
+            let (_, f) = lookup(name).unwrap();
+            // A call at the declared arity must not fail with an arity
+            // error (it may still fail on argument values).
+            let args = vec![Value::U64(1); sig.min_args];
+            match f(&args) {
+                Ok(_) => {}
+                Err(e) => assert!(!e.contains("arguments"), "{name}: {e}"),
+            }
+            // One extra argument must be rejected.
+            let too_many = vec![Value::U64(1); sig.max_args + 1];
+            assert!(f(&too_many).is_err(), "{name} must reject extra args");
+        }
+        assert!(signature("nope").is_none());
     }
 }

@@ -24,7 +24,49 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use sso_types::Value;
+use sso_types::{Value, ValueKind};
+
+/// Static call signature of a registered function: accepted argument
+/// count range and the kind of value it returns. This is the paper's
+/// `SFUN int subsetsum_sampling_state ssample(int, CONST int)`
+/// declaration line, kept as data so the query analyzer can check
+/// calls without executing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Minimum number of arguments.
+    pub min_args: usize,
+    /// Maximum number of arguments.
+    pub max_args: usize,
+    /// Kind of the returned value.
+    pub returns: ValueKind,
+}
+
+impl Signature {
+    /// A signature taking exactly `n` arguments.
+    pub const fn exact(n: usize, returns: ValueKind) -> Self {
+        Signature { min_args: n, max_args: n, returns }
+    }
+
+    /// A signature taking between `min` and `max` arguments.
+    pub const fn range(min: usize, max: usize, returns: ValueKind) -> Self {
+        Signature { min_args: min, max_args: max, returns }
+    }
+
+    /// `true` if a call with `n` arguments satisfies this signature.
+    pub fn accepts_arity(&self, n: usize) -> bool {
+        (self.min_args..=self.max_args).contains(&n)
+    }
+
+    /// Human-readable arity, e.g. `exactly 2 arguments` or
+    /// `1 to 2 arguments`.
+    pub fn arity_text(&self) -> String {
+        match (self.min_args, self.max_args) {
+            (n, m) if n == m && n == 1 => "exactly one argument".to_string(),
+            (n, m) if n == m => format!("exactly {n} arguments"),
+            (n, m) => format!("{n} to {m} arguments"),
+        }
+    }
+}
 
 /// A stateful function implementation: mutable shared state + evaluated
 /// arguments in, value out. Errors are strings, wrapped into
@@ -48,7 +90,7 @@ pub struct SfunLibrary {
     name: &'static str,
     init: Box<SfunInit>,
     window_end: Option<Box<SfunWindowEnd>>,
-    functions: HashMap<&'static str, Arc<SfunFn>>,
+    functions: HashMap<&'static str, (Signature, Arc<SfunFn>)>,
 }
 
 impl std::fmt::Debug for SfunLibrary {
@@ -74,13 +116,14 @@ impl SfunLibrary {
         self
     }
 
-    /// Register one function.
+    /// Register one function with its call signature.
     pub fn register(
         mut self,
         name: &'static str,
+        sig: Signature,
         f: impl Fn(&mut dyn Any, &[Value]) -> Result<Value, String> + Send + Sync + 'static,
     ) -> Self {
-        self.functions.insert(name, Arc::new(f));
+        self.functions.insert(name, (sig, Arc::new(f)));
         self
     }
 
@@ -91,14 +134,19 @@ impl SfunLibrary {
 
     /// Look up a function by name.
     pub fn function(&self, name: &str) -> Option<Arc<SfunFn>> {
-        self.functions.get(name).cloned()
+        self.functions.get(name).map(|(_, f)| Arc::clone(f))
+    }
+
+    /// Look up a function's declared signature.
+    pub fn signature(&self, name: &str) -> Option<Signature> {
+        self.functions.get(name).map(|(sig, _)| *sig)
     }
 
     /// Look up a function by name, returning the library's canonical
     /// `'static` name alongside the implementation (the planner stores
     /// this in compiled expressions).
     pub fn function_entry(&self, name: &str) -> Option<(&'static str, Arc<SfunFn>)> {
-        self.functions.get_key_value(name).map(|(k, v)| (*k, Arc::clone(v)))
+        self.functions.get_key_value(name).map(|(k, (_, f))| (*k, Arc::clone(f)))
     }
 
     /// Names of all registered functions.
@@ -162,12 +210,12 @@ mod tests {
             let carried = prev.and_then(|p| p.downcast_ref::<CounterState>()).is_some();
             Box::new(CounterState { count: 0, carried })
         })
-        .register("bump", |state, _argv| {
+        .register("bump", Signature::exact(0, ValueKind::UInt), |state, _argv| {
             let s = state_mut::<CounterState>(state, "bump")?;
             s.count += 1;
             Ok(Value::U64(s.count))
         })
-        .register("carried", |state, _argv| {
+        .register("carried", Signature::exact(0, ValueKind::Bool), |state, _argv| {
             let s = state_mut::<CounterState>(state, "carried")?;
             Ok(Value::Bool(s.carried))
         })
@@ -236,5 +284,18 @@ mod tests {
         let lib = counter_library();
         let s = format!("{lib:?}");
         assert!(s.contains("counter") && s.contains("bump"));
+    }
+
+    #[test]
+    fn signatures_are_queryable() {
+        let lib = counter_library();
+        let sig = lib.signature("bump").unwrap();
+        assert_eq!(sig, Signature::exact(0, ValueKind::UInt));
+        assert!(sig.accepts_arity(0));
+        assert!(!sig.accepts_arity(1));
+        assert!(lib.signature("nope").is_none());
+        assert_eq!(Signature::exact(1, ValueKind::Bool).arity_text(), "exactly one argument");
+        assert_eq!(Signature::exact(2, ValueKind::Bool).arity_text(), "exactly 2 arguments");
+        assert_eq!(Signature::range(1, 2, ValueKind::Bool).arity_text(), "1 to 2 arguments");
     }
 }

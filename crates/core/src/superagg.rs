@@ -117,7 +117,11 @@ impl SuperAggSpec {
     }
 
     /// Per-tuple update (runs for every tuple passing WHERE).
-    pub fn on_tuple(&self, state: &mut SuperAggState, ctx: &mut EvalCtx<'_>) -> Result<(), OpError> {
+    pub fn on_tuple(
+        &self,
+        state: &mut SuperAggState,
+        ctx: &mut EvalCtx<'_>,
+    ) -> Result<(), OpError> {
         if let (SuperAggSpec::Sum { expr, .. }, SuperAggState::Sum(acc)) = (self, state) {
             let v = expr.eval(ctx)?;
             *acc = if acc.is_null() { v } else { acc.add(&v)? };
@@ -135,17 +139,18 @@ impl SuperAggSpec {
             (SuperAggSpec::CountDistinct, SuperAggState::CountDistinct(n)) => {
                 *n += 1;
             }
-            (SuperAggSpec::KthSmallest { expr, .. }, SuperAggState::KthSmallest { tracker, len, .. }) => {
-                let mut ctx =
-                    EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
+            (
+                SuperAggSpec::KthSmallest { expr, .. },
+                SuperAggState::KthSmallest { tracker, len, .. },
+            ) => {
+                let mut ctx = EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
                 let v = expr.eval(&mut ctx)?;
                 *tracker.entry(OrdValue(v)).or_insert(0) += 1;
                 *len += 1;
             }
             (SuperAggSpec::Sum { .. }, SuperAggState::Sum(_)) => {}
             (SuperAggSpec::Extreme { expr, .. }, SuperAggState::Extreme { tracker, .. }) => {
-                let mut ctx =
-                    EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
+                let mut ctx = EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
                 let v = expr.eval(&mut ctx)?;
                 *tracker.entry(OrdValue(v)).or_insert(0) += 1;
             }
@@ -169,9 +174,11 @@ impl SuperAggSpec {
             (SuperAggSpec::CountDistinct, SuperAggState::CountDistinct(n)) => {
                 *n = n.saturating_sub(1);
             }
-            (SuperAggSpec::KthSmallest { expr, .. }, SuperAggState::KthSmallest { tracker, len, .. }) => {
-                let mut ctx =
-                    EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
+            (
+                SuperAggSpec::KthSmallest { expr, .. },
+                SuperAggState::KthSmallest { tracker, len, .. },
+            ) => {
+                let mut ctx = EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
                 let v = OrdValue(expr.eval(&mut ctx)?);
                 if let Some(count) = tracker.get_mut(&v) {
                     *count -= 1;
@@ -182,8 +189,7 @@ impl SuperAggSpec {
                 }
             }
             (SuperAggSpec::Extreme { expr, .. }, SuperAggState::Extreme { tracker, .. }) => {
-                let mut ctx =
-                    EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
+                let mut ctx = EvalCtx { group_vars: Some(group_key), ..EvalCtx::empty("SUPERAGG") };
                 let v = OrdValue(expr.eval(&mut ctx)?);
                 if let Some(count) = tracker.get_mut(&v) {
                     *count -= 1;
@@ -234,8 +240,7 @@ impl SuperAggState {
             }
             SuperAggState::Sum(v) => v.clone(),
             SuperAggState::Extreme { max, tracker } => {
-                let entry =
-                    if *max { tracker.last_key_value() } else { tracker.first_key_value() };
+                let entry = if *max { tracker.last_key_value() } else { tracker.first_key_value() };
                 entry.map(|(v, _)| v.0.clone()).unwrap_or(Value::Null)
             }
         }
@@ -347,8 +352,7 @@ mod tests {
 
     #[test]
     fn ord_value_total_order() {
-        let mut vals =
-            [OrdValue(Value::U64(5)), OrdValue(Value::Null), OrdValue(Value::I64(-1))];
+        let mut vals = [OrdValue(Value::U64(5)), OrdValue(Value::Null), OrdValue(Value::I64(-1))];
         vals.sort();
         assert_eq!(vals[0], OrdValue(Value::Null));
         assert_eq!(vals[1], OrdValue(Value::I64(-1)));

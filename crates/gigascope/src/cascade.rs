@@ -97,10 +97,7 @@ mod tests {
             ],
         );
         spec.window_indices = vec![0];
-        spec.aggregates = vec![
-            sso_core::AggSpec::Sum(Expr::Column(7)),
-            sso_core::AggSpec::Count,
-        ];
+        spec.aggregates = vec![sso_core::AggSpec::Sum(Expr::Column(7)), sso_core::AggSpec::Count];
         SamplingOperator::new(spec).unwrap()
     }
 
@@ -153,8 +150,7 @@ mod tests {
             SubsetSumOpConfig { target: 50, initial_z: 1.0, ..Default::default() },
             Default::default(),
         );
-        let second =
-            SamplingOperator::new(plan(&q, &flows_schema, &cfg).unwrap()).unwrap();
+        let second = SamplingOperator::new(plan(&q, &flows_schema, &cfg).unwrap()).unwrap();
 
         let mut cascade = Cascade::new(first, second);
         let tuples = packets();
@@ -192,10 +188,9 @@ mod tests {
              CLEANING BY rsclean_with() = TRUE",
         )
         .unwrap();
-        let second = SamplingOperator::new(
-            plan(&q, &flows_schema, &PlannerConfig::standard()).unwrap(),
-        )
-        .unwrap();
+        let second =
+            SamplingOperator::new(plan(&q, &flows_schema, &PlannerConfig::standard()).unwrap())
+                .unwrap();
         let mut cascade = Cascade::new(first, second);
         let windows = cascade.run(packets().iter()).unwrap();
         assert_eq!(windows.len(), 2);
@@ -211,10 +206,8 @@ mod tests {
         let make_second = || {
             let first = flow_agg();
             let schema = first.spec().output_schema("FLOWS");
-            let q = parse_query(
-                "SELECT tb2, sum(bytes), count(*) FROM FLOWS GROUP BY tb/1 as tb2",
-            )
-            .unwrap();
+            let q = parse_query("SELECT tb2, sum(bytes), count(*) FROM FLOWS GROUP BY tb/1 as tb2")
+                .unwrap();
             SamplingOperator::new(plan(&q, &schema, &PlannerConfig::empty()).unwrap()).unwrap()
         };
         let tuples = packets();

@@ -111,34 +111,33 @@ pub fn run_plan(
     // per-packet Instant pair costs as much as the work being measured
     // and would wash out the low-level node comparison of Figure 6.
     let mut forwarded: Vec<sso_types::Tuple> = Vec::with_capacity(plan.ring_capacity);
-    let mut drain =
-        |ring: &mut RingBuffer<Packet>,
-         plan: &mut TwoLevelPlan,
-         low: &mut NodeStats,
-         high: &mut NodeStats,
-         windows: &mut Vec<WindowOutput>|
-         -> Result<(), OpError> {
-            forwarded.clear();
-            let t0 = Instant::now();
-            while let Some(pkt) = ring.pop() {
-                low.tuples_in += 1;
-                if let Some(tuple) = plan.low.process(&pkt) {
-                    forwarded.push(tuple);
-                }
+    let mut drain = |ring: &mut RingBuffer<Packet>,
+                     plan: &mut TwoLevelPlan,
+                     low: &mut NodeStats,
+                     high: &mut NodeStats,
+                     windows: &mut Vec<WindowOutput>|
+     -> Result<(), OpError> {
+        forwarded.clear();
+        let t0 = Instant::now();
+        while let Some(pkt) = ring.pop() {
+            low.tuples_in += 1;
+            if let Some(tuple) = plan.low.process(&pkt) {
+                forwarded.push(tuple);
             }
-            low.busy += t0.elapsed();
-            low.tuples_out += forwarded.len() as u64;
-            high.tuples_in += forwarded.len() as u64;
-            let t1 = Instant::now();
-            for tuple in forwarded.drain(..) {
-                if let Some(w) = plan.high.process(&tuple)? {
-                    high.tuples_out += w.rows.len() as u64;
-                    windows.push(w);
-                }
+        }
+        low.busy += t0.elapsed();
+        low.tuples_out += forwarded.len() as u64;
+        high.tuples_in += forwarded.len() as u64;
+        let t1 = Instant::now();
+        for tuple in forwarded.drain(..) {
+            if let Some(w) = plan.high.process(&tuple)? {
+                high.tuples_out += w.rows.len() as u64;
+                windows.push(w);
             }
-            high.busy += t1.elapsed();
-            Ok(())
-        };
+        }
+        high.busy += t1.elapsed();
+        Ok(())
+    };
 
     for pkt in packets {
         first_uts.get_or_insert(pkt.uts);
@@ -173,8 +172,7 @@ pub fn run_plan(
     }
     high.busy += t1.elapsed();
 
-    let stream_span =
-        Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
+    let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
     Ok(RunReport { low, high, windows, stream_span, ring_dropped: ring.dropped() })
 }
 
@@ -236,8 +234,7 @@ pub fn run_plan_threaded(
         consumer.join().expect("high-level thread panicked")
     });
     let (high, windows) = result?;
-    let stream_span =
-        Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
+    let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
     Ok(RunReport { low, high, windows, stream_span, ring_dropped: 0 })
 }
 
@@ -272,12 +269,8 @@ mod tests {
         let truth: u64 = pkts.iter().map(|p| p.len as u64).sum();
         let plan = TwoLevelPlan::new(Box::new(SelectionNode::pass_all()), agg_operator(2));
         let report = run_plan(plan, pkts).unwrap();
-        let total: u64 = report
-            .windows
-            .iter()
-            .flat_map(|w| &w.rows)
-            .map(|r| r.get(1).as_u64().unwrap())
-            .sum();
+        let total: u64 =
+            report.windows.iter().flat_map(|w| &w.rows).map(|r| r.get(1).as_u64().unwrap()).sum();
         assert_eq!(total, truth);
     }
 
@@ -325,8 +318,7 @@ mod tests {
         assert!(report.low_cpu_pct() > 0.0);
         assert!(report.high_cpu_pct() > 0.0);
         assert!(
-            (report.total_cpu_pct() - report.low_cpu_pct() - report.high_cpu_pct()).abs()
-                < 1e-9
+            (report.total_cpu_pct() - report.low_cpu_pct() - report.high_cpu_pct()).abs() < 1e-9
         );
     }
 
@@ -345,7 +337,10 @@ mod tests {
         for w in &report.windows {
             assert!(w.rows.len() <= 60, "window sample size {}", w.rows.len());
             // Output schema: tb, srcIP, destIP, adjusted length.
-            assert!(matches!(w.rows.first().map(|r| r.get(3)), Some(Value::F64(_) | Value::U64(_)) | None));
+            assert!(matches!(
+                w.rows.first().map(|r| r.get(3)),
+                Some(Value::F64(_) | Value::U64(_)) | None
+            ));
         }
     }
 

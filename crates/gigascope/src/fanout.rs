@@ -129,10 +129,7 @@ mod tests {
         let plan = FanoutPlan {
             low: Box::new(SelectionNode::pass_all()),
             highs: vec![
-                (
-                    "actual".into(),
-                    SamplingOperator::new(queries::total_sum_query(5)).unwrap(),
-                ),
+                ("actual".into(), SamplingOperator::new(queries::total_sum_query(5)).unwrap()),
                 (
                     "sampled".into(),
                     SamplingOperator::new(queries::subset_sum_query(5, cfg, false).unwrap())

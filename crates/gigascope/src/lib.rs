@@ -22,6 +22,7 @@
 pub mod cascade;
 pub mod engine;
 pub mod fanout;
+pub mod lint;
 pub mod network;
 pub mod nodes;
 pub mod partial;
@@ -30,6 +31,7 @@ pub mod ring;
 pub use cascade::Cascade;
 pub use engine::{run_plan, run_plan_threaded, NodeStats, RunReport, TwoLevelPlan};
 pub use fanout::{run_fanout, FanoutPlan, FanoutReport, QueryResult};
+pub use lint::{check_pushdown, check_reaggregation};
 pub use network::{Input, NetworkReport, QueryNetwork};
 pub use nodes::{LowLevelQuery, PrefilterNode, SelectionNode};
 pub use partial::PartialAggNode;

@@ -62,10 +62,7 @@ pub struct NetworkReport {
 impl NetworkReport {
     /// The named high-level node's windows.
     pub fn windows(&self, name: &str) -> Option<&[WindowOutput]> {
-        self.highs
-            .iter()
-            .find(|(stats, _)| stats.name == name)
-            .map(|(_, w)| w.as_slice())
+        self.highs.iter().find(|(stats, _)| stats.name == name).map(|(_, w)| w.as_slice())
     }
 }
 
@@ -336,7 +333,8 @@ mod tests {
             )
             .unwrap();
         // Cascade: aggregate the sampled rows per window.
-        let first = SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
+        let first =
+            SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
         let schema = first.spec().output_schema("S");
         let q = sso_query::parse_query(
             "SELECT tb2, count(*), sum(adj_len) FROM S GROUP BY tb/1 as tb2",
@@ -355,17 +353,10 @@ mod tests {
         assert!(!sample_report.is_empty());
         // The cascade's count equals the subset-sum node's emitted rows
         // for the corresponding windows.
-        let ss_rows: u64 = report
-            .windows("subset-sum")
-            .unwrap()
-            .iter()
-            .map(|w| w.rows.len() as u64)
-            .sum();
-        let reported: u64 = sample_report
-            .iter()
-            .flat_map(|w| &w.rows)
-            .map(|r| r.get(1).as_u64().unwrap())
-            .sum();
+        let ss_rows: u64 =
+            report.windows("subset-sum").unwrap().iter().map(|w| w.rows.len() as u64).sum();
+        let reported: u64 =
+            sample_report.iter().flat_map(|w| &w.rows).map(|r| r.get(1).as_u64().unwrap()).sum();
         assert_eq!(ss_rows, reported);
     }
 }

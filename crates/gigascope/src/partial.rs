@@ -133,10 +133,8 @@ mod tests {
              GROUP BY time/{window_secs} as tb, destIP"
         ))
         .unwrap();
-        SamplingOperator::new(
-            plan(&q, &PartialAggNode::schema(), &PlannerConfig::empty()).unwrap(),
-        )
-        .unwrap()
+        SamplingOperator::new(plan(&q, &PartialAggNode::schema(), &PlannerConfig::empty()).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -148,8 +146,7 @@ mod tests {
             e.0 += p.len as u64;
             e.1 += 1;
         }
-        let plan2 =
-            TwoLevelPlan::new(Box::new(PartialAggNode::new(8192)), reaggregate_query(2));
+        let plan2 = TwoLevelPlan::new(Box::new(PartialAggNode::new(8192)), reaggregate_query(2));
         let report = run_plan(plan2, packets).unwrap();
         let mut got = 0usize;
         for w in &report.windows {
@@ -169,8 +166,7 @@ mod tests {
     fn partial_aggregation_slashes_the_tuple_flow() {
         let packets = datacenter_feed(602).take_seconds(2);
         let n = packets.len() as u64;
-        let plan2 =
-            TwoLevelPlan::new(Box::new(PartialAggNode::new(8192)), reaggregate_query(1));
+        let plan2 = TwoLevelPlan::new(Box::new(PartialAggNode::new(8192)), reaggregate_query(1));
         let report = run_plan(plan2, packets).unwrap();
         assert_eq!(report.low.tuples_in, n);
         // Reduction factor is bounded by the per-second key cardinality
@@ -190,12 +186,8 @@ mod tests {
         let truth: u64 = packets.iter().map(|p| p.len as u64).sum();
         let plan2 = TwoLevelPlan::new(Box::new(PartialAggNode::new(64)), reaggregate_query(1));
         let report = run_plan(plan2, packets).unwrap();
-        let total: u64 = report
-            .windows
-            .iter()
-            .flat_map(|w| &w.rows)
-            .map(|r| r.get(2).as_u64().unwrap())
-            .sum();
+        let total: u64 =
+            report.windows.iter().flat_map(|w| &w.rows).map(|r| r.get(2).as_u64().unwrap()).sum();
         assert_eq!(total, truth);
     }
 

@@ -162,7 +162,7 @@ pub fn spawn_flow(rng: &mut StdRng, space: &AddressSpace, tiny: bool) -> Flow {
         src_ip: space.client(rng),
         dest_ip: space.server(rng),
         src_port: rng.gen_range(1024..u16::MAX),
-        dest_port: *[80u16, 443, 443, 443, 22, 53, 8080].get(rng.gen_range(0..7)).unwrap(),
+        dest_port: *[80u16, 443, 443, 443, 22, 53, 8080].get(rng.gen_range(0..7usize)).unwrap(),
         proto,
         remaining,
         profile,

@@ -1,0 +1,1312 @@
+//! Static semantic analysis: scope resolution, type inference, arity
+//! checking, window-safety, and paper-specific lints — all before
+//! planning, and without stopping at the first problem.
+//!
+//! [`analyze`] walks the whole query and returns every finding as a
+//! [`Diagnostic`] with a stable code and a byte-offset span:
+//!
+//! * **Scope resolution** mirrors the planner's clause scopes: GROUP BY
+//!   expressions see only columns and scalars; tuple-phase clauses
+//!   (WHERE, CLEANING WHEN, aggregate arguments) see columns, group-by
+//!   variables, SFUNs and superaggregates; group-phase clauses (SELECT,
+//!   HAVING, CLEANING BY) see group-by variables, aggregates,
+//!   superaggregates and SFUNs; superaggregate keys must be group-by
+//!   variables.
+//! * **Type inference** runs over [`ValueKind`]s: column kinds come
+//!   from the schema, group-by variable kinds from their defining
+//!   expressions, function result kinds from registered
+//!   [`Signature`]s.
+//! * **Window safety** (§3): a query with CLEANING clauses samples
+//!   within a window, so some GROUP BY expression must reference an
+//!   *ordered* schema attribute.
+//! * **Lints**: constant CLEANING WHEN predicates (W001), cleaning
+//!   that never advances its sampling threshold (W002), vacuous
+//!   heavy-hitter bounds (W003), truthiness-coerced predicates (W004),
+//!   duplicate output columns (W005).
+
+use sso_core::sfun::Signature;
+use sso_types::{Schema, ValueKind};
+
+use crate::ast::{AstExpr, BinAstOp, ExprKind, Query, Span};
+use crate::diag::{Code, Diagnostic};
+use crate::plan::{references_ordered_column, PlannerConfig};
+
+/// Analyze a parsed query against a schema and the registered SFUN
+/// libraries. Returns every diagnostic found, in source order per
+/// clause; an empty vector means the query is clean.
+pub fn analyze(query: &Query, schema: &Schema, config: &PlannerConfig) -> Vec<Diagnostic> {
+    let mut a = Analyzer { schema, config, gb: Vec::new(), diags: Vec::new() };
+    a.run(query);
+    a.diags
+}
+
+/// Which clause an expression appears in; controls name resolution.
+/// Mirrors the planner's scopes exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scope {
+    /// A GROUP BY expression.
+    GroupBy,
+    /// WHERE / CLEANING WHEN / aggregate arguments.
+    Tuple,
+    /// SELECT / HAVING / CLEANING BY.
+    Group,
+    /// The key expression of a superaggregate.
+    SuperKey,
+}
+
+impl Scope {
+    fn name(self) -> &'static str {
+        match self {
+            Scope::GroupBy => "GROUP BY",
+            Scope::Tuple => "a tuple-phase clause",
+            Scope::Group => "a group-phase clause",
+            Scope::SuperKey => "a superaggregate key",
+        }
+    }
+}
+
+/// A resolved group-by variable.
+struct GbVar {
+    name: String,
+    kind: ValueKind,
+    /// Does its defining expression reference an ordered attribute?
+    windowed: bool,
+}
+
+struct Analyzer<'a> {
+    schema: &'a Schema,
+    config: &'a PlannerConfig,
+    gb: Vec<GbVar>,
+    diags: Vec<Diagnostic>,
+}
+
+/// The `do_clean` SFUNs paired with the `clean_with` call that advances
+/// their sampling threshold (subset-sum §4.1, reservoir §4.2, distinct
+/// §4.3).
+const CLEAN_PAIRS: &[(&str, &str)] =
+    &[("ssdo_clean", "ssclean_with"), ("rsdo_clean", "rsclean_with"), ("ddo_clean", "dclean_with")];
+
+impl<'a> Analyzer<'a> {
+    fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    fn run(&mut self, query: &Query) {
+        // GROUP BY first: later clauses resolve against its variables.
+        if query.group_by.is_empty() {
+            self.push(Diagnostic::new(Code::E009, Span::DUMMY, "GROUP BY list is empty"));
+        }
+        for (i, item) in query.group_by.iter().enumerate() {
+            let name = item.name(i);
+            if self.gb.iter().any(|v| v.name == name) {
+                self.push(
+                    Diagnostic::new(
+                        Code::E001,
+                        item.expr.span,
+                        format!("duplicate group-by variable name `{name}`"),
+                    )
+                    .with_help("rename one of the expressions with `AS <other-name>`"),
+                );
+            }
+            let kind = self.infer(&item.expr, Scope::GroupBy);
+            let windowed = references_ordered_column(&item.expr, self.schema);
+            self.gb.push(GbVar { name, kind, windowed });
+        }
+
+        // SUPERGROUP names must be group-by variables.
+        for name in &query.supergroup {
+            if !self.gb.iter().any(|v| v.name == name.text) {
+                self.push(
+                    Diagnostic::new(
+                        Code::E011,
+                        name.span,
+                        format!("SUPERGROUP variable `{name}` is not a group-by variable"),
+                    )
+                    .with_help("SUPERGROUP lists a subset of the GROUP BY variable names"),
+                );
+            }
+        }
+
+        // Predicates, each in its clause scope.
+        if let Some(e) = &query.where_clause {
+            self.check_predicate(e, "WHERE", Scope::Tuple);
+        }
+        if let Some(e) = &query.having {
+            self.check_predicate(e, "HAVING", Scope::Group);
+        }
+        if let Some(e) = &query.cleaning_when {
+            self.check_predicate(e, "CLEANING WHEN", Scope::Tuple);
+        }
+        if let Some(e) = &query.cleaning_by {
+            self.check_predicate(e, "CLEANING BY", Scope::Group);
+        }
+
+        // SELECT expressions and duplicate output names.
+        let mut out_names: Vec<String> = Vec::new();
+        for (i, item) in query.select.iter().enumerate() {
+            self.infer(&item.expr, Scope::Group);
+            let name = item.output_name(i);
+            if out_names.contains(&name) {
+                self.push(
+                    Diagnostic::new(
+                        Code::W005,
+                        item.expr.span,
+                        format!("duplicate output column name `{name}`"),
+                    )
+                    .with_help("rename with `AS <other-name>` to keep both columns"),
+                );
+            }
+            out_names.push(name);
+        }
+
+        self.check_cleaning_pairing(query);
+        self.check_window_safety(query);
+        self.lint_constant_cleaning(query);
+        self.lint_threshold_update(query);
+        self.lint_heavy_hitter(query);
+    }
+
+    /// E012: CLEANING WHEN and CLEANING BY only make sense together.
+    fn check_cleaning_pairing(&mut self, query: &Query) {
+        match (&query.cleaning_when, &query.cleaning_by) {
+            (Some(when), None) => self.push(
+                Diagnostic::new(Code::E012, when.span, "CLEANING WHEN without CLEANING BY")
+                    .with_help(
+                        "CLEANING WHEN decides *when* to clean; add CLEANING BY to say \
+                     which tuples survive",
+                    ),
+            ),
+            (None, Some(by)) => self.push(
+                Diagnostic::new(Code::E012, by.span, "CLEANING BY without CLEANING WHEN")
+                    .with_help(
+                        "CLEANING BY says which tuples survive a cleaning pass; add \
+                         CLEANING WHEN to say when cleaning runs",
+                    ),
+            ),
+            _ => {}
+        }
+    }
+
+    /// E010 (§3): a sampling query cleans within a window, so some
+    /// GROUP BY expression must reference an ordered attribute.
+    fn check_window_safety(&mut self, query: &Query) {
+        let cleans = query.cleaning_when.is_some() || query.cleaning_by.is_some();
+        if !cleans || self.gb.iter().any(|v| v.windowed) {
+            return;
+        }
+        let span = query
+            .cleaning_when
+            .as_ref()
+            .or(query.cleaning_by.as_ref())
+            .map(|e| e.span)
+            .unwrap_or(Span::DUMMY);
+        let ordered: Vec<&str> = self
+            .schema
+            .ordered_indices()
+            .into_iter()
+            .map(|i| self.schema.fields()[i].name.as_str())
+            .collect();
+        let help = if ordered.is_empty() {
+            format!(
+                "stream {} has no ordered attribute, so it cannot host a sampling query",
+                self.schema.name
+            )
+        } else {
+            format!(
+                "group by an expression over an ordered attribute, e.g. `{}/60 as tb`",
+                ordered[0]
+            )
+        };
+        self.push(
+            Diagnostic::new(
+                Code::E010,
+                span,
+                format!(
+                    "sampling query has no window: no GROUP BY expression references an \
+                     ordered attribute of {}",
+                    self.schema.name
+                ),
+            )
+            .with_help(help),
+        );
+    }
+
+    /// W001: a CLEANING WHEN predicate that folds to a constant either
+    /// never fires or fires on every tuple.
+    fn lint_constant_cleaning(&mut self, query: &Query) {
+        let Some(when) = &query.cleaning_when else { return };
+        match self.pred_truth(when, Scope::Tuple) {
+            Some(false) => self.push(
+                Diagnostic::new(
+                    Code::W001,
+                    when.span,
+                    "CLEANING WHEN predicate is always false; cleaning never fires",
+                )
+                .with_help(
+                    "the CLEANING clauses are dead code — gate cleaning on an SFUN \
+                     such as `ssdo_clean(...)` or a superaggregate bound",
+                ),
+            ),
+            Some(true) => self.push(
+                Diagnostic::new(
+                    Code::W001,
+                    when.span,
+                    "CLEANING WHEN predicate is always true; cleaning runs on every tuple",
+                )
+                .with_help("cleaning on every tuple defeats sampling; test a size bound instead"),
+            ),
+            None => {}
+        }
+    }
+
+    /// W002: CLEANING WHEN asks a library's `do_clean` whether to
+    /// clean, but CLEANING BY never calls the paired `clean_with`, so
+    /// the sampling threshold never advances and cleaning cannot shrink
+    /// the sample.
+    fn lint_threshold_update(&mut self, query: &Query) {
+        let (Some(when), Some(by)) = (&query.cleaning_when, &query.cleaning_by) else {
+            return;
+        };
+        let when_calls = called_functions(when);
+        let by_calls = called_functions(by);
+        for (do_clean, clean_with) in CLEAN_PAIRS {
+            let fired = when_calls.iter().find(|(n, _)| n == do_clean);
+            let updated = by_calls.iter().any(|(n, _)| n == clean_with);
+            if let (Some((_, _span)), false) = (fired, updated) {
+                self.push(
+                    Diagnostic::new(
+                        Code::W002,
+                        by.span,
+                        format!(
+                            "CLEANING WHEN fires on `{do_clean}` but CLEANING BY never \
+                             calls `{clean_with}`; the sampling threshold never advances \
+                             and cleaning cannot shrink the sample"
+                        ),
+                    )
+                    .with_help(format!("call `{clean_with}(...)` in CLEANING BY")),
+                );
+            }
+        }
+    }
+
+    /// W003: heavy-hitter configurations whose bounds are vacuous — a
+    /// bucket width of one (every tuple closes a bucket, ε ≥ 1) or a
+    /// HAVING support threshold every group satisfies.
+    fn lint_heavy_hitter(&mut self, query: &Query) {
+        let mut exprs: Vec<&AstExpr> = Vec::new();
+        exprs.extend(query.cleaning_when.iter());
+        exprs.extend(query.cleaning_by.iter());
+        exprs.extend(query.where_clause.iter());
+        for e in exprs {
+            walk(e, &mut |node| {
+                if let ExprKind::Call { name, superagg: false, args } = &node.kind {
+                    if name == "local_count" && args.len() == 1 {
+                        if let Some(Const::I(w)) = fold(&args[0]) {
+                            if w <= 1 {
+                                self.diags.push(
+                                    Diagnostic::new(
+                                        Code::W003,
+                                        node.span,
+                                        format!(
+                                            "heavy-hitter bucket width {w} is vacuous: \
+                                             every tuple closes its own bucket, so the \
+                                             frequency-error bound ε = 1/width is useless"
+                                        ),
+                                    )
+                                    .with_help(
+                                        "use a bucket width well above 1, e.g. `local_count(100)`",
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        if let Some(having) = &query.having {
+            self.lint_vacuous_support(having);
+        }
+    }
+
+    /// Recurse through the AND branches of a HAVING predicate looking
+    /// for `count(*) >= k` comparisons that no group can fail.
+    fn lint_vacuous_support(&mut self, e: &AstExpr) {
+        if let ExprKind::Binary { op, lhs, rhs } = &e.kind {
+            if *op == BinAstOp::And {
+                self.lint_vacuous_support(lhs);
+                self.lint_vacuous_support(rhs);
+                return;
+            }
+            let vacuous = match (is_count_call(lhs), fold(rhs), fold(lhs), is_count_call(rhs)) {
+                // count(*) >= k / count(*) > k
+                (true, Some(Const::I(k)), _, _) => match op {
+                    BinAstOp::Ge => k <= 1,
+                    BinAstOp::Gt => k <= 0,
+                    _ => false,
+                },
+                // k <= count(*) / k < count(*)
+                (_, _, Some(Const::I(k)), true) => match op {
+                    BinAstOp::Le => k <= 1,
+                    BinAstOp::Lt => k <= 0,
+                    _ => false,
+                },
+                _ => false,
+            };
+            if vacuous {
+                self.push(
+                    Diagnostic::new(
+                        Code::W003,
+                        e.span,
+                        "support threshold is vacuous: every group has at least one \
+                         tuple, so this HAVING comparison filters nothing",
+                    )
+                    .with_help("raise the count threshold above 1 to select frequent groups"),
+                );
+            }
+        }
+    }
+
+    /// Infer a clause predicate and warn (W004) if its type is not
+    /// boolean — the runtime coerces via C-style truthiness.
+    fn check_predicate(&mut self, e: &AstExpr, clause: &str, scope: Scope) {
+        let kind = self.infer(e, scope);
+        if !matches!(kind, ValueKind::Bool | ValueKind::Any | ValueKind::Null) {
+            self.push(
+                Diagnostic::new(
+                    Code::W004,
+                    e.span,
+                    format!(
+                        "{clause} predicate has type {kind}; non-boolean values are \
+                         coerced (nonzero/non-empty means true)"
+                    ),
+                )
+                .with_help("write an explicit comparison, e.g. `... <> 0`"),
+            );
+        }
+    }
+
+    fn gb_kind(&self, name: &str) -> Option<ValueKind> {
+        self.gb.iter().find(|v| v.name == name).map(|v| v.kind)
+    }
+
+    /// Infer the kind of an expression in a scope, pushing diagnostics
+    /// for every problem found on the way. Returns [`ValueKind::Any`]
+    /// where a problem makes the kind unknowable, so one mistake does
+    /// not cascade.
+    fn infer(&mut self, e: &AstExpr, scope: Scope) -> ValueKind {
+        match &e.kind {
+            ExprKind::Int(_) => ValueKind::UInt,
+            ExprKind::Float(_) => ValueKind::Float,
+            ExprKind::Str(_) => ValueKind::Str,
+            ExprKind::Bool(_) => ValueKind::Bool,
+            ExprKind::Star => {
+                self.push(Diagnostic::new(
+                    Code::E007,
+                    e.span,
+                    "`*` is only valid as the argument of count(*) or count_distinct$(*)",
+                ));
+                ValueKind::Any
+            }
+            ExprKind::Neg(inner) => {
+                let k = self.infer(inner, scope);
+                if k == ValueKind::Str {
+                    self.push(Diagnostic::new(
+                        Code::E008,
+                        inner.span,
+                        "cannot negate a string value",
+                    ));
+                    return ValueKind::Any;
+                }
+                if k == ValueKind::Float {
+                    ValueKind::Float
+                } else {
+                    ValueKind::Int
+                }
+            }
+            ExprKind::Not(inner) => {
+                self.infer(inner, scope);
+                ValueKind::Bool
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.infer_binary(e, *op, lhs, rhs, scope),
+            ExprKind::Ident(name) => self.infer_ident(e, name, scope),
+            ExprKind::Call { name, superagg: true, args } => {
+                self.infer_superagg(e, name, args, scope)
+            }
+            ExprKind::Call { name, superagg: false, args } => self.infer_call(e, name, args, scope),
+        }
+    }
+
+    fn infer_binary(
+        &mut self,
+        whole: &AstExpr,
+        op: BinAstOp,
+        lhs: &AstExpr,
+        rhs: &AstExpr,
+        scope: Scope,
+    ) -> ValueKind {
+        let lk = self.infer(lhs, scope);
+        let rk = self.infer(rhs, scope);
+        if op.is_logical() {
+            return ValueKind::Bool;
+        }
+        if op.is_comparison() {
+            // Comparing a string with a definitely-non-string is a
+            // type error; Any/Null stay quiet (unknown side).
+            let mixed = (lk == ValueKind::Str) != (rk == ValueKind::Str)
+                && lk != ValueKind::Any
+                && rk != ValueKind::Any
+                && lk != ValueKind::Null
+                && rk != ValueKind::Null;
+            if mixed {
+                self.push(
+                    Diagnostic::new(
+                        Code::E008,
+                        whole.span,
+                        format!("cannot compare {lk} with {rk}"),
+                    )
+                    .with_help("string values only compare against other strings"),
+                );
+            }
+            return ValueKind::Bool;
+        }
+        // Arithmetic: strings never participate.
+        for (k, side) in [(lk, lhs), (rk, rhs)] {
+            if k == ValueKind::Str {
+                self.push(Diagnostic::new(
+                    Code::E008,
+                    side.span,
+                    format!(
+                        "operand of `{}` has type str; arithmetic needs numeric operands",
+                        op.symbol()
+                    ),
+                ));
+                return ValueKind::Any;
+            }
+        }
+        if lk == ValueKind::Float || rk == ValueKind::Float {
+            ValueKind::Float
+        } else if lk == ValueKind::UInt && rk == ValueKind::UInt && op != BinAstOp::Sub {
+            ValueKind::UInt
+        } else {
+            ValueKind::Num
+        }
+    }
+
+    fn infer_ident(&mut self, e: &AstExpr, name: &str, scope: Scope) -> ValueKind {
+        // Group-by variables shadow columns outside GROUP BY.
+        if scope != Scope::GroupBy {
+            if let Some(k) = self.gb_kind(name) {
+                return k;
+            }
+        }
+        match scope {
+            Scope::GroupBy | Scope::Tuple => match self.schema.field(name) {
+                Ok(f) => f.ty.value_kind(),
+                Err(_) => {
+                    let columns: Vec<&str> =
+                        self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+                    self.push(
+                        Diagnostic::new(
+                            Code::E002,
+                            e.span,
+                            format!(
+                                "unknown name `{name}` (not a column of {} or a group-by \
+                                 variable)",
+                                self.schema.name
+                            ),
+                        )
+                        .with_help(format!(
+                            "columns of {}: {}",
+                            self.schema.name,
+                            columns.join(", ")
+                        )),
+                    );
+                    ValueKind::Any
+                }
+            },
+            Scope::Group => {
+                self.push(
+                    Diagnostic::new(
+                        Code::E003,
+                        e.span,
+                        format!(
+                            "`{name}` referenced in {} but is not a group-by variable or \
+                             aggregate",
+                            scope.name()
+                        ),
+                    )
+                    .with_help(format!(
+                        "group-phase clauses see group results, not raw tuples; add \
+                         `{name}` to GROUP BY or wrap it in an aggregate"
+                    )),
+                );
+                ValueKind::Any
+            }
+            Scope::SuperKey => {
+                self.push(Diagnostic::new(
+                    Code::E003,
+                    e.span,
+                    format!("superaggregate key `{name}` must be a group-by variable"),
+                ));
+                ValueKind::Any
+            }
+        }
+    }
+
+    fn infer_superagg(
+        &mut self,
+        whole: &AstExpr,
+        name: &str,
+        args: &[AstExpr],
+        scope: Scope,
+    ) -> ValueKind {
+        if scope == Scope::GroupBy {
+            self.push(Diagnostic::new(
+                Code::E003,
+                whole.span,
+                format!("superaggregate `{name}$` is not allowed in GROUP BY"),
+            ));
+        }
+        match name.to_ascii_lowercase().as_str() {
+            "count_distinct" => {
+                if !(args.is_empty() || is_star_arg(args)) {
+                    self.push(Diagnostic::new(
+                        Code::E006,
+                        whole.span,
+                        "count_distinct$ takes no argument or `*`",
+                    ));
+                }
+                ValueKind::UInt
+            }
+            "kth_smallest_value" => {
+                if args.len() != 2 {
+                    self.push(Diagnostic::new(
+                        Code::E006,
+                        whole.span,
+                        "Kth_smallest_value$ expects (expr, k)",
+                    ));
+                    return ValueKind::Any;
+                }
+                let kind = self.infer(&args[0], Scope::SuperKey);
+                match args[1].kind {
+                    ExprKind::Int(k) if k > 0 => {}
+                    _ => self.push(
+                        Diagnostic::new(
+                            Code::E013,
+                            args[1].span,
+                            "Kth_smallest_value$'s second argument must be a positive \
+                             integer literal",
+                        )
+                        .with_help(
+                            "k is the fixed sample-size bound, e.g. `Kth_smallest_value$(HX, 100)`",
+                        ),
+                    ),
+                }
+                kind
+            }
+            "min" | "max" => {
+                if args.len() != 1 {
+                    self.push(Diagnostic::new(
+                        Code::E006,
+                        whole.span,
+                        format!("{name}$ expects one argument"),
+                    ));
+                    return ValueKind::Any;
+                }
+                self.infer(&args[0], Scope::SuperKey)
+            }
+            "sum" => {
+                if args.len() != 1 {
+                    self.push(Diagnostic::new(Code::E006, whole.span, "sum$ expects one argument"));
+                    return ValueKind::Num;
+                }
+                let k = self.infer(&args[0], Scope::Tuple);
+                if k == ValueKind::Str {
+                    self.push(Diagnostic::new(
+                        Code::E008,
+                        args[0].span,
+                        "sum$ needs a numeric argument, got str",
+                    ));
+                    return ValueKind::Num;
+                }
+                if k.is_numeric() && k != ValueKind::Any {
+                    k
+                } else {
+                    ValueKind::Num
+                }
+            }
+            other => {
+                self.push(
+                    Diagnostic::new(
+                        Code::E005,
+                        whole.span,
+                        format!("unknown superaggregate `{other}$`"),
+                    )
+                    .with_help(
+                        "superaggregates: count_distinct$, Kth_smallest_value$, min$, \
+                         max$, sum$",
+                    ),
+                );
+                ValueKind::Any
+            }
+        }
+    }
+
+    fn infer_call(
+        &mut self,
+        whole: &AstExpr,
+        name: &str,
+        args: &[AstExpr],
+        scope: Scope,
+    ) -> ValueKind {
+        let lower = name.to_ascii_lowercase();
+        // Aggregates (avg included: it rewrites to sum/count).
+        if matches!(lower.as_str(), "avg" | "count" | "sum" | "min" | "max" | "first" | "last") {
+            if scope != Scope::Group {
+                self.push(
+                    Diagnostic::new(
+                        Code::E003,
+                        whole.span,
+                        format!("aggregate `{name}` is not allowed in {}", scope.name()),
+                    )
+                    .with_help(
+                        "aggregates summarize a finished group; they belong in SELECT, \
+                         HAVING, or CLEANING BY",
+                    ),
+                );
+            }
+            if lower == "count" {
+                if !(args.is_empty() || is_star_arg(args)) {
+                    self.push(Diagnostic::new(
+                        Code::E006,
+                        whole.span,
+                        "count takes `*` or nothing",
+                    ));
+                }
+                return ValueKind::UInt;
+            }
+            if args.len() != 1 {
+                self.push(Diagnostic::new(
+                    Code::E006,
+                    whole.span,
+                    format!("aggregate `{name}` expects exactly one argument"),
+                ));
+                return if lower == "avg" { ValueKind::Float } else { ValueKind::Any };
+            }
+            // Aggregate arguments are evaluated per tuple.
+            let k = self.infer(&args[0], Scope::Tuple);
+            if matches!(lower.as_str(), "avg" | "sum") && k == ValueKind::Str {
+                self.push(Diagnostic::new(
+                    Code::E008,
+                    args[0].span,
+                    format!("{lower} needs a numeric argument, got str"),
+                ));
+            }
+            return match lower.as_str() {
+                "avg" => ValueKind::Float,
+                "sum" => {
+                    if k.is_numeric() && k != ValueKind::Any {
+                        k
+                    } else {
+                        ValueKind::Num
+                    }
+                }
+                _ => k, // min / max / first / last carry the argument kind
+            };
+        }
+        // Scalar functions (allowed in every scope).
+        if let Some(sig) = sso_core::scalar::signature(name) {
+            self.check_arity(whole, name, &sig, args.len());
+            for a in args {
+                let k = self.infer(a, scope);
+                if k == ValueKind::Str {
+                    self.push(Diagnostic::new(
+                        Code::E008,
+                        a.span,
+                        format!("`{name}` needs numeric arguments, got str"),
+                    ));
+                }
+            }
+            return sig.returns;
+        }
+        // Stateful functions from the configured libraries.
+        for lib in &self.config.libraries {
+            if let Some(sig) = lib.signature(name) {
+                if scope == Scope::GroupBy {
+                    self.push(Diagnostic::new(
+                        Code::E003,
+                        whole.span,
+                        format!("stateful function `{name}` is not allowed in GROUP BY"),
+                    ));
+                }
+                self.check_arity(whole, name, &sig, args.len());
+                for a in args {
+                    let k = self.infer(a, scope);
+                    if k == ValueKind::Str {
+                        self.push(Diagnostic::new(
+                            Code::E008,
+                            a.span,
+                            format!("`{name}` needs numeric arguments, got str"),
+                        ));
+                    }
+                }
+                return sig.returns;
+            }
+        }
+        let mut known: Vec<&str> = vec!["UMAX", "UMIN", "H", "prefix"];
+        for lib in &self.config.libraries {
+            known.extend(lib.function_names());
+        }
+        known.sort_unstable();
+        self.push(
+            Diagnostic::new(Code::E004, whole.span, format!("unknown function `{name}`"))
+                .with_help(format!("known functions: {}", known.join(", "))),
+        );
+        ValueKind::Any
+    }
+
+    fn check_arity(&mut self, whole: &AstExpr, name: &str, sig: &Signature, n: usize) {
+        if !sig.accepts_arity(n) {
+            self.push(Diagnostic::new(
+                Code::E006,
+                whole.span,
+                format!("`{name}` expects {}, got {n}", sig.arity_text()),
+            ));
+        }
+    }
+
+    /// Infer without emitting diagnostics (for lint probes that must
+    /// not duplicate findings from the main pass).
+    fn kind_quiet(&mut self, e: &AstExpr, scope: Scope) -> ValueKind {
+        let saved = std::mem::take(&mut self.diags);
+        let k = self.infer(e, scope);
+        self.diags = saved;
+        k
+    }
+
+    /// Can this predicate's truth value be decided statically? Handles
+    /// constant folding plus the unsigned-vs-negative-constant cases
+    /// (`len < 0` over a `u64` column can never hold).
+    fn pred_truth(&mut self, e: &AstExpr, scope: Scope) -> Option<bool> {
+        if let Some(c) = fold(e) {
+            return Some(c.truthy());
+        }
+        match &e.kind {
+            ExprKind::Not(inner) => self.pred_truth(inner, scope).map(|b| !b),
+            ExprKind::Binary { op: BinAstOp::And, lhs, rhs } => {
+                match (self.pred_truth(lhs, scope), self.pred_truth(rhs, scope)) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                }
+            }
+            ExprKind::Binary { op: BinAstOp::Or, lhs, rhs } => {
+                match (self.pred_truth(lhs, scope), self.pred_truth(rhs, scope)) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } if op.is_comparison() => {
+                // u64 expression compared against a negative constant.
+                if let Some(Const::I(k)) = fold(rhs) {
+                    if k < 0 && self.kind_quiet(lhs, scope) == ValueKind::UInt {
+                        return Some(matches!(op, BinAstOp::Gt | BinAstOp::Ge | BinAstOp::Ne));
+                    }
+                }
+                if let Some(Const::I(k)) = fold(lhs) {
+                    if k < 0 && self.kind_quiet(rhs, scope) == ValueKind::UInt {
+                        return Some(matches!(op, BinAstOp::Lt | BinAstOp::Le | BinAstOp::Ne));
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Is the argument list the single `*` of `count(*)`?
+fn is_star_arg(args: &[AstExpr]) -> bool {
+    matches!(args, [a] if matches!(a.kind, ExprKind::Star))
+}
+
+/// Is this expression a `count(*)` / `count()` aggregate call?
+fn is_count_call(e: &AstExpr) -> bool {
+    matches!(&e.kind, ExprKind::Call { name, superagg: false, .. }
+             if name.eq_ignore_ascii_case("count"))
+}
+
+/// Depth-first visit of every node in an expression.
+fn walk<'e>(e: &'e AstExpr, f: &mut impl FnMut(&'e AstExpr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk(lhs, f);
+            walk(rhs, f);
+        }
+        ExprKind::Not(inner) | ExprKind::Neg(inner) => walk(inner, f),
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                walk(a, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Every non-superaggregate function called anywhere in an expression.
+fn called_functions(e: &AstExpr) -> Vec<(String, Span)> {
+    let mut out = Vec::new();
+    walk(e, &mut |node| {
+        if let ExprKind::Call { name, superagg: false, .. } = &node.kind {
+            out.push((name.clone(), node.span));
+        }
+    });
+    out
+}
+
+/// A folded constant.
+#[derive(Debug, Clone, PartialEq)]
+enum Const {
+    I(i128),
+    F(f64),
+    B(bool),
+    S(String),
+}
+
+impl Const {
+    fn truthy(&self) -> bool {
+        match self {
+            Const::I(v) => *v != 0,
+            Const::F(v) => *v != 0.0,
+            Const::B(b) => *b,
+            Const::S(s) => !s.is_empty(),
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Const::I(v) => Some(*v as f64),
+            Const::F(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Constant-fold an expression, mirroring runtime semantics closely
+/// enough for lints (returns `None` whenever unsure, e.g. division by
+/// zero or any non-literal leaf).
+fn fold(e: &AstExpr) -> Option<Const> {
+    match &e.kind {
+        ExprKind::Int(v) => Some(Const::I(*v as i128)),
+        ExprKind::Float(v) => Some(Const::F(*v)),
+        ExprKind::Bool(b) => Some(Const::B(*b)),
+        ExprKind::Str(s) => Some(Const::S(s.clone())),
+        ExprKind::Neg(inner) => match fold(inner)? {
+            Const::I(v) => Some(Const::I(-v)),
+            Const::F(v) => Some(Const::F(-v)),
+            _ => None,
+        },
+        ExprKind::Not(inner) => Some(Const::B(!fold(inner)?.truthy())),
+        ExprKind::Binary { op, lhs, rhs } => fold_bin(*op, fold(lhs)?, fold(rhs)?),
+        _ => None,
+    }
+}
+
+fn fold_bin(op: BinAstOp, l: Const, r: Const) -> Option<Const> {
+    use BinAstOp::*;
+    if matches!(op, And) {
+        return Some(Const::B(l.truthy() && r.truthy()));
+    }
+    if matches!(op, Or) {
+        return Some(Const::B(l.truthy() || r.truthy()));
+    }
+    if op.is_comparison() {
+        let ord = match (&l, &r) {
+            (Const::S(a), Const::S(b)) => a.cmp(b),
+            _ => l.as_f64()?.partial_cmp(&r.as_f64()?)?,
+        };
+        let b = match op {
+            Eq => ord.is_eq(),
+            Ne => !ord.is_eq(),
+            Lt => ord.is_lt(),
+            Le => ord.is_le(),
+            Gt => ord.is_gt(),
+            Ge => ord.is_ge(),
+            _ => unreachable!("comparison ops only"),
+        };
+        return Some(Const::B(b));
+    }
+    // Arithmetic.
+    match (l, r) {
+        (Const::I(a), Const::I(b)) => {
+            let v = match op {
+                Add => a.checked_add(b)?,
+                Sub => a.checked_sub(b)?,
+                Mul => a.checked_mul(b)?,
+                Div => a.checked_div(b)?,
+                Rem => a.checked_rem(b)?,
+                _ => return None,
+            };
+            Some(Const::I(v))
+        }
+        (l, r) => {
+            let (a, b) = (l.as_f64()?, r.as_f64()?);
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    a / b
+                }
+                Rem => {
+                    if b == 0.0 {
+                        return None;
+                    }
+                    a % b
+                }
+                _ => return None,
+            };
+            Some(Const::F(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use sso_types::Packet;
+
+    fn diags_for(text: &str) -> Vec<Diagnostic> {
+        let q = parse_query(text).unwrap();
+        analyze(&q, &Packet::schema(), &PlannerConfig::standard())
+    }
+
+    fn codes(text: &str) -> Vec<Code> {
+        diags_for(text).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn e009_empty_group_by() {
+        // The grammar requires at least one GROUP BY item, so this only
+        // arises for programmatically built ASTs.
+        let mut q = parse_query("SELECT tb FROM PKT GROUP BY time/60 as tb").unwrap();
+        q.group_by.clear();
+        let d = analyze(&q, &Packet::schema(), &PlannerConfig::standard());
+        assert!(d.iter().any(|d| d.code == Code::E009), "{d:?}");
+        assert_eq!(codes("SELECT tb FROM PKT GROUP BY time/60 as tb"), []);
+    }
+
+    /// The full subset-sum / min-hash / heavy-hitter / reservoir
+    /// queries from the paper are clean.
+    #[test]
+    fn paper_queries_are_clean() {
+        for q in [
+            "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKT \
+             WHERE ssample(len, 100) = TRUE \
+             GROUP BY time/20 as tb, srcIP, destIP, uts \
+             HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE \
+             CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY ssclean_with(sum(len)) = TRUE",
+            "SELECT tb, srcIP, HX FROM PKT \
+             WHERE HX <= Kth_smallest_value$(HX, 100) \
+             GROUP_BY time/60 as tb, srcIP, H(destIP) as HX \
+             SUPERGROUP BY tb, srcIP \
+             HAVING HX <= Kth_smallest_value$(HX, 100) \
+             CLEANING WHEN count_distinct$(*) > 100 \
+             CLEANING BY HX <= Kth_smallest_value$(HX, 100)",
+            "SELECT tb, srcIP, sum(len), count(*) FROM PKT \
+             GROUP BY time/60 as tb, srcIP \
+             CLEANING WHEN local_count(100) = TRUE \
+             CLEANING BY count(*) + first(current_bucket()) > current_bucket()",
+            "SELECT tb, srcIP, destIP FROM PKT \
+             WHERE rsample(100) = TRUE \
+             GROUP_BY time/60 as tb, srcIP, destIP \
+             HAVING rsfinal_clean(count_distinct$(*)) = TRUE \
+             CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY rsclean_with() = TRUE",
+        ] {
+            assert_eq!(diags_for(q), vec![], "query should be clean: {q}");
+        }
+    }
+
+    #[test]
+    fn e001_duplicate_group_by_name() {
+        assert_eq!(codes("SELECT tb FROM PKT GROUP BY time/60 as tb, len as tb"), [Code::E001]);
+        assert_eq!(codes("SELECT tb FROM PKT GROUP BY time/60 as tb, len as l"), []);
+    }
+
+    #[test]
+    fn e002_unknown_name() {
+        let d = diags_for("SELECT tb FROM PKT WHERE nope > 1 GROUP BY time/60 as tb");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::E002);
+        assert!(d[0].message.contains("nope"));
+        // The span points at `nope` in the source.
+        let src = "SELECT tb FROM PKT WHERE nope > 1 GROUP BY time/60 as tb";
+        assert_eq!(&src[d[0].span.start..d[0].span.end], "nope");
+        assert_eq!(codes("SELECT tb FROM PKT WHERE len > 1 GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn e003_scope_violations() {
+        // Aggregate in WHERE (tuple phase).
+        let d = diags_for("SELECT tb FROM PKT WHERE sum(len) > 1 GROUP BY time/60 as tb");
+        assert!(d.iter().any(|d| d.code == Code::E003 && d.message.contains("not allowed")));
+        // Raw column in SELECT (group phase).
+        let d = diags_for("SELECT len FROM PKT GROUP BY time/60 as tb");
+        assert!(d.iter().any(|d| d.code == Code::E003 && d.message.contains("group-by variable")));
+        // Superaggregate key must be a group-by variable.
+        let d = diags_for(
+            "SELECT tb FROM PKT WHERE len <= Kth_smallest_value$(len, 10) GROUP BY time/60 as tb",
+        );
+        assert!(d.iter().any(|d| d.code == Code::E003 && d.message.contains("group-by variable")));
+        // SFUN in GROUP BY.
+        let d = diags_for("SELECT tb FROM PKT GROUP BY ssthreshold() as tb");
+        assert!(d.iter().any(|d| d.code == Code::E003));
+        assert_eq!(codes("SELECT tb, sum(len) FROM PKT GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn e004_unknown_function() {
+        let d = diags_for("SELECT tb, zap(len) FROM PKT GROUP BY time/60 as tb");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::E004);
+        assert!(d[0].help.as_deref().unwrap_or("").contains("ssample"));
+        assert_eq!(codes("SELECT tb, UMAX(sum(len), 9) FROM PKT GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn e005_unknown_superaggregate() {
+        assert_eq!(codes("SELECT tb, weird$(*) FROM PKT GROUP BY time/60 as tb"), [Code::E005]);
+        assert_eq!(codes("SELECT tb, count_distinct$(*) FROM PKT GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn e006_arity_mismatches() {
+        assert_eq!(codes("SELECT tb, avg(len, 2) FROM PKT GROUP BY time/60 as tb"), [Code::E006]);
+        assert_eq!(codes("SELECT tb, H(tb, 2) FROM PKT GROUP BY time/60 as tb"), [Code::E006]);
+        assert_eq!(
+            codes("SELECT tb FROM PKT WHERE ssample(len, 100, 9) = TRUE GROUP BY time/60 as tb"),
+            [Code::E006]
+        );
+        assert_eq!(codes("SELECT tb, count(len) FROM PKT GROUP BY time/60 as tb"), [Code::E006]);
+        assert_eq!(codes("SELECT tb, avg(len) FROM PKT GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn e007_bare_star() {
+        let d = diags_for("SELECT * FROM PKT GROUP BY time/60 as tb");
+        assert_eq!(d[0].code, Code::E007);
+        assert!(d[0].message.contains("only valid"));
+        assert_eq!(codes("SELECT count(*) FROM PKT GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn e008_type_mismatches() {
+        assert_eq!(
+            codes("SELECT tb, sum(len) FROM PKT WHERE len + 'x' > 1 GROUP BY time/60 as tb"),
+            [Code::E008]
+        );
+        let d = diags_for("SELECT tb FROM PKT WHERE len = 'x' GROUP BY time/60 as tb");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::E008);
+        assert!(d[0].message.contains("compare"));
+        assert_eq!(codes("SELECT tb FROM PKT WHERE len + 1 > 2 GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn e010_window_safety() {
+        // Cleaning but no ordered group-by expression: unsafe.
+        let d = diags_for(
+            "SELECT srcIP, count(*) FROM PKT GROUP BY srcIP \
+             CLEANING WHEN local_count(100) = TRUE CLEANING BY count(*) > 2",
+        );
+        assert!(d.iter().any(|d| d.code == Code::E010), "{d:?}");
+        // Same query windowed by time/60: safe.
+        let d = diags_for(
+            "SELECT tb, srcIP, count(*) FROM PKT GROUP BY time/60 as tb, srcIP \
+             CLEANING WHEN local_count(100) = TRUE CLEANING BY count(*) > 2",
+        );
+        assert!(!d.iter().any(|d| d.code == Code::E010), "{d:?}");
+        // No cleaning: windowless aggregation is fine.
+        assert_eq!(codes("SELECT srcIP, count(*) FROM PKT GROUP BY srcIP"), []);
+    }
+
+    #[test]
+    fn e011_supergroup_not_a_gb_var() {
+        let d = diags_for("SELECT tb FROM PKT GROUP BY time/60 as tb SUPERGROUP bogus");
+        assert_eq!(d[0].code, Code::E011);
+        assert!(d[0].message.contains("bogus"));
+        assert_eq!(
+            codes("SELECT tb, srcIP FROM PKT GROUP BY time/60 as tb, srcIP SUPERGROUP srcIP"),
+            []
+        );
+    }
+
+    #[test]
+    fn e012_cleaning_clauses_pair() {
+        let d = diags_for(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb \
+             CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE",
+        );
+        assert!(d.iter().any(|d| d.code == Code::E012), "{d:?}");
+        let d = diags_for(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb CLEANING BY rsclean_with() = TRUE",
+        );
+        assert!(d.iter().any(|d| d.code == Code::E012), "{d:?}");
+    }
+
+    #[test]
+    fn e013_kth_needs_positive_literal_k() {
+        let d = diags_for(
+            "SELECT tb FROM PKT WHERE tb <= Kth_smallest_value$(tb, 0) GROUP BY time/60 as tb",
+        );
+        assert_eq!(d[0].code, Code::E013);
+        assert!(d[0].message.contains("positive integer"));
+        assert_eq!(
+            codes(
+                "SELECT tb FROM PKT WHERE tb <= Kth_smallest_value$(tb, 5) GROUP BY time/60 as tb"
+            ),
+            []
+        );
+    }
+
+    #[test]
+    fn w001_constant_cleaning_when() {
+        let d = diags_for(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb \
+             CLEANING WHEN 1 > 2 CLEANING BY rsclean_with() = TRUE",
+        );
+        assert!(
+            d.iter().any(|d| d.code == Code::W001 && d.message.contains("always false")),
+            "{d:?}"
+        );
+        // A u64 column compared against a negative constant can never
+        // hold.
+        let d = diags_for(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb \
+             CLEANING WHEN len < 0 - 5 CLEANING BY rsclean_with() = TRUE",
+        );
+        assert!(d.iter().any(|d| d.code == Code::W001), "{d:?}");
+        let d = diags_for(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb \
+             CLEANING WHEN TRUE CLEANING BY rsclean_with() = TRUE",
+        );
+        assert!(
+            d.iter().any(|d| d.code == Code::W001 && d.message.contains("always true")),
+            "{d:?}"
+        );
+        // Data-dependent predicate: no lint.
+        let d = diags_for(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb \
+             CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY rsclean_with() = TRUE",
+        );
+        assert!(!d.iter().any(|d| d.code == Code::W001), "{d:?}");
+    }
+
+    #[test]
+    fn w002_threshold_never_updates() {
+        // ssdo_clean fires, but CLEANING BY keeps tuples with a plain
+        // comparison — ssclean_with is never called, so the subset-sum
+        // threshold never rises.
+        let d = diags_for(
+            "SELECT tb, sum(len) FROM PKT WHERE ssample(len, 100) = TRUE \
+             GROUP BY time/60 as tb \
+             CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY sum(len) > 1000",
+        );
+        assert!(d.iter().any(|d| d.code == Code::W002), "{d:?}");
+        // The correct pairing is clean.
+        let d = diags_for(
+            "SELECT tb, sum(len) FROM PKT WHERE ssample(len, 100) = TRUE \
+             GROUP BY time/60 as tb \
+             CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE \
+             CLEANING BY ssclean_with(sum(len)) = TRUE",
+        );
+        assert!(!d.iter().any(|d| d.code == Code::W002), "{d:?}");
+    }
+
+    #[test]
+    fn w003_vacuous_heavy_hitter_bounds() {
+        let d = diags_for(
+            "SELECT tb, srcIP, count(*) FROM PKT GROUP BY time/60 as tb, srcIP \
+             CLEANING WHEN local_count(1) = TRUE \
+             CLEANING BY count(*) + first(current_bucket()) > current_bucket()",
+        );
+        assert!(d.iter().any(|d| d.code == Code::W003), "{d:?}");
+        let d = diags_for(
+            "SELECT tb, srcIP, count(*) FROM PKT GROUP BY time/60 as tb, srcIP \
+             HAVING count(*) >= 1",
+        );
+        assert!(d.iter().any(|d| d.code == Code::W003), "{d:?}");
+        // Meaningful bounds are clean.
+        let d = diags_for(
+            "SELECT tb, srcIP, count(*) FROM PKT GROUP BY time/60 as tb, srcIP \
+             HAVING count(*) >= 50",
+        );
+        assert!(!d.iter().any(|d| d.code == Code::W003), "{d:?}");
+    }
+
+    #[test]
+    fn w004_truthy_predicate() {
+        let d = diags_for("SELECT tb FROM PKT WHERE len GROUP BY time/60 as tb");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::W004);
+        assert_eq!(codes("SELECT tb FROM PKT WHERE len > 0 GROUP BY time/60 as tb"), []);
+    }
+
+    #[test]
+    fn w005_duplicate_output_columns() {
+        let d = diags_for("SELECT tb, sum(len), sum(len) FROM PKT GROUP BY time/60 as tb");
+        assert_eq!(d.iter().filter(|d| d.code == Code::W005).count(), 1);
+        assert_eq!(
+            codes("SELECT tb, sum(len), sum(len) as total FROM PKT GROUP BY time/60 as tb"),
+            []
+        );
+    }
+
+    /// The headline behavior: one pass reports *all* mistakes, not
+    /// just the first.
+    #[test]
+    fn multiple_mistakes_reported_in_one_pass() {
+        let src = "SELECT len, zap(len), weird$(*) FROM PKT \
+                   WHERE sum(len) > 1 AND nope = 3 \
+                   GROUP BY time/60 as tb, len as tb";
+        let d = diags_for(src);
+        let found: Vec<Code> = d.iter().map(|d| d.code).collect();
+        for want in [Code::E001, Code::E002, Code::E003, Code::E004, Code::E005] {
+            assert!(found.contains(&want), "missing {want:?} in {found:?}");
+        }
+        // Every diagnostic carries a real span into the source.
+        for diag in &d {
+            assert!(diag.span.end <= src.len());
+            assert!(diag.span.start < diag.span.end, "{diag:?}");
+        }
+    }
+
+    #[test]
+    fn folding_knows_arithmetic_and_division_by_zero() {
+        let q = parse_query(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb CLEANING WHEN 3 * 2 - 6 \
+             CLEANING BY rsclean_with() = TRUE",
+        )
+        .unwrap();
+        let d = analyze(&q, &Packet::schema(), &PlannerConfig::standard());
+        assert!(d.iter().any(|d| d.code == Code::W001 && d.message.contains("always false")));
+        // Division by zero folds to "unknown", not a crash or a lint.
+        let q = parse_query(
+            "SELECT tb FROM PKT GROUP BY time/60 as tb CLEANING WHEN len % 0 = 1 \
+             CLEANING BY rsclean_with() = TRUE",
+        )
+        .unwrap();
+        let d = analyze(&q, &Packet::schema(), &PlannerConfig::standard());
+        assert!(!d.iter().any(|d| d.code == Code::W001));
+    }
+}

@@ -1,7 +1,95 @@
 //! The parsed query representation, plus a pretty-printer used for
 //! diagnostics and round-trip tests.
+//!
+//! Every expression node carries a byte-offset [`Span`] into the source
+//! text so the analyzer can point diagnostics at the offending
+//! characters. Spans are *not* part of structural equality: two ASTs
+//! parsed from differently-spaced sources compare equal, which is what
+//! the parse → pretty-print → re-parse round-trip tests rely on.
 
 use std::fmt;
+
+/// A half-open byte range `[start, end)` into the query source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A placeholder span for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Build a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// `true` for the placeholder span of synthesized nodes.
+    pub fn is_dummy(self) -> bool {
+        self == Span::DUMMY
+    }
+}
+
+/// An identifier with its source span, used for positions that name
+/// things rather than compute them (`FROM`, `SUPERGROUP`). Equality
+/// ignores the span.
+#[derive(Debug, Clone, Eq)]
+pub struct Name {
+    /// The identifier text.
+    pub text: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl Name {
+    /// A name with a placeholder span (for programmatic construction).
+    pub fn synthetic(text: impl Into<String>) -> Self {
+        Name { text: text.into(), span: Span::DUMMY }
+    }
+
+    /// A name at a source location.
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        Name { text: text.into(), span }
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.text == other.text
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.text == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        &self.text == other
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
 
 /// Binary operators at the AST level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,11 +141,24 @@ impl BinAstOp {
             BinAstOp::Or => "OR",
         }
     }
+
+    /// `true` for `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinAstOp::Eq | BinAstOp::Ne | BinAstOp::Lt | BinAstOp::Le | BinAstOp::Gt | BinAstOp::Ge
+        )
+    }
+
+    /// `true` for `AND` / `OR`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinAstOp::And | BinAstOp::Or)
+    }
 }
 
-/// An unresolved expression.
+/// The shape of an unresolved expression (see [`AstExpr`]).
 #[derive(Debug, Clone, PartialEq)]
-pub enum AstExpr {
+pub enum ExprKind {
     /// Integer literal.
     Int(u64),
     /// Float literal.
@@ -94,22 +195,54 @@ pub enum AstExpr {
     Neg(Box<AstExpr>),
 }
 
+/// An unresolved expression: an [`ExprKind`] plus its source [`Span`].
+///
+/// Equality compares only the kind (recursively), never spans.
+#[derive(Debug, Clone)]
+pub struct AstExpr {
+    /// The expression shape.
+    pub kind: ExprKind,
+    /// Where it appeared in the source.
+    pub span: Span,
+}
+
+impl AstExpr {
+    /// Build an expression at a source location.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        AstExpr { kind, span }
+    }
+}
+
+impl From<ExprKind> for AstExpr {
+    /// Wrap a kind with a placeholder span (programmatic construction
+    /// and tests).
+    fn from(kind: ExprKind) -> Self {
+        AstExpr { kind, span: Span::DUMMY }
+    }
+}
+
+impl PartialEq for AstExpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
 impl fmt::Display for AstExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AstExpr::Int(v) => write!(f, "{v}"),
-            AstExpr::Float(v) => {
+        match &self.kind {
+            ExprKind::Int(v) => write!(f, "{v}"),
+            ExprKind::Float(v) => {
                 if v.fract() == 0.0 {
                     write!(f, "{v:.1}")
                 } else {
                     write!(f, "{v}")
                 }
             }
-            AstExpr::Str(s) => write!(f, "'{s}'"),
-            AstExpr::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
-            AstExpr::Ident(n) => write!(f, "{n}"),
-            AstExpr::Star => write!(f, "*"),
-            AstExpr::Call { name, superagg, args } => {
+            ExprKind::Str(s) => write!(f, "'{s}'"),
+            ExprKind::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            ExprKind::Ident(n) => write!(f, "{n}"),
+            ExprKind::Star => write!(f, "*"),
+            ExprKind::Call { name, superagg, args } => {
                 write!(f, "{name}{}(", if *superagg { "$" } else { "" })?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -119,9 +252,9 @@ impl fmt::Display for AstExpr {
                 }
                 write!(f, ")")
             }
-            AstExpr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
-            AstExpr::Not(e) => write!(f, "(NOT {e})"),
-            AstExpr::Neg(e) => write!(f, "(-{e})"),
+            ExprKind::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            ExprKind::Not(e) => write!(f, "(NOT {e})"),
+            ExprKind::Neg(e) => write!(f, "(-{e})"),
         }
     }
 }
@@ -142,9 +275,9 @@ impl SelectItem {
         if let Some(a) = &self.alias {
             return a.clone();
         }
-        match &self.expr {
-            AstExpr::Ident(n) => n.clone(),
-            AstExpr::Call { name, superagg, .. } => {
+        match &self.expr.kind {
+            ExprKind::Ident(n) => n.clone(),
+            ExprKind::Call { name, superagg, .. } => {
                 format!("{name}{}", if *superagg { "$" } else { "" })
             }
             _ => format!("col{index}"),
@@ -167,8 +300,8 @@ impl GroupItem {
         if let Some(a) = &self.alias {
             return a.clone();
         }
-        match &self.expr {
-            AstExpr::Ident(n) => n.clone(),
+        match &self.expr.kind {
+            ExprKind::Ident(n) => n.clone(),
             _ => format!("gb{index}"),
         }
     }
@@ -180,13 +313,13 @@ pub struct Query {
     /// SELECT list.
     pub select: Vec<SelectItem>,
     /// FROM stream name.
-    pub from: String,
+    pub from: Name,
     /// WHERE predicate.
     pub where_clause: Option<AstExpr>,
     /// GROUP BY list.
     pub group_by: Vec<GroupItem>,
     /// SUPERGROUP variable names (empty = the ALL supergroup).
-    pub supergroup: Vec<String>,
+    pub supergroup: Vec<Name>,
     /// HAVING predicate.
     pub having: Option<AstExpr>,
     /// CLEANING WHEN predicate.
@@ -222,7 +355,8 @@ impl fmt::Display for Query {
             }
         }
         if !self.supergroup.is_empty() {
-            write!(f, " SUPERGROUP {}", self.supergroup.join(", "))?;
+            let names: Vec<&str> = self.supergroup.iter().map(|n| n.text.as_str()).collect();
+            write!(f, " SUPERGROUP {}", names.join(", "))?;
         }
         if let Some(h) = &self.having {
             write!(f, " HAVING {h}")?;
@@ -241,45 +375,70 @@ impl fmt::Display for Query {
 mod tests {
     use super::*;
 
+    fn e(kind: ExprKind) -> AstExpr {
+        kind.into()
+    }
+
     #[test]
     fn expr_display() {
-        let e = AstExpr::Binary {
+        let expr = e(ExprKind::Binary {
             op: BinAstOp::Le,
-            lhs: Box::new(AstExpr::Ident("HX".into())),
-            rhs: Box::new(AstExpr::Call {
+            lhs: Box::new(e(ExprKind::Ident("HX".into()))),
+            rhs: Box::new(e(ExprKind::Call {
                 name: "Kth_smallest_value".into(),
                 superagg: true,
-                args: vec![AstExpr::Ident("HX".into()), AstExpr::Int(100)],
-            }),
-        };
-        assert_eq!(e.to_string(), "(HX <= Kth_smallest_value$(HX, 100))");
+                args: vec![e(ExprKind::Ident("HX".into())), e(ExprKind::Int(100))],
+            })),
+        });
+        assert_eq!(expr.to_string(), "(HX <= Kth_smallest_value$(HX, 100))");
     }
 
     #[test]
     fn select_item_names() {
-        let item = SelectItem { expr: AstExpr::Ident("srcIP".into()), alias: None };
+        let item = SelectItem { expr: e(ExprKind::Ident("srcIP".into())), alias: None };
         assert_eq!(item.output_name(0), "srcIP");
         let item = SelectItem {
-            expr: AstExpr::Call { name: "sum".into(), superagg: false, args: vec![] },
+            expr: e(ExprKind::Call { name: "sum".into(), superagg: false, args: vec![] }),
             alias: Some("total".into()),
         };
         assert_eq!(item.output_name(1), "total");
-        let item = SelectItem { expr: AstExpr::Int(1), alias: None };
+        let item = SelectItem { expr: e(ExprKind::Int(1)), alias: None };
         assert_eq!(item.output_name(2), "col2");
     }
 
     #[test]
     fn group_item_names() {
         let g = GroupItem {
-            expr: AstExpr::Binary {
+            expr: e(ExprKind::Binary {
                 op: BinAstOp::Div,
-                lhs: Box::new(AstExpr::Ident("time".into())),
-                rhs: Box::new(AstExpr::Int(60)),
-            },
+                lhs: Box::new(e(ExprKind::Ident("time".into()))),
+                rhs: Box::new(e(ExprKind::Int(60))),
+            }),
             alias: Some("tb".into()),
         };
         assert_eq!(g.name(0), "tb");
-        let g = GroupItem { expr: AstExpr::Ident("srcIP".into()), alias: None };
+        let g = GroupItem { expr: e(ExprKind::Ident("srcIP".into())), alias: None };
         assert_eq!(g.name(1), "srcIP");
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = AstExpr::new(ExprKind::Int(7), Span::new(3, 4));
+        let b = AstExpr::new(ExprKind::Int(7), Span::new(10, 11));
+        assert_eq!(a, b);
+        let nested_a = AstExpr::new(ExprKind::Not(Box::new(a.clone())), Span::new(0, 4));
+        let nested_b = AstExpr::new(ExprKind::Not(Box::new(b)), Span::DUMMY);
+        assert_eq!(nested_a, nested_b);
+        assert_ne!(AstExpr::from(ExprKind::Int(7)), AstExpr::from(ExprKind::Int(8)));
+        assert_eq!(Name::new("tb", Span::new(1, 3)), Name::synthetic("tb"));
+        assert_eq!(Name::synthetic("PKT"), "PKT");
+    }
+
+    #[test]
+    fn span_merge() {
+        assert_eq!(Span::new(3, 7).to(Span::new(10, 12)), Span::new(3, 12));
+        assert_eq!(Span::new(10, 12).to(Span::new(3, 7)), Span::new(3, 12));
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!Span::new(0, 1).is_dummy());
     }
 }

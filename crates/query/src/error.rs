@@ -4,6 +4,8 @@ use std::fmt;
 
 use sso_core::OpError;
 
+use crate::diag::Diagnostic;
+
 /// Errors from lexing, parsing, or planning a query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
@@ -23,6 +25,11 @@ pub enum QueryError {
     },
     /// A semantic error (unknown name, clause misuse, ...).
     Semantic(String),
+    /// Semantic analysis failed; carries every diagnostic found (errors
+    /// *and* warnings), not just the first. Use
+    /// [`crate::diag::render`] against the query text for the full
+    /// rustc-style report.
+    Analysis(Vec<Diagnostic>),
     /// An error surfaced from the operator layer during planning or
     /// instantiation.
     Plan(OpError),
@@ -38,6 +45,10 @@ impl fmt::Display for QueryError {
                 write!(f, "syntax error at byte {position}: {message}")
             }
             QueryError::Semantic(m) => write!(f, "semantic error: {m}"),
+            QueryError::Analysis(diags) => {
+                let joined = diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ");
+                write!(f, "semantic error: {joined}")
+            }
             QueryError::Plan(e) => write!(f, "planning error: {e}"),
         }
     }

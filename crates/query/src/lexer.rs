@@ -82,13 +82,15 @@ pub enum Token {
     Gt,
 }
 
-/// A token plus its byte offset in the source.
+/// A token plus its byte range in the source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
     /// Byte offset of the token's first character.
     pub position: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
 }
 
 /// The tokenizer.
@@ -210,7 +212,10 @@ impl<'a> Lexer<'a> {
                         end += 1;
                     }
                 }
-                let text = std::str::from_utf8(&self.src[start..end]).expect("ascii digits");
+                // The matched range is pure ASCII digits (and at most
+                // one '.'), so build the text bytewise — no fallible
+                // UTF-8 step.
+                let text: String = self.src[start..end].iter().map(|&b| b as char).collect();
                 self.pos = end;
                 if is_float {
                     Token::Float(text.parse().map_err(|e| QueryError::Lex {
@@ -232,14 +237,17 @@ impl<'a> Lexer<'a> {
                 ) {
                     end += 1;
                 }
-                let word = std::str::from_utf8(&self.src[start..end]).expect("ascii ident");
+                // Identifier characters are pure ASCII, so build the
+                // word bytewise — no fallible UTF-8 step.
+                let word: String = self.src[start..end].iter().map(|&b| b as char).collect();
                 self.pos = end;
                 // The paper's `$` superaggregate suffix.
                 if self.peek() == Some(b'$') {
                     self.pos += 1;
                     return Ok(Some(Spanned {
-                        token: Token::DollarIdent(word.to_string()),
+                        token: Token::DollarIdent(word),
                         position: start,
+                        end: self.pos,
                     }));
                 }
                 match word.to_ascii_uppercase().as_str() {
@@ -260,7 +268,7 @@ impl<'a> Lexer<'a> {
                     "NOT" => Token::Not,
                     "TRUE" => Token::True,
                     "FALSE" => Token::False,
-                    _ => Token::Ident(word.to_string()),
+                    _ => Token::Ident(word),
                 }
             }
             other => {
@@ -270,7 +278,7 @@ impl<'a> Lexer<'a> {
                 })
             }
         };
-        Ok(Some(Spanned { token, position: start }))
+        Ok(Some(Spanned { token, position: start, end: self.pos }))
     }
 }
 
@@ -352,17 +360,25 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(
-            toks("SELECT -- a comment\n x"),
-            vec![Token::Select, Token::Ident("x".into())]
-        );
+        assert_eq!(toks("SELECT -- a comment\n x"), vec![Token::Select, Token::Ident("x".into())]);
     }
 
     #[test]
     fn positions_are_byte_offsets() {
         let spanned = Lexer::new("SELECT tb").tokenize().unwrap();
         assert_eq!(spanned[0].position, 0);
+        assert_eq!(spanned[0].end, 6);
         assert_eq!(spanned[1].position, 7);
+        assert_eq!(spanned[1].end, 9);
+    }
+
+    #[test]
+    fn spans_cover_multibyte_tokens() {
+        let spanned = Lexer::new("count_distinct$ <= 3.25").tokenize().unwrap();
+        // `count_distinct$` spans 0..15 including the `$`.
+        assert_eq!((spanned[0].position, spanned[0].end), (0, 15));
+        assert_eq!((spanned[1].position, spanned[1].end), (16, 18));
+        assert_eq!((spanned[2].position, spanned[2].end), (19, 23));
     }
 
     proptest::proptest! {

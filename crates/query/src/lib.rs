@@ -31,14 +31,18 @@
 //! assert!(out.is_empty());
 //! ```
 
+pub mod analyze;
 pub mod ast;
+pub mod diag;
 pub mod error;
 pub mod explain;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use ast::{AstExpr, BinAstOp, Query, SelectItem};
+pub use analyze::analyze;
+pub use ast::{AstExpr, BinAstOp, ExprKind, Query, SelectItem, Span};
+pub use diag::{Code, Diagnostic, Severity};
 pub use error::QueryError;
 pub use explain::explain;
 pub use lexer::{Lexer, Token};
@@ -57,4 +61,26 @@ pub fn compile(
     let q = parse_query(text)?;
     let spec = plan(&q, schema, config)?;
     SamplingOperator::new(spec).map_err(QueryError::Plan)
+}
+
+/// Statically check a query without planning it: parse, then run the
+/// semantic analyzer, returning every diagnostic found. Lexical and
+/// syntax errors come back as single `E100`/`E101` diagnostics so
+/// callers can render any failure the same way.
+pub fn check(text: &str, schema: &Schema, config: &PlannerConfig) -> Vec<Diagnostic> {
+    match parse_query(text) {
+        Ok(q) => analyze(&q, schema, config),
+        Err(QueryError::Lex { position, message }) => vec![Diagnostic::new(
+            Code::E100,
+            Span::new(position, position + 1),
+            format!("lexical error: {message}"),
+        )],
+        Err(QueryError::Parse { position, message }) => vec![Diagnostic::new(
+            Code::E101,
+            Span::new(position, position + 1),
+            format!("syntax error: {message}"),
+        )],
+        // parse_query only produces Lex/Parse errors.
+        Err(other) => vec![Diagnostic::new(Code::E101, Span::DUMMY, other.to_string())],
+    }
 }

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the §5 query syntax.
 
-use crate::ast::{AstExpr, BinAstOp, GroupItem, Query, SelectItem};
+use crate::ast::{AstExpr, BinAstOp, ExprKind, GroupItem, Name, Query, SelectItem, Span};
 use crate::error::QueryError;
 use crate::lexer::{Lexer, Spanned, Token};
 
@@ -51,6 +51,19 @@ impl Parser {
         self.peek_spanned().map(|s| s.position).unwrap_or(self.len)
     }
 
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            return 0;
+        }
+        self.tokens.get(self.pos - 1).map(|s| s.end).unwrap_or(self.len)
+    }
+
+    fn binary(op: BinAstOp, lhs: AstExpr, rhs: AstExpr) -> AstExpr {
+        let span = lhs.span.to(rhs.span);
+        AstExpr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span)
+    }
+
     fn bump(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.pos).map(|s| s.token.clone());
         if t.is_some() {
@@ -68,23 +81,32 @@ impl Parser {
         }
     }
 
+    /// Render a token (or its absence) for an error message.
+    fn describe(t: Option<&Token>) -> String {
+        match t {
+            Some(tok) => format!("{tok:?}"),
+            None => "end of input".to_string(),
+        }
+    }
+
     fn expect(&mut self, t: Token, what: &str) -> Result<(), QueryError> {
         if self.eat(&t) {
             Ok(())
         } else {
             Err(QueryError::Parse {
                 position: self.position(),
-                message: format!("expected {what}, found {:?}", self.peek()),
+                message: format!("expected {what}, found {}", Self::describe(self.peek())),
             })
         }
     }
 
-    fn ident(&mut self, what: &str) -> Result<String, QueryError> {
+    fn ident(&mut self, what: &str) -> Result<Name, QueryError> {
+        let start = self.position();
         match self.bump() {
-            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::Ident(s)) => Ok(Name::new(s, Span::new(start, self.prev_end()))),
             other => Err(QueryError::Parse {
                 position: self.position(),
-                message: format!("expected {what}, found {other:?}"),
+                message: format!("expected {what}, found {}", Self::describe(other.as_ref())),
             }),
         }
     }
@@ -123,7 +145,10 @@ impl Parser {
                 other => {
                     return Err(QueryError::Parse {
                         position: self.position(),
-                        message: format!("expected WHEN or BY after CLEANING, found {other:?}"),
+                        message: format!(
+                            "expected WHEN or BY after CLEANING, found {}",
+                            Self::describe(other.as_ref())
+                        ),
                     })
                 }
             }
@@ -142,13 +167,13 @@ impl Parser {
 
     fn select_item(&mut self) -> Result<SelectItem, QueryError> {
         let expr = self.expr()?;
-        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?.text) } else { None };
         Ok(SelectItem { expr, alias })
     }
 
     fn group_item(&mut self) -> Result<GroupItem, QueryError> {
         let expr = self.expr()?;
-        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?.text) } else { None };
         Ok(GroupItem { expr, alias })
     }
 
@@ -157,7 +182,7 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat(&Token::Or) {
             let rhs = self.and_expr()?;
-            lhs = AstExpr::Binary { op: BinAstOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Self::binary(BinAstOp::Or, lhs, rhs);
         }
         Ok(lhs)
     }
@@ -166,14 +191,17 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat(&Token::And) {
             let rhs = self.not_expr()?;
-            lhs = AstExpr::Binary { op: BinAstOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Self::binary(BinAstOp::And, lhs, rhs);
         }
         Ok(lhs)
     }
 
     fn not_expr(&mut self) -> Result<AstExpr, QueryError> {
+        let start = self.position();
         if self.eat(&Token::Not) {
-            Ok(AstExpr::Not(Box::new(self.not_expr()?)))
+            let inner = self.not_expr()?;
+            let span = Span::new(start, inner.span.end);
+            Ok(AstExpr::new(ExprKind::Not(Box::new(inner)), span))
         } else {
             self.comparison()
         }
@@ -192,7 +220,7 @@ impl Parser {
         };
         self.pos += 1;
         let rhs = self.additive()?;
-        Ok(AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Self::binary(op, lhs, rhs))
     }
 
     fn additive(&mut self) -> Result<AstExpr, QueryError> {
@@ -205,7 +233,7 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.multiplicative()?;
-            lhs = AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Self::binary(op, lhs, rhs);
         }
         Ok(lhs)
     }
@@ -221,14 +249,17 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.unary()?;
-            lhs = AstExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Self::binary(op, lhs, rhs);
         }
         Ok(lhs)
     }
 
     fn unary(&mut self) -> Result<AstExpr, QueryError> {
+        let start = self.position();
         if self.eat(&Token::Minus) {
-            Ok(AstExpr::Neg(Box::new(self.unary()?)))
+            let inner = self.unary()?;
+            let span = Span::new(start, inner.span.end);
+            Ok(AstExpr::new(ExprKind::Neg(Box::new(inner)), span))
         } else {
             self.primary()
         }
@@ -236,34 +267,40 @@ impl Parser {
 
     fn primary(&mut self) -> Result<AstExpr, QueryError> {
         let position = self.position();
+        let spanned = |p: &Parser, kind| {
+            let span = Span::new(position, p.prev_end());
+            AstExpr::new(kind, span)
+        };
         match self.bump() {
-            Some(Token::Int(v)) => Ok(AstExpr::Int(v)),
-            Some(Token::Float(v)) => Ok(AstExpr::Float(v)),
-            Some(Token::Str(s)) => Ok(AstExpr::Str(s)),
-            Some(Token::True) => Ok(AstExpr::Bool(true)),
-            Some(Token::False) => Ok(AstExpr::Bool(false)),
-            Some(Token::Star) => Ok(AstExpr::Star),
+            Some(Token::Int(v)) => Ok(spanned(self, ExprKind::Int(v))),
+            Some(Token::Float(v)) => Ok(spanned(self, ExprKind::Float(v))),
+            Some(Token::Str(s)) => Ok(spanned(self, ExprKind::Str(s))),
+            Some(Token::True) => Ok(spanned(self, ExprKind::Bool(true))),
+            Some(Token::False) => Ok(spanned(self, ExprKind::Bool(false))),
+            Some(Token::Star) => Ok(spanned(self, ExprKind::Star)),
             Some(Token::LParen) => {
-                let e = self.expr()?;
+                let mut e = self.expr()?;
                 self.expect(Token::RParen, "')'")?;
+                // The parenthesized expression spans the parens too.
+                e.span = Span::new(position, self.prev_end());
                 Ok(e)
             }
             Some(Token::Ident(name)) => {
                 if self.eat(&Token::LParen) {
                     let args = self.call_args()?;
-                    Ok(AstExpr::Call { name, superagg: false, args })
+                    Ok(spanned(self, ExprKind::Call { name, superagg: false, args }))
                 } else {
-                    Ok(AstExpr::Ident(name))
+                    Ok(spanned(self, ExprKind::Ident(name)))
                 }
             }
             Some(Token::DollarIdent(name)) => {
                 self.expect(Token::LParen, "'(' after superaggregate name")?;
                 let args = self.call_args()?;
-                Ok(AstExpr::Call { name, superagg: true, args })
+                Ok(spanned(self, ExprKind::Call { name, superagg: true, args }))
             }
             other => Err(QueryError::Parse {
                 position,
-                message: format!("expected expression, found {other:?}"),
+                message: format!("expected expression, found {}", Self::describe(other.as_ref())),
             }),
         }
     }
@@ -365,10 +402,8 @@ mod tests {
 
     #[test]
     fn cleaning_clauses_in_either_order() {
-        let q = parse_query(
-            "SELECT a FROM S GROUP BY a CLEANING BY x = 1 CLEANING WHEN y = 2",
-        )
-        .unwrap();
+        let q = parse_query("SELECT a FROM S GROUP BY a CLEANING BY x = 1 CLEANING WHEN y = 2")
+            .unwrap();
         assert!(q.cleaning_when.is_some());
         assert!(q.cleaning_by.is_some());
     }
@@ -394,6 +429,37 @@ mod tests {
         assert_eq!(q1, q2, "pretty-printed query must re-parse to the same AST");
     }
 
+    #[test]
+    fn spans_point_into_the_source() {
+        let text = "SELECT tb FROM PKT WHERE len > 100 GROUP BY time/60 as tb";
+        let q = parse_query(text).unwrap();
+        assert_eq!(&text[q.from.span.start..q.from.span.end], "PKT");
+        let w = q.where_clause.unwrap();
+        assert_eq!(&text[w.span.start..w.span.end], "len > 100");
+        match &w.kind {
+            ExprKind::Binary { lhs, rhs, .. } => {
+                assert_eq!(&text[lhs.span.start..lhs.span.end], "len");
+                assert_eq!(&text[rhs.span.start..rhs.span.end], "100");
+            }
+            other => panic!("expected binary predicate, got {other:?}"),
+        }
+        let gb = &q.group_by[0].expr;
+        assert_eq!(&text[gb.span.start..gb.span.end], "time/60");
+    }
+
+    #[test]
+    fn call_and_paren_spans() {
+        let text = "prefix(srcIP, 24) = (1 + 2)";
+        let e = parse_expr(text).unwrap();
+        match &e.kind {
+            ExprKind::Binary { lhs, rhs, .. } => {
+                assert_eq!(&text[lhs.span.start..lhs.span.end], "prefix(srcIP, 24)");
+                assert_eq!(&text[rhs.span.start..rhs.span.end], "(1 + 2)");
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
     proptest::proptest! {
         /// Any expression the generator builds must survive a
         /// print -> parse round trip.
@@ -403,22 +469,45 @@ mod tests {
             let reparsed = parse_expr(&printed).unwrap();
             proptest::prop_assert_eq!(e, reparsed, "printed: {}", printed);
         }
+
+        /// The parser never panics on arbitrary input: it either parses
+        /// or returns a positioned error.
+        #[test]
+        fn parser_never_panics(input in "\\PC{0,120}") {
+            let _ = parse_query(&input);
+            let _ = parse_expr(&input);
+        }
     }
 
     fn arb_expr(depth: u32) -> impl proptest::strategy::Strategy<Value = AstExpr> {
         use proptest::prelude::*;
         let leaf = prop_oneof![
-            (0u64..1000).prop_map(AstExpr::Int),
-            "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-                !matches!(
-                    s.to_ascii_uppercase().as_str(),
-                    "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "AS" | "SUPERGROUP"
-                        | "HAVING" | "CLEANING" | "WHEN" | "AND" | "OR" | "NOT" | "TRUE"
-                        | "FALSE" | "GROUP_BY"
-                )
-            }).prop_map(AstExpr::Ident),
-            Just(AstExpr::Bool(true)),
-            Just(AstExpr::Bool(false)),
+            (0u64..1000).prop_map(|v| AstExpr::from(ExprKind::Int(v))),
+            "[a-z][a-z0-9_]{0,6}"
+                .prop_filter("not a keyword", |s| {
+                    !matches!(
+                        s.to_ascii_uppercase().as_str(),
+                        "SELECT"
+                            | "FROM"
+                            | "WHERE"
+                            | "GROUP"
+                            | "BY"
+                            | "AS"
+                            | "SUPERGROUP"
+                            | "HAVING"
+                            | "CLEANING"
+                            | "WHEN"
+                            | "AND"
+                            | "OR"
+                            | "NOT"
+                            | "TRUE"
+                            | "FALSE"
+                            | "GROUP_BY"
+                    )
+                })
+                .prop_map(|n| AstExpr::from(ExprKind::Ident(n))),
+            Just(AstExpr::from(ExprKind::Bool(true))),
+            Just(AstExpr::from(ExprKind::Bool(false))),
         ];
         leaf.prop_recursive(depth, 32, 3, |inner| {
             use proptest::prelude::*;
@@ -434,23 +523,38 @@ mod tests {
                     inner.clone(),
                     inner.clone()
                 )
-                    .prop_map(|(op, l, r)| AstExpr::Binary {
+                    .prop_map(|(op, l, r)| AstExpr::from(ExprKind::Binary {
                         op,
                         lhs: Box::new(l),
                         rhs: Box::new(r)
-                    }),
-                inner.clone().prop_map(|e| AstExpr::Not(Box::new(e))),
+                    })),
+                inner.clone().prop_map(|e| AstExpr::from(ExprKind::Not(Box::new(e)))),
                 (
                     "[a-z][a-z0-9_]{0,6}".prop_filter("not kw", |s| !matches!(
                         s.to_ascii_uppercase().as_str(),
-                        "SELECT" | "FROM" | "WHERE" | "GROUP" | "BY" | "AS" | "SUPERGROUP"
-                            | "HAVING" | "CLEANING" | "WHEN" | "AND" | "OR" | "NOT"
-                            | "TRUE" | "FALSE" | "GROUP_BY"
+                        "SELECT"
+                            | "FROM"
+                            | "WHERE"
+                            | "GROUP"
+                            | "BY"
+                            | "AS"
+                            | "SUPERGROUP"
+                            | "HAVING"
+                            | "CLEANING"
+                            | "WHEN"
+                            | "AND"
+                            | "OR"
+                            | "NOT"
+                            | "TRUE"
+                            | "FALSE"
+                            | "GROUP_BY"
                     )),
                     proptest::bool::ANY,
                     proptest::collection::vec(inner, 0..3)
                 )
-                    .prop_map(|(name, superagg, args)| AstExpr::Call { name, superagg, args }),
+                    .prop_map(|(name, superagg, args)| AstExpr::from(
+                        ExprKind::Call { name, superagg, args }
+                    )),
             ]
         })
     }

@@ -33,7 +33,8 @@ use sso_core::sfun::SfunLibrary;
 use sso_core::superagg::SuperAggSpec;
 use sso_types::Schema;
 
-use crate::ast::{AstExpr, BinAstOp, Query};
+use crate::ast::{AstExpr, BinAstOp, ExprKind, Query};
+use crate::diag;
 use crate::error::QueryError;
 
 /// The libraries (and thereby algorithm parameters) available to
@@ -70,11 +71,20 @@ impl PlannerConfig {
 }
 
 /// Plan a parsed query into an operator spec.
+///
+/// The semantic analyzer runs first and collects *all* problems; if any
+/// are errors the plan fails with [`QueryError::Analysis`] carrying the
+/// full batch. The planner's own checks below then act as a safety net
+/// (they should be unreachable for analyzer-approved queries).
 pub fn plan(
     query: &Query,
     schema: &Schema,
     config: &PlannerConfig,
 ) -> Result<OperatorSpec, QueryError> {
+    let diags = crate::analyze::analyze(query, schema, config);
+    if diag::has_errors(&diags) {
+        return Err(QueryError::Analysis(diags));
+    }
     Planner::new(query, schema, config)?.finish(query)
 }
 
@@ -161,15 +171,11 @@ impl<'a> Planner<'a> {
         // window variables.
         let mut supergroup_indices = Vec::new();
         for name in &query.supergroup {
-            let idx = self
-                .gb_names
-                .iter()
-                .position(|n| n == name)
-                .ok_or_else(|| {
-                    QueryError::Semantic(format!(
-                        "SUPERGROUP variable `{name}` is not a group-by variable"
-                    ))
-                })?;
+            let idx = self.gb_names.iter().position(|n| n == &name.text).ok_or_else(|| {
+                QueryError::Semantic(format!(
+                    "SUPERGROUP variable `{name}` is not a group-by variable"
+                ))
+            })?;
             if self.window_indices.contains(&idx) {
                 continue; // ordered vars are implicitly part of every supergroup
             }
@@ -178,23 +184,13 @@ impl<'a> Planner<'a> {
             }
         }
 
-        let where_clause = query
-            .where_clause
-            .as_ref()
-            .map(|e| self.compile(e, Scope::Tuple))
-            .transpose()?;
-        let cleaning_when = query
-            .cleaning_when
-            .as_ref()
-            .map(|e| self.compile(e, Scope::Tuple))
-            .transpose()?;
-        let cleaning_by = query
-            .cleaning_by
-            .as_ref()
-            .map(|e| self.compile(e, Scope::Group))
-            .transpose()?;
-        let having =
-            query.having.as_ref().map(|e| self.compile(e, Scope::Group)).transpose()?;
+        let where_clause =
+            query.where_clause.as_ref().map(|e| self.compile(e, Scope::Tuple)).transpose()?;
+        let cleaning_when =
+            query.cleaning_when.as_ref().map(|e| self.compile(e, Scope::Tuple)).transpose()?;
+        let cleaning_by =
+            query.cleaning_by.as_ref().map(|e| self.compile(e, Scope::Group)).transpose()?;
+        let having = query.having.as_ref().map(|e| self.compile(e, Scope::Group)).transpose()?;
         let mut select = Vec::with_capacity(query.select.len());
         for (i, item) in query.select.iter().enumerate() {
             let name = item.output_name(i);
@@ -205,12 +201,7 @@ impl<'a> Planner<'a> {
         let spec = OperatorSpec {
             select,
             where_clause,
-            group_by: self
-                .gb_names
-                .iter()
-                .cloned()
-                .zip(self.gb_exprs.iter().cloned())
-                .collect(),
+            group_by: self.gb_names.iter().cloned().zip(self.gb_exprs.iter().cloned()).collect(),
             window_indices: self.window_indices.clone(),
             supergroup_indices,
             having,
@@ -229,28 +220,28 @@ impl<'a> Planner<'a> {
     }
 
     fn compile(&mut self, e: &AstExpr, scope: Scope) -> Result<Expr, QueryError> {
-        match e {
-            AstExpr::Int(v) => Ok(Expr::lit(*v)),
-            AstExpr::Float(v) => Ok(Expr::lit(*v)),
-            AstExpr::Str(s) => Ok(Expr::lit(s.as_str())),
-            AstExpr::Bool(b) => Ok(Expr::lit(*b)),
-            AstExpr::Star => Err(QueryError::Semantic(
+        match &e.kind {
+            ExprKind::Int(v) => Ok(Expr::lit(*v)),
+            ExprKind::Float(v) => Ok(Expr::lit(*v)),
+            ExprKind::Str(s) => Ok(Expr::lit(s.as_str())),
+            ExprKind::Bool(b) => Ok(Expr::lit(*b)),
+            ExprKind::Star => Err(QueryError::Semantic(
                 "`*` is only valid as the argument of count(*) or count_distinct$(*)".into(),
             )),
-            AstExpr::Neg(inner) => {
+            ExprKind::Neg(inner) => {
                 let c = self.compile(inner, scope)?;
                 Ok(Expr::lit(0i64).sub(c))
             }
-            AstExpr::Not(inner) => {
+            ExprKind::Not(inner) => {
                 let c = self.compile(inner, scope)?;
                 Ok(Expr::Not(Box::new(c)))
             }
-            AstExpr::Binary { op, lhs, rhs } => {
+            ExprKind::Binary { op, lhs, rhs } => {
                 let l = self.compile(lhs, scope)?;
                 let r = self.compile(rhs, scope)?;
                 Ok(Expr::bin(bin_op(*op), l, r))
             }
-            AstExpr::Ident(name) => {
+            ExprKind::Ident(name) => {
                 // Group-by variables shadow columns outside GROUP BY.
                 if scope != Scope::GroupBy {
                     if let Some(i) = self.gb_index(name) {
@@ -276,10 +267,10 @@ impl<'a> Planner<'a> {
                     ))),
                 }
             }
-            AstExpr::Call { name, superagg: true, args } => {
+            ExprKind::Call { name, superagg: true, args } => {
                 self.compile_superagg(name, args, scope)
             }
-            AstExpr::Call { name, superagg: false, args } => {
+            ExprKind::Call { name, superagg: false, args } => {
                 self.compile_call(name, args, scope, e)
             }
         }
@@ -302,7 +293,7 @@ impl<'a> Planner<'a> {
         }
         let spec = match name.to_ascii_lowercase().as_str() {
             "count_distinct" => {
-                if !(args.is_empty() || args == [AstExpr::Star]) {
+                if !(args.is_empty() || is_star_arg(args)) {
                     return Err(QueryError::Semantic(
                         "count_distinct$ takes no argument or `*`".into(),
                     ));
@@ -316,8 +307,8 @@ impl<'a> Planner<'a> {
                     ));
                 }
                 let expr = self.compile(&args[0], Scope::SuperKey)?;
-                let k = match args[1] {
-                    AstExpr::Int(k) if k > 0 => k as usize,
+                let k = match args[1].kind {
+                    ExprKind::Int(k) if k > 0 => k as usize,
                     _ => {
                         return Err(QueryError::Semantic(
                             "Kth_smallest_value$'s second argument must be a positive \
@@ -342,10 +333,9 @@ impl<'a> Planner<'a> {
                 let tuple_expr = self.compile(&args[0], Scope::Tuple)?;
                 // Pair with a group aggregate over the same expression so
                 // evictions can subtract the group's contribution.
-                let agg_slot =
-                    self.agg_slot(&format!("sum({})", args[0]), || {
-                        Ok(AggSpec::Sum(tuple_expr.clone()))
-                    })?;
+                let agg_slot = self.agg_slot(&format!("sum({})", args[0]), || {
+                    Ok(AggSpec::Sum(tuple_expr.clone()))
+                })?;
                 SuperAggSpec::Sum { expr: tuple_expr, agg_slot }
             }
             other => {
@@ -390,18 +380,15 @@ impl<'a> Planner<'a> {
             if args.len() != 1 {
                 return Err(QueryError::Semantic("avg expects one argument".into()));
             }
-            let sum = self.compile_call(
-                "sum",
-                args,
-                scope,
-                &AstExpr::Call { name: "sum".into(), superagg: false, args: args.to_vec() },
-            )?;
-            let count = self.compile_call(
-                "count",
-                &[AstExpr::Star],
-                scope,
-                &AstExpr::Call { name: "count".into(), superagg: false, args: vec![AstExpr::Star] },
-            )?;
+            let sum_node: AstExpr =
+                ExprKind::Call { name: "sum".into(), superagg: false, args: args.to_vec() }.into();
+            let sum = self.compile_call("sum", args, scope, &sum_node)?;
+            let star: AstExpr = ExprKind::Star.into();
+            let count_node: AstExpr =
+                ExprKind::Call { name: "count".into(), superagg: false, args: vec![star.clone()] }
+                    .into();
+            let count =
+                self.compile_call("count", std::slice::from_ref(&star), scope, &count_node)?;
             return Ok(Expr::bin(BinOp::Mul, sum, Expr::lit(1.0f64)).div(count));
         }
         // Aggregates.
@@ -417,7 +404,7 @@ impl<'a> Planner<'a> {
                 return Ok(Expr::Aggregate(i));
             }
             let spec = if lower == "count" {
-                if !(args.is_empty() || args == [AstExpr::Star]) {
+                if !(args.is_empty() || is_star_arg(args)) {
                     return Err(QueryError::Semantic("count takes `*` or nothing".into()));
                 }
                 AggSpec::Count
@@ -496,16 +483,21 @@ fn bin_op(op: BinAstOp) -> BinOp {
 }
 
 /// Does this (GROUP BY) expression reference an ordered schema column?
-fn references_ordered_column(e: &AstExpr, schema: &Schema) -> bool {
-    match e {
-        AstExpr::Ident(name) => schema.is_ordered(name),
-        AstExpr::Binary { lhs, rhs, .. } => {
+pub(crate) fn references_ordered_column(e: &AstExpr, schema: &Schema) -> bool {
+    match &e.kind {
+        ExprKind::Ident(name) => schema.is_ordered(name),
+        ExprKind::Binary { lhs, rhs, .. } => {
             references_ordered_column(lhs, schema) || references_ordered_column(rhs, schema)
         }
-        AstExpr::Not(inner) | AstExpr::Neg(inner) => references_ordered_column(inner, schema),
-        AstExpr::Call { args, .. } => args.iter().any(|a| references_ordered_column(a, schema)),
+        ExprKind::Not(inner) | ExprKind::Neg(inner) => references_ordered_column(inner, schema),
+        ExprKind::Call { args, .. } => args.iter().any(|a| references_ordered_column(a, schema)),
         _ => false,
     }
+}
+
+/// Is the argument list the single `*` of `count(*)`?
+fn is_star_arg(args: &[AstExpr]) -> bool {
+    matches!(args, [a] if matches!(a.kind, ExprKind::Star))
 }
 
 fn join_args(args: &[AstExpr]) -> String {
@@ -634,15 +626,13 @@ mod tests {
 
     #[test]
     fn avg_rewrites_to_float_sum_over_count() {
-        let spec =
-            plan_text("SELECT tb, avg(len) FROM PKT GROUP BY time/60 as tb").unwrap();
+        let spec = plan_text("SELECT tb, avg(len) FROM PKT GROUP BY time/60 as tb").unwrap();
         // avg adds sum(len) and count(*) slots.
         assert_eq!(spec.aggregates.len(), 2);
         // And it dedupes against explicit uses.
-        let spec = plan_text(
-            "SELECT tb, avg(len), sum(len), count(*) FROM PKT GROUP BY time/60 as tb",
-        )
-        .unwrap();
+        let spec =
+            plan_text("SELECT tb, avg(len), sum(len), count(*) FROM PKT GROUP BY time/60 as tb")
+                .unwrap();
         assert_eq!(spec.aggregates.len(), 2);
     }
 
@@ -686,15 +676,15 @@ mod tests {
         let e = plan_text("SELECT nope FROM PKT GROUP BY time/60 as tb").unwrap_err();
         assert!(e.to_string().contains("nope"), "{e}");
         // Aggregate in WHERE.
-        let e = plan_text("SELECT tb FROM PKT WHERE sum(len) > 1 GROUP BY time/60 as tb")
-            .unwrap_err();
+        let e =
+            plan_text("SELECT tb FROM PKT WHERE sum(len) > 1 GROUP BY time/60 as tb").unwrap_err();
         assert!(e.to_string().contains("not allowed"), "{e}");
         // Raw column in SELECT that is not grouped.
         let e = plan_text("SELECT len FROM PKT GROUP BY time/60 as tb").unwrap_err();
         assert!(e.to_string().contains("group-by variable"), "{e}");
         // Unknown supergroup variable.
-        let e = plan_text("SELECT tb FROM PKT GROUP BY time/60 as tb SUPERGROUP bogus")
-            .unwrap_err();
+        let e =
+            plan_text("SELECT tb FROM PKT GROUP BY time/60 as tb SUPERGROUP bogus").unwrap_err();
         assert!(e.to_string().contains("bogus"), "{e}");
         // Unknown function.
         let e = plan_text("SELECT tb, zap(len) FROM PKT GROUP BY time/60 as tb").unwrap_err();
@@ -729,8 +719,7 @@ mod tests {
     fn group_by_variables_shadow_columns() {
         // srcIP is both a column and (by naming) a group-by variable;
         // SELECT resolves it as the group-by var.
-        let spec =
-            plan_text("SELECT srcIP FROM PKT GROUP BY time/60 as tb, srcIP").unwrap();
+        let spec = plan_text("SELECT srcIP FROM PKT GROUP BY time/60 as tb, srcIP").unwrap();
         match &spec.select[0].1 {
             Expr::GroupVar(1) => {}
             other => panic!("expected GroupVar(1), got {other:?}"),

@@ -197,9 +197,7 @@ mod tests {
     fn levels_partition_geometrically() {
         // ~half the values survive each level.
         let survivors = |level: u32| -> usize {
-            (0..100_000u64)
-                .filter(|&v| DistinctSampler::value_level(v) >= level)
-                .count()
+            (0..100_000u64).filter(|&v| DistinctSampler::value_level(v) >= level).count()
         };
         let l1 = survivors(1) as f64 / 100_000.0;
         let l2 = survivors(2) as f64 / 100_000.0;

@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn prunes_rare_items_at_bucket_boundary() {
         let mut lc = LossyCounter::new(0.25); // w = 4
-        // Bucket 1: a a a b  -> boundary prunes b (f=1, Δ=0, 1+0 <= 1).
+                                              // Bucket 1: a a a b  -> boundary prunes b (f=1, Δ=0, 1+0 <= 1).
         for item in ["a", "a", "a", "b"] {
             lc.insert(item);
         }

@@ -216,11 +216,7 @@ mod tests {
         for i in 0..100_000 {
             s.insert(i as f64);
         }
-        assert!(
-            s.size() < 2_000,
-            "summary size {} should be O((1/eps) log(eps n))",
-            s.size()
-        );
+        assert!(s.size() < 2_000, "summary size {} should be O((1/eps) log(eps n))", s.size());
         let median = s.query(0.5).unwrap();
         assert!((median - 50_000.0).abs() < 1_500.0, "median {median}");
     }

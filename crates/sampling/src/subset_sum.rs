@@ -406,7 +406,11 @@ mod tests {
         let mut est = 0.0;
         for i in 0..20_000u64 {
             // Heavy tail: occasional huge tuples.
-            let w = if i % 97 == 0 { rng.gen_range(5_000..50_000u64) } else { rng.gen_range(40..1500u64) };
+            let w = if i % 97 == 0 {
+                rng.gen_range(5_000..50_000u64)
+            } else {
+                rng.gen_range(40..1500u64)
+            };
             truth += w;
             if s.offer(w) {
                 est += s.adjusted_weight(w);
@@ -480,8 +484,7 @@ mod tests {
         // Alternate busy and quiet windows (volume ratio ~100x) and
         // aggregate the estimates over the quiet ones.
         let run = |relax: f64| -> (f64, f64) {
-            let cfg =
-                SubsetSumConfig::new(200).with_initial_z(1.0).with_relax_factor(relax);
+            let cfg = SubsetSumConfig::new(200).with_initial_z(1.0).with_relax_factor(relax);
             let mut d = DynamicSubsetSum::new(cfg);
             let mut rng = StdRng::seed_from_u64(5);
             let mut est_quiet = 0.0;

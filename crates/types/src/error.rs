@@ -67,10 +67,7 @@ mod tests {
         let e = TypeError::InvalidOperands { op: "NOT", lhs: "str", rhs: None };
         assert_eq!(e.to_string(), "invalid operand for `NOT`: str");
         assert_eq!(TypeError::DivisionByZero.to_string(), "division by zero");
-        assert_eq!(
-            TypeError::UnknownColumn("srcIP".into()).to_string(),
-            "unknown column `srcIP`"
-        );
+        assert_eq!(TypeError::UnknownColumn("srcIP".into()).to_string(), "unknown column `srcIP`");
         assert_eq!(
             TypeError::ArityMismatch { expected: 4, actual: 3 }.to_string(),
             "tuple arity mismatch: schema has 4 fields, tuple has 3"

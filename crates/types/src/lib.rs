@@ -24,4 +24,4 @@ pub use error::TypeError;
 pub use packet::{format_ipv4, parse_ipv4, Packet, Protocol};
 pub use schema::{Field, FieldType, Ordering, Schema};
 pub use tuple::Tuple;
-pub use value::Value;
+pub use value::{Value, ValueKind};

@@ -1,6 +1,7 @@
 //! Stream schemas with Gigascope-style ordered-attribute annotations.
 
 use crate::error::TypeError;
+use crate::value::ValueKind;
 
 /// Declared type of a schema field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,6 +16,20 @@ pub enum FieldType {
     Bool,
     /// String.
     Str,
+}
+
+impl FieldType {
+    /// The static [`ValueKind`] of values stored in a field of this
+    /// type.
+    pub fn value_kind(self) -> ValueKind {
+        match self {
+            FieldType::U64 => ValueKind::UInt,
+            FieldType::I64 => ValueKind::Int,
+            FieldType::F64 => ValueKind::Float,
+            FieldType::Bool => ValueKind::Bool,
+            FieldType::Str => ValueKind::Str,
+        }
+    }
 }
 
 /// Monotonicity annotation on a stream attribute.

@@ -114,10 +114,7 @@ mod tests {
     use crate::schema::{Field, FieldType};
 
     fn schema() -> Schema {
-        Schema::new(
-            "T",
-            vec![Field::new("a", FieldType::U64), Field::new("b", FieldType::Str)],
-        )
+        Schema::new("T", vec![Field::new("a", FieldType::U64), Field::new("b", FieldType::Str)])
     }
 
     fn t(vals: Vec<Value>) -> Tuple {

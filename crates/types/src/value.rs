@@ -12,6 +12,76 @@ use std::sync::Arc;
 
 use crate::error::TypeError;
 
+/// Coarse static type of an expression, used by signature metadata and
+/// the query analyzer. This is the compile-time counterpart of
+/// [`Value::kind`]: `UInt`/`Int`/`Float` map one-to-one onto the
+/// runtime variants, while `Num` ("some numeric kind") and `Any`
+/// describe polymorphic positions such as `UMAX`'s result or an
+/// unresolvable column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// Statically [`Value::Null`].
+    Null,
+    /// Boolean.
+    Bool,
+    /// Unsigned 64-bit integer.
+    UInt,
+    /// Signed 64-bit integer.
+    Int,
+    /// Double-precision float.
+    Float,
+    /// String.
+    Str,
+    /// Some numeric kind (`UInt`, `Int`, or `Float`), not known which.
+    Num,
+    /// Statically unknown.
+    Any,
+}
+
+impl ValueKind {
+    /// `true` if values of this kind participate in arithmetic.
+    /// `Any`/`Null` pass: they may turn out numeric at runtime.
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, ValueKind::Str)
+    }
+
+    /// Least upper bound of two kinds: the static type of an
+    /// expression that may produce either (e.g. the two sides of a
+    /// numeric promotion).
+    pub fn unify(self, other: ValueKind) -> ValueKind {
+        use ValueKind::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Null, k) | (k, Null) => k,
+            (Any, _) | (_, Any) => Any,
+            (Float, k) | (k, Float) if k.is_numeric() => Float,
+            (a, b) if a.is_numeric() && b.is_numeric() => Num,
+            _ => Any,
+        }
+    }
+
+    /// Short lowercase name, matching [`Value::kind`] where the kinds
+    /// coincide.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::Null => "null",
+            ValueKind::Bool => "bool",
+            ValueKind::UInt => "u64",
+            ValueKind::Int => "i64",
+            ValueKind::Float => "f64",
+            ValueKind::Str => "str",
+            ValueKind::Num => "numeric",
+            ValueKind::Any => "any",
+        }
+    }
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A dynamically typed scalar value.
 ///
 /// Arithmetic follows SQL-ish numeric promotion: `U64 op U64 -> U64`
@@ -43,6 +113,18 @@ impl Value {
             Value::I64(_) => "i64",
             Value::F64(_) => "f64",
             Value::Str(_) => "str",
+        }
+    }
+
+    /// The static [`ValueKind`] of this value.
+    pub fn value_kind(&self) -> ValueKind {
+        match self {
+            Value::Null => ValueKind::Null,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::U64(_) => ValueKind::UInt,
+            Value::I64(_) => ValueKind::Int,
+            Value::F64(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
         }
     }
 
@@ -447,6 +529,21 @@ mod tests {
         assert_eq!(Value::U64(42).to_string(), "42");
         assert_eq!(Value::I64(-1).to_string(), "-1");
         assert_eq!(Value::str("x").to_string(), "x");
+    }
+
+    #[test]
+    fn value_kind_lattice() {
+        use ValueKind::*;
+        assert_eq!(Value::U64(1).value_kind(), UInt);
+        assert_eq!(Value::F64(1.0).value_kind(), Float);
+        assert_eq!(UInt.unify(UInt), UInt);
+        assert_eq!(UInt.unify(Float), Float);
+        assert_eq!(UInt.unify(Int), Num);
+        assert_eq!(Null.unify(Str), Str);
+        assert_eq!(Str.unify(UInt), Any);
+        assert!(UInt.is_numeric());
+        assert!(!Str.is_numeric());
+        assert!(Any.is_numeric(), "unknown kinds may be numeric at runtime");
     }
 
     #[test]

@@ -41,8 +41,7 @@ fn main() {
 
     // Stage 3: per-window totals over the sampled flows.
     let sampled_schema = sampled.spec().output_schema("SAMPLED");
-    let report_query =
-        "SELECT tb3, count(*), sum(adj_len) FROM SAMPLED GROUP BY tb2/1 as tb3";
+    let report_query = "SELECT tb3, count(*), sum(adj_len) FROM SAMPLED GROUP BY tb2/1 as tb3";
     let parsed = parse_query(report_query).expect("report parses");
     let report_op = SamplingOperator::new(
         stream_sampler::query::plan(&parsed, &sampled_schema, &PlannerConfig::empty())

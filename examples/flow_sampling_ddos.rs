@@ -90,7 +90,10 @@ fn main() {
 
     println!("\nper-window byte volume, naive (exact) vs sampled (estimate);");
     println!("(the first window is the threshold bootstrap — see the note above)");
-    println!("{:<8} {:>8} {:>14} {:>14} {:>7}", "window", "flows", "exact bytes", "estimated", "err%");
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>7}",
+        "window", "flows", "exact bytes", "estimated", "err%"
+    );
     for (nw, sw) in naive_windows.iter().zip(&sampled_windows) {
         let exact: u64 = nw.rows.iter().map(|r| r.get(3).as_u64().unwrap()).sum();
         let est: f64 = sw.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();

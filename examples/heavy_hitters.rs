@@ -38,7 +38,11 @@ fn main() {
 
     for w in &windows {
         let tb = w.window.get(0).as_u64().unwrap();
-        println!("\nwindow {tb}: {} heavy hitters, {} cleaning phases", w.rows.len(), w.stats.cleaning_phases);
+        println!(
+            "\nwindow {tb}: {} heavy hitters, {} cleaning phases",
+            w.rows.len(),
+            w.stats.cleaning_phases
+        );
         let mut rows: Vec<_> = w.rows.iter().collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.get(3).as_u64().unwrap()));
         println!("{:<18} {:>12} {:>10} {:>10}", "destIP", "bytes", "pkts~", "pkts exact");

@@ -42,14 +42,7 @@ fn main() {
         let estimate: f64 = w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
         let actual = *truth.get(&tb).unwrap_or(&0) as f64;
         let err = if actual > 0.0 { 100.0 * (estimate - actual) / actual } else { 0.0 };
-        println!(
-            "{:<6} {:>9} {:>14.0} {:>14.0} {:>6.2}%",
-            tb,
-            w.rows.len(),
-            estimate,
-            actual,
-            err
-        );
+        println!("{:<6} {:>9} {:>14.0} {:>14.0} {:>6.2}%", tb, w.rows.len(), estimate, actual, err);
     }
 
     // Show a few sampled packets from the last window.

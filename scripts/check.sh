@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo hygiene gate: formatting, lints, tests. Run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "All checks passed."

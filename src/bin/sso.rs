@@ -9,6 +9,8 @@
 //!      CLEANING BY count(*) + first(current_bucket()) > current_bucket()"
 //!
 //! sso --explain "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKT ..."
+//!
+//! sso check queries.sql        # static analysis only; exits 1 on errors
 //! ```
 //!
 //! Options:
@@ -20,9 +22,20 @@
 //!   --limit R                         print at most R rows per window (default 20)
 //!   --explain                         print the plan instead of running
 //!   --json                            machine-readable window output
+//!
+//! `sso check FILE` runs the static analyzer over every `;`-separated
+//! query in FILE without executing anything, printing rustc-style
+//! diagnostics with stable codes (E001.., W001..). A query whose FROM
+//! names something other than a base stream (PKT/PKTS/TCP/UDP) is
+//! treated as the high level of a Gigascope cascade: it is checked
+//! against the previous query's output schema, and the pair gets the
+//! partial-aggregation push-down lint (W101).
+
+use std::io::Write;
 
 use stream_sampler::prelude::*;
 use stream_sampler::query::explain::explain;
+use stream_sampler::query::{diag, Span};
 
 struct Options {
     feed: String,
@@ -39,9 +52,111 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: sso [--feed research|datacenter|ddos] [--trace FILE] [--dump FILE] \
-         [--seconds N] [--seed S] [--limit R] [--explain] [--json] 'QUERY'"
+         [--seconds N] [--seed S] [--limit R] [--explain] [--json] 'QUERY'\n\
+         \x20      sso check QUERY-FILE"
     );
     std::process::exit(2);
+}
+
+/// Split a query file into `;`-separated statements, skipping blanks.
+/// Returns (byte offset of statement start, statement text) pairs so
+/// diagnostics can be re-based onto the whole file.
+fn split_statements(text: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\'' => in_string = !in_string,
+            ';' if !in_string => {
+                out.push((start, &text[start..i]));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push((start, &text[start..]));
+    out.retain(|(_, s)| !s.trim().is_empty());
+    out
+}
+
+/// `sso check FILE`: statically analyze every query in FILE, printing
+/// rustc-style diagnostics. Exits 0 when clean (warnings allowed), 1
+/// when any query has errors, 2 on usage or I/O problems.
+fn run_check(args: &[String]) -> ! {
+    let [path] = args else {
+        eprintln!("usage: sso check QUERY-FILE");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let statements = split_statements(&text);
+    if statements.is_empty() {
+        eprintln!("error: {path} contains no queries");
+        std::process::exit(2);
+    }
+
+    let config = PlannerConfig::standard();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    // Consecutive queries form a cascade: each one runs over the
+    // previous operator's output rows.
+    let mut prev: Option<(stream_sampler::query::Query, stream_sampler::operator::OperatorSpec)> =
+        None;
+    for (base, stmt) in statements {
+        let mut diags;
+        let mut next = None;
+        match parse_query(stmt) {
+            Ok(q) => {
+                // A conventional base-stream name starts a fresh
+                // pipeline; any other FROM name reads the previous
+                // query's output (Gigascope highs read a named low).
+                let base_stream = matches!(q.from.text.as_str(), "PKT" | "PKTS" | "TCP" | "UDP");
+                let schema = match &prev {
+                    Some((_, spec)) if !base_stream => spec.output_schema(&q.from.text),
+                    _ => Packet::schema(),
+                };
+                diags = stream_sampler::query::analyze(&q, &schema, &config);
+                if let Some((prev_q, _)) = &prev {
+                    if !base_stream {
+                        diags.extend(stream_sampler::gigascope::check_pushdown(prev_q, &q));
+                    }
+                }
+                if !diag::has_errors(&diags) {
+                    if let Ok(spec) = stream_sampler::query::plan(&q, &schema, &config) {
+                        next = Some((q, spec));
+                    }
+                }
+            }
+            // Re-run through check() to get the E100/E101 diagnostic
+            // form of lex/parse failures.
+            Err(_) => diags = stream_sampler::query::check(stmt, &Packet::schema(), &config),
+        }
+        errors += diags.iter().filter(|d| d.is_error()).count();
+        warnings += diags.iter().filter(|d| !d.is_error()).count();
+        // Re-base spans from the statement onto the whole file so line
+        // numbers match the file the user is editing.
+        for d in &mut diags {
+            if !d.span.is_dummy() {
+                d.span = Span::new(d.span.start + base, d.span.end + base);
+            }
+        }
+        // Ignore write errors so `sso check | head` exits quietly on a
+        // closed pipe instead of panicking.
+        let mut out = std::io::stdout().lock();
+        for d in &diags {
+            let _ = writeln!(out, "{}", diag::render_one(&text, path, d));
+        }
+        prev = next;
+    }
+    let mut out = std::io::stdout().lock();
+    let _ = match (errors, warnings) {
+        (0, 0) => writeln!(out, "{path}: no problems found"),
+        (e, w) => writeln!(out, "{path}: {e} error(s), {w} warning(s)"),
+    };
+    std::process::exit(if errors > 0 { 1 } else { 0 });
 }
 
 fn parse_args() -> Options {
@@ -63,15 +178,13 @@ fn parse_args() -> Options {
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--dump" => opts.dump = Some(args.next().unwrap_or_else(|| usage())),
             "--seconds" => {
-                opts.seconds =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.seconds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--seed" => {
                 opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--limit" => {
-                opts.limit =
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                opts.limit = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--explain" => opts.explain = true,
             "--json" => opts.json = true,
@@ -87,6 +200,10 @@ fn parse_args() -> Options {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("check") {
+        run_check(&argv[1..]);
+    }
     let opts = parse_args();
     let query_text = opts.query.as_deref().expect("query checked in parse_args");
 
@@ -119,9 +236,10 @@ fn main() {
     };
 
     let packets = if let Some(path) = &opts.trace {
-        match std::fs::File::open(path).map_err(Into::into).and_then(|f| {
-            stream_sampler::netgen::read_trace(f)
-        }) {
+        match std::fs::File::open(path)
+            .map_err(Into::into)
+            .and_then(stream_sampler::netgen::read_trace)
+        {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -145,7 +263,8 @@ fn main() {
             eprintln!("error: cannot create {path}: {e}");
             std::process::exit(1);
         });
-        if let Err(e) = stream_sampler::netgen::write_trace(&packets, std::io::BufWriter::new(file)) {
+        if let Err(e) = stream_sampler::netgen::write_trace(&packets, std::io::BufWriter::new(file))
+        {
             eprintln!("error: writing {path}: {e}");
             std::process::exit(1);
         }
@@ -195,20 +314,18 @@ fn print_window(
 ) -> u64 {
     if opts.json {
         // One JSON object per window, rows as arrays of strings.
-        let rows: Vec<Vec<String>> = w
-            .rows
-            .iter()
-            .map(|r| r.values().iter().map(|v| v.to_string()).collect())
-            .collect();
-        println!(
-            "{}",
-            serde_json_lite(&w.window.to_string(), columns, &rows, &w.stats)
-        );
+        let rows: Vec<Vec<String>> =
+            w.rows.iter().map(|r| r.values().iter().map(|v| v.to_string()).collect()).collect();
+        println!("{}", serde_json_lite(&w.window.to_string(), columns, &rows, &w.stats));
         return w.rows.len() as u64;
     }
     println!(
         "\n== window {} ({} tuples in, {} admitted, {} cleaning phases, {} rows) ==",
-        w.window, w.stats.tuples, w.stats.admitted, w.stats.cleaning_phases, w.rows.len()
+        w.window,
+        w.stats.tuples,
+        w.stats.admitted,
+        w.stats.cleaning_phases,
+        w.rows.len()
     );
     println!("{}", columns.join("\t"));
     for row in w.rows.iter().take(opts.limit) {

@@ -30,7 +30,11 @@ fn square_wave(windows: u64, window_secs: u64, busy_pps: u64, quiet_pps: u64) ->
     out
 }
 
-fn run_subset_sum(cfg: SubsetSumOpConfig, packets: &[Packet], window_secs: u64) -> Vec<(u64, f64, usize, u64)> {
+fn run_subset_sum(
+    cfg: SubsetSumOpConfig,
+    packets: &[Packet],
+    window_secs: u64,
+) -> Vec<(u64, f64, usize, u64)> {
     let spec = queries::subset_sum_query(window_secs, cfg, true).unwrap();
     let mut op = SamplingOperator::new(spec).unwrap();
     let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
@@ -40,8 +44,7 @@ fn run_subset_sum(cfg: SubsetSumOpConfig, packets: &[Packet], window_secs: u64) 
         .map(|w| {
             let tb = w.window.get(0).as_u64().unwrap();
             let est: f64 = w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
-            let cleanings =
-                w.rows.first().map(|r| r.get(4).as_u64().unwrap()).unwrap_or(0);
+            let cleanings = w.rows.first().map(|r| r.get(4).as_u64().unwrap()).unwrap_or(0);
             (tb, est, w.rows.len(), cleanings)
         })
         .collect()
@@ -82,10 +85,7 @@ fn non_relaxed_undersamples_quiet_windows_relaxed_does_not() {
     let nr_ratio = nr_est / nr_truth;
     let rx_ratio = rx_est / rx_truth;
     assert!(nr_ratio < 0.9, "non-relaxed should under-estimate: ratio {nr_ratio:.3}");
-    assert!(
-        (0.9..1.1).contains(&rx_ratio),
-        "relaxed should track the truth: ratio {rx_ratio:.3}"
-    );
+    assert!((0.9..1.1).contains(&rx_ratio), "relaxed should track the truth: ratio {rx_ratio:.3}");
 
     // Figure 3's shape: non-relaxed collects far fewer than N samples on
     // quiet windows; relaxed stays near N.
@@ -232,7 +232,6 @@ fn state_does_not_leak_across_a_gap_of_supergroup_absence() {
     // sample count is near the bootstrap pattern (cleanings ran), and
     // processing succeeded at all (no stale-state panic).
     let w2 = &windows[2];
-    let src2_rows =
-        w2.rows.iter().filter(|r| r.get(1) == &Value::U64(2)).count();
+    let src2_rows = w2.rows.iter().filter(|r| r.get(1) == &Value::U64(2)).count();
     assert!(src2_rows > 0, "source 2 must be sampled again in window 2");
 }

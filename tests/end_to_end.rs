@@ -47,7 +47,7 @@ fn subset_sum_subset_queries_are_estimable() {
     let query = "
         SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
         FROM PKT
-        WHERE ssample(len, 1000) = TRUE
+        WHERE ssample(len, 2000) = TRUE
         GROUP BY time/30 as tb, srcIP, destIP, uts
         HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
         CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
@@ -71,10 +71,7 @@ fn subset_sum_subset_queries_are_estimable() {
     for (dest, &actual) in biggest.into_iter().take(5) {
         let e = est.get(dest).copied().unwrap_or(0.0);
         let rel = (e - actual as f64).abs() / actual as f64;
-        assert!(
-            rel < 0.35,
-            "dest {dest}: estimate {e:.0} vs {actual} (rel {rel:.3})"
-        );
+        assert!(rel < 0.35, "dest {dest}: estimate {e:.0} vs {actual} (rel {rel:.3})");
     }
 }
 
@@ -91,11 +88,8 @@ fn heavy_hitter_query_agrees_with_lossy_counter_reference() {
     let mut op = compile(query, &Packet::schema(), &PlannerConfig::standard()).unwrap();
     let windows = op.run(tuples_of(&packets).iter()).unwrap();
     let w = &windows[0];
-    let op_counts: HashMap<u64, u64> = w
-        .rows
-        .iter()
-        .map(|r| (r.get(1).as_u64().unwrap(), r.get(3).as_u64().unwrap()))
-        .collect();
+    let op_counts: HashMap<u64, u64> =
+        w.rows.iter().map(|r| (r.get(1).as_u64().unwrap(), r.get(3).as_u64().unwrap())).collect();
 
     // Reference sketch over the same stream (same epsilon = 1/1000).
     let mut reference = LossyCounter::new(0.001);
@@ -147,7 +141,10 @@ fn minhash_query_matches_kmv_reference_signature() {
     // Reference KMV per source (same hash function).
     let mut ref_sigs: HashMap<u64, KmvSketch> = HashMap::new();
     for p in &packets {
-        ref_sigs.entry(p.src_ip as u64).or_insert_with(|| KmvSketch::new(K)).insert(p.dest_ip as u64);
+        ref_sigs
+            .entry(p.src_ip as u64)
+            .or_insert_with(|| KmvSketch::new(K))
+            .insert(p.dest_ip as u64);
     }
 
     assert!(!op_sigs.is_empty());
@@ -250,11 +247,9 @@ fn threaded_and_single_threaded_plans_agree_on_text_queries() {
     let single =
         run_plan(TwoLevelPlan::new(Box::new(SelectionNode::pass_all()), make()), packets.clone())
             .unwrap();
-    let threaded = run_plan_threaded(
-        TwoLevelPlan::new(Box::new(SelectionNode::pass_all()), make()),
-        packets,
-    )
-    .unwrap();
+    let threaded =
+        run_plan_threaded(TwoLevelPlan::new(Box::new(SelectionNode::pass_all()), make()), packets)
+            .unwrap();
     assert_eq!(single.windows.len(), threaded.windows.len());
     for (a, b) in single.windows.iter().zip(&threaded.windows) {
         assert_eq!(a.rows, b.rows);

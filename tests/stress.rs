@@ -15,8 +15,7 @@ fn subset_sum_survives_minutes_of_datacenter_load() {
     let n = packets.len();
     assert!(n > 1_900_000, "feed should be ~2M packets: {n}");
     let cfg = SubsetSumOpConfig { target: 1000, initial_z: 100.0, ..Default::default() };
-    let mut op =
-        SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
+    let mut op = SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
     let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
 
     let t0 = Instant::now();
@@ -118,8 +117,7 @@ fn operator_is_reusable_across_hundreds_of_windows() {
         }
     }
     let cfg = SubsetSumOpConfig { target: 10, initial_z: 1.0, ..Default::default() };
-    let mut op =
-        SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
+    let mut op = SamplingOperator::new(queries::subset_sum_query(1, cfg, false).unwrap()).unwrap();
     let tuples: Vec<Tuple> = packets.iter().map(|p| p.to_tuple()).collect();
     let outs = op.run(tuples.iter()).unwrap();
     assert_eq!(outs.len(), 600);

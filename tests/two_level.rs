@@ -11,11 +11,7 @@ fn subset_sum_operator(target: usize, window_secs: u64, initial_z: f64) -> Sampl
 }
 
 fn window_estimates(report: &stream_sampler::gigascope::RunReport) -> Vec<f64> {
-    report
-        .windows
-        .iter()
-        .map(|w| w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum())
-        .collect()
+    report.windows.iter().map(|w| w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum()).collect()
 }
 
 #[test]
@@ -54,10 +50,8 @@ fn prefilter_plan_reduces_flow_but_preserves_estimates() {
     );
 
     // Both plans still estimate the window volumes.
-    for (i, (ea, eb)) in window_estimates(&report_a)
-        .iter()
-        .zip(window_estimates(&report_b).iter())
-        .enumerate()
+    for (i, (ea, eb)) in
+        window_estimates(&report_a).iter().zip(window_estimates(&report_b).iter()).enumerate()
     {
         let actual = truth[i] as f64;
         let rel_a = (ea - actual).abs() / actual;
@@ -122,11 +116,7 @@ fn low_level_selection_can_implement_protocol_filters() {
         SamplingOperator::new(queries::total_sum_query(100)).unwrap(),
     );
     let report = run_plan(plan, packets).unwrap();
-    let total: u64 = report
-        .windows
-        .iter()
-        .flat_map(|w| &w.rows)
-        .map(|r| r.get(1).as_u64().unwrap())
-        .sum();
+    let total: u64 =
+        report.windows.iter().flat_map(|w| &w.rows).map(|r| r.get(1).as_u64().unwrap()).sum();
     assert_eq!(total, tcp_truth);
 }

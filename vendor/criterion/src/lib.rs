@@ -1,0 +1,233 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `Criterion::benchmark_group`, `Throughput::Elements`,
+//! `sample_size`, `bench_function`, `BenchmarkId::from_parameter`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros — over a plain wall-clock sampler. No statistics engine, no
+//! HTML reports: each benchmark warms up briefly, takes `sample_size`
+//! timed samples, and prints min/median plus derived throughput.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Read the benchmark-name filter from the command line (any
+    /// non-flag argument, as upstream does).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 10 }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// Units processed per iteration, for derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (tuples, packets, keys) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Name a benchmark after a parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work size used to derive throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher { samples: Vec::new(), budget: self.sample_size };
+        f(&mut bencher);
+        report(&full_name, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the stub prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Hands the benchmark routine to the timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over `sample_size` samples (plus one warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.budget {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mut line = format!("{name}: min {}  median {}", fmt_duration(min), fmt_duration(median));
+    match throughput {
+        Some(Throughput::Elements(n)) if !median.is_zero() => {
+            let rate = n as f64 / median.as_secs_f64();
+            line.push_str(&format!("  ({} elem/s)", fmt_rate(rate)));
+        }
+        Some(Throughput::Bytes(n)) if !median.is_zero() => {
+            let rate = n as f64 / median.as_secs_f64();
+            line.push_str(&format!("  ({} B/s)", fmt_rate(rate)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+/// Bundle benchmark functions under one group name (same shape as
+/// upstream's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline drop-in subset of `crossbeam`: only `channel::bounded`,
+//! implemented over `std::sync::mpsc::sync_channel`. The workspace uses
+//! the channel as a single-producer/single-consumer ring between the
+//! low-level node thread and the sampling operator thread, which the
+//! std sync channel models exactly (blocking `send` when full,
+//! `Err` on disconnect).
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is enqueued; `Err` if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; `Err` once all senders are gone
+        /// and the buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter(self)
+        }
+    }
+
+    /// Draining iterator over a receiver.
+    pub struct IntoIter<T>(Receiver<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    /// A bounded channel with capacity `cap` (minimum 1: a rendezvous
+    /// channel would deadlock a producer that also polls).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_round_trips() {
+        let (tx, rx) = channel::bounded::<u64>(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100u64 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+            assert!(rx.recv().is_err());
+        });
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::bounded::<u64>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

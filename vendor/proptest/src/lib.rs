@@ -1,0 +1,644 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros, the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_filter`, `prop_recursive` and tuple composition,
+//! `collection::vec`, `bool::ANY`, `any::<T>()`, integer/float range
+//! strategies, and a small regex-subset strategy for `&str` patterns
+//! (char classes, `\PC`, and `{m,n}` repeats).
+//!
+//! Semantics differ from upstream in two deliberate ways: generation is
+//! **deterministic** (seeded per test name would require unstable
+//! hooks, so a fixed seed stream is used; set `PROPTEST_CASES` to vary
+//! the case count) and failing cases are **not shrunk** — the failing
+//! input is simply reported via the assertion message.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// The RNG handed to strategies (vendored deterministic StdRng).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A value generator. Upstream proptest separates strategies from
+    /// value trees to support shrinking; this stub generates directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values satisfying `pred`. Aborts (panics) if the
+        /// predicate rejects too often, mirroring upstream's global
+        /// rejection limit.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason: reason.into(), pred }
+        }
+
+        /// Build recursive structures: up to `depth` levels of the
+        /// strategy produced by `branch` applied over this leaf.
+        /// (`_desired_size` and `_expected_branch` shape upstream's
+        /// probability schedule; the stub branches 50/50 per level.)
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                strat = Union::new(vec![leaf.clone(), branch(strat).boxed()]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erase into a clonable boxed strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe view of a strategy (used by [`BoxedStrategy`]).
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Always the same value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// `prop_filter` adapter (rejection sampling with a retry cap).
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("proptest filter rejected 1000 candidates in a row: {}", self.reason);
+        }
+    }
+
+    /// Uniform choice among strategies of a common value type
+    /// (what `prop_oneof!` builds).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given arms; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    // String strategies from a regex subset: literals, `[...]` classes
+    // with ranges, `\PC` (any printable char), each optionally followed
+    // by a `{m,n}` repeat count.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    enum PatElem {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Printable,
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        use rand::Rng;
+        let elems = parse_pattern(pattern);
+        let mut out = String::new();
+        for (elem, (lo, hi)) in &elems {
+            let n = if lo == hi { *lo } else { rng.gen_range(*lo..=*hi) };
+            for _ in 0..n {
+                out.push(sample_elem(elem, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_elem(elem: &PatElem, rng: &mut TestRng) -> char {
+        use rand::Rng;
+        match elem {
+            PatElem::Literal(c) => *c,
+            PatElem::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+            }
+            PatElem::Printable => {
+                // Mostly ASCII printable; sometimes multi-byte chars so
+                // byte-offset handling gets exercised.
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+                } else {
+                    const EXOTIC: &[char] = &['é', 'λ', '≤', '→', '߷', '🦀'];
+                    EXOTIC[rng.gen_range(0..EXOTIC.len())]
+                }
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(PatElem, (usize, usize))> {
+        let mut chars = pattern.chars().peekable();
+        let mut elems = Vec::new();
+        while let Some(c) = chars.next() {
+            let elem = match c {
+                '\\' => match (chars.next(), chars.peek().copied()) {
+                    (Some('P'), Some('C')) => {
+                        chars.next();
+                        PatElem::Printable
+                    }
+                    (Some(esc), _) => PatElem::Literal(esc),
+                    (None, _) => PatElem::Literal('\\'),
+                },
+                '[' => {
+                    let mut ranges = Vec::new();
+                    while let Some(&m) = chars.peek() {
+                        if m == ']' {
+                            chars.next();
+                            break;
+                        }
+                        let lo = chars.next().unwrap();
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().unwrap_or(lo);
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty char class in pattern {pattern:?}");
+                    PatElem::Class(ranges)
+                }
+                c => PatElem::Literal(c),
+            };
+            let count = if chars.peek() == Some(&'{') {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                    None => {
+                        let n = body.trim().parse().unwrap();
+                        (n, n)
+                    }
+                };
+                (lo, hi)
+            } else if chars.peek() == Some(&'*') {
+                chars.next();
+                (0, 8)
+            } else if chars.peek() == Some(&'+') {
+                chars.next();
+                (1, 8)
+            } else {
+                (1, 1)
+            };
+            elems.push((elem, count));
+        }
+        elems
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            use rand::Rng;
+            rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `Vec`s of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy for arbitrary booleans.
+    pub struct BoolAny;
+
+    /// Any boolean, 50/50.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            use rand::Rng;
+            rng.gen()
+        }
+    }
+}
+
+/// Test-case driver.
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (subset of upstream's many knobs).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for struct-update compatibility; unused (the stub
+        /// never shrinks).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+            ProptestConfig { cases, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Run `body` for `config.cases` deterministic cases; panic (fail
+    /// the test) on the first `Err`.
+    pub fn run_cases<F>(config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        for case in 0..config.cases {
+            let mut rng =
+                TestRng::seed_from_u64(0x5eed_cafe_u64.wrapping_add(0x9E37_79B9 * case as u64));
+            if let Err(msg) = body(&mut rng) {
+                panic!("proptest case {case}/{} failed: {msg}", config.cases);
+            }
+        }
+    }
+}
+
+/// The usual glob import: strategies, config, `any`, and the macros.
+pub mod prelude {
+    pub use crate::strategy::{Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(&__config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body Ok(()) })();
+                __outcome
+            });
+        }
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+}
+
+/// Fallible assertion inside `proptest!` bodies: fails the case (not
+/// the process) so the runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fallible equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n {}",
+                __l, __r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_identifier_shape() {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::SeedableRng;
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-zA-Z_][a-zA-Z0-9_]{0,10}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "bad first char in {s:?}");
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'), "bad tail in {s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern_is_bounded() {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::SeedableRng;
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = "\\PC{0,200}".sample(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Ranges, tuples, vec, filter, map and oneof all compose.
+        #[test]
+        fn combinators_compose(
+            (a, b) in (0u64..10, 5usize..8),
+            v in crate::collection::vec(1u64..100, 2..6),
+            flag in crate::bool::ANY,
+            pick in prop_oneof![Just(1u64), (10u64..20), Just(3u64)],
+            n in (0u64..100).prop_filter("even", |n| n % 2 == 0).prop_map(|n| n + 1),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((5..8).contains(&b));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(flag || !flag);
+            prop_assert!(pick == 1 || pick == 3 || (10..20).contains(&pick));
+            prop_assert_eq!(n % 2, 1, "filter+map should make {} odd", n);
+        }
+
+        /// prop_recursive terminates and produces both leaves and branches.
+        #[test]
+        fn recursive_strategies_terminate(depth in 0usize..64) {
+            #[derive(Debug, Clone, PartialEq)]
+            enum Tree { Leaf(u64), Node(Vec<Tree>) }
+            fn depth_of(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(kids) => 1 + kids.iter().map(depth_of).max().unwrap_or(0),
+                }
+            }
+            let strat = (0u64..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+            use crate::strategy::{Strategy, TestRng};
+            use rand::SeedableRng;
+            let mut rng = TestRng::seed_from_u64(depth as u64);
+            let t = strat.sample(&mut rng);
+            prop_assert!(depth_of(&t) <= 4, "tree too deep: {:?}", t);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the slice of `rand` the workspace actually uses: the [`Rng`] and
+//! [`SeedableRng`] traits, [`rngs::StdRng`], uniform `gen_range` over
+//! integer/float ranges, `gen` for primitives, and `gen_bool`.
+//!
+//! The generator is xoshiro256** seeded via splitmix64 — deterministic
+//! for a given seed, statistically solid for the simulation and
+//! property tests in this workspace. It is NOT the upstream `StdRng`
+//! stream (ChaCha12), so seeds reproduce within this workspace only.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen` can produce (stand-in for the `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Draw a uniform value from the generator.
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+/// The raw 64-bit source every distribution draws from.
+pub trait RngCore {
+    /// The next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generator methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform random value of a primitive type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in the given range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generators bundled with the crate.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (offline stand-in for the
+    /// upstream `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = super::splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut dyn RngCore) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut dyn RngCore) -> f64 {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(rng: &mut dyn RngCore) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Rejection-free (modulo-bias-free) draw in `[0, n)` via Lemire's
+/// method with a widening multiply.
+fn uniform_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let low = m as u64;
+        if low >= n.wrapping_neg() % n {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(40..1500u64);
+            assert!((40..1500).contains(&v));
+            let w: u16 = rng.gen_range(1024..=u16::MAX);
+            assert!(w >= 1024);
+            let f = rng.gen_range(41.0..1500.0);
+            assert!((41.0..1500.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_float_and_bool() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut heads = 0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            if rng.gen_bool(0.5) {
+                heads += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&heads), "gen_bool(0.5) gave {heads}/10000");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16_000 {
+            buckets[rng.gen_range(0..16usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((700..1300).contains(&b), "bucket {i}: {b}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! Upstream serde separates data model from format; this workspace only
+//! ever serializes plain structs of primitives to JSON, so the stub
+//! collapses the two: [`Serialize`] writes JSON directly and
+//! `serde_json` is a thin wrapper over it. The `serde_derive` proc
+//! macro (re-exported here, as upstream does with the `derive`
+//! feature) emits `write_json` for named-field structs.
+
+// Lets the derive macro's `::serde::...` expansion resolve inside this
+// crate's own tests as well as in downstream crates.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A value that can render itself as JSON.
+pub trait Serialize {
+    /// Append this value's JSON to `out`. `indent` is the current
+    /// pretty-printing depth (two spaces per level).
+    fn write_json(&self, out: &mut String, indent: usize);
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        if self.is_finite() {
+            // Always carry a decimal point so the value reads back as
+            // a float (matches serde_json's behavior for f64).
+            let s = self.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (*self as f64).write_json(out, indent);
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.write_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            push_indent(out, indent + 1);
+            item.write_json(out, indent + 1);
+        }
+        out.push('\n');
+        push_indent(out, indent);
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().write_json(out, indent);
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Support code the derive macro expands against.
+pub mod ser {
+    use super::{push_indent, write_json_string, Serialize};
+
+    /// Emit a JSON object from `(name, value)` pairs; used by the
+    /// derived `Serialize` impls.
+    pub fn write_struct(out: &mut String, indent: usize, fields: &[(&str, &dyn Serialize)]) {
+        if fields.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push('{');
+        for (i, (name, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            push_indent(out, indent + 1);
+            write_json_string(out, name);
+            out.push_str(": ");
+            value.write_json(out, indent + 1);
+        }
+        out.push('\n');
+        push_indent(out, indent);
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn json<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut out = String::new();
+        v.write_json(&mut out, 0);
+        out
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&42u64), "42");
+        assert_eq!(json(&-3i64), "-3");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&2.0f64), "2.0");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn vec_pretty_prints() {
+        assert_eq!(json(&Vec::<u64>::new()), "[]");
+        assert_eq!(json(&vec![1u64, 2]), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn derived_struct() {
+        #[derive(crate::Serialize)]
+        struct Row {
+            tb: u64,
+            err: f64,
+            name: &'static str,
+        }
+        let row = Row { tb: 7, err: 0.25, name: "x" };
+        assert_eq!(json(&row), "{\n  \"tb\": 7,\n  \"err\": 0.25,\n  \"name\": \"x\"\n}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the stub `serde::Serialize` (a direct JSON writer) for
+//! structs with named fields — the only shape this workspace derives.
+//! The input is parsed with plain `proc_macro` tokens (no syn/quote,
+//! since the registry is unreachable): we scan for the struct name,
+//! then walk the brace group collecting the ident before each
+//! top-level `:`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let field_pairs: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\", &self.{f} as &dyn ::serde::Serialize),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut String, indent: usize) {{\n\
+                 ::serde::ser::write_struct(out, indent, &[{field_pairs}]);\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derived Serialize impl tokenizes")
+}
+
+/// Extract the struct name and its named-field idents.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(i) if i.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive(Serialize): input is not a struct");
+    // The next brace group holds the fields; anything else (tuple or
+    // unit struct, generics) is out of scope for the stub.
+    for tt in tokens {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return (name, field_names(g.stream()));
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive(Serialize): generic structs are not supported by the offline stub")
+            }
+            _ => {}
+        }
+    }
+    panic!("derive(Serialize): only named-field structs are supported by the offline stub")
+}
+
+/// Field idents from a brace-group body: the ident right before each
+/// `:` at zero angle-bracket depth (so `Vec<u64>`-style types and
+/// `HashMap<K, V>` commas don't confuse the scan).
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut in_type = false;
+    let mut last_ident: Option<String> = None;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if !in_type && angle_depth == 0 => {
+                    // `::` only occurs inside type paths, never after a
+                    // field name; a lone `:` ends the name position.
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(q)) if q.as_char() == ':') {
+                        tokens.next();
+                    } else if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                        in_type = true;
+                    }
+                }
+                ',' if angle_depth == 0 => in_type = false,
+                '#' if !in_type => {
+                    tokens.next(); // field attribute group
+                }
+                _ => {}
+            },
+            TokenTree::Ident(i) if !in_type => {
+                let s = i.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            TokenTree::Group(_) | TokenTree::Ident(_) | TokenTree::Literal(_) => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,56 @@
+//! Offline drop-in subset of `serde_json`: pretty and compact string
+//! output over the stub `serde::Serialize` trait (which writes JSON
+//! directly, so this crate is a thin shim).
+
+use std::fmt;
+
+/// Serialization error. The stub writer is infallible, so this exists
+/// only to keep `serde_json`'s `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut out = String::new();
+    value.write_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Render a value as JSON. The stub always pretty-prints; output is
+/// valid JSON either way.
+pub fn to_string<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(serde::Serialize)]
+    struct Row {
+        n: usize,
+        pct: f64,
+    }
+
+    #[test]
+    fn pretty_prints_vec_of_structs() {
+        let rows = vec![Row { n: 1, pct: 50.0 }, Row { n: 2, pct: 0.5 }];
+        let json = super::to_string_pretty(&rows).unwrap();
+        assert_eq!(
+            json,
+            "[\n  {\n    \"n\": 1,\n    \"pct\": 50.0\n  },\n  {\n    \"n\": 2,\n    \"pct\": 0.5\n  }\n]"
+        );
+    }
+}
