@@ -1,0 +1,250 @@
+//! **Runtime scaling** — throughput of the sharded runtime vs the
+//! two-thread pipeline.
+//!
+//! The workload is the paper's dynamic subset-sum query (1000 samples
+//! per period) over a steady ~100k pkt/s data-center feed. The baseline
+//! is `run_plan_threaded` (one producer thread, one operator thread);
+//! against it we run `run_plan_sharded` at 1, 2, 4, and 8 shards and
+//! report wall-clock tuples/sec per configuration.
+//!
+//! Two correctness gates run alongside the timing:
+//!
+//! * **exact drift** — an exact per-window `sum(len)`/`count(*)` query
+//!   is run single-instance and 4-way sharded over the same packets;
+//!   any difference in any window is reported as drift (must be zero —
+//!   hash-partitioned groups are disjoint, so Concat/Combine merges are
+//!   exact).
+//! * **estimate sanity** — the subset-sum volume estimate at every
+//!   shard count must stay within a few percent of the true byte
+//!   volume, window by window (the merged sample is a valid threshold
+//!   sample, so its Horvitz-Thompson estimate stays unbiased).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use sso_bench::{header, maybe_json};
+use sso_core::libs::subset_sum::SubsetSumOpConfig;
+use sso_core::shard_plan;
+use sso_core::{queries, OpError, OperatorSpec, SamplingOperator, WindowOutput};
+use sso_gigascope::{
+    run_plan_sharded, run_plan_sharded_with, run_plan_threaded, SelectionNode, TwoLevelPlan,
+};
+use sso_netgen::datacenter_feed;
+use sso_runtime::RuntimeConfig;
+use sso_types::Packet;
+
+const SEED: u64 = 0x5ca1e;
+const SECONDS: u64 = 20;
+const WINDOW: u64 = 5;
+const TARGET: usize = 1000;
+const REPS: usize = 7;
+
+#[derive(serde::Serialize)]
+struct Config {
+    feed: &'static str,
+    seed: u64,
+    seconds: u64,
+    packets: usize,
+    window_secs: u64,
+    target_samples: usize,
+    reps: usize,
+}
+
+#[derive(serde::Serialize)]
+struct Run {
+    mode: String,
+    shards: usize,
+    secs: f64,
+    tuples_per_sec: f64,
+    speedup_vs_threaded: f64,
+    windows: usize,
+    stalls: u64,
+    dropped: u64,
+    max_estimate_err_pct: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    config: Config,
+    exact_drift_windows: usize,
+    runs: Vec<Run>,
+}
+
+fn spec(with: SubsetSumOpConfig) -> Result<OperatorSpec, OpError> {
+    queries::subset_sum_query(WINDOW, with, false)
+}
+
+fn ss_config() -> SubsetSumOpConfig {
+    SubsetSumOpConfig { target: TARGET, initial_z: 1.0, ..Default::default() }
+}
+
+/// Worst per-window relative error of the subset-sum volume estimate.
+fn max_estimate_err_pct(windows: &[WindowOutput], truth: &HashMap<u64, u64>) -> f64 {
+    windows
+        .iter()
+        .map(|w| {
+            let tb = w.window.get(0).as_u64().expect("tb");
+            let actual = truth.get(&tb).copied().unwrap_or(0) as f64;
+            let est: f64 = w.rows.iter().map(|r| r.get(3).as_f64().expect("adj")).sum();
+            if actual == 0.0 {
+                0.0
+            } else {
+                100.0 * (est - actual).abs() / actual
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Exact-query drift check: windows that differ between the single
+/// instance and the 4-way sharded run (must be none).
+fn exact_drift_windows(packets: &[Packet]) -> usize {
+    let single = run_plan_threaded(
+        TwoLevelPlan::new(
+            Box::new(SelectionNode::pass_all()),
+            SamplingOperator::new(queries::total_sum_query(WINDOW)).unwrap(),
+        ),
+        packets.iter().cloned(),
+    )
+    .expect("exact single run");
+    let sharded = run_plan_sharded(
+        Box::new(SelectionNode::pass_all()),
+        |_| Ok(queries::total_sum_query(WINDOW)),
+        &RuntimeConfig::new(4),
+        packets.iter().cloned(),
+    )
+    .expect("exact sharded run");
+    if single.windows.len() != sharded.windows.len() {
+        return single.windows.len().max(sharded.windows.len());
+    }
+    single
+        .windows
+        .iter()
+        .zip(&sharded.windows)
+        .filter(|(a, b)| a.window != b.window || a.rows != b.rows)
+        .count()
+}
+
+fn main() {
+    let packets = datacenter_feed(SEED).take_seconds(SECONDS);
+    let n = packets.len();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for p in &packets {
+        *truth.entry(p.time() / WINDOW).or_default() += p.len as u64;
+    }
+
+    if !sso_bench::json_mode() {
+        eprintln!("# {n} packets, {REPS} reps per configuration");
+    }
+
+    // Baseline: the two-thread pipeline (producer + one operator).
+    let mut base_secs = f64::INFINITY;
+    let mut base_windows = Vec::new();
+    for _ in 0..REPS {
+        let plan = TwoLevelPlan::new(
+            Box::new(SelectionNode::pass_all()),
+            SamplingOperator::new(spec(ss_config()).unwrap()).unwrap(),
+        );
+        let t0 = Instant::now();
+        let report = run_plan_threaded(plan, packets.iter().cloned()).expect("threaded run");
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < base_secs {
+            base_secs = secs;
+            base_windows = report.windows;
+        }
+    }
+    let base_tps = n as f64 / base_secs;
+
+    let mut runs = vec![Run {
+        mode: "threaded".into(),
+        shards: 1,
+        secs: base_secs,
+        tuples_per_sec: base_tps,
+        speedup_vs_threaded: 1.0,
+        windows: base_windows.len(),
+        stalls: 0,
+        dropped: 0,
+        max_estimate_err_pct: max_estimate_err_pct(&base_windows, &truth),
+    }];
+
+    // The plan is classified from the full-budget query (so the merge
+    // re-thresholds to the full 1000-sample target), while each shard
+    // samples with a 1000/shards budget: the union of per-partition
+    // threshold samples merged at the max shard threshold is the same
+    // estimator, and total sampling state stays shard-count-invariant.
+    let plan = shard_plan(&spec(ss_config()).unwrap()).expect("subset-sum is shard-mergeable");
+    for shards in [1usize, 2, 4, 8] {
+        let split = SubsetSumOpConfig {
+            target: TARGET.div_ceil(shards),
+            initial_z: 1.0,
+            ..Default::default()
+        };
+        let mut best: Option<(f64, sso_gigascope::ShardedRunReport)> = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let report = run_plan_sharded_with(
+                Box::new(SelectionNode::pass_all()),
+                &plan,
+                |_| spec(split.clone()),
+                &RuntimeConfig::new(shards),
+                packets.iter().cloned(),
+            )
+            .expect("sharded run");
+            let secs = t0.elapsed().as_secs_f64();
+            if best.as_ref().map(|(b, _)| secs < *b).unwrap_or(true) {
+                best = Some((secs, report));
+            }
+        }
+        let (secs, report) = best.expect("at least one rep");
+        runs.push(Run {
+            mode: "sharded".into(),
+            shards,
+            secs,
+            tuples_per_sec: n as f64 / secs,
+            speedup_vs_threaded: base_secs / secs,
+            windows: report.windows.len(),
+            stalls: report.shards.iter().map(|s| s.stalls).sum(),
+            dropped: report.dropped(),
+            max_estimate_err_pct: max_estimate_err_pct(&report.windows, &truth),
+        });
+    }
+
+    let report = Report {
+        config: Config {
+            feed: "datacenter",
+            seed: SEED,
+            seconds: SECONDS,
+            packets: n,
+            window_secs: WINDOW,
+            target_samples: TARGET,
+            reps: REPS,
+        },
+        exact_drift_windows: exact_drift_windows(&packets),
+        runs,
+    };
+
+    if maybe_json(&report) {
+        return;
+    }
+    header("Runtime scaling: dynamic subset-sum (1000 samples/period), data-center feed");
+    println!(
+        "{:>9} {:>7} {:>8} {:>12} {:>9} {:>8} {:>8} {:>10}",
+        "mode", "shards", "secs", "tuples/s", "speedup", "stalls", "dropped", "max err%"
+    );
+    for r in &report.runs {
+        println!(
+            "{:>9} {:>7} {:>8.3} {:>12.0} {:>8.2}x {:>8} {:>8} {:>9.2}%",
+            r.mode,
+            r.shards,
+            r.secs,
+            r.tuples_per_sec,
+            r.speedup_vs_threaded,
+            r.stalls,
+            r.dropped,
+            r.max_estimate_err_pct,
+        );
+    }
+    println!(
+        "exact drift: {} window(s) differ between single and 4-shard runs",
+        report.exact_drift_windows
+    );
+}

@@ -33,6 +33,9 @@ pub enum OpError {
         /// Why the call was rejected.
         reason: String,
     },
+    /// A worker thread running part of the plan panicked; the payload
+    /// message is preserved so the engine can report instead of abort.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for OpError {
@@ -49,6 +52,7 @@ impl fmt::Display for OpError {
             OpError::BadScalarCall { function, reason } => {
                 write!(f, "bad call to function {function}: {reason}")
             }
+            OpError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
         }
     }
 }
@@ -58,6 +62,19 @@ impl std::error::Error for OpError {}
 impl From<TypeError> for OpError {
     fn from(e: TypeError) -> Self {
         OpError::Type(e)
+    }
+}
+
+/// Extract a human-readable message from a `catch_unwind`/`join` panic
+/// payload. Panics carry `&str` or `String` in practice; anything else
+/// is reported opaquely.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -231,10 +231,23 @@ impl Expr {
                 Ok(v)
             }
             Expr::Sfun { lib, name, fun, args } => {
-                let mut argv = Vec::with_capacity(args.len());
-                for a in args {
-                    argv.push(a.eval(ctx)?);
-                }
+                // SFUN calls sit in WHERE and run once per input tuple;
+                // argument lists are tiny, so evaluate them into a stack
+                // buffer to keep the per-tuple path allocation-free.
+                let mut stack: [Value; 4] = std::array::from_fn(|_| Value::Null);
+                let mut heap;
+                let argv: &[Value] = if args.len() <= stack.len() {
+                    for (slot, a) in stack.iter_mut().zip(args) {
+                        *slot = a.eval(ctx)?;
+                    }
+                    &stack[..args.len()]
+                } else {
+                    heap = Vec::with_capacity(args.len());
+                    for a in args {
+                        heap.push(a.eval(ctx)?);
+                    }
+                    &heap
+                };
                 let states = ctx.sfun_states.as_mut().ok_or(OpError::MissingContext {
                     what: "stateful function state",
                     clause: ctx.clause,
@@ -242,15 +255,25 @@ impl Expr {
                 let state = states.get_mut(*lib).ok_or_else(|| {
                     OpError::InvalidSpec(format!("sfun library slot {lib} out of range"))
                 })?;
-                fun(state.as_mut(), &argv)
+                fun(state.as_mut(), argv)
                     .map_err(|reason| OpError::BadSfunCall { function: name.to_string(), reason })
             }
             Expr::Scalar { name, fun, args } => {
-                let mut argv = Vec::with_capacity(args.len());
-                for a in args {
-                    argv.push(a.eval(ctx)?);
-                }
-                fun(&argv)
+                let mut stack: [Value; 4] = std::array::from_fn(|_| Value::Null);
+                let mut heap;
+                let argv: &[Value] = if args.len() <= stack.len() {
+                    for (slot, a) in stack.iter_mut().zip(args) {
+                        *slot = a.eval(ctx)?;
+                    }
+                    &stack[..args.len()]
+                } else {
+                    heap = Vec::with_capacity(args.len());
+                    for a in args {
+                        heap.push(a.eval(ctx)?);
+                    }
+                    &heap
+                };
+                fun(argv)
                     .map_err(|reason| OpError::BadScalarCall { function: name.to_string(), reason })
             }
         }

@@ -31,6 +31,7 @@ pub mod agg;
 pub mod error;
 pub mod expr;
 pub mod libs;
+pub mod merge;
 pub mod operator;
 pub mod queries;
 pub mod scalar;
@@ -38,8 +39,9 @@ pub mod sfun;
 pub mod superagg;
 
 pub use agg::{AggSpec, AggState};
-pub use error::OpError;
+pub use error::{panic_message, OpError};
 pub use expr::{BinOp, EvalCtx, Expr};
+pub use merge::{shard_plan, ColumnRule, MergeRule, NotMergeable, ShardPlan};
 pub use operator::{OperatorSpec, OperatorStats, SamplingOperator, WindowOutput, WindowStats};
 pub use sfun::{SfunLibrary, SfunStates, Signature};
 pub use superagg::{SuperAggSpec, SuperAggState};

@@ -226,6 +226,11 @@ pub struct SamplingOperator {
     window: Option<Vec<Value>>,
     wstats: WindowStats,
     stats: OperatorStats,
+    // Reused per-tuple buffers (group-by values, supergroup key);
+    // process() runs for every input tuple, so its allocations dominate
+    // rejected-tuple cost.
+    gb_scratch: Vec<Value>,
+    sg_scratch: Vec<Value>,
 }
 
 impl std::fmt::Debug for SamplingOperator {
@@ -252,6 +257,8 @@ impl SamplingOperator {
             window: None,
             wstats: WindowStats::default(),
             stats: OperatorStats::default(),
+            gb_scratch: Vec::new(),
+            sg_scratch: Vec::new(),
         })
     }
 
@@ -285,34 +292,42 @@ impl SamplingOperator {
     /// the new window).
     pub fn process(&mut self, tuple: &Tuple) -> Result<Option<WindowOutput>, OpError> {
         let spec = Arc::clone(&self.spec);
-        // 1. Group-by values.
-        let mut gb = Vec::with_capacity(spec.group_by.len());
+        // 1. Group-by values, into the reused scratch buffer (an eval
+        // error forfeits the buffer; the next tuple just reallocates).
+        let mut gb = std::mem::take(&mut self.gb_scratch);
+        gb.clear();
         {
             let mut ctx = EvalCtx { tuple: Some(tuple), ..EvalCtx::empty("GROUP BY") };
             for (_, e) in &spec.group_by {
                 gb.push(e.eval(&mut ctx)?);
             }
         }
-        // 2. Window boundary.
-        let wvals: Vec<Value> = spec.window_indices.iter().map(|&i| gb[i].clone()).collect();
-        let out = match &self.window {
-            Some(cur) if *cur != wvals => {
-                let o = self.flush_window()?;
-                self.window = Some(wvals);
-                Some(o)
-            }
-            Some(_) => None,
-            None => {
-                self.window = Some(wvals);
-                None
-            }
+        // 2. Window boundary: compare in place, allocate the window-value
+        // vector only when the window actually turns over.
+        let same_window = match &self.window {
+            Some(cur) => spec.window_indices.iter().map(|&i| &gb[i]).eq(cur.iter()),
+            None => false,
+        };
+        let out = if same_window {
+            None
+        } else {
+            let o = match self.window {
+                Some(_) => Some(self.flush_window()?),
+                None => None,
+            };
+            self.window = Some(spec.window_indices.iter().map(|&i| gb[i].clone()).collect());
+            o
         };
         self.wstats.tuples += 1;
-        // 3. Supergroup lookup / creation (with state carry-over).
-        let sg_key = Tuple::new(spec.supergroup_indices.iter().map(|&i| gb[i].clone()).collect());
-        let sg_idx = match self.sg_index.get(&sg_key) {
+        // 3. Supergroup lookup / creation (with state carry-over). The
+        // lookup borrows a reused value buffer; a key `Tuple` is only
+        // allocated when the supergroup is new.
+        self.sg_scratch.clear();
+        self.sg_scratch.extend(spec.supergroup_indices.iter().map(|&i| gb[i].clone()));
+        let sg_idx = match self.sg_index.get(self.sg_scratch.as_slice()) {
             Some(&i) => i,
             None => {
+                let sg_key = Tuple::new(std::mem::take(&mut self.sg_scratch));
                 let old = self.old_sgs.get(&sg_key);
                 let states: SfunStates = spec
                     .sfun_libs
@@ -352,6 +367,8 @@ impl SamplingOperator {
             None => true,
         };
         if !admitted {
+            gb.clear();
+            self.gb_scratch = gb;
             return Ok(out);
         }
         self.wstats.admitted += 1;
@@ -419,6 +436,8 @@ impl SamplingOperator {
                 self.clean_supergroup(sg_idx)?;
             }
         }
+        gb.clear();
+        self.gb_scratch = gb;
         Ok(out)
     }
 

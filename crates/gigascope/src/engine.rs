@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use sso_core::{OpError, SamplingOperator, WindowOutput};
+use sso_core::{panic_message, OpError, SamplingOperator, WindowOutput};
 use sso_types::Packet;
 
 use crate::nodes::LowLevelQuery;
@@ -231,7 +231,10 @@ pub fn run_plan_threaded(
             }
         }
         drop(tx);
-        consumer.join().expect("high-level thread panicked")
+        match consumer.join() {
+            Ok(result) => result,
+            Err(payload) => Err(OpError::WorkerPanic(panic_message(payload.as_ref()))),
+        }
     });
     let (high, windows) = result?;
     let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
@@ -341,6 +344,47 @@ mod tests {
                 w.rows.first().map(|r| r.get(3)),
                 Some(Value::F64(_) | Value::U64(_)) | None
             ));
+        }
+    }
+
+    /// Plan whose WHERE clause runs an arbitrary scalar closure — the
+    /// hook for injecting consumer-side failures.
+    fn faulty_plan(
+        fun: impl Fn() -> Result<Value, String> + Send + Sync + 'static,
+    ) -> TwoLevelPlan {
+        use sso_core::Expr;
+        use std::sync::Arc;
+        let mut spec = queries::total_sum_query(1);
+        spec.where_clause = Some(Expr::Scalar {
+            name: "FAULT",
+            fun: Arc::new(move |_args: &[Value]| fun()),
+            args: vec![],
+        });
+        TwoLevelPlan::new(Box::new(SelectionNode::pass_all()), SamplingOperator::new(spec).unwrap())
+    }
+
+    #[test]
+    fn threaded_run_surfaces_consumer_errors() {
+        let pkts = sso_netgen::research_feed(8).take_seconds(1);
+        let plan = faulty_plan(|| Err("deliberate failure".to_string()));
+        match run_plan_threaded(plan, pkts) {
+            Err(OpError::BadScalarCall { function, reason }) => {
+                assert_eq!(function, "FAULT");
+                assert_eq!(reason, "deliberate failure");
+            }
+            other => panic!("expected BadScalarCall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_run_reports_consumer_panics_instead_of_aborting() {
+        let pkts = sso_netgen::research_feed(9).take_seconds(1);
+        let plan = faulty_plan(|| panic!("injected operator panic"));
+        match run_plan_threaded(plan, pkts) {
+            Err(OpError::WorkerPanic(msg)) => {
+                assert!(msg.contains("injected operator panic"), "payload lost: {msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
         }
     }
 

@@ -27,6 +27,7 @@ pub mod network;
 pub mod nodes;
 pub mod partial;
 pub mod ring;
+pub mod sharded;
 
 pub use cascade::Cascade;
 pub use engine::{run_plan, run_plan_threaded, NodeStats, RunReport, TwoLevelPlan};
@@ -36,3 +37,4 @@ pub use network::{Input, NetworkReport, QueryNetwork};
 pub use nodes::{LowLevelQuery, PrefilterNode, SelectionNode};
 pub use partial::PartialAggNode;
 pub use ring::RingBuffer;
+pub use sharded::{run_plan_sharded, run_plan_sharded_with, ShardedRunError, ShardedRunReport};

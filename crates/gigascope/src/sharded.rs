@@ -1,0 +1,235 @@
+//! Sharded two-level plans: one low-level node on the caller thread
+//! feeding `N` high-level sampling-operator shards via `sso-runtime`'s
+//! hash-partitioned rings, with window-aligned merge-finalize.
+
+use std::time::{Duration, Instant};
+
+use sso_core::{shard_plan, NotMergeable, OpError, OperatorSpec, WindowOutput};
+use sso_runtime::{run_sharded, RuntimeConfig, RuntimeError, ShardStats};
+use sso_types::Packet;
+
+use crate::engine::NodeStats;
+use crate::nodes::LowLevelQuery;
+
+/// The result of a sharded plan run.
+#[derive(Debug)]
+pub struct ShardedRunReport {
+    /// Low-level node accounting (runs on the router thread).
+    pub low: NodeStats,
+    /// Merged window outputs, in window order.
+    pub windows: Vec<WindowOutput>,
+    /// Per-shard worker accounting.
+    pub shards: Vec<ShardStats>,
+    /// The span the live feed would have taken to deliver the packets.
+    pub stream_span: Duration,
+}
+
+impl ShardedRunReport {
+    /// Tuples the shard workers processed, total.
+    pub fn tuples_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.tuples).sum()
+    }
+
+    /// Tuples dropped at full shard rings.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+}
+
+/// Why a sharded plan run failed.
+#[derive(Debug)]
+pub enum ShardedRunError {
+    /// The query is not shard-mergeable (see [`sso_core::shard_plan`]).
+    NotMergeable(NotMergeable),
+    /// The runtime failed (worker error/panic, bad config).
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for ShardedRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedRunError::NotMergeable(e) => write!(f, "{e}"),
+            ShardedRunError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardedRunError {}
+
+impl From<NotMergeable> for ShardedRunError {
+    fn from(e: NotMergeable) -> Self {
+        ShardedRunError::NotMergeable(e)
+    }
+}
+
+impl From<RuntimeError> for ShardedRunError {
+    fn from(e: RuntimeError) -> Self {
+        ShardedRunError::Runtime(e)
+    }
+}
+
+/// Run a two-level plan with the high level sharded `cfg.shards` ways.
+///
+/// The low-level node runs inline on the calling thread (it reduces the
+/// packet stream before the fan-out, like the paper's low-level query
+/// below a stream operator); surviving tuples are hash-partitioned on
+/// the query's partition key and processed by one operator instance per
+/// shard; window outputs merge per the query's merge rule.
+///
+/// `make_spec` builds a fresh spec per shard so stateful-function
+/// libraries (and their seeded RNG streams) are never shared across
+/// threads — pass the same builder you would use for the single-instance
+/// plan.
+pub fn run_plan_sharded<F>(
+    low: Box<dyn LowLevelQuery>,
+    make_spec: F,
+    cfg: &RuntimeConfig,
+    packets: impl IntoIterator<Item = Packet>,
+) -> Result<ShardedRunReport, ShardedRunError>
+where
+    F: Fn(usize) -> Result<OperatorSpec, OpError>,
+{
+    let probe = make_spec(0).map_err(|source| RuntimeError::Op { shard: 0, source })?;
+    let plan = shard_plan(&probe)?;
+    run_plan_sharded_with(low, &plan, make_spec, cfg, packets)
+}
+
+/// [`run_plan_sharded`] with an explicit, pre-classified [`ShardPlan`]
+/// instead of one probed from `make_spec(0)`.
+///
+/// This is the entry point for **sampling-budget splitting**: a caller
+/// can classify the full-budget query (so the merge rule keeps the
+/// caller's total target) while `make_spec` hands each shard a spec
+/// whose sample target is `total / shards`. The union of per-partition
+/// threshold samples, re-thresholded at the maximum shard threshold,
+/// is an unbiased sample of the whole stream — same estimator quality
+/// as a single instance — while each shard's sampling state (and its
+/// cleaning work) stays proportionally smaller.
+pub fn run_plan_sharded_with<F>(
+    mut low: Box<dyn LowLevelQuery>,
+    plan: &sso_core::ShardPlan,
+    make_spec: F,
+    cfg: &RuntimeConfig,
+    packets: impl IntoIterator<Item = Packet>,
+) -> Result<ShardedRunReport, ShardedRunError>
+where
+    F: Fn(usize) -> Result<OperatorSpec, OpError>,
+{
+    let mut low_stats = NodeStats { name: low.name().to_string(), ..Default::default() };
+    let mut first_uts = None;
+    let mut last_uts = 0u64;
+
+    // Drive the low-level node lazily from inside the router loop: the
+    // adapter runs on the calling thread, so the node needs no Sync and
+    // its accounting can borrow locally.
+    let mut packets = packets.into_iter();
+    let mut tail: Vec<sso_types::Tuple> = Vec::new();
+    let mut tail_at = 0usize;
+    let tuples = std::iter::from_fn(|| loop {
+        if tail_at < tail.len() {
+            let t = tail[tail_at].clone();
+            tail_at += 1;
+            low_stats.tuples_out += 1;
+            return Some(t);
+        }
+        match packets.next() {
+            Some(pkt) => {
+                first_uts.get_or_insert(pkt.uts);
+                last_uts = pkt.uts;
+                low_stats.tuples_in += 1;
+                // Busy time is sampled 1-in-64 (and scaled back up): a
+                // per-packet Instant pair costs as much as a cheap
+                // low-level node and would throttle the router thread,
+                // which bounds the whole sharded pipeline.
+                let forwarded = if low_stats.tuples_in & 63 == 0 {
+                    let t0 = Instant::now();
+                    let forwarded = low.process(&pkt);
+                    low_stats.busy += t0.elapsed() * 64;
+                    forwarded
+                } else {
+                    low.process(&pkt)
+                };
+                if let Some(tuple) = forwarded {
+                    low_stats.tuples_out += 1;
+                    return Some(tuple);
+                }
+            }
+            None => {
+                if tail.is_empty() {
+                    let t0 = Instant::now();
+                    tail = low.finish();
+                    low_stats.busy += t0.elapsed();
+                    if tail.is_empty() {
+                        return None;
+                    }
+                } else {
+                    return None;
+                }
+            }
+        }
+    });
+
+    let report = run_sharded(plan, make_spec, cfg, tuples)?;
+    let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
+    Ok(ShardedRunReport {
+        low: low_stats,
+        windows: report.windows,
+        shards: report.shards,
+        stream_span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_plan, TwoLevelPlan};
+    use crate::nodes::SelectionNode;
+    use sso_core::{queries, SamplingOperator};
+    use sso_netgen::research_feed;
+
+    #[test]
+    fn sharded_total_sum_matches_single_instance_exactly() {
+        let pkts = research_feed(21).take_seconds(3);
+        let single = run_plan(
+            TwoLevelPlan::new(
+                Box::new(SelectionNode::pass_all()),
+                SamplingOperator::new(queries::total_sum_query(1)).unwrap(),
+            ),
+            pkts.clone(),
+        )
+        .unwrap();
+        for shards in [1, 2, 8] {
+            let sharded = run_plan_sharded(
+                Box::new(SelectionNode::pass_all()),
+                |_| Ok(queries::total_sum_query(1)),
+                &RuntimeConfig::new(shards),
+                pkts.clone(),
+            )
+            .unwrap();
+            assert_eq!(single.windows.len(), sharded.windows.len());
+            for (a, b) in single.windows.iter().zip(&sharded.windows) {
+                assert_eq!(a.window, b.window);
+                assert_eq!(a.rows, b.rows, "{shards} shards drifted");
+            }
+            assert_eq!(sharded.low.tuples_in, pkts.len() as u64);
+            assert_eq!(sharded.tuples_processed(), pkts.len() as u64);
+        }
+    }
+
+    #[test]
+    fn non_mergeable_queries_are_refused() {
+        use sso_core::libs::distinct::DistinctOpConfig;
+        let pkts = research_feed(22).take_seconds(1);
+        let err = run_plan_sharded(
+            Box::new(SelectionNode::pass_all()),
+            |_| {
+                let cfg = DistinctOpConfig { capacity: 64, carry_level: true };
+                queries::distinct_sample_query(1, cfg)
+            },
+            &RuntimeConfig::new(2),
+            pkts,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ShardedRunError::NotMergeable(_)), "got: {err}");
+    }
+}

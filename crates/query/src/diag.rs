@@ -78,6 +78,9 @@ pub enum Code {
     W005,
     /// Cascade push-down is not partial-aggregation-safe.
     W101,
+    /// Query is not shard-mergeable: it cannot run on a partitioned
+    /// multi-shard runtime.
+    W102,
 }
 
 impl Code {
@@ -105,6 +108,7 @@ impl Code {
             Code::W004 => "W004",
             Code::W005 => "W005",
             Code::W101 => "W101",
+            Code::W102 => "W102",
         }
     }
 

@@ -63,6 +63,31 @@ pub fn compile(
     SamplingOperator::new(spec).map_err(QueryError::Plan)
 }
 
+/// Check whether a query can run on the sharded runtime: parse and plan
+/// it, then classify the spec with [`sso_core::shard_plan`]. A query
+/// that fails to parse or plan returns [`check`]'s diagnostics; a valid
+/// but non-shard-mergeable query returns a single `W102` warning whose
+/// help text explains which merge rule is missing.
+pub fn check_shard_mergeable(
+    text: &str,
+    schema: &Schema,
+    config: &PlannerConfig,
+) -> Vec<Diagnostic> {
+    let spec = match parse_query(text).and_then(|q| plan(&q, schema, config)) {
+        Ok(spec) => spec,
+        Err(_) => return check(text, schema, config),
+    };
+    match sso_core::shard_plan(&spec) {
+        Ok(_) => Vec::new(),
+        Err(not_mergeable) => vec![Diagnostic::new(
+            Code::W102,
+            Span::DUMMY,
+            "query is not shard-mergeable; it must run on a single operator instance",
+        )
+        .with_help(not_mergeable.reason)],
+    }
+}
+
 /// Statically check a query without planning it: parse, then run the
 /// semantic analyzer, returning every diagnostic found. Lexical and
 /// syntax errors come back as single `E100`/`E101` diagnostics so

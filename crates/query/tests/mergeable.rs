@@ -1,0 +1,60 @@
+//! Shard-mergeability diagnostics (W102): every example query is
+//! classified, and the one genuinely non-mergeable query is flagged with
+//! an explanation rather than an opaque refusal.
+
+use sso_core::queries::EXAMPLE_QUERIES;
+use sso_query::{check_shard_mergeable, diag, Code, PlannerConfig, Severity};
+use sso_types::Packet;
+
+fn text_of(name: &str) -> &'static str {
+    EXAMPLE_QUERIES.iter().find(|(n, _)| *n == name).map(|(_, t)| *t).unwrap()
+}
+
+#[test]
+fn mergeable_examples_pass_clean() {
+    let schema = Packet::schema();
+    let config = PlannerConfig::standard();
+    for name in [
+        "total_sum_query",
+        "subset_sum_query",
+        "basic_subset_sum_query",
+        "heavy_hitters_query",
+        "minhash_query",
+        "reservoir_query",
+    ] {
+        let diags = check_shard_mergeable(text_of(name), &schema, &config);
+        assert!(diags.is_empty(), "{name} should be shard-mergeable: {diags:?}");
+    }
+}
+
+#[test]
+fn distinct_sampling_is_flagged_w102_with_reason() {
+    let schema = Packet::schema();
+    let config = PlannerConfig::standard();
+    let diags = check_shard_mergeable(text_of("distinct_sample_query"), &schema, &config);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::W102);
+    assert_eq!(diags[0].code.severity(), Severity::Warning);
+    let help = diags[0].help.as_deref().unwrap_or("");
+    assert!(help.contains("global hash level"), "help should explain: {help}");
+}
+
+#[test]
+fn unparsable_queries_fall_back_to_standard_diagnostics() {
+    let schema = Packet::schema();
+    let config = PlannerConfig::standard();
+    let diags = check_shard_mergeable("SELECT FROM WHERE", &schema, &config);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.code != Code::W102));
+}
+
+#[test]
+fn w102_renders_like_other_warnings() {
+    let schema = Packet::schema();
+    let config = PlannerConfig::standard();
+    let text = text_of("distinct_sample_query");
+    let diags = check_shard_mergeable(text, &schema, &config);
+    let rendered = diag::render(text, "distinct_sample_query", &diags);
+    assert!(rendered.contains("W102"), "{rendered}");
+    assert!(rendered.contains("warning"), "{rendered}");
+}

@@ -1,0 +1,512 @@
+//! The sharded runtime: a router thread hash-partitions tuples by the
+//! plan's partition key and feeds per-shard batched bounded rings; each
+//! shard runs its own operator instance; window outputs are merged by
+//! the plan's rule after the workers drain.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, TrySendError};
+use rustc_hash::FxHasher;
+use sso_core::{
+    panic_message, EvalCtx, Expr, OpError, OperatorSpec, SamplingOperator, ShardPlan, WindowOutput,
+};
+use sso_types::Tuple;
+
+/// What the router does when a shard's ring is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Wait for the worker (lossless; counts a stall per wait).
+    Block,
+    /// Discard the newest batch (lossy; counts every dropped tuple) —
+    /// the behaviour of a real NIC ring under overload.
+    DropNewest,
+}
+
+/// Sharded-runtime tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker shards (operator instances).
+    pub shards: usize,
+    /// Ring depth per shard, in batches.
+    pub ring_capacity: usize,
+    /// Tuples per batch.
+    pub batch_size: usize,
+    /// Full-ring policy.
+    pub backpressure: Backpressure,
+    /// Seed for randomized window merges (reservoir); per-shard sampler
+    /// seeds come from the spec factory instead.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// A config with `shards` workers and the default ring shape:
+    /// 16 batches of 1024 tuples, blocking backpressure. (Same 16K-tuple
+    /// ring depth as 64x256, but fewer handoffs per tuple; larger
+    /// batches start thrashing cache.)
+    pub fn new(shards: usize) -> Self {
+        RuntimeConfig {
+            shards,
+            ring_capacity: 16,
+            batch_size: 1024,
+            backpressure: Backpressure::Block,
+            seed: 0x5eed_00d5,
+        }
+    }
+}
+
+/// Per-shard accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Tuples the worker processed.
+    pub tuples: u64,
+    /// Windows the worker closed.
+    pub windows: u64,
+    /// Times the router blocked on this shard's full ring.
+    pub stalls: u64,
+    /// Tuples dropped at this shard's full ring
+    /// ([`Backpressure::DropNewest`] only).
+    pub dropped: u64,
+    /// Worker busy time.
+    pub busy: Duration,
+}
+
+/// Why a sharded run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A shard's operator returned an error.
+    Op {
+        /// Shard index.
+        shard: usize,
+        /// The operator error.
+        source: OpError,
+    },
+    /// A shard's worker thread panicked.
+    WorkerPanic {
+        /// Shard index.
+        shard: usize,
+        /// Panic payload message.
+        message: String,
+    },
+    /// The configuration is unusable (zero shards, zero batch size).
+    BadConfig(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Op { shard, source } => write!(f, "shard {shard}: {source}"),
+            RuntimeError::WorkerPanic { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
+            RuntimeError::BadConfig(msg) => write!(f, "bad runtime config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The result of a sharded run: merged windows plus per-shard accounting.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// Window outputs after merge-finalize, in window order.
+    pub windows: Vec<WindowOutput>,
+    /// Per-shard accounting, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ShardedReport {
+    /// Total tuples dropped at full rings.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Total router stalls on full rings.
+    pub fn stalls(&self) -> u64 {
+        self.shards.iter().map(|s| s.stalls).sum()
+    }
+}
+
+/// Map a partition-key hash to a shard; hot enough on the router thread
+/// that the power-of-two mask (vs a 64-bit division) is measurable.
+#[inline]
+fn pick_shard(hash: u64, shards: usize) -> usize {
+    if shards.is_power_of_two() {
+        (hash as usize) & (shards - 1)
+    } else {
+        (hash % shards as u64) as usize
+    }
+}
+
+/// How the router picks a shard for a tuple.
+enum Router {
+    /// No partition key: deal batches out cyclically (valid only with a
+    /// key-free merge rule).
+    RoundRobin { next: usize },
+    /// Every partition expression is a plain input column.
+    Columns(Vec<usize>),
+    /// General tuple-phase expressions.
+    Exprs(Vec<Expr>),
+}
+
+impl Router {
+    fn new(plan: &ShardPlan) -> Router {
+        if plan.partition_exprs.is_empty() {
+            return Router::RoundRobin { next: 0 };
+        }
+        let cols: Option<Vec<usize>> = plan
+            .partition_exprs
+            .iter()
+            .map(|e| match e {
+                Expr::Column(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        match cols {
+            Some(cols) => Router::Columns(cols),
+            None => Router::Exprs(plan.partition_exprs.clone()),
+        }
+    }
+
+    fn route(&mut self, tuple: &Tuple, shards: usize) -> usize {
+        match self {
+            Router::RoundRobin { next } => {
+                let s = *next;
+                *next = (*next + 1) % shards;
+                s
+            }
+            Router::Columns(cols) => {
+                let mut h = FxHasher::default();
+                for &c in cols.iter() {
+                    tuple.get(c).hash(&mut h);
+                }
+                pick_shard(h.finish(), shards)
+            }
+            Router::Exprs(exprs) => {
+                let mut h = FxHasher::default();
+                for e in exprs.iter() {
+                    let mut ctx = EvalCtx { tuple: Some(tuple), ..EvalCtx::empty("GROUP BY") };
+                    match e.eval(&mut ctx) {
+                        Ok(v) => v.hash(&mut h),
+                        // The worker evaluates the same expression in its
+                        // GROUP BY and will surface the error; any shard
+                        // will do for the faulty tuple.
+                        Err(_) => return 0,
+                    }
+                }
+                pick_shard(h.finish(), shards)
+            }
+        }
+    }
+}
+
+/// Run `tuples` through `cfg.shards` operator instances partitioned and
+/// merged per `plan`, returning the merged windows.
+///
+/// `make_spec` builds one fresh [`OperatorSpec`] per shard (shard index
+/// passed in): per-shard specs must not share stateful-function
+/// libraries, both so sampler RNG streams stay deterministic per shard
+/// and so no state is accidentally shared across threads.
+///
+/// The router runs on the calling thread; workers run under
+/// [`std::thread::scope`]. A worker panic or operator error aborts the
+/// run with the shard index attached.
+pub fn run_sharded<F, I>(
+    plan: &ShardPlan,
+    make_spec: F,
+    cfg: &RuntimeConfig,
+    tuples: I,
+) -> Result<ShardedReport, RuntimeError>
+where
+    F: Fn(usize) -> Result<OperatorSpec, OpError>,
+    I: IntoIterator<Item = Tuple>,
+{
+    if cfg.shards == 0 {
+        return Err(RuntimeError::BadConfig("shards must be positive".into()));
+    }
+    if cfg.batch_size == 0 || cfg.ring_capacity == 0 {
+        return Err(RuntimeError::BadConfig(
+            "batch size and ring capacity must be positive".into(),
+        ));
+    }
+
+    let mut operators = Vec::with_capacity(cfg.shards);
+    for shard in 0..cfg.shards {
+        let spec = make_spec(shard).map_err(|source| RuntimeError::Op { shard, source })?;
+        operators.push(
+            SamplingOperator::new(spec).map_err(|source| RuntimeError::Op { shard, source })?,
+        );
+    }
+
+    let mut stats: Vec<ShardStats> =
+        (0..cfg.shards).map(|shard| ShardStats { shard, ..Default::default() }).collect();
+
+    let per_shard: Vec<Vec<WindowOutput>> = std::thread::scope(|s| {
+        let mut txs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for mut op in operators {
+            let (tx, rx) = channel::bounded::<Vec<Tuple>>(cfg.ring_capacity);
+            txs.push(tx);
+            handles.push(s.spawn(
+                move || -> Result<(Vec<WindowOutput>, u64, Duration), OpError> {
+                    let mut windows = Vec::new();
+                    let mut tuples = 0u64;
+                    let mut busy = Duration::ZERO;
+                    while let Ok(batch) = rx.recv() {
+                        let t0 = Instant::now();
+                        for tuple in &batch {
+                            tuples += 1;
+                            if let Some(w) = op.process(tuple)? {
+                                windows.push(w);
+                            }
+                        }
+                        busy += t0.elapsed();
+                    }
+                    let t0 = Instant::now();
+                    if let Some(w) = op.finish()? {
+                        windows.push(w);
+                    }
+                    busy += t0.elapsed();
+                    Ok((windows, tuples, busy))
+                },
+            ));
+        }
+
+        let mut router = Router::new(plan);
+        let mut batches: Vec<Vec<Tuple>> =
+            (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect();
+        let send_batch = |shard: usize, batch: Vec<Tuple>, stats: &mut [ShardStats]| {
+            match cfg.backpressure {
+                Backpressure::Block => match txs[shard].try_send(batch) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(batch)) => {
+                        stats[shard].stalls += 1;
+                        // Worker death closes the ring; the join below
+                        // surfaces its error.
+                        let _ = txs[shard].send(batch);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
+                },
+                Backpressure::DropNewest => match txs[shard].try_send(batch) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(batch)) => {
+                        stats[shard].dropped += batch.len() as u64;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
+                },
+            }
+        };
+
+        for tuple in tuples {
+            let shard = router.route(&tuple, cfg.shards);
+            batches[shard].push(tuple);
+            if batches[shard].len() >= cfg.batch_size {
+                let batch =
+                    std::mem::replace(&mut batches[shard], Vec::with_capacity(cfg.batch_size));
+                send_batch(shard, batch, &mut stats);
+            }
+        }
+        for (shard, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                send_batch(shard, batch, &mut stats);
+            }
+        }
+        drop(txs);
+
+        let mut per_shard = Vec::with_capacity(cfg.shards);
+        for (shard, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok((windows, tuples, busy))) => {
+                    stats[shard].tuples = tuples;
+                    stats[shard].windows = windows.len() as u64;
+                    stats[shard].busy = busy;
+                    per_shard.push(windows);
+                }
+                Ok(Err(source)) => return Err(RuntimeError::Op { shard, source }),
+                Err(payload) => {
+                    return Err(RuntimeError::WorkerPanic {
+                        shard,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        Ok(per_shard)
+    })?;
+
+    let windows = crate::merge::merge_windows(per_shard, &plan.rule, cfg.seed);
+    Ok(ShardedReport { windows, shards: stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sso_core::{queries, shard_plan};
+    use sso_types::{Packet, Protocol, Value};
+
+    fn stream(secs: u64, per_sec: u64, n_src: u32) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        let mut i = 0u64;
+        for sec in 0..secs {
+            for j in 0..per_sec {
+                let p = Packet {
+                    uts: sec * 1_000_000_000 + j * (1_000_000_000 / per_sec) + 1,
+                    src_ip: (i % n_src as u64) as u32,
+                    dest_ip: 9,
+                    src_port: 1000,
+                    dest_port: 80,
+                    proto: Protocol::Tcp,
+                    len: 100 + (i % 7) as u32 * 100,
+                };
+                out.push(p.to_tuple());
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn run_exact(shards: usize) -> Vec<WindowOutput> {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let cfg = RuntimeConfig::new(shards);
+        run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, stream(3, 1000, 16))
+            .unwrap()
+            .windows
+    }
+
+    #[test]
+    fn round_robin_combine_is_exact_for_any_shard_count() {
+        let single = run_exact(1);
+        for shards in [2, 3, 8] {
+            let sharded = run_exact(shards);
+            assert_eq!(single.len(), sharded.len());
+            for (a, b) in single.iter().zip(&sharded) {
+                assert_eq!(a.window, b.window);
+                assert_eq!(a.rows, b.rows, "{shards} shards must not drift");
+                assert_eq!(a.stats.tuples, b.stats.tuples);
+            }
+        }
+    }
+
+    #[test]
+    fn key_partitioned_concat_is_exact() {
+        let spec = queries::heavy_hitters_query(1, 1 << 20, None).unwrap();
+        let plan = shard_plan(&spec).unwrap();
+        let make = |_| queries::heavy_hitters_query(1, 1 << 20, None);
+        let tuples = stream(2, 2000, 32);
+        let single =
+            run_sharded(&plan, make, &RuntimeConfig::new(1), tuples.clone()).unwrap().windows;
+        let sharded = run_sharded(&plan, make, &RuntimeConfig::new(4), tuples).unwrap().windows;
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(&sharded) {
+            assert_eq!(a.rows, b.rows);
+        }
+    }
+
+    #[test]
+    fn worker_errors_carry_the_shard_index() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let make = |shard: usize| {
+            let mut spec = queries::total_sum_query(1);
+            if shard == 1 {
+                spec.where_clause = Some(Expr::Scalar {
+                    name: "BOOM",
+                    fun: std::sync::Arc::new(|_: &[Value]| Err("shard fault".to_string())),
+                    args: vec![],
+                });
+            }
+            Ok(spec)
+        };
+        // Round-robin routing guarantees shard 1 receives tuples.
+        let err = run_sharded(&plan, make, &RuntimeConfig::new(3), stream(1, 600, 4)).unwrap_err();
+        match err {
+            RuntimeError::Op { shard, source } => {
+                assert_eq!(shard, 1);
+                assert!(source.to_string().contains("shard fault"));
+            }
+            other => panic!("expected Op error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn worker_panics_are_reported_not_aborted() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let make = |shard: usize| {
+            let mut spec = queries::total_sum_query(1);
+            if shard == 0 {
+                spec.where_clause = Some(Expr::Scalar {
+                    name: "PANIC",
+                    fun: std::sync::Arc::new(|_: &[Value]| panic!("injected shard panic")),
+                    args: vec![],
+                });
+            }
+            Ok(spec)
+        };
+        let err = run_sharded(&plan, make, &RuntimeConfig::new(2), stream(1, 600, 4)).unwrap_err();
+        match err {
+            RuntimeError::WorkerPanic { shard: 0, message } => {
+                assert!(message.contains("injected shard panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn drop_newest_accounts_every_lost_tuple() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let mut cfg = RuntimeConfig::new(1);
+        cfg.ring_capacity = 1;
+        cfg.batch_size = 16;
+        cfg.backpressure = Backpressure::DropNewest;
+        // A worker that can't keep up: every tuple takes a busy-loop hit.
+        let make = |_| {
+            let mut spec = queries::total_sum_query(1);
+            spec.where_clause = Some(Expr::Scalar {
+                name: "SLOW",
+                fun: std::sync::Arc::new(|_: &[Value]| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    Ok(Value::Bool(true))
+                }),
+                args: vec![],
+            });
+            Ok(spec)
+        };
+        let tuples = stream(1, 5000, 4);
+        let n = tuples.len() as u64;
+        let report = run_sharded(&plan, make, &cfg, tuples).unwrap();
+        let processed: u64 = report.shards.iter().map(|s| s.tuples).sum();
+        assert!(report.dropped() > 0, "1-deep ring must overflow");
+        assert_eq!(processed + report.dropped(), n, "drops must be fully accounted");
+    }
+
+    #[test]
+    fn blocking_backpressure_is_lossless_and_counts_stalls() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let mut cfg = RuntimeConfig::new(2);
+        cfg.ring_capacity = 1;
+        cfg.batch_size = 8;
+        let tuples = stream(1, 4000, 4);
+        let n = tuples.len() as u64;
+        let report = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples).unwrap();
+        let processed: u64 = report.shards.iter().map(|s| s.tuples).sum();
+        assert_eq!(processed, n, "blocking mode must be lossless");
+        assert_eq!(report.dropped(), 0);
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let err =
+            run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &RuntimeConfig::new(0), [])
+                .unwrap_err();
+        assert!(matches!(err, RuntimeError::BadConfig(_)));
+    }
+}

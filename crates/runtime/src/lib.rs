@@ -1,0 +1,38 @@
+//! # sso-runtime
+//!
+//! A sharded execution runtime for the sampling operator (§7.2 partial
+//! aggregation): the input stream is hash-partitioned on the query's
+//! group key across N worker shards, each running its own
+//! [`sso_core::SamplingOperator`] instance behind a batched bounded
+//! ring, and per-shard window outputs are re-combined by the query's
+//! [`sso_core::MergeRule`] at each window boundary.
+//!
+//! The contract comes from [`sso_core::shard_plan`]: a query is
+//! shard-mergeable when its per-window state obeys a partial-aggregation
+//! merge rule —
+//!
+//! * disjoint group keys ⇒ concatenate ([`sso_core::MergeRule::Concat`]);
+//! * column-wise combinable aggregates ⇒ sum/min/max per column
+//!   ([`sso_core::MergeRule::Combine`]);
+//! * threshold (subset-sum) samples ⇒ re-threshold the union at the
+//!   maximum per-shard threshold
+//!   ([`sso_core::MergeRule::SubsetSum`], backed by
+//!   [`sso_sampling::subset_sum::merge_threshold_samples`]);
+//! * reservoirs ⇒ hypergeometric weighted re-sample
+//!   ([`sso_core::MergeRule::Reservoir`], backed by
+//!   [`sso_sampling::Reservoir::merge`]);
+//! * min-hash signatures ⇒ union-then-truncate
+//!   ([`sso_core::MergeRule::KmvTruncate`], the row-level form of
+//!   [`sso_sampling::KmvSketch::merge`]).
+//!
+//! Producers apply backpressure per shard: either block (counting
+//! stalls) or drop the newest batch (counting drops), so overload is
+//! observable instead of silent.
+
+pub mod engine;
+pub mod merge;
+
+pub use engine::{
+    run_sharded, Backpressure, RuntimeConfig, RuntimeError, ShardStats, ShardedReport,
+};
+pub use merge::merge_windows;

@@ -1,0 +1,298 @@
+//! Window-aligned merge-finalize: re-combine per-shard window outputs
+//! into the single-instance result using the query's merge rule.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rustc_hash::FxHasher;
+use sso_core::{ColumnRule, MergeRule, WindowOutput, WindowStats};
+use sso_sampling::subset_sum::{merge_threshold_samples, ThresholdPart};
+use sso_sampling::Reservoir;
+use sso_types::{Tuple, Value};
+
+/// Total order on tuples by pairwise value comparison (type-mismatched
+/// pairs compare equal; they do not occur within one query's output).
+fn tuple_cmp(a: &Tuple, b: &Tuple) -> Ordering {
+    for (x, y) in a.values().iter().zip(b.values()) {
+        match x.compare(y).unwrap_or(Ordering::Equal) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.arity().cmp(&b.arity())
+}
+
+fn fx_hash(t: &Tuple) -> u64 {
+    let mut h = FxHasher::default();
+    t.hash(&mut h);
+    h.finish()
+}
+
+fn add_values(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::U64(x), Value::U64(y)) => Value::U64(x + y),
+        (Value::I64(x), Value::I64(y)) => Value::I64(x + y),
+        _ => Value::F64(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0)),
+    }
+}
+
+/// Merge one window's per-shard outputs into one row set + stats.
+fn merge_one(window: Tuple, parts: Vec<WindowOutput>, rule: &MergeRule, seed: u64) -> WindowOutput {
+    let mut stats = WindowStats::default();
+    for p in &parts {
+        stats.tuples += p.stats.tuples;
+        stats.admitted += p.stats.admitted;
+        stats.cleaning_phases += p.stats.cleaning_phases;
+        stats.groups_created += p.stats.groups_created;
+    }
+
+    let mut rows: Vec<Tuple> = match rule {
+        MergeRule::Concat => parts.into_iter().flat_map(|p| p.rows).collect(),
+        MergeRule::Combine(rules) => {
+            let key_cols: Vec<usize> = rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, ColumnRule::Key))
+                .map(|(i, _)| i)
+                .collect();
+            let mut table: HashMap<Tuple, Tuple> = HashMap::new();
+            for row in parts.into_iter().flat_map(|p| p.rows) {
+                let key = row.project(&key_cols);
+                match table.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(row);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let acc = e.get_mut();
+                        for (i, r) in rules.iter().enumerate() {
+                            let merged = match r {
+                                ColumnRule::Key => continue,
+                                ColumnRule::Sum => add_values(acc.get(i), row.get(i)),
+                                ColumnRule::Min => match acc.get(i).compare(row.get(i)) {
+                                    Ok(Ordering::Greater) => row.get(i).clone(),
+                                    _ => continue,
+                                },
+                                ColumnRule::Max => match acc.get(i).compare(row.get(i)) {
+                                    Ok(Ordering::Less) => row.get(i).clone(),
+                                    _ => continue,
+                                },
+                            };
+                            acc.set(i, merged);
+                        }
+                    }
+                }
+            }
+            table.into_values().collect()
+        }
+        MergeRule::SubsetSum { weight_col, target } => {
+            let shard_parts: Vec<ThresholdPart<Tuple>> = parts
+                .into_iter()
+                .filter(|p| !p.rows.is_empty())
+                .map(|p| {
+                    // The shard's final threshold: small rows are emitted
+                    // at exactly z via UMAX(sum(w), ssthreshold()), so
+                    // the minimum adjusted weight is z whenever any small
+                    // row survived; when every row is large, any z at or
+                    // below the minimum re-admits all of them unchanged.
+                    let samples: Vec<(Tuple, f64)> = p
+                        .rows
+                        .into_iter()
+                        .map(|r| {
+                            let eff = r.get(*weight_col).as_f64().unwrap_or(0.0);
+                            (r, eff)
+                        })
+                        .collect();
+                    let z = samples.iter().map(|(_, e)| *e).fold(f64::INFINITY, f64::min);
+                    ThresholdPart { samples, z: if z.is_finite() { z } else { 0.0 } }
+                })
+                .collect();
+            let merged = merge_threshold_samples(shard_parts, *target);
+            stats.cleaning_phases += u64::from(merged.passes);
+            merged
+                .samples
+                .into_iter()
+                .map(|(mut row, eff)| {
+                    row.set(*weight_col, Value::F64(eff));
+                    row
+                })
+                .collect()
+        }
+        MergeRule::Reservoir { n } => {
+            let mut rng = StdRng::seed_from_u64(seed ^ fx_hash(&window));
+            let mut merged: Option<Reservoir<Tuple>> = None;
+            for p in parts {
+                // stats.tuples is the shard's offer count for the window
+                // (rsample sits in WHERE and sees every tuple); rows can
+                // be fewer than the reservoir when sampled tuples share a
+                // group key.
+                let seen = p.stats.tuples.max(p.rows.len() as u64);
+                let shard = Reservoir::from_parts(*n, seen, p.rows);
+                merged = Some(match merged {
+                    None => shard,
+                    Some(m) => m.merge(&shard, &mut rng),
+                });
+            }
+            merged.map(Reservoir::into_items).unwrap_or_default()
+        }
+        MergeRule::KmvTruncate { key_cols, hash_col, k } => {
+            let mut signatures: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+            for row in parts.into_iter().flat_map(|p| p.rows) {
+                signatures.entry(row.project(key_cols)).or_default().push(row);
+            }
+            let mut rows = Vec::new();
+            for (_, mut sig) in signatures {
+                sig.sort_by(|a, b| {
+                    a.get(*hash_col).compare(b.get(*hash_col)).unwrap_or(Ordering::Equal)
+                });
+                sig.dedup_by(|a, b| a.get(*hash_col) == b.get(*hash_col));
+                sig.truncate(*k);
+                rows.extend(sig);
+            }
+            rows
+        }
+    };
+
+    rows.sort_by(tuple_cmp);
+    stats.output_rows = rows.len() as u64;
+    WindowOutput { window, rows, stats }
+}
+
+/// Combine per-shard window output streams into one ordered stream of
+/// merged windows. Windows are aligned by their window-attribute tuple;
+/// a shard that saw no tuples for a window simply contributes nothing.
+/// `seed` fixes the randomized merges (reservoir) per window.
+pub fn merge_windows(
+    per_shard: Vec<Vec<WindowOutput>>,
+    rule: &MergeRule,
+    seed: u64,
+) -> Vec<WindowOutput> {
+    let mut by_window: HashMap<Tuple, Vec<WindowOutput>> = HashMap::new();
+    for outputs in per_shard {
+        for w in outputs {
+            by_window.entry(w.window.clone()).or_default().push(w);
+        }
+    }
+    let mut keys: Vec<Tuple> = by_window.keys().cloned().collect();
+    keys.sort_by(tuple_cmp);
+    keys.into_iter()
+        .map(|key| {
+            let parts = by_window.remove(&key).expect("window key collected above");
+            merge_one(key, parts, rule, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(window: u64, rows: Vec<Vec<Value>>, tuples: u64) -> WindowOutput {
+        WindowOutput {
+            window: Tuple::new(vec![Value::U64(window)]),
+            rows: rows.into_iter().map(Tuple::new).collect(),
+            stats: WindowStats { tuples, output_rows: 0, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn concat_unions_and_sorts() {
+        let merged = merge_windows(
+            vec![
+                vec![w(1, vec![vec![Value::U64(1), Value::U64(9)]], 5)],
+                vec![w(1, vec![vec![Value::U64(1), Value::U64(3)]], 7)],
+            ],
+            &MergeRule::Concat,
+            0,
+        );
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].rows.len(), 2);
+        assert_eq!(merged[0].rows[0].get(1), &Value::U64(3));
+        assert_eq!(merged[0].stats.tuples, 12);
+        assert_eq!(merged[0].stats.output_rows, 2);
+    }
+
+    #[test]
+    fn combine_sums_matching_keys() {
+        let rule = MergeRule::Combine(vec![ColumnRule::Key, ColumnRule::Sum, ColumnRule::Max]);
+        let merged = merge_windows(
+            vec![
+                vec![w(1, vec![vec![Value::U64(60), Value::U64(10), Value::U64(4)]], 1)],
+                vec![w(1, vec![vec![Value::U64(60), Value::U64(32), Value::U64(9)]], 1)],
+            ],
+            &rule,
+            0,
+        );
+        assert_eq!(merged[0].rows.len(), 1);
+        assert_eq!(merged[0].rows[0].get(1), &Value::U64(42));
+        assert_eq!(merged[0].rows[0].get(2), &Value::U64(9));
+    }
+
+    #[test]
+    fn windows_align_across_shards_and_sort() {
+        let merged = merge_windows(
+            vec![vec![w(2, vec![], 1), w(3, vec![], 1)], vec![w(1, vec![], 1), w(2, vec![], 1)]],
+            &MergeRule::Concat,
+            0,
+        );
+        let keys: Vec<u64> = merged.iter().map(|m| m.window.get(0).as_u64().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn kmv_truncate_keeps_k_smallest_per_signature() {
+        let rule = MergeRule::KmvTruncate { key_cols: vec![0], hash_col: 1, k: 2 };
+        let rows_a = vec![vec![Value::U64(7), Value::U64(50)], vec![Value::U64(7), Value::U64(10)]];
+        let rows_b = vec![vec![Value::U64(7), Value::U64(20)], vec![Value::U64(8), Value::U64(99)]];
+        let merged = merge_windows(vec![vec![w(1, rows_a, 1)], vec![w(1, rows_b, 1)]], &rule, 0);
+        let mut got: Vec<(u64, u64)> = merged[0]
+            .rows
+            .iter()
+            .map(|r| (r.get(0).as_u64().unwrap(), r.get(1).as_u64().unwrap()))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(7, 10), (7, 20), (8, 99)]);
+    }
+
+    #[test]
+    fn reservoir_merge_bounds_sample_and_is_seeded() {
+        let rows: Vec<Vec<Value>> = (0..10u64).map(|i| vec![Value::U64(i)]).collect();
+        let shards = vec![vec![w(1, rows.clone(), 100)], vec![w(1, rows.clone(), 300)]];
+        let rule = MergeRule::Reservoir { n: 10 };
+        let a = merge_windows(shards.clone(), &rule, 99);
+        let b = merge_windows(shards, &rule, 99);
+        assert_eq!(a[0].rows.len(), 10);
+        assert_eq!(a[0].rows, b[0].rows, "same seed must reproduce the merge");
+    }
+
+    #[test]
+    fn subset_sum_merge_rethresholds_to_target() {
+        let rows_of = |weights: &[u64]| -> Vec<Vec<Value>> {
+            weights
+                .iter()
+                .enumerate()
+                .map(|(i, &wt)| vec![Value::U64(i as u64), Value::F64(wt as f64)])
+                .collect()
+        };
+        let rule = MergeRule::SubsetSum { weight_col: 1, target: 3 };
+        let merged = merge_windows(
+            vec![
+                vec![w(1, rows_of(&[100, 100, 5000]), 10)],
+                vec![w(1, rows_of(&[200, 200, 7000]), 10)],
+            ],
+            &rule,
+            0,
+        );
+        assert!(merged[0].rows.len() <= 3);
+        // The two big rows always survive a threshold far below them.
+        let big: Vec<f64> = merged[0]
+            .rows
+            .iter()
+            .map(|r| r.get(1).as_f64().unwrap())
+            .filter(|&e| e >= 5000.0)
+            .collect();
+        assert_eq!(big.len(), 2, "large items must survive: {:?}", merged[0].rows);
+    }
+}

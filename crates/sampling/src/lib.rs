@@ -44,5 +44,7 @@ pub use quantile::GkSummary;
 pub use reservoir::{Reservoir, SkipReservoir};
 pub use sticky::StickySampler;
 pub use subset_sum::{
-    BasicSubsetSum, DynamicSubsetSum, SubsetSumConfig, ThresholdCarry, WeightedSample,
+    merge_threshold_samples, merge_window_results, BasicSubsetSum, DynamicSubsetSum,
+    MergedThresholdSample, SubsetSumConfig, ThresholdCarry, ThresholdPart, WeightedSample,
+    WindowResult,
 };

@@ -116,6 +116,49 @@ impl<T: Eq + Hash + Clone> LossyCounter<T> {
     pub fn bucket_width(&self) -> u64 {
         self.bucket_width
     }
+
+    /// Merge two summaries built over *disjoint* substreams into one
+    /// summary of the concatenated stream with error bound `ε₁ + ε₂`
+    /// (the distributed lossy-counting merge of Manku–Motwani §5).
+    ///
+    /// For each element, merged `f` is the sum of the per-summary counts
+    /// and merged `Δ` the sum of the per-summary maximum undercounts —
+    /// `Δᵢ` where tracked, `bᵢ − 1` (that summary's prune ceiling) where
+    /// not. Entries whose `f + Δ` cannot reach the combined ceiling are
+    /// pruned, exactly like the per-bucket rule. The result answers
+    /// [`LossyCounter::query`] / [`LossyCounter::estimate`] with
+    /// undercount at most `(ε₁ + ε₂)·(N₁ + N₂)`; it is a window-close
+    /// summary combination, not a resumable insertion state.
+    ///
+    /// # Panics
+    /// Panics if `ε₁ + ε₂ ≥ 1`.
+    pub fn merge(&self, other: &LossyCounter<T>) -> LossyCounter<T> {
+        let epsilon = self.epsilon + other.epsilon;
+        assert!(epsilon < 1.0, "merged epsilon must stay below 1");
+        // Per-summary ceiling on any untracked element's true count.
+        let d1 = self.current_bucket().saturating_sub(1);
+        let d2 = other.current_bucket().saturating_sub(1);
+        let mut entries: HashMap<T, LossyEntry> = HashMap::new();
+        for key in self.entries.keys().chain(other.entries.keys()) {
+            if entries.contains_key(key) {
+                continue;
+            }
+            let a = self.entries.get(key);
+            let b = other.entries.get(key);
+            let frequency = a.map_or(0, |e| e.frequency) + b.map_or(0, |e| e.frequency);
+            let delta = a.map_or(d1, |e| e.delta) + b.map_or(d2, |e| e.delta);
+            if frequency + delta > d1 + d2 {
+                entries.insert(key.clone(), LossyEntry { frequency, delta });
+            }
+        }
+        LossyCounter {
+            epsilon,
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            stream_len: self.stream_len + other.stream_len,
+            entries,
+            prunes: self.prunes + other.prunes,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,59 @@ impl<T> Reservoir<T> {
         self.seen = 0;
         self.items.clear();
     }
+
+    /// Rehydrate a reservoir from an already-drawn sample and its offer
+    /// count — the merge path of a sharded runtime receives exactly this
+    /// (per-shard sample rows plus the shard's window tuple count).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`, if the sample exceeds the capacity, or
+    /// if it exceeds `seen`.
+    pub fn from_parts(capacity: usize, seen: u64, items: Vec<T>) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        assert!(items.len() <= capacity, "sample larger than capacity");
+        assert!(items.len() as u64 <= seen, "sample larger than offer count");
+        Reservoir { capacity, seen, items }
+    }
+}
+
+impl<T: Clone> Reservoir<T> {
+    /// Weighted merge of two reservoirs over *disjoint* substreams: the
+    /// result is distributed exactly like a single reservoir run over the
+    /// concatenated stream.
+    ///
+    /// The number of survivors taken from each side follows the
+    /// hypergeometric allocation (draw `k` records without replacement
+    /// from an urn holding `seen_a` + `seen_b` records), realised by
+    /// sequential weighted draws; the chosen count is then filled with a
+    /// uniform subset of that side's sample. This is the standard
+    /// parallel-reservoir merge rule (cf. StreamSampling.jl's `merge`).
+    pub fn merge<R: Rng>(&self, other: &Reservoir<T>, rng: &mut R) -> Reservoir<T> {
+        let capacity = self.capacity.min(other.capacity);
+        let total = self.seen + other.seen;
+        let k = (capacity as u64).min(total) as usize;
+        // Hypergeometric split of the k slots between the two sides.
+        let (mut left, mut right) = (self.seen, other.seen);
+        let mut from_left = 0usize;
+        for _ in 0..k {
+            if rng.gen_range(0..left + right) < left {
+                from_left += 1;
+                left -= 1;
+            } else {
+                right -= 1;
+            }
+        }
+        // Uniform subset of each side's sample (partial Fisher–Yates).
+        let mut items = Vec::with_capacity(capacity);
+        for (source, take) in [(self, from_left), (other, k - from_left)] {
+            let mut pool = source.items.clone();
+            for _ in 0..take {
+                let j = rng.gen_range(0..pool.len());
+                items.push(pool.swap_remove(j));
+            }
+        }
+        Reservoir { capacity, seen: total, items }
+    }
 }
 
 /// Skip-based uniform reservoir (Algorithm L skip distribution).

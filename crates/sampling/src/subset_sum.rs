@@ -204,6 +204,136 @@ impl<T> WindowResult<T> {
     }
 }
 
+/// One shard's contribution to a threshold-sample merge: the sampled
+/// items with their *effective* (threshold-adjusted, `max(w, z)`)
+/// weights, plus the threshold they were sampled at.
+#[derive(Debug, Clone)]
+pub struct ThresholdPart<T> {
+    /// `(item, effective weight)` pairs.
+    pub samples: Vec<(T, f64)>,
+    /// The threshold this part was sampled at.
+    pub z: f64,
+}
+
+/// The result of [`merge_threshold_samples`].
+#[derive(Debug, Clone)]
+pub struct MergedThresholdSample<T> {
+    /// Surviving samples with effective weights updated to
+    /// `max(w, z_final)`.
+    pub samples: Vec<(T, f64)>,
+    /// The merged threshold (`≥` every input part's threshold).
+    pub z_final: f64,
+    /// Re-subsampling passes run.
+    pub passes: u32,
+}
+
+impl<T> MergedThresholdSample<T> {
+    /// Unbiased estimate of the merged total weight: the sum of the
+    /// (already adjusted) effective weights.
+    pub fn estimate(&self) -> f64 {
+        self.samples.iter().map(|(_, w)| w).sum()
+    }
+}
+
+/// One deterministic re-subsampling pass at threshold `z`: effective
+/// weights above `z` always survive; smaller ones are metered one per
+/// `z` of accumulated effective weight and reported at weight `z`.
+/// The trigger is `counter ≥ z` (not strict) so that re-sampling a valid
+/// threshold sample at its *own* threshold is the identity.
+fn threshold_pass<T>(samples: &mut Vec<(T, f64)>, z: f64) {
+    if z <= 0.0 {
+        return;
+    }
+    let mut counter = 0.0f64;
+    samples.retain_mut(|(_, eff)| {
+        if *eff > z {
+            true
+        } else {
+            counter += *eff;
+            if counter >= z {
+                counter -= z;
+                *eff = z;
+                true
+            } else {
+                false
+            }
+        }
+    });
+}
+
+/// The aggressive threshold adjustment of [`DynamicSubsetSum::clean`],
+/// expressed over effective weights.
+fn raise_z<T>(samples: &[(T, f64)], z: f64, target: usize) -> f64 {
+    let s = samples.len();
+    let b = samples.iter().filter(|(_, eff)| *eff > z).count();
+    if z > 0.0 && b < target {
+        z * (1.0f64).max((s - b) as f64 / (target - b) as f64)
+    } else {
+        let total: f64 = samples.iter().map(|(_, eff)| eff.max(z)).sum();
+        (total / target as f64).max(z * 1.0000001).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Max-threshold merge of per-shard threshold samples (§7.2's partial
+/// aggregation applied to subset-sum state): re-subsample every part at
+/// the *maximum* of the shard thresholds, then keep raising `z` with the
+/// aggressive adjustment until at most `target` samples survive.
+///
+/// Because each pass treats the previous stage's effective weights as
+/// ground truth, the composed estimator stays unbiased (tower property
+/// over the per-shard and merge stages), and `z_final ≥ max(zᵢ)`.
+pub fn merge_threshold_samples<T>(
+    parts: Vec<ThresholdPart<T>>,
+    target: usize,
+) -> MergedThresholdSample<T> {
+    assert!(target > 0, "target sample size must be positive");
+    let mut z = parts.iter().map(|p| p.z).fold(0.0f64, f64::max);
+    let mut samples: Vec<(T, f64)> = Vec::new();
+    for part in parts {
+        // Effective weights are clamped up to the part's own threshold,
+        // so under-reported inputs cannot bias the merge downward.
+        samples.extend(part.samples.into_iter().map(|(t, w)| (t, w.max(part.z))));
+    }
+    let mut passes = 0u32;
+    if z > 0.0 {
+        threshold_pass(&mut samples, z);
+        passes += 1;
+    }
+    while samples.len() > target && passes < 100 {
+        z = raise_z(&samples, z, target);
+        threshold_pass(&mut samples, z);
+        passes += 1;
+    }
+    MergedThresholdSample { samples, z_final: z, passes }
+}
+
+/// [`merge_threshold_samples`] lifted to per-window shard results: the
+/// merged [`WindowResult`] keeps original weights, carries the merged
+/// threshold as `z_final`, and sums the per-shard counters.
+pub fn merge_window_results<T: Clone>(parts: &[WindowResult<T>], target: usize) -> WindowResult<T> {
+    let merged = merge_threshold_samples(
+        parts
+            .iter()
+            .map(|p| ThresholdPart {
+                samples: p
+                    .samples
+                    .iter()
+                    .map(|s| (s.clone(), (s.weight as f64).max(p.z_final)))
+                    .collect(),
+                z: p.z_final,
+            })
+            .collect(),
+        target,
+    );
+    WindowResult {
+        samples: merged.samples.into_iter().map(|(s, _)| s).collect(),
+        z_final: merged.z_final,
+        cleanings: parts.iter().map(|p| p.cleanings).sum::<u32>() + merged.passes,
+        admissions: parts.iter().map(|p| p.admissions).sum(),
+        offered: parts.iter().map(|p| p.offered).sum(),
+    }
+}
+
 /// Dynamic (fixed-sample-size) subset-sum sampling over successive
 /// windows.
 #[derive(Debug, Clone)]

@@ -1,0 +1,252 @@
+//! Shard-merge rules vs the single-stream reference (§7.2 partial
+//! aggregation): each merge of per-substream sampler state must match —
+//! exactly or distributionally — the same sampler run over the whole
+//! stream.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sso_sampling::subset_sum::{merge_threshold_samples, ThresholdPart};
+use sso_sampling::{
+    merge_window_results, DynamicSubsetSum, KmvSketch, LossyCounter, Reservoir, SubsetSumConfig,
+};
+
+/// Round-robin split of a stream into `k` substreams.
+fn split<T: Clone>(stream: &[T], k: usize) -> Vec<Vec<T>> {
+    let mut parts = vec![Vec::new(); k];
+    for (i, item) in stream.iter().enumerate() {
+        parts[i % k].push(item.clone());
+    }
+    parts
+}
+
+// ---------------------------------------------------------------- reservoir
+
+#[test]
+fn reservoir_merge_has_union_counts_and_full_capacity() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let stream: Vec<u64> = (0..10_000).collect();
+    let mut merged = None;
+    for part in split(&stream, 4) {
+        let mut r = Reservoir::new(100);
+        for x in part {
+            r.offer(x, &mut rng);
+        }
+        merged = Some(match merged {
+            None => r,
+            Some(m) => r.merge(&m, &mut rng),
+        });
+    }
+    let merged: Reservoir<u64> = merged.unwrap();
+    assert_eq!(merged.seen(), 10_000);
+    assert_eq!(merged.items().len(), 100);
+}
+
+#[test]
+fn reservoir_merge_is_uniform_like_the_single_stream_reference() {
+    // Inclusion frequency of every item must match the single-reservoir
+    // reference: P(in sample) = n/N for the merged sampler too.
+    let n = 20usize;
+    let big = 400u64; // substream sizes 300 vs 100: asymmetric on purpose
+    let trials = 4000usize;
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut hits = vec![0u32; big as usize];
+    for _ in 0..trials {
+        let mut a = Reservoir::new(n);
+        let mut b = Reservoir::new(n);
+        for x in 0..300u64 {
+            a.offer(x, &mut rng);
+        }
+        for x in 300..big {
+            b.offer(x, &mut rng);
+        }
+        for &x in a.merge(&b, &mut rng).items() {
+            hits[x as usize] += 1;
+        }
+    }
+    let expected = trials as f64 * n as f64 / big as f64; // = 200
+    for (x, &h) in hits.iter().enumerate() {
+        let dev = (h as f64 - expected).abs() / expected;
+        // ~14 sigma on a binomial(4000, 0.05): fails only if merge is biased.
+        assert!(dev < 0.5, "item {x} included {h} times, expected ~{expected:.0}");
+    }
+    // No systematic bias toward either substream.
+    let first: u32 = hits[..300].iter().sum();
+    let second: u32 = hits[300..].iter().sum();
+    let ratio = first as f64 / (first + second) as f64;
+    assert!((ratio - 0.75).abs() < 0.02, "substream share {ratio:.3}, expected 0.75");
+}
+
+// ------------------------------------------------------------------- lossy
+
+#[test]
+fn lossy_merge_error_bound_is_sum_of_epsilons() {
+    let (e1, e2) = (0.004, 0.006);
+    let mut rng = StdRng::seed_from_u64(13);
+    let stream: Vec<u32> = (0..120_000)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            ((1.0 / (r + 0.004)) as u32).min(500)
+        })
+        .collect();
+    let mut truth: HashMap<u32, u64> = HashMap::new();
+    for &x in &stream {
+        *truth.entry(x).or_insert(0) += 1;
+    }
+    let parts = split(&stream, 2);
+    let mut a = LossyCounter::new(e1);
+    let mut b = LossyCounter::new(e2);
+    for &x in &parts[0] {
+        a.insert(x);
+    }
+    for &x in &parts[1] {
+        b.insert(x);
+    }
+    let merged = a.merge(&b);
+    assert_eq!(merged.stream_len(), stream.len() as u64);
+    assert!((merged.epsilon() - (e1 + e2)).abs() < 1e-12);
+
+    let n = merged.stream_len() as f64;
+    let bound = ((e1 + e2) * n).ceil() as u64;
+    for (&item, &f) in &truth {
+        let est = merged.estimate(&item);
+        assert!(est <= f, "merged overcounts {item}: {est} > {f}");
+        assert!(f - est <= bound, "undercount for {item}: {est} vs {f} (bound {bound})");
+    }
+    // No false negatives at support s with the merged epsilon.
+    let support = 0.03;
+    let reported: HashMap<u32, u64> = merged.query(support).into_iter().collect();
+    for (&item, &f) in &truth {
+        if f as f64 / n >= support {
+            assert!(reported.contains_key(&item), "merged summary missed heavy hitter {item}");
+        }
+    }
+}
+
+#[test]
+fn lossy_merge_of_exact_summaries_is_exact() {
+    // Streams short enough that neither side ever prunes: the merge must
+    // be plain count addition.
+    let mut a = LossyCounter::new(0.01);
+    let mut b = LossyCounter::new(0.01);
+    for _ in 0..30 {
+        a.insert("x");
+    }
+    for _ in 0..12 {
+        b.insert("x");
+    }
+    b.insert("y");
+    let merged = a.merge(&b);
+    assert_eq!(merged.estimate(&"x"), 42);
+    assert_eq!(merged.estimate(&"y"), 1);
+}
+
+// --------------------------------------------------------------------- kmv
+
+#[test]
+fn kmv_union_matches_single_stream_sketch() {
+    let mut parts: Vec<KmvSketch> = (0..4).map(|_| KmvSketch::new(64)).collect();
+    let mut reference = KmvSketch::new(64);
+    let mut rng = StdRng::seed_from_u64(14);
+    for i in 0..50_000u64 {
+        let x = rng.gen_range(0..8_000u64);
+        parts[(i % 4) as usize].insert(x);
+        reference.insert(x);
+    }
+    let merged = parts.iter().skip(1).fold(parts[0].clone(), |acc, s| acc.merge(s));
+    assert_eq!(
+        merged.values().collect::<Vec<_>>(),
+        reference.values().collect::<Vec<_>>(),
+        "union-then-truncate must be exact"
+    );
+    assert_eq!(merged.kth_smallest(), reference.kth_smallest());
+}
+
+// -------------------------------------------------------------- subset-sum
+
+#[test]
+fn threshold_merge_takes_the_max_threshold_and_hits_target() {
+    let target = 200usize;
+    let mut rng = StdRng::seed_from_u64(15);
+    let stream: Vec<u64> = (0..80_000).map(|_| rng.gen_range(40..1500u64)).collect();
+    let truth: u64 = stream.iter().sum();
+
+    let mut results = Vec::new();
+    for part in split(&stream, 4) {
+        let cfg = SubsetSumConfig::new(target).with_initial_z(1.0);
+        let mut d = DynamicSubsetSum::new(cfg);
+        for &w in &part {
+            d.offer((), w);
+        }
+        results.push(d.end_window());
+    }
+    let z_max = results.iter().map(|r| r.z_final).fold(0.0f64, f64::max);
+    let merged = merge_window_results(&results, target);
+
+    assert!(merged.z_final >= z_max, "merged z {} < max shard z {z_max}", merged.z_final);
+    assert!(merged.samples.len() <= target, "merged sample {} > target", merged.samples.len());
+    assert!(!merged.samples.is_empty());
+    let rel = (merged.estimate() - truth as f64).abs() / truth as f64;
+    // Single-stream reference at this target stays within ~15%; the
+    // two-stage merge pays a little extra variance.
+    assert!(rel < 0.2, "merged estimate off by {rel:.3}");
+}
+
+#[test]
+fn threshold_merge_of_one_part_is_identity() {
+    let mut rng = StdRng::seed_from_u64(16);
+    let cfg = SubsetSumConfig::new(100).with_initial_z(1.0);
+    let mut d = DynamicSubsetSum::new(cfg);
+    for _ in 0..30_000 {
+        d.offer((), rng.gen_range(40..1500u64));
+    }
+    let single = d.end_window();
+    let merged = merge_window_results(std::slice::from_ref(&single), 100);
+    assert_eq!(merged.samples.len(), single.samples.len(), "same-threshold re-pass must keep all");
+    assert_eq!(merged.z_final, single.z_final);
+    assert!((merged.estimate() - single.estimate()).abs() < 1e-6);
+}
+
+#[test]
+fn threshold_merge_keeps_all_big_items() {
+    // Items with effective weight above the merged threshold always
+    // survive the max-threshold merge.
+    let parts = vec![
+        ThresholdPart { samples: vec![(1u32, 50_000.0), (2, 120.0)], z: 120.0 },
+        ThresholdPart { samples: vec![(3, 70_000.0), (4, 300.0)], z: 300.0 },
+    ];
+    let merged = merge_threshold_samples(parts, 100);
+    let items: Vec<u32> = merged.samples.iter().map(|(i, _)| *i).collect();
+    assert!(items.contains(&1) && items.contains(&3), "big items must survive: {items:?}");
+    assert!(merged.z_final >= 300.0);
+    // Surviving small items are reported at the merged threshold.
+    for (_, eff) in &merged.samples {
+        assert!(*eff >= merged.z_final || *eff > 300.0);
+    }
+}
+
+#[test]
+fn threshold_merge_estimate_is_unbiased_across_many_runs() {
+    // Average the merged estimate over shifted streams; the two-stage
+    // estimator's mean must track the truth closely.
+    let target = 100usize;
+    let mut rel_sum = 0.0f64;
+    let runs = 30;
+    for seed in 0..runs {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let stream: Vec<u64> = (0..20_000).map(|_| rng.gen_range(40..1500u64)).collect();
+        let truth: u64 = stream.iter().sum();
+        let mut results = Vec::new();
+        for part in split(&stream, 4) {
+            let mut d = DynamicSubsetSum::new(SubsetSumConfig::new(target).with_initial_z(1.0));
+            for &w in &part {
+                d.offer((), w);
+            }
+            results.push(d.end_window());
+        }
+        rel_sum += merge_window_results(&results, target).estimate() / truth as f64;
+    }
+    let mean_ratio = rel_sum / runs as f64;
+    assert!((mean_ratio - 1.0).abs() < 0.05, "mean estimate ratio {mean_ratio:.4}");
+}

@@ -95,6 +95,16 @@ impl From<Vec<Value>> for Tuple {
     }
 }
 
+// Lets hash maps keyed by `Tuple` be probed with a borrowed value slice,
+// so per-tuple hot paths can look up group keys without allocating a
+// `Tuple`. Sound because the derived `Hash`/`Eq` delegate to the inner
+// `Vec<Value>`, which hashes and compares exactly like its slice.
+impl std::borrow::Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        &self.values
+    }
+}
+
 impl std::fmt::Display for Tuple {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "(")?;

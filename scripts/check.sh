@@ -12,4 +12,11 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== sharded runtime determinism suite =="
+cargo test -q --test sharded
+
+echo "== sso --shards smoke run =="
+cargo run -q --bin sso -- --feed research --seconds 2 --shards 4 \
+    "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" >/dev/null
+
 echo "All checks passed."

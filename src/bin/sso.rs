@@ -20,6 +20,8 @@
 //!   --seconds N                       trace length (default 60)
 //!   --seed S                          feed seed (default 1)
 //!   --limit R                         print at most R rows per window (default 20)
+//!   --shards N                        run N partitioned operator shards (default 1);
+//!                                     refuses non-shard-mergeable queries with W102
 //!   --explain                         print the plan instead of running
 //!   --json                            machine-readable window output
 //!
@@ -44,6 +46,7 @@ struct Options {
     seconds: u64,
     seed: u64,
     limit: usize,
+    shards: usize,
     explain: bool,
     json: bool,
     query: Option<String>,
@@ -52,7 +55,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: sso [--feed research|datacenter|ddos] [--trace FILE] [--dump FILE] \
-         [--seconds N] [--seed S] [--limit R] [--explain] [--json] 'QUERY'\n\
+         [--seconds N] [--seed S] [--limit R] [--shards N] [--explain] [--json] 'QUERY'\n\
          \x20      sso check QUERY-FILE"
     );
     std::process::exit(2);
@@ -167,6 +170,7 @@ fn parse_args() -> Options {
         seconds: 60,
         seed: 1,
         limit: 20,
+        shards: 1,
         explain: false,
         json: false,
         query: None,
@@ -185,6 +189,13 @@ fn parse_args() -> Options {
             }
             "--limit" => {
                 opts.limit = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
             }
             "--explain" => opts.explain = true,
             "--json" => opts.json = true,
@@ -227,13 +238,6 @@ fn main() {
         print!("{}", explain(&spec));
         return;
     }
-    let mut op = match SamplingOperator::new(spec) {
-        Ok(op) => op,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
 
     let packets = if let Some(path) = &opts.trace {
         match std::fs::File::open(path)
@@ -282,24 +286,71 @@ fn main() {
         );
     }
 
-    let columns: Vec<String> = op.output_columns().iter().map(|s| s.to_string()).collect();
+    let columns: Vec<String> = spec.select.iter().map(|(n, _)| n.clone()).collect();
     let mut total_rows = 0u64;
-    for pkt in &packets {
-        match op.process(&pkt.to_tuple()) {
+    if opts.shards > 1 {
+        // Gate on shard-mergeability first so the refusal renders as a
+        // proper W102 diagnostic instead of a runtime error.
+        if stream_sampler::operator::shard_plan(&spec).is_err() {
+            let diags = stream_sampler::query::check_shard_mergeable(query_text, &schema, &config);
+            eprint!("{}", diag::render(query_text, "query", &diags));
+            eprintln!("error: --shards {} requires a shard-mergeable query", opts.shards);
+            std::process::exit(1);
+        }
+        let make = |_shard: usize| {
+            stream_sampler::query::plan(&parsed, &schema, &config)
+                .map_err(|e| stream_sampler::operator::OpError::InvalidSpec(e.to_string()))
+        };
+        let cfg = stream_sampler::runtime::RuntimeConfig::new(opts.shards);
+        match stream_sampler::gigascope::run_plan_sharded(
+            Box::new(SelectionNode::pass_all()),
+            make,
+            &cfg,
+            packets,
+        ) {
+            Ok(report) => {
+                for w in &report.windows {
+                    total_rows += print_window(w, &columns, &opts);
+                }
+                if !opts.json {
+                    for s in &report.shards {
+                        eprintln!(
+                            "# shard {}: {} tuples, {} windows, {} stalls, {} dropped",
+                            s.shard, s.tuples, s.windows, s.stalls, s.dropped
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let mut op = match SamplingOperator::new(spec) {
+            Ok(op) => op,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        for pkt in &packets {
+            match op.process(&pkt.to_tuple()) {
+                Ok(Some(w)) => total_rows += print_window(&w, &columns, &opts),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        match op.finish() {
             Ok(Some(w)) => total_rows += print_window(&w, &columns, &opts),
             Ok(None) => {}
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
-        }
-    }
-    match op.finish() {
-        Ok(Some(w)) => total_rows += print_window(&w, &columns, &opts),
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
         }
     }
     if !opts.json {

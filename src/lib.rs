@@ -15,6 +15,7 @@
 //! | [`sampling`] | `sso-sampling` | reference algorithms: reservoir, lossy counting, KMV min-hash, subset-sum |
 //! | [`operator`] | `sso-core` | the sampling operator, SFUN machinery, superaggregates, paper query builders |
 //! | [`query`] | `sso-query` | the §5 query language: lexer, parser, planner |
+//! | [`runtime`] | `sso-runtime` | sharded execution: hash-partitioned worker shards, window-aligned merge |
 //! | [`gigascope`] | `sso-gigascope` | ring buffer, two-level plans, CPU accounting |
 //! | [`netgen`] | `sso-netgen` | synthetic research-center and data-center packet feeds |
 //!
@@ -48,6 +49,7 @@ pub use sso_core as operator;
 pub use sso_gigascope as gigascope;
 pub use sso_netgen as netgen;
 pub use sso_query as query;
+pub use sso_runtime as runtime;
 pub use sso_sampling as sampling;
 pub use sso_types as types;
 
@@ -56,10 +58,13 @@ pub mod prelude {
     pub use sso_core::libs::reservoir::ReservoirOpConfig;
     pub use sso_core::libs::subset_sum::SubsetSumOpConfig;
     pub use sso_core::{queries, OperatorSpec, SamplingOperator, WindowOutput};
+    pub use sso_core::{shard_plan, MergeRule, ShardPlan};
     pub use sso_gigascope::{
-        run_plan, run_plan_threaded, PrefilterNode, SelectionNode, TwoLevelPlan,
+        run_plan, run_plan_sharded, run_plan_threaded, PrefilterNode, SelectionNode,
+        ShardedRunReport, TwoLevelPlan,
     };
     pub use sso_netgen::{datacenter_feed, ddos_feed, research_feed};
-    pub use sso_query::{compile, parse_query, PlannerConfig};
+    pub use sso_query::{check_shard_mergeable, compile, parse_query, PlannerConfig};
+    pub use sso_runtime::{run_sharded, Backpressure, RuntimeConfig};
     pub use sso_types::{format_ipv4, Packet, Schema, Tuple, Value};
 }

@@ -1,0 +1,153 @@
+//! Sharded-runtime determinism: every shard-mergeable example query is
+//! run through `run_plan_sharded` at 1, 2, and 8 shards over a seeded
+//! feed. Exact queries (counts, sums, KMV signatures) must reproduce the
+//! single-instance output bit-for-bit at every shard count; sampled
+//! queries (dynamic subset-sum, reservoir) must be run-to-run
+//! reproducible at a fixed seed and statistically sound.
+
+use std::cmp::Ordering;
+
+use stream_sampler::prelude::*;
+
+const SECONDS: u64 = 6;
+const WINDOW: u64 = 2;
+const FEED_SEED: u64 = 0xd5;
+
+fn packets() -> Vec<Packet> {
+    research_feed(FEED_SEED).take_seconds(SECONDS)
+}
+
+/// Single-instance reference run, rows put into the merge's canonical
+/// order (the operator emits rows in group-creation order; the sharded
+/// merge sorts them by value).
+fn reference(spec: OperatorSpec) -> Vec<WindowOutput> {
+    let tuples: Vec<Tuple> = packets().iter().map(|p| p.to_tuple()).collect();
+    let mut windows =
+        SamplingOperator::new(spec).expect("spec").run(tuples.iter()).expect("single run");
+    for w in &mut windows {
+        w.rows.sort_by(tuple_cmp);
+    }
+    windows
+}
+
+fn tuple_cmp(a: &Tuple, b: &Tuple) -> Ordering {
+    for (x, y) in a.values().iter().zip(b.values()) {
+        match x.compare(y).unwrap_or(Ordering::Equal) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn sharded<F>(make: F, shards: usize) -> ShardedRunReport
+where
+    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError>,
+{
+    run_plan_sharded(
+        Box::new(SelectionNode::pass_all()),
+        make,
+        &RuntimeConfig::new(shards),
+        packets(),
+    )
+    .expect("sharded run")
+}
+
+fn assert_windows_equal(single: &[WindowOutput], sharded: &[WindowOutput], what: &str) {
+    assert_eq!(single.len(), sharded.len(), "{what}: window count");
+    for (a, b) in single.iter().zip(sharded) {
+        assert_eq!(a.window, b.window, "{what}: window key");
+        assert_eq!(a.rows, b.rows, "{what}: rows for window {:?}", a.window);
+    }
+}
+
+#[test]
+fn exact_sums_and_counts_do_not_drift_at_any_shard_count() {
+    let single = reference(queries::total_sum_query(WINDOW));
+    for shards in [1, 2, 8] {
+        let report = sharded(|_| Ok(queries::total_sum_query(WINDOW)), shards);
+        assert_windows_equal(&single, &report.windows, &format!("total_sum x{shards}"));
+        assert_eq!(
+            report.shards.iter().map(|s| s.tuples).sum::<u64>(),
+            packets().len() as u64,
+            "every tuple must reach a shard"
+        );
+    }
+}
+
+#[test]
+fn heavy_hitter_counts_merge_exactly() {
+    // Bucket width far beyond the stream length: lossy counting never
+    // decrements, so per-group counts are exact and must merge exactly.
+    let make = |_| queries::heavy_hitters_query(WINDOW, 1 << 20, None);
+    let single = reference(make(0).unwrap());
+    for shards in [1, 2, 8] {
+        let report = sharded(make, shards);
+        assert_windows_equal(&single, &report.windows, &format!("heavy_hitters x{shards}"));
+    }
+}
+
+#[test]
+fn minhash_signatures_merge_exactly() {
+    let make = |_| queries::minhash_query(WINDOW, 16);
+    let single = reference(make(0).unwrap());
+    for shards in [1, 2, 8] {
+        let report = sharded(make, shards);
+        assert_windows_equal(&single, &report.windows, &format!("minhash x{shards}"));
+    }
+}
+
+#[test]
+fn dynamic_subset_sum_is_reproducible_and_accurate() {
+    let make = |_| {
+        queries::subset_sum_query(
+            WINDOW,
+            SubsetSumOpConfig { target: 100, initial_z: 1.0, ..Default::default() },
+            false,
+        )
+    };
+    let mut truth = std::collections::HashMap::new();
+    for p in packets() {
+        *truth.entry(p.time() / WINDOW).or_insert(0u64) += p.len as u64;
+    }
+    for shards in [1, 2, 8] {
+        let a = sharded(make, shards);
+        let b = sharded(make, shards);
+        assert_windows_equal(&a.windows, &b.windows, &format!("subset_sum rerun x{shards}"));
+        for w in &a.windows {
+            assert!(w.rows.len() <= 110, "{shards} shards: merged sample stays near target");
+            let tb = w.window.get(0).as_u64().unwrap();
+            let actual = truth[&tb] as f64;
+            let est: f64 = w.rows.iter().map(|r| r.get(3).as_f64().unwrap()).sum();
+            let err = (est - actual).abs() / actual;
+            assert!(err < 0.25, "{shards} shards, window {tb}: estimate off by {err:.3}");
+        }
+    }
+}
+
+#[test]
+fn reservoir_sample_is_seed_fixed_per_shard_count() {
+    let make = |_| {
+        queries::reservoir_query(WINDOW, ReservoirOpConfig { n: 50, seed: 7, ..Default::default() })
+    };
+    for shards in [1, 2, 8] {
+        let a = sharded(make, shards);
+        let b = sharded(make, shards);
+        assert_windows_equal(&a.windows, &b.windows, &format!("reservoir rerun x{shards}"));
+        for w in &a.windows {
+            assert!(w.rows.len() <= 50, "reservoir never exceeds n");
+            assert!(!w.rows.is_empty(), "reservoir keeps a sample");
+        }
+    }
+}
+
+#[test]
+fn fixed_threshold_subset_sum_is_reproducible() {
+    let make = |_| queries::basic_subset_sum_query(WINDOW, 400.0);
+    for shards in [1, 2, 8] {
+        let a = sharded(make, shards);
+        let b = sharded(make, shards);
+        assert_windows_equal(&a.windows, &b.windows, &format!("basic_ss rerun x{shards}"));
+        assert!(a.windows.iter().any(|w| !w.rows.is_empty()));
+    }
+}

@@ -8,7 +8,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// Sending half of a bounded channel.
     pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -26,6 +26,13 @@ pub mod channel {
         /// Block until the value is enqueued; `Err` if the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Non-blocking send: `Err(Full)` when the ring is at capacity,
+        /// `Err(Disconnected)` when the receiver is gone. Lets a producer
+        /// account stalls/drops instead of silently blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 
@@ -88,6 +95,18 @@ mod tests {
             }
             assert!(rx.recv().is_err());
         });
+    }
+
+    #[test]
+    fn try_send_reports_full_ring() {
+        let (tx, rx) = channel::bounded::<u64>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(matches!(tx.try_send(3), Err(channel::TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4))));
     }
 
     #[test]
