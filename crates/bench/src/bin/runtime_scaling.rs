@@ -202,7 +202,7 @@ fn main() {
             tuples_per_sec: n as f64 / secs,
             speedup_vs_threaded: base_secs / secs,
             windows: report.windows.len(),
-            stalls: report.shards.iter().map(|s| s.stalls).sum(),
+            stalls: report.shards.iter().map(|s| s.stalls()).sum(),
             dropped: report.dropped(),
             max_estimate_err_pct: max_estimate_err_pct(&report.windows, &truth),
         });

@@ -32,6 +32,7 @@ pub mod error;
 pub mod expr;
 pub mod libs;
 pub mod merge;
+pub mod metrics;
 pub mod operator;
 pub mod queries;
 pub mod scalar;
@@ -42,6 +43,7 @@ pub use agg::{AggSpec, AggState};
 pub use error::{panic_message, OpError};
 pub use expr::{BinOp, EvalCtx, Expr};
 pub use merge::{shard_plan, ColumnRule, MergeRule, NotMergeable, ShardPlan};
+pub use metrics::OperatorMetrics;
 pub use operator::{OperatorSpec, OperatorStats, SamplingOperator, WindowOutput, WindowStats};
-pub use sfun::{SfunLibrary, SfunStates, Signature};
+pub use sfun::{SfunLibrary, SfunStates, SfunTelemetry, Signature};
 pub use superagg::{SuperAggSpec, SuperAggState};

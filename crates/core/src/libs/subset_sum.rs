@@ -22,7 +22,7 @@ use sso_sampling::subset_sum::ThresholdCarry;
 use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::{f64_arg, u64_arg};
-use crate::sfun::{state_mut, SfunLibrary, Signature};
+use crate::sfun::{state_mut, SfunLibrary, SfunTelemetry, Signature};
 
 /// Configuration for [`library`].
 #[derive(Debug, Clone, Copy)]
@@ -218,6 +218,15 @@ pub fn library(cfg: SubsetSumOpConfig) -> SfunLibrary {
             s.final_started = false;
             s.final_kept = 0;
         }
+    })
+    .with_telemetry(|state| {
+        state.downcast_ref::<SubsetSumSfunState>().map(|s| SfunTelemetry {
+            threshold: s.z,
+            achieved: s.final_kept,
+            target: s.target as u64,
+            offered: s.offered,
+            cleanings: s.cleanings as u64,
+        })
     })
     .register(
         "ssample",

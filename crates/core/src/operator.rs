@@ -33,7 +33,8 @@ use sso_types::{Tuple, Value};
 use crate::agg::{AggSpec, AggState};
 use crate::error::OpError;
 use crate::expr::{EvalCtx, Expr};
-use crate::sfun::{SfunLibrary, SfunStates};
+use crate::metrics::OperatorMetrics;
+use crate::sfun::{SfunLibrary, SfunStates, SfunTelemetry};
 use crate::superagg::{SuperAggSpec, SuperAggState};
 
 /// Full specification of a sampling (or plain aggregation) query over
@@ -172,6 +173,8 @@ pub struct WindowStats {
     pub cleaning_phases: u64,
     /// Groups created.
     pub groups_created: u64,
+    /// Groups evicted by cleaning phases.
+    pub evictions: u64,
     /// Rows emitted at window close.
     pub output_rows: u64,
 }
@@ -189,6 +192,8 @@ pub struct OperatorStats {
     pub cleaning_phases: u64,
     /// Groups created.
     pub groups_created: u64,
+    /// Groups evicted by cleaning phases.
+    pub evictions: u64,
     /// Rows emitted.
     pub output_rows: u64,
 }
@@ -200,6 +205,7 @@ impl OperatorStats {
         self.admitted += w.admitted;
         self.cleaning_phases += w.cleaning_phases;
         self.groups_created += w.groups_created;
+        self.evictions += w.evictions;
         self.output_rows += w.output_rows;
     }
 }
@@ -226,6 +232,7 @@ pub struct SamplingOperator {
     window: Option<Vec<Value>>,
     wstats: WindowStats,
     stats: OperatorStats,
+    metrics: Option<OperatorMetrics>,
     // Reused per-tuple buffers (group-by values, supergroup key);
     // process() runs for every input tuple, so its allocations dominate
     // rejected-tuple cost.
@@ -257,9 +264,17 @@ impl SamplingOperator {
             window: None,
             wstats: WindowStats::default(),
             stats: OperatorStats::default(),
+            metrics: None,
             gb_scratch: Vec::new(),
             sg_scratch: Vec::new(),
         })
+    }
+
+    /// Attach registry-backed instrumentation. Per-tuple counters stay
+    /// batched in [`WindowStats`] and flush at window close; only the
+    /// sampled phase spans touch the clock.
+    pub fn set_metrics(&mut self, metrics: OperatorMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// The spec this operator runs.
@@ -291,6 +306,7 @@ impl SamplingOperator {
     /// window's output is returned (the tuple itself is processed into
     /// the new window).
     pub fn process(&mut self, tuple: &Tuple) -> Result<Option<WindowOutput>, OpError> {
+        let _span = self.metrics.as_ref().and_then(|m| m.process_span.start());
         let spec = Arc::clone(&self.spec);
         // 1. Group-by values, into the reused scratch buffer (an eval
         // error forfeits the buffer; the next tuple just reallocates).
@@ -444,6 +460,7 @@ impl SamplingOperator {
     /// Apply CLEANING BY to every group of supergroup `sg_idx`, evicting
     /// groups for which it is false.
     fn clean_supergroup(&mut self, sg_idx: usize) -> Result<(), OpError> {
+        let _span = self.metrics.as_ref().and_then(|m| m.clean_span.start());
         let spec = Arc::clone(&self.spec);
         let Some(cb) = &spec.cleaning_by else {
             return Ok(());
@@ -467,6 +484,7 @@ impl SamplingOperator {
             if keep {
                 kept.push(gkey);
             } else {
+                self.wstats.evictions += 1;
                 let entry = self.groups.remove(&gkey).expect("group listed in supergroup");
                 let superaggs = &mut self.sgs[sg_idx].superaggs;
                 for (i, sa) in spec.superaggs.iter().enumerate() {
@@ -481,6 +499,7 @@ impl SamplingOperator {
     /// Close the current window: HAVING + SELECT per group, state
     /// carry-over, table reset.
     fn flush_window(&mut self) -> Result<WindowOutput, OpError> {
+        let _span = self.metrics.as_ref().and_then(|m| m.window_span.start());
         let spec = Arc::clone(&self.spec);
         // Signal window end to every state (the paper's final_init()).
         for sg in &mut self.sgs {
@@ -516,6 +535,29 @@ impl SamplingOperator {
                 }
             }
         }
+        // Probe sampling telemetry while this window's states are still
+        // live — `ssfinal_clean` sets the achieved sample size during
+        // the HAVING pass above. Telemetry from multiple supergroups is
+        // summed (the threshold is taken as the max).
+        let telemetry = if self.metrics.is_some() {
+            let mut acc: Option<SfunTelemetry> = None;
+            for sg in &self.sgs {
+                for (li, lib) in spec.sfun_libs.iter().enumerate() {
+                    if let Some(t) = lib.probe_telemetry(sg.states[li].as_ref()) {
+                        let a = acc.get_or_insert_with(SfunTelemetry::default);
+                        a.threshold = a.threshold.max(t.threshold);
+                        a.achieved += t.achieved;
+                        a.target += t.target;
+                        a.offered += t.offered;
+                        a.cleanings += t.cleanings;
+                    }
+                }
+            }
+            acc
+        } else {
+            None
+        };
+        let groups_at_close = self.groups.len() as u64;
         // Carry supergroup states into the old table for the next window.
         self.old_sgs.clear();
         for sg in self.sgs.drain(..) {
@@ -526,6 +568,9 @@ impl SamplingOperator {
         let mut stats = std::mem::take(&mut self.wstats);
         stats.output_rows = rows.len() as u64;
         self.stats.accumulate(&stats);
+        if let Some(m) = &self.metrics {
+            m.on_window(&stats, groups_at_close, telemetry.as_ref());
+        }
         let window = Tuple::new(self.window.clone().unwrap_or_default());
         Ok(WindowOutput { window, rows, stats })
     }
@@ -735,5 +780,30 @@ mod tests {
     fn output_columns_match_select() {
         let op = SamplingOperator::new(simple_agg_spec()).unwrap();
         assert_eq!(op.output_columns(), vec!["tb", "k", "sum_v", "cnt"]);
+    }
+
+    #[test]
+    fn metrics_flush_at_window_close() {
+        let registry = sso_obs::Registry::new();
+        let mut op = SamplingOperator::new(simple_agg_spec()).unwrap();
+        op.set_metrics(OperatorMetrics::register(&registry, ""));
+        op.run([t(1, 7, 10), t(2, 7, 5), t(3, 8, 1), t(11, 7, 100)].iter()).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.value("op.tuples"), 4.0);
+        assert_eq!(snap.value("op.windows"), 2.0);
+        assert_eq!(snap.value("op.output_rows"), 3.0);
+        assert_eq!(snap.value("op.groups_created"), 3.0);
+    }
+
+    #[test]
+    fn evictions_are_counted() {
+        let mut spec = simple_agg_spec();
+        spec.superaggs = vec![SuperAggSpec::CountDistinct];
+        spec.cleaning_when = Some(Expr::SuperAgg(0).gt(Expr::lit(2u64)));
+        spec.cleaning_by = Some(Expr::Aggregate(0).ge(Expr::lit(10u64)));
+        let mut op = SamplingOperator::new(spec).unwrap();
+        let outs = op.run([t(1, 1, 100), t(2, 2, 3), t(3, 3, 50)].iter()).unwrap();
+        assert_eq!(outs[0].stats.evictions, 1, "group k=2 (sum 3) evicted");
+        assert_eq!(op.stats().evictions, 1);
     }
 }

@@ -81,6 +81,26 @@ pub type SfunInit = dyn Fn(Option<&dyn Any>) -> Box<dyn Any + Send> + Send + Syn
 /// before the HAVING clause runs (the paper's `final_init()`).
 pub type SfunWindowEnd = dyn Fn(&mut dyn Any) + Send + Sync;
 
+/// Per-window sampling telemetry a library can expose for observability:
+/// the numbers behind the paper's bursty-load diagnosis (threshold
+/// trajectory, achieved vs. target sample size).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SfunTelemetry {
+    /// Current sampling threshold `z`.
+    pub threshold: f64,
+    /// Samples kept by the final window pass.
+    pub achieved: u64,
+    /// Configured target sample size.
+    pub target: u64,
+    /// Tuples offered to the admission test this window.
+    pub offered: u64,
+    /// Cleaning phases this window.
+    pub cleanings: u64,
+}
+
+/// Telemetry probe: reads a state snapshot without mutating it.
+pub type SfunProbe = dyn Fn(&dyn Any) -> Option<SfunTelemetry> + Send + Sync;
+
 /// The per-supergroup states of all libraries used by a query, one per
 /// library slot.
 pub type SfunStates = Vec<Box<dyn Any + Send>>;
@@ -90,6 +110,7 @@ pub struct SfunLibrary {
     name: &'static str,
     init: Box<SfunInit>,
     window_end: Option<Box<SfunWindowEnd>>,
+    telemetry: Option<Box<SfunProbe>>,
     functions: HashMap<&'static str, (Signature, Arc<SfunFn>)>,
 }
 
@@ -107,12 +128,27 @@ impl SfunLibrary {
         name: &'static str,
         init: impl Fn(Option<&dyn Any>) -> Box<dyn Any + Send> + Send + Sync + 'static,
     ) -> Self {
-        SfunLibrary { name, init: Box::new(init), window_end: None, functions: HashMap::new() }
+        SfunLibrary {
+            name,
+            init: Box::new(init),
+            window_end: None,
+            telemetry: None,
+            functions: HashMap::new(),
+        }
     }
 
     /// Install the window-end hook.
     pub fn with_window_end(mut self, hook: impl Fn(&mut dyn Any) + Send + Sync + 'static) -> Self {
         self.window_end = Some(Box::new(hook));
+        self
+    }
+
+    /// Install the telemetry probe.
+    pub fn with_telemetry(
+        mut self,
+        probe: impl Fn(&dyn Any) -> Option<SfunTelemetry> + Send + Sync + 'static,
+    ) -> Self {
+        self.telemetry = Some(Box::new(probe));
         self
     }
 
@@ -165,6 +201,11 @@ impl SfunLibrary {
         if let Some(hook) = &self.window_end {
             hook(state);
         }
+    }
+
+    /// Read a state's sampling telemetry, if this library exposes any.
+    pub fn probe_telemetry(&self, state: &dyn Any) -> Option<SfunTelemetry> {
+        self.telemetry.as_ref().and_then(|p| p(state))
     }
 }
 

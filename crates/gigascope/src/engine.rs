@@ -9,9 +9,10 @@
 //! selection subquery vs. basic-subset-sum prefilter — are ratios of
 //! these, and survive the hardware change.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use sso_core::{panic_message, OpError, SamplingOperator, WindowOutput};
+use sso_core::{panic_message, OpError, OperatorMetrics, SamplingOperator, WindowOutput};
+use sso_obs::{Registry, Stopwatch};
 use sso_types::Packet;
 
 use crate::nodes::LowLevelQuery;
@@ -27,12 +28,45 @@ pub struct TwoLevelPlan {
     /// NIC ring capacity (single-threaded mode) / channel bound
     /// (threaded mode).
     pub ring_capacity: usize,
+    /// Telemetry registry; `None` = run unobserved (NodeStats only).
+    pub registry: Option<Registry>,
 }
 
 impl TwoLevelPlan {
     /// Build a plan with the default 4096-slot ring.
     pub fn new(low: Box<dyn LowLevelQuery>, high: SamplingOperator) -> Self {
-        TwoLevelPlan { low, high, ring_capacity: 4096 }
+        TwoLevelPlan { low, high, ring_capacity: 4096, registry: None }
+    }
+
+    /// Record the run's telemetry (node handoff counters, ring occupancy,
+    /// operator metrics) into `registry`.
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.high.set_metrics(OperatorMetrics::register(&registry, ""));
+        self.registry = Some(registry);
+        self
+    }
+}
+
+/// Registry handles for the cascade-level metrics of one plan run.
+struct CascadeMetrics {
+    low_tuples_in: sso_obs::Counter,
+    low_tuples_out: sso_obs::Counter,
+    low_busy_ns: sso_obs::Counter,
+    high_tuples_in: sso_obs::Counter,
+    high_busy_ns: sso_obs::Counter,
+    ring_occupancy: sso_obs::Gauge,
+}
+
+impl CascadeMetrics {
+    fn register(registry: &Registry) -> Self {
+        CascadeMetrics {
+            low_tuples_in: registry.counter("low.tuples_in"),
+            low_tuples_out: registry.counter("low.tuples_out"),
+            low_busy_ns: registry.counter("low.busy_ns"),
+            high_tuples_in: registry.counter("high.tuples_in"),
+            high_busy_ns: registry.counter("high.busy_ns"),
+            ring_occupancy: registry.gauge("gigascope.ring_occupancy"),
+        }
     }
 }
 
@@ -103,12 +137,13 @@ pub fn run_plan(
     let mut ring: RingBuffer<Packet> = RingBuffer::new(plan.ring_capacity);
     let mut low = NodeStats { name: plan.low.name().to_string(), ..Default::default() };
     let mut high = NodeStats { name: "sampling-operator".to_string(), ..Default::default() };
+    let metrics = plan.registry.as_ref().map(CascadeMetrics::register);
     let mut windows = Vec::new();
     let mut first_uts = None;
     let mut last_uts = 0u64;
 
     // Timing is per drained batch, not per packet: at 100k+ pkt/s a
-    // per-packet Instant pair costs as much as the work being measured
+    // per-packet clock pair costs as much as the work being measured
     // and would wash out the low-level node comparison of Figure 6.
     let mut forwarded: Vec<sso_types::Tuple> = Vec::with_capacity(plan.ring_capacity);
     let mut drain = |ring: &mut RingBuffer<Packet>,
@@ -117,25 +152,35 @@ pub fn run_plan(
                      high: &mut NodeStats,
                      windows: &mut Vec<WindowOutput>|
      -> Result<(), OpError> {
+        if let Some(m) = &metrics {
+            // Occupancy is read at drain entry: the high-water moment.
+            m.ring_occupancy.set(ring.len() as f64);
+        }
         forwarded.clear();
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
         while let Some(pkt) = ring.pop() {
             low.tuples_in += 1;
             if let Some(tuple) = plan.low.process(&pkt) {
                 forwarded.push(tuple);
             }
         }
-        low.busy += t0.elapsed();
+        let low_ns = sw.elapsed_ns();
+        low.busy += Duration::from_nanos(low_ns);
         low.tuples_out += forwarded.len() as u64;
         high.tuples_in += forwarded.len() as u64;
-        let t1 = Instant::now();
+        let sw = Stopwatch::start();
         for tuple in forwarded.drain(..) {
             if let Some(w) = plan.high.process(&tuple)? {
                 high.tuples_out += w.rows.len() as u64;
                 windows.push(w);
             }
         }
-        high.busy += t1.elapsed();
+        let high_ns = sw.elapsed_ns();
+        high.busy += Duration::from_nanos(high_ns);
+        if let Some(m) = &metrics {
+            m.low_busy_ns.add(low_ns);
+            m.high_busy_ns.add(high_ns);
+        }
         Ok(())
     };
 
@@ -154,11 +199,12 @@ pub fn run_plan(
     }
     drain(&mut ring, &mut plan, &mut low, &mut high, &mut windows)?;
     // Flush any output the low-level node buffered (partial aggregation).
-    let t0 = Instant::now();
+    let sw = Stopwatch::start();
     let tail = plan.low.finish();
-    low.busy += t0.elapsed();
+    let tail_low_ns = sw.elapsed_ns();
+    low.busy += Duration::from_nanos(tail_low_ns);
     low.tuples_out += tail.len() as u64;
-    let t1 = Instant::now();
+    let sw = Stopwatch::start();
     for tuple in tail {
         high.tuples_in += 1;
         if let Some(w) = plan.high.process(&tuple)? {
@@ -170,7 +216,19 @@ pub fn run_plan(
         high.tuples_out += w.rows.len() as u64;
         windows.push(w);
     }
-    high.busy += t1.elapsed();
+    let tail_high_ns = sw.elapsed_ns();
+    high.busy += Duration::from_nanos(tail_high_ns);
+
+    if let Some(m) = &metrics {
+        m.low_busy_ns.add(tail_low_ns);
+        m.high_busy_ns.add(tail_high_ns);
+        // Handoff counters are flushed once per run: they back the
+        // meta-stream's view of the cascade, not per-batch decisions.
+        m.low_tuples_in.add(low.tuples_in);
+        m.low_tuples_out.add(low.tuples_out);
+        m.high_tuples_in.add(high.tuples_in);
+        m.ring_occupancy.set(0.0);
+    }
 
     let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
     Ok(RunReport { low, high, windows, stream_span, ring_dropped: ring.dropped() })
@@ -196,9 +254,9 @@ pub fn run_plan_threaded(
             let mut stats = high;
             while let Ok(tuple) = rx.recv() {
                 stats.tuples_in += 1;
-                let t0 = Instant::now();
+                let sw = Stopwatch::start();
                 let out = plan.high.process(&tuple)?;
-                stats.busy += t0.elapsed();
+                stats.busy += sw.elapsed();
                 if let Some(w) = out {
                     stats.tuples_out += w.rows.len() as u64;
                     windows.push(w);
@@ -214,9 +272,9 @@ pub fn run_plan_threaded(
             first_uts.get_or_insert(pkt.uts);
             last_uts = pkt.uts;
             low.tuples_in += 1;
-            let t0 = Instant::now();
+            let sw = Stopwatch::start();
             let forwarded = plan.low.process(&pkt);
-            low.busy += t0.elapsed();
+            low.busy += sw.elapsed();
             if let Some(tuple) = forwarded {
                 low.tuples_out += 1;
                 if tx.send(tuple).is_err() {

@@ -4,7 +4,7 @@
 //! over the same feed), and how a production Gigascope hosts many
 //! queries on one tap.
 
-use std::time::Instant;
+use sso_obs::Stopwatch;
 
 use sso_core::{OpError, SamplingOperator, WindowOutput};
 use sso_types::Packet;
@@ -72,18 +72,18 @@ pub fn run_fanout(
         first_uts.get_or_insert(pkt.uts);
         last_uts = pkt.uts;
         low.tuples_in += 1;
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
         let forwarded = plan.low.process(&pkt);
-        low.busy += t0.elapsed();
+        low.busy += sw.elapsed();
         let Some(tuple) = forwarded else {
             continue;
         };
         low.tuples_out += 1;
         for ((_, op), result) in plan.highs.iter_mut().zip(results.iter_mut()) {
             result.stats.tuples_in += 1;
-            let t1 = Instant::now();
+            let sw = Stopwatch::start();
             let out = op.process(&tuple)?;
-            result.stats.busy += t1.elapsed();
+            result.stats.busy += sw.elapsed();
             if let Some(w) = out {
                 result.stats.tuples_out += w.rows.len() as u64;
                 result.windows.push(w);

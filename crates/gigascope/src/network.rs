@@ -14,7 +14,7 @@
 //!            └─ prefilter ──▶ subset-sum query ──▶ sampled-flows report
 //! ```
 
-use std::time::Instant;
+use sso_obs::Stopwatch;
 
 use sso_core::{OpError, SamplingOperator, WindowOutput};
 use sso_types::Packet;
@@ -137,9 +137,9 @@ impl QueryNetwork {
             low_out.clear();
             for ((_, node), stats) in self.lows.iter_mut().zip(low_stats.iter_mut()) {
                 stats.tuples_in += 1;
-                let t0 = Instant::now();
+                let sw = Stopwatch::start();
                 let fwd = node.process(&pkt);
-                stats.busy += t0.elapsed();
+                stats.busy += sw.elapsed();
                 if fwd.is_some() {
                     stats.tuples_out += 1;
                 }
@@ -154,9 +154,9 @@ impl QueryNetwork {
                 };
                 for tuple in inputs {
                     high_stats[i].tuples_in += 1;
-                    let t1 = Instant::now();
+                    let sw = Stopwatch::start();
                     let out = self.highs[i].op.process(&tuple)?;
-                    high_stats[i].busy += t1.elapsed();
+                    high_stats[i].busy += sw.elapsed();
                     if let Some(w) = out {
                         high_stats[i].tuples_out += w.rows.len() as u64;
                         produced[i].extend(w.rows.iter().cloned());

@@ -2,9 +2,10 @@
 //! feeding `N` high-level sampling-operator shards via `sso-runtime`'s
 //! hash-partitioned rings, with window-aligned merge-finalize.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use sso_core::{shard_plan, NotMergeable, OpError, OperatorSpec, WindowOutput};
+use sso_obs::{SampledSpan, Stopwatch};
 use sso_runtime::{run_sharded, RuntimeConfig, RuntimeError, ShardStats};
 use sso_types::Packet;
 
@@ -27,12 +28,12 @@ pub struct ShardedRunReport {
 impl ShardedRunReport {
     /// Tuples the shard workers processed, total.
     pub fn tuples_processed(&self) -> u64 {
-        self.shards.iter().map(|s| s.tuples).sum()
+        self.shards.iter().map(|s| s.tuples()).sum()
     }
 
     /// Tuples dropped at full shard rings.
     pub fn dropped(&self) -> u64 {
-        self.shards.iter().map(|s| s.dropped).sum()
+        self.shards.iter().map(|s| s.dropped()).sum()
     }
 }
 
@@ -119,6 +120,15 @@ where
     let mut first_uts = None;
     let mut last_uts = 0u64;
 
+    // The router thread times the low-level node through a sampled span
+    // (1 in 64, scaled back up): a per-packet clock pair costs as much
+    // as a cheap low-level node and would throttle the router thread,
+    // which bounds the whole sharded pipeline. When the caller supplies
+    // no registry, an ephemeral enabled one keeps the NodeStats busy
+    // accounting live without publishing anything.
+    let registry = cfg.registry.clone().unwrap_or_default();
+    let low_span = SampledSpan::register(&registry, "low.process_ns", "low.busy_ns", "", 6);
+
     // Drive the low-level node lazily from inside the router loop: the
     // adapter runs on the calling thread, so the node needs no Sync and
     // its accounting can borrow locally.
@@ -137,16 +147,8 @@ where
                 first_uts.get_or_insert(pkt.uts);
                 last_uts = pkt.uts;
                 low_stats.tuples_in += 1;
-                // Busy time is sampled 1-in-64 (and scaled back up): a
-                // per-packet Instant pair costs as much as a cheap
-                // low-level node and would throttle the router thread,
-                // which bounds the whole sharded pipeline.
-                let forwarded = if low_stats.tuples_in & 63 == 0 {
-                    let t0 = Instant::now();
-                    let forwarded = low.process(&pkt);
-                    low_stats.busy += t0.elapsed() * 64;
-                    forwarded
-                } else {
+                let forwarded = {
+                    let _span = low_span.start();
                     low.process(&pkt)
                 };
                 if let Some(tuple) = forwarded {
@@ -156,9 +158,11 @@ where
             }
             None => {
                 if tail.is_empty() {
-                    let t0 = Instant::now();
+                    let sw = Stopwatch::start();
                     tail = low.finish();
-                    low_stats.busy += t0.elapsed();
+                    // The finish pass is unsampled; add it to the same
+                    // busy cell the span scales its samples into.
+                    low_span.busy_counter().add(sw.elapsed_ns());
                     if tail.is_empty() {
                         return None;
                     }
@@ -170,6 +174,11 @@ where
     });
 
     let report = run_sharded(plan, make_spec, cfg, tuples)?;
+    low_stats.busy = Duration::from_nanos(low_span.busy_counter().get());
+    if cfg.registry.is_some() {
+        registry.counter("low.tuples_in").add(low_stats.tuples_in);
+        registry.counter("low.tuples_out").add(low_stats.tuples_out);
+    }
     let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
     Ok(ShardedRunReport {
         low: low_stats,

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use sso_types::Packet;
 
 use crate::flow::{spawn_flow, AddressSpace, Flow};
-use crate::rate::{DatacenterRate, DdosRate, RateProcess, ResearchRate};
+use crate::rate::{BurstRate, DatacenterRate, DdosRate, RateProcess, ResearchRate};
 
 /// Configuration of a [`TraceGenerator`].
 #[derive(Debug, Clone)]
@@ -159,6 +159,16 @@ pub fn datacenter_feed(seed: u64) -> TraceGenerator {
     let mut cfg = FeedConfig::new(seed);
     cfg.new_flow_prob = 0.15; // more aggregation: more concurrent flows
     TraceGenerator::new(cfg, Box::new(DatacenterRate::new()))
+}
+
+/// The burst stress profile: a square wave alternating 20k pkt/s busy
+/// and 400 pkt/s quiet every 10 seconds. Aligning the operator's window
+/// with the half-period reproduces the §7.1 under-sampling pathology
+/// deterministically (busy-window thresholds carried into quiet
+/// windows), which is what the telemetry under-sampling detector
+/// watches for.
+pub fn burst_feed(seed: u64) -> TraceGenerator {
+    TraceGenerator::new(FeedConfig::new(seed), Box::new(BurstRate::new()))
 }
 
 /// The DDoS stress scenario from the paper's conclusion: a baseline feed

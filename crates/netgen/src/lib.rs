@@ -33,7 +33,7 @@ pub mod flow;
 pub mod rate;
 pub mod trace;
 
-pub use feed::{datacenter_feed, ddos_feed, research_feed, FeedConfig, TraceGenerator};
+pub use feed::{burst_feed, datacenter_feed, ddos_feed, research_feed, FeedConfig, TraceGenerator};
 pub use flow::{Flow, FlowProfile};
-pub use rate::{DatacenterRate, DdosRate, RateProcess, ResearchRate};
+pub use rate::{BurstRate, DatacenterRate, DdosRate, RateProcess, ResearchRate};
 pub use trace::{read_trace, write_trace, TraceError};

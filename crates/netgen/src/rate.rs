@@ -109,6 +109,54 @@ impl RateProcess for DatacenterRate {
     }
 }
 
+/// A square-wave rate: `period_secs` busy, `period_secs` quiet, repeat.
+///
+/// The cleanest way to trigger the paper's §7.1 under-sampling
+/// pathology on demand: a threshold carried over from a busy window is
+/// 10–100× too high for the quiet window that follows, so a strict
+/// (`f = 1`) carry-over admits almost nothing until cleaning catches
+/// up, while the relaxed `z_next = z/f` variant recovers within the
+/// window.
+#[derive(Debug, Clone)]
+pub struct BurstRate {
+    /// Packets/s during the busy half-period.
+    pub busy_rate: f64,
+    /// Packets/s during the quiet half-period.
+    pub quiet_rate: f64,
+    /// Length of each half-period in seconds.
+    pub period_secs: u64,
+    second: u64,
+}
+
+impl BurstRate {
+    /// Default burst profile: 20k pkt/s busy, 400 pkt/s quiet (a 50×
+    /// drop, inside the paper's 10–100× inter-window swing band),
+    /// alternating every 10 seconds.
+    pub fn new() -> Self {
+        BurstRate { busy_rate: 20_000.0, quiet_rate: 400.0, period_secs: 10, second: 0 }
+    }
+
+    /// Whether second `s` falls in a busy half-period.
+    pub fn is_busy(&self, s: u64) -> bool {
+        (s / self.period_secs).is_multiple_of(2)
+    }
+}
+
+impl Default for BurstRate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RateProcess for BurstRate {
+    fn next_rate(&mut self, rng: &mut StdRng) -> u64 {
+        let s = self.second;
+        self.second += 1;
+        let rate = if self.is_busy(s) { self.busy_rate } else { self.quiet_rate };
+        (rate * (1.0 + 0.02 * (2.0 * rng.gen::<f64>() - 1.0))) as u64
+    }
+}
+
 /// A baseline rate with a DDoS burst between two points in time.
 #[derive(Debug, Clone)]
 pub struct DdosRate {
@@ -189,6 +237,20 @@ mod tests {
         assert!(rates[5] < 10_000);
         assert!(rates[15] > 70_000);
         assert!(rates[25] < 10_000);
+    }
+
+    #[test]
+    fn burst_rate_alternates_half_periods() {
+        let mut p = BurstRate::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rates: Vec<u64> = (0..40).map(|_| p.next_rate(&mut rng)).collect();
+        for (s, &r) in rates.iter().enumerate() {
+            if (s as u64 / 10) % 2 == 0 {
+                assert!(r > 19_000, "second {s}: busy rate {r}");
+            } else {
+                assert!(r < 500, "second {s}: quiet rate {r}");
+            }
+        }
     }
 
     #[test]

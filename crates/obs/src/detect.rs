@@ -1,0 +1,116 @@
+//! The under-sampling detector.
+//!
+//! The paper's bursty-load diagnosis: dynamic subset-sum carries the
+//! final threshold `z` into the next window, so after a traffic burst a
+//! quiet window starts with a threshold calibrated for the burst and
+//! admits almost nothing — the achieved sample collapses far below the
+//! target even though plenty of tuples were offered. The relaxed
+//! carry-over `z_next = z_now / f` (f ≈ 10) recovers within a window.
+//!
+//! [`UndersampleDetector`] watches the per-window `(achieved, target,
+//! offered)` triple and fires when the operator *could* have filled its
+//! budget (`offered >= target`) but achieved less than
+//! `ratio × target`. Firing increments `op.undersampled_windows` and
+//! updates the achieved/target gauges so the pathology is visible in
+//! any exporter or the meta-stream.
+
+use crate::registry::{Counter, Gauge, Registry};
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct UndersampleConfig {
+    /// Fire when `achieved < ratio * target` (given enough offered
+    /// tuples). The strict carry-over collapses to `~target/D` after a
+    /// `D×` load drop while the relaxed variant recovers to
+    /// `~f·target/D`, so 0.1 cleanly separates the two for `D ≫ f`.
+    pub ratio: f64,
+}
+
+impl Default for UndersampleConfig {
+    fn default() -> Self {
+        UndersampleConfig { ratio: 0.1 }
+    }
+}
+
+/// Per-operator under-sampling detector with registry-backed outputs.
+#[derive(Debug, Clone)]
+pub struct UndersampleDetector {
+    cfg: UndersampleConfig,
+    fired: Counter,
+    achieved: Gauge,
+    target: Gauge,
+}
+
+impl UndersampleDetector {
+    /// Register detector outputs in `registry` under `label`.
+    pub fn register(
+        registry: &Registry,
+        label: impl Into<String> + Clone,
+        cfg: UndersampleConfig,
+    ) -> Self {
+        UndersampleDetector {
+            cfg,
+            fired: registry.counter_labeled("op.undersampled_windows", label.clone()),
+            achieved: registry.gauge_labeled("op.sample_achieved", label.clone()),
+            target: registry.gauge_labeled("op.sample_target", label),
+        }
+    }
+
+    /// Feed one closed window's numbers; returns whether the detector
+    /// fired for this window.
+    pub fn observe(&self, achieved: u64, target: u64, offered: u64) -> bool {
+        self.achieved.set(achieved as f64);
+        self.target.set(target as f64);
+        let fired =
+            target > 0 && offered >= target && (achieved as f64) < self.cfg.ratio * target as f64;
+        if fired {
+            self.fired.inc();
+        }
+        fired
+    }
+
+    /// Total windows flagged so far (this cell).
+    pub fn fired_windows(&self) -> u64 {
+        self.fired.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(r: &Registry) -> UndersampleDetector {
+        UndersampleDetector::register(r, "", UndersampleConfig::default())
+    }
+
+    #[test]
+    fn fires_on_collapse_with_ample_offer() {
+        let r = Registry::new();
+        let d = detector(&r);
+        // Post-burst quiet window: 20k offered, target 1000, achieved 20.
+        assert!(d.observe(20, 1000, 20_000));
+        assert_eq!(d.fired_windows(), 1);
+        assert_eq!(r.snapshot().value("op.sample_achieved"), 20.0);
+    }
+
+    #[test]
+    fn quiet_when_sample_is_healthy() {
+        let r = Registry::new();
+        let d = detector(&r);
+        // Relaxed carry-over: achieved ~ f/D of target = 20%.
+        assert!(!d.observe(200, 1000, 20_000));
+        assert!(!d.observe(1000, 1000, 5000));
+        assert_eq!(d.fired_windows(), 0);
+    }
+
+    #[test]
+    fn quiet_when_offer_is_small() {
+        let r = Registry::new();
+        let d = detector(&r);
+        // Only 50 tuples arrived: a tiny sample is expected, not a bug.
+        assert!(!d.observe(50, 1000, 50));
+        // No target configured: nothing to detect.
+        assert!(!d.observe(0, 0, 1_000_000));
+        assert_eq!(d.fired_windows(), 0);
+    }
+}

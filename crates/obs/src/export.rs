@@ -1,0 +1,222 @@
+//! Snapshot exporters: JSON and Prometheus text format.
+//!
+//! JSON is hand-rendered (the metric set is small and flat) so the
+//! output stays a single compact document that pipes cleanly into
+//! external validators. Prometheus output follows the text exposition
+//! format: `# TYPE` lines, labels in `{}`, histograms as cumulative
+//! `_bucket{le=...}` series plus `_sum`/`_count`.
+
+use std::fmt::Write as _;
+
+use crate::hist::HistSnapshot;
+use crate::registry::{Metric, MetricKind, MetricValue, Snapshot};
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_metric(out: &mut String, m: &Metric) {
+    out.push_str("{\"metric\":");
+    push_json_str(out, m.name);
+    out.push_str(",\"label\":");
+    push_json_str(out, &m.label);
+    let _ = write!(out, ",\"kind\":\"{}\"", m.kind.as_str());
+    match &m.value {
+        MetricValue::Counter(v) => {
+            let _ = write!(out, ",\"value\":{v}");
+        }
+        MetricValue::Gauge(v) => {
+            out.push_str(",\"value\":");
+            push_json_f64(out, *v);
+        }
+        MetricValue::Histogram(h) => {
+            let _ = write!(out, ",\"count\":{},\"sum\":{}", h.count, h.sum);
+            out.push_str(",\"mean\":");
+            push_json_f64(out, h.mean());
+            let _ = write!(out, ",\"p50\":{},\"p99\":{}", h.quantile(0.5), h.quantile(0.99));
+        }
+    }
+    out.push('}');
+}
+
+/// Render one snapshot as a single-line JSON object:
+/// `{"seq":N,"metrics":[...]}`.
+pub fn snapshot_to_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(64 * snap.metrics.len() + 32);
+    let _ = write!(out, "{{\"seq\":{},\"metrics\":[", snap.seq);
+    for (i, m) in snap.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_metric(&mut out, m);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a run's snapshot series as one JSON document:
+/// `{"snapshots":[...]}` — what `sso run --metrics` writes.
+pub fn snapshots_to_json(snaps: &[Snapshot]) -> String {
+    let mut out = String::from("{\"snapshots\":[");
+    for (i, s) in snaps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&snapshot_to_json(s));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+fn prom_labels(label: &str, extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if !label.is_empty() {
+        // Labels are "key=value"; fall back to instance="..." otherwise.
+        match label.split_once('=') {
+            Some((k, v)) => parts.push(format!("{}=\"{}\"", prom_name(k), v)),
+            None => parts.push(format!("instance=\"{label}\"")),
+        }
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn prom_histogram(out: &mut String, name: &str, label: &str, h: &HistSnapshot) {
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let le = HistSnapshot::bucket_bound(i).to_string();
+        let _ = writeln!(out, "{name}_bucket{} {cum}", prom_labels(label, Some(("le", le))));
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        prom_labels(label, Some(("le", "+Inf".into()))),
+        h.count
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", prom_labels(label, None), h.sum);
+    let _ = writeln!(out, "{name}_count{} {}", prom_labels(label, None), h.count);
+}
+
+/// Render one snapshot in the Prometheus text exposition format.
+pub fn snapshot_to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for m in &snap.metrics {
+        let name = prom_name(m.name);
+        if m.name != last_name {
+            let ty = match m.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+            last_name = m.name;
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{name}{} {v}", prom_labels(&m.label, None));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{name}{} {v}", prom_labels(&m.label, None));
+            }
+            MetricValue::Histogram(h) => prom_histogram(&mut out, &name, &m.label, h),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_labeled("rt.tuples", "shard=0").add(100);
+        r.counter_labeled("rt.tuples", "shard=1").add(50);
+        r.gauge("op.threshold_z").set(42.25);
+        let h = r.histogram("op.process_ns");
+        h.record(1000);
+        h.record(3000);
+        r
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let r = sample_registry();
+        let json = snapshot_to_json(&r.snapshot());
+        assert!(json.starts_with("{\"seq\":0,\"metrics\":["));
+        assert!(json.contains("\"metric\":\"rt.tuples\",\"label\":\"shard=1\""));
+        assert!(json.contains("\"value\":42.25"));
+        assert!(json.contains("\"count\":2,\"sum\":4000"));
+        // Balanced braces/brackets as a cheap structural check.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn snapshots_document_wraps_series() {
+        let r = sample_registry();
+        let doc = snapshots_to_json(&[r.snapshot(), r.snapshot()]);
+        assert!(doc.starts_with("{\"snapshots\":["));
+        assert!(doc.contains("\"seq\":1"));
+        assert!(doc.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn prometheus_has_types_and_hist_series() {
+        let r = sample_registry();
+        let text = snapshot_to_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE rt_tuples counter"));
+        assert!(text.contains("rt_tuples{shard=\"0\"} 100"));
+        assert!(text.contains("# TYPE op_threshold_z gauge"));
+        assert!(text.contains("op_process_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("op_process_ns_sum 4000"));
+        assert!(text.contains("op_process_ns_count 2"));
+        // TYPE line appears once per metric name even with two cells.
+        assert_eq!(text.matches("# TYPE rt_tuples").count(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! Buckets are powers of two: bucket `i` counts values `v` with
+//! `2^i <= v < 2^(i+1)` (bucket 0 also takes `v = 0`). 48 buckets cover
+//! `1 ns` to `~3.26 days` when recording nanoseconds, and any realistic
+//! batch size when recording counts. Recording is two `Relaxed`
+//! `fetch_add`s — no locks, no allocation, and safely shareable across
+//! threads via the handle's internal [`Arc`].
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Number of power-of-two buckets.
+pub const BUCKETS: usize = 48;
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    pub(crate) buckets: [AtomicU64; BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl Default for HistCore {
+    fn default() -> Self {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A writer handle to one histogram cell. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Histogram(pub(crate) Arc<HistCore>);
+
+/// The bucket index of a value: `floor(log2(max(v, 1)))`, clamped.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    ((63 - (v | 1).leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram(Arc::new(HistCore::default()))
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_of(value)].fetch_add(1, Relaxed);
+        self.0.count.fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(value, Relaxed);
+    }
+
+    /// Read the current state (merge-on-read of a single cell).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut snap = HistSnapshot::default();
+        snap.merge_from(&self.0);
+        snap
+    }
+}
+
+/// A point-in-time view of one (possibly merged) histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    pub(crate) fn merge_from(&mut self, core: &HistCore) {
+        if self.buckets.len() != BUCKETS {
+            self.buckets = vec![0; BUCKETS];
+        }
+        for (acc, b) in self.buckets.iter_mut().zip(core.buckets.iter()) {
+            *acc += b.load(Relaxed);
+        }
+        self.count += core.count.load(Relaxed);
+        self.sum += core.sum.load(Relaxed);
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of bucket `i`.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i + 1 >= 64 {
+            u64::MAX
+        } else {
+            1u64 << (i + 1)
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`, estimated as the upper bound of the
+    /// bucket where the cumulative count crosses `q * count`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i);
+            }
+        }
+        Self::bucket_bound(self.buckets.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000, 1000, 1000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 1 + 2 + 4 + 8 + 3000 + 100_000);
+        // Rank 4 of 8 is the value 8 → bucket [8, 16).
+        assert_eq!(s.quantile(0.5), 16);
+        // Rank 6 lands in the 1000s bucket [512, 1024).
+        assert_eq!(s.quantile(0.75), 1024);
+        assert!(s.quantile(1.0) >= 100_000);
+        assert_eq!(s.quantile(0.0), 2, "first observation's bucket bound");
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_sums_cells() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(10);
+        b.record(1 << 20);
+        let mut s = a.snapshot();
+        s.merge_from(&b.0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[3], 2);
+        assert_eq!(s.buckets[20], 1);
+    }
+}

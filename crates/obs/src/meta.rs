@@ -1,0 +1,97 @@
+//! The self-monitoring meta-stream.
+//!
+//! Gigascope's operators were diagnosed by pointing the DSMS at itself;
+//! we do the same. Each registry [`Snapshot`] is rendered as a batch of
+//! tuples over a published [`Schema`], so any query — including the
+//! sampling operator — can consume its own telemetry: heavy-hitters
+//! over eviction counts, windows over the threshold trajectory, etc.
+//!
+//! The `seq` field is snapshot sequence, declared `Increasing`, so the
+//! query layer can window on it exactly like a timestamp.
+
+use sso_types::{Field, FieldType, Schema, Tuple, Value};
+
+use crate::registry::Snapshot;
+
+/// The base-stream name the query layer resolves to [`metrics_schema`].
+pub const METRICS_STREAM: &str = "METRICS";
+
+/// Schema of the meta-stream:
+/// `METRICS(seq, kind, metric, label, value, hits)`.
+///
+/// * `seq` — snapshot sequence number (Increasing; windowable).
+/// * `kind` — `"counter" | "gauge" | "histogram"`.
+/// * `metric` — metric name, e.g. `"op.threshold_z"`.
+/// * `label` — instance label, e.g. `"shard=3"` (empty if unlabeled).
+/// * `value` — merged scalar: counter value, gauge value, or histogram
+///   sum.
+/// * `hits` — observation count: 1 for counters/gauges, histogram
+///   `count` for histograms.
+pub fn metrics_schema() -> Schema {
+    Schema::new(
+        METRICS_STREAM,
+        vec![
+            Field::increasing("seq", FieldType::U64),
+            Field::new("kind", FieldType::Str),
+            Field::new("metric", FieldType::Str),
+            Field::new("label", FieldType::Str),
+            Field::new("value", FieldType::F64),
+            Field::new("hits", FieldType::U64),
+        ],
+    )
+}
+
+/// Render one snapshot as meta-stream tuples (one per merged metric).
+pub fn snapshot_tuples(snap: &Snapshot) -> Vec<Tuple> {
+    snap.metrics
+        .iter()
+        .map(|m| {
+            Tuple::new(vec![
+                Value::U64(snap.seq),
+                Value::str(m.kind.as_str()),
+                Value::str(m.name),
+                Value::str(&m.label),
+                Value::F64(m.scalar()),
+                Value::U64(m.hits()),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn schema_matches_tuples() {
+        let r = Registry::new();
+        r.counter("op.evictions").add(7);
+        r.gauge("op.threshold_z").set(123.5);
+        let h = r.histogram("op.process_ns");
+        h.record(10);
+        h.record(30);
+
+        let schema = metrics_schema();
+        let tuples = snapshot_tuples(&r.snapshot());
+        assert_eq!(tuples.len(), 3);
+        for t in &tuples {
+            t.check_arity(&schema).unwrap();
+            assert_eq!(t.get(0), &Value::U64(0), "first snapshot has seq 0");
+        }
+        // Sorted by name: evictions, process_ns, threshold_z.
+        assert_eq!(tuples[0].get(2), &Value::str("op.evictions"));
+        assert_eq!(tuples[0].get(4), &Value::F64(7.0));
+        assert_eq!(tuples[1].get(1), &Value::str("histogram"));
+        assert_eq!(tuples[1].get(4), &Value::F64(40.0));
+        assert_eq!(tuples[1].get(5), &Value::U64(2));
+        assert_eq!(tuples[2].get(4), &Value::F64(123.5));
+    }
+
+    #[test]
+    fn seq_field_is_increasing() {
+        let schema = metrics_schema();
+        assert!(schema.is_ordered("seq"));
+        assert_eq!(schema.index_of("seq").unwrap(), 0);
+    }
+}

@@ -52,6 +52,22 @@ pub use plan::{plan, PlannerConfig};
 use sso_core::SamplingOperator;
 use sso_types::Schema;
 
+/// The schema of a base stream name, if `name` is one.
+///
+/// `PKT`/`PKTS`/`TCP`/`UDP` are the conventional Gigascope packet
+/// streams (all the [`sso_types::Packet`] schema here); `METRICS` is
+/// the telemetry meta-stream published by `sso-obs`, so a sampling
+/// query can run over the operator's own telemetry. A FROM name that is
+/// none of these reads another query's output (the high level of a
+/// cascade) and has no intrinsic schema.
+pub fn base_stream_schema(name: &str) -> Option<Schema> {
+    match name {
+        "PKT" | "PKTS" | "TCP" | "UDP" => Some(sso_types::Packet::schema()),
+        sso_obs::METRICS_STREAM => Some(sso_obs::metrics_schema()),
+        _ => None,
+    }
+}
+
 /// Parse, plan, and instantiate a query in one step.
 pub fn compile(
     text: &str,

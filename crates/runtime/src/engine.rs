@@ -5,13 +5,15 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{self, TrySendError};
 use rustc_hash::FxHasher;
 use sso_core::{
-    panic_message, EvalCtx, Expr, OpError, OperatorSpec, SamplingOperator, ShardPlan, WindowOutput,
+    panic_message, EvalCtx, Expr, OpError, OperatorMetrics, OperatorSpec, SamplingOperator,
+    ShardPlan, WindowOutput,
 };
+use sso_obs::{Counter, Gauge, Registry, Stopwatch};
 use sso_types::Tuple;
 
 /// What the router does when a shard's ring is full.
@@ -38,6 +40,10 @@ pub struct RuntimeConfig {
     /// Seed for randomized window merges (reservoir); per-shard sampler
     /// seeds come from the spec factory instead.
     pub seed: u64,
+    /// Telemetry registry to record into. `None` = a private disabled
+    /// registry: counters still land (so [`ShardStats`] stays exact)
+    /// but span tracing is off and nothing is exported.
+    pub registry: Option<Registry>,
 }
 
 impl RuntimeConfig {
@@ -52,26 +58,71 @@ impl RuntimeConfig {
             batch_size: 1024,
             backpressure: Backpressure::Block,
             seed: 0x5eed_00d5,
+            registry: None,
         }
+    }
+
+    /// Record this run's telemetry into `registry`.
+    pub fn with_registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
     }
 }
 
-/// Per-shard accounting.
-#[derive(Debug, Clone, Default)]
+/// Per-shard accounting: a thin view over this shard's registry cells
+/// (`rt.*` metrics labeled `shard=N`). The workers and the router write
+/// the cells directly, so mid-run snapshots of the shared registry see
+/// live values; the accessors here read the same cells and are exact
+/// once the run has joined its workers.
+#[derive(Debug, Clone)]
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
+    tuples: Counter,
+    windows: Counter,
+    stalls: Counter,
+    dropped: Counter,
+    busy_ns: Counter,
+}
+
+impl ShardStats {
+    fn register(registry: &Registry, shard: usize) -> Self {
+        let label = format!("shard={shard}");
+        ShardStats {
+            shard,
+            tuples: registry.counter_labeled("rt.tuples", label.clone()),
+            windows: registry.counter_labeled("rt.windows", label.clone()),
+            stalls: registry.counter_labeled("rt.stalls", label.clone()),
+            dropped: registry.counter_labeled("rt.dropped", label.clone()),
+            busy_ns: registry.counter_labeled("rt.busy_ns", label),
+        }
+    }
+
     /// Tuples the worker processed.
-    pub tuples: u64,
+    pub fn tuples(&self) -> u64 {
+        self.tuples.get()
+    }
+
     /// Windows the worker closed.
-    pub windows: u64,
+    pub fn windows(&self) -> u64 {
+        self.windows.get()
+    }
+
     /// Times the router blocked on this shard's full ring.
-    pub stalls: u64,
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+
     /// Tuples dropped at this shard's full ring
     /// ([`Backpressure::DropNewest`] only).
-    pub dropped: u64,
-    /// Worker busy time.
-    pub busy: Duration,
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Worker busy time, updated per batch (not only at worker join).
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.get())
+    }
 }
 
 /// Why a sharded run failed.
@@ -121,12 +172,12 @@ pub struct ShardedReport {
 impl ShardedReport {
     /// Total tuples dropped at full rings.
     pub fn dropped(&self) -> u64 {
-        self.shards.iter().map(|s| s.dropped).sum()
+        self.shards.iter().map(|s| s.dropped()).sum()
     }
 
     /// Total router stalls on full rings.
     pub fn stalls(&self) -> u64 {
-        self.shards.iter().map(|s| s.stalls).sum()
+        self.shards.iter().map(|s| s.stalls()).sum()
     }
 }
 
@@ -233,67 +284,89 @@ where
         ));
     }
 
+    // A run without a caller-supplied registry records into a private
+    // disabled one: ShardStats cells still work, spans stay off.
+    let registry = cfg.registry.clone().unwrap_or_else(Registry::disabled);
     let mut operators = Vec::with_capacity(cfg.shards);
     for shard in 0..cfg.shards {
         let spec = make_spec(shard).map_err(|source| RuntimeError::Op { shard, source })?;
-        operators.push(
-            SamplingOperator::new(spec).map_err(|source| RuntimeError::Op { shard, source })?,
-        );
+        let mut op =
+            SamplingOperator::new(spec).map_err(|source| RuntimeError::Op { shard, source })?;
+        op.set_metrics(OperatorMetrics::register(&registry, format!("shard={shard}")));
+        operators.push(op);
     }
 
-    let mut stats: Vec<ShardStats> =
-        (0..cfg.shards).map(|shard| ShardStats { shard, ..Default::default() }).collect();
+    let stats: Vec<ShardStats> =
+        (0..cfg.shards).map(|shard| ShardStats::register(&registry, shard)).collect();
+    // Ring depth is maintained by hand (inc on enqueue, dec on dequeue):
+    // the channel exposes no len(), and per-shard gauge cells sum to the
+    // total queued batches at snapshot time.
+    let ring_depths: Vec<Gauge> = (0..cfg.shards)
+        .map(|shard| registry.gauge_labeled("rt.ring_depth", format!("shard={shard}")))
+        .collect();
+    let batch_hist = registry.histogram("rt.batch_tuples");
 
     let per_shard: Vec<Vec<WindowOutput>> = std::thread::scope(|s| {
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
-        for mut op in operators {
+        for (shard, mut op) in operators.into_iter().enumerate() {
             let (tx, rx) = channel::bounded::<Vec<Tuple>>(cfg.ring_capacity);
             txs.push(tx);
-            handles.push(s.spawn(
-                move || -> Result<(Vec<WindowOutput>, u64, Duration), OpError> {
-                    let mut windows = Vec::new();
-                    let mut tuples = 0u64;
-                    let mut busy = Duration::ZERO;
-                    while let Ok(batch) = rx.recv() {
-                        let t0 = Instant::now();
-                        for tuple in &batch {
-                            tuples += 1;
-                            if let Some(w) = op.process(tuple)? {
-                                windows.push(w);
-                            }
+            let stats = stats[shard].clone();
+            let depth = ring_depths[shard].clone();
+            handles.push(s.spawn(move || -> Result<Vec<WindowOutput>, OpError> {
+                let mut windows = Vec::new();
+                while let Ok(batch) = rx.recv() {
+                    depth.add(-1.0);
+                    let sw = Stopwatch::start();
+                    for tuple in &batch {
+                        if let Some(w) = op.process(tuple)? {
+                            stats.windows.inc();
+                            windows.push(w);
                         }
-                        busy += t0.elapsed();
                     }
-                    let t0 = Instant::now();
-                    if let Some(w) = op.finish()? {
-                        windows.push(w);
-                    }
-                    busy += t0.elapsed();
-                    Ok((windows, tuples, busy))
-                },
-            ));
+                    stats.tuples.add(batch.len() as u64);
+                    stats.busy_ns.add(sw.elapsed_ns());
+                }
+                let sw = Stopwatch::start();
+                if let Some(w) = op.finish()? {
+                    stats.windows.inc();
+                    windows.push(w);
+                }
+                stats.busy_ns.add(sw.elapsed_ns());
+                Ok(windows)
+            }));
         }
 
         let mut router = Router::new(plan);
         let mut batches: Vec<Vec<Tuple>> =
             (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect();
-        let send_batch = |shard: usize, batch: Vec<Tuple>, stats: &mut [ShardStats]| {
+        let send_batch = |shard: usize, batch: Vec<Tuple>| {
+            let len = batch.len() as u64;
             match cfg.backpressure {
                 Backpressure::Block => match txs[shard].try_send(batch) {
-                    Ok(()) => {}
+                    Ok(()) => {
+                        batch_hist.record(len);
+                        ring_depths[shard].add(1.0);
+                    }
                     Err(TrySendError::Full(batch)) => {
-                        stats[shard].stalls += 1;
+                        stats[shard].stalls.inc();
                         // Worker death closes the ring; the join below
                         // surfaces its error.
-                        let _ = txs[shard].send(batch);
+                        if txs[shard].send(batch).is_ok() {
+                            batch_hist.record(len);
+                            ring_depths[shard].add(1.0);
+                        }
                     }
                     Err(TrySendError::Disconnected(_)) => {}
                 },
                 Backpressure::DropNewest => match txs[shard].try_send(batch) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(batch)) => {
-                        stats[shard].dropped += batch.len() as u64;
+                    Ok(()) => {
+                        batch_hist.record(len);
+                        ring_depths[shard].add(1.0);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        stats[shard].dropped.add(len);
                     }
                     Err(TrySendError::Disconnected(_)) => {}
                 },
@@ -306,12 +379,12 @@ where
             if batches[shard].len() >= cfg.batch_size {
                 let batch =
                     std::mem::replace(&mut batches[shard], Vec::with_capacity(cfg.batch_size));
-                send_batch(shard, batch, &mut stats);
+                send_batch(shard, batch);
             }
         }
         for (shard, batch) in batches.into_iter().enumerate() {
             if !batch.is_empty() {
-                send_batch(shard, batch, &mut stats);
+                send_batch(shard, batch);
             }
         }
         drop(txs);
@@ -319,12 +392,7 @@ where
         let mut per_shard = Vec::with_capacity(cfg.shards);
         for (shard, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(Ok((windows, tuples, busy))) => {
-                    stats[shard].tuples = tuples;
-                    stats[shard].windows = windows.len() as u64;
-                    stats[shard].busy = busy;
-                    per_shard.push(windows);
-                }
+                Ok(Ok(windows)) => per_shard.push(windows),
                 Ok(Err(source)) => return Err(RuntimeError::Op { shard, source }),
                 Err(payload) => {
                     return Err(RuntimeError::WorkerPanic {
@@ -480,7 +548,7 @@ mod tests {
         let tuples = stream(1, 5000, 4);
         let n = tuples.len() as u64;
         let report = run_sharded(&plan, make, &cfg, tuples).unwrap();
-        let processed: u64 = report.shards.iter().map(|s| s.tuples).sum();
+        let processed: u64 = report.shards.iter().map(|s| s.tuples()).sum();
         assert!(report.dropped() > 0, "1-deep ring must overflow");
         assert_eq!(processed + report.dropped(), n, "drops must be fully accounted");
     }
@@ -495,9 +563,39 @@ mod tests {
         let tuples = stream(1, 4000, 4);
         let n = tuples.len() as u64;
         let report = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples).unwrap();
-        let processed: u64 = report.shards.iter().map(|s| s.tuples).sum();
+        let processed: u64 = report.shards.iter().map(|s| s.tuples()).sum();
         assert_eq!(processed, n, "blocking mode must be lossless");
         assert_eq!(report.dropped(), 0);
+    }
+
+    #[test]
+    fn supplied_registry_collects_runtime_and_operator_metrics() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let registry = Registry::new();
+        let cfg = RuntimeConfig::new(2).with_registry(registry.clone());
+        let tuples = stream(2, 1000, 8);
+        let n = tuples.len() as f64;
+        let report = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples).unwrap();
+        let snap = registry.snapshot();
+        // Merged across shard labels the totals must match the report.
+        let rt_tuples: f64 = report.shards.iter().map(|s| s.tuples() as f64).sum();
+        assert_eq!(rt_tuples, n);
+        let merged: f64 =
+            snap.metrics.iter().filter(|m| m.name == "rt.tuples").map(|m| m.scalar()).sum();
+        assert_eq!(merged, n);
+        // The per-shard operators flushed their window counters too.
+        let op_tuples: f64 =
+            snap.metrics.iter().filter(|m| m.name == "op.tuples").map(|m| m.scalar()).sum();
+        assert_eq!(op_tuples, n);
+        // Busy time was recorded per batch, and rings drained to depth 0.
+        assert!(report.shards.iter().all(|s| s.busy() > Duration::ZERO));
+        let depth: f64 =
+            snap.metrics.iter().filter(|m| m.name == "rt.ring_depth").map(|m| m.scalar()).sum();
+        assert_eq!(depth, 0.0);
+        // Router batch sizes were recorded.
+        let batches = snap.get("rt.batch_tuples").unwrap();
+        assert!(batches.hits() > 0);
     }
 
     #[test]

@@ -19,4 +19,33 @@ echo "== sso --shards smoke run =="
 cargo run -q --bin sso -- --feed research --seconds 2 --shards 4 \
     "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" >/dev/null
 
+echo "== sso run --metrics smoke (JSON validity) =="
+cargo run -q --bin sso -- run --metrics - --seconds 2 --json \
+    "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" \
+    | python3 -c '
+import json, sys
+data = sys.stdin.read()
+idx = data.rfind("{\"snapshots\"")
+assert idx >= 0, "no snapshots document in --metrics output"
+doc = json.loads(data[idx:])
+assert doc["snapshots"], "empty snapshot series"
+for line in data[:idx].strip().splitlines():
+    json.loads(line)  # every window record is one valid JSON line
+snaps = doc["snapshots"]
+last = len(snaps[-1]["metrics"])
+print(f"metrics smoke OK: {len(snaps)} snapshots, last has {last} metrics")
+'
+
+echo "== observability overhead gate (instrumented within 5%) =="
+cargo run -q --release -p sso-bench --bin obs_overhead -- --json > BENCH_obs.json
+python3 -c '
+import json
+r = json.load(open("BENCH_obs.json"))
+pct = r["overhead_pct"]
+instr = r["instrumented"]["tuples_per_sec"]
+plain = r["uninstrumented"]["tuples_per_sec"]
+print(f"telemetry overhead: {pct:.2f}% ({instr:.0f} vs {plain:.0f} tuples/s)")
+assert pct <= 5.0, f"telemetry overhead {pct:.2f}% exceeds the 5% budget"
+'
+
 echo "All checks passed."

@@ -11,10 +11,12 @@
 //! sso --explain "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKT ..."
 //!
 //! sso check queries.sql        # static analysis only; exits 1 on errors
+//! sso run --metrics - 'QUERY'  # run + dump telemetry snapshots as JSON
+//! sso top 'QUERY'              # live metrics view while the query runs
 //! ```
 //!
 //! Options:
-//!   --feed research|datacenter|ddos   packet source (default research)
+//!   --feed research|datacenter|ddos|burst  packet source (default research)
 //!   --trace FILE                      read packets from a CSV trace instead
 //!   --dump FILE                       also write the packets to a CSV trace
 //!   --seconds N                       trace length (default 60)
@@ -22,19 +24,31 @@
 //!   --limit R                         print at most R rows per window (default 20)
 //!   --shards N                        run N partitioned operator shards (default 1);
 //!                                     refuses non-shard-mergeable queries with W102
+//!   --metrics[=FILE]                  collect telemetry; write JSON snapshots to
+//!                                     FILE (`-`/omitted = stdout, `*.prom` =
+//!                                     Prometheus text of the final snapshot)
+//!   --meta QUERY                      run a second sampling query over the
+//!                                     telemetry snapshots (FROM METRICS)
 //!   --explain                         print the plan instead of running
 //!   --json                            machine-readable window output
+//!
+//! `sso run` is an explicit alias for the default run mode. `sso top`
+//! runs the query on a background thread and refreshes a metrics table
+//! in place until it finishes (windows are counted, not printed).
 //!
 //! `sso check FILE` runs the static analyzer over every `;`-separated
 //! query in FILE without executing anything, printing rustc-style
 //! diagnostics with stable codes (E001.., W001..). A query whose FROM
-//! names something other than a base stream (PKT/PKTS/TCP/UDP) is
-//! treated as the high level of a Gigascope cascade: it is checked
-//! against the previous query's output schema, and the pair gets the
-//! partial-aggregation push-down lint (W101).
+//! names something other than a base stream (PKT/PKTS/TCP/UDP, or
+//! METRICS for the telemetry meta-stream) is treated as the high level
+//! of a Gigascope cascade: it is checked against the previous query's
+//! output schema, and the pair gets the partial-aggregation push-down
+//! lint (W101).
 
 use std::io::Write;
 
+use stream_sampler::obs::{export, metrics_schema, snapshot_tuples, Registry, Snapshot};
+use stream_sampler::operator::{OperatorMetrics, OperatorSpec, WindowOutput};
 use stream_sampler::prelude::*;
 use stream_sampler::query::explain::explain;
 use stream_sampler::query::{diag, Span};
@@ -47,6 +61,9 @@ struct Options {
     seed: u64,
     limit: usize,
     shards: usize,
+    metrics: Option<String>,
+    meta: Option<String>,
+    top: bool,
     explain: bool,
     json: bool,
     query: Option<String>,
@@ -54,8 +71,9 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sso [--feed research|datacenter|ddos] [--trace FILE] [--dump FILE] \
-         [--seconds N] [--seed S] [--limit R] [--shards N] [--explain] [--json] 'QUERY'\n\
+        "usage: sso [run|top] [--feed research|datacenter|ddos|burst] [--trace FILE] \
+         [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] \
+         [--metrics[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
          \x20      sso check QUERY-FILE"
     );
     std::process::exit(2);
@@ -106,20 +124,22 @@ fn run_check(args: &[String]) -> ! {
     let mut warnings = 0usize;
     // Consecutive queries form a cascade: each one runs over the
     // previous operator's output rows.
-    let mut prev: Option<(stream_sampler::query::Query, stream_sampler::operator::OperatorSpec)> =
-        None;
+    let mut prev: Option<(stream_sampler::query::Query, OperatorSpec)> = None;
     for (base, stmt) in statements {
         let mut diags;
         let mut next = None;
         match parse_query(stmt) {
             Ok(q) => {
-                // A conventional base-stream name starts a fresh
-                // pipeline; any other FROM name reads the previous
-                // query's output (Gigascope highs read a named low).
-                let base_stream = matches!(q.from.text.as_str(), "PKT" | "PKTS" | "TCP" | "UDP");
-                let schema = match &prev {
-                    Some((_, spec)) if !base_stream => spec.output_schema(&q.from.text),
-                    _ => Packet::schema(),
+                // A base-stream name (PKT-family or the METRICS
+                // meta-stream) starts a fresh pipeline; any other FROM
+                // name reads the previous query's output (Gigascope
+                // highs read a named low).
+                let base_schema = base_stream_schema(&q.from.text);
+                let base_stream = base_schema.is_some();
+                let schema = match (&prev, base_schema) {
+                    (Some((_, spec)), None) => spec.output_schema(&q.from.text),
+                    (_, Some(s)) => s,
+                    (None, None) => Packet::schema(),
                 };
                 diags = stream_sampler::query::analyze(&q, &schema, &config);
                 if let Some((prev_q, _)) = &prev {
@@ -162,7 +182,7 @@ fn run_check(args: &[String]) -> ! {
     std::process::exit(if errors > 0 { 1 } else { 0 });
 }
 
-fn parse_args() -> Options {
+fn parse_args(argv: &[String], top: bool) -> Options {
     let mut opts = Options {
         feed: "research".to_string(),
         trace: None,
@@ -171,32 +191,47 @@ fn parse_args() -> Options {
         seed: 1,
         limit: 20,
         shards: 1,
+        metrics: None,
+        meta: None,
+        top,
         explain: false,
         json: false,
         query: None,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut i = 0usize;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i - 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        let a = argv[i].clone();
+        i += 1;
         match a.as_str() {
-            "--feed" => opts.feed = args.next().unwrap_or_else(|| usage()),
-            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
-            "--dump" => opts.dump = Some(args.next().unwrap_or_else(|| usage())),
-            "--seconds" => {
-                opts.seconds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--seed" => {
-                opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--limit" => {
-                opts.limit = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
+            "--feed" => opts.feed = value(&mut i),
+            "--trace" => opts.trace = Some(value(&mut i)),
+            "--dump" => opts.dump = Some(value(&mut i)),
+            "--seconds" => opts.seconds = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--limit" => opts.limit = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--shards" => {
-                opts.shards = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
+                opts.shards = value(&mut i)
+                    .parse::<usize>()
+                    .ok()
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage())
             }
+            "--metrics" => {
+                // Optional target: a following bare `-` selects stdout
+                // explicitly (also the default); files use `--metrics=FILE`.
+                if argv.get(i).map(String::as_str) == Some("-") {
+                    i += 1;
+                }
+                opts.metrics = Some("-".to_string());
+            }
+            s if s.starts_with("--metrics=") => {
+                opts.metrics = Some(s["--metrics=".len()..].to_string())
+            }
+            "--meta" => opts.meta = Some(value(&mut i)),
             "--explain" => opts.explain = true,
             "--json" => opts.json = true,
             "--help" | "-h" => usage(),
@@ -210,12 +245,161 @@ fn parse_args() -> Options {
     opts
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("check") {
-        run_check(&argv[1..]);
+/// What one query execution produced, gathered so printing (or the live
+/// `top` view) can happen outside the execution path.
+struct ExecResult {
+    windows: Vec<WindowOutput>,
+    shard_lines: Vec<String>,
+}
+
+/// Run the query over `packets`, single-instance or sharded. When a
+/// registry is supplied the run is fully instrumented and a snapshot is
+/// pushed per closed window (single-instance) plus one final snapshot.
+fn execute_query(
+    opts: &Options,
+    parsed: &stream_sampler::query::Query,
+    spec: OperatorSpec,
+    packets: &[Packet],
+    registry: Option<&Registry>,
+    snapshots: &mut Vec<Snapshot>,
+) -> Result<ExecResult, String> {
+    let schema = Packet::schema();
+    let config = PlannerConfig::standard();
+    let mut result = ExecResult { windows: Vec::new(), shard_lines: Vec::new() };
+    if opts.shards > 1 {
+        let make = |_shard: usize| {
+            stream_sampler::query::plan(parsed, &schema, &config)
+                .map_err(|e| stream_sampler::operator::OpError::InvalidSpec(e.to_string()))
+        };
+        let mut cfg = RuntimeConfig::new(opts.shards);
+        if let Some(reg) = registry {
+            cfg = cfg.with_registry(reg.clone());
+        }
+        let report = stream_sampler::gigascope::run_plan_sharded(
+            Box::new(SelectionNode::pass_all()),
+            make,
+            &cfg,
+            packets.to_vec(),
+        )
+        .map_err(|e| e.to_string())?;
+        result.windows = report.windows;
+        for s in &report.shards {
+            result.shard_lines.push(format!(
+                "# shard {}: {} tuples, {} windows, {} stalls, {} dropped",
+                s.shard,
+                s.tuples(),
+                s.windows(),
+                s.stalls(),
+                s.dropped()
+            ));
+        }
+    } else {
+        let mut op = SamplingOperator::new(spec).map_err(|e| e.to_string())?;
+        if let Some(reg) = registry {
+            op.set_metrics(OperatorMetrics::register(reg, ""));
+        }
+        for pkt in packets {
+            if let Some(w) = op.process(&pkt.to_tuple()).map_err(|e| e.to_string())? {
+                if let Some(reg) = registry {
+                    snapshots.push(reg.snapshot());
+                }
+                result.windows.push(w);
+            }
+        }
+        if let Some(w) = op.finish().map_err(|e| e.to_string())? {
+            result.windows.push(w);
+        }
     }
-    let opts = parse_args();
+    if let Some(reg) = registry {
+        snapshots.push(reg.snapshot());
+    }
+    Ok(result)
+}
+
+/// Render a snapshot as the `sso top` table.
+fn render_top(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("sso top — snapshot #{} ({} metrics)\n", snap.seq, snap.metrics.len()));
+    out.push_str(&format!("{:<28} {:<12} {:>10} {:>16}\n", "METRIC", "LABEL", "KIND", "VALUE"));
+    for m in &snap.metrics {
+        out.push_str(&format!(
+            "{:<28} {:<12} {:>10} {:>16.3}\n",
+            m.name,
+            m.label,
+            m.kind.as_str(),
+            m.scalar()
+        ));
+    }
+    out
+}
+
+/// Write collected snapshots to the `--metrics` target: `-` prints the
+/// JSON document to stdout, `*.prom` writes Prometheus text of the last
+/// snapshot, anything else gets the JSON document as a file.
+fn write_metrics(target: &str, snapshots: &[Snapshot]) {
+    if target == "-" {
+        print!("{}", export::snapshots_to_json(snapshots));
+        return;
+    }
+    let body = if target.ends_with(".prom") {
+        snapshots.last().map(export::snapshot_to_prometheus).unwrap_or_default()
+    } else {
+        export::snapshots_to_json(snapshots)
+    };
+    if let Err(e) = std::fs::write(target, body) {
+        eprintln!("error: cannot write {target}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Run the `--meta` query over the collected snapshots: snapshots are
+/// rendered as METRICS tuples (ordered by snapshot `seq`) and fed to a
+/// second sampling operator — the DSMS monitoring the DSMS.
+fn run_meta_query(meta_text: &str, snapshots: &[Snapshot], opts: &Options) {
+    let config = PlannerConfig::standard();
+    let schema = metrics_schema();
+    let mut op = match compile(meta_text, &schema, &config) {
+        Ok(op) => op,
+        Err(e) => {
+            eprintln!("error: meta query: {e}");
+            std::process::exit(1);
+        }
+    };
+    let tuples: Vec<Tuple> = snapshots.iter().flat_map(snapshot_tuples).collect();
+    let windows = match op.run(tuples.iter()) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: meta query: {e}");
+            std::process::exit(1);
+        }
+    };
+    let meta_parsed = parse_query(meta_text).expect("meta query parsed by compile");
+    let meta_spec =
+        stream_sampler::query::plan(&meta_parsed, &schema, &config).expect("meta query planned");
+    let columns: Vec<String> = meta_spec.select.iter().map(|(n, _)| n.clone()).collect();
+    if !opts.json {
+        eprintln!("# meta query over {} snapshots ({} tuples)", snapshots.len(), tuples.len());
+    }
+    for w in &windows {
+        print_window(w, &columns, opts);
+    }
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut top = false;
+    match argv.first().map(String::as_str) {
+        Some("check") => run_check(&argv[1..]),
+        Some("run") => {
+            argv.remove(0);
+        }
+        Some("top") => {
+            argv.remove(0);
+            top = true;
+        }
+        _ => {}
+    }
+    let opts = parse_args(&argv, top);
     let query_text = opts.query.as_deref().expect("query checked in parse_args");
 
     let schema = Packet::schema();
@@ -254,10 +438,11 @@ fn main() {
         match opts.feed.as_str() {
             "research" => research_feed(opts.seed).take_seconds(opts.seconds),
             "datacenter" => datacenter_feed(opts.seed).take_seconds(opts.seconds),
+            "burst" => burst_feed(opts.seed).take_seconds(opts.seconds),
             "ddos" => ddos_feed(opts.seed, opts.seconds / 3, 2 * opts.seconds / 3)
                 .take_seconds(opts.seconds),
             other => {
-                eprintln!("error: unknown feed `{other}` (research | datacenter | ddos)");
+                eprintln!("error: unknown feed `{other}` (research | datacenter | ddos | burst)");
                 std::process::exit(1);
             }
         }
@@ -286,83 +471,78 @@ fn main() {
         );
     }
 
+    // Gate on shard-mergeability first so the refusal renders as a
+    // proper W102 diagnostic instead of a runtime error.
+    if opts.shards > 1 && stream_sampler::operator::shard_plan(&spec).is_err() {
+        let diags = stream_sampler::query::check_shard_mergeable(query_text, &schema, &config);
+        eprint!("{}", diag::render(query_text, "query", &diags));
+        eprintln!("error: --shards {} requires a shard-mergeable query", opts.shards);
+        std::process::exit(1);
+    }
+
+    let wants_metrics = opts.metrics.is_some() || opts.meta.is_some() || opts.top;
+    let registry = wants_metrics.then(Registry::new);
+    let mut snapshots: Vec<Snapshot> = Vec::new();
     let columns: Vec<String> = spec.select.iter().map(|(n, _)| n.clone()).collect();
-    let mut total_rows = 0u64;
-    if opts.shards > 1 {
-        // Gate on shard-mergeability first so the refusal renders as a
-        // proper W102 diagnostic instead of a runtime error.
-        if stream_sampler::operator::shard_plan(&spec).is_err() {
-            let diags = stream_sampler::query::check_shard_mergeable(query_text, &schema, &config);
-            eprint!("{}", diag::render(query_text, "query", &diags));
-            eprintln!("error: --shards {} requires a shard-mergeable query", opts.shards);
+
+    let result = if opts.top {
+        let reg = registry.clone().expect("top always collects metrics");
+        // The query runs on a background thread; the foreground redraws
+        // the metrics table in place until it finishes.
+        std::thread::scope(|s| {
+            let opts = &opts;
+            let parsed = &parsed;
+            let packets = &packets;
+            let registry = registry.as_ref();
+            let snapshots = &mut snapshots;
+            let handle =
+                s.spawn(move || execute_query(opts, parsed, spec, packets, registry, snapshots));
+            while !handle.is_finished() {
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                // \x1b[2J\x1b[H = clear screen + home.
+                print!("\x1b[2J\x1b[H{}", render_top(&reg.snapshot()));
+                let _ = std::io::stdout().flush();
+            }
+            handle.join().expect("top worker panicked")
+        })
+    } else {
+        execute_query(&opts, &parsed, spec, &packets, registry.as_ref(), &mut snapshots)
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(1);
         }
-        let make = |_shard: usize| {
-            stream_sampler::query::plan(&parsed, &schema, &config)
-                .map_err(|e| stream_sampler::operator::OpError::InvalidSpec(e.to_string()))
-        };
-        let cfg = stream_sampler::runtime::RuntimeConfig::new(opts.shards);
-        match stream_sampler::gigascope::run_plan_sharded(
-            Box::new(SelectionNode::pass_all()),
-            make,
-            &cfg,
-            packets,
-        ) {
-            Ok(report) => {
-                for w in &report.windows {
-                    total_rows += print_window(w, &columns, &opts);
-                }
-                if !opts.json {
-                    for s in &report.shards {
-                        eprintln!(
-                            "# shard {}: {} tuples, {} windows, {} stalls, {} dropped",
-                            s.shard, s.tuples, s.windows, s.stalls, s.dropped
-                        );
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        }
+    };
+
+    let mut total_rows = 0u64;
+    if opts.top {
+        // Final state of the table, then a run summary instead of rows.
+        println!("{}", render_top(snapshots.last().expect("final snapshot always taken")));
+        total_rows = result.windows.iter().map(|w| w.rows.len() as u64).sum();
+        println!("# {} windows, {total_rows} rows total", result.windows.len());
     } else {
-        let mut op = match SamplingOperator::new(spec) {
-            Ok(op) => op,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
-        for pkt in &packets {
-            match op.process(&pkt.to_tuple()) {
-                Ok(Some(w)) => total_rows += print_window(&w, &columns, &opts),
-                Ok(None) => {}
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(1);
-                }
-            }
+        for w in &result.windows {
+            total_rows += print_window(w, &columns, &opts);
         }
-        match op.finish() {
-            Ok(Some(w)) => total_rows += print_window(&w, &columns, &opts),
-            Ok(None) => {}
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+        if !opts.json {
+            for line in &result.shard_lines {
+                eprintln!("{line}");
             }
+            eprintln!("# {total_rows} rows total");
         }
     }
-    if !opts.json {
-        eprintln!("# {total_rows} rows total");
+
+    if let Some(target) = &opts.metrics {
+        write_metrics(target, &snapshots);
+    }
+    if let Some(meta_text) = &opts.meta {
+        run_meta_query(meta_text, &snapshots, &opts);
     }
 }
 
-fn print_window(
-    w: &stream_sampler::operator::WindowOutput,
-    columns: &[String],
-    opts: &Options,
-) -> u64 {
+fn print_window(w: &WindowOutput, columns: &[String], opts: &Options) -> u64 {
     if opts.json {
         // One JSON object per window, rows as arrays of strings.
         let rows: Vec<Vec<String>> =

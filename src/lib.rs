@@ -14,6 +14,7 @@
 //! | [`types`] | `sso-types` | values, tuples, schemas, the `PKT` packet record |
 //! | [`sampling`] | `sso-sampling` | reference algorithms: reservoir, lossy counting, KMV min-hash, subset-sum |
 //! | [`operator`] | `sso-core` | the sampling operator, SFUN machinery, superaggregates, paper query builders |
+//! | [`obs`] | `sso-obs` | telemetry: metrics registry, sampled spans, exporters, the `METRICS` meta-stream |
 //! | [`query`] | `sso-query` | the §5 query language: lexer, parser, planner |
 //! | [`runtime`] | `sso-runtime` | sharded execution: hash-partitioned worker shards, window-aligned merge |
 //! | [`gigascope`] | `sso-gigascope` | ring buffer, two-level plans, CPU accounting |
@@ -48,6 +49,7 @@
 pub use sso_core as operator;
 pub use sso_gigascope as gigascope;
 pub use sso_netgen as netgen;
+pub use sso_obs as obs;
 pub use sso_query as query;
 pub use sso_runtime as runtime;
 pub use sso_sampling as sampling;
@@ -63,8 +65,11 @@ pub mod prelude {
         run_plan, run_plan_sharded, run_plan_threaded, PrefilterNode, SelectionNode,
         ShardedRunReport, TwoLevelPlan,
     };
-    pub use sso_netgen::{datacenter_feed, ddos_feed, research_feed};
-    pub use sso_query::{check_shard_mergeable, compile, parse_query, PlannerConfig};
+    pub use sso_netgen::{burst_feed, datacenter_feed, ddos_feed, research_feed};
+    pub use sso_obs::{metrics_schema, snapshot_tuples, Registry, Snapshot};
+    pub use sso_query::{
+        base_stream_schema, check_shard_mergeable, compile, parse_query, PlannerConfig,
+    };
     pub use sso_runtime::{run_sharded, Backpressure, RuntimeConfig};
     pub use sso_types::{format_ipv4, Packet, Schema, Tuple, Value};
 }

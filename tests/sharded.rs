@@ -68,7 +68,7 @@ fn exact_sums_and_counts_do_not_drift_at_any_shard_count() {
         let report = sharded(|_| Ok(queries::total_sum_query(WINDOW)), shards);
         assert_windows_equal(&single, &report.windows, &format!("total_sum x{shards}"));
         assert_eq!(
-            report.shards.iter().map(|s| s.tuples).sum::<u64>(),
+            report.shards.iter().map(|s| s.tuples()).sum::<u64>(),
             packets().len() as u64,
             "every tuple must reach a shard"
         );

@@ -1,0 +1,99 @@
+//! Integration tests for the telemetry subsystem: the under-sampling
+//! detector replaying the paper's bursty-load pathology, and the
+//! self-monitoring meta-stream (a sampling query over the operator's
+//! own telemetry tuples).
+
+use stream_sampler::obs::{snapshot_tuples, Registry, Snapshot};
+use stream_sampler::operator::libs::subset_sum::SubsetSumOpConfig;
+use stream_sampler::operator::{queries, OperatorMetrics};
+use stream_sampler::prelude::*;
+
+/// Run the paper's dynamic subset-sum query over the burst feed with
+/// the given relaxation factor, windows aligned to the burst
+/// half-period, and return (undersampled windows fired, snapshots).
+fn run_burst(relax_factor: f64) -> (u64, Vec<Snapshot>) {
+    let pkts = stream_sampler::netgen::burst_feed(11).take_seconds(60);
+    let cfg = SubsetSumOpConfig { target: 500, initial_z: 1.0, relax_factor, ..Default::default() };
+    let spec = queries::subset_sum_query(10, cfg, false).unwrap();
+    let mut op = SamplingOperator::new(spec).unwrap();
+    let registry = Registry::new();
+    op.set_metrics(OperatorMetrics::register(&registry, ""));
+    let mut snapshots = Vec::new();
+    for p in &pkts {
+        if op.process(&p.to_tuple()).unwrap().is_some() {
+            snapshots.push(registry.snapshot());
+        }
+    }
+    op.finish().unwrap();
+    snapshots.push(registry.snapshot());
+    let fired = snapshots.last().unwrap().value("op.undersampled_windows") as u64;
+    (fired, snapshots)
+}
+
+/// §7.1: a threshold carried strictly (`f = 1`) out of a busy window is
+/// ~50× too high for the quiet window that follows, so the quiet
+/// window's achieved sample collapses and the detector fires; the
+/// relaxed `f = 10` carry-over recovers within the window and stays
+/// quiet.
+#[test]
+fn undersampling_detector_fires_for_strict_carry_over_only() {
+    let (strict_fired, _) = run_burst(1.0);
+    let (relaxed_fired, _) = run_burst(10.0);
+    assert!(
+        strict_fired >= 1,
+        "strict carry-over should under-sample at least one quiet window, fired {strict_fired}"
+    );
+    assert_eq!(relaxed_fired, 0, "relaxed f=10 carry-over should keep every window sampled");
+}
+
+/// The detector's registry outputs carry the paper's diagnostic signals:
+/// the threshold trajectory z(t) and achieved-vs-target sample sizes.
+#[test]
+fn telemetry_snapshots_expose_threshold_trajectory() {
+    let (_, snapshots) = run_burst(1.0);
+    assert!(snapshots.len() >= 4, "one snapshot per closed window plus final");
+    let thresholds: Vec<f64> = snapshots.iter().map(|s| s.value("op.threshold_z")).collect();
+    assert!(
+        thresholds.iter().any(|&z| z > 1.0),
+        "busy windows must push the threshold up: {thresholds:?}"
+    );
+    let last = snapshots.last().unwrap();
+    assert!(last.value("op.sample_target") > 0.0);
+    assert!(last.value("op.windows") >= 5.0);
+    assert!(last.value("op.tuples") > 100_000.0, "burst feed offers >100k tuples");
+}
+
+/// The on-theme acceptance path: snapshots rendered as METRICS tuples
+/// are fed back through a *sampling operator* — the DSMS querying its
+/// own telemetry, as Gigascope monitored Gigascope.
+#[test]
+fn meta_stream_query_runs_end_to_end() {
+    let (_, snapshots) = run_burst(10.0);
+    let tuples: Vec<Tuple> = snapshots.iter().flat_map(snapshot_tuples).collect();
+    assert!(!tuples.is_empty());
+
+    let mut meta = compile(
+        "SELECT sb, metric, sum(value), count(*) FROM METRICS \
+         GROUP BY seq/2 as sb, metric",
+        &metrics_schema(),
+        &PlannerConfig::standard(),
+    )
+    .unwrap();
+    let windows = meta.run(tuples.iter()).unwrap();
+    assert!(!windows.is_empty(), "meta query must close at least one window");
+
+    // Every snapshot carries the same metric set, so each meta window
+    // groups by metric name; the op.tuples series must appear and its
+    // per-window sums must be positive and non-decreasing over time
+    // (counters are cumulative).
+    let mut tuple_sums = Vec::new();
+    for w in &windows {
+        for row in &w.rows {
+            if row.get(1).as_str() == Ok("op.tuples") {
+                tuple_sums.push(row.get(2).as_f64().unwrap());
+            }
+        }
+    }
+    assert!(!tuple_sums.is_empty(), "op.tuples series missing from meta output");
+    assert!(tuple_sums.windows(2).all(|p| p[1] >= p[0]), "cumulative counter: {tuple_sums:?}");
+}
