@@ -235,14 +235,15 @@ pub fn run_plan(
 }
 
 /// Run a plan with the two levels on separate threads connected by a
-/// bounded channel — the deployment shape of the real system. Produces
+/// bounded SPSC ring ([`sso_runtime::ring`]) — the deployment shape of
+/// the real system. Produces
 /// the same windows as [`run_plan`] (the operator is deterministic given
 /// tuple order, which the channel preserves).
 pub fn run_plan_threaded(
     mut plan: TwoLevelPlan,
     packets: impl IntoIterator<Item = Packet> + Send,
 ) -> Result<RunReport, OpError> {
-    let (tx, rx) = crossbeam::channel::bounded::<sso_types::Tuple>(plan.ring_capacity);
+    let (mut tx, mut rx) = sso_runtime::ring::<sso_types::Tuple>(plan.ring_capacity);
     let mut low = NodeStats { name: plan.low.name().to_string(), ..Default::default() };
     let high = NodeStats { name: "sampling-operator".to_string(), ..Default::default() };
     let mut first_uts = None;
@@ -252,7 +253,7 @@ pub fn run_plan_threaded(
         let consumer = s.spawn(move || -> Result<(NodeStats, Vec<WindowOutput>), OpError> {
             let mut windows = Vec::new();
             let mut stats = high;
-            while let Ok(tuple) = rx.recv() {
+            while let Some(tuple) = rx.pop() {
                 stats.tuples_in += 1;
                 let sw = Stopwatch::start();
                 let out = plan.high.process(&tuple)?;
@@ -277,14 +278,14 @@ pub fn run_plan_threaded(
             low.busy += sw.elapsed();
             if let Some(tuple) = forwarded {
                 low.tuples_out += 1;
-                if tx.send(tuple).is_err() {
+                if tx.push(tuple).is_err() {
                     break; // consumer died; its error is surfaced below
                 }
             }
         }
         for tuple in plan.low.finish() {
             low.tuples_out += 1;
-            if tx.send(tuple).is_err() {
+            if tx.push(tuple).is_err() {
                 break;
             }
         }

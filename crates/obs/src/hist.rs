@@ -7,25 +7,27 @@
 //! `fetch_add`s — no locks, no allocation, and safely shareable across
 //! threads via the handle's internal [`Arc`].
 
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+
+use sso_sync::Ordering::Relaxed;
+use sso_sync::SyncU64;
 
 /// Number of power-of-two buckets.
 pub const BUCKETS: usize = 48;
 
 #[derive(Debug)]
 pub(crate) struct HistCore {
-    pub(crate) buckets: [AtomicU64; BUCKETS],
-    pub(crate) count: AtomicU64,
-    pub(crate) sum: AtomicU64,
+    pub(crate) buckets: [SyncU64; BUCKETS],
+    pub(crate) count: SyncU64,
+    pub(crate) sum: SyncU64,
 }
 
 impl Default for HistCore {
     fn default() -> Self {
         HistCore {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| SyncU64::new(0)),
+            count: SyncU64::new(0),
+            sum: SyncU64::new(0),
         }
     }
 }

@@ -14,14 +14,16 @@
 //! marks span tracing off so [`SampledSpan`](crate::SampledSpan) guards
 //! are never taken, and `is_enabled()` lets exporters skip work.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use sso_sync::Ordering::Relaxed;
+use sso_sync::{SyncBool, SyncMutex, SyncU64};
 
 use crate::hist::{HistCore, HistSnapshot, Histogram};
 
 /// A monotonically increasing counter handle.
 #[derive(Debug, Clone)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter(Arc<SyncU64>);
 
 impl Counter {
     /// Add 1.
@@ -43,13 +45,13 @@ impl Counter {
     }
 }
 
-/// A gauge handle holding an `f64` (stored as bits in an `AtomicU64`).
+/// A gauge handle holding an `f64` (stored as bits in a `SyncU64`).
 ///
 /// `set` overwrites; `add` does a CAS loop, so per-shard gauge cells
 /// registered under one name sum to a meaningful total at snapshot time
 /// (e.g. ring depth contributions).
 #[derive(Debug, Clone)]
-pub struct Gauge(Arc<AtomicU64>);
+pub struct Gauge(Arc<SyncU64>);
 
 impl Gauge {
     /// Overwrite the gauge value.
@@ -165,8 +167,8 @@ impl Snapshot {
 }
 
 enum CellValue {
-    Counter(Arc<AtomicU64>),
-    Gauge(Arc<AtomicU64>),
+    Counter(Arc<SyncU64>),
+    Gauge(Arc<SyncU64>),
     Histogram(Arc<HistCore>),
 }
 
@@ -178,9 +180,9 @@ struct Cell {
 
 struct Inner {
     /// Span tracing on/off; `false` for `Registry::disabled()`.
-    enabled: AtomicBool,
-    cells: Mutex<Vec<Cell>>,
-    seq: AtomicU64,
+    enabled: SyncBool,
+    cells: SyncMutex<Vec<Cell>>,
+    seq: SyncU64,
 }
 
 /// Shared handle to the metrics registry. Cloning shares state.
@@ -193,7 +195,7 @@ impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
             .field("enabled", &self.is_enabled())
-            .field("cells", &self.inner.cells.lock().unwrap().len())
+            .field("cells", &self.inner.cells.lock().len())
             .finish()
     }
 }
@@ -209,9 +211,9 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             inner: Arc::new(Inner {
-                enabled: AtomicBool::new(true),
-                cells: Mutex::new(Vec::new()),
-                seq: AtomicU64::new(0),
+                enabled: SyncBool::new(true),
+                cells: SyncMutex::new(Vec::new()),
+                seq: SyncU64::new(0),
             }),
         }
     }
@@ -231,7 +233,7 @@ impl Registry {
     }
 
     fn register(&self, name: &'static str, label: String, value: CellValue) {
-        self.inner.cells.lock().unwrap().push(Cell { name, label, value });
+        self.inner.cells.lock().push(Cell { name, label, value });
     }
 
     /// Register a new counter cell under `name`.
@@ -241,7 +243,7 @@ impl Registry {
 
     /// Register a new counter cell under `(name, label)`.
     pub fn counter_labeled(&self, name: &'static str, label: impl Into<String>) -> Counter {
-        let cell = Arc::new(AtomicU64::new(0));
+        let cell = Arc::new(SyncU64::new(0));
         self.register(name, label.into(), CellValue::Counter(cell.clone()));
         Counter(cell)
     }
@@ -253,7 +255,7 @@ impl Registry {
 
     /// Register a new gauge cell under `(name, label)`.
     pub fn gauge_labeled(&self, name: &'static str, label: impl Into<String>) -> Gauge {
-        let cell = Arc::new(AtomicU64::new(0f64.to_bits()));
+        let cell = Arc::new(SyncU64::new(0f64.to_bits()));
         self.register(name, label.into(), CellValue::Gauge(cell.clone()));
         Gauge(cell)
     }
@@ -274,7 +276,7 @@ impl Registry {
     /// number. Reads are `Relaxed`: a snapshot is a statistical view
     /// and may miss increments still in flight on other cores.
     pub fn snapshot(&self) -> Snapshot {
-        let cells = self.inner.cells.lock().unwrap();
+        let cells = self.inner.cells.lock();
         let mut metrics: Vec<Metric> = Vec::new();
         for cell in cells.iter() {
             let existing =

@@ -13,7 +13,8 @@
 //! This replaces the bespoke 1-in-64 timing hack that used to live in
 //! the Gigascope sharded engine.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use sso_sync::Ordering::Relaxed;
+use sso_sync::{SyncBool, SyncU64};
 use std::sync::Arc;
 
 use crate::hist::Histogram;
@@ -23,8 +24,8 @@ use crate::time::Stopwatch;
 /// A named span that samples 1 in `2^k` entries.
 #[derive(Debug, Clone)]
 pub struct SampledSpan {
-    enabled: Arc<AtomicBool>,
-    calls: Arc<AtomicU64>,
+    enabled: Arc<SyncBool>,
+    calls: Arc<SyncU64>,
     mask: u64,
     hist: Histogram,
     busy: Counter,
@@ -43,8 +44,8 @@ impl SampledSpan {
         sample_shift: u32,
     ) -> Self {
         SampledSpan {
-            enabled: Arc::new(AtomicBool::new(registry.is_enabled())),
-            calls: Arc::new(AtomicU64::new(0)),
+            enabled: Arc::new(SyncBool::new(registry.is_enabled())),
+            calls: Arc::new(SyncU64::new(0)),
             mask: (1u64 << sample_shift) - 1,
             hist: registry.histogram_labeled(hist_name, label.clone()),
             busy: registry.counter_labeled(busy_name, label),

@@ -121,7 +121,14 @@ pub fn check(text: &str, schema: &Schema, config: &PlannerConfig) -> Vec<Diagnos
             Span::new(position, position + 1),
             format!("syntax error: {message}"),
         )],
-        // parse_query only produces Lex/Parse errors.
-        Err(other) => vec![Diagnostic::new(Code::E101, Span::DUMMY, other.to_string())],
+        // parse_query only produces Lex/Parse errors today; if a future
+        // front-end change routes others here, surface their own
+        // diagnostics when they carry them, and otherwise point at the
+        // statement the error is about — never at offset 0.
+        Err(QueryError::Analysis(diags)) => diags,
+        Err(other) => {
+            let span = other.primary_span(text);
+            vec![Diagnostic::new(Code::E101, span, other.to_string())]
+        }
     }
 }

@@ -1,0 +1,108 @@
+//! The window-aligned merge-finalize barrier.
+//!
+//! Each worker shard deposits its final per-run partial (its window
+//! outputs) into its own slot and announces it with one `Release`
+//! increment of the published count; the merging thread waits for the
+//! count to reach the shard total with an `Acquire` load and only then
+//! reads the slots. The increments form a single release sequence on
+//! the counter, so the final `Acquire` load synchronizes with *every*
+//! publisher — the merge can never observe a shard's slot before that
+//! shard's last write to it. The `model_check` suite verifies exactly
+//! this invariant (and that downgrading the increment to `Relaxed` is
+//! reported as a data race).
+
+use std::sync::Arc;
+
+use sso_sync::hint::spin_yield;
+use sso_sync::Ordering::{Acquire, Release};
+use sso_sync::{SyncCell, SyncUsize};
+
+/// Collects one `T` per shard; see the module docs for the protocol.
+pub struct MergeBarrier<T> {
+    slots: Box<[SyncCell<Option<T>>]>,
+    published: SyncUsize,
+}
+
+impl<T: Send> MergeBarrier<T> {
+    /// A barrier expecting one publish per shard.
+    pub fn new(shards: usize) -> Arc<Self> {
+        Arc::new(MergeBarrier {
+            slots: (0..shards).map(|_| SyncCell::new(None)).collect(),
+            published: SyncUsize::new(0),
+        })
+    }
+
+    /// Deposit shard `shard`'s final partial. Call at most once per
+    /// shard; the slot write is exclusive because each shard owns its
+    /// own index.
+    pub fn publish(&self, shard: usize, value: T) {
+        // SAFETY: shard-indexed slot, written only by that shard's
+        // worker, before the Release increment below publishes it.
+        unsafe { self.slots[shard].with_mut(|slot| *slot = Some(value)) };
+        self.published.fetch_add(1, Release);
+    }
+
+    /// How many shards have published so far (`Acquire`, monotonic).
+    pub fn published(&self) -> usize {
+        self.published.load(Acquire)
+    }
+
+    /// Wait until every shard has published, then take all partials in
+    /// shard order (`None` entries would mean a double-take and panic).
+    pub fn wait_all(&self) -> Vec<T> {
+        while self.published.load(Acquire) < self.slots.len() {
+            spin_yield();
+        }
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| {
+                // SAFETY: the Acquire load above synchronized with every
+                // publisher's Release increment, so all slot writes
+                // happened-before these reads and no writer remains.
+                unsafe { slot.with_mut(|s| s.take()) }
+                    .unwrap_or_else(|| panic!("shard {shard} never published"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_in_shard_order() {
+        let b = MergeBarrier::new(3);
+        b.publish(2, "c");
+        b.publish(0, "a");
+        assert_eq!(b.published(), 2);
+        b.publish(1, "b");
+        assert_eq!(b.wait_all(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn waits_for_concurrent_publishers() {
+        let b = MergeBarrier::new(4);
+        let handles: Vec<_> = (0..4)
+            .map(|shard| {
+                let b = b.clone();
+                sso_sync::thread::spawn(move || b.publish(shard, shard * 10))
+            })
+            .collect();
+        let got = b.wait_all();
+        assert_eq!(got, vec![0, 10, 20, 30]);
+        for h in handles {
+            h.join();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never published")]
+    fn double_take_is_a_bug() {
+        let b = MergeBarrier::new(1);
+        b.publish(0, 7);
+        b.wait_all();
+        b.wait_all();
+    }
+}

@@ -7,7 +7,6 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
-use crossbeam::channel::{self, TrySendError};
 use rustc_hash::FxHasher;
 use sso_core::{
     panic_message, EvalCtx, Expr, OpError, OperatorMetrics, OperatorSpec, SamplingOperator,
@@ -15,6 +14,9 @@ use sso_core::{
 };
 use sso_obs::{Counter, Gauge, Registry, Stopwatch};
 use sso_types::Tuple;
+
+use crate::barrier::MergeBarrier;
+use crate::ring::{ring, PushError};
 
 /// What the router does when a shard's ring is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -306,17 +308,22 @@ where
         .collect();
     let batch_hist = registry.histogram("rt.batch_tuples");
 
+    // Workers deposit their final partials here; the router thread
+    // waits on it after the joins, so the merge observes every shard's
+    // last window through the barrier's Release/Acquire protocol.
+    let barrier: std::sync::Arc<MergeBarrier<Vec<WindowOutput>>> = MergeBarrier::new(cfg.shards);
     let per_shard: Vec<Vec<WindowOutput>> = std::thread::scope(|s| {
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         for (shard, mut op) in operators.into_iter().enumerate() {
-            let (tx, rx) = channel::bounded::<Vec<Tuple>>(cfg.ring_capacity);
+            let (tx, mut rx) = ring::<Vec<Tuple>>(cfg.ring_capacity);
             txs.push(tx);
             let stats = stats[shard].clone();
             let depth = ring_depths[shard].clone();
-            handles.push(s.spawn(move || -> Result<Vec<WindowOutput>, OpError> {
+            let barrier = barrier.clone();
+            handles.push(s.spawn(move || -> Result<(), OpError> {
                 let mut windows = Vec::new();
-                while let Ok(batch) = rx.recv() {
+                while let Some(batch) = rx.pop() {
                     depth.add(-1.0);
                     let sw = Stopwatch::start();
                     for tuple in &batch {
@@ -334,41 +341,42 @@ where
                     windows.push(w);
                 }
                 stats.busy_ns.add(sw.elapsed_ns());
-                Ok(windows)
+                barrier.publish(shard, windows);
+                Ok(())
             }));
         }
 
         let mut router = Router::new(plan);
         let mut batches: Vec<Vec<Tuple>> =
             (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect();
-        let send_batch = |shard: usize, batch: Vec<Tuple>| {
+        let mut send_batch = |shard: usize, batch: Vec<Tuple>| {
             let len = batch.len() as u64;
             match cfg.backpressure {
-                Backpressure::Block => match txs[shard].try_send(batch) {
+                Backpressure::Block => match txs[shard].try_push(batch) {
                     Ok(()) => {
                         batch_hist.record(len);
                         ring_depths[shard].add(1.0);
                     }
-                    Err(TrySendError::Full(batch)) => {
+                    Err(PushError::Full(batch)) => {
                         stats[shard].stalls.inc();
                         // Worker death closes the ring; the join below
                         // surfaces its error.
-                        if txs[shard].send(batch).is_ok() {
+                        if txs[shard].push(batch).is_ok() {
                             batch_hist.record(len);
                             ring_depths[shard].add(1.0);
                         }
                     }
-                    Err(TrySendError::Disconnected(_)) => {}
+                    Err(PushError::Closed(_)) => {}
                 },
-                Backpressure::DropNewest => match txs[shard].try_send(batch) {
+                Backpressure::DropNewest => match txs[shard].try_push(batch) {
                     Ok(()) => {
                         batch_hist.record(len);
                         ring_depths[shard].add(1.0);
                     }
-                    Err(TrySendError::Full(_)) => {
+                    Err(PushError::Full(_)) => {
                         stats[shard].dropped.add(len);
                     }
-                    Err(TrySendError::Disconnected(_)) => {}
+                    Err(PushError::Closed(_)) => {}
                 },
             }
         };
@@ -389,10 +397,9 @@ where
         }
         drop(txs);
 
-        let mut per_shard = Vec::with_capacity(cfg.shards);
         for (shard, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(Ok(windows)) => per_shard.push(windows),
+                Ok(Ok(())) => {}
                 Ok(Err(source)) => return Err(RuntimeError::Op { shard, source }),
                 Err(payload) => {
                     return Err(RuntimeError::WorkerPanic {
@@ -402,7 +409,9 @@ where
                 }
             }
         }
-        Ok(per_shard)
+        // Every worker joined cleanly, so every shard published and
+        // this returns immediately with all partials in shard order.
+        Ok(barrier.wait_all())
     })?;
 
     let windows = crate::merge::merge_windows(per_shard, &plan.rule, cfg.seed);

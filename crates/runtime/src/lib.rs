@@ -29,10 +29,14 @@
 //! stalls) or drop the newest batch (counting drops), so overload is
 //! observable instead of silent.
 
+pub mod barrier;
 pub mod engine;
 pub mod merge;
+pub mod ring;
 
+pub use barrier::MergeBarrier;
 pub use engine::{
     run_sharded, Backpressure, RuntimeConfig, RuntimeError, ShardStats, ShardedReport,
 };
 pub use merge::merge_windows;
+pub use ring::{ring, Consumer, Producer, PushError};

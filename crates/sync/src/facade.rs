@@ -1,0 +1,358 @@
+//! The facade types. Normal builds: inlined passthrough to `std`.
+//! `model` builds: each operation first asks the thread-local model
+//! context whether a checker run is driving this thread; if so the
+//! operation becomes a scheduler-visible event.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(feature = "model")]
+use crate::model::ctx::{self, AtomKind};
+
+/// A `u64` atomic behind the facade.
+#[derive(Debug, Default)]
+pub struct SyncU64 {
+    v: AtomicU64,
+}
+
+/// A `usize` atomic behind the facade.
+#[derive(Debug, Default)]
+pub struct SyncUsize {
+    v: AtomicUsize,
+}
+
+/// A `bool` atomic behind the facade.
+#[derive(Debug, Default)]
+pub struct SyncBool {
+    v: AtomicBool,
+}
+
+macro_rules! forward {
+    // Wrap `$body` as a model-visible op of `$kind` at this value's
+    // address, or run it raw outside a model run.
+    ($self:ident, $kind:ident, $ord:expr, $body:expr) => {{
+        #[cfg(feature = "model")]
+        if let Some(r) =
+            ctx::with(|c| c.atomic($self as *const Self as usize, AtomKind::$kind, $ord, || $body))
+        {
+            return r;
+        }
+        $body
+    }};
+}
+
+impl SyncU64 {
+    /// A new atomic holding `v`.
+    pub const fn new(v: u64) -> Self {
+        SyncU64 { v: AtomicU64::new(v) }
+    }
+
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> u64 {
+        forward!(self, Load, ord, self.v.load(ord))
+    }
+
+    #[inline]
+    pub fn store(&self, val: u64, ord: Ordering) {
+        forward!(self, Store, ord, self.v.store(val, ord))
+    }
+
+    #[inline]
+    pub fn fetch_add(&self, val: u64, ord: Ordering) -> u64 {
+        forward!(self, Rmw, ord, self.v.fetch_add(val, ord))
+    }
+
+    #[inline]
+    pub fn swap(&self, val: u64, ord: Ordering) -> u64 {
+        forward!(self, Rmw, ord, self.v.swap(val, ord))
+    }
+
+    /// `compare_exchange_weak`; spurious failures are allowed (and, in a
+    /// model run, explored: the model treats a failure as a load with
+    /// the failure ordering).
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        #[cfg(feature = "model")]
+        if let Some(r) = ctx::with(|c| {
+            c.cas(self as *const Self as usize, success, failure, || {
+                let r = self.v.compare_exchange_weak(current, new, success, failure);
+                let ok = r.is_ok();
+                (r, ok)
+            })
+        }) {
+            return r;
+        }
+        self.v.compare_exchange_weak(current, new, success, failure)
+    }
+
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        #[cfg(feature = "model")]
+        if let Some(r) = ctx::with(|c| {
+            c.cas(self as *const Self as usize, success, failure, || {
+                let r = self.v.compare_exchange(current, new, success, failure);
+                let ok = r.is_ok();
+                (r, ok)
+            })
+        }) {
+            return r;
+        }
+        self.v.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl SyncUsize {
+    /// A new atomic holding `v`.
+    pub const fn new(v: usize) -> Self {
+        SyncUsize { v: AtomicUsize::new(v) }
+    }
+
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> usize {
+        forward!(self, Load, ord, self.v.load(ord))
+    }
+
+    #[inline]
+    pub fn store(&self, val: usize, ord: Ordering) {
+        forward!(self, Store, ord, self.v.store(val, ord))
+    }
+
+    #[inline]
+    pub fn fetch_add(&self, val: usize, ord: Ordering) -> usize {
+        forward!(self, Rmw, ord, self.v.fetch_add(val, ord))
+    }
+}
+
+impl SyncBool {
+    /// A new atomic holding `v`.
+    pub const fn new(v: bool) -> Self {
+        SyncBool { v: AtomicBool::new(v) }
+    }
+
+    #[inline]
+    pub fn load(&self, ord: Ordering) -> bool {
+        forward!(self, Load, ord, self.v.load(ord))
+    }
+
+    #[inline]
+    pub fn store(&self, val: bool, ord: Ordering) {
+        forward!(self, Store, ord, self.v.store(val, ord))
+    }
+}
+
+/// An atomic memory fence. In a model run, `Release`-class fences stage
+/// the thread's clock for publication by subsequent `Relaxed` stores;
+/// `Acquire`-class fences join the clocks gathered by prior `Relaxed`
+/// loads.
+#[inline]
+pub fn fence(ord: Ordering) {
+    #[cfg(feature = "model")]
+    if ctx::with(|c| c.fence(ord)).is_some() {
+        return;
+    }
+    std::sync::atomic::fence(ord);
+}
+
+/// Shared mutable state whose exclusion is enforced by an external
+/// protocol (ring indices, a publish counter) rather than a lock.
+///
+/// Normal builds compile accesses to raw `UnsafeCell` reads/writes; the
+/// model checker treats them as *non-atomic* accesses and reports a
+/// happens-before data race whenever two threads touch the same cell
+/// without an ordering path between them — which is precisely how a
+/// missing `Release`/`Acquire` pair on the protocol's atomics shows up.
+#[derive(Debug, Default)]
+pub struct SyncCell<T> {
+    v: UnsafeCell<T>,
+}
+
+// SAFETY: cross-thread access is the point of the type; exclusion is
+// the caller's contract (see `with` / `with_mut`), checked under the
+// model feature.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    /// A new cell holding `v`.
+    pub const fn new(v: T) -> Self {
+        SyncCell { v: UnsafeCell::new(v) }
+    }
+
+    /// Read access.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent `with_mut` on this cell;
+    /// the surrounding protocol's atomics must order this read after
+    /// any write it observes.
+    #[inline]
+    pub unsafe fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        #[cfg(feature = "model")]
+        if ctx::in_model() {
+            return ctx::with(|c| c.cell_read(self as *const Self as usize, || f(&*self.v.get())))
+                .expect("in_model checked");
+        }
+        f(&*self.v.get())
+    }
+
+    /// Write access.
+    ///
+    /// # Safety
+    /// The caller must guarantee exclusive access for the duration of
+    /// `f` — no concurrent `with` or `with_mut` on this cell.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        #[cfg(feature = "model")]
+        if ctx::in_model() {
+            return ctx::with(|c| {
+                c.cell_write(self as *const Self as usize, || f(&mut *self.v.get()))
+            })
+            .expect("in_model checked");
+        }
+        f(&mut *self.v.get())
+    }
+
+    /// Exclusive access through a unique reference (always safe).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.v.get_mut()
+    }
+
+    /// Consume the cell.
+    pub fn into_inner(self) -> T {
+        self.v.into_inner()
+    }
+}
+
+/// A mutex behind the facade. Normal builds: `std::sync::Mutex` (poison
+/// panics propagate, matching the previous `.lock().unwrap()` idiom).
+/// Model runs: acquisition is a scheduler-visible blocking operation,
+/// so schedules where a thread waits on the lock are explored, and the
+/// unlock→lock edge contributes to the happens-before relation.
+#[derive(Debug, Default)]
+pub struct SyncMutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> SyncMutex<T> {
+    /// A new mutex holding `v`.
+    pub const fn new(v: T) -> Self {
+        SyncMutex { inner: std::sync::Mutex::new(v) }
+    }
+
+    /// Lock, panicking if a previous holder panicked.
+    pub fn lock(&self) -> SyncMutexGuard<'_, T> {
+        #[cfg(feature = "model")]
+        let modeled = ctx::with(|c| c.mutex_lock(self as *const Self as usize)).is_some();
+        #[cfg(not(feature = "model"))]
+        let modeled = false;
+        // Inside a model run the scheduler has already granted exclusive
+        // ownership, so this never blocks.
+        let guard = self.inner.lock().expect("SyncMutex poisoned");
+        SyncMutexGuard { guard: Some(guard), addr: self as *const Self as usize, modeled }
+    }
+
+    /// Exclusive access through a unique reference (always safe).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().expect("SyncMutex poisoned")
+    }
+}
+
+/// Guard returned by [`SyncMutex::lock`].
+pub struct SyncMutexGuard<'a, T> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg_attr(not(feature = "model"), allow(dead_code))]
+    addr: usize,
+    #[cfg_attr(not(feature = "model"), allow(dead_code))]
+    modeled: bool,
+}
+
+impl<T> std::ops::Deref for SyncMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for SyncMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for SyncMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before telling the model scheduler, so
+        // the next model thread granted the mutex can take it.
+        self.guard.take();
+        #[cfg(feature = "model")]
+        if self.modeled {
+            ctx::with(|c| c.mutex_unlock(self.addr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn passthrough_atomics_behave_like_std() {
+        let a = SyncU64::new(5);
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+        assert_eq!(a.fetch_add(3, Ordering::Relaxed), 5);
+        a.store(42, Ordering::Release);
+        assert_eq!(a.swap(7, Ordering::AcqRel), 42);
+        assert_eq!(
+            a.compare_exchange(7, 9, Ordering::AcqRel, Ordering::Acquire),
+            Ok(7),
+            "CAS from the current value succeeds"
+        );
+        assert_eq!(a.compare_exchange(7, 9, Ordering::AcqRel, Ordering::Acquire), Err(9));
+
+        let b = SyncBool::new(false);
+        b.store(true, Ordering::Release);
+        assert!(b.load(Ordering::Acquire));
+
+        let u = SyncUsize::new(1);
+        assert_eq!(u.fetch_add(1, Ordering::AcqRel), 1);
+        assert_eq!(u.load(Ordering::Acquire), 2);
+        fence(Ordering::SeqCst);
+    }
+
+    #[test]
+    fn cell_and_mutex_round_trip() {
+        let c = SyncCell::new(vec![1, 2]);
+        unsafe {
+            c.with_mut(|v| v.push(3));
+            assert_eq!(c.with(|v| v.len()), 3);
+        }
+        let mut c = c;
+        c.get_mut().push(4);
+        assert_eq!(c.into_inner(), vec![1, 2, 3, 4]);
+
+        let m = Arc::new(SyncMutex::new(0u64));
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..100 {
+                *m2.lock() += 1;
+            }
+        });
+        for _ in 0..100 {
+            *m.lock() += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(*m.lock(), 200);
+    }
+}

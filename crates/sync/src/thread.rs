@@ -1,0 +1,68 @@
+//! Thread spawn/join shims.
+//!
+//! Normal builds delegate to `std::thread`. In a model run, spawned
+//! closures become additional model threads under the deterministic
+//! scheduler, and `join` is a scheduler-visible blocking operation that
+//! contributes a happens-before edge from the child's last operation.
+
+#[cfg(feature = "model")]
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    #[cfg(feature = "model")]
+    Model {
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle returned by [`spawn`].
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+/// Spawn a thread running `f`.
+///
+/// Inside a model run the closure runs as a model thread: it executes
+/// on a real OS thread but only when the deterministic scheduler grants
+/// it the baton, and every facade operation it performs is explored.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(feature = "model")]
+    if crate::model::ctx::in_model() {
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let slot = result.clone();
+        let tid = crate::model::ctx::with(move |c| {
+            c.spawn(Box::new(move || {
+                let v = f();
+                *slot.lock().expect("model join slot") = Some(v);
+            }))
+        })
+        .expect("in_model checked above");
+        return JoinHandle { inner: Inner::Model { tid, result } };
+    }
+    JoinHandle { inner: Inner::Std(std::thread::spawn(f)) }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value. Panics if
+    /// the thread panicked (matching the `handle.join().unwrap()` idiom).
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Std(h) => h.join().expect("sso_sync::thread join: child panicked"),
+            #[cfg(feature = "model")]
+            Inner::Model { tid, result } => {
+                crate::model::ctx::with(|c| c.join(tid));
+                result
+                    .lock()
+                    .expect("model join slot")
+                    .take()
+                    .expect("model thread finished without storing a result")
+            }
+        }
+    }
+}

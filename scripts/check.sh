@@ -15,6 +15,36 @@ cargo test -q
 echo "== sharded runtime determinism suite =="
 cargo test -q --test sharded
 
+echo "== concurrency model check (exhaustive, bounded <60s) =="
+# Exhaustively explores the interleavings of the registry fold, shard
+# ring, and merge barrier under the sso-sync `model` feature; the
+# configs in tests/model_check.rs are sized so the whole suite stays
+# well under a minute.
+cargo test -q --test model_check
+
+if [[ "${SSO_CHECK_SANITIZE:-0}" == "1" ]]; then
+    echo "== sanitizer pass (opt-in: SSO_CHECK_SANITIZE=1) =="
+    # Best-effort: tsan needs a nightly -Z flag and miri needs its
+    # component; offline or stable-only toolchains skip gracefully.
+    if rustc +nightly --version >/dev/null 2>&1; then
+        if RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q -Z build-std \
+            --target "$(rustc -vV | sed -n 's/^host: //p')" \
+            --test model_check 2>/dev/null; then
+            echo "thread sanitizer pass OK"
+        else
+            echo "thread sanitizer unavailable (needs nightly + rust-src); skipped"
+        fi
+        if cargo +nightly miri --version >/dev/null 2>&1; then
+            cargo +nightly miri test -p sso-runtime -p sso-obs ||
+                echo "miri run failed or unsupported; continuing"
+        else
+            echo "miri not installed; skipped"
+        fi
+    else
+        echo "no nightly toolchain; sanitizer pass skipped"
+    fi
+fi
+
 echo "== sso --shards smoke run =="
 cargo run -q --bin sso -- --feed research --seconds 2 --shards 4 \
     "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" >/dev/null

@@ -74,7 +74,7 @@ fn usage() -> ! {
         "usage: sso [run|top] [--feed research|datacenter|ddos|burst] [--trace FILE] \
          [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] \
          [--metrics[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
-         \x20      sso check QUERY-FILE"
+         \x20      sso check [--json] QUERY-FILE"
     );
     std::process::exit(2);
 }
@@ -101,12 +101,22 @@ fn split_statements(text: &str) -> Vec<(usize, &str)> {
     out
 }
 
-/// `sso check FILE`: statically analyze every query in FILE, printing
-/// rustc-style diagnostics. Exits 0 when clean (warnings allowed), 1
-/// when any query has errors, 2 on usage or I/O problems.
+/// `sso check [--json] FILE`: statically analyze every query in FILE,
+/// printing rustc-style diagnostics — or, with `--json`, one JSON
+/// object per diagnostic per line (code, span, message, severity) for
+/// editors and CI. Exits 0 when clean (warnings allowed), 1 when any
+/// query has errors, 2 on usage or I/O problems.
 fn run_check(args: &[String]) -> ! {
-    let [path] = args else {
-        eprintln!("usage: sso check QUERY-FILE");
+    let mut json = false;
+    let mut paths = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ => paths.push(a),
+        }
+    }
+    let [path] = paths[..] else {
+        eprintln!("usage: sso check [--json] QUERY-FILE");
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -170,15 +180,23 @@ fn run_check(args: &[String]) -> ! {
         // closed pipe instead of panicking.
         let mut out = std::io::stdout().lock();
         for d in &diags {
-            let _ = writeln!(out, "{}", diag::render_one(&text, path, d));
+            let _ = if json {
+                writeln!(out, "{}", d.to_json())
+            } else {
+                writeln!(out, "{}", diag::render_one(&text, path, d))
+            };
         }
         prev = next;
     }
-    let mut out = std::io::stdout().lock();
-    let _ = match (errors, warnings) {
-        (0, 0) => writeln!(out, "{path}: no problems found"),
-        (e, w) => writeln!(out, "{path}: {e} error(s), {w} warning(s)"),
-    };
+    // The human summary line would corrupt a JSON stream; consumers
+    // count objects (and read the exit code) instead.
+    if !json {
+        let mut out = std::io::stdout().lock();
+        let _ = match (errors, warnings) {
+            (0, 0) => writeln!(out, "{path}: no problems found"),
+            (e, w) => writeln!(out, "{path}: {e} error(s), {w} warning(s)"),
+        };
+    }
     std::process::exit(if errors > 0 { 1 } else { 0 });
 }
 

@@ -1,0 +1,273 @@
+//! Exhaustive concurrency model checks for the three hand-rolled
+//! lock-free structures (`sso check`'s dynamic sibling): the metrics
+//! registry write/snapshot-fold path, the SPSC shard ring under both
+//! backpressure policies, and the merge-finalize barrier.
+//!
+//! Each positive test asserts `complete == true`: the bounded
+//! interleaving space was *exhausted* with zero reported races, not
+//! sampled. The two `seeded_bug_*` tests plant real ordering bugs
+//! (a `Relaxed` store where `Release` is required; an off-by-one slot
+//! index) and assert the checker catches them, printing the replayable
+//! schedule — the detector is itself under test.
+//!
+//! Configurations are deliberately tiny (2–3 threads, 2–4 ops each):
+//! exhaustive exploration is exponential, and these shapes already
+//! cover every ordering the production code paths exercise.
+
+use std::sync::Arc;
+
+use sso_sync::hint::spin_yield;
+use sso_sync::model::{check, FailureKind, Model};
+use sso_sync::Ordering::{Acquire, Relaxed, Release};
+use sso_sync::{thread, SyncCell, SyncUsize};
+use stream_sampler::obs::Registry;
+use stream_sampler::runtime::{ring, MergeBarrier, PushError};
+
+// ---------------------------------------------------------------------------
+// Registry: sharded-handle writes vs the snapshot fold
+// ---------------------------------------------------------------------------
+
+/// Two shard handles under one name write while the main thread
+/// snapshots: the fold must never observe a torn (name,label) merge —
+/// each key appears exactly once, and the merged counter is one of the
+/// totals an atomic history allows.
+#[test]
+fn registry_snapshot_never_tears_the_fold() {
+    let explored = check(|| {
+        let r = Registry::new();
+        let c0 = r.counter_labeled("rt.tuples", "shard=0");
+        let r2 = r.clone();
+        let worker = thread::spawn(move || {
+            // A shard registering its handle and writing, concurrently
+            // with the snapshot: the registration path and the fold
+            // share the cell-table mutex.
+            let c1 = r2.counter_labeled("rt.tuples", "shard=0");
+            c1.add(2);
+        });
+        c0.inc();
+        let snap = r.snapshot();
+        // The fold merges cells by (name, label): however the mutex
+        // interleaved, "rt.tuples"/"shard=0" must be a single metric.
+        let folded: Vec<_> =
+            snap.metrics.iter().filter(|m| m.name == "rt.tuples" && m.label == "shard=0").collect();
+        assert!(folded.len() <= 1, "torn fold: {} entries for one key", folded.len());
+        let v = snap.get("rt.tuples").map(|m| m.scalar()).unwrap_or(0.0);
+        assert!([0.0, 1.0, 2.0, 3.0].contains(&v), "snapshot saw impossible counter total {v}");
+        worker.join();
+        // After the join, everything is visible: the final fold is exact.
+        assert_eq!(r.snapshot().get("rt.tuples").unwrap().scalar(), 3.0);
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete, "exploration must be exhaustive: {explored:?}");
+    assert!(explored.schedules > 1, "interleavings explored: {explored:?}");
+}
+
+/// Gauge cells: `set` is a blind store (legitimate — last writer wins),
+/// `add` is a CAS loop. Concurrent `add`s must not be flagged as lost
+/// updates, and must both land.
+#[test]
+fn registry_gauge_cas_loop_is_lossless() {
+    let explored = check(|| {
+        let r = Registry::new();
+        let g = r.gauge("rt.ring_depth");
+        let g2 = r.gauge("rt.ring_depth");
+        let worker = thread::spawn(move || {
+            g2.add(2.0);
+        });
+        g.add(1.0);
+        worker.join();
+        assert_eq!(r.snapshot().value("rt.ring_depth"), 3.0);
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete);
+}
+
+// ---------------------------------------------------------------------------
+// Shard ring
+// ---------------------------------------------------------------------------
+
+/// Block policy: every pushed tuple arrives exactly once, in order,
+/// through a ring smaller than the stream (so wraparound and the full
+/// ring + blocked producer path are explored).
+#[test]
+fn ring_block_neither_loses_nor_duplicates() {
+    let explored = check(|| {
+        // Capacity 1 with two pushes: the second push finds the ring
+        // full whenever the consumer lags, so the blocked-producer and
+        // slot-reuse (wraparound) paths are both inside the explored
+        // space while the schedule count stays exhaustible.
+        let (mut tx, mut rx) = ring::<u32>(1);
+        let producer = thread::spawn(move || {
+            for i in 0..2 {
+                tx.push(i).expect("consumer alive");
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.pop() {
+            got.push(v);
+        }
+        producer.join();
+        assert_eq!(got, vec![0, 1], "Block must be lossless and FIFO");
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete, "exploration must be exhaustive: {explored:?}");
+}
+
+/// DropNewest policy: whatever interleaving the router and worker land
+/// in, attempted == delivered + dropped, delivered values keep stream
+/// order, and the drop counter (an obs counter, like `rt.dropped`)
+/// agrees with the handed-back values.
+#[test]
+fn ring_drop_newest_accounts_attempted_minus_delivered() {
+    let explored = check(|| {
+        let r = Registry::disabled();
+        let dropped = r.counter("rt.dropped");
+        let d2 = dropped.clone();
+        let (mut tx, mut rx) = ring::<u32>(1);
+        let producer = thread::spawn(move || {
+            for i in 0..2u32 {
+                match tx.try_push(i) {
+                    Ok(()) => {}
+                    Err(PushError::Full(_)) => d2.inc(),
+                    Err(PushError::Closed(_)) => unreachable!("consumer outlives producer"),
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.pop() {
+            got.push(v);
+        }
+        producer.join();
+        assert_eq!(
+            got.len() as u64 + dropped.get(),
+            2,
+            "drops must equal attempted - delivered (got {got:?})"
+        );
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "delivered keeps order: {got:?}");
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete, "exploration must be exhaustive: {explored:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Merge-finalize barrier
+// ---------------------------------------------------------------------------
+
+/// The merge thread must observe every shard's *final* partial: each
+/// worker fills its window vector (a plain cell write) and publishes;
+/// wait_all's Acquire must order every fill before the fold.
+#[test]
+fn merge_barrier_observes_every_shards_final_partial() {
+    let explored = check(|| {
+        let barrier: Arc<MergeBarrier<Vec<u64>>> = MergeBarrier::new(2);
+        let workers: Vec<_> = (0..2)
+            .map(|shard| {
+                let barrier = barrier.clone();
+                thread::spawn(move || {
+                    let shard = shard as u64;
+                    // The shard's final partial, built up then published.
+                    let mut windows = vec![shard * 10];
+                    windows.push(shard * 10 + 1);
+                    barrier.publish(shard as usize, windows);
+                })
+            })
+            .collect();
+        let partials = barrier.wait_all();
+        assert_eq!(partials, vec![vec![0, 1], vec![10, 11]], "a shard's last write was missed");
+        for w in workers {
+            w.join();
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete, "exploration must be exhaustive: {explored:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bugs: the detector must detect
+// ---------------------------------------------------------------------------
+
+/// A miniature of the ring's publish path with the one bug the `Release`
+/// in `Producer::try_push` prevents: the tail store downgraded to
+/// `Relaxed`. The consumer's slot read then races with the producer's
+/// slot write, and the checker must say so.
+#[test]
+fn seeded_bug_relaxed_tail_store_is_reported() {
+    struct BuggySlot {
+        slot: SyncCell<Option<u32>>,
+        tail: SyncUsize,
+    }
+    let failure = check(|| {
+        let ring = Arc::new(BuggySlot { slot: SyncCell::new(None), tail: SyncUsize::new(0) });
+        let r2 = ring.clone();
+        let producer = thread::spawn(move || {
+            unsafe { r2.slot.with_mut(|s| *s = Some(7)) };
+            // BUG: must be `Release` to publish the slot write.
+            r2.tail.store(1, Relaxed);
+        });
+        if ring.tail.load(Acquire) == 1 {
+            let v = unsafe { ring.slot.with(|s| *s) };
+            assert_eq!(v, Some(7));
+        }
+        producer.join();
+    })
+    .expect_err("a Relaxed tail store must be reported as a race");
+    eprintln!("{failure}"); // the replayable schedule, for the log
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    assert!(!failure.schedule.is_empty());
+    assert!(!failure.trace.is_empty());
+}
+
+/// A miniature ring with an off-by-one slot index: the producer writes
+/// `(tail + 1) % cap` instead of `tail % cap`, so the consumer pops a
+/// slot nobody filled — caught as a torn hand-off. Also proves the
+/// printed schedule replays to the same failure.
+#[test]
+fn seeded_bug_off_by_one_ring_index_is_reported() {
+    const CAP: usize = 2;
+    struct BuggyRing {
+        slots: [SyncCell<Option<u32>>; CAP],
+        head: SyncUsize,
+        tail: SyncUsize,
+    }
+    let scenario = || {
+        let ring = Arc::new(BuggyRing {
+            slots: [SyncCell::new(None), SyncCell::new(None)],
+            head: SyncUsize::new(0),
+            tail: SyncUsize::new(0),
+        });
+        let r2 = ring.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..2u32 {
+                let tail = r2.tail.load(Relaxed);
+                while tail.wrapping_sub(r2.head.load(Acquire)) >= CAP {
+                    spin_yield();
+                }
+                // BUG: fills the *next* slot, not the one `tail` names.
+                unsafe { r2.slots[(tail + 1) % CAP].with_mut(|s| *s = Some(i)) };
+                r2.tail.store(tail.wrapping_add(1), Release);
+            }
+        });
+        for expect in 0..2u32 {
+            let head = ring.head.load(Relaxed);
+            while ring.tail.load(Acquire) == head {
+                spin_yield();
+            }
+            let v = unsafe { ring.slots[head % CAP].with_mut(|s| s.take()) };
+            assert_eq!(v, Some(expect), "ring handed over a torn or empty slot");
+            ring.head.store(head.wrapping_add(1), Release);
+        }
+        producer.join();
+    };
+    let failure = check(scenario).expect_err("off-by-one slot index must be caught");
+    eprintln!("{failure}"); // the replayable schedule, for the log
+    assert!(
+        matches!(failure.kind, FailureKind::Panic | FailureKind::DataRace),
+        "unexpected failure kind: {failure}"
+    );
+    assert!(!failure.schedule.is_empty());
+    let replayed = Model::new()
+        .replay(failure.schedule.clone())
+        .check(scenario)
+        .expect_err("replaying the printed schedule reproduces the bug");
+    assert_eq!(replayed.kind, failure.kind);
+}

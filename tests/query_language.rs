@@ -166,6 +166,27 @@ fn check_turns_parse_failures_into_coded_diagnostics() {
 }
 
 #[test]
+fn check_diagnostics_round_trip_through_json() {
+    use stream_sampler::query::Diagnostic;
+    // Real analyzer output — a mix of errors (with help text) and a
+    // parse failure — survives `sso check --json`'s wire format.
+    for src in [
+        "SELECT len, zap(len) FROM PKT WHERE nope = 3 GROUP BY time/60 as tb, len as tb",
+        "SELECT tb FROM",
+        "SELECT tb, sum(len), sum(len) FROM PKT GROUP BY time/1 as tb",
+    ] {
+        let diags =
+            stream_sampler::query::check(src, &Packet::schema(), &PlannerConfig::standard());
+        assert!(!diags.is_empty(), "{src}");
+        for d in &diags {
+            let line = d.to_json();
+            assert!(!line.contains('\n'), "one object per line: {line}");
+            assert_eq!(&Diagnostic::from_json(&line).unwrap(), d, "via {line}");
+        }
+    }
+}
+
+#[test]
 fn warnings_do_not_block_planning() {
     use stream_sampler::query::Severity;
     // Duplicate output names are a warning (W005): the query still

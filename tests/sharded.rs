@@ -17,6 +17,31 @@ fn packets() -> Vec<Packet> {
     research_feed(FEED_SEED).take_seconds(SECONDS)
 }
 
+/// Single-instance reference over an explicit packet list (see
+/// [`reference`] for the canonical ordering).
+fn reference_for(spec: OperatorSpec, pkts: &[Packet]) -> Vec<WindowOutput> {
+    let tuples: Vec<Tuple> = pkts.iter().map(|p| p.to_tuple()).collect();
+    let mut windows =
+        SamplingOperator::new(spec).expect("spec").run(tuples.iter()).expect("single run");
+    for w in &mut windows {
+        w.rows.sort_by(tuple_cmp);
+    }
+    windows
+}
+
+fn sharded_for<F>(make: F, shards: usize, pkts: &[Packet]) -> ShardedRunReport
+where
+    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError>,
+{
+    run_plan_sharded(
+        Box::new(SelectionNode::pass_all()),
+        make,
+        &RuntimeConfig::new(shards),
+        pkts.to_vec(),
+    )
+    .expect("sharded run")
+}
+
 /// Single-instance reference run, rows put into the merge's canonical
 /// order (the operator emits rows in group-creation order; the sharded
 /// merge sorts them by value).
@@ -94,6 +119,67 @@ fn minhash_signatures_merge_exactly() {
     for shards in [1, 2, 8] {
         let report = sharded(make, shards);
         assert_windows_equal(&single, &report.windows, &format!("minhash x{shards}"));
+    }
+}
+
+#[test]
+fn all_tuples_on_one_shard_matches_every_shard_count() {
+    // Adversarial skew: the heavy-hitter query partitions on srcIP (its
+    // only non-window group key), so a stream with a single source
+    // hashes every tuple onto ONE shard — the others spin up, see
+    // nothing, and publish empty partials into the merge.
+    let make = |_| queries::heavy_hitters_query(WINDOW, 1 << 20, None);
+    let pkts: Vec<Packet> = packets()
+        .into_iter()
+        .map(|mut p| {
+            p.src_ip = 0x0a00_0001;
+            p
+        })
+        .collect();
+    let single = reference_for(make(0).unwrap(), &pkts);
+    for shards in [1, 2, 16] {
+        let report = sharded_for(make, shards, &pkts);
+        assert_windows_equal(&single, &report.windows, &format!("one-shard skew x{shards}"));
+        let busy: Vec<u64> = report.shards.iter().map(|s| s.tuples()).collect();
+        assert_eq!(busy.iter().sum::<u64>(), pkts.len() as u64, "no tuple lost to skew");
+        assert_eq!(
+            busy.iter().filter(|&&t| t > 0).count(),
+            1,
+            "a single partition key must land on a single shard: {busy:?}"
+        );
+    }
+}
+
+#[test]
+fn empty_shards_and_shard_count_leave_results_byte_identical() {
+    // Two distinct partition keys fanned out over 16 shards: at least
+    // 14 shards process nothing, and the merged output at 1, 2, and 16
+    // shards must be byte-identical (not merely statistically close).
+    let make = |_| queries::heavy_hitters_query(WINDOW, 1 << 20, None);
+    let pkts: Vec<Packet> = packets()
+        .into_iter()
+        .map(|mut p| {
+            p.src_ip = 0x0a00_0001 + (p.len % 2); // exactly two sources
+            p
+        })
+        .collect();
+    let single = reference_for(make(0).unwrap(), &pkts);
+    let reports: Vec<(usize, ShardedRunReport)> =
+        [1, 2, 16].into_iter().map(|shards| (shards, sharded_for(make, shards, &pkts))).collect();
+    for (shards, report) in &reports {
+        assert_windows_equal(&single, &report.windows, &format!("two-key skew x{shards}"));
+    }
+    let empty = reports[2].1.shards.iter().filter(|s| s.tuples() == 0).count();
+    assert!(empty >= 14, "two keys cannot occupy more than two of 16 shards ({empty} empty)");
+    // Cross-compare the shard counts directly: same windows, same rows,
+    // same bytes, regardless of how many workers (or idle shards) ran.
+    for pair in reports.windows(2) {
+        let ((a_n, a), (b_n, b)) = (&pair[0], &pair[1]);
+        assert_windows_equal(
+            &a.windows,
+            &b.windows,
+            &format!("shard counts {a_n} vs {b_n} disagree on merged output"),
+        );
     }
 }
 
