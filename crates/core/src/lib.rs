@@ -44,6 +44,8 @@ pub use error::{panic_message, OpError};
 pub use expr::{BinOp, EvalCtx, Expr};
 pub use merge::{shard_plan, ColumnRule, MergeRule, NotMergeable, ShardPlan};
 pub use metrics::OperatorMetrics;
-pub use operator::{OperatorSpec, OperatorStats, SamplingOperator, WindowOutput, WindowStats};
+pub use operator::{
+    Degradation, OperatorSpec, OperatorStats, SamplingOperator, WindowOutput, WindowStats,
+};
 pub use sfun::{SfunLibrary, SfunStates, SfunTelemetry, Signature};
 pub use superagg::{SuperAggSpec, SuperAggState};

@@ -108,6 +108,14 @@ impl OperatorSpec {
         sso_types::Schema::new(name, fields)
     }
 
+    /// The window-defining group-by expressions, cloned in
+    /// `window_indices` order. A supervisor evaluates these against raw
+    /// tuples while a shard is quarantined, to see when the stream has
+    /// moved past the poisoned window (cheap: typically one `time/N`).
+    pub fn window_exprs(&self) -> Vec<Expr> {
+        self.window_indices.iter().map(|&i| self.group_by[i].1.clone()).collect()
+    }
+
     /// Check internal consistency.
     pub fn validate(&self) -> Result<(), OpError> {
         if self.select.is_empty() {
@@ -210,6 +218,41 @@ impl OperatorStats {
     }
 }
 
+/// Degradation metadata attached to a window's output: how much of the
+/// window's offered traffic the result actually covers.
+///
+/// A single-instance run always covers everything. A sharded run under
+/// faults can lose traffic to a quarantined (panicked) worker or to a
+/// straggler shard cut off by the window deadline; the merge-finalize
+/// path then re-thresholds the surviving shards' samples — unbiased over
+/// the *covered* traffic — and records the shortfall here instead of
+/// silently pretending the window was whole.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Fraction of the window's offered tuples represented by the rows
+    /// (`covered / (covered + uncovered)`), in `(0, 1]`.
+    pub coverage: f64,
+    /// True when any traffic was lost to a fault (i.e. `coverage < 1`).
+    pub degraded: bool,
+}
+
+impl Default for Degradation {
+    fn default() -> Self {
+        Degradation { coverage: 1.0, degraded: false }
+    }
+}
+
+impl Degradation {
+    /// Coverage from covered/uncovered tuple counts. Zero offered tuples
+    /// (an empty window) counts as fully covered.
+    pub fn from_counts(covered: u64, uncovered: u64) -> Self {
+        if uncovered == 0 {
+            return Degradation::default();
+        }
+        Degradation { coverage: covered as f64 / (covered + uncovered) as f64, degraded: true }
+    }
+}
+
 /// The output of one closed window.
 #[derive(Debug, Clone)]
 pub struct WindowOutput {
@@ -220,6 +263,9 @@ pub struct WindowOutput {
     pub rows: Vec<Tuple>,
     /// The window's counters.
     pub stats: WindowStats,
+    /// Fault-coverage metadata (full coverage unless a sharded run
+    /// degraded; see [`Degradation`]).
+    pub degradation: Degradation,
 }
 
 /// The sampling operator runtime.
@@ -300,6 +346,15 @@ impl SamplingOperator {
     /// Output column names, in SELECT order.
     pub fn output_columns(&self) -> Vec<&str> {
         self.spec.select.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The window-defining group-by values of the window currently being
+    /// accumulated, if any. A supervisor uses this after catching a
+    /// worker panic to know which window the poisoned operator was in —
+    /// the operator's tables may be mid-update, but the window key is a
+    /// plain value vector and stays readable.
+    pub fn current_window(&self) -> Option<Tuple> {
+        self.window.as_ref().map(|v| Tuple::new(v.clone()))
     }
 
     /// Process one tuple. If the tuple opens a new window, the previous
@@ -572,7 +627,7 @@ impl SamplingOperator {
             m.on_window(&stats, groups_at_close, telemetry.as_ref());
         }
         let window = Tuple::new(self.window.clone().unwrap_or_default());
-        Ok(WindowOutput { window, rows, stats })
+        Ok(WindowOutput { window, rows, stats, degradation: Degradation::default() })
     }
 
     /// Force-close the current window at end of stream.

@@ -108,6 +108,9 @@ pub struct RunReport {
     pub stream_span: Duration,
     /// Packets dropped at the ring (single-threaded mode only).
     pub ring_dropped: u64,
+    /// Producer stalls on a full ring (threaded mode only; one stall per
+    /// full-ring wait, however long the wait).
+    pub ring_stalls: u64,
 }
 
 impl RunReport {
@@ -231,7 +234,7 @@ pub fn run_plan(
     }
 
     let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
-    Ok(RunReport { low, high, windows, stream_span, ring_dropped: ring.dropped() })
+    Ok(RunReport { low, high, windows, stream_span, ring_dropped: ring.dropped(), ring_stalls: 0 })
 }
 
 /// Run a plan with the two levels on separate threads connected by a
@@ -248,6 +251,7 @@ pub fn run_plan_threaded(
     let high = NodeStats { name: "sampling-operator".to_string(), ..Default::default() };
     let mut first_uts = None;
     let mut last_uts = 0u64;
+    let mut ring_stalls = 0u64;
 
     let result: Result<(NodeStats, Vec<WindowOutput>), OpError> = std::thread::scope(|s| {
         let consumer = s.spawn(move || -> Result<(NodeStats, Vec<WindowOutput>), OpError> {
@@ -278,15 +282,17 @@ pub fn run_plan_threaded(
             low.busy += sw.elapsed();
             if let Some(tuple) = forwarded {
                 low.tuples_out += 1;
-                if tx.push(tuple).is_err() {
-                    break; // consumer died; its error is surfaced below
+                match tx.push_tracked(tuple) {
+                    Ok(stalled) => ring_stalls += u64::from(stalled),
+                    Err(_) => break, // consumer died; its error is surfaced below
                 }
             }
         }
         for tuple in plan.low.finish() {
             low.tuples_out += 1;
-            if tx.push(tuple).is_err() {
-                break;
+            match tx.push_tracked(tuple) {
+                Ok(stalled) => ring_stalls += u64::from(stalled),
+                Err(_) => break,
             }
         }
         drop(tx);
@@ -297,7 +303,7 @@ pub fn run_plan_threaded(
     });
     let (high, windows) = result?;
     let stream_span = Duration::from_nanos(last_uts.saturating_sub(first_uts.unwrap_or(0)));
-    Ok(RunReport { low, high, windows, stream_span, ring_dropped: 0 })
+    Ok(RunReport { low, high, windows, stream_span, ring_dropped: 0, ring_stalls })
 }
 
 #[cfg(test)]

@@ -23,6 +23,10 @@ pub struct ShardedRunReport {
     pub shards: Vec<ShardStats>,
     /// The span the live feed would have taken to deliver the packets.
     pub stream_span: Duration,
+    /// Run-level coverage (1.0 = no faults degraded the output).
+    pub coverage: f64,
+    /// Shards cut off by the window deadline.
+    pub stragglers: Vec<usize>,
 }
 
 impl ShardedRunReport {
@@ -34,6 +38,21 @@ impl ShardedRunReport {
     /// Tuples dropped at full shard rings.
     pub fn dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.dropped()).sum()
+    }
+
+    /// Tuples shed below the backpressure threshold at full rings.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed()).sum()
+    }
+
+    /// Worker panics caught and quarantined.
+    pub fn quarantines(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantines()).sum()
+    }
+
+    /// Whether any fault degraded the output.
+    pub fn degraded(&self) -> bool {
+        self.coverage < 1.0
     }
 }
 
@@ -88,7 +107,7 @@ pub fn run_plan_sharded<F>(
     packets: impl IntoIterator<Item = Packet>,
 ) -> Result<ShardedRunReport, ShardedRunError>
 where
-    F: Fn(usize) -> Result<OperatorSpec, OpError>,
+    F: Fn(usize) -> Result<OperatorSpec, OpError> + Sync,
 {
     let probe = make_spec(0).map_err(|source| RuntimeError::Op { shard: 0, source })?;
     let plan = shard_plan(&probe)?;
@@ -114,7 +133,7 @@ pub fn run_plan_sharded_with<F>(
     packets: impl IntoIterator<Item = Packet>,
 ) -> Result<ShardedRunReport, ShardedRunError>
 where
-    F: Fn(usize) -> Result<OperatorSpec, OpError>,
+    F: Fn(usize) -> Result<OperatorSpec, OpError> + Sync,
 {
     let mut low_stats = NodeStats { name: low.name().to_string(), ..Default::default() };
     let mut first_uts = None;
@@ -185,6 +204,8 @@ where
         windows: report.windows,
         shards: report.shards,
         stream_span,
+        coverage: report.coverage,
+        stragglers: report.stragglers,
     })
 }
 

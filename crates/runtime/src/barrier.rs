@@ -15,11 +15,14 @@ use std::sync::Arc;
 
 use sso_sync::hint::spin_yield;
 use sso_sync::Ordering::{Acquire, Release};
-use sso_sync::{SyncCell, SyncUsize};
+use sso_sync::{SyncBool, SyncCell, SyncUsize};
 
 /// Collects one `T` per shard; see the module docs for the protocol.
 pub struct MergeBarrier<T> {
     slots: Box<[SyncCell<Option<T>>]>,
+    /// Per-slot published flags, for the deadline path: `take_ready`
+    /// must know *which* slots are safe to read, not just how many.
+    ready: Box<[SyncBool]>,
     published: SyncUsize,
 }
 
@@ -28,6 +31,7 @@ impl<T: Send> MergeBarrier<T> {
     pub fn new(shards: usize) -> Arc<Self> {
         Arc::new(MergeBarrier {
             slots: (0..shards).map(|_| SyncCell::new(None)).collect(),
+            ready: (0..shards).map(|_| SyncBool::new(false)).collect(),
             published: SyncUsize::new(0),
         })
     }
@@ -37,8 +41,9 @@ impl<T: Send> MergeBarrier<T> {
     /// own index.
     pub fn publish(&self, shard: usize, value: T) {
         // SAFETY: shard-indexed slot, written only by that shard's
-        // worker, before the Release increment below publishes it.
+        // worker, before the Release stores below publish it.
         unsafe { self.slots[shard].with_mut(|slot| *slot = Some(value)) };
+        self.ready[shard].store(true, Release);
         self.published.fetch_add(1, Release);
     }
 
@@ -62,6 +67,31 @@ impl<T: Send> MergeBarrier<T> {
                 // happened-before these reads and no writer remains.
                 unsafe { slot.with_mut(|s| s.take()) }
                     .unwrap_or_else(|| panic!("shard {shard} never published"))
+            })
+            .collect()
+    }
+
+    /// Take the partials of every shard that has published *so far*,
+    /// leaving `None` in the positions of shards that have not — the
+    /// window-deadline finalize path, where stragglers are cut off
+    /// rather than waited for. Each taken slot's read is ordered after
+    /// its publisher's write by the per-slot `Acquire`/`Release` flag;
+    /// unpublished slots are never touched, so a straggler publishing
+    /// concurrently with this call is safe (its flag is simply seen as
+    /// false and its slot left alone).
+    pub fn take_ready(&self) -> Vec<Option<T>> {
+        self.ready
+            .iter()
+            .zip(self.slots.iter())
+            .map(|(ready, slot)| {
+                if ready.load(Acquire) {
+                    // SAFETY: the Acquire load of this slot's flag
+                    // synchronized with its publisher's Release store,
+                    // so the slot write happened-before this take.
+                    unsafe { slot.with_mut(|s| s.take()) }
+                } else {
+                    None
+                }
             })
             .collect()
     }
@@ -95,6 +125,18 @@ mod tests {
         for h in handles {
             h.join();
         }
+    }
+
+    #[test]
+    fn take_ready_skips_stragglers_and_sees_late_publishers() {
+        let b = MergeBarrier::new(3);
+        b.publish(2, "c");
+        b.publish(0, "a");
+        assert_eq!(b.take_ready(), vec![Some("a"), None, Some("c")]);
+        // A straggler publishing after the cut still lands; a second
+        // take picks it up (taken slots stay empty).
+        b.publish(1, "b");
+        assert_eq!(b.take_ready(), vec![None, Some("b"), None]);
     }
 
     #[test]

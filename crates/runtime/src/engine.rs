@@ -2,9 +2,32 @@
 //! plan's partition key and feeds per-shard batched bounded rings; each
 //! shard runs its own operator instance; window outputs are merged by
 //! the plan's rule after the workers drain.
+//!
+//! ## Fault tolerance
+//!
+//! Three degradation mechanisms keep a run alive — and its samples
+//! honest — when a shard misbehaves (see `DESIGN.md` §"Fault model"):
+//!
+//! * **Quarantine supervision** ([`Supervision::Quarantine`], the
+//!   default): a worker panic is caught with the poisoned operator's
+//!   current window key; the shard discards (and counts) that window's
+//!   remaining tuples, then respawns a fresh operator instance at the
+//!   next window boundary. Merge-finalize re-thresholds the surviving
+//!   shards' samples and tags the window's output with its coverage.
+//! * **Principled shedding** ([`Backpressure::Shed`]): ring pressure
+//!   raises a per-shard threshold z (the §7.1 mechanism driven in
+//!   reverse), so overload sheds *below-threshold* tuples with exact
+//!   Horvitz–Thompson accounting instead of dropping whole batches.
+//! * **Window deadline** ([`RuntimeConfig::window_deadline`]): a
+//!   straggler shard cannot stall merge-finalize forever — the barrier
+//!   is cut at the deadline, the merge proceeds over the shards that
+//!   published, and the lost coverage is accounted and alerted through
+//!   the undersample-detector path.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rustc_hash::FxHasher;
@@ -12,10 +35,12 @@ use sso_core::{
     panic_message, EvalCtx, Expr, OpError, OperatorMetrics, OperatorSpec, SamplingOperator,
     ShardPlan, WindowOutput,
 };
-use sso_obs::{Counter, Gauge, Registry, Stopwatch};
+use sso_faults::{FaultPlan, WorkerFaultSchedule};
+use sso_obs::{Counter, Gauge, Registry, Stopwatch, UndersampleConfig, UndersampleDetector};
 use sso_types::Tuple;
 
 use crate::barrier::MergeBarrier;
+use crate::merge::ShardPartial;
 use crate::ring::{ring, PushError};
 
 /// What the router does when a shard's ring is full.
@@ -24,8 +49,35 @@ pub enum Backpressure {
     /// Wait for the worker (lossless; counts a stall per wait).
     Block,
     /// Discard the newest batch (lossy; counts every dropped tuple) —
-    /// the behaviour of a real NIC ring under overload.
+    /// the behaviour of a real NIC ring under overload. Biases every
+    /// downstream estimate; kept for comparison and for workloads where
+    /// bias is acceptable.
     DropNewest,
+    /// Shed below-threshold tuples (lossy but *principled*): a full ring
+    /// raises the shard's shed threshold z, and a tuple of weight `w`
+    /// survives if `w > z` or by the deterministic metering rule (one
+    /// survivor per z of accumulated small weight — the same rule as the
+    /// operator's threshold pass). Every shed tuple and its weight is
+    /// counted, so `offered == delivered + shed` exactly, and the kept
+    /// stream is an unbiased threshold sample of the offered stream.
+    Shed {
+        /// Input column holding the tuple's weight. `None` weights every
+        /// tuple 1 (count semantics).
+        weight_col: Option<usize>,
+    },
+}
+
+/// What happens when a shard's worker panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Supervision {
+    /// Quarantine the shard for the poisoned window and respawn a fresh
+    /// operator at the next window boundary; the run completes with
+    /// per-window coverage accounting.
+    #[default]
+    Quarantine,
+    /// Abort the run with [`RuntimeError::WorkerPanic`] (the pre-fault
+    /// -tolerance behaviour).
+    Abort,
 }
 
 /// Sharded-runtime tuning knobs.
@@ -46,6 +98,17 @@ pub struct RuntimeConfig {
     /// registry: counters still land (so [`ShardStats`] stays exact)
     /// but span tracing is off and nothing is exported.
     pub registry: Option<Registry>,
+    /// Worker-panic policy.
+    pub supervision: Supervision,
+    /// Cut merge-finalize loose from stragglers after this long: once
+    /// the router has routed everything, shards that have not published
+    /// within the deadline are excluded from the merge (their routed
+    /// traffic is accounted as uncovered). `None` waits forever.
+    pub window_deadline: Option<Duration>,
+    /// Fault-injection plan: worker events fire inside the shard
+    /// workers. Feed-level events must be applied by the caller via
+    /// [`sso_faults::FaultPlan::perturb_packets`].
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl RuntimeConfig {
@@ -61,12 +124,27 @@ impl RuntimeConfig {
             backpressure: Backpressure::Block,
             seed: 0x5eed_00d5,
             registry: None,
+            supervision: Supervision::default(),
+            window_deadline: None,
+            faults: None,
         }
     }
 
     /// Record this run's telemetry into `registry`.
     pub fn with_registry(mut self, registry: Registry) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Inject faults from `plan` (worker panics and stalls).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Finalize without stragglers after `deadline`.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.window_deadline = Some(deadline);
         self
     }
 }
@@ -85,6 +163,11 @@ pub struct ShardStats {
     stalls: Counter,
     dropped: Counter,
     busy_ns: Counter,
+    quarantines: Counter,
+    uncovered: Counter,
+    shed_tuples: Counter,
+    shed_weight: Gauge,
+    shed_z: Gauge,
 }
 
 impl ShardStats {
@@ -96,11 +179,17 @@ impl ShardStats {
             windows: registry.counter_labeled("rt.windows", label.clone()),
             stalls: registry.counter_labeled("rt.stalls", label.clone()),
             dropped: registry.counter_labeled("rt.dropped", label.clone()),
-            busy_ns: registry.counter_labeled("rt.busy_ns", label),
+            busy_ns: registry.counter_labeled("rt.busy_ns", label.clone()),
+            quarantines: registry.counter_labeled("rt.quarantines", label.clone()),
+            uncovered: registry.counter_labeled("rt.uncovered", label.clone()),
+            shed_tuples: registry.counter_labeled("rt.shed_tuples", label.clone()),
+            shed_weight: registry.gauge_labeled("rt.shed_weight", label.clone()),
+            shed_z: registry.gauge_labeled("rt.shed_z", label),
         }
     }
 
-    /// Tuples the worker processed.
+    /// Tuples delivered to the worker (including any it then lost to a
+    /// quarantined window; see [`ShardStats::uncovered`]).
     pub fn tuples(&self) -> u64 {
         self.tuples.get()
     }
@@ -110,7 +199,8 @@ impl ShardStats {
         self.windows.get()
     }
 
-    /// Times the router blocked on this shard's full ring.
+    /// Times the router blocked on this shard's full ring (one stall per
+    /// full-ring wait, however long the wait).
     pub fn stalls(&self) -> u64 {
         self.stalls.get()
     }
@@ -125,6 +215,32 @@ impl ShardStats {
     pub fn busy(&self) -> Duration {
         Duration::from_nanos(self.busy_ns.get())
     }
+
+    /// Worker panics caught and quarantined on this shard.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.get()
+    }
+
+    /// Tuples lost to quarantined windows on this shard.
+    pub fn uncovered(&self) -> u64 {
+        self.uncovered.get()
+    }
+
+    /// Tuples shed below the threshold at this shard's full ring
+    /// ([`Backpressure::Shed`] only).
+    pub fn shed(&self) -> u64 {
+        self.shed_tuples.get()
+    }
+
+    /// Total weight shed at this shard's full ring.
+    pub fn shed_weight(&self) -> f64 {
+        self.shed_weight.get()
+    }
+
+    /// The shard's current shed threshold z (0 = not shedding).
+    pub fn shed_z(&self) -> f64 {
+        self.shed_z.get()
+    }
 }
 
 /// Why a sharded run failed.
@@ -137,7 +253,8 @@ pub enum RuntimeError {
         /// The operator error.
         source: OpError,
     },
-    /// A shard's worker thread panicked.
+    /// A shard's worker thread panicked ([`Supervision::Abort`] only;
+    /// quarantine supervision converts panics into coverage loss).
     WorkerPanic {
         /// Shard index.
         shard: usize,
@@ -165,10 +282,17 @@ impl std::error::Error for RuntimeError {}
 /// The result of a sharded run: merged windows plus per-shard accounting.
 #[derive(Debug)]
 pub struct ShardedReport {
-    /// Window outputs after merge-finalize, in window order.
+    /// Window outputs after merge-finalize, in window order. Each
+    /// carries its own [`sso_core::Degradation`] tag.
     pub windows: Vec<WindowOutput>,
     /// Per-shard accounting, indexed by shard.
     pub shards: Vec<ShardStats>,
+    /// Run-level coverage: fraction of worker-delivered (plus
+    /// straggler-routed) tuples represented by the merged output.
+    pub coverage: f64,
+    /// Shards cut off by the window deadline (their partials were not
+    /// published in time and are excluded from the merge).
+    pub stragglers: Vec<usize>,
 }
 
 impl ShardedReport {
@@ -180,6 +304,21 @@ impl ShardedReport {
     /// Total router stalls on full rings.
     pub fn stalls(&self) -> u64 {
         self.shards.iter().map(|s| s.stalls()).sum()
+    }
+
+    /// Total tuples shed below the backpressure threshold.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed()).sum()
+    }
+
+    /// Total worker panics caught and quarantined.
+    pub fn quarantines(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantines()).sum()
+    }
+
+    /// Whether any fault degraded the output (`coverage < 1`).
+    pub fn degraded(&self) -> bool {
+        self.coverage < 1.0
     }
 }
 
@@ -256,17 +395,267 @@ impl Router {
     }
 }
 
+/// Replay the router's shard decisions for a tuple sequence — the shard
+/// each tuple would land on in a run with `shards` workers. Tests (and
+/// fault-plan authors) use this to find which window a planned
+/// `(shard, tuple-count)` panic lands in.
+pub fn route_stream<'a>(
+    plan: &ShardPlan,
+    shards: usize,
+    tuples: impl IntoIterator<Item = &'a Tuple>,
+) -> Vec<usize> {
+    let mut router = Router::new(plan);
+    tuples.into_iter().map(|t| router.route(t, shards)).collect()
+}
+
+/// Evaluate the window-defining expressions against a raw tuple. `None`
+/// on evaluation error (the operator will surface the error itself when
+/// the tuple is processed live).
+fn window_key(wexprs: &[Expr], tuple: &Tuple) -> Option<Tuple> {
+    let mut vals = Vec::with_capacity(wexprs.len());
+    for e in wexprs {
+        let mut ctx = EvalCtx { tuple: Some(tuple), ..EvalCtx::empty("GROUP BY") };
+        vals.push(e.eval(&mut ctx).ok()?);
+    }
+    Some(Tuple::new(vals))
+}
+
+/// One shard's supervised worker state: the live operator (or the
+/// window key it is quarantined for), the window outputs accumulated so
+/// far, and the per-window uncovered counts.
+struct Worker<'a, F> {
+    shard: usize,
+    op: Option<SamplingOperator>,
+    /// `Some(key)` while quarantined: tuples of window `key` are
+    /// discarded (and counted); the first tuple of a different window
+    /// triggers the respawn.
+    quarantined: Option<Tuple>,
+    /// Tuples fed into the live operator's current window (the loss if
+    /// it panics now).
+    window_tuples: u64,
+    /// Tuples handed to this worker so far (fault triggers key on this).
+    tuple_count: u64,
+    windows: Vec<WindowOutput>,
+    uncovered: Vec<(Tuple, u64)>,
+    wexprs: Vec<Expr>,
+    faults: WorkerFaultSchedule,
+    supervision: Supervision,
+    stats: ShardStats,
+    registry: Registry,
+    make_spec: &'a F,
+}
+
+impl<F> Worker<'_, F>
+where
+    F: Fn(usize) -> Result<OperatorSpec, OpError>,
+{
+    fn add_uncovered(&mut self, key: Tuple, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.uncovered.add(n);
+        match self.uncovered.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, c)) => *c += n,
+            None => self.uncovered.push((key, n)),
+        }
+    }
+
+    /// Catch the aftermath of a panic: take the poisoned operator, mark
+    /// its in-flight window (everything fed into it, plus the tuple
+    /// that tripped the panic, if any) as uncovered, and quarantine.
+    ///
+    /// If the panic struck *while flushing* the previous window (the
+    /// tripping tuple opened a new one), the operator's current window
+    /// is still the old key, so the tripping tuple is attributed there —
+    /// a one-tuple misattribution; the totals stay exact.
+    fn enter_quarantine(&mut self, tripped_by: Option<&Tuple>) {
+        let key = self
+            .op
+            .take()
+            .and_then(|o| o.current_window())
+            .or_else(|| tripped_by.and_then(|t| window_key(&self.wexprs, t)))
+            .unwrap_or_else(|| Tuple::new(Vec::new()));
+        let lost = self.window_tuples + u64::from(tripped_by.is_some());
+        self.add_uncovered(key.clone(), lost);
+        self.stats.quarantines.inc();
+        self.window_tuples = 0;
+        self.quarantined = Some(key);
+    }
+
+    /// Leave quarantine: build a fresh operator instance from the spec
+    /// factory. Its sampler state starts clean — cross-window threshold
+    /// carry-over is lost for this shard, which only makes the next
+    /// window's sample *larger* (lower z), never biased.
+    fn revive(&mut self) -> Result<(), OpError> {
+        let mut op = SamplingOperator::new((self.make_spec)(self.shard)?)?;
+        op.set_metrics(OperatorMetrics::register(&self.registry, format!("shard={}", self.shard)));
+        self.op = Some(op);
+        self.quarantined = None;
+        self.window_tuples = 0;
+        Ok(())
+    }
+
+    fn run_batch(&mut self, batch: &[Tuple]) -> Result<(), OpError> {
+        let mut cursor = 0usize;
+        while cursor < batch.len() {
+            if let Some(qkey) = self.quarantined.clone() {
+                while cursor < batch.len() {
+                    let t = &batch[cursor];
+                    if window_key(&self.wexprs, t).as_ref() == Some(&qkey) {
+                        self.tuple_count += 1;
+                        self.add_uncovered(qkey.clone(), 1);
+                        cursor += 1;
+                    } else {
+                        // Window boundary: respawn and resume live.
+                        self.revive()?;
+                        break;
+                    }
+                }
+                if self.quarantined.is_some() {
+                    return Ok(());
+                }
+            }
+            // Live segment: one catch_unwind per segment, not per tuple,
+            // so the fault-free hot path pays (almost) nothing. `cursor`
+            // lives outside the closure: after a panic it names the
+            // tuple that tripped it.
+            let outcome = {
+                let op = self.op.as_mut().expect("live worker has an operator");
+                let cursor = &mut cursor;
+                let tuple_count = &mut self.tuple_count;
+                let window_tuples = &mut self.window_tuples;
+                let windows = &mut self.windows;
+                let faults = &mut self.faults;
+                let window_counter = &self.stats.windows;
+                let shard = self.shard;
+                catch_unwind(AssertUnwindSafe(move || -> Result<(), OpError> {
+                    while *cursor < batch.len() {
+                        *tuple_count += 1;
+                        if let Some(f) = faults.check(*tuple_count) {
+                            f.trip(shard, *tuple_count);
+                        }
+                        match op.process(&batch[*cursor])? {
+                            Some(w) => {
+                                window_counter.inc();
+                                windows.push(w);
+                                // This tuple opened the new window.
+                                *window_tuples = 1;
+                            }
+                            None => *window_tuples += 1,
+                        }
+                        *cursor += 1;
+                    }
+                    Ok(())
+                }))
+            };
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    if self.supervision == Supervision::Abort {
+                        resume_unwind(payload);
+                    }
+                    self.enter_quarantine(Some(&batch[cursor]));
+                    cursor += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// End of stream: flush the live operator's final window (a panic
+    /// during the flush loses that window, accounted like any other).
+    fn finish(&mut self) -> Result<(), OpError> {
+        let Some(op) = self.op.as_mut() else {
+            return Ok(());
+        };
+        match catch_unwind(AssertUnwindSafe(|| op.finish())) {
+            Ok(Ok(Some(w))) => {
+                self.stats.windows.inc();
+                self.windows.push(w);
+            }
+            Ok(Ok(None)) => {}
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                if self.supervision == Supervision::Abort {
+                    resume_unwind(payload);
+                }
+                self.enter_quarantine(None);
+            }
+        }
+        Ok(())
+    }
+
+    fn into_partial(self) -> ShardPartial {
+        ShardPartial { windows: self.windows, uncovered: self.uncovered }
+    }
+}
+
+thread_local! {
+    /// Set on worker threads running under [`Supervision::Quarantine`]:
+    /// a caught worker panic is part of the fault model, not a crash,
+    /// so the hook reduces it to one stderr line — the quarantine
+    /// accounting is the real report. Every other thread (and every
+    /// `Abort`-supervised worker) keeps the previously installed hook.
+    static QUIET_WORKER_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install — once per process — a panic hook that quiets supervised
+/// worker panics, chaining to the prior hook for all other threads.
+fn install_supervised_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if QUIET_WORKER_PANICS.with(std::cell::Cell::get) {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                    .unwrap_or("<non-string panic payload>");
+                eprintln!("sso-runtime: worker panic (shard quarantined for this window): {msg}");
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Per-shard shed state: the threshold z and the small-tuple meter (the
+/// deterministic metering rule of the operator's threshold pass, applied
+/// at the ring instead).
+struct ShedState {
+    z: f64,
+    /// The z the current pressure episode started at; decaying below it
+    /// switches shedding off.
+    z0: f64,
+    meter: f64,
+}
+
+#[inline]
+fn tuple_weight(t: &Tuple, weight_col: Option<usize>) -> f64 {
+    match weight_col {
+        Some(c) => t.values().get(c).and_then(|v| v.as_f64().ok()).unwrap_or(1.0),
+        None => 1.0,
+    }
+}
+
 /// Run `tuples` through `cfg.shards` operator instances partitioned and
 /// merged per `plan`, returning the merged windows.
 ///
 /// `make_spec` builds one fresh [`OperatorSpec`] per shard (shard index
 /// passed in): per-shard specs must not share stateful-function
 /// libraries, both so sampler RNG streams stay deterministic per shard
-/// and so no state is accidentally shared across threads.
+/// and so no state is accidentally shared across threads. It must be
+/// `Sync` because quarantine supervision calls it *from the worker
+/// threads* to respawn a fresh operator after a panic.
 ///
 /// The router runs on the calling thread; workers run under
-/// [`std::thread::scope`]. A worker panic or operator error aborts the
-/// run with the shard index attached.
+/// [`std::thread::scope`]. An operator error always aborts the run with
+/// the shard index attached; a worker panic aborts only under
+/// [`Supervision::Abort`] — the default quarantines the shard for the
+/// poisoned window and completes the run with coverage accounting.
 pub fn run_sharded<F, I>(
     plan: &ShardPlan,
     make_spec: F,
@@ -274,7 +663,7 @@ pub fn run_sharded<F, I>(
     tuples: I,
 ) -> Result<ShardedReport, RuntimeError>
 where
-    F: Fn(usize) -> Result<OperatorSpec, OpError>,
+    F: Fn(usize) -> Result<OperatorSpec, OpError> + Sync,
     I: IntoIterator<Item = Tuple>,
 {
     if cfg.shards == 0 {
@@ -308,114 +697,271 @@ where
         .collect();
     let batch_hist = registry.histogram("rt.batch_tuples");
 
-    // Workers deposit their final partials here; the router thread
-    // waits on it after the joins, so the merge observes every shard's
-    // last window through the barrier's Release/Acquire protocol.
-    let barrier: std::sync::Arc<MergeBarrier<Vec<WindowOutput>>> = MergeBarrier::new(cfg.shards);
-    let per_shard: Vec<Vec<WindowOutput>> = std::thread::scope(|s| {
-        let mut txs = Vec::with_capacity(cfg.shards);
-        let mut handles = Vec::with_capacity(cfg.shards);
-        for (shard, mut op) in operators.into_iter().enumerate() {
-            let (tx, mut rx) = ring::<Vec<Tuple>>(cfg.ring_capacity);
-            txs.push(tx);
-            let stats = stats[shard].clone();
-            let depth = ring_depths[shard].clone();
-            let barrier = barrier.clone();
-            handles.push(s.spawn(move || -> Result<(), OpError> {
-                let mut windows = Vec::new();
-                while let Some(batch) = rx.pop() {
-                    depth.add(-1.0);
-                    let sw = Stopwatch::start();
-                    for tuple in &batch {
-                        if let Some(w) = op.process(tuple)? {
-                            stats.windows.inc();
-                            windows.push(w);
-                        }
-                    }
-                    stats.tuples.add(batch.len() as u64);
-                    stats.busy_ns.add(sw.elapsed_ns());
-                }
-                let sw = Stopwatch::start();
-                if let Some(w) = op.finish()? {
-                    stats.windows.inc();
-                    windows.push(w);
-                }
-                stats.busy_ns.add(sw.elapsed_ns());
-                barrier.publish(shard, windows);
-                Ok(())
-            }));
-        }
+    // Tuples actually delivered into each shard's ring (post-shed/drop):
+    // a straggler's routed count is the traffic its missing partial
+    // would have covered.
+    let mut routed: Vec<u64> = vec![0; cfg.shards];
 
-        let mut router = Router::new(plan);
-        let mut batches: Vec<Vec<Tuple>> =
-            (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect();
-        let mut send_batch = |shard: usize, batch: Vec<Tuple>| {
-            let len = batch.len() as u64;
-            match cfg.backpressure {
-                Backpressure::Block => match txs[shard].try_push(batch) {
-                    Ok(()) => {
-                        batch_hist.record(len);
-                        ring_depths[shard].add(1.0);
+    // Workers deposit their final partials here; the router thread
+    // waits on it after the joins (or cuts it at the window deadline),
+    // so the merge observes every published shard's last window through
+    // the barrier's Release/Acquire protocol.
+    let barrier: Arc<MergeBarrier<ShardPartial>> = MergeBarrier::new(cfg.shards);
+    if cfg.supervision == Supervision::Quarantine {
+        install_supervised_panic_hook();
+    }
+    let make_spec = &make_spec;
+    let (partials, stragglers) =
+        std::thread::scope(|s| -> Result<(Vec<Option<ShardPartial>>, Vec<usize>), RuntimeError> {
+            let mut txs = Vec::with_capacity(cfg.shards);
+            let mut handles = Vec::with_capacity(cfg.shards);
+            for (shard, op) in operators.into_iter().enumerate() {
+                let (tx, mut rx) = ring::<Vec<Tuple>>(cfg.ring_capacity);
+                txs.push(tx);
+                let stats = stats[shard].clone();
+                let depth = ring_depths[shard].clone();
+                let barrier = barrier.clone();
+                let wexprs = op.spec().window_exprs();
+                let faults =
+                    cfg.faults.as_ref().map(|p| p.worker_schedule(shard)).unwrap_or_default();
+                let registry = registry.clone();
+                let supervision = cfg.supervision;
+                handles.push(s.spawn(move || -> Result<(), OpError> {
+                    if supervision == Supervision::Quarantine {
+                        QUIET_WORKER_PANICS.with(|q| q.set(true));
                     }
-                    Err(PushError::Full(batch)) => {
-                        stats[shard].stalls.inc();
-                        // Worker death closes the ring; the join below
-                        // surfaces its error.
-                        if txs[shard].push(batch).is_ok() {
+                    let mut worker = Worker {
+                        shard,
+                        op: Some(op),
+                        quarantined: None,
+                        window_tuples: 0,
+                        tuple_count: 0,
+                        windows: Vec::new(),
+                        uncovered: Vec::new(),
+                        wexprs,
+                        faults,
+                        supervision,
+                        stats: stats.clone(),
+                        registry,
+                        make_spec,
+                    };
+                    while let Some(batch) = rx.pop() {
+                        depth.add(-1.0);
+                        let sw = Stopwatch::start();
+                        worker.run_batch(&batch)?;
+                        stats.tuples.add(batch.len() as u64);
+                        stats.busy_ns.add(sw.elapsed_ns());
+                    }
+                    let sw = Stopwatch::start();
+                    worker.finish()?;
+                    stats.busy_ns.add(sw.elapsed_ns());
+                    barrier.publish(shard, worker.into_partial());
+                    Ok(())
+                }));
+            }
+
+            let mut router = Router::new(plan);
+            let mut shed: Vec<ShedState> =
+                (0..cfg.shards).map(|_| ShedState { z: 0.0, z0: 0.0, meter: 0.0 }).collect();
+            let mut batches: Vec<Vec<Tuple>> =
+                (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect();
+            let routed = &mut routed;
+            let mut send_batch = |shard: usize, batch: Vec<Tuple>| {
+                let len = batch.len() as u64;
+                match cfg.backpressure {
+                    // Worker death closes the ring; pushes then fail with
+                    // Closed and the join below surfaces the reason.
+                    Backpressure::Block => {
+                        if let Ok(stalled) = txs[shard].push_tracked(batch) {
+                            if stalled {
+                                stats[shard].stalls.inc();
+                            }
+                            routed[shard] += len;
                             batch_hist.record(len);
                             ring_depths[shard].add(1.0);
                         }
                     }
-                    Err(PushError::Closed(_)) => {}
-                },
-                Backpressure::DropNewest => match txs[shard].try_push(batch) {
-                    Ok(()) => {
-                        batch_hist.record(len);
-                        ring_depths[shard].add(1.0);
+                    Backpressure::DropNewest => match txs[shard].try_push(batch) {
+                        Ok(()) => {
+                            routed[shard] += len;
+                            batch_hist.record(len);
+                            ring_depths[shard].add(1.0);
+                        }
+                        Err(PushError::Full(_)) => {
+                            stats[shard].dropped.add(len);
+                        }
+                        Err(PushError::Closed(_)) => {}
+                    },
+                    Backpressure::Shed { weight_col } => {
+                        let state = &mut shed[shard];
+                        match txs[shard].try_push(batch) {
+                            Ok(()) => {
+                                routed[shard] += len;
+                                batch_hist.record(len);
+                                ring_depths[shard].add(1.0);
+                                if state.z > 0.0 {
+                                    // Pressure easing: decay toward off.
+                                    state.z *= 0.5;
+                                    if state.z < state.z0 {
+                                        state.z = 0.0;
+                                        state.meter = 0.0;
+                                    }
+                                    stats[shard].shed_z.set(state.z);
+                                }
+                            }
+                            Err(PushError::Full(batch)) => {
+                                // Ring pressure raises the threshold (the
+                                // §7.1 mechanism in reverse): the batch
+                                // shrinks by below-threshold rejection
+                                // with exact HT accounting, then the
+                                // survivors are delivered losslessly.
+                                let mean: f64 =
+                                    batch.iter().map(|t| tuple_weight(t, weight_col)).sum::<f64>()
+                                        / batch.len().max(1) as f64;
+                                if state.z == 0.0 {
+                                    state.z0 = if mean.is_finite() && mean > 0.0 {
+                                        2.0 * mean
+                                    } else {
+                                        2.0
+                                    };
+                                    state.z = state.z0;
+                                } else {
+                                    state.z *= 2.0;
+                                }
+                                stats[shard].shed_z.set(state.z);
+                                let mut kept = Vec::with_capacity(batch.len());
+                                let mut shed_n = 0u64;
+                                let mut shed_w = 0.0;
+                                for t in batch {
+                                    let w = tuple_weight(&t, weight_col);
+                                    if w > state.z {
+                                        kept.push(t);
+                                    } else {
+                                        state.meter += w;
+                                        if state.meter >= state.z {
+                                            state.meter -= state.z;
+                                            kept.push(t);
+                                        } else {
+                                            shed_n += 1;
+                                            shed_w += w;
+                                        }
+                                    }
+                                }
+                                stats[shard].shed_tuples.add(shed_n);
+                                stats[shard].shed_weight.add(shed_w);
+                                if !kept.is_empty() {
+                                    let klen = kept.len() as u64;
+                                    if let Ok(stalled) = txs[shard].push_tracked(kept) {
+                                        if stalled {
+                                            stats[shard].stalls.inc();
+                                        }
+                                        routed[shard] += klen;
+                                        batch_hist.record(klen);
+                                        ring_depths[shard].add(1.0);
+                                    }
+                                }
+                            }
+                            Err(PushError::Closed(_)) => {}
+                        }
                     }
-                    Err(PushError::Full(_)) => {
-                        stats[shard].dropped.add(len);
-                    }
-                    Err(PushError::Closed(_)) => {}
-                },
-            }
-        };
+                }
+            };
 
-        for tuple in tuples {
-            let shard = router.route(&tuple, cfg.shards);
-            batches[shard].push(tuple);
-            if batches[shard].len() >= cfg.batch_size {
-                let batch =
-                    std::mem::replace(&mut batches[shard], Vec::with_capacity(cfg.batch_size));
-                send_batch(shard, batch);
-            }
-        }
-        for (shard, batch) in batches.into_iter().enumerate() {
-            if !batch.is_empty() {
-                send_batch(shard, batch);
-            }
-        }
-        drop(txs);
-
-        for (shard, handle) in handles.into_iter().enumerate() {
-            match handle.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(source)) => return Err(RuntimeError::Op { shard, source }),
-                Err(payload) => {
-                    return Err(RuntimeError::WorkerPanic {
-                        shard,
-                        message: panic_message(payload.as_ref()),
-                    })
+            for tuple in tuples {
+                let shard = router.route(&tuple, cfg.shards);
+                batches[shard].push(tuple);
+                if batches[shard].len() >= cfg.batch_size {
+                    let batch =
+                        std::mem::replace(&mut batches[shard], Vec::with_capacity(cfg.batch_size));
+                    send_batch(shard, batch);
                 }
             }
-        }
-        // Every worker joined cleanly, so every shard published and
-        // this returns immediately with all partials in shard order.
-        Ok(barrier.wait_all())
-    })?;
+            for (shard, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    send_batch(shard, batch);
+                }
+            }
+            drop(txs);
 
-    let windows = crate::merge::merge_windows(per_shard, &plan.rule, cfg.seed);
-    Ok(ShardedReport { windows, shards: stats })
+            let mut stragglers: Vec<usize> = Vec::new();
+            let join_all = |handles: Vec<
+                std::thread::ScopedJoinHandle<'_, Result<(), OpError>>,
+            >|
+             -> Result<(), RuntimeError> {
+                for (shard, handle) in handles.into_iter().enumerate() {
+                    match handle.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(source)) => return Err(RuntimeError::Op { shard, source }),
+                        Err(payload) => {
+                            return Err(RuntimeError::WorkerPanic {
+                                shard,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        }
+                    }
+                }
+                Ok(())
+            };
+            let partials: Vec<Option<ShardPartial>> = match cfg.window_deadline {
+                None => {
+                    join_all(handles)?;
+                    // Every worker joined cleanly, so every shard
+                    // published and this returns immediately.
+                    barrier.wait_all().into_iter().map(Some).collect()
+                }
+                Some(deadline) => {
+                    let sw = Stopwatch::start();
+                    while barrier.published() < cfg.shards && sw.elapsed() < deadline {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    let taken = barrier.take_ready();
+                    for (shard, p) in taken.iter().enumerate() {
+                        if p.is_none() {
+                            stragglers.push(shard);
+                        }
+                    }
+                    // The cut is made: late partials are discarded. The
+                    // joins below still run (rings are closed, so every
+                    // worker drains and exits in bounded time) and
+                    // surface operator errors; they bound the *threads*,
+                    // the deadline bounds the *result*.
+                    join_all(handles)?;
+                    taken
+                }
+            };
+            Ok((partials, stragglers))
+        })?;
+
+    let straggler_routed: u64 = stragglers.iter().map(|&s| routed[s]).sum();
+    let parts: Vec<ShardPartial> = partials.into_iter().flatten().collect();
+    let windows = crate::merge::merge_shard_partials(parts, &plan.rule, cfg.seed, straggler_routed);
+
+    // Run-level coverage: delivered tuples the merged output represents,
+    // over everything delivered (stragglers contribute only loss).
+    let mut covered = 0u64;
+    let mut uncovered_total = straggler_routed;
+    for (shard, st) in stats.iter().enumerate() {
+        if stragglers.contains(&shard) {
+            continue;
+        }
+        covered += st.tuples().saturating_sub(st.uncovered());
+        uncovered_total += st.uncovered();
+    }
+    let coverage = if uncovered_total == 0 {
+        1.0
+    } else {
+        covered as f64 / (covered + uncovered_total) as f64
+    };
+    registry.gauge("rt.coverage").set(coverage);
+    if !stragglers.is_empty() {
+        // The deadline cut real traffic out of the result: fire the
+        // undersample path so the degradation shows up on the same
+        // alert channel as the §7.1 pathology.
+        let offered = covered + uncovered_total;
+        UndersampleDetector::register(&registry, "rt", UndersampleConfig { ratio: 1.0 })
+            .observe(covered, offered, offered);
+    }
+    Ok(ShardedReport { windows, shards: stats, coverage, stragglers })
 }
 
 #[cfg(test)]
@@ -464,6 +1010,7 @@ mod tests {
                 assert_eq!(a.window, b.window);
                 assert_eq!(a.rows, b.rows, "{shards} shards must not drift");
                 assert_eq!(a.stats.tuples, b.stats.tuples);
+                assert!(!b.degradation.degraded, "fault-free run must not be degraded");
             }
         }
     }
@@ -481,6 +1028,23 @@ mod tests {
         for (a, b) in single.iter().zip(&sharded) {
             assert_eq!(a.rows, b.rows);
         }
+    }
+
+    #[test]
+    fn route_stream_replays_router_decisions() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let tuples = stream(1, 30, 4);
+        let shards = route_stream(&plan, 3, &tuples);
+        // Key-free plans deal round-robin.
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(*s, i % 3);
+        }
+        let spec = queries::heavy_hitters_query(1, 1 << 20, None).unwrap();
+        let plan = shard_plan(&spec).unwrap();
+        let shards = route_stream(&plan, 4, &tuples);
+        // Keyed routing is a pure function of the key columns.
+        assert_eq!(shards, route_stream(&plan, 4, &tuples));
     }
 
     #[test]
@@ -510,7 +1074,7 @@ mod tests {
     }
 
     #[test]
-    fn worker_panics_are_reported_not_aborted() {
+    fn abort_supervision_reports_worker_panics() {
         let spec = queries::total_sum_query(1);
         let plan = shard_plan(&spec).unwrap();
         let make = |shard: usize| {
@@ -524,12 +1088,75 @@ mod tests {
             }
             Ok(spec)
         };
-        let err = run_sharded(&plan, make, &RuntimeConfig::new(2), stream(1, 600, 4)).unwrap_err();
+        let mut cfg = RuntimeConfig::new(2);
+        cfg.supervision = Supervision::Abort;
+        let err = run_sharded(&plan, make, &cfg, stream(1, 600, 4)).unwrap_err();
         match err {
             RuntimeError::WorkerPanic { shard: 0, message } => {
                 assert!(message.contains("injected shard panic"), "{message}");
             }
             other => panic!("expected WorkerPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_supervision_completes_with_accounted_coverage() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        // Shard 0 panics on every tuple: each window quarantines it anew,
+        // the respawned operator trips again, and every shard-0 tuple
+        // lands in the uncovered ledger.
+        let make = |shard: usize| {
+            let mut spec = queries::total_sum_query(1);
+            if shard == 0 {
+                spec.where_clause = Some(Expr::Scalar {
+                    name: "PANIC",
+                    fun: std::sync::Arc::new(|_: &[Value]| panic!("injected shard panic")),
+                    args: vec![],
+                });
+            }
+            Ok(spec)
+        };
+        let tuples = stream(2, 600, 4);
+        let n = tuples.len() as u64;
+        let report = run_sharded(&plan, make, &RuntimeConfig::new(2), tuples).unwrap();
+        assert!(report.degraded());
+        assert!(report.coverage > 0.0 && report.coverage < 1.0, "{}", report.coverage);
+        assert!(report.quarantines() >= 1);
+        // Conservation: every delivered tuple is either represented in
+        // the merged output or in the uncovered ledger.
+        let delivered: u64 = report.shards.iter().map(|s| s.tuples()).sum();
+        let uncovered: u64 = report.shards.iter().map(|s| s.uncovered()).sum();
+        let covered: u64 = report.windows.iter().map(|w| w.stats.tuples).sum();
+        assert_eq!(delivered, n);
+        assert_eq!(covered + uncovered, n, "coverage accounting must be exact");
+        // Every window lost its shard-0 half and is tagged.
+        for w in &report.windows {
+            assert!(w.degradation.degraded, "window {:?} should be degraded", w.window);
+            assert!(w.degradation.coverage < 1.0);
+        }
+    }
+
+    #[test]
+    fn quarantined_shard_respawns_at_window_boundary() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        // A one-shot panic mid-window: the shard loses that window only
+        // and the respawned operator covers later windows in full.
+        let mut fault = FaultPlan::empty(7);
+        fault.events.push(sso_faults::FaultEvent::WorkerPanic { shard: 1, at_tuple: 150 });
+        let cfg = RuntimeConfig::new(2).with_faults(fault.into_shared());
+        let tuples = stream(3, 600, 4);
+        let report = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples).unwrap();
+        assert_eq!(report.quarantines(), 1);
+        assert!(report.degraded());
+        assert_eq!(report.windows.len(), 3);
+        // Exactly one window is degraded; the others recovered in full.
+        let degraded: Vec<_> = report.windows.iter().filter(|w| w.degradation.degraded).collect();
+        assert_eq!(degraded.len(), 1);
+        assert!(degraded[0].degradation.coverage < 1.0);
+        for w in report.windows.iter().filter(|w| !w.degradation.degraded) {
+            assert_eq!(w.degradation.coverage, 1.0);
         }
     }
 
@@ -560,6 +1187,73 @@ mod tests {
         let processed: u64 = report.shards.iter().map(|s| s.tuples()).sum();
         assert!(report.dropped() > 0, "1-deep ring must overflow");
         assert_eq!(processed + report.dropped(), n, "drops must be fully accounted");
+    }
+
+    #[test]
+    fn shed_backpressure_accounts_every_lost_tuple() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let mut cfg = RuntimeConfig::new(1);
+        cfg.ring_capacity = 1;
+        cfg.batch_size = 16;
+        cfg.backpressure = Backpressure::Shed { weight_col: None };
+        let make = |_| {
+            let mut spec = queries::total_sum_query(1);
+            spec.where_clause = Some(Expr::Scalar {
+                name: "SLOW",
+                fun: std::sync::Arc::new(|_: &[Value]| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    Ok(Value::Bool(true))
+                }),
+                args: vec![],
+            });
+            Ok(spec)
+        };
+        let tuples = stream(1, 5000, 4);
+        let n = tuples.len() as u64;
+        let report = run_sharded(&plan, make, &cfg, tuples).unwrap();
+        let processed: u64 = report.shards.iter().map(|s| s.tuples()).sum();
+        assert!(report.shed() > 0, "1-deep ring must force shedding");
+        assert_eq!(report.dropped(), 0, "shed mode never whole-batch drops");
+        assert_eq!(processed + report.shed(), n, "sheds must be fully accounted");
+        // Count-weight shedding with the metering rule keeps 1-in-z:
+        // some of every overloaded batch must still get through.
+        assert!(processed > 0);
+    }
+
+    #[test]
+    fn window_deadline_cuts_stragglers_and_accounts_their_traffic() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let mut cfg = RuntimeConfig::new(2).with_deadline(Duration::from_millis(10));
+        cfg.batch_size = 32;
+        // Shard 1 is a straggler: every tuple sleeps ~1ms, so it cannot
+        // publish before the deadline.
+        let make = |shard: usize| {
+            let mut spec = queries::total_sum_query(1);
+            if shard == 1 {
+                spec.where_clause = Some(Expr::Scalar {
+                    name: "SLOW",
+                    fun: std::sync::Arc::new(|_: &[Value]| {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        Ok(Value::Bool(true))
+                    }),
+                    args: vec![],
+                });
+            }
+            Ok(spec)
+        };
+        let tuples = stream(1, 400, 4);
+        let report = run_sharded(&plan, make, &cfg, tuples).unwrap();
+        assert_eq!(report.stragglers, vec![1]);
+        assert!(report.degraded());
+        assert!(report.coverage < 1.0 && report.coverage > 0.0, "{}", report.coverage);
+        // The surviving shard's windows made it into the output, scaled
+        // down by the straggler's routed share.
+        assert!(!report.windows.is_empty());
+        for w in &report.windows {
+            assert!(w.degradation.degraded);
+        }
     }
 
     #[test]
@@ -605,6 +1299,9 @@ mod tests {
         // Router batch sizes were recorded.
         let batches = snap.get("rt.batch_tuples").unwrap();
         assert!(batches.hits() > 0);
+        // A clean run publishes full coverage.
+        let cov = snap.metrics.iter().find(|m| m.name == "rt.coverage").unwrap();
+        assert_eq!(cov.scalar(), 1.0);
     }
 
     #[test]

@@ -25,9 +25,14 @@
 //!   ([`sso_core::MergeRule::KmvTruncate`], the row-level form of
 //!   [`sso_sampling::KmvSketch::merge`]).
 //!
-//! Producers apply backpressure per shard: either block (counting
-//! stalls) or drop the newest batch (counting drops), so overload is
-//! observable instead of silent.
+//! Producers apply backpressure per shard: block (counting stalls),
+//! drop the newest batch (counting drops), or shed below-threshold
+//! tuples with exact Horvitz–Thompson accounting
+//! ([`engine::Backpressure::Shed`]) — overload is observable instead of
+//! silent either way. Worker panics are supervised
+//! ([`engine::Supervision`]): the default quarantines the poisoned
+//! window, respawns a fresh operator at the next window boundary, and
+//! tags the merged output with per-window coverage.
 
 pub mod barrier;
 pub mod engine;
@@ -36,7 +41,8 @@ pub mod ring;
 
 pub use barrier::MergeBarrier;
 pub use engine::{
-    run_sharded, Backpressure, RuntimeConfig, RuntimeError, ShardStats, ShardedReport,
+    route_stream, run_sharded, Backpressure, RuntimeConfig, RuntimeError, ShardStats,
+    ShardedReport, Supervision,
 };
-pub use merge::merge_windows;
+pub use merge::{merge_shard_partials, merge_windows, ShardPartial};
 pub use ring::{ring, Consumer, Producer, PushError};

@@ -8,7 +8,7 @@ use std::hash::{Hash, Hasher};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rustc_hash::FxHasher;
-use sso_core::{ColumnRule, MergeRule, WindowOutput, WindowStats};
+use sso_core::{ColumnRule, Degradation, MergeRule, WindowOutput, WindowStats};
 use sso_sampling::subset_sum::{merge_threshold_samples, ThresholdPart};
 use sso_sampling::Reservoir;
 use sso_types::{Tuple, Value};
@@ -36,6 +36,26 @@ fn add_values(a: &Value, b: &Value) -> Value {
         (Value::U64(x), Value::U64(y)) => Value::U64(x + y),
         (Value::I64(x), Value::I64(y)) => Value::I64(x + y),
         _ => Value::F64(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0)),
+    }
+}
+
+/// One shard's contribution to merge-finalize: its window outputs plus
+/// the traffic it *lost* — (window key, tuple count) pairs recorded by
+/// the supervisor while the shard's worker was quarantined after a
+/// panic. The merge uses the uncovered counts to tag each window's
+/// output with its [`Degradation`].
+#[derive(Debug, Default)]
+pub struct ShardPartial {
+    /// The shard's per-window outputs, in stream order.
+    pub windows: Vec<WindowOutput>,
+    /// Tuples lost to quarantine, keyed by window.
+    pub uncovered: Vec<(Tuple, u64)>,
+}
+
+impl ShardPartial {
+    /// A partial that covers everything it saw (no faults).
+    pub fn clean(windows: Vec<WindowOutput>) -> Self {
+        ShardPartial { windows, uncovered: Vec::new() }
     }
 }
 
@@ -157,7 +177,7 @@ fn merge_one(window: Tuple, parts: Vec<WindowOutput>, rule: &MergeRule, seed: u6
 
     rows.sort_by(tuple_cmp);
     stats.output_rows = rows.len() as u64;
-    WindowOutput { window, rows, stats }
+    WindowOutput { window, rows, stats, degradation: Degradation::default() }
 }
 
 /// Combine per-shard window output streams into one ordered stream of
@@ -169,18 +189,70 @@ pub fn merge_windows(
     rule: &MergeRule,
     seed: u64,
 ) -> Vec<WindowOutput> {
+    merge_shard_partials(per_shard.into_iter().map(ShardPartial::clean).collect(), rule, seed, 0)
+}
+
+/// [`merge_windows`] over full [`ShardPartial`]s: merges the surviving
+/// shards' outputs per the rule, then tags every window with its
+/// coverage. Per-window uncovered counts come from quarantine records;
+/// `straggler_tuples` is traffic routed to shards whose partials never
+/// arrived (window-deadline cutoff) — unattributable to any particular
+/// window, it scales every window's coverage by the run-level surviving
+/// fraction instead.
+///
+/// A window key that appears *only* in uncovered records (its only
+/// shard's worker was poisoned for the whole window) still yields an
+/// output: an empty, fully-degraded row set — losing the window's rows
+/// must not also lose the fact that the window existed.
+pub fn merge_shard_partials(
+    parts: Vec<ShardPartial>,
+    rule: &MergeRule,
+    seed: u64,
+    straggler_tuples: u64,
+) -> Vec<WindowOutput> {
     let mut by_window: HashMap<Tuple, Vec<WindowOutput>> = HashMap::new();
-    for outputs in per_shard {
-        for w in outputs {
+    let mut uncovered: HashMap<Tuple, u64> = HashMap::new();
+    let mut covered_total = 0u64;
+    for p in parts {
+        for w in p.windows {
+            covered_total += w.stats.tuples;
             by_window.entry(w.window.clone()).or_default().push(w);
         }
+        for (key, n) in p.uncovered {
+            *uncovered.entry(key).or_default() += n;
+        }
     }
+    let straggler_frac = if straggler_tuples == 0 {
+        1.0
+    } else {
+        covered_total as f64 / (covered_total + straggler_tuples) as f64
+    };
     let mut keys: Vec<Tuple> = by_window.keys().cloned().collect();
+    for key in uncovered.keys() {
+        if !by_window.contains_key(key) {
+            keys.push(key.clone());
+        }
+    }
     keys.sort_by(tuple_cmp);
     keys.into_iter()
         .map(|key| {
-            let parts = by_window.remove(&key).expect("window key collected above");
-            merge_one(key, parts, rule, seed)
+            let lost = uncovered.get(&key).copied().unwrap_or(0);
+            let mut out = match by_window.remove(&key) {
+                Some(parts) => merge_one(key, parts, rule, seed),
+                None => WindowOutput {
+                    window: key,
+                    rows: Vec::new(),
+                    stats: WindowStats::default(),
+                    degradation: Degradation::default(),
+                },
+            };
+            let mut deg = Degradation::from_counts(out.stats.tuples, lost);
+            if straggler_tuples > 0 {
+                deg.coverage *= straggler_frac;
+                deg.degraded = true;
+            }
+            out.degradation = deg;
+            out
         })
         .collect()
 }
@@ -194,6 +266,43 @@ mod tests {
             window: Tuple::new(vec![Value::U64(window)]),
             rows: rows.into_iter().map(Tuple::new).collect(),
             stats: WindowStats { tuples, output_rows: 0, ..Default::default() },
+            degradation: Degradation::default(),
+        }
+    }
+
+    #[test]
+    fn partials_tag_coverage_per_window() {
+        let parts = vec![
+            ShardPartial {
+                windows: vec![w(1, vec![vec![Value::U64(1), Value::U64(4)]], 6)],
+                uncovered: vec![],
+            },
+            ShardPartial {
+                windows: vec![w(2, vec![vec![Value::U64(2), Value::U64(5)]], 8)],
+                // Window 1 lost 2 tuples to a quarantine; window 3 was
+                // lost entirely.
+                uncovered: vec![
+                    (Tuple::new(vec![Value::U64(1)]), 2),
+                    (Tuple::new(vec![Value::U64(3)]), 5),
+                ],
+            },
+        ];
+        let merged = merge_shard_partials(parts, &MergeRule::Concat, 0, 0);
+        assert_eq!(merged.len(), 3);
+        assert!((merged[0].degradation.coverage - 6.0 / 8.0).abs() < 1e-12);
+        assert!(merged[0].degradation.degraded);
+        assert_eq!(merged[1].degradation, Degradation::default());
+        assert_eq!(merged[2].degradation.coverage, 0.0);
+        assert!(merged[2].rows.is_empty(), "fully lost window still surfaces, empty");
+    }
+
+    #[test]
+    fn straggler_tuples_scale_every_window() {
+        let parts = vec![ShardPartial::clean(vec![w(1, vec![], 30), w(2, vec![], 30)])];
+        let merged = merge_shard_partials(parts, &MergeRule::Concat, 0, 60);
+        for m in &merged {
+            assert!(m.degradation.degraded);
+            assert!((m.degradation.coverage - 0.5).abs() < 1e-12, "{:?}", m.degradation);
         }
     }
 

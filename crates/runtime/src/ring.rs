@@ -101,12 +101,23 @@ impl<T: Send> Producer<T> {
 
     /// Enqueue, waiting while the ring is full. `Err` hands the value
     /// back if the consumer is gone.
-    pub fn push(&mut self, mut value: T) -> Result<(), T> {
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        self.push_tracked(value).map(|_| ())
+    }
+
+    /// [`Producer::push`], reporting whether the call had to wait:
+    /// `Ok(true)` means the ring was full at least once before the value
+    /// went in. One full-ring wait is one stall, *however many spin
+    /// iterations it took* — callers that count stalls must not be able
+    /// to over-count by spinning (the `model_check` suite pins this).
+    pub fn push_tracked(&mut self, mut value: T) -> Result<bool, T> {
+        let mut stalled = false;
         loop {
             match self.try_push(value) {
-                Ok(()) => return Ok(()),
+                Ok(()) => return Ok(stalled),
                 Err(PushError::Closed(v)) => return Err(v),
                 Err(PushError::Full(v)) => {
+                    stalled = true;
                     value = v;
                     spin_yield();
                 }

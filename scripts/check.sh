@@ -66,6 +66,39 @@ last = len(snaps[-1]["metrics"])
 print(f"metrics smoke OK: {len(snaps)} snapshots, last has {last} metrics")
 '
 
+echo "== fault-injection matrix (fixed seeds, replayable) =="
+# The acceptance suite (16-shard mid-window panic, loss accounting for
+# every backpressure mode, plan text round-trip, deadline alerting) —
+# fixed seeds throughout, so a failure replays byte-for-byte.
+cargo test -q --test faults
+
+echo "== sso --fault-seed smoke (degraded run completes) =="
+# A seeded plan panics one shard mid-stream; the run must complete and
+# report per-window coverage in its JSON output.
+cargo run -q --bin sso -- run --feed research --seconds 4 --shards 8 \
+    --fault-seed 7 --json \
+    "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" \
+    | python3 -c '
+import json, sys
+rows = [json.loads(l) for l in sys.stdin if l.strip()]
+assert rows, "no window records"
+assert all("coverage" in r and "degraded" in r for r in rows), "missing coverage tags"
+deg = sum(1 for r in rows if r["degraded"])
+print(f"fault smoke OK: {len(rows)} windows, {deg} degraded")
+'
+
+echo "== fault-tolerance overhead gate (supervision within 5%) =="
+cargo run -q --release -p sso-bench --bin fault_overhead -- --json > BENCH_faults.json
+python3 -c '
+import json
+r = json.load(open("BENCH_faults.json"))
+pct = r["overhead_pct"]
+sup = r["supervised"]["tuples_per_sec"]
+base = r["baseline"]["tuples_per_sec"]
+print(f"supervision overhead: {pct:.2f}% ({sup:.0f} vs {base:.0f} tuples/s)")
+assert pct <= 5.0, f"supervision overhead {pct:.2f}% exceeds the 5% budget"
+'
+
 echo "== observability overhead gate (instrumented within 5%) =="
 cargo run -q --release -p sso-bench --bin obs_overhead -- --json > BENCH_obs.json
 python3 -c '

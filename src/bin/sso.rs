@@ -24,6 +24,11 @@
 //!   --limit R                         print at most R rows per window (default 20)
 //!   --shards N                        run N partitioned operator shards (default 1);
 //!                                     refuses non-shard-mergeable queries with W102
+//!   --fault-plan FILE                 inject faults from a fault-plan file (see
+//!                                     `sso-faults`); feed-level events perturb the
+//!                                     packets, worker events need --shards > 1
+//!   --fault-seed S                    generate a seeded fault plan instead of
+//!                                     reading one (same replayable format)
 //!   --metrics[=FILE]                  collect telemetry; write JSON snapshots to
 //!                                     FILE (`-`/omitted = stdout, `*.prom` =
 //!                                     Prometheus text of the final snapshot)
@@ -61,6 +66,8 @@ struct Options {
     seed: u64,
     limit: usize,
     shards: usize,
+    fault_plan: Option<String>,
+    fault_seed: Option<u64>,
     metrics: Option<String>,
     meta: Option<String>,
     top: bool,
@@ -73,6 +80,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sso [run|top] [--feed research|datacenter|ddos|burst] [--trace FILE] \
          [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] \
+         [--fault-plan FILE] [--fault-seed S] \
          [--metrics[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
          \x20      sso check [--json] QUERY-FILE"
     );
@@ -209,6 +217,8 @@ fn parse_args(argv: &[String], top: bool) -> Options {
         seed: 1,
         limit: 20,
         shards: 1,
+        fault_plan: None,
+        fault_seed: None,
         metrics: None,
         meta: None,
         top,
@@ -237,6 +247,10 @@ fn parse_args(argv: &[String], top: bool) -> Options {
                     .ok()
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage())
+            }
+            "--fault-plan" => opts.fault_plan = Some(value(&mut i)),
+            "--fault-seed" => {
+                opts.fault_seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
             "--metrics" => {
                 // Optional target: a following bare `-` selects stdout
@@ -268,6 +282,8 @@ fn parse_args(argv: &[String], top: bool) -> Options {
 struct ExecResult {
     windows: Vec<WindowOutput>,
     shard_lines: Vec<String>,
+    /// Run-level coverage (1.0 unless faults degraded the output).
+    coverage: f64,
 }
 
 /// Run the query over `packets`, single-instance or sharded. When a
@@ -278,12 +294,13 @@ fn execute_query(
     parsed: &stream_sampler::query::Query,
     spec: OperatorSpec,
     packets: &[Packet],
+    faults: Option<&std::sync::Arc<FaultPlan>>,
     registry: Option<&Registry>,
     snapshots: &mut Vec<Snapshot>,
 ) -> Result<ExecResult, String> {
     let schema = Packet::schema();
     let config = PlannerConfig::standard();
-    let mut result = ExecResult { windows: Vec::new(), shard_lines: Vec::new() };
+    let mut result = ExecResult { windows: Vec::new(), shard_lines: Vec::new(), coverage: 1.0 };
     if opts.shards > 1 {
         let make = |_shard: usize| {
             stream_sampler::query::plan(parsed, &schema, &config)
@@ -293,6 +310,9 @@ fn execute_query(
         if let Some(reg) = registry {
             cfg = cfg.with_registry(reg.clone());
         }
+        if let Some(plan) = faults {
+            cfg = cfg.with_faults(plan.clone());
+        }
         let report = stream_sampler::gigascope::run_plan_sharded(
             Box::new(SelectionNode::pass_all()),
             make,
@@ -300,17 +320,32 @@ fn execute_query(
             packets.to_vec(),
         )
         .map_err(|e| e.to_string())?;
-        result.windows = report.windows;
+        result.coverage = report.coverage;
         for s in &report.shards {
             result.shard_lines.push(format!(
-                "# shard {}: {} tuples, {} windows, {} stalls, {} dropped",
+                "# shard {}: {} tuples, {} windows, {} stalls, {} dropped, {} shed, \
+                 {} quarantined",
                 s.shard,
                 s.tuples(),
                 s.windows(),
                 s.stalls(),
-                s.dropped()
+                s.dropped(),
+                s.shed(),
+                s.quarantines()
             ));
         }
+        if report.degraded() {
+            result.shard_lines.push(format!(
+                "# DEGRADED: coverage {:.4}{}",
+                report.coverage,
+                if report.stragglers.is_empty() {
+                    String::new()
+                } else {
+                    format!(", stragglers {:?}", report.stragglers)
+                }
+            ));
+        }
+        result.windows = report.windows;
     } else {
         let mut op = SamplingOperator::new(spec).map_err(|e| e.to_string())?;
         if let Some(reg) = registry {
@@ -346,6 +381,57 @@ fn render_top(snap: &Snapshot) -> String {
             m.label,
             m.kind.as_str(),
             m.scalar()
+        ));
+    }
+    out.push_str(&render_shard_health(snap));
+    out
+}
+
+/// The per-shard health section of the `sso top` view: one row per
+/// shard with its delivery, loss, and fault columns, plus the run-level
+/// coverage gauge. Empty for single-instance runs (no `rt.*` shard
+/// metrics in the snapshot).
+fn render_shard_health(snap: &Snapshot) -> String {
+    // label "shard=N" → [tuples, windows, stalls, dropped, shed, quarantines]
+    const COLS: [&str; 6] =
+        ["rt.tuples", "rt.windows", "rt.stalls", "rt.dropped", "rt.shed_tuples", "rt.quarantines"];
+    let mut shards: Vec<(usize, [f64; 6])> = Vec::new();
+    for m in &snap.metrics {
+        let Some(col) = COLS.iter().position(|&c| c == m.name) else { continue };
+        let Some(shard) = m.label.strip_prefix("shard=").and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let row = match shards.iter_mut().find(|(s, _)| *s == shard) {
+            Some((_, row)) => row,
+            None => {
+                shards.push((shard, [0.0; 6]));
+                &mut shards.last_mut().expect("just pushed").1
+            }
+        };
+        row[col] = m.scalar();
+    }
+    if shards.is_empty() {
+        return String::new();
+    }
+    shards.sort_by_key(|(s, _)| *s);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n{:<6} {:>12} {:>9} {:>8} {:>9} {:>9} {:>12}\n",
+        "SHARD", "TUPLES", "WINDOWS", "STALLS", "DROPPED", "SHED", "QUARANTINED"
+    ));
+    for (shard, row) in &shards {
+        out.push_str(&format!(
+            "{:<6} {:>12} {:>9} {:>8} {:>9} {:>9} {:>12}\n",
+            shard, row[0], row[1], row[2], row[3], row[4], row[5]
+        ));
+    }
+    if let Some(cov) = snap.metrics.iter().find(|m| m.name == "rt.coverage") {
+        let val = cov.scalar();
+        out.push_str(&format!(
+            "coverage {:.4}{}\n",
+            val,
+            if val < 1.0 { "  ** DEGRADED **" } else { "" }
         ));
     }
     out
@@ -441,6 +527,28 @@ fn main() {
         return;
     }
 
+    // Resolve the fault plan before the feed so its feed-level events
+    // can perturb the packets. A file wins over --fault-seed; a bare
+    // --fault-seed generates the seeded plan (replayable: the same seed
+    // and shard count always produce the same plan).
+    let fault_plan: Option<std::sync::Arc<FaultPlan>> = match (&opts.fault_plan, opts.fault_seed) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            match FaultPlan::parse(&text) {
+                Ok(plan) => Some(plan.into_shared()),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, Some(seed)) => Some(FaultPlan::from_seed(seed, opts.shards).into_shared()),
+        (None, None) => None,
+    };
+
     let packets = if let Some(path) = &opts.trace {
         match std::fs::File::open(path)
             .map_err(Into::into)
@@ -479,6 +587,25 @@ fn main() {
             eprintln!("# wrote {} packets to {path}", packets.len());
         }
     }
+    // Feed-level fault events (bursts, reordering, skew, malformed
+    // tuples) rewrite the packet stream; the dump above stays clean so
+    // a saved trace replays without the plan.
+    let packets = match &fault_plan {
+        Some(plan) => {
+            if plan.has_worker_faults() && opts.shards <= 1 {
+                eprintln!(
+                    "warning: fault plan has worker events; they only fire with --shards > 1"
+                );
+            }
+            if !opts.json {
+                for ev in &plan.events {
+                    eprintln!("# fault: {ev}");
+                }
+            }
+            plan.perturb_packets(packets)
+        }
+        None => packets,
+    };
     if !opts.json {
         eprintln!(
             "# feed={} seed={} seconds={} packets={}",
@@ -511,10 +638,12 @@ fn main() {
             let opts = &opts;
             let parsed = &parsed;
             let packets = &packets;
+            let faults = fault_plan.as_ref();
             let registry = registry.as_ref();
             let snapshots = &mut snapshots;
-            let handle =
-                s.spawn(move || execute_query(opts, parsed, spec, packets, registry, snapshots));
+            let handle = s.spawn(move || {
+                execute_query(opts, parsed, spec, packets, faults, registry, snapshots)
+            });
             while !handle.is_finished() {
                 std::thread::sleep(std::time::Duration::from_millis(250));
                 // \x1b[2J\x1b[H = clear screen + home.
@@ -524,7 +653,15 @@ fn main() {
             handle.join().expect("top worker panicked")
         })
     } else {
-        execute_query(&opts, &parsed, spec, &packets, registry.as_ref(), &mut snapshots)
+        execute_query(
+            &opts,
+            &parsed,
+            spec,
+            &packets,
+            fault_plan.as_ref(),
+            registry.as_ref(),
+            &mut snapshots,
+        )
     };
     let result = match result {
         Ok(r) => r,
@@ -540,6 +677,9 @@ fn main() {
         println!("{}", render_top(snapshots.last().expect("final snapshot always taken")));
         total_rows = result.windows.iter().map(|w| w.rows.len() as u64).sum();
         println!("# {} windows, {total_rows} rows total", result.windows.len());
+        if result.coverage < 1.0 {
+            println!("# DEGRADED: coverage {:.4}", result.coverage);
+        }
     } else {
         for w in &result.windows {
             total_rows += print_window(w, &columns, &opts);
@@ -565,11 +705,19 @@ fn print_window(w: &WindowOutput, columns: &[String], opts: &Options) -> u64 {
         // One JSON object per window, rows as arrays of strings.
         let rows: Vec<Vec<String>> =
             w.rows.iter().map(|r| r.values().iter().map(|v| v.to_string()).collect()).collect();
-        println!("{}", serde_json_lite(&w.window.to_string(), columns, &rows, &w.stats));
+        println!(
+            "{}",
+            serde_json_lite(&w.window.to_string(), columns, &rows, &w.stats, &w.degradation)
+        );
         return w.rows.len() as u64;
     }
+    let degraded = if w.degradation.degraded {
+        format!(", coverage {:.3} DEGRADED", w.degradation.coverage)
+    } else {
+        String::new()
+    };
     println!(
-        "\n== window {} ({} tuples in, {} admitted, {} cleaning phases, {} rows) ==",
+        "\n== window {} ({} tuples in, {} admitted, {} cleaning phases, {} rows{degraded}) ==",
         w.window,
         w.stats.tuples,
         w.stats.admitted,
@@ -594,6 +742,7 @@ fn serde_json_lite(
     columns: &[String],
     rows: &[Vec<String>],
     stats: &stream_sampler::operator::WindowStats,
+    degradation: &Degradation,
 ) -> String {
     let cols = columns.iter().map(|c| format!("\"{c}\"")).collect::<Vec<_>>().join(",");
     let rows = rows
@@ -606,7 +755,12 @@ fn serde_json_lite(
         .join(",");
     format!(
         "{{\"window\":\"{window}\",\"columns\":[{cols}],\"rows\":[{rows}],\
-         \"tuples\":{},\"admitted\":{},\"cleaning_phases\":{}}}",
-        stats.tuples, stats.admitted, stats.cleaning_phases
+         \"tuples\":{},\"admitted\":{},\"cleaning_phases\":{},\
+         \"coverage\":{},\"degraded\":{}}}",
+        stats.tuples,
+        stats.admitted,
+        stats.cleaning_phases,
+        degradation.coverage,
+        degradation.degraded
     )
 }

@@ -16,7 +16,8 @@
 //! | [`operator`] | `sso-core` | the sampling operator, SFUN machinery, superaggregates, paper query builders |
 //! | [`obs`] | `sso-obs` | telemetry: metrics registry, sampled spans, exporters, the `METRICS` meta-stream |
 //! | [`query`] | `sso-query` | the §5 query language: lexer, parser, planner |
-//! | [`runtime`] | `sso-runtime` | sharded execution: hash-partitioned worker shards, window-aligned merge |
+//! | [`runtime`] | `sso-runtime` | sharded execution: hash-partitioned worker shards, window-aligned merge, shard supervision |
+//! | [`faults`] | `sso-faults` | seeded, replayable fault plans: worker panics/stalls, bursts, reordering, skew, malformed tuples |
 //! | [`gigascope`] | `sso-gigascope` | ring buffer, two-level plans, CPU accounting |
 //! | [`netgen`] | `sso-netgen` | synthetic research-center and data-center packet feeds |
 //!
@@ -47,6 +48,7 @@
 //! ```
 
 pub use sso_core as operator;
+pub use sso_faults as faults;
 pub use sso_gigascope as gigascope;
 pub use sso_netgen as netgen;
 pub use sso_obs as obs;
@@ -59,8 +61,9 @@ pub use sso_types as types;
 pub mod prelude {
     pub use sso_core::libs::reservoir::ReservoirOpConfig;
     pub use sso_core::libs::subset_sum::SubsetSumOpConfig;
-    pub use sso_core::{queries, OperatorSpec, SamplingOperator, WindowOutput};
+    pub use sso_core::{queries, Degradation, OperatorSpec, SamplingOperator, WindowOutput};
     pub use sso_core::{shard_plan, MergeRule, ShardPlan};
+    pub use sso_faults::{FaultEvent, FaultPlan};
     pub use sso_gigascope::{
         run_plan, run_plan_sharded, run_plan_threaded, PrefilterNode, SelectionNode,
         ShardedRunReport, TwoLevelPlan,
@@ -70,6 +73,6 @@ pub mod prelude {
     pub use sso_query::{
         base_stream_schema, check_shard_mergeable, compile, parse_query, PlannerConfig,
     };
-    pub use sso_runtime::{run_sharded, Backpressure, RuntimeConfig};
+    pub use sso_runtime::{run_sharded, Backpressure, RuntimeConfig, Supervision};
     pub use sso_types::{format_ipv4, Packet, Schema, Tuple, Value};
 }

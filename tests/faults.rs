@@ -1,0 +1,278 @@
+//! Fault-injection acceptance: a seeded fault plan panicking one of 16
+//! shards mid-window must leave the run alive, the affected window
+//! tagged `degraded` with `coverage < 1`, the re-thresholded estimates
+//! over the surviving shards *exactly* equal to a fault-free run fed
+//! the same surviving tuples, and a same-seed replay byte-identical.
+//! Plus the loss-accounting ledger: for every seeded plan and every
+//! backpressure mode, `offered == delivered + accounted losses` and
+//! `delivered == covered + uncovered`, exactly.
+
+use std::sync::Arc;
+
+use stream_sampler::prelude::*;
+use stream_sampler::runtime::route_stream;
+
+const WINDOW: u64 = 2;
+const SHARDS: usize = 16;
+
+fn packets() -> Vec<Packet> {
+    research_feed(0xfa).take_seconds(6)
+}
+
+/// Pick a `(shard, at_tuple)` panic point that lands mid-window in the
+/// victim shard's LAST window, plus that window's id. Mid-window makes
+/// the poisoned operator's current window unambiguous; last-window keeps
+/// the surviving-tuples comparison exact even for sampled queries (no
+/// post-fault windows whose per-shard RNG position could differ from
+/// the reference run's).
+fn pick_panic_point(
+    plan: &ShardPlan,
+    pkts: &[Packet],
+    shard: usize,
+) -> (u64 /* at_tuple */, u64 /* window */) {
+    let tuples: Vec<Tuple> = pkts.iter().map(|p| p.to_tuple()).collect();
+    let routed = route_stream(plan, SHARDS, &tuples);
+    let mine: Vec<usize> = (0..pkts.len()).filter(|&i| routed[i] == shard).collect();
+    let window_of = |i: usize| pkts[i].time() / WINDOW;
+    let last_w = window_of(*mine.last().expect("victim shard sees traffic"));
+    let first_in_last =
+        mine.iter().position(|&i| window_of(i) == last_w).expect("last window exists");
+    // The third tuple of the window: at least two predecessors pin the
+    // operator's current window to `last_w` when the panic fires.
+    assert!(mine.len() - first_in_last >= 3, "last window too small to hit mid-window");
+    ((first_in_last + 3) as u64, last_w)
+}
+
+/// The surviving tuples of a mid-window shard panic: everything except
+/// the victim shard's share of the poisoned window. Valid only for
+/// keyed (content-routed) plans, where removing tuples does not shift
+/// any other tuple's shard assignment.
+fn surviving_packets(plan: &ShardPlan, pkts: &[Packet], shard: usize, window: u64) -> Vec<Packet> {
+    let tuples: Vec<Tuple> = pkts.iter().map(|p| p.to_tuple()).collect();
+    let routed = route_stream(plan, SHARDS, &tuples);
+    pkts.iter()
+        .enumerate()
+        .filter(|&(i, p)| !(routed[i] == shard && p.time() / WINDOW == window))
+        .map(|(_, p)| *p)
+        .collect()
+}
+
+fn run<F>(make: F, cfg: &RuntimeConfig, pkts: Vec<Packet>) -> ShardedRunReport
+where
+    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError> + Sync,
+{
+    run_plan_sharded(Box::new(SelectionNode::pass_all()), make, cfg, pkts).expect("run completes")
+}
+
+fn assert_reports_byte_identical(a: &ShardedRunReport, b: &ShardedRunReport, what: &str) {
+    assert_eq!(a.coverage, b.coverage, "{what}: coverage");
+    assert_eq!(a.stragglers, b.stragglers, "{what}: stragglers");
+    assert_eq!(a.windows.len(), b.windows.len(), "{what}: window count");
+    for (x, y) in a.windows.iter().zip(&b.windows) {
+        assert_eq!(x.window, y.window, "{what}: window key");
+        assert_eq!(x.rows, y.rows, "{what}: rows for {:?}", x.window);
+        assert_eq!(x.stats, y.stats, "{what}: stats for {:?}", x.window);
+        assert_eq!(x.degradation.coverage, y.degradation.coverage, "{what}: coverage tag");
+        assert_eq!(x.degradation.degraded, y.degradation.degraded, "{what}: degraded tag");
+    }
+}
+
+/// The headline acceptance run, against the paper's threshold sampler:
+/// 1 of 16 shards panics mid-window under a seeded plan; the run
+/// completes, the poisoned window is tagged, the re-thresholded sample
+/// over the surviving shards matches a fault-free run over the same
+/// surviving tuples row-for-row, and the same seed replays to the byte.
+#[test]
+fn shard_panic_degrades_exactly_one_window_with_exact_surviving_estimates() {
+    let make = |_| queries::basic_subset_sum_query(WINDOW, 400.0);
+    let plan = shard_plan(&make(0).unwrap()).expect("keyed, shard-mergeable");
+    let pkts = packets();
+    let victim = 5usize;
+    let (at_tuple, poisoned_w) = pick_panic_point(&plan, &pkts, victim);
+
+    let mut fault = FaultPlan::empty(42);
+    fault.events.push(FaultEvent::WorkerPanic { shard: victim, at_tuple });
+    let fault = fault.into_shared();
+    let cfg = RuntimeConfig::new(SHARDS).with_faults(fault.clone());
+
+    let report = run(make, &cfg, pkts.clone());
+    assert!(report.degraded(), "a lost half-window must degrade the run");
+    assert!(report.coverage < 1.0 && report.coverage > 0.9, "{}", report.coverage);
+    assert_eq!(report.quarantines(), 1, "one panic, one quarantine");
+
+    // Conservation: delivered == covered + uncovered, exactly.
+    let delivered: u64 = report.shards.iter().map(|s| s.tuples()).sum();
+    let uncovered: u64 = report.shards.iter().map(|s| s.uncovered()).sum();
+    assert_eq!(delivered, pkts.len() as u64);
+    assert!(uncovered > 0);
+
+    // Exactly the poisoned window is tagged.
+    for w in &report.windows {
+        let wid = w.window.get(0).as_u64().expect("tb window key");
+        if wid == poisoned_w {
+            assert!(w.degradation.degraded, "poisoned window must be tagged");
+            assert!(w.degradation.coverage < 1.0);
+        } else {
+            assert!(!w.degradation.degraded, "window {wid} lost nothing");
+            assert_eq!(w.degradation.coverage, 1.0);
+        }
+    }
+
+    // Unbiasedness check, exact form: the degraded output must equal a
+    // fault-free run over the surviving tuples — the merge re-thresholds
+    // over surviving shards, it does not invent or lose anything else.
+    let reference = run(make, &RuntimeConfig::new(SHARDS), {
+        surviving_packets(&plan, &pkts, victim, poisoned_w)
+    });
+    assert!(!reference.degraded());
+    assert_eq!(reference.windows.len(), report.windows.len());
+    for (f, r) in report.windows.iter().zip(&reference.windows) {
+        assert_eq!(f.window, r.window);
+        assert_eq!(
+            f.rows, r.rows,
+            "window {:?}: degraded output must equal the fault-free run over surviving tuples",
+            f.window
+        );
+        assert_eq!(f.stats.tuples, r.stats.tuples, "covered-tuple accounting for {:?}", f.window);
+    }
+
+    // Replayability: the same seed/plan reproduces the result to the byte.
+    let replay = run(make, &cfg, pkts);
+    assert_reports_byte_identical(&report, &replay, "same-seed replay");
+}
+
+/// The same contract holds for an exact (Concat-merge) query, where
+/// every row is checkable against ground truth: heavy hitters with a
+/// bucket wider than the stream never evicts, so surviving-shard counts
+/// must match the filtered reference bit-for-bit.
+#[test]
+fn shard_panic_keeps_exact_queries_exact_over_survivors() {
+    let make = |_| queries::heavy_hitters_query(WINDOW, 1 << 20, None);
+    let plan = shard_plan(&make(0).unwrap()).expect("keyed, shard-mergeable");
+    let pkts = packets();
+    let victim = 11usize;
+    let (at_tuple, poisoned_w) = pick_panic_point(&plan, &pkts, victim);
+
+    let mut fault = FaultPlan::empty(7);
+    fault.events.push(FaultEvent::WorkerPanic { shard: victim, at_tuple });
+    let cfg = RuntimeConfig::new(SHARDS).with_faults(fault.into_shared());
+
+    let report = run(make, &cfg, pkts.clone());
+    assert!(report.degraded());
+    let reference = run(make, &RuntimeConfig::new(SHARDS), {
+        surviving_packets(&plan, &pkts, victim, poisoned_w)
+    });
+    assert_eq!(report.windows.len(), reference.windows.len());
+    for (f, r) in report.windows.iter().zip(&reference.windows) {
+        assert_eq!(f.window, r.window);
+        assert_eq!(f.rows, r.rows, "window {:?}", f.window);
+    }
+}
+
+/// Injected stalls are timing-only faults: under blocking backpressure
+/// the result must be byte-identical to the fault-free run, at full
+/// coverage — latency is the only casualty.
+#[test]
+fn worker_stalls_change_timing_not_results() {
+    let make = |_| Ok(queries::total_sum_query(WINDOW));
+    let pkts = research_feed(3).take_seconds(3);
+    let mut fault = FaultPlan::empty(9);
+    fault.events.push(FaultEvent::WorkerStall { shard: 1, at_tuple: 200, millis: 15 });
+    fault.events.push(FaultEvent::WorkerStall { shard: 3, at_tuple: 500, millis: 10 });
+    let cfg = RuntimeConfig::new(4).with_faults(fault.into_shared());
+
+    let faulted = run(make, &cfg, pkts.clone());
+    let clean = run(make, &RuntimeConfig::new(4), pkts);
+    assert!(!faulted.degraded(), "stalls lose nothing");
+    assert_eq!(faulted.coverage, 1.0);
+    assert_reports_byte_identical(&faulted, &clean, "stalls vs clean");
+}
+
+/// The loss ledger, over every event type a seeded plan generates and
+/// all three backpressure modes: offered == delivered + dropped + shed,
+/// and delivered == covered + uncovered. Exact, for every seed.
+#[test]
+fn seeded_plans_account_for_every_tuple() {
+    for seed in [1u64, 7, 13] {
+        let plan = Arc::new(FaultPlan::from_seed(seed, 8));
+        let pkts = plan.perturb_packets(research_feed(seed).take_seconds(4));
+        let offered = pkts.len() as u64;
+        for (name, backpressure, ring_capacity) in [
+            ("block", Backpressure::Block, 16usize),
+            ("drop", Backpressure::DropNewest, 1),
+            ("shed", Backpressure::Shed { weight_col: None }, 1),
+        ] {
+            let mut cfg = RuntimeConfig::new(8).with_faults(plan.clone());
+            cfg.backpressure = backpressure;
+            cfg.ring_capacity = ring_capacity;
+            cfg.batch_size = 64;
+            let report = run(|_| Ok(queries::total_sum_query(WINDOW)), &cfg, pkts.clone());
+
+            let delivered: u64 = report.shards.iter().map(|s| s.tuples()).sum();
+            let lost = report.dropped() + report.shed();
+            assert_eq!(
+                delivered + lost,
+                offered,
+                "seed {seed} {name}: offered must equal delivered + accounted losses"
+            );
+            let covered: u64 = report.windows.iter().map(|w| w.stats.tuples).sum();
+            let uncovered: u64 = report.shards.iter().map(|s| s.uncovered()).sum();
+            assert_eq!(
+                covered + uncovered,
+                delivered,
+                "seed {seed} {name}: delivered must equal covered + uncovered"
+            );
+            // The seeded plan always panics one shard somewhere; under
+            // lossy backpressure the victim may never be delivered
+            // enough tuples to reach the trigger, so only the lossless
+            // mode is guaranteed to trip it.
+            if name == "block" {
+                assert!(report.quarantines() >= 1, "seed {seed} {name}: panic must be caught");
+            }
+        }
+    }
+}
+
+/// Plan round-trip: `Display` output re-parses to the same plan, so a
+/// plan written by `--fault-seed` replays identically via `--fault-plan`.
+#[test]
+fn fault_plans_round_trip_through_text() {
+    for seed in [0u64, 5, 99] {
+        let plan = FaultPlan::from_seed(seed, 16);
+        let text = plan.to_string();
+        let reparsed = FaultPlan::parse(&text).expect("round-trip parse");
+        assert_eq!(plan, reparsed, "plan text:\n{text}");
+    }
+}
+
+/// The window deadline converts a straggler into accounted coverage
+/// loss instead of an unbounded finalize wait: the undersample detector
+/// fires on the METRICS channel and the result is tagged.
+#[test]
+fn deadline_fires_undersample_alert_for_stragglers() {
+    let make = |shard: usize| {
+        let mut spec = queries::total_sum_query(WINDOW);
+        if shard == 1 {
+            spec.where_clause = Some(stream_sampler::operator::Expr::Scalar {
+                name: "SLOW",
+                fun: std::sync::Arc::new(|_: &[Value]| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    Ok(Value::Bool(true))
+                }),
+                args: vec![],
+            });
+        }
+        Ok(spec)
+    };
+    let registry = Registry::new();
+    let mut cfg = RuntimeConfig::new(2).with_registry(registry.clone());
+    cfg.window_deadline = Some(std::time::Duration::from_millis(10));
+    cfg.batch_size = 32;
+    let report = run(make, &cfg, research_feed(4).take_seconds(2));
+    assert_eq!(report.stragglers, vec![1]);
+    assert!(report.degraded());
+    let snap = registry.snapshot();
+    assert_eq!(snap.value("op.undersampled_windows"), 1.0, "straggler loss must alert");
+    let cov = snap.metrics.iter().find(|m| m.name == "rt.coverage").expect("coverage gauge");
+    assert!(cov.scalar() < 1.0);
+}

@@ -31,7 +31,7 @@ fn reference_for(spec: OperatorSpec, pkts: &[Packet]) -> Vec<WindowOutput> {
 
 fn sharded_for<F>(make: F, shards: usize, pkts: &[Packet]) -> ShardedRunReport
 where
-    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError>,
+    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError> + Sync,
 {
     run_plan_sharded(
         Box::new(SelectionNode::pass_all()),
@@ -67,7 +67,7 @@ fn tuple_cmp(a: &Tuple, b: &Tuple) -> Ordering {
 
 fn sharded<F>(make: F, shards: usize) -> ShardedRunReport
 where
-    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError>,
+    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError> + Sync,
 {
     run_plan_sharded(
         Box::new(SelectionNode::pass_all()),
@@ -235,5 +235,74 @@ fn fixed_threshold_subset_sum_is_reproducible() {
         let b = sharded(make, shards);
         assert_windows_equal(&a.windows, &b.windows, &format!("basic_ss rerun x{shards}"));
         assert!(a.windows.iter().any(|w| !w.rows.is_empty()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected disorder: reordering and timestamp skew from a fault plan
+// must not make the sharded runtime's window assignment drift from a
+// single instance fed the same perturbed stream. Exact (Combine-rule)
+// queries make the comparison byte-level: both sides' outputs are
+// collapsed per window key (disorder can close and reopen a window) and
+// must agree exactly.
+
+use proptest::prelude::*;
+
+fn collapse(spec: &OperatorSpec, windows: Vec<WindowOutput>, seed: u64) -> Vec<WindowOutput> {
+    let plan = shard_plan(spec).expect("shard-mergeable");
+    let mut merged = stream_sampler::runtime::merge_windows(vec![windows], &plan.rule, seed);
+    for w in &mut merged {
+        w.rows.sort_by(tuple_cmp);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn reordered_and_skewed_streams_window_identically_to_single_shard(
+        reorder_window in 2u64..200,
+        skew_at in 0u64..2000,
+        skew_len in 1u64..400,
+        // Straddle window boundaries in both directions, up to ±2 windows.
+        offset_ns in (-2i64 * WINDOW as i64 * 1_000_000_000)..(2i64 * WINDOW as i64 * 1_000_000_000),
+        plan_seed in 0u64..u64::MAX,
+    ) {
+        let mut fault = FaultPlan::empty(plan_seed);
+        fault.events.push(FaultEvent::SkewTimestamps {
+            at_packet: skew_at,
+            len: skew_len,
+            offset_ns,
+        });
+        fault.events.push(FaultEvent::Reorder { window: reorder_window });
+        let pkts = fault.perturb_packets(packets());
+
+        let spec = queries::total_sum_query(WINDOW);
+        let tuples: Vec<Tuple> = pkts.iter().map(|p| p.to_tuple()).collect();
+        let raw = SamplingOperator::new(queries::total_sum_query(WINDOW))
+            .expect("spec")
+            .run(tuples.iter())
+            .expect("single run");
+        let single = collapse(&spec, raw, 0);
+
+        for shards in [2usize, 8] {
+            let report = sharded_for(|_| Ok(queries::total_sum_query(WINDOW)), shards, &pkts);
+            prop_assert!(!report.degraded(), "disorder alone must not lose coverage");
+            let mut got = report.windows;
+            for w in &mut got {
+                w.rows.sort_by(tuple_cmp);
+            }
+            // The sharded merge already collapsed per window key; sort
+            // both sides by key for a deterministic comparison order.
+            let mut single = single.clone();
+            single.sort_by(|a, b| tuple_cmp(&a.window, &b.window));
+            got.sort_by(|a, b| tuple_cmp(&a.window, &b.window));
+            prop_assert_eq!(single.len(), got.len(), "window count at {} shards", shards);
+            for (a, b) in single.iter().zip(&got) {
+                prop_assert_eq!(&a.window, &b.window, "window key at {} shards", shards);
+                prop_assert_eq!(&a.rows, &b.rows, "rows for window {:?} at {} shards", a.window, shards);
+            }
+        }
     }
 }

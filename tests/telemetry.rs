@@ -97,3 +97,72 @@ fn meta_stream_query_runs_end_to_end() {
     assert!(!tuple_sums.is_empty(), "op.tuples series missing from meta output");
     assert!(tuple_sums.windows(2).all(|p| p[1] >= p[0]), "cumulative counter: {tuple_sums:?}");
 }
+
+/// Satellite of the fault-tolerance PR: per-shard runtime health —
+/// drops, stalls, quarantines, coverage — flows through the same
+/// METRICS meta-stream, labeled `shard=N`, so a meta query can watch
+/// shard failures the way it watches threshold trajectories.
+#[test]
+fn per_shard_fault_accounting_reaches_the_metrics_stream() {
+    use stream_sampler::operator::{queries, shard_plan};
+    use stream_sampler::runtime::{run_sharded, RuntimeConfig};
+
+    let registry = Registry::new();
+    let spec = queries::total_sum_query(1);
+    let plan = shard_plan(&spec).unwrap();
+    // One injected panic: shard 2 quarantines one window.
+    let mut fault = stream_sampler::faults::FaultPlan::empty(3);
+    fault.events.push(stream_sampler::faults::FaultEvent::WorkerPanic { shard: 2, at_tuple: 500 });
+    let cfg =
+        RuntimeConfig::new(4).with_registry(registry.clone()).with_faults(fault.into_shared());
+    let pkts = stream_sampler::netgen::research_feed(11).take_seconds(3);
+    let tuples: Vec<Tuple> = pkts.iter().map(|p| p.to_tuple()).collect();
+    let report = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples).unwrap();
+    assert!(report.degraded());
+
+    let snap = registry.snapshot();
+    // Every shard publishes its own labeled series.
+    for shard in 0..4 {
+        let label = format!("shard={shard}");
+        for name in ["rt.tuples", "rt.stalls", "rt.dropped", "rt.quarantines", "rt.uncovered"] {
+            assert!(
+                snap.metrics.iter().any(|m| m.name == name && m.label == label),
+                "missing {name}{{{label}}} in snapshot"
+            );
+        }
+    }
+    // The quarantine landed on the injected shard, and the registry's
+    // labeled cells agree with the report exactly.
+    let quarantined: f64 = snap
+        .metrics
+        .iter()
+        .filter(|m| m.name == "rt.quarantines" && m.label == "shard=2")
+        .map(|m| m.scalar())
+        .sum();
+    assert_eq!(quarantined, 1.0);
+    let cov = snap.metrics.iter().find(|m| m.name == "rt.coverage").expect("coverage gauge");
+    assert!((cov.scalar() - report.coverage).abs() < 1e-12);
+
+    // And the meta-stream carries it: group the snapshot's tuples by
+    // (metric, label) and find the per-shard uncovered series.
+    let tuples: Vec<Tuple> = snapshot_tuples(&snap);
+    let mut meta = compile(
+        "SELECT sb, metric, label, sum(value) FROM METRICS \
+         GROUP BY seq/1 as sb, metric, label",
+        &metrics_schema(),
+        &PlannerConfig::standard(),
+    )
+    .unwrap();
+    let windows = meta.run(tuples.iter()).unwrap();
+    let mut uncovered_rows = 0;
+    for w in &windows {
+        for row in &w.rows {
+            if row.get(1).as_str() == Ok("rt.uncovered")
+                && row.get(2).as_str().map(|l| l.starts_with("shard=")).unwrap_or(false)
+            {
+                uncovered_rows += 1;
+            }
+        }
+    }
+    assert_eq!(uncovered_rows, 4, "one labeled uncovered series per shard");
+}
