@@ -1,0 +1,219 @@
+//! Machine-readable audit output.
+//!
+//! A [`BoundsReport`] is the certificate the audit emits: per-statement
+//! state ceilings plus the verdicts (skew class, mergeability, deletion
+//! safety) the runtime and CI consume. The JSON rendering is hand-rolled
+//! and field-stable — `scripts/check.sh` validates the schema, so adding
+//! or renaming a key is a deliberate, reviewed change.
+
+use sso_core::SizingHints;
+
+use crate::bounds::SamplerKind;
+use crate::domain::{Card, DeletionSafety, SkewClass};
+
+/// Certified bounds for one audited statement.
+#[derive(Debug, Clone)]
+pub struct StatementBounds {
+    /// Statement label (`stmt0`, `stmt1`, … in file order).
+    pub name: String,
+    /// The FROM stream.
+    pub stream: String,
+    /// The classified sampling family.
+    pub sampler: SamplerKind,
+    /// Tumbling-window length from `GROUP BY <ordered>/n`, when the
+    /// query has that canonical shape.
+    pub window_secs: Option<u64>,
+    /// Peak input rate from the feed envelope.
+    pub rows_per_sec: Card,
+    /// Rows per window: rate × window length.
+    pub rows_per_window: Card,
+    /// Product of group-by key cardinalities.
+    pub key_cardinality: Card,
+    /// Product of supergroup key cardinalities.
+    pub supergroup_cardinality: Card,
+    /// The sampler's per-supergroup live-group cap.
+    pub per_supergroup_bound: Card,
+    /// Certified ceiling on simultaneously live groups.
+    pub groups_bound: Card,
+    /// Estimated bytes per group-table entry.
+    pub group_entry_bytes: u64,
+    /// Estimated bytes per supergroup-state entry.
+    pub supergroup_entry_bytes: u64,
+    /// Certified ceiling on operator state bytes.
+    pub state_bytes: Card,
+    /// Router-skew verdict at the audited shard count.
+    pub skew: SkewClass,
+    /// Whether the plan shards/merges (`shard_plan` succeeds).
+    pub mergeable: bool,
+    /// Whether the state survives turnstile deletions.
+    pub deletion_safety: DeletionSafety,
+}
+
+impl StatementBounds {
+    /// Pre-sizing hints for the runtime: reserve the certified group
+    /// and supergroup ceilings up front (capped at
+    /// [`SizingHints::MAX_RESERVE`]), and size each shard's ring for
+    /// about a second of batches at the certified input rate. Unbounded
+    /// dimensions reserve nothing and keep the configured ring.
+    pub fn sizing_hints(&self, shards: usize, batch_size: usize) -> SizingHints {
+        let cap = |c: Card| -> usize {
+            c.finite().map(|n| (n as usize).min(SizingHints::MAX_RESERVE)).unwrap_or(0)
+        };
+        let supergroups = self.supergroup_cardinality.min(self.rows_per_window);
+        let ring_batches = self.rows_per_sec.finite().map(|r| {
+            let per_shard = r / (batch_size.max(1) as u64) / (shards.max(1) as u64);
+            (per_shard as usize).clamp(16, 256)
+        });
+        SizingHints { groups: cap(self.groups_bound), supergroups: cap(supergroups), ring_batches }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"stream\":{},\"sampler\":{},\"window_secs\":{},",
+                "\"rows_per_sec\":{},\"rows_per_window\":{},\"key_cardinality\":{},",
+                "\"supergroup_cardinality\":{},\"per_supergroup_bound\":{},",
+                "\"groups_bound\":{},\"group_entry_bytes\":{},",
+                "\"supergroup_entry_bytes\":{},\"state_bytes\":{},\"skew\":{},",
+                "\"mergeable\":{},\"deletion_safe\":{}}}"
+            ),
+            json_str(&self.name),
+            json_str(&self.stream),
+            json_str(&self.sampler.label()),
+            self.window_secs.map(|w| w.to_string()).unwrap_or_else(|| "null".into()),
+            self.rows_per_sec.to_json(),
+            self.rows_per_window.to_json(),
+            self.key_cardinality.to_json(),
+            self.supergroup_cardinality.to_json(),
+            self.per_supergroup_bound.to_json(),
+            self.groups_bound.to_json(),
+            self.group_entry_bytes,
+            self.supergroup_entry_bytes,
+            self.state_bytes.to_json(),
+            json_str(self.skew.as_str()),
+            self.mergeable,
+            self.deletion_safety.is_safe(),
+        )
+    }
+}
+
+/// The audit's certificate for one file: every statement's bounds under
+/// one feed envelope and shard count.
+#[derive(Debug, Clone)]
+pub struct BoundsReport {
+    /// Feed envelope the bounds were certified against.
+    pub feed: String,
+    /// Shard count the skew/mergeability verdicts assume.
+    pub shards: usize,
+    /// The `--budget` limit, if one was given.
+    pub budget: Option<u64>,
+    /// Per-statement bounds, in file order.
+    pub statements: Vec<StatementBounds>,
+}
+
+impl BoundsReport {
+    /// Certified ceiling on total state bytes across all statements
+    /// (unbounded if any statement is).
+    pub fn total_state_bytes(&self) -> Card {
+        self.statements.iter().fold(Card::Finite(0), |acc, s| acc + s.state_bytes)
+    }
+
+    /// Field-stable JSON rendering.
+    pub fn to_json(&self) -> String {
+        let stmts: Vec<String> = self.statements.iter().map(|s| s.to_json()).collect();
+        format!(
+            concat!(
+                "{{\"feed\":{},\"shards\":{},\"budget\":{},",
+                "\"total_state_bytes\":{},\"statements\":[{}]}}"
+            ),
+            json_str(&self.feed),
+            self.shards,
+            self.budget.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
+            self.total_state_bytes().to_json(),
+            stmts.join(","),
+        )
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_statement() -> StatementBounds {
+        StatementBounds {
+            name: "stmt0".into(),
+            stream: "PKT".into(),
+            sampler: SamplerKind::Reservoir { n: 25, cleaning: true },
+            window_secs: Some(60),
+            rows_per_sec: Card::Finite(25_000),
+            rows_per_window: Card::Finite(1_500_000),
+            key_cardinality: Card::Unbounded,
+            supergroup_cardinality: Card::Finite(61),
+            per_supergroup_bound: Card::Finite(626),
+            groups_bound: Card::Finite(38_186),
+            group_entry_bytes: 160,
+            supergroup_entry_bytes: 256,
+            state_bytes: Card::Finite(6_125_376),
+            skew: SkewClass::Spread,
+            mergeable: true,
+            deletion_safety: DeletionSafety::Safe,
+        }
+    }
+
+    #[test]
+    fn json_is_field_stable() {
+        let report = BoundsReport {
+            feed: "research".into(),
+            shards: 4,
+            budget: Some(8_000_000),
+            statements: vec![sample_statement()],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"feed\":\"research\",\"shards\":4,\"budget\":8000000,"));
+        assert!(json.contains("\"sampler\":\"reservoir(n=25)\""));
+        assert!(json.contains("\"key_cardinality\":null"), "unbounded renders as null");
+        assert!(json.contains("\"total_state_bytes\":6125376"));
+        assert!(json.contains("\"deletion_safe\":true"));
+    }
+
+    #[test]
+    fn sizing_hints_cap_and_ring() {
+        let s = sample_statement();
+        let hints = s.sizing_hints(4, 1024);
+        assert_eq!(hints.groups, 38_186);
+        assert_eq!(hints.supergroups, 61);
+        // 25k rows/s ÷ 1024 batch ÷ 4 shards ≈ 6 → clamped up to 16.
+        assert_eq!(hints.ring_batches, Some(16));
+
+        let mut unbounded = sample_statement();
+        unbounded.groups_bound = Card::Unbounded;
+        unbounded.rows_per_sec = Card::Unbounded;
+        let hints = unbounded.sizing_hints(4, 1024);
+        assert_eq!(hints.groups, 0, "unbounded reserves nothing");
+        assert_eq!(hints.ring_batches, None);
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

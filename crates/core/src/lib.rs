@@ -45,7 +45,8 @@ pub use expr::{BinOp, EvalCtx, Expr};
 pub use merge::{shard_plan, ColumnRule, MergeRule, NotMergeable, ShardPlan};
 pub use metrics::OperatorMetrics;
 pub use operator::{
-    Degradation, OperatorSpec, OperatorStats, SamplingOperator, WindowOutput, WindowStats,
+    Degradation, OperatorSpec, OperatorStats, SamplingOperator, SizingHints, WindowOutput,
+    WindowStats,
 };
 pub use sfun::{SfunLibrary, SfunStates, SfunTelemetry, Signature};
 pub use superagg::{SuperAggSpec, SuperAggState};

@@ -153,6 +153,67 @@ impl OperatorSpec {
         }
         Ok(())
     }
+
+    /// Estimated resident bytes of one group-table entry under this
+    /// spec: the key tuple (one [`Value`] per group-by variable), the
+    /// aggregate-state vector, and the hash-table slot. The static
+    /// audit multiplies this by its certified group ceiling to turn a
+    /// group count into a memory ceiling, so the estimate errs high.
+    pub fn group_entry_bytes(&self) -> usize {
+        let key = TUPLE_HEADER_BYTES + self.group_by.len() * VALUE_BYTES;
+        let aggs = TUPLE_HEADER_BYTES + self.aggregates.len() * AGG_STATE_BYTES;
+        key + aggs + HASH_SLOT_BYTES
+    }
+
+    /// Estimated resident bytes of one supergroup-table entry: the key
+    /// tuple, the superaggregate states, one SFUN state slot per
+    /// library, and the per-supergroup member index (whose backing
+    /// storage is accounted per group via [`Self::group_entry_bytes`]).
+    pub fn supergroup_entry_bytes(&self) -> usize {
+        let key = TUPLE_HEADER_BYTES + self.supergroup_indices.len() * VALUE_BYTES;
+        let supers = TUPLE_HEADER_BYTES + self.superaggs.len() * SUPERAGG_STATE_BYTES;
+        let states = TUPLE_HEADER_BYTES + self.sfun_libs.len() * SFUN_STATE_BYTES;
+        key + supers + states + TUPLE_HEADER_BYTES + HASH_SLOT_BYTES
+    }
+}
+
+/// Size of one dynamically-typed [`Value`] (discriminant + payload,
+/// padded).
+const VALUE_BYTES: usize = 24;
+/// `Vec` header (pointer + length + capacity).
+const TUPLE_HEADER_BYTES: usize = 24;
+/// One aggregate state (tagged union of running value(s)).
+const AGG_STATE_BYTES: usize = 48;
+/// One superaggregate state; `KthSmallest` keeps a k-bounded heap whose
+/// elements are accounted to the groups they shadow.
+const SUPERAGG_STATE_BYTES: usize = 64;
+/// One boxed SFUN state (e.g. the subset-sum threshold record).
+const SFUN_STATE_BYTES: usize = 96;
+/// Amortized hash-table slot overhead per entry.
+const HASH_SLOT_BYTES: usize = 16;
+
+/// Pre-sizing hints for an operator instance, produced by the static
+/// audit's [`OperatorSpec`]-level state bounds (`sso-analysis`
+/// `BoundsReport`) and consumed by the sharded runtime so group tables
+/// and rings start at their certified ceilings instead of growing
+/// through rehash cycles mid-window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizingHints {
+    /// Expected peak live groups per operator instance.
+    pub groups: usize,
+    /// Expected peak live supergroups per operator instance.
+    pub supergroups: usize,
+    /// Ring depth override in batches; `None` keeps the runtime
+    /// default.
+    pub ring_batches: Option<usize>,
+}
+
+impl SizingHints {
+    /// Cap on pre-reserved table entries: a certified-but-huge bound
+    /// (e.g. a rows-per-window fallback at datacenter rate) must not
+    /// translate into an allocation larger than the state it guards
+    /// against.
+    pub const MAX_RESERVE: usize = 1 << 20;
 }
 
 /// One group: its aggregate states. The key lives in the table.
@@ -321,6 +382,19 @@ impl SamplingOperator {
     /// sampled phase spans touch the clock.
     pub fn set_metrics(&mut self, metrics: OperatorMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Pre-size the group and supergroup tables from the audit's
+    /// certified ceilings, capped at [`SizingHints::MAX_RESERVE`]
+    /// entries so an intentionally loose bound cannot cause a larger
+    /// allocation than the workload itself would.
+    pub fn reserve(&mut self, hints: &SizingHints) {
+        let groups = hints.groups.min(SizingHints::MAX_RESERVE);
+        let sgs = hints.supergroups.min(SizingHints::MAX_RESERVE);
+        self.groups.reserve(groups);
+        self.sg_index.reserve(sgs);
+        self.sgs.reserve(sgs);
+        self.old_sgs.reserve(sgs);
     }
 
     /// The spec this operator runs.

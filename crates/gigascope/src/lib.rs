@@ -32,7 +32,7 @@ pub mod sharded;
 pub use cascade::Cascade;
 pub use engine::{run_plan, run_plan_threaded, NodeStats, RunReport, TwoLevelPlan};
 pub use fanout::{run_fanout, FanoutPlan, FanoutReport, QueryResult};
-pub use lint::{check_pushdown, check_reaggregation};
+pub use lint::{cascade_output_rate, check_pushdown, check_reaggregation};
 pub use network::{Input, NetworkReport, QueryNetwork};
 pub use nodes::{LowLevelQuery, PrefilterNode, SelectionNode};
 pub use partial::PartialAggNode;

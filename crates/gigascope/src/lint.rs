@@ -260,6 +260,18 @@ fn check_call(node: &AstExpr, low: &LowOutputs, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Cascade node cost: the row rate the high level of a cascade
+/// observes. A low-level operator emits at most its certified group
+/// ceiling once per window, so the high level's input rate is that
+/// ceiling amortized over the window — the quantity the static audit
+/// propagates through cascade edges in place of the raw feed rate.
+///
+/// A zero-second window (no window variable recognised) degenerates to
+/// "the whole ceiling every second", the conservative choice.
+pub fn cascade_output_rate(low_groups_bound: u64, low_window_secs: u64) -> u64 {
+    low_groups_bound.div_ceil(low_window_secs.max(1))
+}
+
 /// Depth-first visit of every node in an expression.
 fn walk<'e>(e: &'e AstExpr, f: &mut impl FnMut(&'e AstExpr)) {
     f(e);

@@ -30,10 +30,12 @@
 
 pub mod feed;
 pub mod flow;
+pub mod profile;
 pub mod rate;
 pub mod trace;
 
 pub use feed::{burst_feed, datacenter_feed, ddos_feed, research_feed, FeedConfig, TraceGenerator};
 pub use flow::{Flow, FlowProfile};
+pub use profile::{feed_profile, ColumnProfile, FeedProfile, FEED_PROFILES};
 pub use rate::{BurstRate, DatacenterRate, DdosRate, RateProcess, ResearchRate};
 pub use trace::{read_trace, write_trace, TraceError};

@@ -1,0 +1,154 @@
+//! Declared rate and cardinality envelopes for the built-in feeds.
+//!
+//! The static audit pass (`sso-analysis`) seeds its abstract domain from
+//! these declarations: the peak sustained packet rate bounds rows/window,
+//! and per-column cardinalities bound the group-table growth of exact
+//! aggregation. Every number here is a *certified envelope*, not a mean:
+//! it must dominate anything the corresponding generator can emit, and
+//! the tests below re-derive each envelope from actual traces so the
+//! declarations cannot drift away from the generators.
+//!
+//! Cardinalities are `Option<u64>`: `None` declares the column unbounded
+//! (practically: per-row unique, like the nanosecond `uts` timestamp the
+//! paper uses to make every packet its own group).
+
+/// Declared value-cardinality envelope of one packet column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnProfile {
+    /// Schema column name (matches [`sso_types::Packet::schema`]).
+    pub name: &'static str,
+    /// Upper bound on distinct values the feed can emit over any
+    /// horizon, or `None` for unbounded (per-row unique).
+    pub cardinality: Option<u64>,
+}
+
+/// Declared envelope of one built-in feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedProfile {
+    /// Feed name as accepted by the `--feed` CLI flag.
+    pub name: &'static str,
+    /// Peak sustained packet rate (packets per second). The rate
+    /// processes clamp or band-limit their output, so this is a hard
+    /// ceiling, not a long-run mean.
+    pub peak_rows_per_sec: u64,
+    /// Column cardinality envelopes.
+    pub columns: &'static [ColumnProfile],
+}
+
+impl FeedProfile {
+    /// Cardinality envelope of a column, if declared. Unknown columns
+    /// return `None`-as-absent (callers must treat them as unbounded).
+    pub fn column_cardinality(&self, name: &str) -> Option<Option<u64>> {
+        self.columns.iter().find(|c| c.name == name).map(|c| c.cardinality)
+    }
+}
+
+/// Address-space envelopes shared by the non-spoofed feeds:
+/// [`crate::flow::AddressSpace`] draws 4096 client addresses, 512
+/// servers (plus the fixed DDoS victim), ephemeral source ports from
+/// `1024..65535`, a 7-entry destination-port table, two protocols, and
+/// packet lengths in `40..=1400`.
+const BASELINE_COLUMNS: &[ColumnProfile] = &[
+    ColumnProfile { name: "time", cardinality: None },
+    ColumnProfile { name: "uts", cardinality: None },
+    ColumnProfile { name: "srcIP", cardinality: Some(4096) },
+    ColumnProfile { name: "destIP", cardinality: Some(513) },
+    ColumnProfile { name: "srcPort", cardinality: Some(64_511) },
+    ColumnProfile { name: "destPort", cardinality: Some(8) },
+    ColumnProfile { name: "proto", cardinality: Some(2) },
+    ColumnProfile { name: "len", cardinality: Some(1461) },
+];
+
+/// The DDoS feed spoofs attack source addresses across the full IPv4
+/// space, so `srcIP` is effectively unbounded for certification.
+const DDOS_COLUMNS: &[ColumnProfile] = &[
+    ColumnProfile { name: "time", cardinality: None },
+    ColumnProfile { name: "uts", cardinality: None },
+    ColumnProfile { name: "srcIP", cardinality: Some(u32::MAX as u64 + 1) },
+    ColumnProfile { name: "destIP", cardinality: Some(513) },
+    ColumnProfile { name: "srcPort", cardinality: Some(64_511) },
+    ColumnProfile { name: "destPort", cardinality: Some(8) },
+    ColumnProfile { name: "proto", cardinality: Some(2) },
+    ColumnProfile { name: "len", cardinality: Some(1461) },
+];
+
+/// Envelopes for every built-in feed.
+///
+/// * `research` — `ResearchRate` clamps to 25,000 pkt/s.
+/// * `datacenter` — 100k pkt/s within a ±2% jitter band: 102,000 peak.
+/// * `burst` — 20k pkt/s busy half-period plus jitter headroom.
+/// * `ddos` — 5k baseline ramping to a 60k attack plateau; 66,000
+///   dominates the plateau plus ramp overshoot.
+pub const FEED_PROFILES: &[FeedProfile] = &[
+    FeedProfile { name: "research", peak_rows_per_sec: 25_000, columns: BASELINE_COLUMNS },
+    FeedProfile { name: "datacenter", peak_rows_per_sec: 102_000, columns: BASELINE_COLUMNS },
+    FeedProfile { name: "burst", peak_rows_per_sec: 21_000, columns: BASELINE_COLUMNS },
+    FeedProfile { name: "ddos", peak_rows_per_sec: 66_000, columns: DDOS_COLUMNS },
+];
+
+/// Look up a feed's declared envelope by `--feed` name.
+pub fn feed_profile(name: &str) -> Option<&'static FeedProfile> {
+    FEED_PROFILES.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::{burst_feed, datacenter_feed, ddos_feed, research_feed};
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_feed_has_a_profile() {
+        for name in ["research", "datacenter", "burst", "ddos"] {
+            assert!(feed_profile(name).is_some(), "missing profile for {name}");
+        }
+        assert!(feed_profile("bogus").is_none());
+    }
+
+    #[test]
+    fn declared_peaks_dominate_observed_rates() {
+        let seconds = 30u64;
+        let cases: Vec<(&str, Vec<sso_types::Packet>)> = vec![
+            ("research", research_feed(11).take_seconds(seconds)),
+            ("datacenter", datacenter_feed(11).take_seconds(seconds)),
+            ("burst", burst_feed(11).take_seconds(seconds)),
+            ("ddos", ddos_feed(11, 5, 25).take_seconds(seconds)),
+        ];
+        for (name, pkts) in cases {
+            let peak = feed_profile(name).unwrap().peak_rows_per_sec;
+            let mut per_second = vec![0u64; seconds as usize];
+            for p in &pkts {
+                per_second[p.time() as usize] += 1;
+            }
+            let observed = per_second.iter().copied().max().unwrap();
+            assert!(
+                observed <= peak,
+                "{name}: observed {observed} pkt/s exceeds declared peak {peak}"
+            );
+        }
+    }
+
+    #[test]
+    fn declared_cardinalities_dominate_observed_values() {
+        let pkts = research_feed(12).take_seconds(20);
+        let profile = feed_profile("research").unwrap();
+        let distinct = |f: fn(&sso_types::Packet) -> u64| -> u64 {
+            pkts.iter().map(f).collect::<HashSet<_>>().len() as u64
+        };
+        let observed: &[(&str, u64)] = &[
+            ("srcIP", distinct(|p| p.src_ip as u64)),
+            ("destIP", distinct(|p| p.dest_ip as u64)),
+            ("srcPort", distinct(|p| p.src_port as u64)),
+            ("destPort", distinct(|p| p.dest_port as u64)),
+            ("proto", distinct(|p| p.proto.number() as u64)),
+            ("len", distinct(|p| p.len as u64)),
+        ];
+        for &(col, seen) in observed {
+            let declared = profile.column_cardinality(col).unwrap().unwrap();
+            assert!(seen <= declared, "{col}: saw {seen} distinct values, declared {declared}");
+        }
+        // uts is declared unbounded because it is per-row unique.
+        assert_eq!(profile.column_cardinality("uts"), Some(None));
+        assert_eq!(distinct(|p| p.uts), pkts.len() as u64);
+    }
+}

@@ -37,7 +37,23 @@ use crate::plan::{references_ordered_column, PlannerConfig};
 pub fn analyze(query: &Query, schema: &Schema, config: &PlannerConfig) -> Vec<Diagnostic> {
     let mut a = Analyzer { schema, config, gb: Vec::new(), diags: Vec::new() };
     a.run(query);
-    a.diags
+    dedupe(a.diags)
+}
+
+/// Collapse duplicate `(code, span)` emissions, keeping first-found
+/// order. A clause visited by both the scope pass and a lint pass can
+/// report the same problem twice; one report is enough.
+pub(crate) fn dedupe(diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut seen: Vec<(Code, Span)> = Vec::with_capacity(diags.len());
+    let mut out = Vec::with_capacity(diags.len());
+    for d in diags {
+        let key = (d.code, d.span);
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.push(d);
+        }
+    }
+    out
 }
 
 /// Which clause an expression appears in; controls name resolution.
@@ -989,6 +1005,35 @@ mod tests {
 
     fn codes(text: &str) -> Vec<Code> {
         diags_for(text).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn duplicate_code_span_pairs_collapse() {
+        // Two passes reporting the same (code, span) must render once;
+        // a same-code diagnostic at a different span survives.
+        let twice = vec![
+            Diagnostic::new(Code::W004, Span::new(3, 7), "from the scope pass"),
+            Diagnostic::new(Code::W004, Span::new(3, 7), "from the lint pass"),
+            Diagnostic::new(Code::W004, Span::new(9, 12), "different span"),
+            Diagnostic::new(Code::E002, Span::new(3, 7), "different code"),
+        ];
+        let out = dedupe(twice);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert_eq!(out[0].message, "from the scope pass", "first emission wins");
+
+        // And end-to-end: no analyze() batch may contain duplicates.
+        for q in [
+            "SELECT tb, nope, nope FROM PKT WHERE nope > 1 GROUP BY time/60 as tb",
+            "SELECT tb, len AS x, len AS x FROM PKT GROUP BY time/60 as tb",
+        ] {
+            let parsed = parse_query(q).unwrap();
+            let d = analyze(&parsed, &Packet::schema(), &PlannerConfig::standard());
+            for (i, a) in d.iter().enumerate() {
+                for b in &d[i + 1..] {
+                    assert!(!(a.code == b.code && a.span == b.span), "duplicate in {d:?}");
+                }
+            }
+        }
     }
 
     #[test]

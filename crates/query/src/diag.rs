@@ -33,7 +33,8 @@ impl Severity {
 
 /// Stable diagnostic codes. `E...` are errors, `W...` warnings; `W1xx`
 /// codes come from the Gigascope cascade linter rather than the
-/// single-query analyzer.
+/// single-query analyzer, and `W2xx` codes from the `sso-analysis`
+/// static audit pass (memory bounds, skew, degradation safety).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// Lexical error (bad character, unterminated string).
@@ -81,6 +82,21 @@ pub enum Code {
     /// Query is not shard-mergeable: it cannot run on a partitioned
     /// multi-shard runtime.
     W102,
+    /// Unbounded state: exact GROUP BY over an unbounded-cardinality
+    /// key with no sampling operator to cap the group table.
+    W201,
+    /// Skew hazard: partition-key cardinality is below the shard count
+    /// (or constant), so the router cannot spread load.
+    W202,
+    /// Non-mergeable plan requested with `--shards > 1`; the static
+    /// upgrade of the runtime-discovered [`W102`](Code::W102).
+    W203,
+    /// Shed-unsafe: `Backpressure::Shed` weights by a column the plan
+    /// cannot prove numeric and non-negative.
+    W204,
+    /// Deletion-unsafe sampler: the plan's sampling state cannot absorb
+    /// retractions on a turnstile stream.
+    W205,
 }
 
 impl Code {
@@ -109,6 +125,11 @@ impl Code {
             Code::W005 => "W005",
             Code::W101 => "W101",
             Code::W102 => "W102",
+            Code::W201 => "W201",
+            Code::W202 => "W202",
+            Code::W203 => "W203",
+            Code::W204 => "W204",
+            Code::W205 => "W205",
         }
     }
 
@@ -156,6 +177,11 @@ impl std::str::FromStr for Code {
             "W005" => Code::W005,
             "W101" => Code::W101,
             "W102" => Code::W102,
+            "W201" => Code::W201,
+            "W202" => Code::W202,
+            "W203" => Code::W203,
+            "W204" => Code::W204,
+            "W205" => Code::W205,
             other => return Err(format!("unknown diagnostic code `{other}`")),
         })
     }
@@ -599,6 +625,11 @@ mod tests {
             Code::W005,
             Code::W101,
             Code::W102,
+            Code::W201,
+            Code::W202,
+            Code::W203,
+            Code::W204,
+            Code::W205,
         ] {
             assert_eq!(code.as_str().parse::<Code>().unwrap(), code);
         }

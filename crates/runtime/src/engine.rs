@@ -33,7 +33,7 @@ use std::time::Duration;
 use rustc_hash::FxHasher;
 use sso_core::{
     panic_message, EvalCtx, Expr, OpError, OperatorMetrics, OperatorSpec, SamplingOperator,
-    ShardPlan, WindowOutput,
+    ShardPlan, SizingHints, WindowOutput,
 };
 use sso_faults::{FaultPlan, WorkerFaultSchedule};
 use sso_obs::{Counter, Gauge, Registry, Stopwatch, UndersampleConfig, UndersampleDetector};
@@ -109,6 +109,11 @@ pub struct RuntimeConfig {
     /// workers. Feed-level events must be applied by the caller via
     /// [`sso_faults::FaultPlan::perturb_packets`].
     pub faults: Option<Arc<FaultPlan>>,
+    /// Pre-sizing hints from the static audit's certified state bounds
+    /// (per shard): group/supergroup tables are reserved up front and
+    /// `ring_batches` overrides [`Self::ring_capacity`]. `None` keeps
+    /// grow-on-demand behaviour.
+    pub sizing: Option<SizingHints>,
 }
 
 impl RuntimeConfig {
@@ -127,6 +132,7 @@ impl RuntimeConfig {
             supervision: Supervision::default(),
             window_deadline: None,
             faults: None,
+            sizing: None,
         }
     }
 
@@ -146,6 +152,19 @@ impl RuntimeConfig {
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.window_deadline = Some(deadline);
         self
+    }
+
+    /// Pre-size per-shard operator tables (and optionally rings) from
+    /// the audit's certified bounds.
+    pub fn with_sizing(mut self, hints: SizingHints) -> Self {
+        self.sizing = Some(hints);
+        self
+    }
+
+    /// The effective ring depth: the sizing hint's override when
+    /// present, the configured default otherwise.
+    fn effective_ring_capacity(&self) -> usize {
+        self.sizing.and_then(|h| h.ring_batches).unwrap_or(self.ring_capacity)
     }
 }
 
@@ -669,7 +688,7 @@ where
     if cfg.shards == 0 {
         return Err(RuntimeError::BadConfig("shards must be positive".into()));
     }
-    if cfg.batch_size == 0 || cfg.ring_capacity == 0 {
+    if cfg.batch_size == 0 || cfg.effective_ring_capacity() == 0 {
         return Err(RuntimeError::BadConfig(
             "batch size and ring capacity must be positive".into(),
         ));
@@ -684,6 +703,9 @@ where
         let mut op =
             SamplingOperator::new(spec).map_err(|source| RuntimeError::Op { shard, source })?;
         op.set_metrics(OperatorMetrics::register(&registry, format!("shard={shard}")));
+        if let Some(hints) = &cfg.sizing {
+            op.reserve(hints);
+        }
         operators.push(op);
     }
 
@@ -716,7 +738,7 @@ where
             let mut txs = Vec::with_capacity(cfg.shards);
             let mut handles = Vec::with_capacity(cfg.shards);
             for (shard, op) in operators.into_iter().enumerate() {
-                let (tx, mut rx) = ring::<Vec<Tuple>>(cfg.ring_capacity);
+                let (tx, mut rx) = ring::<Vec<Tuple>>(cfg.effective_ring_capacity());
                 txs.push(tx);
                 let stats = stats[shard].clone();
                 let depth = ring_depths[shard].clone();

@@ -107,11 +107,15 @@ impl<T: Clone> Reservoir<T> {
     pub fn merge<R: Rng>(&self, other: &Reservoir<T>, rng: &mut R) -> Reservoir<T> {
         let capacity = self.capacity.min(other.capacity);
         let total = self.seen + other.seen;
-        let k = (capacity as u64).min(total) as usize;
+        let available = self.items.len() + other.items.len();
+        let k = ((capacity as u64).min(total) as usize).min(available);
         // Hypergeometric split of the k slots between the two sides.
         let (mut left, mut right) = (self.seen, other.seen);
         let mut from_left = 0usize;
         for _ in 0..k {
+            if left + right == 0 {
+                break;
+            }
             if rng.gen_range(0..left + right) < left {
                 from_left += 1;
                 left -= 1;
@@ -119,6 +123,13 @@ impl<T: Clone> Reservoir<T> {
                 right -= 1;
             }
         }
+        // A side can hold fewer items than its hypergeometric share:
+        // the caller may have built it from grouped output, where
+        // sampled records collapsed onto shared keys. Clamp the split
+        // to what each side can actually supply (k <= available keeps
+        // the clamp bounds ordered).
+        let from_left =
+            from_left.clamp(k.saturating_sub(other.items.len()), self.items.len().min(k));
         // Uniform subset of each side's sample (partial Fisher–Yates).
         let mut items = Vec::with_capacity(capacity);
         for (source, take) in [(self, from_left), (other, k - from_left)] {

@@ -1,0 +1,45 @@
+-- The paper's example-query corpus (sso_core::queries::EXAMPLE_QUERIES),
+-- one statement per query. `scripts/check.sh` audits this file with
+-- `sso audit --json --deny-warnings`; tests/audit.rs asserts it stays
+-- in sync with the library constant. Every query reads a base stream,
+-- so no statement cascades into the next.
+
+SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/60 as tb;
+
+SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKTS
+WHERE ssample(len, 100) = TRUE
+GROUP BY time/60 as tb, srcIP, destIP, uts
+HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY ssclean_with(sum(len)) = TRUE;
+
+SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKTS
+WHERE ssample(len, 1) = TRUE
+GROUP BY time/60 as tb, srcIP, destIP, uts;
+
+SELECT tb, srcIP, sum(len), count(*) FROM TCP
+GROUP BY time/60 as tb, srcIP
+HAVING count(*) >= 50
+CLEANING WHEN local_count(100) = TRUE
+CLEANING BY count(*) + first(current_bucket()) > current_bucket();
+
+SELECT tb, srcIP, HX FROM TCP
+WHERE HX <= Kth_smallest_value$(HX, 10)
+GROUP BY time/60 as tb, srcIP, H(destIP) as HX
+SUPERGROUP tb, srcIP
+HAVING HX <= Kth_smallest_value$(HX, 10)
+CLEANING WHEN count_distinct$(*) > 10
+CLEANING BY HX <= Kth_smallest_value$(HX, 10);
+
+SELECT tb, srcIP, count(*), dscale(), count_distinct$(*) FROM PKT
+WHERE dsample(srcIP, 256) = TRUE
+GROUP BY time/60 as tb, srcIP
+CLEANING WHEN ddo_clean(count_distinct$(*)) = TRUE
+CLEANING BY dclean_with(srcIP) = TRUE;
+
+SELECT tb, srcIP, destIP FROM TCP
+WHERE rsample(25) = TRUE
+GROUP BY time/60 as tb, srcIP, destIP
+HAVING rsfinal_clean(count_distinct$(*)) = TRUE
+CLEANING WHEN rsdo_clean(count_distinct$(*)) = TRUE
+CLEANING BY rsclean_with() = TRUE;

@@ -45,6 +45,38 @@ if [[ "${SSO_CHECK_SANITIZE:-0}" == "1" ]]; then
     fi
 fi
 
+echo "== static audit over the example corpus (bounds certified, schema stable) =="
+# `sso audit` must certify a finite memory ceiling for every example
+# query with zero diagnostics (--deny-warnings), in well under 5s —
+# the pass is pure abstract interpretation, nothing executes. The
+# python step pins the BoundsReport JSON schema so a renamed or
+# dropped field fails CI instead of silently breaking consumers.
+time cargo run -q --bin sso -- audit --json --deny-warnings examples/queries.sql \
+    | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.read())
+report, diags = doc["report"], doc["diagnostics"]
+assert diags == [], f"audit diagnostics on the example corpus: {diags}"
+for key in ("feed", "shards", "budget", "total_state_bytes", "statements"):
+    assert key in report, f"BoundsReport schema drift: missing {key}"
+stmt_keys = {
+    "name", "stream", "sampler", "window_secs", "rows_per_sec",
+    "rows_per_window", "key_cardinality", "supergroup_cardinality",
+    "per_supergroup_bound", "groups_bound", "group_entry_bytes",
+    "supergroup_entry_bytes", "state_bytes", "skew", "mergeable",
+    "deletion_safe",
+}
+stmts = report["statements"]
+assert stmts, "no statements audited"
+for s in stmts:
+    name = s.get("name", "?")
+    assert set(s) == stmt_keys, "StatementBounds schema drift: %s" % (set(s) ^ stmt_keys)
+    assert s["state_bytes"] is not None, "%s: unbounded state" % name
+total = report["total_state_bytes"]
+assert total is not None, "corpus total must be finite"
+print("audit OK: %d statements, total ceiling %d bytes" % (len(stmts), total))
+'
+
 echo "== sso --shards smoke run =="
 cargo run -q --bin sso -- --feed research --seconds 2 --shards 4 \
     "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" >/dev/null

@@ -11,6 +11,7 @@
 //! sso --explain "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKT ..."
 //!
 //! sso check queries.sql        # static analysis only; exits 1 on errors
+//! sso audit queries.sql        # certify memory bounds + skew safety statically
 //! sso run --metrics - 'QUERY'  # run + dump telemetry snapshots as JSON
 //! sso top 'QUERY'              # live metrics view while the query runs
 //! ```
@@ -48,7 +49,19 @@
 //! METRICS for the telemetry meta-stream) is treated as the high level
 //! of a Gigascope cascade: it is checked against the previous query's
 //! output schema, and the pair gets the partial-aggregation push-down
-//! lint (W101).
+//! lint (W101). `--deny-warnings` makes warnings fail the exit code
+//! too.
+//!
+//! `sso audit FILE` goes further: it runs the `sso-analysis` abstract
+//! interpretation over the same cascade, certifying a memory ceiling
+//! per query against a declared feed envelope (`--feed`, default
+//! research), a router-skew verdict at `--shards N`, and degradation
+//! behavior (W201–W205). `--budget BYTES` makes the command fail when
+//! the certified total exceeds the budget (or cannot be bounded);
+//! `--json` emits the machine-readable `BoundsReport` plus
+//! diagnostics; `--turnstile` additionally flags deletion-unsafe
+//! samplers. Nothing is executed: the verdict comes from the paper's
+//! closed-form state bounds evaluated symbolically.
 
 use std::io::Write;
 
@@ -82,32 +95,14 @@ fn usage() -> ! {
          [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] \
          [--fault-plan FILE] [--fault-seed S] \
          [--metrics[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
-         \x20      sso check [--json] QUERY-FILE"
+         \x20      sso check [--json] [--deny-warnings] QUERY-FILE\n\
+         \x20      sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N] \
+         [--budget BYTES] [--turnstile] QUERY-FILE"
     );
     std::process::exit(2);
 }
 
-/// Split a query file into `;`-separated statements, skipping blanks.
-/// Returns (byte offset of statement start, statement text) pairs so
-/// diagnostics can be re-based onto the whole file.
-fn split_statements(text: &str) -> Vec<(usize, &str)> {
-    let mut out = Vec::new();
-    let mut start = 0usize;
-    let mut in_string = false;
-    for (i, c) in text.char_indices() {
-        match c {
-            '\'' => in_string = !in_string,
-            ';' if !in_string => {
-                out.push((start, &text[start..i]));
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    out.push((start, &text[start..]));
-    out.retain(|(_, s)| !s.trim().is_empty());
-    out
-}
+use stream_sampler::analysis::split_statements;
 
 /// `sso check [--json] FILE`: statically analyze every query in FILE,
 /// printing rustc-style diagnostics — or, with `--json`, one JSON
@@ -116,15 +111,17 @@ fn split_statements(text: &str) -> Vec<(usize, &str)> {
 /// query has errors, 2 on usage or I/O problems.
 fn run_check(args: &[String]) -> ! {
     let mut json = false;
+    let mut deny_warnings = false;
     let mut paths = Vec::new();
     for a in args {
         match a.as_str() {
             "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
             _ => paths.push(a),
         }
     }
     let [path] = paths[..] else {
-        eprintln!("usage: sso check [--json] QUERY-FILE");
+        eprintln!("usage: sso check [--json] [--deny-warnings] QUERY-FILE");
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -205,7 +202,124 @@ fn run_check(args: &[String]) -> ! {
             (e, w) => writeln!(out, "{path}: {e} error(s), {w} warning(s)"),
         };
     }
-    std::process::exit(if errors > 0 { 1 } else { 0 });
+    std::process::exit(if errors > 0 || (deny_warnings && warnings > 0) { 1 } else { 0 });
+}
+
+/// `sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N]
+/// [--budget BYTES] [--turnstile] FILE`: run the static
+/// abstract-interpretation pass over every query in FILE, printing the
+/// certified bounds (or the JSON `BoundsReport`) plus any W2xx
+/// diagnostics. Exits 0 when the file certifies cleanly, 1 on errors,
+/// budget violations, or (with `--deny-warnings`) any warning, 2 on
+/// usage or I/O problems.
+fn run_audit(args: &[String]) -> ! {
+    use stream_sampler::analysis::AuditOptions;
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N] \
+             [--budget BYTES] [--turnstile] QUERY-FILE"
+        );
+        std::process::exit(2);
+    };
+    let mut opts = AuditOptions::default();
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut path = None;
+    let mut i = 0usize;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i - 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        let a = args[i].clone();
+        i += 1;
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--turnstile" => opts.turnstile = true,
+            "--feed" => opts.feed = value(&mut i),
+            "--shards" => {
+                opts.shards = value(&mut i)
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget" => {
+                opts.budget = Some(value(&mut i).parse::<u64>().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            p if !p.starts_with("--") && path.is_none() => path = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    if stream_sampler::netgen::feed_profile(&opts.feed).is_none() {
+        eprintln!(
+            "error: no feed envelope named `{}` (research | datacenter | ddos | burst)",
+            opts.feed
+        );
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    if stream_sampler::analysis::split_statements(&text).is_empty() {
+        eprintln!("error: {path} contains no queries");
+        std::process::exit(2);
+    }
+
+    let outcome = stream_sampler::analysis::audit_file(&text, &opts);
+    let errors = outcome.diagnostics.iter().filter(|d| d.is_error()).count();
+    let warnings = outcome.diagnostics.len() - errors;
+
+    let mut out = std::io::stdout().lock();
+    if json {
+        // One object: the bounds certificate plus every diagnostic, so
+        // CI consumes a single line per audited file.
+        let diags: Vec<String> = outcome.diagnostics.iter().map(|d| d.to_json()).collect();
+        let _ = writeln!(
+            out,
+            "{{\"report\":{},\"diagnostics\":[{}]}}",
+            outcome.report.to_json(),
+            diags.join(",")
+        );
+    } else {
+        for d in &outcome.diagnostics {
+            let _ = writeln!(out, "{}", diag::render_one(&text, &path, d));
+        }
+        for s in &outcome.report.statements {
+            let _ = writeln!(
+                out,
+                "{path}: {}: {} over {} @ {} rows/s -> groups <= {}, state <= {} bytes \
+                 ({}, {}mergeable, skew {})",
+                s.name,
+                s.sampler.label(),
+                s.stream,
+                s.rows_per_sec,
+                s.groups_bound,
+                s.state_bytes,
+                match s.window_secs {
+                    Some(w) => format!("{w}s window"),
+                    None => "no window".to_string(),
+                },
+                if s.mergeable { "" } else { "not " },
+                s.skew,
+            );
+        }
+        let total = outcome.report.total_state_bytes();
+        let _ = match outcome.report.budget {
+            Some(b) if outcome.budget_exceeded() => {
+                writeln!(out, "{path}: BUDGET EXCEEDED: certified {total} bytes > budget {b}")
+            }
+            Some(b) => writeln!(out, "{path}: certified {total} bytes within budget {b}"),
+            None => writeln!(out, "{path}: certified total state <= {total} bytes"),
+        };
+    }
+    let fail = errors > 0 || outcome.budget_exceeded() || (deny_warnings && warnings > 0);
+    std::process::exit(if fail { 1 } else { 0 });
 }
 
 fn parse_args(argv: &[String], top: bool) -> Options {
@@ -307,6 +421,23 @@ fn execute_query(
                 .map_err(|e| stream_sampler::operator::OpError::InvalidSpec(e.to_string()))
         };
         let mut cfg = RuntimeConfig::new(opts.shards);
+        // Pre-size group tables and rings from the static audit's
+        // certified ceilings. With --trace the declared envelope may
+        // not describe the input, but the hints stay sound: reserve()
+        // caps at MAX_RESERVE and the certified bounds are upper
+        // bounds under any rate for the sampler-capped dimensions.
+        if let Some(text) = opts.query.as_deref() {
+            let audit_opts = stream_sampler::analysis::AuditOptions {
+                feed: opts.feed.clone(),
+                shards: opts.shards,
+                ..Default::default()
+            };
+            let outcome = stream_sampler::analysis::audit_file(text, &audit_opts);
+            if let Some(s) = outcome.report.statements.first() {
+                let hints = s.sizing_hints(opts.shards, cfg.batch_size);
+                cfg = cfg.with_sizing(hints);
+            }
+        }
         if let Some(reg) = registry {
             cfg = cfg.with_registry(reg.clone());
         }
@@ -494,6 +625,7 @@ fn main() {
     let mut top = false;
     match argv.first().map(String::as_str) {
         Some("check") => run_check(&argv[1..]),
+        Some("audit") => run_audit(&argv[1..]),
         Some("run") => {
             argv.remove(0);
         }

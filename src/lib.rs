@@ -20,6 +20,7 @@
 //! | [`faults`] | `sso-faults` | seeded, replayable fault plans: worker panics/stalls, bursts, reordering, skew, malformed tuples |
 //! | [`gigascope`] | `sso-gigascope` | ring buffer, two-level plans, CPU accounting |
 //! | [`netgen`] | `sso-netgen` | synthetic research-center and data-center packet feeds |
+//! | [`analysis`] | `sso-analysis` | static audit: abstract interpretation certifying memory bounds, skew safety, degradation behavior |
 //!
 //! ## Quick start
 //!
@@ -47,6 +48,7 @@
 //! }
 //! ```
 
+pub use sso_analysis as analysis;
 pub use sso_core as operator;
 pub use sso_faults as faults;
 pub use sso_gigascope as gigascope;

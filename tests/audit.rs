@@ -1,0 +1,132 @@
+//! Dynamic cross-checks of the static audit pass.
+//!
+//! `sso-analysis` certifies state ceilings without executing anything;
+//! these tests run the same queries on real synthetic traffic, with the
+//! telemetry registry attached, and assert the *observed* peak state
+//! never exceeds the *certified* ceiling — the soundness contract the
+//! abstract interpretation claims.
+
+use stream_sampler::analysis::{audit_file, split_statements, AuditOptions};
+use stream_sampler::operator::queries::EXAMPLE_QUERIES;
+use stream_sampler::operator::{OpError, OperatorMetrics};
+use stream_sampler::prelude::*;
+
+/// Peak live groups / supergroups while processing `packets`, sampled
+/// after every tuple (stronger than a gauge read at window close).
+fn observed_peak(text: &str, packets: &[Packet]) -> (usize, usize) {
+    let mut op = compile(text, &Packet::schema(), &PlannerConfig::standard()).unwrap();
+    let registry = Registry::new();
+    op.set_metrics(OperatorMetrics::register(&registry, ""));
+    let (mut peak_groups, mut peak_supergroups) = (0usize, 0usize);
+    for p in packets {
+        op.process(&p.to_tuple()).unwrap();
+        peak_groups = peak_groups.max(op.group_count());
+        peak_supergroups = peak_supergroups.max(op.supergroup_count());
+    }
+    op.finish().unwrap();
+    (peak_groups, peak_supergroups)
+}
+
+#[test]
+fn observed_peak_state_stays_under_certified_ceiling() {
+    // Three sampler families over two full windows of research traffic.
+    let packets = research_feed(7).take_seconds(130);
+    let opts = AuditOptions::default();
+    for name in ["subset_sum_query", "reservoir_query", "distinct_sample_query"] {
+        let text = EXAMPLE_QUERIES.iter().find(|(n, _)| *n == name).unwrap().1;
+        let out = audit_file(text, &opts);
+        assert!(!out.has_errors(), "{name}: {:?}", out.diagnostics);
+        let s = &out.report.statements[0];
+        let certified = s
+            .groups_bound
+            .finite()
+            .unwrap_or_else(|| panic!("{name}: the audit must certify a finite group ceiling"));
+        let (peak_groups, peak_supergroups) = observed_peak(text, &packets);
+        assert!(
+            peak_groups as u64 <= certified,
+            "{name}: observed peak {peak_groups} groups exceeds certified ceiling {certified}"
+        );
+        if let Some(sg) = s.supergroup_cardinality.min(s.rows_per_window).finite() {
+            assert!(
+                peak_supergroups as u64 <= sg,
+                "{name}: observed {peak_supergroups} supergroups exceeds certified {sg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn example_corpus_file_matches_library_constant() {
+    // scripts/check.sh audits examples/queries.sql; this pins the file
+    // to sso_core::EXAMPLE_QUERIES so the CI corpus cannot drift.
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/queries.sql"))
+            .unwrap();
+    let normalize = |s: &str| -> String {
+        let no_comments: String = s
+            .lines()
+            .map(|l| l.split_once("--").map(|(code, _)| code).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join(" ");
+        no_comments.split_whitespace().collect::<Vec<_>>().join(" ")
+    };
+    let statements = split_statements(&text);
+    assert_eq!(statements.len(), EXAMPLE_QUERIES.len());
+    for ((_, stmt), (name, expected)) in statements.iter().zip(EXAMPLE_QUERIES) {
+        assert_eq!(normalize(stmt), normalize(expected), "corpus drifted for {name}");
+    }
+}
+
+#[test]
+fn example_corpus_audits_clean_and_bounded() {
+    // The same invariant check.sh enforces with --deny-warnings: the
+    // whole corpus certifies finite ceilings with no diagnostics under
+    // the research envelope at one shard.
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/queries.sql"))
+            .unwrap();
+    let out = audit_file(&text, &AuditOptions::default());
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    assert_eq!(out.report.statements.len(), EXAMPLE_QUERIES.len());
+    for s in &out.report.statements {
+        assert!(s.state_bytes.is_finite(), "{}: unbounded state", s.name);
+    }
+    assert!(out.report.total_state_bytes().is_finite());
+}
+
+#[test]
+fn sizing_hints_preserve_sharded_output() {
+    // Pre-sizing from the certificate is a pure capacity hint. Sharded
+    // reservoir output is not bit-identical run to run (worker timing
+    // interleaves the per-shard sample draws), so compare structure:
+    // same windows, full coverage, and every window within the
+    // certified ceiling.
+    let (_, text) = EXAMPLE_QUERIES.iter().find(|(n, _)| *n == "reservoir_query").unwrap();
+    let packets = research_feed(11).take_seconds(130);
+    let schema = Packet::schema();
+    let config = PlannerConfig::standard();
+    let parsed = parse_query(text).unwrap();
+    let run = |cfg: &RuntimeConfig| {
+        let make = |_shard: usize| {
+            stream_sampler::query::plan(&parsed, &schema, &config)
+                .map_err(|e| OpError::InvalidSpec(e.to_string()))
+        };
+        run_plan_sharded(Box::new(SelectionNode::pass_all()), make, cfg, packets.clone()).unwrap()
+    };
+    let plain = run(&RuntimeConfig::new(2));
+
+    let out = audit_file(text, &AuditOptions { shards: 2, ..AuditOptions::default() });
+    let bounds = &out.report.statements[0];
+    let hints = bounds.sizing_hints(2, RuntimeConfig::new(2).batch_size);
+    assert!(hints.groups > 0, "certificate must yield a reservation");
+    let sized = run(&RuntimeConfig::new(2).with_sizing(hints));
+
+    assert_eq!(plain.windows.len(), sized.windows.len());
+    let ceiling = bounds.groups_bound.finite().unwrap() as usize;
+    for (a, b) in plain.windows.iter().zip(&sized.windows) {
+        assert_eq!(a.window, b.window, "same window keys in the same order");
+        assert!(!b.rows.is_empty());
+        assert!(b.rows.len() <= ceiling, "{} rows > certified {ceiling}", b.rows.len());
+    }
+    assert_eq!(sized.coverage, 1.0, "pre-sizing must not shed or degrade");
+}
