@@ -32,13 +32,23 @@ pub struct AuditOptions {
     /// Optional total-state budget in bytes; the report records it and
     /// [`AuditOutcome::budget_exceeded`] reflects the verdict.
     pub budget: Option<u64>,
+    /// Optional durable-run `--state-budget` in bytes; the report's
+    /// `durable` section records it and W206 fires when it is below the
+    /// spill pager's two-page-per-shard working-set floor.
+    pub state_budget: Option<u64>,
     /// Emit W205 for deletion-unsafe plans (turnstile deployments).
     pub turnstile: bool,
 }
 
 impl Default for AuditOptions {
     fn default() -> Self {
-        AuditOptions { feed: "research".to_string(), shards: 1, budget: None, turnstile: false }
+        AuditOptions {
+            feed: "research".to_string(),
+            shards: 1,
+            budget: None,
+            state_budget: None,
+            turnstile: false,
+        }
     }
 }
 
@@ -168,10 +178,34 @@ pub fn audit_file(text: &str, opts: &AuditOptions) -> AuditOutcome {
         prev = next;
     }
 
+    // W206: --state-budget below the spill pager's working-set floor.
+    if let Some(budget) = opts.state_budget {
+        let floor = 2 * sso_core::snapshot::PAGE_BYTES as u64;
+        let per_shard = budget / opts.shards.max(1) as u64;
+        if per_shard < floor {
+            diagnostics.push(
+                Diagnostic::new(
+                    Code::W206,
+                    Span::DUMMY,
+                    format!(
+                        "--state-budget {budget} leaves each of {} shards {per_shard} bytes, \
+                         below the pager's two-page working set ({floor} bytes)",
+                        opts.shards.max(1)
+                    ),
+                )
+                .with_help(
+                    "the spill pager pins the open page and the touched page; give each \
+                     shard at least two pages or lower --shards",
+                ),
+            );
+        }
+    }
+
     let report = BoundsReport {
         feed: opts.feed.clone(),
         shards: opts.shards,
         budget: opts.budget,
+        state_budget: opts.state_budget,
         statements,
     };
     AuditOutcome { report, diagnostics }

@@ -195,6 +195,23 @@ mod tests {
     }
 
     #[test]
+    fn tiny_state_budget_raises_w206() {
+        let page = sso_core::snapshot::PAGE_BYTES as u64;
+        // One page split across 4 shards is under the two-page floor.
+        let tiny = AuditOptions { shards: 4, state_budget: Some(page), ..AuditOptions::default() };
+        let out = audit_file(EXAMPLE_QUERIES[1].1, &tiny);
+        assert!(out.diagnostics.iter().any(|d| d.code == Code::W206), "{:?}", out.diagnostics);
+        // Two pages per shard is exactly the floor: silent.
+        let ok =
+            AuditOptions { shards: 4, state_budget: Some(8 * page), ..AuditOptions::default() };
+        let out = audit_file(EXAMPLE_QUERIES[1].1, &ok);
+        assert!(out.diagnostics.iter().all(|d| d.code != Code::W206));
+        // No budget, no lint.
+        let out = audit_file(EXAMPLE_QUERIES[1].1, &AuditOptions::default());
+        assert!(out.diagnostics.iter().all(|d| d.code != Code::W206));
+    }
+
+    #[test]
     fn budget_verdict() {
         let over = AuditOptions { budget: Some(1), ..AuditOptions::default() };
         let out = audit_file(EXAMPLE_QUERIES[6].1, &over);

@@ -97,6 +97,51 @@ impl StatementBounds {
     }
 }
 
+/// Fixed per-checkpoint overhead beyond the state payload: magic,
+/// version, the meta frame's header and fixed fields.
+pub const SNAPSHOT_HEADER_BYTES: u64 = 64;
+
+/// Fixed per-WAL-record overhead: the frame header (checksum + length),
+/// the sequence number, and the three section length prefixes.
+pub const WAL_RECORD_OVERHEAD: u64 = 32;
+
+/// Certified durable-state overheads for a `--durable` run: what the
+/// store writes per closed window, and what the spill pager needs to
+/// stay under a `--state-budget`.
+#[derive(Debug, Clone)]
+pub struct DurableBounds {
+    /// Ceiling on checkpoint snapshot bytes per window: the certified
+    /// state-bytes ceiling plus [`SNAPSHOT_HEADER_BYTES`].
+    pub snapshot_bytes_per_window: Card,
+    /// Ceiling on WAL bytes appended per window: one carry-over record
+    /// per live supergroup plus [`WAL_RECORD_OVERHEAD`].
+    pub wal_bytes_per_window: Card,
+    /// Spill pages needed to hold the certified state ceiling.
+    pub spill_pages: Card,
+    /// Per-run working-set floor for `--state-budget`: the pager pins
+    /// two pages per shard, so budgets below this cannot be enforced
+    /// (the W206 lint fires).
+    pub min_state_budget: u64,
+    /// The audited `--state-budget`, if one was given.
+    pub state_budget: Option<u64>,
+}
+
+impl DurableBounds {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"snapshot_bytes_per_window\":{},\"wal_bytes_per_window\":{},",
+                "\"spill_pages\":{},\"min_state_budget\":{},\"state_budget\":{}}}"
+            ),
+            self.snapshot_bytes_per_window.to_json(),
+            self.wal_bytes_per_window.to_json(),
+            self.spill_pages.to_json(),
+            self.min_state_budget,
+            self.state_budget.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
+        )
+    }
+}
+
 /// The audit's certificate for one file: every statement's bounds under
 /// one feed envelope and shard count.
 #[derive(Debug, Clone)]
@@ -107,6 +152,9 @@ pub struct BoundsReport {
     pub shards: usize,
     /// The `--budget` limit, if one was given.
     pub budget: Option<u64>,
+    /// The `--state-budget` limit, if one was given (recorded in the
+    /// `durable` section; drives W206).
+    pub state_budget: Option<u64>,
     /// Per-statement bounds, in file order.
     pub statements: Vec<StatementBounds>,
 }
@@ -118,18 +166,41 @@ impl BoundsReport {
         self.statements.iter().fold(Card::Finite(0), |acc, s| acc + s.state_bytes)
     }
 
+    /// Certified durable-run overheads derived from the state bounds.
+    pub fn durable(&self) -> DurableBounds {
+        let state = self.total_state_bytes();
+        let wal = self.statements.iter().fold(Card::Finite(0), |acc, s| {
+            let supergroup_bound = s.supergroup_cardinality.min(s.rows_per_window);
+            acc + supergroup_bound.times(s.supergroup_entry_bytes)
+                + Card::Finite(WAL_RECORD_OVERHEAD)
+        });
+        let page = sso_core::snapshot::PAGE_BYTES as u64;
+        let spill_pages = match state.finite() {
+            Some(b) => Card::Finite(b.div_ceil(page)),
+            None => Card::Unbounded,
+        };
+        DurableBounds {
+            snapshot_bytes_per_window: state + Card::Finite(SNAPSHOT_HEADER_BYTES),
+            wal_bytes_per_window: wal,
+            spill_pages,
+            min_state_budget: 2 * page * self.shards.max(1) as u64,
+            state_budget: self.state_budget,
+        }
+    }
+
     /// Field-stable JSON rendering.
     pub fn to_json(&self) -> String {
         let stmts: Vec<String> = self.statements.iter().map(|s| s.to_json()).collect();
         format!(
             concat!(
                 "{{\"feed\":{},\"shards\":{},\"budget\":{},",
-                "\"total_state_bytes\":{},\"statements\":[{}]}}"
+                "\"total_state_bytes\":{},\"durable\":{},\"statements\":[{}]}}"
             ),
             json_str(&self.feed),
             self.shards,
             self.budget.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
             self.total_state_bytes().to_json(),
+            self.durable().to_json(),
             stmts.join(","),
         )
     }
@@ -185,6 +256,7 @@ mod tests {
             feed: "research".into(),
             shards: 4,
             budget: Some(8_000_000),
+            state_budget: None,
             statements: vec![sample_statement()],
         };
         let json = report.to_json();
@@ -192,7 +264,40 @@ mod tests {
         assert!(json.contains("\"sampler\":\"reservoir(n=25)\""));
         assert!(json.contains("\"key_cardinality\":null"), "unbounded renders as null");
         assert!(json.contains("\"total_state_bytes\":6125376"));
+        assert!(json.contains("\"durable\":{\"snapshot_bytes_per_window\":"));
         assert!(json.contains("\"deletion_safe\":true"));
+    }
+
+    #[test]
+    fn durable_bounds_track_state_and_pages() {
+        let page = sso_core::snapshot::PAGE_BYTES as u64;
+        let report = BoundsReport {
+            feed: "research".into(),
+            shards: 4,
+            budget: None,
+            state_budget: Some(page),
+            statements: vec![sample_statement()],
+        };
+        let d = report.durable();
+        assert_eq!(d.snapshot_bytes_per_window.finite(), Some(6_125_376 + SNAPSHOT_HEADER_BYTES));
+        // 61 supergroups × 256 bytes + one record's frame overhead.
+        assert_eq!(d.wal_bytes_per_window.finite(), Some(61 * 256 + WAL_RECORD_OVERHEAD));
+        assert_eq!(d.spill_pages.finite(), Some(6_125_376u64.div_ceil(page)));
+        assert_eq!(d.min_state_budget, 2 * page * 4);
+        assert_eq!(d.state_budget, Some(page));
+
+        let mut unbounded = sample_statement();
+        unbounded.state_bytes = Card::Unbounded;
+        let report = BoundsReport {
+            feed: "research".into(),
+            shards: 1,
+            budget: None,
+            state_budget: None,
+            statements: vec![unbounded],
+        };
+        let d = report.durable();
+        assert!(!d.snapshot_bytes_per_window.is_finite());
+        assert!(!d.spill_pages.is_finite());
     }
 
     #[test]

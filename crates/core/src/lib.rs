@@ -37,6 +37,7 @@ pub mod operator;
 pub mod queries;
 pub mod scalar;
 pub mod sfun;
+pub mod snapshot;
 pub mod superagg;
 
 pub use agg::{AggSpec, AggState};
@@ -45,8 +46,8 @@ pub use expr::{BinOp, EvalCtx, Expr};
 pub use merge::{shard_plan, ColumnRule, MergeRule, NotMergeable, ShardPlan};
 pub use metrics::OperatorMetrics;
 pub use operator::{
-    Degradation, OperatorSpec, OperatorStats, SamplingOperator, SizingHints, WindowOutput,
-    WindowStats,
+    Degradation, OperatorSpec, OperatorStats, PagedBackend, SamplingOperator, SizingHints,
+    SpillStats, WindowOutput, WindowStats,
 };
 pub use sfun::{SfunLibrary, SfunStates, SfunTelemetry, Signature};
 pub use superagg::{SuperAggSpec, SuperAggState};

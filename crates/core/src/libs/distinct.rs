@@ -18,6 +18,7 @@
 //! *event report* for value `x` is `count(*) · dscale()`.
 
 use sso_sampling::hash::splitmix64;
+use sso_types::wire::{put_u64, Reader};
 use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::u64_arg;
@@ -50,6 +51,24 @@ pub struct DistinctSfunState {
     pub level: u32,
 }
 
+impl DistinctSfunState {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        put_u64(&mut out, self.capacity as u64);
+        put_u64(&mut out, u64::from(self.level));
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let st = DistinctSfunState {
+            capacity: r.take_u64().ok()? as usize,
+            level: r.take_u64().ok()? as u32,
+        };
+        r.is_empty().then_some(st)
+    }
+}
+
 fn value_level(v: u64) -> u32 {
     splitmix64(v).trailing_zeros()
 }
@@ -68,6 +87,12 @@ pub fn library(cfg: DistinctOpConfig) -> SfunLibrary {
             .unwrap_or(cfg.capacity);
         Box::new(DistinctSfunState { capacity, level })
     })
+    .with_persist(
+        |state| state.downcast_ref::<DistinctSfunState>().map(DistinctSfunState::encode),
+        |bytes| {
+            DistinctSfunState::decode(bytes).map(|s| Box::new(s) as Box<dyn std::any::Any + Send>)
+        },
+    )
     .register(
         "dsample",
         // Second (capacity) argument is only needed when the config

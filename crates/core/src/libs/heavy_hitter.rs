@@ -23,6 +23,7 @@
 //! under the operator's false-means-evict semantics the keep form above
 //! is the consistent one.)
 
+use sso_types::wire::{put_u64, Reader};
 use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::u64_arg;
@@ -38,10 +39,32 @@ pub struct HeavyHitterState {
     pub count: u64,
 }
 
+impl HeavyHitterState {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        put_u64(&mut out, self.w);
+        put_u64(&mut out, self.count);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let st = HeavyHitterState { w: r.take_u64().ok()?, count: r.take_u64().ok()? };
+        r.is_empty().then_some(st)
+    }
+}
+
 /// Build the heavy-hitter SFUN library. State is per-window (no
 /// carry-over): the paper's query emits its report every window.
 pub fn library() -> SfunLibrary {
     SfunLibrary::new("heavy_hitter_state", |_prev| Box::new(HeavyHitterState::default()))
+        .with_persist(
+            |state| state.downcast_ref::<HeavyHitterState>().map(HeavyHitterState::encode),
+            |bytes| {
+                HeavyHitterState::decode(bytes)
+                    .map(|s| Box::new(s) as Box<dyn std::any::Any + Send>)
+            },
+        )
         .register("local_count", Signature::exact(1, ValueKind::Bool), |state, argv| {
             let s = state_mut::<HeavyHitterState>(state, "local_count")?;
             if s.w == 0 {

@@ -12,9 +12,11 @@
 //! `still_needed / still_remaining`, which keeps *exactly* `n`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sso_types::wire::{put_u64, Reader};
 use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::u64_arg;
@@ -52,6 +54,46 @@ pub struct ReservoirSfunState {
 }
 
 impl ReservoirSfunState {
+    /// Serialize, capturing the raw RNG words: `gen_range` rejection
+    /// sampling makes draw counts unreproducible, so only exact state
+    /// restoration continues the random stream correctly.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(72);
+        put_u64(&mut out, self.n as u64);
+        put_u64(&mut out, u64::from(self.t_factor));
+        put_u64(&mut out, self.seen);
+        for w in self.rng.state() {
+            put_u64(&mut out, w);
+        }
+        put_u64(&mut out, self.keep_left as u64);
+        put_u64(&mut out, self.total_left as u64);
+        out.push(u8::from(self.final_started));
+        out.push(u8::from(self.final_subsample));
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let n = r.take_u64().ok()? as usize;
+        let t_factor = r.take_u64().ok()? as u32;
+        let seen = r.take_u64().ok()?;
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = r.take_u64().ok()?;
+        }
+        let st = ReservoirSfunState {
+            n,
+            t_factor,
+            seen,
+            rng: StdRng::from_state(words),
+            keep_left: r.take_u64().ok()? as usize,
+            total_left: r.take_u64().ok()? as usize,
+            final_started: r.take_u8().ok()? != 0,
+            final_subsample: r.take_u8().ok()? != 0,
+        };
+        r.is_empty().then_some(st)
+    }
+
     fn selection_step(&mut self) -> bool {
         if self.total_left == 0 {
             return false;
@@ -69,8 +111,12 @@ impl ReservoirSfunState {
 /// across windows; each window samples afresh.
 pub fn library(cfg: ReservoirOpConfig) -> SfunLibrary {
     let cfg_n = cfg.n;
-    // Distinct deterministic RNG stream per created state.
-    let instance = AtomicU64::new(0);
+    // Distinct deterministic RNG stream per created state. Shared with
+    // the persistence hooks so a resumed run hands later states the
+    // same per-instance seeds the original run would have.
+    let instance = Arc::new(AtomicU64::new(0));
+    let aux_enc = Arc::clone(&instance);
+    let aux_dec = Arc::clone(&instance);
     SfunLibrary::new("reservoir_sampling_state", move |_prev| {
         let k = instance.fetch_add(1, Ordering::Relaxed);
         Box::new(ReservoirSfunState {
@@ -84,6 +130,26 @@ pub fn library(cfg: ReservoirOpConfig) -> SfunLibrary {
             final_subsample: false,
         })
     })
+    .with_persist(
+        |state| state.downcast_ref::<ReservoirSfunState>().map(ReservoirSfunState::encode),
+        |bytes| {
+            ReservoirSfunState::decode(bytes).map(|s| Box::new(s) as Box<dyn std::any::Any + Send>)
+        },
+    )
+    .with_persist_aux(
+        move || {
+            let mut out = Vec::with_capacity(8);
+            put_u64(&mut out, aux_enc.load(Ordering::Relaxed));
+            out
+        },
+        move |bytes| match Reader::new(bytes).take_u64() {
+            Ok(v) => {
+                aux_dec.store(v, Ordering::Relaxed);
+                true
+            }
+            Err(_) => false,
+        },
+    )
     .register(
         "rsample",
         // The sample size argument is only needed when the config does

@@ -19,6 +19,7 @@
 //! | `sscleanings()` | SELECT | cleaning phases this window (Figure 4's metric) |
 
 use sso_sampling::subset_sum::ThresholdCarry;
+use sso_types::wire::{put_f64, put_u32, put_u64, Reader};
 use sso_types::{Value, ValueKind};
 
 use crate::sfun::args::{f64_arg, u64_arg};
@@ -168,6 +169,61 @@ impl SubsetSumSfunState {
         keep
     }
 
+    /// Serialize every field (threshold trajectory, pass accumulators,
+    /// counters) so a restored state continues the stream byte-exactly.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(136);
+        put_u64(&mut out, self.cfg.target as u64);
+        put_f64(&mut out, self.cfg.gamma);
+        put_f64(&mut out, self.cfg.initial_z);
+        put_f64(&mut out, self.cfg.relax_factor);
+        put_u64(&mut out, self.target as u64);
+        put_f64(&mut out, self.z);
+        put_f64(&mut out, self.z_prev);
+        put_f64(&mut out, self.admit_counter);
+        put_f64(&mut out, self.clean_counter);
+        put_f64(&mut out, self.sample_weight);
+        put_u64(&mut out, self.big_count as u64);
+        put_f64(&mut out, self.pass_weight);
+        put_u64(&mut out, self.pass_big as u64);
+        out.push(u8::from(self.in_pass));
+        out.push(u8::from(self.final_started));
+        out.push(u8::from(self.final_subsample));
+        put_u64(&mut out, self.admissions);
+        put_u64(&mut out, self.offered);
+        put_u32(&mut out, self.cleanings);
+        put_u64(&mut out, self.final_kept);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let cfg = SubsetSumOpConfig {
+            target: r.take_u64().ok()? as usize,
+            gamma: r.take_f64().ok()?,
+            initial_z: r.take_f64().ok()?,
+            relax_factor: r.take_f64().ok()?,
+        };
+        let mut st = SubsetSumSfunState::new(cfg, 0.0);
+        st.target = r.take_u64().ok()? as usize;
+        st.z = r.take_f64().ok()?;
+        st.z_prev = r.take_f64().ok()?;
+        st.admit_counter = r.take_f64().ok()?;
+        st.clean_counter = r.take_f64().ok()?;
+        st.sample_weight = r.take_f64().ok()?;
+        st.big_count = r.take_u64().ok()? as usize;
+        st.pass_weight = r.take_f64().ok()?;
+        st.pass_big = r.take_u64().ok()? as usize;
+        st.in_pass = r.take_u8().ok()? != 0;
+        st.final_started = r.take_u8().ok()? != 0;
+        st.final_subsample = r.take_u8().ok()? != 0;
+        st.admissions = r.take_u64().ok()?;
+        st.offered = r.take_u64().ok()?;
+        st.cleanings = r.take_u32().ok()?;
+        st.final_kept = r.take_u64().ok()?;
+        r.is_empty().then_some(st)
+    }
+
     /// Admission decision for a tuple of the given weight.
     fn admit(&mut self, weight: f64) -> bool {
         self.fold_pass();
@@ -219,6 +275,12 @@ pub fn library(cfg: SubsetSumOpConfig) -> SfunLibrary {
             s.final_kept = 0;
         }
     })
+    .with_persist(
+        |state| state.downcast_ref::<SubsetSumSfunState>().map(SubsetSumSfunState::encode),
+        |bytes| {
+            SubsetSumSfunState::decode(bytes).map(|s| Box::new(s) as Box<dyn std::any::Any + Send>)
+        },
+    )
     .with_telemetry(|state| {
         state.downcast_ref::<SubsetSumSfunState>().map(|s| SfunTelemetry {
             threshold: s.z,

@@ -28,6 +28,7 @@ use std::any::Any;
 use std::sync::Arc;
 
 use rustc_hash::FxHashMap;
+use sso_types::wire::{put_bytes, put_tuple, put_u32, take_tuple, Reader};
 use sso_types::{Tuple, Value};
 
 use crate::agg::{AggSpec, AggState};
@@ -179,18 +180,18 @@ impl OperatorSpec {
 
 /// Size of one dynamically-typed [`Value`] (discriminant + payload,
 /// padded).
-const VALUE_BYTES: usize = 24;
+pub const VALUE_BYTES: usize = 24;
 /// `Vec` header (pointer + length + capacity).
-const TUPLE_HEADER_BYTES: usize = 24;
+pub const TUPLE_HEADER_BYTES: usize = 24;
 /// One aggregate state (tagged union of running value(s)).
-const AGG_STATE_BYTES: usize = 48;
+pub const AGG_STATE_BYTES: usize = 48;
 /// One superaggregate state; `KthSmallest` keeps a k-bounded heap whose
 /// elements are accounted to the groups they shadow.
-const SUPERAGG_STATE_BYTES: usize = 64;
+pub const SUPERAGG_STATE_BYTES: usize = 64;
 /// One boxed SFUN state (e.g. the subset-sum threshold record).
-const SFUN_STATE_BYTES: usize = 96;
+pub const SFUN_STATE_BYTES: usize = 96;
 /// Amortized hash-table slot overhead per entry.
-const HASH_SLOT_BYTES: usize = 16;
+pub const HASH_SLOT_BYTES: usize = 16;
 
 /// Pre-sizing hints for an operator instance, produced by the static
 /// audit's [`OperatorSpec`]-level state bounds (`sso-analysis`
@@ -220,6 +221,115 @@ impl SizingHints {
 #[derive(Debug)]
 struct GroupEntry {
     aggs: Vec<AggState>,
+}
+
+/// A pluggable group-table backend that may page entries to disk.
+///
+/// The operator's group table is normally an in-RAM hash map. When live
+/// state would exceed a configured budget, `sso-store` substitutes a
+/// paged table (fixed-size pages, clock eviction, spill file) through
+/// this trait. Lookups take `&mut self` because a miss may fault a page
+/// in — and evict another to stay under budget.
+pub trait PagedBackend: Send {
+    /// Is this key present (resident or spilled)?
+    fn contains(&mut self, key: &Tuple) -> bool;
+    /// Insert a new entry (the key must not already be present).
+    fn insert(&mut self, key: Tuple, aggs: Vec<AggState>);
+    /// Mutable access to an entry's aggregate states, faulting its page
+    /// in if spilled.
+    fn aggs_mut(&mut self, key: &Tuple) -> Option<&mut Vec<AggState>>;
+    /// Remove an entry, returning its aggregate states.
+    fn remove(&mut self, key: &Tuple) -> Option<Vec<AggState>>;
+    /// Live entries (resident + spilled).
+    fn len(&self) -> usize;
+    /// Is the table empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Drop every entry and reset the spill file (window close).
+    fn clear(&mut self);
+    /// Size hint from the audit's certified ceiling.
+    fn reserve(&mut self, additional: usize);
+    /// Estimated bytes of RAM-resident state right now.
+    fn resident_bytes(&self) -> u64;
+    /// High-water mark of [`Self::resident_bytes`].
+    fn peak_resident_bytes(&self) -> u64;
+    /// Spilled pages faulted back in so far.
+    fn page_faults(&self) -> u64;
+    /// Pages currently in the spill file.
+    fn spilled_pages(&self) -> u64;
+}
+
+/// Spill counters of a paged group table (see [`PagedBackend`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Estimated bytes of RAM-resident group state.
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: u64,
+    /// Page faults served from the spill file.
+    pub page_faults: u64,
+    /// Pages currently spilled.
+    pub spilled_pages: u64,
+}
+
+/// The group table: in-RAM by default, paged under a state budget.
+enum GroupTable {
+    Ram(FxHashMap<Tuple, GroupEntry>),
+    Paged(Box<dyn PagedBackend>),
+}
+
+impl GroupTable {
+    fn contains(&mut self, key: &Tuple) -> bool {
+        match self {
+            GroupTable::Ram(m) => m.contains_key(key),
+            GroupTable::Paged(b) => b.contains(key),
+        }
+    }
+
+    fn insert(&mut self, key: Tuple, aggs: Vec<AggState>) {
+        match self {
+            GroupTable::Ram(m) => {
+                m.insert(key, GroupEntry { aggs });
+            }
+            GroupTable::Paged(b) => b.insert(key, aggs),
+        }
+    }
+
+    fn aggs_mut(&mut self, key: &Tuple) -> Option<&mut Vec<AggState>> {
+        match self {
+            GroupTable::Ram(m) => m.get_mut(key).map(|e| &mut e.aggs),
+            GroupTable::Paged(b) => b.aggs_mut(key),
+        }
+    }
+
+    fn remove(&mut self, key: &Tuple) -> Option<Vec<AggState>> {
+        match self {
+            GroupTable::Ram(m) => m.remove(key).map(|e| e.aggs),
+            GroupTable::Paged(b) => b.remove(key),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            GroupTable::Ram(m) => m.len(),
+            GroupTable::Paged(b) => b.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            GroupTable::Ram(m) => m.clear(),
+            GroupTable::Paged(b) => b.clear(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            GroupTable::Ram(m) => m.reserve(additional),
+            GroupTable::Paged(b) => b.reserve(additional),
+        }
+    }
 }
 
 /// One supergroup: superaggregates, SFUN states, and its member groups
@@ -332,7 +442,7 @@ pub struct WindowOutput {
 /// The sampling operator runtime.
 pub struct SamplingOperator {
     spec: Arc<OperatorSpec>,
-    groups: FxHashMap<Tuple, GroupEntry>,
+    groups: GroupTable,
     sg_index: FxHashMap<Tuple, usize>,
     sgs: Vec<SupergroupEntry>,
     old_sgs: FxHashMap<Tuple, SfunStates>,
@@ -340,6 +450,11 @@ pub struct SamplingOperator {
     wstats: WindowStats,
     stats: OperatorStats,
     metrics: Option<OperatorMetrics>,
+    // Durable-store support: when enabled, every window flush captures
+    // the carry-over and aux bytes at the boundary, so a worker can
+    // persist them without re-deriving window keys per tuple.
+    capture_flush: bool,
+    flush_state: Option<(Vec<u8>, Vec<u8>)>,
     // Reused per-tuple buffers (group-by values, supergroup key);
     // process() runs for every input tuple, so its allocations dominate
     // rejected-tuple cost.
@@ -364,7 +479,7 @@ impl SamplingOperator {
         spec.validate()?;
         Ok(SamplingOperator {
             spec: Arc::new(spec),
-            groups: FxHashMap::default(),
+            groups: GroupTable::Ram(FxHashMap::default()),
             sg_index: FxHashMap::default(),
             sgs: Vec::new(),
             old_sgs: FxHashMap::default(),
@@ -372,6 +487,8 @@ impl SamplingOperator {
             wstats: WindowStats::default(),
             stats: OperatorStats::default(),
             metrics: None,
+            capture_flush: false,
+            flush_state: None,
             gb_scratch: Vec::new(),
             sg_scratch: Vec::new(),
         })
@@ -382,6 +499,28 @@ impl SamplingOperator {
     /// sampled phase spans touch the clock.
     pub fn set_metrics(&mut self, metrics: OperatorMetrics) {
         self.metrics = Some(metrics);
+    }
+
+    /// Replace the in-RAM group table with a paged (spill-to-disk)
+    /// backend. Must be called before any tuple is processed; existing
+    /// entries are not migrated.
+    pub fn set_group_backend(&mut self, backend: Box<dyn PagedBackend>) {
+        debug_assert_eq!(self.groups.len(), 0, "backend swap on a live group table");
+        self.groups = GroupTable::Paged(backend);
+    }
+
+    /// Spill counters when a paged backend is installed; `None` for the
+    /// default in-RAM table.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        match &self.groups {
+            GroupTable::Ram(_) => None,
+            GroupTable::Paged(b) => Some(SpillStats {
+                resident_bytes: b.resident_bytes(),
+                peak_resident_bytes: b.peak_resident_bytes(),
+                page_faults: b.page_faults(),
+                spilled_pages: b.spilled_pages(),
+            }),
+        }
     }
 
     /// Pre-size the group and supergroup tables from the audit's
@@ -429,6 +568,22 @@ impl SamplingOperator {
     /// plain value vector and stays readable.
     pub fn current_window(&self) -> Option<Tuple> {
         self.window.as_ref().map(|v| Tuple::new(v.clone()))
+    }
+
+    /// Capture [`Self::export_carry`] + [`Self::export_aux`] bytes at
+    /// every window flush, for [`Self::take_flush_state`]. This is how a
+    /// durable worker gets boundary-exact snapshots without evaluating
+    /// window keys per tuple: the operator already detects the boundary
+    /// in [`Self::process`], so it encodes the carry-over right there.
+    pub fn set_capture_flush(&mut self, on: bool) {
+        self.capture_flush = on;
+    }
+
+    /// The carry/aux bytes captured at the most recent window flush
+    /// (see [`Self::set_capture_flush`]), consumed. `None` when capture
+    /// is off or no window has flushed since the last take.
+    pub fn take_flush_state(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        self.flush_state.take()
     }
 
     /// Process one tuple. If the tuple opens a new window, the previous
@@ -534,14 +689,14 @@ impl SamplingOperator {
         }
         // 6. Group lookup / creation and aggregate update.
         let gkey = Tuple::new(gb.clone());
-        let is_new = !self.groups.contains_key(&gkey);
+        let is_new = !self.groups.contains(&gkey);
         if is_new {
             let aggs = spec.aggregates.iter().map(|a| a.init()).collect();
-            self.groups.insert(gkey.clone(), GroupEntry { aggs });
+            self.groups.insert(gkey.clone(), aggs);
             self.wstats.groups_created += 1;
         }
         {
-            let entry = self.groups.get_mut(&gkey).expect("group just ensured");
+            let entry_aggs = self.groups.aggs_mut(&gkey).expect("group just ensured");
             let SupergroupEntry { superaggs, states, groups: sg_groups, .. } =
                 &mut self.sgs[sg_idx];
             for (i, a) in spec.aggregates.iter().enumerate() {
@@ -553,7 +708,7 @@ impl SamplingOperator {
                     superaggs: None,
                     sfun_states: Some(states.as_mut_slice()),
                 };
-                a.update(&mut entry.aggs[i], &mut ctx)?;
+                a.update(&mut entry_aggs[i], &mut ctx)?;
             }
             if is_new {
                 sg_groups.push(gkey.clone());
@@ -598,13 +753,13 @@ impl SamplingOperator {
         let mut kept = Vec::with_capacity(group_keys.len());
         for gkey in group_keys {
             let keep = {
-                let entry = self.groups.get(&gkey).expect("group listed in supergroup");
+                let entry_aggs = self.groups.aggs_mut(&gkey).expect("group listed in supergroup");
                 let SupergroupEntry { superaggs, states, .. } = &mut self.sgs[sg_idx];
                 let mut ctx = EvalCtx {
                     clause: "CLEANING BY",
                     tuple: None,
                     group_vars: Some(gkey.values()),
-                    aggs: Some(&entry.aggs),
+                    aggs: Some(entry_aggs),
                     superaggs: Some(superaggs),
                     sfun_states: Some(states.as_mut_slice()),
                 };
@@ -614,10 +769,10 @@ impl SamplingOperator {
                 kept.push(gkey);
             } else {
                 self.wstats.evictions += 1;
-                let entry = self.groups.remove(&gkey).expect("group listed in supergroup");
+                let entry_aggs = self.groups.remove(&gkey).expect("group listed in supergroup");
                 let superaggs = &mut self.sgs[sg_idx].superaggs;
                 for (i, sa) in spec.superaggs.iter().enumerate() {
-                    sa.on_group_remove(&mut superaggs[i], gkey.values(), &entry.aggs)?;
+                    sa.on_group_remove(&mut superaggs[i], gkey.values(), &entry_aggs)?;
                 }
             }
         }
@@ -640,13 +795,13 @@ impl SamplingOperator {
         for sg_idx in 0..self.sgs.len() {
             let group_keys = std::mem::take(&mut self.sgs[sg_idx].groups);
             for gkey in group_keys {
-                let entry = self.groups.get(&gkey).expect("group listed in supergroup");
+                let entry_aggs = self.groups.aggs_mut(&gkey).expect("group listed in supergroup");
                 let SupergroupEntry { superaggs, states, .. } = &mut self.sgs[sg_idx];
                 let mut ctx = EvalCtx {
                     clause: "HAVING",
                     tuple: None,
                     group_vars: Some(gkey.values()),
-                    aggs: Some(&entry.aggs),
+                    aggs: Some(entry_aggs),
                     superaggs: Some(superaggs),
                     sfun_states: Some(states.as_mut_slice()),
                 };
@@ -700,8 +855,122 @@ impl SamplingOperator {
         if let Some(m) = &self.metrics {
             m.on_window(&stats, groups_at_close, telemetry.as_ref());
         }
+        if self.capture_flush {
+            let carry = self.export_carry().map_err(OpError::InvalidSpec)?;
+            self.flush_state = Some((carry, self.export_aux()));
+        }
         let window = Tuple::new(self.window.clone().unwrap_or_default());
         Ok(WindowOutput { window, rows, stats, degradation: Degradation::default() })
+    }
+
+    /// Can every SFUN library of this spec persist its state? Durable
+    /// checkpointing requires it.
+    pub fn can_persist(&self) -> bool {
+        self.spec.sfun_libs.iter().all(|l| l.can_persist())
+    }
+
+    /// Export the cross-window carry-over — the "old" supergroup state
+    /// table populated at the last window close — as bytes. Entries are
+    /// sorted by encoded key so the same logical state always produces
+    /// the same bytes (hash-map iteration order must not leak into
+    /// snapshots).
+    ///
+    /// Call between [`Self::finish`] (or a window turnover) and the next
+    /// tuple; mid-window live state is intentionally not exportable —
+    /// the recovery contract is *window-level*.
+    pub fn export_carry(&self) -> Result<Vec<u8>, String> {
+        let mut entries = Vec::with_capacity(self.old_sgs.len());
+        for (key, states) in &self.old_sgs {
+            let mut kb = Vec::new();
+            put_tuple(&mut kb, key);
+            let mut sb = Vec::new();
+            put_u32(&mut sb, states.len() as u32);
+            for (li, st) in states.iter().enumerate() {
+                let lib = &self.spec.sfun_libs[li];
+                let enc = lib.encode_state(st.as_ref()).ok_or_else(|| {
+                    format!("SFUN library '{}' cannot persist its state", lib.name())
+                })?;
+                put_bytes(&mut sb, &enc);
+            }
+            entries.push((kb, sb));
+        }
+        entries.sort();
+        let mut out = Vec::new();
+        put_u32(&mut out, entries.len() as u32);
+        for (kb, sb) in entries {
+            out.extend_from_slice(&kb);
+            out.extend_from_slice(&sb);
+        }
+        Ok(out)
+    }
+
+    /// Restore the carry-over table from [`Self::export_carry`] bytes.
+    /// The next window's supergroups then inherit state exactly as they
+    /// would have in the original run. Empty input (recovery before any
+    /// window closed) is a no-op.
+    pub fn import_carry(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let mut r = Reader::new(bytes);
+        let n = r.take_u32().map_err(|e| e.to_string())? as usize;
+        for _ in 0..n {
+            let key = take_tuple(&mut r).map_err(|e| e.to_string())?;
+            let nlibs = r.take_u32().map_err(|e| e.to_string())? as usize;
+            if nlibs != self.spec.sfun_libs.len() {
+                return Err(format!(
+                    "carry-over entry has {nlibs} state slots, spec has {}",
+                    self.spec.sfun_libs.len()
+                ));
+            }
+            let mut states: SfunStates = Vec::with_capacity(nlibs);
+            for li in 0..nlibs {
+                let sb = r.take_bytes().map_err(|e| e.to_string())?;
+                let lib = &self.spec.sfun_libs[li];
+                let st = lib.decode_state(sb).ok_or_else(|| {
+                    format!("SFUN library '{}' rejected persisted state", lib.name())
+                })?;
+                states.push(st);
+            }
+            self.old_sgs.insert(key, states);
+        }
+        if !r.is_empty() {
+            return Err("trailing bytes in carry-over record".to_string());
+        }
+        Ok(())
+    }
+
+    /// Export each library's auxiliary state (state the library holds
+    /// outside any supergroup, e.g. the reservoir seed counter).
+    pub fn export_aux(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.spec.sfun_libs.len() as u32);
+        for lib in &self.spec.sfun_libs {
+            put_bytes(&mut out, &lib.encode_aux());
+        }
+        out
+    }
+
+    /// Restore library-auxiliary state from [`Self::export_aux`] bytes.
+    pub fn import_aux(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let mut r = Reader::new(bytes);
+        let n = r.take_u32().map_err(|e| e.to_string())? as usize;
+        if n != self.spec.sfun_libs.len() {
+            return Err(format!(
+                "auxiliary record has {n} library slots, spec has {}",
+                self.spec.sfun_libs.len()
+            ));
+        }
+        for lib in &self.spec.sfun_libs {
+            let sb = r.take_bytes().map_err(|e| e.to_string())?;
+            if !lib.decode_aux(sb) {
+                return Err(format!("SFUN library '{}' rejected auxiliary state", lib.name()));
+            }
+        }
+        Ok(())
     }
 
     /// Force-close the current window at end of stream.

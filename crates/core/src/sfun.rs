@@ -101,6 +101,22 @@ pub struct SfunTelemetry {
 /// Telemetry probe: reads a state snapshot without mutating it.
 pub type SfunProbe = dyn Fn(&dyn Any) -> Option<SfunTelemetry> + Send + Sync;
 
+/// Persistence encoder: serializes one state to bytes (`None` if the
+/// boxed value has an unexpected type).
+pub type SfunEncode = dyn Fn(&dyn Any) -> Option<Vec<u8>> + Send + Sync;
+
+/// Persistence decoder: rebuilds a state from encoded bytes (`None` on
+/// malformed input).
+pub type SfunDecode = dyn Fn(&[u8]) -> Option<Box<dyn Any + Send>> + Send + Sync;
+
+/// Library-auxiliary encoder: serializes state the *library itself*
+/// holds outside any supergroup (e.g. the reservoir library's instance
+/// counter that derives per-supergroup RNG seeds).
+pub type SfunAuxEncode = dyn Fn() -> Vec<u8> + Send + Sync;
+
+/// Library-auxiliary decoder: restores what [`SfunAuxEncode`] captured.
+pub type SfunAuxDecode = dyn Fn(&[u8]) -> bool + Send + Sync;
+
 /// The per-supergroup states of all libraries used by a query, one per
 /// library slot.
 pub type SfunStates = Vec<Box<dyn Any + Send>>;
@@ -111,6 +127,8 @@ pub struct SfunLibrary {
     init: Box<SfunInit>,
     window_end: Option<Box<SfunWindowEnd>>,
     telemetry: Option<Box<SfunProbe>>,
+    persist: Option<(Box<SfunEncode>, Box<SfunDecode>)>,
+    persist_aux: Option<(Box<SfunAuxEncode>, Box<SfunAuxDecode>)>,
     functions: HashMap<&'static str, (Signature, Arc<SfunFn>)>,
 }
 
@@ -133,6 +151,8 @@ impl SfunLibrary {
             init: Box::new(init),
             window_end: None,
             telemetry: None,
+            persist: None,
+            persist_aux: None,
             functions: HashMap::new(),
         }
     }
@@ -149,6 +169,30 @@ impl SfunLibrary {
         probe: impl Fn(&dyn Any) -> Option<SfunTelemetry> + Send + Sync + 'static,
     ) -> Self {
         self.telemetry = Some(Box::new(probe));
+        self
+    }
+
+    /// Install the persistence codec for this library's state type.
+    /// Checkpointing requires it: a spec whose libraries all have a
+    /// codec can have its cross-window carry-over exported and restored
+    /// byte-identically.
+    pub fn with_persist(
+        mut self,
+        encode: impl Fn(&dyn Any) -> Option<Vec<u8>> + Send + Sync + 'static,
+        decode: impl Fn(&[u8]) -> Option<Box<dyn Any + Send>> + Send + Sync + 'static,
+    ) -> Self {
+        self.persist = Some((Box::new(encode), Box::new(decode)));
+        self
+    }
+
+    /// Install the library-auxiliary codec (state held by the library
+    /// outside any supergroup, e.g. an instance counter feeding seeds).
+    pub fn with_persist_aux(
+        mut self,
+        encode: impl Fn() -> Vec<u8> + Send + Sync + 'static,
+        decode: impl Fn(&[u8]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.persist_aux = Some((Box::new(encode), Box::new(decode)));
         self
     }
 
@@ -206,6 +250,37 @@ impl SfunLibrary {
     /// Read a state's sampling telemetry, if this library exposes any.
     pub fn probe_telemetry(&self, state: &dyn Any) -> Option<SfunTelemetry> {
         self.telemetry.as_ref().and_then(|p| p(state))
+    }
+
+    /// Does this library support state persistence?
+    pub fn can_persist(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Serialize one state (`None` if no codec is installed or the
+    /// state has an unexpected type).
+    pub fn encode_state(&self, state: &dyn Any) -> Option<Vec<u8>> {
+        self.persist.as_ref().and_then(|(enc, _)| enc(state))
+    }
+
+    /// Rebuild a state from bytes produced by [`Self::encode_state`].
+    pub fn decode_state(&self, bytes: &[u8]) -> Option<Box<dyn Any + Send>> {
+        self.persist.as_ref().and_then(|(_, dec)| dec(bytes))
+    }
+
+    /// Serialize the library-auxiliary state (empty when none exists).
+    pub fn encode_aux(&self) -> Vec<u8> {
+        self.persist_aux.as_ref().map(|(enc, _)| enc()).unwrap_or_default()
+    }
+
+    /// Restore library-auxiliary state; `false` on malformed input.
+    /// Empty input is the "nothing was captured" case and succeeds.
+    pub fn decode_aux(&self, bytes: &[u8]) -> bool {
+        match (&self.persist_aux, bytes.is_empty()) {
+            (_, true) => true,
+            (Some((_, dec)), false) => dec(bytes),
+            (None, false) => false,
+        }
     }
 }
 

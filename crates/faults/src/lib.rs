@@ -89,6 +89,15 @@ pub enum FaultEvent {
         /// Period: packet indices divisible by this are malformed.
         every: u64,
     },
+    /// Kill the whole process (equivalent) after the router has
+    /// dispatched `at_tuple` tuples: routing stops, workers abandon
+    /// their open windows, and nothing is merged or published. Only
+    /// durable state (`sso-store` checkpoints + WAL) survives; the run
+    /// is then resumed with `sso recover`.
+    Crash {
+        /// 1-based globally-routed-tuple trigger.
+        at_tuple: u64,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -108,6 +117,7 @@ impl fmt::Display for FaultEvent {
                 write!(f, "skew at={at_packet} len={len} offset={offset_ns}")
             }
             FaultEvent::Malformed { every } => write!(f, "malformed every={every}"),
+            FaultEvent::Crash { at_tuple } => write!(f, "crash at={at_tuple}"),
         }
     }
 }
@@ -237,6 +247,7 @@ impl FaultPlan {
                     offset_ns: field(&fields, "offset", line)?,
                 },
                 "malformed" => FaultEvent::Malformed { every: field(&fields, "every", line)? },
+                "crash" => FaultEvent::Crash { at_tuple: field(&fields, "at", line)? },
                 other => {
                     return Err(PlanParseError {
                         line,
@@ -268,6 +279,18 @@ impl FaultPlan {
             .collect();
         events.sort_by_key(|(at, _)| *at);
         WorkerFaultSchedule { events, next: 0 }
+    }
+
+    /// The process-crash trigger, if the plan has one (the earliest
+    /// wins when several are declared).
+    pub fn crash_at(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Crash { at_tuple } => Some(at_tuple),
+                _ => None,
+            })
+            .min()
     }
 
     /// Whether any event targets a worker (cheap gate for the hot loop).
@@ -433,10 +456,19 @@ mod tests {
                 FaultEvent::Reorder { window: 64 },
                 FaultEvent::SkewTimestamps { at_packet: 5000, len: 200, offset_ns: -2_000_000_000 },
                 FaultEvent::Malformed { every: 997 },
+                FaultEvent::Crash { at_tuple: 40_000 },
             ],
         };
         let text = plan.to_string();
         assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn crash_at_takes_the_earliest_trigger() {
+        let plan = FaultPlan::parse("crash at=900\ncrash at=500\n").unwrap();
+        assert_eq!(plan.crash_at(), Some(500));
+        assert_eq!(FaultPlan::empty(0).crash_at(), None);
+        assert!(!plan.has_worker_faults(), "crash is a router-level fault");
     }
 
     #[test]

@@ -97,6 +97,10 @@ pub enum Code {
     /// Deletion-unsafe sampler: the plan's sampling state cannot absorb
     /// retractions on a turnstile stream.
     W205,
+    /// State budget below the spill pager's working-set floor: the
+    /// paged group table pins two pages (the open page and the touched
+    /// page), so a per-shard budget under two pages cannot be enforced.
+    W206,
 }
 
 impl Code {
@@ -130,6 +134,7 @@ impl Code {
             Code::W203 => "W203",
             Code::W204 => "W204",
             Code::W205 => "W205",
+            Code::W206 => "W206",
         }
     }
 
@@ -182,6 +187,7 @@ impl std::str::FromStr for Code {
             "W203" => Code::W203,
             "W204" => Code::W204,
             "W205" => Code::W205,
+            "W206" => Code::W206,
             other => return Err(format!("unknown diagnostic code `{other}`")),
         })
     }
@@ -630,6 +636,7 @@ mod tests {
             Code::W203,
             Code::W204,
             Code::W205,
+            Code::W206,
         ] {
             assert_eq!(code.as_str().parse::<Code>().unwrap(), code);
         }

@@ -27,16 +27,20 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use rustc_hash::FxHasher;
 use sso_core::{
     panic_message, EvalCtx, Expr, OpError, OperatorMetrics, OperatorSpec, SamplingOperator,
-    ShardPlan, SizingHints, WindowOutput,
+    ShardPlan, SizingHints, SpillStats, WindowOutput,
 };
 use sso_faults::{FaultPlan, WorkerFaultSchedule};
 use sso_obs::{Counter, Gauge, Registry, Stopwatch, UndersampleConfig, UndersampleDetector};
+use sso_store::{FsyncPolicy, PagedGroupTable, ShardStore, StoreConfig, WindowRecord};
+use sso_sync::SyncBool;
 use sso_types::Tuple;
 
 use crate::barrier::MergeBarrier;
@@ -80,6 +84,51 @@ pub enum Supervision {
     Abort,
 }
 
+/// Durable-state configuration (the `sso-store` subsystem): per-shard
+/// window-boundary checkpoints plus a carry-over WAL under [`Self::dir`],
+/// and an optional resident-state budget that swaps the in-RAM group
+/// table for the spill-to-disk pager.
+///
+/// Recovery contract: a run killed mid-stream loses at most the window
+/// that was open at the kill. A resumed run
+/// ([`DurabilityConfig::resume`]) re-feeds the same deterministic input,
+/// skips every window at or below the recovered watermark (those
+/// outputs come from the store), and recomputes the rest — byte
+/// -identical to a fault-free run for every window.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Store directory: per-shard checkpoint/WAL/spill files and the
+    /// run MANIFEST.
+    pub dir: PathBuf,
+    /// Windows between checkpoint compactions; `0` = checkpoint only at
+    /// end of stream.
+    pub checkpoint_every: u64,
+    /// WAL fsync policy (checkpoints always sync).
+    pub fsync: FsyncPolicy,
+    /// Total resident group-state budget in bytes, split evenly across
+    /// shards. `None` keeps the in-RAM table (no spilling). After a
+    /// quarantine respawn the fresh operator runs in RAM — budget
+    /// enforcement covers the fault-free path.
+    pub state_budget: Option<u64>,
+    /// Resume from the directory's recovered state instead of starting
+    /// a fresh run (the `sso recover` path).
+    pub resume: bool,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default cadence: checkpoint
+    /// every 8 windows, no WAL fsync, no state budget.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every: 8,
+            fsync: FsyncPolicy::Never,
+            state_budget: None,
+            resume: false,
+        }
+    }
+}
+
 /// Sharded-runtime tuning knobs.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -114,6 +163,10 @@ pub struct RuntimeConfig {
     /// `ring_batches` overrides [`Self::ring_capacity`]. `None` keeps
     /// grow-on-demand behaviour.
     pub sizing: Option<SizingHints>,
+    /// Durable operator state: `None` runs fully in memory; `Some`
+    /// checkpoints every shard's window state under the configured
+    /// directory and (optionally) bounds resident group state.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl RuntimeConfig {
@@ -133,6 +186,7 @@ impl RuntimeConfig {
             window_deadline: None,
             faults: None,
             sizing: None,
+            durability: None,
         }
     }
 
@@ -158,6 +212,12 @@ impl RuntimeConfig {
     /// the audit's certified bounds.
     pub fn with_sizing(mut self, hints: SizingHints) -> Self {
         self.sizing = Some(hints);
+        self
+    }
+
+    /// Persist operator state under `durability`'s store directory.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
         self
     }
 
@@ -262,6 +322,54 @@ impl ShardStats {
     }
 }
 
+/// Per-shard durable-store telemetry (`store.*` gauges labeled
+/// `shard=N`), set from the shard's [`ShardStore`] counters and the
+/// pager's [`SpillStats`] after every batch and at worker exit.
+struct StoreStats {
+    wal_appends: Gauge,
+    wal_bytes: Gauge,
+    ckpt_writes: Gauge,
+    ckpt_bytes: Gauge,
+    /// Windows recorded since the last checkpoint — how much WAL replay
+    /// a crash right now would cost.
+    ckpt_age: Gauge,
+    resident_bytes: Gauge,
+    peak_resident_bytes: Gauge,
+    page_faults: Gauge,
+    spilled_pages: Gauge,
+}
+
+impl StoreStats {
+    fn register(registry: &Registry, shard: usize) -> Self {
+        let label = format!("shard={shard}");
+        StoreStats {
+            wal_appends: registry.gauge_labeled("store.wal_appends", label.clone()),
+            wal_bytes: registry.gauge_labeled("store.wal_bytes", label.clone()),
+            ckpt_writes: registry.gauge_labeled("store.ckpt_writes", label.clone()),
+            ckpt_bytes: registry.gauge_labeled("store.ckpt_bytes", label.clone()),
+            ckpt_age: registry.gauge_labeled("store.ckpt_age", label.clone()),
+            resident_bytes: registry.gauge_labeled("store.resident_bytes", label.clone()),
+            peak_resident_bytes: registry.gauge_labeled("store.peak_resident_bytes", label.clone()),
+            page_faults: registry.gauge_labeled("store.page_faults", label.clone()),
+            spilled_pages: registry.gauge_labeled("store.spilled_pages", label),
+        }
+    }
+
+    fn set_from(&self, store: &ShardStore, spill: Option<SpillStats>) {
+        self.wal_appends.set(store.wal_appends() as f64);
+        self.wal_bytes.set(store.wal_bytes() as f64);
+        self.ckpt_writes.set(store.ckpt_writes() as f64);
+        self.ckpt_bytes.set(store.ckpt_bytes() as f64);
+        self.ckpt_age.set(store.windows_since_ckpt() as f64);
+        if let Some(s) = spill {
+            self.resident_bytes.set(s.resident_bytes as f64);
+            self.peak_resident_bytes.set(s.peak_resident_bytes as f64);
+            self.page_faults.set(s.page_faults as f64);
+            self.spilled_pages.set(s.spilled_pages as f64);
+        }
+    }
+}
+
 /// Why a sharded run failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
@@ -282,6 +390,22 @@ pub enum RuntimeError {
     },
     /// The configuration is unusable (zero shards, zero batch size).
     BadConfig(String),
+    /// An injected `crash@N` fault fired: routing stopped at the
+    /// trigger tuple, the workers abandoned their open windows, and
+    /// nothing was merged — the whole-process-death simulation. A
+    /// durable run's recorded state survives for `sso recover`.
+    Crashed {
+        /// The trigger: the 1-based index of the stream tuple whose
+        /// arrival killed the run.
+        at_tuple: u64,
+    },
+    /// A durable-store operation failed (I/O or a state codec error).
+    Store {
+        /// Shard index.
+        shard: usize,
+        /// What failed.
+        message: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -292,6 +416,12 @@ impl fmt::Display for RuntimeError {
                 write!(f, "shard {shard} worker panicked: {message}")
             }
             RuntimeError::BadConfig(msg) => write!(f, "bad runtime config: {msg}"),
+            RuntimeError::Crashed { at_tuple } => {
+                write!(f, "injected crash fired at stream tuple {at_tuple}")
+            }
+            RuntimeError::Store { shard, message } => {
+                write!(f, "shard {shard} durable store: {message}")
+            }
         }
     }
 }
@@ -439,6 +569,41 @@ fn window_key(wexprs: &[Expr], tuple: &Tuple) -> Option<Tuple> {
     Some(Tuple::new(vals))
 }
 
+/// `a <= b` under pairwise value comparison — the resume-time
+/// watermark-skip test. Windows are assumed monotone in stream order
+/// (the same assumption the operator's key-change turnover makes).
+fn window_le(a: &Tuple, b: &Tuple) -> bool {
+    for (x, y) in a.values().iter().zip(b.values()) {
+        match x.compare(y).unwrap_or(std::cmp::Ordering::Equal) {
+            std::cmp::Ordering::Equal => continue,
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+        }
+    }
+    a.arity() <= b.arity()
+}
+
+/// Per-shard setup built before the workers spawn: the operator, its
+/// durable writer (if any), its resume watermark, and the recovered
+/// window outputs that seed its partial.
+type ShardSetup = (SamplingOperator, Option<ShardStore>, Option<Tuple>, Vec<WindowOutput>);
+
+/// Durably record one closed window: the output plus the carry-over and
+/// library-auxiliary bytes the operator captured *at the flush boundary*
+/// (see `SamplingOperator::set_capture_flush`) — exactly the restart
+/// state, with no per-tuple work in the worker loop.
+fn record_window(
+    store: &mut ShardStore,
+    output: &WindowOutput,
+    carry: &[u8],
+    aux: &[u8],
+    shard: usize,
+) -> Result<(), RuntimeError> {
+    store
+        .record_window(&WindowRecord { output, carry, aux })
+        .map_err(|e| RuntimeError::Store { shard, message: e.to_string() })
+}
+
 /// One shard's supervised worker state: the live operator (or the
 /// window key it is quarantined for), the window outputs accumulated so
 /// far, and the per-window uncovered counts.
@@ -462,6 +627,13 @@ struct Worker<'a, F> {
     stats: ShardStats,
     registry: Registry,
     make_spec: &'a F,
+    /// Durable writer for this shard (`None` = in-memory run).
+    store: Option<ShardStore>,
+    /// Resume watermark: tuples whose window key is `<=` this are
+    /// skipped (their windows were recovered from the store). Cleared
+    /// at the first tuple past it.
+    watermark: Option<Tuple>,
+    store_stats: Option<StoreStats>,
 }
 
 impl<F> Worker<'_, F>
@@ -508,13 +680,19 @@ where
     fn revive(&mut self) -> Result<(), OpError> {
         let mut op = SamplingOperator::new((self.make_spec)(self.shard)?)?;
         op.set_metrics(OperatorMetrics::register(&self.registry, format!("shard={}", self.shard)));
+        // A durable worker needs the respawned operator capturing
+        // boundary snapshots too, or its next window close has nothing
+        // to record.
+        if self.store.is_some() {
+            op.set_capture_flush(true);
+        }
         self.op = Some(op);
         self.quarantined = None;
         self.window_tuples = 0;
         Ok(())
     }
 
-    fn run_batch(&mut self, batch: &[Tuple]) -> Result<(), OpError> {
+    fn run_batch(&mut self, batch: &[Tuple]) -> Result<(), RuntimeError> {
         let mut cursor = 0usize;
         while cursor < batch.len() {
             if let Some(qkey) = self.quarantined.clone() {
@@ -526,7 +704,8 @@ where
                         cursor += 1;
                     } else {
                         // Window boundary: respawn and resume live.
-                        self.revive()?;
+                        let shard = self.shard;
+                        self.revive().map_err(|source| RuntimeError::Op { shard, source })?;
                         break;
                     }
                 }
@@ -547,15 +726,55 @@ where
                 let faults = &mut self.faults;
                 let window_counter = &self.stats.windows;
                 let shard = self.shard;
-                catch_unwind(AssertUnwindSafe(move || -> Result<(), OpError> {
+                let store = &mut self.store;
+                let watermark = &mut self.watermark;
+                let wexprs = &self.wexprs;
+                catch_unwind(AssertUnwindSafe(move || -> Result<(), RuntimeError> {
+                    let op_err = |source| RuntimeError::Op { shard, source };
                     while *cursor < batch.len() {
+                        let tuple = &batch[*cursor];
+                        if watermark.is_some() {
+                            // Resume prefix: tuples at or below the
+                            // watermark are covered by recovered
+                            // windows' stored outputs. Only this
+                            // prefix pays a per-tuple window-key
+                            // evaluation; windows are monotone in
+                            // stream order, so the first tuple past
+                            // the watermark ends the checking for
+                            // good.
+                            if let Some(k) = window_key(wexprs, tuple) {
+                                let wm = watermark.as_ref().expect("checked above");
+                                if window_le(&k, wm) {
+                                    *tuple_count += 1;
+                                    *cursor += 1;
+                                    continue;
+                                }
+                                *watermark = None;
+                            }
+                        }
                         *tuple_count += 1;
                         if let Some(f) = faults.check(*tuple_count) {
                             f.trip(shard, *tuple_count);
                         }
-                        match op.process(&batch[*cursor])? {
+                        match op.process(tuple).map_err(op_err)? {
                             Some(w) => {
                                 window_counter.inc();
+                                if let Some(st) = store.as_mut() {
+                                    // The operator captured carry/aux
+                                    // at the flush boundary, before
+                                    // this tuple touched the new
+                                    // window's state — exactly the
+                                    // restart state.
+                                    let (carry, aux) = op.take_flush_state().ok_or_else(|| {
+                                        RuntimeError::Store {
+                                            shard,
+                                            message: "window closed without a boundary \
+                                                          snapshot"
+                                                .into(),
+                                        }
+                                    })?;
+                                    record_window(st, &w, &carry, &aux, shard)?;
+                                }
                                 windows.push(w);
                                 // This tuple opened the new window.
                                 *window_tuples = 1;
@@ -583,26 +802,53 @@ where
     }
 
     /// End of stream: flush the live operator's final window (a panic
-    /// during the flush loses that window, accounted like any other).
-    fn finish(&mut self) -> Result<(), OpError> {
-        let Some(op) = self.op.as_mut() else {
-            return Ok(());
-        };
-        match catch_unwind(AssertUnwindSafe(|| op.finish())) {
-            Ok(Ok(Some(w))) => {
-                self.stats.windows.inc();
-                self.windows.push(w);
-            }
-            Ok(Ok(None)) => {}
-            Ok(Err(e)) => return Err(e),
-            Err(payload) => {
-                if self.supervision == Supervision::Abort {
-                    resume_unwind(payload);
+    /// during the flush loses that window, accounted like any other),
+    /// then seal a durable run with its final checkpoint.
+    fn finish(&mut self) -> Result<(), RuntimeError> {
+        let shard = self.shard;
+        if let Some(op) = self.op.as_mut() {
+            match catch_unwind(AssertUnwindSafe(|| op.finish())) {
+                Ok(Ok(Some(w))) => {
+                    self.stats.windows.inc();
+                    if let Some(store) = self.store.as_mut() {
+                        // The final flush captured its boundary
+                        // snapshot like any other; fall back to a
+                        // direct export if capture was somehow off.
+                        let (carry, aux) = match op.take_flush_state() {
+                            Some(s) => s,
+                            None => {
+                                let carry = op
+                                    .export_carry()
+                                    .map_err(|message| RuntimeError::Store { shard, message })?;
+                                (carry, op.export_aux())
+                            }
+                        };
+                        record_window(store, &w, &carry, &aux, shard)?;
+                    }
+                    self.windows.push(w);
                 }
-                self.enter_quarantine(None);
+                Ok(Ok(None)) => {}
+                Ok(Err(source)) => return Err(RuntimeError::Op { shard, source }),
+                Err(payload) => {
+                    if self.supervision == Supervision::Abort {
+                        resume_unwind(payload);
+                    }
+                    self.enter_quarantine(None);
+                }
             }
         }
+        if let Some(store) = self.store.as_mut() {
+            store.finalize().map_err(|e| RuntimeError::Store { shard, message: e.to_string() })?;
+        }
+        self.publish_store_stats();
         Ok(())
+    }
+
+    /// Refresh the `store.*` gauges from the live store and pager.
+    fn publish_store_stats(&self) {
+        if let (Some(store), Some(ss)) = (self.store.as_ref(), self.store_stats.as_ref()) {
+            ss.set_from(store, self.op.as_ref().and_then(|o| o.spill_stats()));
+        }
     }
 
     fn into_partial(self) -> ShardPartial {
@@ -697,16 +943,55 @@ where
     // A run without a caller-supplied registry records into a private
     // disabled one: ShardStats cells still work, spans stay off.
     let registry = cfg.registry.clone().unwrap_or_else(Registry::disabled);
-    let mut operators = Vec::with_capacity(cfg.shards);
+    let mut shard_setups: Vec<ShardSetup> = Vec::with_capacity(cfg.shards);
     for shard in 0..cfg.shards {
         let spec = make_spec(shard).map_err(|source| RuntimeError::Op { shard, source })?;
         let mut op =
             SamplingOperator::new(spec).map_err(|source| RuntimeError::Op { shard, source })?;
         op.set_metrics(OperatorMetrics::register(&registry, format!("shard={shard}")));
+        let store_err = |message: String| RuntimeError::Store { shard, message };
+        if let Some(d) = &cfg.durability {
+            if !op.can_persist() {
+                return Err(RuntimeError::BadConfig(
+                    "query uses a stateful function without persistence support".into(),
+                ));
+            }
+            // The operator snapshots carry/aux at each window flush; the
+            // worker records those bytes when `process` hands it the
+            // closed window. Per-tuple cost on the durable path: none.
+            op.set_capture_flush(true);
+            if let Some(total) = d.state_budget {
+                let per_shard = (total / cfg.shards as u64).max(1);
+                let table = PagedGroupTable::for_shard(&d.dir, shard, per_shard)
+                    .map_err(|e| store_err(e.to_string()))?;
+                op.set_group_backend(Box::new(table));
+            }
+        }
         if let Some(hints) = &cfg.sizing {
             op.reserve(hints);
         }
-        operators.push(op);
+        let (store, watermark, recovered_windows) = match &cfg.durability {
+            None => (None, None, Vec::new()),
+            Some(d) => {
+                let scfg = StoreConfig {
+                    dir: d.dir.clone(),
+                    checkpoint_every: d.checkpoint_every,
+                    fsync: d.fsync,
+                };
+                if d.resume {
+                    let (store, rec) = ShardStore::open_resumed(&scfg, shard)
+                        .map_err(|e| store_err(e.to_string()))?;
+                    op.import_carry(&rec.carry).map_err(store_err)?;
+                    op.import_aux(&rec.aux).map_err(store_err)?;
+                    (Some(store), rec.watermark, rec.outputs)
+                } else {
+                    let store =
+                        ShardStore::create(&scfg, shard).map_err(|e| store_err(e.to_string()))?;
+                    (Some(store), None, Vec::new())
+                }
+            }
+        };
+        shard_setups.push((op, store, watermark, recovered_windows));
     }
 
     let stats: Vec<ShardStats> =
@@ -732,12 +1017,17 @@ where
     if cfg.supervision == Supervision::Quarantine {
         install_supervised_panic_hook();
     }
+    // The process-crash fault: when the router's stream position reaches
+    // the trigger, this flag flips and the run dies like a kill — no
+    // flushes, no merge, no final checkpoints.
+    let crash_at = cfg.faults.as_ref().and_then(|p| p.crash_at());
+    let crashed = Arc::new(SyncBool::new(false));
     let make_spec = &make_spec;
     let (partials, stragglers) =
         std::thread::scope(|s| -> Result<(Vec<Option<ShardPartial>>, Vec<usize>), RuntimeError> {
             let mut txs = Vec::with_capacity(cfg.shards);
             let mut handles = Vec::with_capacity(cfg.shards);
-            for (shard, op) in operators.into_iter().enumerate() {
+            for (shard, (op, store, watermark, recovered)) in shard_setups.into_iter().enumerate() {
                 let (tx, mut rx) = ring::<Vec<Tuple>>(cfg.effective_ring_capacity());
                 txs.push(tx);
                 let stats = stats[shard].clone();
@@ -748,7 +1038,9 @@ where
                     cfg.faults.as_ref().map(|p| p.worker_schedule(shard)).unwrap_or_default();
                 let registry = registry.clone();
                 let supervision = cfg.supervision;
-                handles.push(s.spawn(move || -> Result<(), OpError> {
+                let store_stats = store.as_ref().map(|_| StoreStats::register(&registry, shard));
+                let crashed = Arc::clone(&crashed);
+                handles.push(s.spawn(move || -> Result<(), RuntimeError> {
                     if supervision == Supervision::Quarantine {
                         QUIET_WORKER_PANICS.with(|q| q.set(true));
                     }
@@ -758,7 +1050,10 @@ where
                         quarantined: None,
                         window_tuples: 0,
                         tuple_count: 0,
-                        windows: Vec::new(),
+                        // Recovered windows seed the partial so the
+                        // merge sees them exactly as a fault-free run
+                        // would have produced them.
+                        windows: recovered,
                         uncovered: Vec::new(),
                         wexprs,
                         faults,
@@ -766,13 +1061,28 @@ where
                         stats: stats.clone(),
                         registry,
                         make_spec,
+                        store,
+                        watermark,
+                        store_stats,
                     };
                     while let Some(batch) = rx.pop() {
                         depth.add(-1.0);
+                        if crashed.load(AtomicOrdering::Acquire) {
+                            // Simulated process death: drain the ring
+                            // without processing — the open window and
+                            // any unrecorded state are lost.
+                            continue;
+                        }
                         let sw = Stopwatch::start();
                         worker.run_batch(&batch)?;
                         stats.tuples.add(batch.len() as u64);
                         stats.busy_ns.add(sw.elapsed_ns());
+                        worker.publish_store_stats();
+                    }
+                    if crashed.load(AtomicOrdering::Acquire) {
+                        // No finish, no finalize, no publish: exactly
+                        // what a killed process leaves behind.
+                        return Ok(());
                     }
                     let sw = Stopwatch::start();
                     worker.finish()?;
@@ -889,7 +1199,20 @@ where
                 }
             };
 
+            let mut stream_pos = 0u64;
+            let mut crash_fired: Option<u64> = None;
             for tuple in tuples {
+                stream_pos += 1;
+                if let Some(n) = crash_at {
+                    if stream_pos >= n {
+                        // The arriving tuple kills the "process": it and
+                        // everything after it is lost, along with every
+                        // batch still buffered on the router.
+                        crashed.store(true, AtomicOrdering::Release);
+                        crash_fired = Some(n);
+                        break;
+                    }
+                }
                 let shard = router.route(&tuple, cfg.shards);
                 batches[shard].push(tuple);
                 if batches[shard].len() >= cfg.batch_size {
@@ -898,22 +1221,24 @@ where
                     send_batch(shard, batch);
                 }
             }
-            for (shard, batch) in batches.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    send_batch(shard, batch);
+            if crash_fired.is_none() {
+                for (shard, batch) in batches.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        send_batch(shard, batch);
+                    }
                 }
             }
             drop(txs);
 
             let mut stragglers: Vec<usize> = Vec::new();
             let join_all = |handles: Vec<
-                std::thread::ScopedJoinHandle<'_, Result<(), OpError>>,
+                std::thread::ScopedJoinHandle<'_, Result<(), RuntimeError>>,
             >|
              -> Result<(), RuntimeError> {
                 for (shard, handle) in handles.into_iter().enumerate() {
                     match handle.join() {
                         Ok(Ok(())) => {}
-                        Ok(Err(source)) => return Err(RuntimeError::Op { shard, source }),
+                        Ok(Err(e)) => return Err(e),
                         Err(payload) => {
                             return Err(RuntimeError::WorkerPanic {
                                 shard,
@@ -924,6 +1249,12 @@ where
                 }
                 Ok(())
             };
+            if let Some(at_tuple) = crash_fired {
+                // Rings are closed; workers drain-and-discard and exit
+                // without publishing. Nothing merges.
+                join_all(handles)?;
+                return Err(RuntimeError::Crashed { at_tuple });
+            }
             let partials: Vec<Option<ShardPartial>> = match cfg.window_deadline {
                 None => {
                     join_all(handles)?;
@@ -1324,6 +1655,130 @@ mod tests {
         // A clean run publishes full coverage.
         let cov = snap.metrics.iter().find(|m| m.name == "rt.coverage").unwrap();
         assert_eq!(cov.scalar(), 1.0);
+    }
+
+    fn engine_tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("sso-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_run_matches_in_memory_and_resumes_from_the_store() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let tuples = stream(3, 1000, 16);
+        let plain = run_sharded(
+            &plan,
+            |_| Ok(queries::total_sum_query(1)),
+            &RuntimeConfig::new(4),
+            tuples.clone(),
+        )
+        .unwrap()
+        .windows;
+        let dir = engine_tmpdir("durable-match");
+        let mut d = DurabilityConfig::new(&dir);
+        d.checkpoint_every = 2;
+        let cfg = RuntimeConfig::new(4).with_durability(d.clone());
+        let durable = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples.clone())
+            .unwrap()
+            .windows;
+        assert_eq!(plain.len(), durable.len());
+        for (a, b) in plain.iter().zip(&durable) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.rows, b.rows, "durable run must not perturb results");
+        }
+        // Resume over the same stream: every window sits at or below the
+        // watermark, so the whole output is served from the store.
+        d.resume = true;
+        let cfg = RuntimeConfig::new(4).with_durability(d);
+        let resumed =
+            run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples).unwrap().windows;
+        assert_eq!(plain.len(), resumed.len());
+        for (a, b) in plain.iter().zip(&resumed) {
+            assert_eq!(a.rows, b.rows, "recovered windows must round-trip exactly");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_fault_kills_the_run_and_recovery_completes_it() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let tuples = stream(3, 1000, 16);
+        let plain = run_sharded(
+            &plan,
+            |_| Ok(queries::total_sum_query(1)),
+            &RuntimeConfig::new(2),
+            tuples.clone(),
+        )
+        .unwrap()
+        .windows;
+        let dir = engine_tmpdir("crash-recover");
+        let mut fault = FaultPlan::empty(7);
+        fault.events.push(sso_faults::FaultEvent::Crash { at_tuple: 2500 });
+        let cfg = RuntimeConfig::new(2)
+            .with_faults(fault.into_shared())
+            .with_durability(DurabilityConfig::new(&dir));
+        let err = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples.clone())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Crashed { at_tuple: 2500 }), "{err}");
+        // Restart over the same deterministic stream: recovered windows
+        // come from the store, the crash window is recomputed, and the
+        // result matches the fault-free run row for row.
+        let mut d = DurabilityConfig::new(&dir);
+        d.resume = true;
+        let cfg = RuntimeConfig::new(2).with_durability(d);
+        let recovered =
+            run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, tuples).unwrap().windows;
+        assert_eq!(plain.len(), recovered.len(), "all three windows survive");
+        for (a, b) in plain.iter().zip(&recovered) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.rows, b.rows, "window {:?} must match the fault-free run", a.window);
+            assert!(!b.degradation.degraded, "recovery must not report degradation");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_budget_spills_and_stays_under_budget() {
+        // High-cardinality keyed count: many groups per window.
+        let spec = queries::heavy_hitters_query(1, 1 << 20, None).unwrap();
+        let plan = shard_plan(&spec).unwrap();
+        let make = |_| queries::heavy_hitters_query(1, 1 << 20, None);
+        let tuples = stream(2, 4000, 4000);
+        let plain =
+            run_sharded(&plan, make, &RuntimeConfig::new(2), tuples.clone()).unwrap().windows;
+        let dir = engine_tmpdir("budget");
+        let registry = Registry::new();
+        let mut d = DurabilityConfig::new(&dir);
+        // Small enough to force spilling (~4000 groups/shard model well
+        // past 3 pages), large enough to stay useful.
+        let budget = 3 * sso_core::snapshot::PAGE_BYTES as u64 * 2;
+        d.state_budget = Some(budget);
+        let cfg = RuntimeConfig::new(2).with_registry(registry.clone()).with_durability(d);
+        let spilled = run_sharded(&plan, make, &cfg, tuples).unwrap().windows;
+        assert_eq!(plain.len(), spilled.len());
+        for (a, b) in plain.iter().zip(&spilled) {
+            assert_eq!(a.rows, b.rows, "spilling must not change results");
+        }
+        let snap = registry.snapshot();
+        let per_shard = budget / 2;
+        let peaks: Vec<f64> = snap
+            .metrics
+            .iter()
+            .filter(|m| m.name == "store.peak_resident_bytes")
+            .map(|m| m.scalar())
+            .collect();
+        assert_eq!(peaks.len(), 2, "one peak gauge per shard");
+        for p in &peaks {
+            assert!(*p > 0.0, "peak resident was recorded");
+            assert!(*p <= per_shard as f64, "peak {p} exceeds per-shard budget {per_shard}");
+        }
+        let faults: f64 =
+            snap.metrics.iter().filter(|m| m.name == "store.page_faults").map(|m| m.scalar()).sum();
+        assert!(faults > 0.0, "a budget this tight must fault pages back in");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

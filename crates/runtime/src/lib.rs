@@ -41,8 +41,8 @@ pub mod ring;
 
 pub use barrier::MergeBarrier;
 pub use engine::{
-    route_stream, run_sharded, Backpressure, RuntimeConfig, RuntimeError, ShardStats,
-    ShardedReport, Supervision,
+    route_stream, run_sharded, Backpressure, DurabilityConfig, RuntimeConfig, RuntimeError,
+    ShardStats, ShardedReport, Supervision,
 };
 pub use merge::{merge_shard_partials, merge_windows, ShardPartial};
 pub use ring::{ring, Consumer, Producer, PushError};

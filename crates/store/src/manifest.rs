@@ -1,0 +1,71 @@
+//! The durable-run MANIFEST: a `key=value` text file in the store
+//! directory recording how the run was launched (feed, seed, query,
+//! shard count, …), so `sso recover DIR` can reconstruct and re-drive
+//! the same deterministic stream without the original command line.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const FILE: &str = "MANIFEST";
+
+/// Write the manifest, replacing any existing one. Keys must not
+/// contain `=` or newlines.
+pub fn write_manifest(dir: &Path, entries: &[(String, String)]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut out = String::from("# sso durable run\n");
+    for (k, v) in entries {
+        if k.contains('=') || k.contains('\n') || v.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("manifest entry '{k}' contains a reserved character"),
+            ));
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+        out.push('\n');
+    }
+    fs::write(dir.join(FILE), out)
+}
+
+/// Read the manifest back as ordered `(key, value)` pairs.
+pub fn read_manifest(dir: &Path) -> io::Result<Vec<(String, String)>> {
+    let text = fs::read_to_string(dir.join(FILE))?;
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once('=') {
+            Some((k, v)) => entries.push((k.to_string(), v.to_string())),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("manifest line without '=': {line}"),
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir = std::env::temp_dir().join(format!("sso-manifest-{}", std::process::id()));
+        let entries = vec![
+            ("feed".to_string(), "research".to_string()),
+            ("seed".to_string(), "42".to_string()),
+            ("query".to_string(), "SELECT tb, count(*) FROM PKT GROUP BY time/10 as tb".into()),
+        ];
+        write_manifest(&dir, &entries).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), entries);
+        assert!(write_manifest(&dir, &[("a=b".into(), "c".into())]).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

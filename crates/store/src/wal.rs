@@ -1,0 +1,623 @@
+//! Checkpoint and WAL files, one set per shard.
+//!
+//! ## Frame format
+//!
+//! Every durable record travels in the same frame:
+//!
+//! ```text
+//! u64  checksum     FNV-1a over the payload
+//! u32  length       payload bytes
+//! [..] payload
+//! ```
+//!
+//! A reader stops at the first frame whose checksum or length does not
+//! hold — a torn tail is data loss bounded to that record, never a
+//! panic.
+//!
+//! ## WAL record payload (one per closed window)
+//!
+//! ```text
+//! u64   seq         window ordinal (0-based) — the chain check
+//! bytes output      encoded WindowOutput
+//! bytes carry       operator export_carry bytes
+//! bytes aux         operator export_aux bytes
+//! ```
+//!
+//! ## Checkpoint file (`shard-K.ckpt`)
+//!
+//! ```text
+//! magic "SSOSTOR1", u32 version
+//! frame meta:     u64 seq, u8 has_watermark, [tuple], bytes carry, bytes aux
+//! frame output×seq
+//! ```
+//!
+//! A checkpoint is a compaction: it carries every output so far plus
+//! the latest carry/aux, and the WAL restarts empty. Replay accepts a
+//! WAL record only when its `seq` equals the state's next expected
+//! ordinal, so records that belong after a *newer* (corrupted and
+//! discarded) checkpoint cannot be grafted onto an older one.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use sso_core::snapshot::{put_window_output, take_window_output};
+use sso_core::WindowOutput;
+use sso_types::wire::{checksum, put_bytes, put_tuple, put_u32, put_u64, take_tuple, Reader};
+use sso_types::Tuple;
+
+const MAGIC: &[u8; 8] = b"SSOSTOR1";
+const VERSION: u32 = 1;
+
+/// When WAL appends reach the platter (matters for power loss, not for
+/// process crashes — the OS keeps written pages either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record: at most one window lost even to
+    /// power failure, at streaming cost.
+    Always,
+    /// `fsync` every `n` records: bounded loss window, amortized cost.
+    EveryN(u32),
+    /// Never `fsync` the WAL (checkpoints still sync): survives process
+    /// crashes, not power loss. The default.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse `always`, `never`, or `every=N`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            _ => match s.strip_prefix("every=").and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!("bad fsync policy '{s}' (always | never | every=N)")),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every={n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Where and how a durable run persists its state.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Directory holding the per-shard files and the run MANIFEST.
+    pub dir: PathBuf,
+    /// Windows between checkpoints; `0` = checkpoint only at end of
+    /// stream (the WAL carries everything in between).
+    pub checkpoint_every: u64,
+    /// WAL fsync policy.
+    pub fsync: FsyncPolicy,
+}
+
+impl StoreConfig {
+    /// A config with the default cadence (checkpoint every 8 windows,
+    /// no WAL fsync).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig { dir: dir.into(), checkpoint_every: 8, fsync: FsyncPolicy::Never }
+    }
+}
+
+/// One closed window's durable payload.
+#[derive(Debug)]
+pub struct WindowRecord<'a> {
+    /// The window's emitted output.
+    pub output: &'a WindowOutput,
+    /// Operator carry-over bytes (`SamplingOperator::export_carry`).
+    pub carry: &'a [u8],
+    /// Library-auxiliary bytes (`SamplingOperator::export_aux`).
+    pub aux: &'a [u8],
+}
+
+/// A shard's recovered durable state.
+#[derive(Debug, Default)]
+pub struct RecoveredShard {
+    /// Every durably recorded window output, in window order.
+    pub outputs: Vec<WindowOutput>,
+    /// Carry-over bytes as of the last recorded window.
+    pub carry: Vec<u8>,
+    /// Library-auxiliary bytes as of the last recorded window.
+    pub aux: Vec<u8>,
+    /// Window key of the last recorded window — the resume watermark.
+    pub watermark: Option<Tuple>,
+}
+
+/// Append one frame (checksum + length + payload).
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<usize> {
+    let mut head = Vec::with_capacity(12);
+    put_u64(&mut head, checksum(payload));
+    put_u32(&mut head, payload.len() as u32);
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    Ok(head.len() + payload.len())
+}
+
+/// Read the frame starting at `*pos`; `None` on a torn or corrupt
+/// frame. Advances `*pos` past the frame on success.
+fn read_frame<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let rest = buf.get(*pos..)?;
+    if rest.len() < 12 {
+        return None;
+    }
+    let sum = u64::from_le_bytes(rest[0..8].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes")) as usize;
+    let payload = rest.get(12..12 + len)?;
+    if checksum(payload) != sum {
+        return None;
+    }
+    *pos += 12 + len;
+    Some(payload)
+}
+
+/// In-memory image of a shard's durable state (what the next checkpoint
+/// will contain).
+#[derive(Default)]
+struct ShardState {
+    /// Encoded outputs, one per recorded window.
+    outputs: Vec<Vec<u8>>,
+    carry: Vec<u8>,
+    aux: Vec<u8>,
+    watermark: Option<Tuple>,
+}
+
+impl ShardState {
+    fn seq(&self) -> u64 {
+        self.outputs.len() as u64
+    }
+
+    fn apply(&mut self, output_bytes: Vec<u8>, watermark: Tuple, carry: Vec<u8>, aux: Vec<u8>) {
+        self.outputs.push(output_bytes);
+        self.carry = carry;
+        self.aux = aux;
+        self.watermark = Some(watermark);
+    }
+}
+
+/// Per-shard durable writer: WAL appends per window, periodic
+/// checkpoint compaction.
+pub struct ShardStore {
+    dir: PathBuf,
+    shard: usize,
+    checkpoint_every: u64,
+    fsync: FsyncPolicy,
+    wal: File,
+    unsynced: u32,
+    since_ckpt: u64,
+    state: ShardState,
+    wal_appends: u64,
+    wal_bytes: u64,
+    ckpt_writes: u64,
+    ckpt_bytes: u64,
+}
+
+fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.wal"))
+}
+
+fn ckpt_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.ckpt"))
+}
+
+fn ckpt_prev_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.ckpt.prev"))
+}
+
+/// The shard's spill-file path (used by the paged group table so all of
+/// a shard's durable artifacts live together).
+pub(crate) fn spill_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.spill"))
+}
+
+impl ShardStore {
+    /// Start a fresh durable run for one shard, removing any previous
+    /// run's files for it.
+    pub fn create(cfg: &StoreConfig, shard: usize) -> io::Result<Self> {
+        fs::create_dir_all(&cfg.dir)?;
+        for p in [
+            wal_path(&cfg.dir, shard),
+            ckpt_path(&cfg.dir, shard),
+            ckpt_prev_path(&cfg.dir, shard),
+            spill_path(&cfg.dir, shard),
+        ] {
+            match fs::remove_file(&p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let wal = OpenOptions::new().create(true).append(true).open(wal_path(&cfg.dir, shard))?;
+        Ok(ShardStore {
+            dir: cfg.dir.clone(),
+            shard,
+            checkpoint_every: cfg.checkpoint_every,
+            fsync: cfg.fsync,
+            wal,
+            unsynced: 0,
+            since_ckpt: 0,
+            state: ShardState::default(),
+            wal_appends: 0,
+            wal_bytes: 0,
+            ckpt_writes: 0,
+            ckpt_bytes: 0,
+        })
+    }
+
+    /// Resume a durable run: recover the shard's state, then restart
+    /// the files from a fresh compacting checkpoint (which also
+    /// truncates any torn WAL tail).
+    pub fn open_resumed(cfg: &StoreConfig, shard: usize) -> io::Result<(Self, RecoveredShard)> {
+        let recovered = recover_shard(&cfg.dir, shard)?;
+        let mut state = ShardState::default();
+        for out in &recovered.outputs {
+            let mut b = Vec::new();
+            put_window_output(&mut b, out);
+            state.outputs.push(b);
+        }
+        state.carry = recovered.carry.clone();
+        state.aux = recovered.aux.clone();
+        state.watermark = recovered.watermark.clone();
+        // Recreate the WAL empty; the immediate checkpoint below makes
+        // the recovered state durable again before any new window.
+        let wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(wal_path(&cfg.dir, shard))?;
+        let mut store = ShardStore {
+            dir: cfg.dir.clone(),
+            shard,
+            checkpoint_every: cfg.checkpoint_every,
+            fsync: cfg.fsync,
+            wal,
+            unsynced: 0,
+            since_ckpt: 0,
+            state,
+            wal_appends: 0,
+            wal_bytes: 0,
+            ckpt_writes: 0,
+            ckpt_bytes: 0,
+        };
+        store.checkpoint()?;
+        Ok((store, recovered))
+    }
+
+    /// Durably record one closed window, checkpointing when the cadence
+    /// says so.
+    pub fn record_window(&mut self, rec: &WindowRecord<'_>) -> io::Result<()> {
+        let mut ob = Vec::new();
+        put_window_output(&mut ob, rec.output);
+        let mut payload = Vec::with_capacity(ob.len() + rec.carry.len() + rec.aux.len() + 24);
+        put_u64(&mut payload, self.state.seq());
+        put_bytes(&mut payload, &ob);
+        put_bytes(&mut payload, rec.carry);
+        put_bytes(&mut payload, rec.aux);
+        let n = write_frame(&mut self.wal, &payload)?;
+        self.wal_appends += 1;
+        self.wal_bytes += n as u64;
+        match self.fsync {
+            FsyncPolicy::Always => self.wal.sync_data()?,
+            FsyncPolicy::EveryN(k) => {
+                self.unsynced += 1;
+                if self.unsynced >= k {
+                    self.wal.sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        self.state.apply(ob, rec.output.window.clone(), rec.carry.to_vec(), rec.aux.to_vec());
+        self.since_ckpt += 1;
+        if self.checkpoint_every > 0 && self.since_ckpt >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Write a full checkpoint (tmp + rename, previous kept as
+    /// `.ckpt.prev`) and restart the WAL.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        let ckpt = ckpt_path(&self.dir, self.shard);
+        let prev = ckpt_prev_path(&self.dir, self.shard);
+        let tmp = self.dir.join(format!("shard-{}.ckpt.tmp", self.shard));
+        let mut f = File::create(&tmp)?;
+        let mut written = 0usize;
+        f.write_all(MAGIC)?;
+        let mut ver = Vec::with_capacity(4);
+        put_u32(&mut ver, VERSION);
+        f.write_all(&ver)?;
+        written += MAGIC.len() + ver.len();
+        let mut meta = Vec::new();
+        put_u64(&mut meta, self.state.seq());
+        match &self.state.watermark {
+            Some(w) => {
+                meta.push(1);
+                put_tuple(&mut meta, w);
+            }
+            None => meta.push(0),
+        }
+        put_bytes(&mut meta, &self.state.carry);
+        put_bytes(&mut meta, &self.state.aux);
+        written += write_frame(&mut f, &meta)?;
+        for ob in &self.state.outputs {
+            written += write_frame(&mut f, ob)?;
+        }
+        // Checkpoints always sync: they are the fallback the WAL chains
+        // onto, and they are rare.
+        f.sync_all()?;
+        drop(f);
+        match fs::rename(&ckpt, &prev) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        fs::rename(&tmp, &ckpt)?;
+        self.wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(wal_path(&self.dir, self.shard))?;
+        self.unsynced = 0;
+        self.since_ckpt = 0;
+        self.ckpt_writes += 1;
+        self.ckpt_bytes += written as u64;
+        Ok(())
+    }
+
+    /// Seal the run at end of stream with a final checkpoint.
+    pub fn finalize(&mut self) -> io::Result<()> {
+        self.checkpoint()
+    }
+
+    /// WAL records appended by this writer.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends
+    }
+
+    /// WAL bytes appended by this writer.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Checkpoints written by this writer.
+    pub fn ckpt_writes(&self) -> u64 {
+        self.ckpt_writes
+    }
+
+    /// Checkpoint bytes written by this writer.
+    pub fn ckpt_bytes(&self) -> u64 {
+        self.ckpt_bytes
+    }
+
+    /// Windows recorded since the last checkpoint (the checkpoint age,
+    /// in windows).
+    pub fn windows_since_ckpt(&self) -> u64 {
+        self.since_ckpt
+    }
+
+    /// Windows durably recorded in total.
+    pub fn windows_recorded(&self) -> u64 {
+        self.state.seq()
+    }
+}
+
+/// Parse a checkpoint file into a [`RecoveredShard`]-shaped state;
+/// `None` when missing, truncated, or checksum-corrupt anywhere.
+fn load_ckpt(path: &Path) -> Option<(RecoveredShard, u64)> {
+    let buf = fs::read(path).ok()?;
+    if buf.len() < 12 || &buf[..8] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) != VERSION {
+        return None;
+    }
+    let mut pos = 12usize;
+    let meta = read_frame(&buf, &mut pos)?;
+    let mut r = Reader::new(meta);
+    let seq = r.take_u64().ok()?;
+    let watermark = match r.take_u8().ok()? {
+        0 => None,
+        _ => Some(take_tuple(&mut r).ok()?),
+    };
+    let carry = r.take_bytes().ok()?.to_vec();
+    let aux = r.take_bytes().ok()?.to_vec();
+    if !r.is_empty() {
+        return None;
+    }
+    let mut outputs = Vec::with_capacity(seq.min(1 << 20) as usize);
+    for _ in 0..seq {
+        let ob = read_frame(&buf, &mut pos)?;
+        let mut or = Reader::new(ob);
+        let out = take_window_output(&mut or).ok()?;
+        if !or.is_empty() {
+            return None;
+        }
+        outputs.push(out);
+    }
+    Some((RecoveredShard { outputs, carry, aux, watermark }, seq))
+}
+
+/// Recover one shard's durable state: newest valid checkpoint (falling
+/// back to `.ckpt.prev`, then to empty), plus every WAL record that
+/// chains onto it. Never panics on corrupt input — a bad record simply
+/// ends the replay.
+pub fn recover_shard(dir: &Path, shard: usize) -> io::Result<RecoveredShard> {
+    let (mut state, mut seq) = load_ckpt(&ckpt_path(dir, shard))
+        .or_else(|| load_ckpt(&ckpt_prev_path(dir, shard)))
+        .unwrap_or((RecoveredShard::default(), 0));
+    let wal = match fs::read(wal_path(dir, shard)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut pos = 0usize;
+    while let Some(payload) = read_frame(&wal, &mut pos) {
+        let mut r = Reader::new(payload);
+        let Ok(rec_seq) = r.take_u64() else { break };
+        if rec_seq != seq {
+            // The record belongs after a checkpoint we did not load
+            // (e.g. the newest one was corrupt): stop, the state is
+            // consistent as of `seq` windows.
+            break;
+        }
+        let Ok(ob) = r.take_bytes() else { break };
+        let Ok(carry) = r.take_bytes() else { break };
+        let Ok(aux) = r.take_bytes() else { break };
+        let mut or = Reader::new(ob);
+        let Ok(out) = take_window_output(&mut or) else { break };
+        if !or.is_empty() || !r.is_empty() {
+            break;
+        }
+        state.watermark = Some(out.window.clone());
+        state.outputs.push(out);
+        state.carry = carry.to_vec();
+        state.aux = aux.to_vec();
+        seq += 1;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sso_core::operator::{Degradation, WindowStats};
+    use sso_types::Value;
+
+    fn out(w: u64, rows: u64) -> WindowOutput {
+        WindowOutput {
+            window: Tuple::new(vec![Value::U64(w)]),
+            rows: (0..rows)
+                .map(|i| Tuple::new(vec![Value::U64(w), Value::U64(i), Value::F64(i as f64)]))
+                .collect(),
+            stats: WindowStats { tuples: rows * 2, output_rows: rows, ..Default::default() },
+            degradation: Degradation::default(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sso-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn record(store: &mut ShardStore, w: u64, carry: &[u8], aux: &[u8]) {
+        let o = out(w, 3);
+        store.record_window(&WindowRecord { output: &o, carry, aux }).unwrap();
+    }
+
+    #[test]
+    fn wal_only_recovery_round_trips() {
+        let dir = tmpdir("walonly");
+        let cfg = StoreConfig { checkpoint_every: 0, ..StoreConfig::new(&dir) };
+        let mut store = ShardStore::create(&cfg, 0).unwrap();
+        record(&mut store, 1, b"carry1", b"aux1");
+        record(&mut store, 2, b"carry2", b"aux2");
+        drop(store); // crash: no finalize
+        let rec = recover_shard(&dir, 0).unwrap();
+        assert_eq!(rec.outputs.len(), 2);
+        assert_eq!(rec.outputs[1].rows.len(), 3);
+        assert_eq!(rec.carry, b"carry2");
+        assert_eq!(rec.aux, b"aux2");
+        assert_eq!(rec.watermark, Some(Tuple::new(vec![Value::U64(2)])));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_plus_wal_recovery() {
+        let dir = tmpdir("ckptwal");
+        let cfg = StoreConfig { checkpoint_every: 2, ..StoreConfig::new(&dir) };
+        let mut store = ShardStore::create(&cfg, 3).unwrap();
+        for w in 1..=5 {
+            record(&mut store, w, format!("c{w}").as_bytes(), b"");
+        }
+        assert_eq!(store.ckpt_writes(), 2, "checkpoints at windows 2 and 4");
+        assert_eq!(store.windows_since_ckpt(), 1);
+        drop(store);
+        let rec = recover_shard(&dir, 3).unwrap();
+        assert_eq!(rec.outputs.len(), 5);
+        assert_eq!(rec.carry, b"c5");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_dropped_not_fatal() {
+        let dir = tmpdir("torn");
+        let cfg = StoreConfig { checkpoint_every: 0, ..StoreConfig::new(&dir) };
+        let mut store = ShardStore::create(&cfg, 0).unwrap();
+        record(&mut store, 1, b"c1", b"");
+        record(&mut store, 2, b"c2", b"");
+        drop(store);
+        // Tear the last record.
+        let p = wal_path(&dir, 0);
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
+        let rec = recover_shard(&dir, 0).unwrap();
+        assert_eq!(rec.outputs.len(), 1, "torn second record dropped");
+        assert_eq!(rec.carry, b"c1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_previous() {
+        let dir = tmpdir("fallback");
+        let cfg = StoreConfig { checkpoint_every: 2, ..StoreConfig::new(&dir) };
+        let mut store = ShardStore::create(&cfg, 0).unwrap();
+        for w in 1..=4 {
+            record(&mut store, w, format!("c{w}").as_bytes(), b"");
+        }
+        drop(store);
+        // Flip a payload byte in the newest checkpoint; its checksum now
+        // fails and recovery must use shard-0.ckpt.prev (state as of
+        // window 2). The WAL is empty (truncated at the window-4
+        // checkpoint), so nothing chains past it.
+        let p = ckpt_path(&dir, 0);
+        let mut bytes = fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&p, &bytes).unwrap();
+        let rec = recover_shard(&dir, 0).unwrap();
+        assert_eq!(rec.outputs.len(), 2, "previous checkpoint state");
+        assert_eq!(rec.carry, b"c2");
+        assert_eq!(rec.watermark, Some(Tuple::new(vec![Value::U64(2)])));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_restarts_from_fresh_checkpoint() {
+        let dir = tmpdir("resume");
+        let cfg = StoreConfig { checkpoint_every: 0, ..StoreConfig::new(&dir) };
+        let mut store = ShardStore::create(&cfg, 0).unwrap();
+        record(&mut store, 1, b"c1", b"a1");
+        drop(store);
+        let (mut resumed, rec) = ShardStore::open_resumed(&cfg, 0).unwrap();
+        assert_eq!(rec.outputs.len(), 1);
+        assert_eq!(rec.carry, b"c1");
+        record(&mut resumed, 2, b"c2", b"a2");
+        resumed.finalize().unwrap();
+        drop(resumed);
+        let rec = recover_shard(&dir, 0).unwrap();
+        assert_eq!(rec.outputs.len(), 2);
+        assert_eq!(rec.carry, b"c2");
+        assert_eq!(rec.aux, b"a2");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(FsyncPolicy::parse("every=16").unwrap(), FsyncPolicy::EveryN(16));
+        assert!(FsyncPolicy::parse("every=0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::EveryN(4).to_string(), "every=4");
+    }
+}

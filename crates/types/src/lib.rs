@@ -19,6 +19,7 @@ pub mod packet;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use error::TypeError;
 pub use packet::{format_ipv4, parse_ipv4, Packet, Protocol};

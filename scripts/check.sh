@@ -57,7 +57,7 @@ import json, sys
 doc = json.loads(sys.stdin.read())
 report, diags = doc["report"], doc["diagnostics"]
 assert diags == [], f"audit diagnostics on the example corpus: {diags}"
-for key in ("feed", "shards", "budget", "total_state_bytes", "statements"):
+for key in ("feed", "shards", "budget", "total_state_bytes", "durable", "statements"):
     assert key in report, f"BoundsReport schema drift: missing {key}"
 stmt_keys = {
     "name", "stream", "sampler", "window_secs", "rows_per_sec",
@@ -119,6 +119,26 @@ deg = sum(1 for r in rows if r["degraded"])
 print(f"fault smoke OK: {len(rows)} windows, {deg} degraded")
 '
 
+echo "== crash-recovery smoke (durable store, resumed run matches fault-free) =="
+# A durable 4-shard run is killed mid-stream by an injected crash
+# fault; `sso recover` over the same store must reproduce the
+# fault-free run's JSON output byte-for-byte.
+STORE="$(mktemp -d)"
+SMOKE_QUERY="SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb"
+cargo run -q --bin sso -- run --feed research --seconds 4 --shards 4 --json \
+    "$SMOKE_QUERY" > "$STORE/baseline.json"
+printf 'crash at=20000\n' > "$STORE/plan.txt"
+if cargo run -q --bin sso -- run --feed research --seconds 4 --shards 4 --json \
+    --durable "$STORE/store" --fault-plan "$STORE/plan.txt" \
+    "$SMOKE_QUERY" > /dev/null 2> "$STORE/crash.err"; then
+    echo "the injected crash did not kill the durable run"; exit 1
+fi
+grep -q "injected crash fired" "$STORE/crash.err"
+cargo run -q --bin sso -- recover --json "$STORE/store" > "$STORE/recovered.json"
+diff "$STORE/baseline.json" "$STORE/recovered.json"
+echo "recovery smoke OK: recovered output identical to fault-free run"
+rm -rf "$STORE"
+
 echo "== fault-tolerance overhead gate (supervision within 5%) =="
 cargo run -q --release -p sso-bench --bin fault_overhead -- --json > BENCH_faults.json
 python3 -c '
@@ -129,6 +149,18 @@ sup = r["supervised"]["tuples_per_sec"]
 base = r["baseline"]["tuples_per_sec"]
 print(f"supervision overhead: {pct:.2f}% ({sup:.0f} vs {base:.0f} tuples/s)")
 assert pct <= 5.0, f"supervision overhead {pct:.2f}% exceeds the 5% budget"
+'
+
+echo "== durable-store overhead gate (checkpoints + WAL within 5%) =="
+cargo run -q --release -p sso-bench --bin store_overhead -- --json > BENCH_store.json
+python3 -c '
+import json
+r = json.load(open("BENCH_store.json"))
+pct = r["overhead_pct"]
+dur = r["durable"]["tuples_per_sec"]
+base = r["baseline"]["tuples_per_sec"]
+print(f"durable-store overhead: {pct:.2f}% ({dur:.0f} vs {base:.0f} tuples/s)")
+assert pct <= 5.0, f"durable-store overhead {pct:.2f}% exceeds the 5% budget"
 '
 
 echo "== observability overhead gate (instrumented within 5%) =="

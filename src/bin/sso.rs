@@ -30,6 +30,15 @@
 //!                                     packets, worker events need --shards > 1
 //!   --fault-seed S                    generate a seeded fault plan instead of
 //!                                     reading one (same replayable format)
+//!   --durable DIR                     persist operator state to DIR: per-shard
+//!                                     window checkpoints plus a carry-over WAL,
+//!                                     so `sso recover DIR` resumes a killed run
+//!                                     with loss bounded to the crash window
+//!   --state-budget BYTES              cap live group-table state; shards over
+//!                                     budget page cold groups to a spill file
+//!                                     under DIR (requires --durable)
+//!   --fsync always|never|every=N      WAL durability policy (default never:
+//!                                     survives process crashes, not power loss)
 //!   --metrics[=FILE]                  collect telemetry; write JSON snapshots to
 //!                                     FILE (`-`/omitted = stdout, `*.prom` =
 //!                                     Prometheus text of the final snapshot)
@@ -41,6 +50,12 @@
 //! `sso run` is an explicit alias for the default run mode. `sso top`
 //! runs the query on a background thread and refreshes a metrics table
 //! in place until it finishes (windows are counted, not printed).
+//!
+//! `sso recover DIR` replays a durable run from its `MANIFEST`: the
+//! original feed is regenerated, every window already in the store is
+//! served back without recomputation, and the run continues from the
+//! first unrecorded window. Fault plans are deliberately not replayed —
+//! recovery is expected to match the fault-free run.
 //!
 //! `sso check FILE` runs the static analyzer over every `;`-separated
 //! query in FILE without executing anything, printing rustc-style
@@ -56,10 +71,13 @@
 //! interpretation over the same cascade, certifying a memory ceiling
 //! per query against a declared feed envelope (`--feed`, default
 //! research), a router-skew verdict at `--shards N`, and degradation
-//! behavior (W201–W205). `--budget BYTES` makes the command fail when
+//! behavior (W201–W206). `--budget BYTES` makes the command fail when
 //! the certified total exceeds the budget (or cannot be bounded);
-//! `--json` emits the machine-readable `BoundsReport` plus
-//! diagnostics; `--turnstile` additionally flags deletion-unsafe
+//! `--state-budget BYTES` audits a durable run's spill budget (W206
+//! fires when it is under the pager's two-page-per-shard floor);
+//! `--json` emits the machine-readable `BoundsReport` — including the
+//! `durable` section with certified snapshot/WAL bytes per window —
+//! plus diagnostics; `--turnstile` additionally flags deletion-unsafe
 //! samplers. Nothing is executed: the verdict comes from the paper's
 //! closed-form state bounds evaluated symbolically.
 
@@ -81,6 +99,12 @@ struct Options {
     shards: usize,
     fault_plan: Option<String>,
     fault_seed: Option<u64>,
+    durable: Option<String>,
+    state_budget: Option<u64>,
+    fsync: String,
+    /// Resume from an existing store (`sso recover`) instead of
+    /// starting it fresh.
+    resume: bool,
     metrics: Option<String>,
     meta: Option<String>,
     top: bool,
@@ -94,10 +118,12 @@ fn usage() -> ! {
         "usage: sso [run|top] [--feed research|datacenter|ddos|burst] [--trace FILE] \
          [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] \
          [--fault-plan FILE] [--fault-seed S] \
+         [--durable DIR] [--state-budget BYTES] [--fsync always|never|every=N] \
          [--metrics[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
+         \x20      sso recover [--json] [--limit R] [--metrics[=FILE]] STORE-DIR\n\
          \x20      sso check [--json] [--deny-warnings] QUERY-FILE\n\
          \x20      sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N] \
-         [--budget BYTES] [--turnstile] QUERY-FILE"
+         [--budget BYTES] [--state-budget BYTES] [--turnstile] QUERY-FILE"
     );
     std::process::exit(2);
 }
@@ -218,7 +244,7 @@ fn run_audit(args: &[String]) -> ! {
     let usage = || -> ! {
         eprintln!(
             "usage: sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N] \
-             [--budget BYTES] [--turnstile] QUERY-FILE"
+             [--budget BYTES] [--state-budget BYTES] [--turnstile] QUERY-FILE"
         );
         std::process::exit(2);
     };
@@ -248,6 +274,9 @@ fn run_audit(args: &[String]) -> ! {
             }
             "--budget" => {
                 opts.budget = Some(value(&mut i).parse::<u64>().unwrap_or_else(|_| usage()))
+            }
+            "--state-budget" => {
+                opts.state_budget = Some(value(&mut i).parse::<u64>().unwrap_or_else(|_| usage()))
             }
             "--help" | "-h" => usage(),
             p if !p.starts_with("--") && path.is_none() => path = Some(p.to_string()),
@@ -309,6 +338,16 @@ fn run_audit(args: &[String]) -> ! {
                 s.skew,
             );
         }
+        let durable = outcome.report.durable();
+        let _ = writeln!(
+            out,
+            "{path}: durable: snapshot <= {} B/window, WAL <= {} B/window, \
+             spill pages <= {}, min --state-budget {}",
+            durable.snapshot_bytes_per_window,
+            durable.wal_bytes_per_window,
+            durable.spill_pages,
+            durable.min_state_budget,
+        );
         let total = outcome.report.total_state_bytes();
         let _ = match outcome.report.budget {
             Some(b) if outcome.budget_exceeded() => {
@@ -333,6 +372,10 @@ fn parse_args(argv: &[String], top: bool) -> Options {
         shards: 1,
         fault_plan: None,
         fault_seed: None,
+        durable: None,
+        state_budget: None,
+        fsync: "never".to_string(),
+        resume: false,
         metrics: None,
         meta: None,
         top,
@@ -366,6 +409,11 @@ fn parse_args(argv: &[String], top: bool) -> Options {
             "--fault-seed" => {
                 opts.fault_seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
             }
+            "--durable" => opts.durable = Some(value(&mut i)),
+            "--state-budget" => {
+                opts.state_budget = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--fsync" => opts.fsync = value(&mut i),
             "--metrics" => {
                 // Optional target: a following bare `-` selects stdout
                 // explicitly (also the default); files use `--metrics=FILE`.
@@ -388,7 +436,98 @@ fn parse_args(argv: &[String], top: bool) -> Options {
     if opts.query.is_none() {
         usage();
     }
+    if opts.state_budget.is_some() && opts.durable.is_none() {
+        eprintln!("error: --state-budget requires --durable DIR (the spill file lives there)");
+        std::process::exit(2);
+    }
+    if let Err(e) = stream_sampler::store::FsyncPolicy::parse(&opts.fsync) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     opts
+}
+
+/// `sso recover [--json] [--limit R] [--metrics[=FILE]] STORE-DIR`:
+/// rebuild the run configuration from the store's `MANIFEST` and re-run
+/// it with `resume = true` — recorded windows are served back from the
+/// store, and execution picks up at the first unrecorded window.
+fn recover_options(args: &[String]) -> Options {
+    let usage = || -> ! {
+        eprintln!("usage: sso recover [--json] [--limit R] [--metrics[=FILE]] STORE-DIR");
+        std::process::exit(2);
+    };
+    let mut json = false;
+    let mut limit = 20usize;
+    let mut metrics = None;
+    let mut dir: Option<String> = None;
+    let mut i = 0usize;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i - 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        let a = args[i].clone();
+        i += 1;
+        match a.as_str() {
+            "--json" => json = true,
+            "--limit" => limit = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--metrics" => metrics = Some("-".to_string()),
+            s if s.starts_with("--metrics=") => metrics = Some(s["--metrics=".len()..].to_string()),
+            "--help" | "-h" => usage(),
+            p if !p.starts_with("--") && dir.is_none() => dir = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    let manifest =
+        stream_sampler::store::read_manifest(std::path::Path::new(&dir)).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {dir}/MANIFEST: {e}");
+            std::process::exit(1);
+        });
+    let get = |k: &str| manifest.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+    let require = |k: &str| {
+        get(k).unwrap_or_else(|| {
+            eprintln!(
+                "error: {dir}/MANIFEST has no `{k}` entry; was the run started with --durable?"
+            );
+            std::process::exit(1);
+        })
+    };
+    let parse_num = |k: &str, v: String| -> u64 {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {dir}/MANIFEST: bad `{k}` value `{v}`");
+            std::process::exit(1);
+        })
+    };
+    let query = require("query");
+    let seconds = parse_num("seconds", require("seconds"));
+    let seed = parse_num("seed", require("seed"));
+    let shards = parse_num("shards", require("shards")) as usize;
+    let state_budget = get("state_budget").map(|v| parse_num("state_budget", v));
+    Options {
+        feed: get("feed").unwrap_or_else(|| "research".to_string()),
+        trace: get("trace"),
+        dump: None,
+        seconds,
+        seed,
+        limit,
+        shards,
+        // Fault plans are deliberately not replayed: recovery must
+        // converge on the fault-free output, and re-arming the crash
+        // event would kill the resumed run at the same tuple again.
+        fault_plan: None,
+        fault_seed: None,
+        durable: Some(dir),
+        state_budget,
+        fsync: get("fsync").unwrap_or_else(|| "never".to_string()),
+        resume: true,
+        metrics,
+        meta: None,
+        top: false,
+        explain: false,
+        json,
+        query: Some(query),
+    }
 }
 
 /// What one query execution produced, gathered so printing (or the live
@@ -415,7 +554,9 @@ fn execute_query(
     let schema = Packet::schema();
     let config = PlannerConfig::standard();
     let mut result = ExecResult { windows: Vec::new(), shard_lines: Vec::new(), coverage: 1.0 };
-    if opts.shards > 1 {
+    // Durable runs always go through the sharded runtime — that is
+    // where the per-shard store lives — even at --shards 1.
+    if opts.shards > 1 || opts.durable.is_some() {
         let make = |_shard: usize| {
             stream_sampler::query::plan(parsed, &schema, &config)
                 .map_err(|e| stream_sampler::operator::OpError::InvalidSpec(e.to_string()))
@@ -444,13 +585,33 @@ fn execute_query(
         if let Some(plan) = faults {
             cfg = cfg.with_faults(plan.clone());
         }
-        let report = stream_sampler::gigascope::run_plan_sharded(
+        if let Some(dir) = &opts.durable {
+            let mut durability =
+                stream_sampler::runtime::DurabilityConfig::new(std::path::PathBuf::from(dir));
+            durability.fsync = stream_sampler::store::FsyncPolicy::parse(&opts.fsync)?;
+            durability.state_budget = opts.state_budget;
+            durability.resume = opts.resume;
+            cfg = cfg.with_durability(durability);
+        }
+        let report = match stream_sampler::gigascope::run_plan_sharded(
             Box::new(SelectionNode::pass_all()),
             make,
             &cfg,
             packets.to_vec(),
-        )
-        .map_err(|e| e.to_string())?;
+        ) {
+            Ok(report) => report,
+            Err(stream_sampler::gigascope::ShardedRunError::Runtime(
+                stream_sampler::runtime::RuntimeError::Crashed { at_tuple },
+            )) => {
+                let hint = opts
+                    .durable
+                    .as_deref()
+                    .map(|d| format!("; resume with `sso recover {d}`"))
+                    .unwrap_or_default();
+                return Err(format!("injected crash fired at stream tuple {at_tuple}{hint}"));
+            }
+            Err(e) => return Err(e.to_string()),
+        };
         result.coverage = report.coverage;
         for s in &report.shards {
             result.shard_lines.push(format!(
@@ -523,10 +684,21 @@ fn render_top(snap: &Snapshot) -> String {
 /// coverage gauge. Empty for single-instance runs (no `rt.*` shard
 /// metrics in the snapshot).
 fn render_shard_health(snap: &Snapshot) -> String {
-    // label "shard=N" → [tuples, windows, stalls, dropped, shed, quarantines]
-    const COLS: [&str; 6] =
-        ["rt.tuples", "rt.windows", "rt.stalls", "rt.dropped", "rt.shed_tuples", "rt.quarantines"];
-    let mut shards: Vec<(usize, [f64; 6])> = Vec::new();
+    // label "shard=N" → [tuples, windows, stalls, dropped, shed,
+    // quarantines, ckpt age, resident spill bytes]. The last two only
+    // appear on durable runs (`store.*` gauges); the columns render
+    // anyway so the table shape is stable.
+    const COLS: [&str; 8] = [
+        "rt.tuples",
+        "rt.windows",
+        "rt.stalls",
+        "rt.dropped",
+        "rt.shed_tuples",
+        "rt.quarantines",
+        "store.ckpt_age",
+        "store.resident_bytes",
+    ];
+    let mut shards: Vec<(usize, [f64; 8])> = Vec::new();
     for m in &snap.metrics {
         let Some(col) = COLS.iter().position(|&c| c == m.name) else { continue };
         let Some(shard) = m.label.strip_prefix("shard=").and_then(|s| s.parse::<usize>().ok())
@@ -536,7 +708,7 @@ fn render_shard_health(snap: &Snapshot) -> String {
         let row = match shards.iter_mut().find(|(s, _)| *s == shard) {
             Some((_, row)) => row,
             None => {
-                shards.push((shard, [0.0; 6]));
+                shards.push((shard, [0.0; 8]));
                 &mut shards.last_mut().expect("just pushed").1
             }
         };
@@ -548,13 +720,21 @@ fn render_shard_health(snap: &Snapshot) -> String {
     shards.sort_by_key(|(s, _)| *s);
     let mut out = String::new();
     out.push_str(&format!(
-        "\n{:<6} {:>12} {:>9} {:>8} {:>9} {:>9} {:>12}\n",
-        "SHARD", "TUPLES", "WINDOWS", "STALLS", "DROPPED", "SHED", "QUARANTINED"
+        "\n{:<6} {:>12} {:>9} {:>8} {:>9} {:>9} {:>12} {:>9} {:>12}\n",
+        "SHARD",
+        "TUPLES",
+        "WINDOWS",
+        "STALLS",
+        "DROPPED",
+        "SHED",
+        "QUARANTINED",
+        "CKPT_AGE",
+        "SPILL_RES"
     ));
     for (shard, row) in &shards {
         out.push_str(&format!(
-            "{:<6} {:>12} {:>9} {:>8} {:>9} {:>9} {:>12}\n",
-            shard, row[0], row[1], row[2], row[3], row[4], row[5]
+            "{:<6} {:>12} {:>9} {:>8} {:>9} {:>9} {:>12} {:>9} {:>12}\n",
+            shard, row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7]
         ));
     }
     if let Some(cov) = snap.metrics.iter().find(|m| m.name == "rt.coverage") {
@@ -623,9 +803,11 @@ fn run_meta_query(meta_text: &str, snapshots: &[Snapshot], opts: &Options) {
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let mut top = false;
+    let mut recovered: Option<Options> = None;
     match argv.first().map(String::as_str) {
         Some("check") => run_check(&argv[1..]),
         Some("audit") => run_audit(&argv[1..]),
+        Some("recover") => recovered = Some(recover_options(&argv[1..])),
         Some("run") => {
             argv.remove(0);
         }
@@ -635,7 +817,7 @@ fn main() {
         }
         _ => {}
     }
-    let opts = parse_args(&argv, top);
+    let opts = recovered.unwrap_or_else(|| parse_args(&argv, top));
     let query_text = opts.query.as_deref().expect("query checked in parse_args");
 
     let schema = Packet::schema();
@@ -749,12 +931,47 @@ fn main() {
     }
 
     // Gate on shard-mergeability first so the refusal renders as a
-    // proper W102 diagnostic instead of a runtime error.
-    if opts.shards > 1 && stream_sampler::operator::shard_plan(&spec).is_err() {
+    // proper W102 diagnostic instead of a runtime error. Durable runs
+    // go through the sharded runtime even at --shards 1, so they gate
+    // too.
+    if (opts.shards > 1 || opts.durable.is_some())
+        && stream_sampler::operator::shard_plan(&spec).is_err()
+    {
         let diags = stream_sampler::query::check_shard_mergeable(query_text, &schema, &config);
         eprint!("{}", diag::render(query_text, "query", &diags));
-        eprintln!("error: --shards {} requires a shard-mergeable query", opts.shards);
+        if opts.shards > 1 {
+            eprintln!("error: --shards {} requires a shard-mergeable query", opts.shards);
+        } else {
+            eprintln!("error: --durable requires a shard-mergeable query");
+        }
         std::process::exit(1);
+    }
+
+    // A fresh durable run records its configuration so `sso recover`
+    // can rebuild the identical input stream. Written before execution:
+    // the manifest must survive the crash it exists to recover from.
+    if let (Some(dir), false) = (&opts.durable, opts.resume) {
+        let path = std::path::Path::new(dir);
+        let mut entries: Vec<(String, String)> = vec![
+            ("query".into(), query_text.replace(['\n', '\r'], " ")),
+            ("feed".into(), opts.feed.clone()),
+            ("seed".into(), opts.seed.to_string()),
+            ("seconds".into(), opts.seconds.to_string()),
+            ("shards".into(), opts.shards.to_string()),
+            ("fsync".into(), opts.fsync.clone()),
+        ];
+        if let Some(trace) = &opts.trace {
+            entries.push(("trace".into(), trace.clone()));
+        }
+        if let Some(budget) = opts.state_budget {
+            entries.push(("state_budget".into(), budget.to_string()));
+        }
+        let written = std::fs::create_dir_all(path)
+            .and_then(|()| stream_sampler::store::write_manifest(path, &entries));
+        if let Err(e) = written {
+            eprintln!("error: cannot write {dir}/MANIFEST: {e}");
+            std::process::exit(1);
+        }
     }
 
     let wants_metrics = opts.metrics.is_some() || opts.meta.is_some() || opts.top;

@@ -17,6 +17,7 @@
 //! | [`obs`] | `sso-obs` | telemetry: metrics registry, sampled spans, exporters, the `METRICS` meta-stream |
 //! | [`query`] | `sso-query` | the §5 query language: lexer, parser, planner |
 //! | [`runtime`] | `sso-runtime` | sharded execution: hash-partitioned worker shards, window-aligned merge, shard supervision |
+//! | [`store`] | `sso-store` | durable operator state: window checkpoints, carry-over WAL, spill-to-disk group tables |
 //! | [`faults`] | `sso-faults` | seeded, replayable fault plans: worker panics/stalls, bursts, reordering, skew, malformed tuples |
 //! | [`gigascope`] | `sso-gigascope` | ring buffer, two-level plans, CPU accounting |
 //! | [`netgen`] | `sso-netgen` | synthetic research-center and data-center packet feeds |
@@ -57,6 +58,7 @@ pub use sso_obs as obs;
 pub use sso_query as query;
 pub use sso_runtime as runtime;
 pub use sso_sampling as sampling;
+pub use sso_store as store;
 pub use sso_types as types;
 
 /// The names most programs need.

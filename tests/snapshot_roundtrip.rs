@@ -1,0 +1,120 @@
+//! Property tests for the durable state codecs: for every sampler
+//! family with a persistence codec (subset-sum, reservoir, lossy
+//! counting, distinct sampling), drive an operator over an arbitrary
+//! packet stream spanning several windows, export its carry-over state
+//! and library aux, decode both into a fresh operator, and re-encode —
+//! the bytes must come back identical. This is the invariant the
+//! recovery path stands on: `decode(encode(s))` re-encodes to
+//! `encode(s)`, so a restarted worker's persisted state is
+//! indistinguishable from the original's.
+
+use proptest::prelude::*;
+use stream_sampler::operator::{OpError, OperatorSpec};
+use stream_sampler::prelude::*;
+use stream_sampler::types::Protocol;
+
+const WINDOW: u64 = 2;
+
+fn packet(time: u64, seq: u64, src: u32, dst: u32, len: u32) -> Packet {
+    Packet {
+        uts: time * 1_000_000_000 + seq % 1_000_000_000,
+        src_ip: src,
+        dest_ip: dst,
+        src_port: 80,
+        dest_port: 443,
+        proto: Protocol::Tcp,
+        len,
+    }
+}
+
+/// An arbitrary stream that always spans at least two windows (so the
+/// operator has closed a window and populated its carry-over state).
+fn stream_strategy() -> impl Strategy<Value = Vec<Packet>> {
+    proptest::collection::vec((0u64..3 * WINDOW, 0u32..8, 0u32..8, 40u32..1500), 20..120).prop_map(
+        |mut raw| {
+            raw.sort_by_key(|&(t, ..)| t);
+            // Pin the first and last packet into different windows.
+            if let Some(first) = raw.first_mut() {
+                first.0 = 0;
+            }
+            if let Some(last) = raw.last_mut() {
+                last.0 = 3 * WINDOW - 1;
+            }
+            raw.iter()
+                .enumerate()
+                .map(|(i, &(t, s, d, len))| packet(t, i as u64, s, d, len))
+                .collect()
+        },
+    )
+}
+
+/// Drive `make`'s operator over the stream, then round-trip its carry
+/// and aux through a fresh operator: encode → decode → encode must be
+/// byte-identical.
+fn assert_roundtrip<F>(make: F, pkts: &[Packet], family: &str)
+where
+    F: Fn() -> Result<OperatorSpec, OpError>,
+{
+    let mut op = SamplingOperator::new(make().expect("spec builds")).expect("operator builds");
+    assert!(op.can_persist(), "{family}: persistence codec must be registered");
+    for p in pkts {
+        op.process(&p.to_tuple()).expect("process");
+    }
+    let carry = op.export_carry().expect("carry encodes");
+    let aux = op.export_aux();
+
+    let mut fresh = SamplingOperator::new(make().expect("spec builds")).expect("operator builds");
+    fresh.import_carry(&carry).expect("carry decodes");
+    fresh.import_aux(&aux).expect("aux decodes");
+    assert_eq!(
+        carry,
+        fresh.export_carry().expect("carry re-encodes"),
+        "{family}: carry encode→decode→encode must be byte-identical"
+    );
+    assert_eq!(
+        aux,
+        fresh.export_aux(),
+        "{family}: aux encode→decode→encode must be byte-identical"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn subset_sum_state_roundtrips(pkts in stream_strategy()) {
+        assert_roundtrip(|| queries::basic_subset_sum_query(WINDOW, 300.0), &pkts, "subset-sum");
+    }
+
+    #[test]
+    fn reservoir_state_roundtrips(pkts in stream_strategy()) {
+        assert_roundtrip(
+            || queries::reservoir_query(
+                WINDOW,
+                ReservoirOpConfig { n: 8, seed: 99, ..Default::default() },
+            ),
+            &pkts,
+            "reservoir",
+        );
+    }
+
+    #[test]
+    fn lossy_counting_state_roundtrips(pkts in stream_strategy()) {
+        assert_roundtrip(|| queries::heavy_hitters_query(WINDOW, 16, None), &pkts, "lossy-counting");
+    }
+
+    #[test]
+    fn distinct_sample_state_roundtrips(pkts in stream_strategy()) {
+        assert_roundtrip(
+            || queries::distinct_sample_query(
+                WINDOW,
+                stream_sampler::operator::libs::distinct::DistinctOpConfig {
+                    capacity: 16,
+                    ..Default::default()
+                },
+            ),
+            &pkts,
+            "distinct",
+        );
+    }
+}

@@ -102,6 +102,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words, for byte-exact persistence.
+        /// `gen_range` uses rejection sampling, so the only sound way to
+        /// resume a generator mid-stream is to restore these words
+        /// exactly — never by replaying a draw count.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from words captured by [`StdRng::state`].
+        /// The next draw continues the original stream exactly.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s: if s == [0, 0, 0, 0] { [1, 0, 0, 0] } else { s } }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
