@@ -32,6 +32,7 @@ pub struct OperatorMetrics {
     pub(crate) process_span: SampledSpan,
     pub(crate) clean_span: SampledSpan,
     pub(crate) window_span: SampledSpan,
+    pub(crate) finalize_span: SampledSpan,
     detector: UndersampleDetector,
 }
 
@@ -68,6 +69,17 @@ impl OperatorMetrics {
                 registry,
                 "op.window_close_ns",
                 "op.window_close_busy_ns",
+                label.clone(),
+                0,
+            ),
+            // The end-of-stream force-close is a distinct span from the
+            // regular window close: it is where merge-finalize waits on
+            // every shard, so its latency lands on the critical path of
+            // the whole run rather than overlapping the stream.
+            finalize_span: SampledSpan::register(
+                registry,
+                "op.finalize_ns",
+                "op.finalize_busy_ns",
                 label.clone(),
                 0,
             ),

@@ -978,6 +978,7 @@ impl SamplingOperator {
         if self.window.is_none() {
             return Ok(None);
         }
+        let _span = self.metrics.as_ref().and_then(|m| m.finalize_span.start());
         let out = self.flush_window()?;
         self.window = None;
         Ok(Some(out))

@@ -147,6 +147,7 @@ where
     // accounting live without publishing anything.
     let registry = cfg.registry.clone().unwrap_or_default();
     let low_span = SampledSpan::register(&registry, "low.process_ns", "low.busy_ns", "", 6);
+    let prof_start = cfg.profile.as_ref().map(|p| p.now_ns());
 
     // Drive the low-level node lazily from inside the router loop: the
     // adapter runs on the calling thread, so the node needs no Sync and
@@ -194,6 +195,18 @@ where
 
     let report = run_sharded(plan, make_spec, cfg, tuples)?;
     low_stats.busy = Duration::from_nanos(low_span.busy_counter().get());
+    if let (Some(p), Some(start)) = (cfg.profile.as_ref(), prof_start) {
+        // The low node runs inline on the router thread, interleaved
+        // with sends; its lineage stamp is one span for the whole run
+        // (busy time, not wall time) so stage attribution can separate
+        // low-level reduction cost from router fan-out cost.
+        let mut lane = p.lane(sso_profile::LaneKind::Low, 0);
+        lane.record(
+            sso_profile::Event::new(sso_profile::Stage::Low, start, low_span.busy_counter().get())
+                .aux(low_stats.tuples_in),
+        );
+        lane.publish();
+    }
     if cfg.registry.is_some() {
         registry.counter("low.tuples_in").add(low_stats.tuples_in);
         registry.counter("low.tuples_out").add(low_stats.tuples_out);

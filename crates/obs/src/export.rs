@@ -132,6 +132,40 @@ fn prom_histogram(out: &mut String, name: &str, label: &str, h: &HistSnapshot) {
     let _ = writeln!(out, "{name}_count{} {}", prom_labels(label, None), h.count);
 }
 
+/// `# HELP` text for the well-known metric families; scrapers surface
+/// it next to the series, so unknown names still get a truthful line.
+fn prom_help(name: &str) -> &'static str {
+    match name {
+        "rt.tuples" => "Tuples processed by the shard worker",
+        "rt.windows" => "Windows closed by the shard worker",
+        "rt.stalls" => "Full-ring waits the router observed pushing to this shard",
+        "rt.dropped" => "Tuples dropped at a full shard ring (drop-newest backpressure)",
+        "rt.shed_tuples" => "Tuples shed below the backpressure threshold at a full ring",
+        "rt.ring_depth" => {
+            "Batches resident in the shard ring (sampled at push, including wait entry)"
+        }
+        "rt.quarantines" => "Worker panics caught and quarantined",
+        "rt.coverage" => "Run-level output coverage (1.0 = no fault degraded the output)",
+        "op.tuples" => "Tuples offered to the sampling operator",
+        "op.admitted" => "Tuples admitted past the sampling predicate",
+        "op.windows" => "Windows closed by the sampling operator",
+        "op.output_rows" => "Rows emitted at window close",
+        "op.groups" => "Live groups in the operator table",
+        "op.threshold_z" => "Current sampling threshold",
+        "op.process_ns" => "Tuple-phase latency (sampled 1 in 64)",
+        "op.window_close_ns" => "Window-close flush latency",
+        "op.finalize_ns" => "End-of-stream force-close latency",
+        "low.busy_ns" => "Low-level node busy time on the router thread",
+        "prof.stage_ns" => "Causal-trace stage duration total (label stage=NAME)",
+        "prof.stage_events" => "Causal-trace events observed per stage",
+        "prof.window_ns" => "End-to-end window latency: first Process stamp to merged Emit",
+        "prof.dropped_events" => "Trace events lost to lane ring wrap-around",
+        n if n.starts_with("prof.stage.") => "Causal-trace per-stage duration distribution",
+        n if n.starts_with("store.") => "Durable-store metric (checkpoints, WAL, spill pager)",
+        _ => "stream-sampler metric",
+    }
+}
+
 /// Render one snapshot in the Prometheus text exposition format.
 pub fn snapshot_to_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
@@ -144,6 +178,7 @@ pub fn snapshot_to_prometheus(snap: &Snapshot) -> String {
                 MetricKind::Gauge => "gauge",
                 MetricKind::Histogram => "histogram",
             };
+            let _ = writeln!(out, "# HELP {name} {}", prom_help(m.name));
             let _ = writeln!(out, "# TYPE {name} {ty}");
             last_name = m.name;
         }
@@ -218,5 +253,29 @@ mod tests {
         assert!(text.contains("op_process_ns_count 2"));
         // TYPE line appears once per metric name even with two cells.
         assert_eq!(text.matches("# TYPE rt_tuples").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_help_precedes_every_type_line() {
+        let r = sample_registry();
+        r.counter("made.up_name").inc();
+        let text = snapshot_to_prometheus(&r.snapshot());
+        assert!(text.contains("# HELP rt_tuples Tuples processed by the shard worker"));
+        assert_eq!(text.matches("# HELP rt_tuples").count(), 1);
+        // Unknown names still get a truthful generic HELP line.
+        assert!(text.contains("# HELP made_up_name stream-sampler metric"));
+        // The exposition-format pairing: each TYPE directly follows its
+        // HELP for the same metric name.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                let prev = lines[i - 1];
+                assert!(
+                    prev.starts_with(&format!("# HELP {name} ")),
+                    "TYPE for {name} not preceded by its HELP: {prev}"
+                );
+            }
+        }
     }
 }

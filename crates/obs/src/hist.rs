@@ -86,6 +86,19 @@ impl HistSnapshot {
         self.sum += core.sum.load(Relaxed);
     }
 
+    /// Record one observation into an offline snapshot — the same
+    /// bucketing as the live [`Histogram`], for collectors that
+    /// aggregate after the fact (e.g. `sso-profile` folding per-window
+    /// latencies out of a flight-recorder dump).
+    pub fn record(&mut self, value: u64) {
+        if self.buckets.len() != BUCKETS {
+            self.buckets = vec![0; BUCKETS];
+        }
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
     /// Mean observed value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

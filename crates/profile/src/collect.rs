@@ -1,0 +1,337 @@
+//! The merge-on-read collector: folds every lane's events into a
+//! stage-attribution table and per-window end-to-end latency
+//! histograms (reusing the `sso-obs` power-of-two buckets).
+//!
+//! End-to-end window latency is measured causally: the `Emit` stamp's
+//! end minus the earliest `Process` start carrying the same window
+//! ordinal — i.e. from the first tuple of the window entering a shard
+//! operator to the merged window leaving the runtime. Windows whose
+//! `Process` stamps were evicted by ring wrap-around are skipped, never
+//! guessed.
+
+use sso_obs::{HistSnapshot, Registry};
+
+use crate::dump::Dump;
+use crate::event::{Stage, SHARD_NONE, STAGES, WINDOW_NONE};
+
+/// One row of the stage-attribution table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTotal {
+    pub stage: Stage,
+    /// Events observed for this stage.
+    pub events: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+    /// Share of the summed duration across all stages, percent.
+    pub share_pct: f64,
+}
+
+/// The folded view of one profiled run (or one decoded dump).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Observed stages in causal order.
+    pub stages: Vec<StageTotal>,
+    /// Sum of every stage's `total_ns`.
+    pub total_ns: u64,
+    /// End-to-end window latency distribution.
+    pub windows: HistSnapshot,
+    /// Windows with a measurable end-to-end latency.
+    pub window_count: u64,
+    /// The stage with the largest total.
+    pub dominant: Option<Stage>,
+    /// Router-side share (`ingest + route + ring_wait`), percent —
+    /// the ROADMAP-item-1 number.
+    pub router_share_pct: f64,
+    /// Events lost to ring wrap-around (attribution is over the rest).
+    pub dropped_events: u64,
+}
+
+/// `(window ordinal, emit end, earliest process start)` pairing.
+fn window_latencies(dump: &Dump) -> Vec<u64> {
+    let mut first_process: Vec<(u32, u64)> = Vec::new();
+    let mut emits: Vec<(u32, u64)> = Vec::new();
+    for lane in &dump.lanes {
+        for e in &lane.events {
+            if e.window == WINDOW_NONE {
+                continue;
+            }
+            match e.stage {
+                Stage::Process => match first_process.iter_mut().find(|(w, _)| *w == e.window) {
+                    Some((_, t)) => *t = (*t).min(e.t_ns),
+                    None => first_process.push((e.window, e.t_ns)),
+                },
+                Stage::Emit => emits.push((e.window, e.end_ns())),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(emits.len());
+    for (w, end) in emits {
+        if let Some((_, start)) = first_process.iter().find(|(pw, _)| *pw == w) {
+            out.push(end.saturating_sub(*start));
+        }
+    }
+    out
+}
+
+impl ProfileReport {
+    /// Fold a dump (live or decoded from disk).
+    pub fn from_dump(dump: &Dump) -> ProfileReport {
+        let mut events = [0u64; STAGES.len()];
+        let mut totals = [0u64; STAGES.len()];
+        for lane in &dump.lanes {
+            for e in &lane.events {
+                let i = e.stage as usize;
+                events[i] += 1;
+                totals[i] = totals[i].saturating_add(e.dur_ns);
+            }
+        }
+        let total_ns: u64 = totals.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        let pct = |ns: u64| if total_ns == 0 { 0.0 } else { 100.0 * ns as f64 / total_ns as f64 };
+
+        let stages: Vec<StageTotal> = STAGES
+            .iter()
+            .filter(|&&s| events[s as usize] > 0)
+            .map(|&s| StageTotal {
+                stage: s,
+                events: events[s as usize],
+                total_ns: totals[s as usize],
+                share_pct: pct(totals[s as usize]),
+            })
+            .collect();
+        let dominant = stages.iter().max_by_key(|t| t.total_ns).map(|t| t.stage);
+        let router_ns = totals[Stage::Ingest as usize]
+            .saturating_add(totals[Stage::Route as usize])
+            .saturating_add(totals[Stage::RingWait as usize]);
+
+        let mut windows = HistSnapshot::default();
+        for lat in window_latencies(dump) {
+            windows.record(lat);
+        }
+        let window_count = windows.count;
+
+        ProfileReport {
+            stages,
+            total_ns,
+            windows,
+            window_count,
+            dominant,
+            router_share_pct: pct(router_ns),
+            dropped_events: dump.dropped(),
+        }
+    }
+
+    /// The attribution table as printable text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stage attribution ({} across {} events):\n",
+            fmt_ns(self.total_ns),
+            self.stages.iter().map(|s| s.events).sum::<u64>()
+        ));
+        out.push_str(&format!(
+            "  {:<12} {:>8} {:>10} {:>7}\n",
+            "STAGE", "EVENTS", "TOTAL", "SHARE"
+        ));
+        for s in &self.stages {
+            let mark = if Some(s.stage) == self.dominant { "  << dominant" } else { "" };
+            out.push_str(&format!(
+                "  {:<12} {:>8} {:>10} {:>6.1}%{}\n",
+                s.stage.name(),
+                s.events,
+                fmt_ns(s.total_ns),
+                s.share_pct,
+                mark
+            ));
+        }
+        out.push_str(&format!(
+            "router share (ingest+route+ring_wait): {:.1}%\n",
+            self.router_share_pct
+        ));
+        if self.window_count > 0 {
+            out.push_str(&format!(
+                "window latency: p50 {}  p99 {}  mean {}  ({} windows)\n",
+                fmt_ns(self.windows.quantile(0.50)),
+                fmt_ns(self.windows.quantile(0.99)),
+                fmt_ns(self.windows.mean() as u64),
+                self.window_count
+            ));
+        }
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "note: {} events lost to ring wrap-around (attribution covers the rest)\n",
+                self.dropped_events
+            ));
+        }
+        out
+    }
+}
+
+/// `prof.stage.<name>_ns` histogram name for a stage.
+fn stage_hist_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Ingest => "prof.stage.ingest_ns",
+        Stage::Route => "prof.stage.route_ns",
+        Stage::RingWait => "prof.stage.ring_wait_ns",
+        Stage::Process => "prof.stage.process_ns",
+        Stage::Flush => "prof.stage.flush_ns",
+        Stage::BarrierWait => "prof.stage.barrier_wait_ns",
+        Stage::Merge => "prof.stage.merge_ns",
+        Stage::Emit => "prof.stage.emit_ns",
+        Stage::Low => "prof.stage.low_ns",
+    }
+}
+
+/// Register `prof.*` metrics from a dump into a registry: per-stage
+/// duration histograms (worker stages labeled `shard=N`), flat
+/// per-stage totals for attribution readers, and the end-to-end
+/// `prof.window_ns` latency histogram.
+pub fn fold_into(dump: &Dump, registry: &Registry) {
+    let mut stage_ns = [0u64; STAGES.len()];
+    let mut stage_events = [0u64; STAGES.len()];
+    // Each registry handle is a fresh cell — cache one per
+    // (stage, shard) instead of registering per event.
+    let mut hists: Vec<((Stage, u16), sso_obs::Histogram)> = Vec::new();
+    for lane in &dump.lanes {
+        for e in &lane.events {
+            let key = (e.stage, e.shard);
+            let h = match hists.iter().position(|(k, _)| *k == key) {
+                Some(i) => &hists[i].1,
+                None => {
+                    let label = if e.shard == SHARD_NONE {
+                        String::new()
+                    } else {
+                        format!("shard={}", e.shard)
+                    };
+                    hists.push((key, registry.histogram_labeled(stage_hist_name(e.stage), label)));
+                    &hists.last().expect("just pushed").1
+                }
+            };
+            h.record(e.dur_ns);
+            stage_ns[e.stage as usize] = stage_ns[e.stage as usize].saturating_add(e.dur_ns);
+            stage_events[e.stage as usize] += 1;
+        }
+    }
+    for &s in STAGES.iter() {
+        if stage_events[s as usize] == 0 {
+            continue;
+        }
+        registry
+            .counter_labeled("prof.stage_ns", format!("stage={}", s.name()))
+            .add(stage_ns[s as usize]);
+        registry
+            .counter_labeled("prof.stage_events", format!("stage={}", s.name()))
+            .add(stage_events[s as usize]);
+    }
+    let win = registry.histogram("prof.window_ns");
+    for lat in window_latencies(dump) {
+        win.record(lat);
+    }
+    let dropped = dump.dropped();
+    if dropped > 0 {
+        registry.counter("prof.dropped_events").add(dropped);
+    }
+}
+
+/// Render nanoseconds at a human scale.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 10_000_000_000 {
+        format!("{:.1}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::LaneDump;
+    use crate::event::Event;
+    use crate::lane::LaneKind;
+    use crate::profiler::DumpReason;
+
+    fn dump() -> Dump {
+        Dump {
+            reason: DumpReason::Manual,
+            lanes: vec![
+                LaneDump {
+                    kind: LaneKind::Router,
+                    index: 0,
+                    dropped: 0,
+                    events: vec![
+                        Event::new(Stage::Ingest, 0, 600).aux(10),
+                        Event::new(Stage::Route, 600, 100).shard(0).batch(0).aux(10),
+                        Event::new(Stage::RingWait, 700, 300).shard(0).batch(1),
+                    ],
+                },
+                LaneDump {
+                    kind: LaneKind::Worker,
+                    index: 0,
+                    dropped: 2,
+                    events: vec![
+                        Event::new(Stage::Process, 1_000, 200).shard(0).window(0).batch(0).aux(10),
+                        Event::new(Stage::Process, 1_500, 100).shard(0).window(0).batch(1).aux(5),
+                    ],
+                },
+                LaneDump {
+                    kind: LaneKind::Merge,
+                    index: 0,
+                    dropped: 0,
+                    events: vec![
+                        Event::new(Stage::Merge, 2_000, 50).window(0),
+                        Event::new(Stage::Emit, 2_050, 10).window(0).aux(3),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn attribution_totals_and_shares() {
+        let r = ProfileReport::from_dump(&dump());
+        let total = 600 + 100 + 300 + 200 + 100 + 50 + 10;
+        assert_eq!(r.total_ns, total);
+        assert_eq!(r.dominant, Some(Stage::Ingest));
+        // Router = ingest 600 + route 100 + ring_wait 300 of 1360.
+        assert!((r.router_share_pct - 100.0 * 1000.0 / total as f64).abs() < 1e-9);
+        assert_eq!(r.dropped_events, 2);
+        let share_sum: f64 = r.stages.iter().map(|s| s.share_pct).sum();
+        assert!((share_sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_latency_is_emit_end_minus_first_process() {
+        let r = ProfileReport::from_dump(&dump());
+        assert_eq!(r.window_count, 1);
+        // emit end 2060 - first process start 1000 = 1060 → bucket [1024, 2048).
+        assert_eq!(r.windows.sum, 1060);
+        assert_eq!(r.windows.quantile(0.5), 2048);
+    }
+
+    #[test]
+    fn fold_registers_prof_metrics() {
+        let reg = Registry::new();
+        fold_into(&dump(), &reg);
+        let snap = reg.snapshot();
+        assert!(snap.get_labeled("prof.stage.process_ns", "shard=0").is_some());
+        assert_eq!(snap.get_labeled("prof.stage_ns", "stage=ingest").unwrap().scalar(), 600.0);
+        assert_eq!(snap.get_labeled("prof.stage_events", "stage=process").unwrap().scalar(), 2.0);
+        assert!(snap.get("prof.window_ns").is_some());
+        assert_eq!(snap.get("prof.dropped_events").unwrap().scalar(), 2.0);
+    }
+
+    #[test]
+    fn render_names_dominant_stage() {
+        let r = ProfileReport::from_dump(&dump());
+        let text = r.render();
+        assert!(text.contains("ingest"));
+        assert!(text.contains("<< dominant"));
+        assert!(text.contains("router share"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-thread fixed-capacity event rings.
+//!
+//! Each recording thread owns one [`LaneWriter`] — a single-producer
+//! handle over a power-of-two-free circular buffer of packed event
+//! words. Recording is four `Relaxed` stores into the writer's private
+//! slots; visibility is published by **one** `Release` store of the
+//! monotonic head per batch ([`LaneWriter::publish`]). Collectors
+//! `Acquire`-load the head and read back the last `min(head, capacity)`
+//! events; older ones have been overwritten (counted as `dropped`).
+//!
+//! Slots are `SyncU64`, not `SyncCell`: a *live* read racing a
+//! wrap-around overwrite is a benign atomic race that can at worst
+//! yield a torn event (rejected by the stage-byte check), never UB —
+//! and the authoritative reads (final report, flight-recorder dump)
+//! happen after channel close + thread join or behind the published
+//! head's `Release`/`Acquire` edge, so the model checker sees no race.
+
+use std::sync::Arc;
+
+use sso_sync::Ordering::{Acquire, Relaxed, Release};
+use sso_sync::SyncU64;
+
+use crate::dump::LaneDump;
+use crate::event::Event;
+
+/// Which pipeline thread a lane belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum LaneKind {
+    /// The router thread's ingest/route/ring-wait stamps.
+    Router = 0,
+    /// One worker shard's process/flush stamps (`index` = shard).
+    Worker = 1,
+    /// The merge-finalize path (barrier wait, merge, emit).
+    Merge = 2,
+    /// Gigascope low-level node accounting.
+    Low = 3,
+}
+
+impl LaneKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneKind::Router => "router",
+            LaneKind::Worker => "worker",
+            LaneKind::Merge => "merge",
+            LaneKind::Low => "low",
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<LaneKind> {
+        match v {
+            0 => Some(LaneKind::Router),
+            1 => Some(LaneKind::Worker),
+            2 => Some(LaneKind::Merge),
+            3 => Some(LaneKind::Low),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) struct LaneShared {
+    pub(crate) kind: LaneKind,
+    pub(crate) index: u32,
+    capacity: usize,
+    /// `capacity * 4` packed words.
+    words: Box<[SyncU64]>,
+    /// Monotonic count of published events; readers see `head` events
+    /// total, the last `min(head, capacity)` still resident.
+    head: SyncU64,
+}
+
+impl LaneShared {
+    fn new(kind: LaneKind, index: u32, capacity: usize) -> LaneShared {
+        let capacity = capacity.max(1);
+        let words =
+            (0..capacity * 4).map(|_| SyncU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        LaneShared { kind, index, capacity, words, head: SyncU64::new(0) }
+    }
+
+    /// Read the published suffix of the lane, oldest first.
+    pub(crate) fn collect(&self) -> LaneDump {
+        let head = self.head.load(Acquire);
+        let resident = head.min(self.capacity as u64);
+        let mut events = Vec::with_capacity(resident as usize);
+        for seq in (head - resident)..head {
+            let slot = (seq % self.capacity as u64) as usize * 4;
+            let w = [
+                self.words[slot].load(Relaxed),
+                self.words[slot + 1].load(Relaxed),
+                self.words[slot + 2].load(Relaxed),
+                self.words[slot + 3].load(Relaxed),
+            ];
+            // A torn live read can produce an invalid stage byte; the
+            // post-join authoritative read never does.
+            if let Some(e) = Event::from_words(w) {
+                events.push(e);
+            }
+        }
+        LaneDump { kind: self.kind, index: self.index, dropped: head - resident, events }
+    }
+}
+
+/// The single-owner writing half of one lane. Not `Clone`: one
+/// recording thread per lane, which is what makes `Relaxed` slot
+/// stores sufficient.
+pub struct LaneWriter {
+    shared: Arc<LaneShared>,
+    /// Next sequence number to write (private to the writer; `head`
+    /// trails it until the next `publish`).
+    next: u64,
+}
+
+impl LaneWriter {
+    pub(crate) fn new(shared: Arc<LaneShared>) -> LaneWriter {
+        LaneWriter { next: 0, shared }
+    }
+
+    /// Record one event: four `Relaxed` stores, no fence, not yet
+    /// visible to collectors.
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        let slot = (self.next % self.shared.capacity as u64) as usize * 4;
+        let w = event.to_words();
+        self.shared.words[slot].store(w[0], Relaxed);
+        self.shared.words[slot + 1].store(w[1], Relaxed);
+        self.shared.words[slot + 2].store(w[2], Relaxed);
+        self.shared.words[slot + 3].store(w[3], Relaxed);
+        self.next += 1;
+    }
+
+    /// Publish everything recorded so far: the one `Release` store per
+    /// batch the disabled-path budget allows.
+    #[inline]
+    pub fn publish(&mut self) {
+        self.shared.head.store(self.next, Release);
+    }
+}
+
+impl Drop for LaneWriter {
+    fn drop(&mut self) {
+        // Never lose a recorded tail to an early exit (panic unwind,
+        // crash-fault drain): publishing is idempotent.
+        self.publish();
+    }
+}
+
+pub(crate) fn new_lane(
+    kind: LaneKind,
+    index: u32,
+    capacity: usize,
+) -> (LaneWriter, Arc<LaneShared>) {
+    let shared = Arc::new(LaneShared::new(kind, index, capacity));
+    (LaneWriter::new(Arc::clone(&shared)), shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+
+    #[test]
+    fn record_publish_collect() {
+        let (mut w, shared) = new_lane(LaneKind::Router, 0, 8);
+        w.record(Event::new(Stage::Ingest, 10, 5));
+        w.record(Event::new(Stage::Route, 15, 2).shard(3).batch(0).aux(100));
+        // Unpublished events are invisible.
+        assert_eq!(shared.collect().events.len(), 0);
+        w.publish();
+        let d = shared.collect();
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.events[1].stage, Stage::Route);
+        assert_eq!(d.events[1].aux, 100);
+    }
+
+    #[test]
+    fn wraparound_keeps_last_capacity_events() {
+        let (mut w, shared) = new_lane(LaneKind::Worker, 2, 4);
+        for i in 0..10u64 {
+            w.record(Event::new(Stage::Process, i, 1).aux(i));
+        }
+        w.publish();
+        let d = shared.collect();
+        assert_eq!(d.events.len(), 4);
+        assert_eq!(d.dropped, 6);
+        assert_eq!(d.events.iter().map(|e| e.aux).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drop_publishes_tail() {
+        let (mut w, shared) = new_lane(LaneKind::Merge, 0, 4);
+        w.record(Event::new(Stage::Emit, 1, 0));
+        drop(w);
+        assert_eq!(shared.collect().events.len(), 1);
+    }
+}

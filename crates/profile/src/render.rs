@@ -1,0 +1,200 @@
+//! Dump renderers: the human timeline (`sso trace DUMP`) and Chrome
+//! trace-event JSON (`sso trace DUMP --chrome out.json`), loadable in
+//! chrome://tracing and Perfetto.
+
+use crate::collect::fmt_ns;
+use crate::dump::Dump;
+use crate::event::{Event, BATCH_NONE, SHARD_NONE, WINDOW_NONE};
+use crate::lane::LaneKind;
+
+fn lane_name(kind: LaneKind, index: u32) -> String {
+    match kind {
+        LaneKind::Worker => format!("worker/{index}"),
+        _ => kind.name().to_string(),
+    }
+}
+
+fn ids(e: &Event) -> String {
+    let mut s = String::new();
+    if e.batch != BATCH_NONE {
+        s.push_str(&format!(" b={}", e.batch));
+    }
+    if e.shard != SHARD_NONE {
+        s.push_str(&format!(" s={}", e.shard));
+    }
+    if e.window != WINDOW_NONE {
+        s.push_str(&format!(" w={}", e.window));
+    }
+    s
+}
+
+/// Render a dump as a time-sorted human timeline, most recent last.
+/// `limit` keeps only the final N events (0 = all).
+pub fn render_timeline(dump: &Dump, limit: usize) -> String {
+    let mut rows: Vec<(u64, String)> = Vec::with_capacity(dump.event_count());
+    for lane in &dump.lanes {
+        let lname = lane_name(lane.kind, lane.index);
+        for e in &lane.events {
+            let line = format!(
+                "{:>14} {:<9} {:<12}{:<16} {:>10} aux={}",
+                format!("+{}", fmt_ns(e.t_ns)),
+                lname,
+                e.stage.name(),
+                ids(e),
+                format!("[{}]", fmt_ns(e.dur_ns)),
+                e.aux,
+            );
+            rows.push((e.t_ns, line));
+        }
+    }
+    rows.sort_by_key(|(t, _)| *t);
+    let skip = if limit > 0 && rows.len() > limit { rows.len() - limit } else { 0 };
+
+    let mut out = format!(
+        "flight recorder: reason={}, {} lanes, {} events ({} dropped to wrap-around)\n",
+        dump.reason.as_str(),
+        dump.lanes.len(),
+        dump.event_count(),
+        dump.dropped(),
+    );
+    if skip > 0 {
+        out.push_str(&format!("  ... {skip} earlier events elided (--limit)\n"));
+    }
+    for (_, line) in rows.into_iter().skip(skip) {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Stable numeric thread id per lane for the trace viewer.
+fn tid(kind: LaneKind, index: u32) -> u32 {
+    match kind {
+        LaneKind::Router => 0,
+        LaneKind::Merge => 1,
+        LaneKind::Low => 2,
+        // Workers from 10 so new router-side lanes never collide.
+        LaneKind::Worker => 10 + index,
+    }
+}
+
+/// Render a dump as Chrome trace-event JSON: thread-name metadata
+/// (`ph:"M"`) plus one complete event (`ph:"X"`, microsecond `ts`/`dur`)
+/// per stamp.
+pub fn chrome_trace_json(dump: &Dump) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+
+    for lane in &dump.lanes {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                tid(lane.kind, lane.index),
+                lane_name(lane.kind, lane.index),
+            ),
+            &mut first,
+        );
+    }
+    for lane in &dump.lanes {
+        let t = tid(lane.kind, lane.index);
+        for e in &lane.events {
+            let mut args = format!("\"aux\":{}", e.aux);
+            if e.shard != SHARD_NONE {
+                args.push_str(&format!(",\"shard\":{}", e.shard));
+            }
+            if e.window != WINDOW_NONE {
+                args.push_str(&format!(",\"window\":{}", e.window));
+            }
+            if e.batch != BATCH_NONE {
+                args.push_str(&format!(",\"batch\":{}", e.batch));
+            }
+            push(
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"sso\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+                    e.stage.name(),
+                    e.t_ns as f64 / 1_000.0,
+                    e.dur_ns as f64 / 1_000.0,
+                    t,
+                    args,
+                ),
+                &mut first,
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::LaneDump;
+    use crate::event::{Event, Stage};
+    use crate::profiler::DumpReason;
+
+    fn dump() -> Dump {
+        Dump {
+            reason: DumpReason::Panic,
+            lanes: vec![
+                LaneDump {
+                    kind: LaneKind::Router,
+                    index: 0,
+                    dropped: 1,
+                    events: vec![Event::new(Stage::Route, 2_000, 500).shard(1).batch(4).aux(64)],
+                },
+                LaneDump {
+                    kind: LaneKind::Worker,
+                    index: 1,
+                    dropped: 0,
+                    events: vec![Event::new(Stage::Process, 3_000, 900)
+                        .shard(1)
+                        .window(0)
+                        .batch(4)
+                        .aux(64)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn timeline_is_time_sorted_and_labeled() {
+        let text = render_timeline(&dump(), 0);
+        assert!(text.starts_with("flight recorder: reason=panic, 2 lanes, 2 events (1 dropped"));
+        let route = text.find("route").unwrap();
+        let process = text.find("process").unwrap();
+        assert!(route < process, "earlier event first");
+        assert!(text.contains("worker/1"));
+        assert!(text.contains("b=4 s=1 w=0"));
+    }
+
+    #[test]
+    fn timeline_limit_keeps_tail() {
+        let text = render_timeline(&dump(), 1);
+        assert!(text.contains("1 earlier events elided"));
+        assert!(!text.contains(" route "), "older event elided");
+        assert!(text.contains("process"));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = chrome_trace_json(&dump());
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"worker/1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":2.000"));
+        assert!(json.contains("\"dur\":0.900"));
+        assert!(json.ends_with("]}"));
+        // Balanced braces — cheap well-formedness check without a parser.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

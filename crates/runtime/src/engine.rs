@@ -39,6 +39,9 @@ use sso_core::{
 };
 use sso_faults::{FaultPlan, WorkerFaultSchedule};
 use sso_obs::{Counter, Gauge, Registry, Stopwatch, UndersampleConfig, UndersampleDetector};
+use sso_profile::{
+    DumpReason, Event as ProfEvent, LaneKind, LaneWriter, Profiler, Stage as ProfStage,
+};
 use sso_store::{FsyncPolicy, PagedGroupTable, ShardStore, StoreConfig, WindowRecord};
 use sso_sync::SyncBool;
 use sso_types::Tuple;
@@ -167,6 +170,12 @@ pub struct RuntimeConfig {
     /// checkpoints every shard's window state under the configured
     /// directory and (optionally) bounds resident group state.
     pub durability: Option<DurabilityConfig>,
+    /// Causal stage tracing: every batch leaves lineage stamps (ingest →
+    /// route → ring wait → process → barrier → merge → emit) in
+    /// per-thread event rings, and panic/straggle/shed/crash triggers
+    /// dump them as a flight recording. `None` costs one branch per
+    /// batch.
+    pub profile: Option<Profiler>,
 }
 
 impl RuntimeConfig {
@@ -187,6 +196,7 @@ impl RuntimeConfig {
             faults: None,
             sizing: None,
             durability: None,
+            profile: None,
         }
     }
 
@@ -218,6 +228,13 @@ impl RuntimeConfig {
     /// Persist operator state under `durability`'s store directory.
     pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Record per-batch lineage stamps (and arm the flight recorder)
+    /// into `profiler`.
+    pub fn with_profile(mut self, profiler: Profiler) -> Self {
+        self.profile = Some(profiler);
         self
     }
 
@@ -634,6 +651,9 @@ struct Worker<'a, F> {
     /// at the first tuple past it.
     watermark: Option<Tuple>,
     store_stats: Option<StoreStats>,
+    /// Flight-recorder handle: a caught panic arms the dump trigger so
+    /// the last events before the quarantine survive the run.
+    profiler: Option<Profiler>,
 }
 
 impl<F> Worker<'_, F>
@@ -671,6 +691,9 @@ where
         self.stats.quarantines.inc();
         self.window_tuples = 0;
         self.quarantined = Some(key);
+        if let Some(p) = &self.profiler {
+            p.trigger(DumpReason::Panic);
+        }
     }
 
     /// Leave quarantine: build a fresh operator instance from the spec
@@ -906,6 +929,48 @@ fn tuple_weight(t: &Tuple, weight_col: Option<usize>) -> f64 {
     }
 }
 
+/// The router thread's tracing state: its event lane plus the end of
+/// the previous send, which anchors the next `Ingest` stamp (everything
+/// the router did between two sends — feed intake, hashing, batch
+/// accumulation — is ingest time).
+struct RouterTrace {
+    p: Profiler,
+    lane: LaneWriter,
+    mark_ns: u64,
+}
+
+/// Stamp one completed send: `Ingest` since the previous send,
+/// `RingWait` if the push had to wait (`wait_from`), and `Route` for
+/// the push itself net of the wait. One `Release` publish for the lot.
+fn record_router_send(
+    t: &mut RouterTrace,
+    shard: usize,
+    batch_id: u32,
+    len: u64,
+    t0: u64,
+    end: u64,
+    wait_from: Option<u64>,
+) {
+    t.lane.record(
+        ProfEvent::new(ProfStage::Ingest, t.mark_ns, t0.saturating_sub(t.mark_ns)).aux(len),
+    );
+    let mut wait_ns = 0;
+    if let Some(w) = wait_from {
+        wait_ns = end.saturating_sub(w);
+        t.lane.record(
+            ProfEvent::new(ProfStage::RingWait, w, wait_ns).shard(shard as u16).batch(batch_id),
+        );
+    }
+    t.lane.record(
+        ProfEvent::new(ProfStage::Route, t0, end.saturating_sub(t0).saturating_sub(wait_ns))
+            .shard(shard as u16)
+            .batch(batch_id)
+            .aux(len),
+    );
+    t.mark_ns = end;
+    t.lane.publish();
+}
+
 /// Run `tuples` through `cfg.shards` operator instances partitioned and
 /// merged per `plan`, returning the merged windows.
 ///
@@ -1023,12 +1088,23 @@ where
     let crash_at = cfg.faults.as_ref().and_then(|p| p.crash_at());
     let crashed = Arc::new(SyncBool::new(false));
     let make_spec = &make_spec;
+    // Lineage tracing: the router and merge paths each own a lane; the
+    // workers open theirs on their own threads. Everything is `None`
+    // (one branch per batch) when profiling is off.
+    let mut router_trace = cfg.profile.as_ref().map(|p| RouterTrace {
+        p: p.clone(),
+        lane: p.lane(LaneKind::Router, 0),
+        mark_ns: p.now_ns(),
+    });
+    let mut merge_trace = cfg.profile.as_ref().map(|p| (p.clone(), p.lane(LaneKind::Merge, 0)));
     let (partials, stragglers) =
         std::thread::scope(|s| -> Result<(Vec<Option<ShardPartial>>, Vec<usize>), RuntimeError> {
             let mut txs = Vec::with_capacity(cfg.shards);
             let mut handles = Vec::with_capacity(cfg.shards);
             for (shard, (op, store, watermark, recovered)) in shard_setups.into_iter().enumerate() {
-                let (tx, mut rx) = ring::<Vec<Tuple>>(cfg.effective_ring_capacity());
+                // Ring items carry the router-assigned batch id so
+                // worker-side stamps share lineage with the route stamp.
+                let (tx, mut rx) = ring::<(u32, Vec<Tuple>)>(cfg.effective_ring_capacity());
                 txs.push(tx);
                 let stats = stats[shard].clone();
                 let depth = ring_depths[shard].clone();
@@ -1040,10 +1116,13 @@ where
                 let supervision = cfg.supervision;
                 let store_stats = store.as_ref().map(|_| StoreStats::register(&registry, shard));
                 let crashed = Arc::clone(&crashed);
+                let wprof = cfg.profile.clone();
                 handles.push(s.spawn(move || -> Result<(), RuntimeError> {
                     if supervision == Supervision::Quarantine {
                         QUIET_WORKER_PANICS.with(|q| q.set(true));
                     }
+                    let mut wtrace =
+                        wprof.as_ref().map(|p| (p.clone(), p.lane(LaneKind::Worker, shard as u32)));
                     let mut worker = Worker {
                         shard,
                         op: Some(op),
@@ -1064,8 +1143,9 @@ where
                         store,
                         watermark,
                         store_stats,
+                        profiler: wprof.clone(),
                     };
-                    while let Some(batch) = rx.pop() {
+                    while let Some((batch_id, batch)) = rx.pop() {
                         depth.add(-1.0);
                         if crashed.load(AtomicOrdering::Acquire) {
                             // Simulated process death: drain the ring
@@ -1073,10 +1153,23 @@ where
                             // any unrecorded state are lost.
                             continue;
                         }
+                        let win = worker.windows.len() as u32;
                         let sw = Stopwatch::start();
                         worker.run_batch(&batch)?;
+                        let busy = sw.elapsed_ns();
                         stats.tuples.add(batch.len() as u64);
-                        stats.busy_ns.add(sw.elapsed_ns());
+                        stats.busy_ns.add(busy);
+                        if let Some((p, lane)) = wtrace.as_mut() {
+                            let end = p.now_ns();
+                            lane.record(
+                                ProfEvent::new(ProfStage::Process, end.saturating_sub(busy), busy)
+                                    .shard(shard as u16)
+                                    .window(win)
+                                    .batch(batch_id)
+                                    .aux(batch.len() as u64),
+                            );
+                            lane.publish();
+                        }
                         worker.publish_store_stats();
                     }
                     if crashed.load(AtomicOrdering::Acquire) {
@@ -1086,7 +1179,17 @@ where
                     }
                     let sw = Stopwatch::start();
                     worker.finish()?;
-                    stats.busy_ns.add(sw.elapsed_ns());
+                    let busy = sw.elapsed_ns();
+                    stats.busy_ns.add(busy);
+                    if let Some((p, lane)) = wtrace.as_mut() {
+                        let end = p.now_ns();
+                        lane.record(
+                            ProfEvent::new(ProfStage::Flush, end.saturating_sub(busy), busy)
+                                .shard(shard as u16)
+                                .window(worker.windows.len().saturating_sub(1) as u32),
+                        );
+                        lane.publish();
+                    }
                     barrier.publish(shard, worker.into_partial());
                     Ok(())
                 }));
@@ -1098,26 +1201,81 @@ where
             let mut batches: Vec<Vec<Tuple>> =
                 (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect();
             let routed = &mut routed;
+            let router_trace = &mut router_trace;
+            let mut next_batch_id: u32 = 0;
             let mut send_batch = |shard: usize, batch: Vec<Tuple>| {
                 let len = batch.len() as u64;
+                let batch_id = next_batch_id;
+                next_batch_id = next_batch_id.wrapping_add(1);
+                let t0 = router_trace.as_ref().map(|t| t.p.now_ns());
                 match cfg.backpressure {
                     // Worker death closes the ring; pushes then fail with
                     // Closed and the join below surfaces the reason.
                     Backpressure::Block => {
-                        if let Ok(stalled) = txs[shard].push_tracked(batch) {
-                            if stalled {
-                                stats[shard].stalls.inc();
+                        let depth = &ring_depths[shard];
+                        let mut waited = false;
+                        let mut wait_from = 0u64;
+                        let res = txs[shard].push_tracked_with((batch_id, batch), || {
+                            // The waiting batch counts toward ring depth
+                            // from wait *entry*: a full-ring stall
+                            // shorter than one batch is visible to a
+                            // mid-run snapshot, not only at the next
+                            // batch boundary.
+                            waited = true;
+                            depth.add(1.0);
+                            if let Some(t) = router_trace.as_ref() {
+                                wait_from = t.p.now_ns();
                             }
-                            routed[shard] += len;
-                            batch_hist.record(len);
-                            ring_depths[shard].add(1.0);
+                        });
+                        match res {
+                            Ok(stalled) => {
+                                if stalled {
+                                    stats[shard].stalls.inc();
+                                } else {
+                                    depth.add(1.0);
+                                }
+                                routed[shard] += len;
+                                batch_hist.record(len);
+                                if let Some(t) = router_trace.as_mut() {
+                                    let end = t.p.now_ns();
+                                    let w = waited.then_some(wait_from);
+                                    record_router_send(
+                                        t,
+                                        shard,
+                                        batch_id,
+                                        len,
+                                        t0.unwrap_or(end),
+                                        end,
+                                        w,
+                                    );
+                                }
+                            }
+                            // Closed ring: the batch the wait-entry hook
+                            // counted never arrived.
+                            Err(_) => {
+                                if waited {
+                                    depth.add(-1.0);
+                                }
+                            }
                         }
                     }
-                    Backpressure::DropNewest => match txs[shard].try_push(batch) {
+                    Backpressure::DropNewest => match txs[shard].try_push((batch_id, batch)) {
                         Ok(()) => {
                             routed[shard] += len;
                             batch_hist.record(len);
                             ring_depths[shard].add(1.0);
+                            if let Some(t) = router_trace.as_mut() {
+                                let end = t.p.now_ns();
+                                record_router_send(
+                                    t,
+                                    shard,
+                                    batch_id,
+                                    len,
+                                    t0.unwrap_or(end),
+                                    end,
+                                    None,
+                                );
+                            }
                         }
                         Err(PushError::Full(_)) => {
                             stats[shard].dropped.add(len);
@@ -1126,11 +1284,23 @@ where
                     },
                     Backpressure::Shed { weight_col } => {
                         let state = &mut shed[shard];
-                        match txs[shard].try_push(batch) {
+                        match txs[shard].try_push((batch_id, batch)) {
                             Ok(()) => {
                                 routed[shard] += len;
                                 batch_hist.record(len);
                                 ring_depths[shard].add(1.0);
+                                if let Some(t) = router_trace.as_mut() {
+                                    let end = t.p.now_ns();
+                                    record_router_send(
+                                        t,
+                                        shard,
+                                        batch_id,
+                                        len,
+                                        t0.unwrap_or(end),
+                                        end,
+                                        None,
+                                    );
+                                }
                                 if state.z > 0.0 {
                                     // Pressure easing: decay toward off.
                                     state.z *= 0.5;
@@ -1141,7 +1311,7 @@ where
                                     stats[shard].shed_z.set(state.z);
                                 }
                             }
-                            Err(PushError::Full(batch)) => {
+                            Err(PushError::Full((_, batch))) => {
                                 // Ring pressure raises the threshold (the
                                 // §7.1 mechanism in reverse): the batch
                                 // shrinks by below-threshold rejection
@@ -1157,6 +1327,12 @@ where
                                         2.0
                                     };
                                     state.z = state.z0;
+                                    // Shedding switched on: arm the
+                                    // flight recorder so the pressure
+                                    // build-up is preserved.
+                                    if let Some(t) = router_trace.as_ref() {
+                                        t.p.trigger(DumpReason::Shed);
+                                    }
                                 } else {
                                     state.z *= 2.0;
                                 }
@@ -1183,13 +1359,47 @@ where
                                 stats[shard].shed_weight.add(shed_w);
                                 if !kept.is_empty() {
                                     let klen = kept.len() as u64;
-                                    if let Ok(stalled) = txs[shard].push_tracked(kept) {
-                                        if stalled {
-                                            stats[shard].stalls.inc();
+                                    let depth = &ring_depths[shard];
+                                    let mut waited = false;
+                                    let mut wait_from = 0u64;
+                                    let res =
+                                        txs[shard].push_tracked_with((batch_id, kept), || {
+                                            // Same wait-entry depth account
+                                            // as the Block arm.
+                                            waited = true;
+                                            depth.add(1.0);
+                                            if let Some(t) = router_trace.as_ref() {
+                                                wait_from = t.p.now_ns();
+                                            }
+                                        });
+                                    match res {
+                                        Ok(stalled) => {
+                                            if stalled {
+                                                stats[shard].stalls.inc();
+                                            } else {
+                                                depth.add(1.0);
+                                            }
+                                            routed[shard] += klen;
+                                            batch_hist.record(klen);
+                                            if let Some(t) = router_trace.as_mut() {
+                                                let end = t.p.now_ns();
+                                                let w = waited.then_some(wait_from);
+                                                record_router_send(
+                                                    t,
+                                                    shard,
+                                                    batch_id,
+                                                    klen,
+                                                    t0.unwrap_or(end),
+                                                    end,
+                                                    w,
+                                                );
+                                            }
                                         }
-                                        routed[shard] += klen;
-                                        batch_hist.record(klen);
-                                        ring_depths[shard].add(1.0);
+                                        Err(_) => {
+                                            if waited {
+                                                depth.add(-1.0);
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -1210,6 +1420,9 @@ where
                         // batch still buffered on the router.
                         crashed.store(true, AtomicOrdering::Release);
                         crash_fired = Some(n);
+                        if let Some(p) = &cfg.profile {
+                            p.trigger(DumpReason::Crash);
+                        }
                         break;
                     }
                 }
@@ -1229,6 +1442,7 @@ where
                 }
             }
             drop(txs);
+            let bw_start = merge_trace.as_ref().map(|(p, _)| p.now_ns());
 
             let mut stragglers: Vec<usize> = Vec::new();
             let join_all = |handles: Vec<
@@ -1251,8 +1465,15 @@ where
             };
             if let Some(at_tuple) = crash_fired {
                 // Rings are closed; workers drain-and-discard and exit
-                // without publishing. Nothing merges.
+                // without publishing. Nothing merges. The joins give the
+                // flight-recorder dump its happens-before edge: every
+                // lane is quiescent when the last events are read.
                 join_all(handles)?;
+                if let Some(p) = &cfg.profile {
+                    if let Err(e) = p.write_dump_if_triggered() {
+                        eprintln!("sso-profile: flight-recorder dump failed: {e}");
+                    }
+                }
                 return Err(RuntimeError::Crashed { at_tuple });
             }
             let partials: Vec<Option<ShardPartial>> = match cfg.window_deadline {
@@ -1273,6 +1494,11 @@ where
                             stragglers.push(shard);
                         }
                     }
+                    if !stragglers.is_empty() {
+                        if let Some(p) = &cfg.profile {
+                            p.trigger(DumpReason::Straggle);
+                        }
+                    }
                     // The cut is made: late partials are discarded. The
                     // joins below still run (rings are closed, so every
                     // worker drains and exits in bounded time) and
@@ -1282,12 +1508,39 @@ where
                     taken
                 }
             };
+            if let Some((p, lane)) = merge_trace.as_mut() {
+                let end = p.now_ns();
+                let start = bw_start.unwrap_or(end);
+                lane.record(
+                    ProfEvent::new(ProfStage::BarrierWait, start, end.saturating_sub(start))
+                        .aux(stragglers.len() as u64),
+                );
+                lane.publish();
+            }
             Ok((partials, stragglers))
         })?;
 
     let straggler_routed: u64 = stragglers.iter().map(|&s| routed[s]).sum();
     let parts: Vec<ShardPartial> = partials.into_iter().flatten().collect();
+    let merge_start = merge_trace.as_ref().map(|(p, _)| p.now_ns());
     let windows = crate::merge::merge_shard_partials(parts, &plan.rule, cfg.seed, straggler_routed);
+    if let Some((p, lane)) = merge_trace.as_mut() {
+        let end = p.now_ns();
+        let start = merge_start.unwrap_or(end);
+        lane.record(
+            ProfEvent::new(ProfStage::Merge, start, end.saturating_sub(start))
+                .aux(windows.len() as u64),
+        );
+        // One Emit stamp per merged window: its end minus the window's
+        // earliest Process stamp is the end-to-end latency the collector
+        // reports.
+        for (i, w) in windows.iter().enumerate() {
+            lane.record(
+                ProfEvent::new(ProfStage::Emit, end, 0).window(i as u32).aux(w.rows.len() as u64),
+            );
+        }
+        lane.publish();
+    }
 
     // Run-level coverage: delivered tuples the merged output represents,
     // over everything delivered (stragglers contribute only loss).
@@ -1313,6 +1566,14 @@ where
         let offered = covered + uncovered_total;
         UndersampleDetector::register(&registry, "rt", UndersampleConfig { ratio: 1.0 })
             .observe(covered, offered, offered);
+    }
+    // A triggered flight recording (panic, straggle, shed) lands on
+    // disk even when the run completes; crash dumps were written on the
+    // early-return path above.
+    if let Some(p) = &cfg.profile {
+        if let Err(e) = p.write_dump_if_triggered() {
+            eprintln!("sso-profile: flight-recorder dump failed: {e}");
+        }
     }
     Ok(ShardedReport { windows, shards: stats, coverage, stragglers })
 }

@@ -110,14 +110,32 @@ impl<T: Send> Producer<T> {
     /// went in. One full-ring wait is one stall, *however many spin
     /// iterations it took* — callers that count stalls must not be able
     /// to over-count by spinning (the `model_check` suite pins this).
-    pub fn push_tracked(&mut self, mut value: T) -> Result<bool, T> {
+    pub fn push_tracked(&mut self, value: T) -> Result<bool, T> {
+        self.push_tracked_with(value, || {})
+    }
+
+    /// [`Producer::push_tracked`] with a wait-entry hook:
+    /// `on_first_stall` runs **exactly once**, at the first full-ring
+    /// observation, before any spin — not per retry iteration. This is
+    /// where callers record "a batch is now waiting" state (e.g. the
+    /// `rt.ring_depth` gauge), so stalls shorter than one batch are
+    /// visible the moment they begin rather than only at the next batch
+    /// boundary. The once-per-wait contract is model-checked.
+    pub fn push_tracked_with(
+        &mut self,
+        mut value: T,
+        mut on_first_stall: impl FnMut(),
+    ) -> Result<bool, T> {
         let mut stalled = false;
         loop {
             match self.try_push(value) {
                 Ok(()) => return Ok(stalled),
                 Err(PushError::Closed(v)) => return Err(v),
                 Err(PushError::Full(v)) => {
-                    stalled = true;
+                    if !stalled {
+                        stalled = true;
+                        on_first_stall();
+                    }
                     value = v;
                     spin_yield();
                 }
@@ -237,6 +255,37 @@ mod tests {
         }
         assert_eq!(expected, N);
         producer.join();
+    }
+
+    #[test]
+    fn wait_entry_hook_fires_once_per_wait_only_when_full() {
+        let (mut tx, mut rx) = ring::<u32>(1);
+        let mut fired = 0u32;
+        assert_eq!(tx.push_tracked_with(1, || fired += 1), Ok(false));
+        assert_eq!(fired, 0, "no hook on an un-stalled push");
+        // The consumer drains only after the hook has run, so the
+        // second push deterministically observes a full ring — and the
+        // hook still runs exactly once across all the spins that follow.
+        let gate = Arc::new(SyncBool::new(false));
+        let gate2 = gate.clone();
+        let consumer = sso_sync::thread::spawn(move || {
+            while !gate2.load(Acquire) {
+                spin_yield();
+            }
+            assert_eq!(rx.pop(), Some(1));
+            assert_eq!(rx.pop(), Some(2));
+            assert_eq!(rx.pop(), None);
+        });
+        let stalled = tx
+            .push_tracked_with(2, || {
+                fired += 1;
+                gate.store(true, Release);
+            })
+            .unwrap();
+        assert!(stalled);
+        assert_eq!(fired, 1);
+        drop(tx);
+        consumer.join();
     }
 
     #[test]

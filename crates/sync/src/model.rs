@@ -288,6 +288,10 @@ struct SchedState {
     held: BTreeSet<usize>,
     /// Bumped on every write; wakes yield-blocked spinners.
     write_epoch: u64,
+    /// The epoch of the last forced spinner wake (see `maybe_decide`):
+    /// when it still equals `write_epoch`, the wake produced no real
+    /// write and an all-yield stall is a genuine deadlock.
+    forced_wake_epoch: Option<u64>,
     failure: Option<Failure>,
     aborting: bool,
     max_steps: usize,
@@ -329,6 +333,7 @@ impl Scheduler {
                 next_loc_id: 0,
                 held: BTreeSet::new(),
                 write_epoch: 0,
+                forced_wake_epoch: None,
                 failure: None,
                 aborting: false,
                 max_steps,
@@ -425,14 +430,35 @@ fn maybe_decide(st: &mut SchedState, cv: &Condvar) {
     if !all_parked || st.live == 0 {
         return;
     }
-    let enabled: BTreeSet<usize> = st
-        .threads
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| !t.finished)
-        .filter(|(_, t)| t.parked.as_ref().is_some_and(|p| pending_enabled(st, p)))
-        .map(|(i, _)| i)
-        .collect();
+    let runnable = |st: &SchedState| -> BTreeSet<usize> {
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished)
+            .filter(|(_, t)| t.parked.as_ref().is_some_and(|p| pending_enabled(st, p)))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let mut enabled = runnable(st);
+    if enabled.is_empty() {
+        // A yield parks until a *new* write arrives — but a spinner
+        // that itself wrote after the state it failed on had already
+        // changed (e.g. a wait-entry hook updating a gauge after the
+        // consumer's pop) would park here forever even though its next
+        // re-read succeeds. When every live thread is yield-parked,
+        // grant one forced wake; only if the wake round produces no
+        // real write is the stall a genuine deadlock/livelock.
+        let all_yield = st
+            .threads
+            .iter()
+            .filter(|t| !t.finished)
+            .all(|t| matches!(t.parked, Some(Pending::Yield(_))));
+        if all_yield && st.forced_wake_epoch != Some(st.write_epoch) {
+            st.write_epoch += 1;
+            st.forced_wake_epoch = Some(st.write_epoch);
+            enabled = runnable(st);
+        }
+    }
     if enabled.is_empty() {
         let waits: Vec<String> = st
             .threads
@@ -1225,6 +1251,49 @@ mod tests {
             }
         })
         .expect_err("spinning with no writer is a livelock");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+    }
+
+    /// A spinner that *itself writes* inside the wait loop (the
+    /// wait-entry gauge pattern) can advance its own wake epoch past
+    /// the very store it is waiting for: writer stores the flag, then
+    /// the spinner's gauge RMW bumps the epoch, then it parks — and no
+    /// further write would ever wake it. The scheduler grants one
+    /// forced wake per epoch before declaring deadlock, so the re-read
+    /// observes the flag; a truly writer-less spin still fails.
+    #[test]
+    fn self_writing_spinner_is_woken_not_deadlocked() {
+        check(|| {
+            let flag = Arc::new(SyncU64::new(0));
+            let gauge = Arc::new(SyncU64::new(0));
+            let f2 = flag.clone();
+            let h = thread::spawn(move || {
+                f2.store(1, Ordering::Release);
+            });
+            while flag.load(Ordering::Acquire) == 0 {
+                gauge.fetch_add(1, Ordering::Relaxed);
+                hint::spin_yield();
+            }
+            h.join();
+        })
+        .expect("a spinner whose own RMW trails the store must still wake");
+
+        // Write once at wait entry, then pure-spin with no writer: the
+        // single forced wake produces no new write, so the second stall
+        // is still reported as a genuine deadlock.
+        let failure = check(|| {
+            let flag = SyncU64::new(0);
+            let gauge = SyncU64::new(0);
+            let mut entered = false;
+            while flag.load(Ordering::Acquire) == 0 {
+                if !entered {
+                    entered = true;
+                    gauge.fetch_add(1, Ordering::Relaxed);
+                }
+                hint::spin_yield();
+            }
+        })
+        .expect_err("one forced wake must not mask a writer-less livelock");
         assert_eq!(failure.kind, FailureKind::Deadlock);
     }
 

@@ -175,4 +175,51 @@ print(f"telemetry overhead: {pct:.2f}% ({instr:.0f} vs {plain:.0f} tuples/s)")
 assert pct <= 5.0, f"telemetry overhead {pct:.2f}% exceeds the 5% budget"
 '
 
+echo "== profiling overhead gate (causal tracing within 5%) =="
+# Also records the measured 8-shard stage attribution (ROADMAP item 1:
+# where does the time go as shards scale?) alongside the gate numbers.
+cargo run -q --release -p sso-bench --bin profile_overhead -- --json > BENCH_profile.json
+python3 -c '
+import json
+r = json.load(open("BENCH_profile.json"))
+pct = r["overhead_pct"]
+prof = r["profiled"]["tuples_per_sec"]
+plain = r["unprofiled"]["tuples_per_sec"]
+a = r["attribution_8shard"]
+dominant = a["dominant_stage"]
+router = a["router_share_pct"]
+print(f"profiling overhead: {pct:.2f}% ({prof:.0f} vs {plain:.0f} tuples/s)")
+print(f"8-shard attribution: dominant={dominant} router={router:.1f}%")
+assert pct <= 5.0, f"profiling overhead {pct:.2f}% exceeds the 5% budget"
+assert a["dominant_stage"], "attribution must name a dominant stage"
+assert a["dropped_events"] == 0, "trace lanes wrapped during the bench"
+'
+
+echo "== sso --profile smoke (chrome trace schema) =="
+PROF="$(mktemp -d)"
+cargo run -q --bin sso -- --feed research --seconds 2 --shards 4 \
+    --profile="$PROF/flight.ssoprof" \
+    "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" >/dev/null
+test -s "$PROF/flight.ssoprof"
+cargo run -q --bin sso -- trace --chrome "$PROF/trace.json" "$PROF" >/dev/null
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["displayTimeUnit"] == "ms", "chrome trace must set displayTimeUnit"
+evs = doc["traceEvents"]
+assert evs, "empty chrome trace"
+phases = {e["ph"] for e in evs}
+assert phases <= {"M", "X"}, f"unexpected phases: {phases}"
+for e in evs:
+    for key in ("name", "ph", "pid", "tid"):
+        assert key in e, f"trace event missing {key}: {e}"
+    if e["ph"] == "X":
+        assert "ts" in e and "dur" in e, f"complete event missing ts/dur: {e}"
+names = {e["args"]["name"] for e in evs if e["ph"] == "M"}
+assert "router" in names and any(n.startswith("worker") for n in names), names
+xs = sum(1 for e in evs if e["ph"] == "X")
+print(f"chrome trace OK: {xs} complete events across {len(names)} lanes")
+' "$PROF/trace.json"
+rm -rf "$PROF"
+
 echo "All checks passed."

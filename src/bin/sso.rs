@@ -42,6 +42,14 @@
 //!   --metrics[=FILE]                  collect telemetry; write JSON snapshots to
 //!                                     FILE (`-`/omitted = stdout, `*.prom` =
 //!                                     Prometheus text of the final snapshot)
+//!   --profile[=FILE]                  causal stage tracing: run through the
+//!                                     sharded runtime with lineage stamps and
+//!                                     print the stage-attribution report; an
+//!                                     explicit FILE always gets a flight-recorder
+//!                                     dump, bare `--profile` dumps only when a
+//!                                     fault trigger fires (panic / straggle /
+//!                                     shed / crash; default flight.ssoprof, or
+//!                                     under --durable DIR when set)
 //!   --meta QUERY                      run a second sampling query over the
 //!                                     telemetry snapshots (FROM METRICS)
 //!   --explain                         print the plan instead of running
@@ -49,7 +57,15 @@
 //!
 //! `sso run` is an explicit alias for the default run mode. `sso top`
 //! runs the query on a background thread and refreshes a metrics table
-//! in place until it finishes (windows are counted, not printed).
+//! in place until it finishes (windows are counted, not printed); with
+//! `--profile` the table gains end-to-end window latency (p50/p99) and
+//! the hottest pipeline stage, live from the collector.
+//!
+//! `sso trace DUMP|DIR` renders a flight-recorder dump written by
+//! `--profile` as a human-readable causal timeline, or — with
+//! `--chrome FILE` — as Chrome trace-event JSON for chrome://tracing
+//! (`about:tracing`). A directory resolves to its `flight.ssoprof`
+//! (or the newest `*.ssoprof` inside).
 //!
 //! `sso recover DIR` replays a durable run from its `MANIFEST`: the
 //! original feed is regenerated, every window already in the store is
@@ -106,6 +122,9 @@ struct Options {
     /// starting it fresh.
     resume: bool,
     metrics: Option<String>,
+    /// `--profile[=FILE]`: `-` for report-only (triggered dumps land at
+    /// the default path), anything else is an explicit dump target.
+    profile: Option<String>,
     meta: Option<String>,
     top: bool,
     explain: bool,
@@ -119,8 +138,9 @@ fn usage() -> ! {
          [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] \
          [--fault-plan FILE] [--fault-seed S] \
          [--durable DIR] [--state-budget BYTES] [--fsync always|never|every=N] \
-         [--metrics[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
+         [--metrics[=FILE]] [--profile[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
          \x20      sso recover [--json] [--limit R] [--metrics[=FILE]] STORE-DIR\n\
+         \x20      sso trace [--chrome FILE] [--limit N] DUMP-FILE|DIR\n\
          \x20      sso check [--json] [--deny-warnings] QUERY-FILE\n\
          \x20      sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N] \
          [--budget BYTES] [--state-budget BYTES] [--turnstile] QUERY-FILE"
@@ -377,6 +397,7 @@ fn parse_args(argv: &[String], top: bool) -> Options {
         fsync: "never".to_string(),
         resume: false,
         metrics: None,
+        profile: None,
         meta: None,
         top,
         explain: false,
@@ -424,6 +445,10 @@ fn parse_args(argv: &[String], top: bool) -> Options {
             }
             s if s.starts_with("--metrics=") => {
                 opts.metrics = Some(s["--metrics=".len()..].to_string())
+            }
+            "--profile" => opts.profile = Some("-".to_string()),
+            s if s.starts_with("--profile=") => {
+                opts.profile = Some(s["--profile=".len()..].to_string())
             }
             "--meta" => opts.meta = Some(value(&mut i)),
             "--explain" => opts.explain = true,
@@ -522,12 +547,102 @@ fn recover_options(args: &[String]) -> Options {
         fsync: get("fsync").unwrap_or_else(|| "never".to_string()),
         resume: true,
         metrics,
+        profile: None,
         meta: None,
         top: false,
         explain: false,
         json,
         query: Some(query),
     }
+}
+
+/// `sso trace [--chrome FILE] [--limit N] DUMP-FILE|DIR`: render a
+/// flight-recorder dump as a human-readable causal timeline, or as
+/// Chrome trace-event JSON (`--chrome`, `-` for stdout) that
+/// chrome://tracing and Perfetto load directly. A directory argument
+/// resolves to its `flight.ssoprof`, falling back to the newest
+/// `*.ssoprof` file inside (crash dumps under `--durable DIR`).
+fn run_trace(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!("usage: sso trace [--chrome FILE] [--limit N] DUMP-FILE|DIR");
+        std::process::exit(2);
+    };
+    let mut chrome: Option<String> = None;
+    let mut limit = 64usize;
+    let mut target: Option<String> = None;
+    let mut i = 0usize;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i - 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        let a = args[i].clone();
+        i += 1;
+        match a.as_str() {
+            "--chrome" => chrome = Some(value(&mut i)),
+            "--limit" => limit = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            p if !p.starts_with("--") && target.is_none() => target = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(target) = target else { usage() };
+    let path = resolve_dump_path(std::path::Path::new(&target)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let dump = stream_sampler::profile::read_dump_file(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    match chrome {
+        Some(out) => {
+            let body = stream_sampler::profile::chrome_trace_json(&dump);
+            if out == "-" {
+                print!("{body}");
+            } else if let Err(e) = std::fs::write(&out, body) {
+                eprintln!("error: cannot write {out}: {e}");
+                std::process::exit(1);
+            } else {
+                eprintln!(
+                    "# wrote {} trace events to {out} — open chrome://tracing and load it",
+                    dump.event_count()
+                );
+            }
+        }
+        None => print!("{}", stream_sampler::profile::render_timeline(&dump, limit)),
+    }
+    std::process::exit(0);
+}
+
+/// A file argument is used as-is; a directory resolves to its
+/// `flight.ssoprof` or, failing that, the newest `*.ssoprof` inside.
+fn resolve_dump_path(target: &std::path::Path) -> Result<std::path::PathBuf, String> {
+    if !target.is_dir() {
+        return Ok(target.to_path_buf());
+    }
+    let canonical = target.join(stream_sampler::profile::DUMP_FILE);
+    if canonical.is_file() {
+        return Ok(canonical);
+    }
+    let entries = std::fs::read_dir(target).map_err(|e| format!("{}: {e}", target.display()))?;
+    let mut newest: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("ssoprof") {
+            continue;
+        }
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        if newest.as_ref().is_none_or(|(t, _)| mtime > *t) {
+            newest = Some((mtime, path));
+        }
+    }
+    newest
+        .map(|(_, p)| p)
+        .ok_or_else(|| format!("{}: no flight.ssoprof or *.ssoprof dump found", target.display()))
 }
 
 /// What one query execution produced, gathered so printing (or the live
@@ -539,24 +654,34 @@ struct ExecResult {
     coverage: f64,
 }
 
+/// Optional instruments a run carries: fault plan, metrics registry,
+/// stage profiler. Bundled so `execute_query` takes one handle.
+#[derive(Clone, Copy, Default)]
+struct Attachments<'a> {
+    faults: Option<&'a std::sync::Arc<FaultPlan>>,
+    registry: Option<&'a Registry>,
+    profiler: Option<&'a stream_sampler::profile::Profiler>,
+}
+
 /// Run the query over `packets`, single-instance or sharded. When a
-/// registry is supplied the run is fully instrumented and a snapshot is
+/// registry is attached the run is fully instrumented and a snapshot is
 /// pushed per closed window (single-instance) plus one final snapshot.
 fn execute_query(
     opts: &Options,
     parsed: &stream_sampler::query::Query,
     spec: OperatorSpec,
     packets: &[Packet],
-    faults: Option<&std::sync::Arc<FaultPlan>>,
-    registry: Option<&Registry>,
+    att: Attachments<'_>,
     snapshots: &mut Vec<Snapshot>,
 ) -> Result<ExecResult, String> {
+    let Attachments { faults, registry, profiler } = att;
     let schema = Packet::schema();
     let config = PlannerConfig::standard();
     let mut result = ExecResult { windows: Vec::new(), shard_lines: Vec::new(), coverage: 1.0 };
-    // Durable runs always go through the sharded runtime — that is
-    // where the per-shard store lives — even at --shards 1.
-    if opts.shards > 1 || opts.durable.is_some() {
+    // Durable and profiled runs always go through the sharded runtime —
+    // that is where the per-shard store and the lineage-stamped stage
+    // pipeline live — even at --shards 1.
+    if opts.shards > 1 || opts.durable.is_some() || profiler.is_some() {
         let make = |_shard: usize| {
             stream_sampler::query::plan(parsed, &schema, &config)
                 .map_err(|e| stream_sampler::operator::OpError::InvalidSpec(e.to_string()))
@@ -581,6 +706,9 @@ fn execute_query(
         }
         if let Some(reg) = registry {
             cfg = cfg.with_registry(reg.clone());
+        }
+        if let Some(p) = profiler {
+            cfg = cfg.with_profile(p.clone());
         }
         if let Some(plan) = faults {
             cfg = cfg.with_faults(plan.clone());
@@ -608,7 +736,15 @@ fn execute_query(
                     .as_deref()
                     .map(|d| format!("; resume with `sso recover {d}`"))
                     .unwrap_or_default();
-                return Err(format!("injected crash fired at stream tuple {at_tuple}{hint}"));
+                // The runtime wrote the flight recorder after joining
+                // workers, so the dump is on disk by the time the crash
+                // surfaces here.
+                let dump = profiler
+                    .filter(|p| p.triggered().is_some())
+                    .and_then(|p| p.dump_path())
+                    .map(|d| format!("; flight recorder: sso trace {}", d.display()))
+                    .unwrap_or_default();
+                return Err(format!("injected crash fired at stream tuple {at_tuple}{hint}{dump}"));
             }
             Err(e) => return Err(e.to_string()),
         };
@@ -655,14 +791,21 @@ fn execute_query(
             result.windows.push(w);
         }
     }
+    // Fold the profiler's lanes into the registry before the final
+    // snapshot so `prof.*` metrics reach `--metrics` output and the
+    // `--meta` METRICS stream.
+    if let (Some(p), Some(reg)) = (profiler, registry) {
+        p.fold_into(reg);
+    }
     if let Some(reg) = registry {
         snapshots.push(reg.snapshot());
     }
     Ok(result)
 }
 
-/// Render a snapshot as the `sso top` table.
-fn render_top(snap: &Snapshot) -> String {
+/// Render a snapshot as the `sso top` table. A profiler (from
+/// `--profile`) adds the live end-to-end latency / hottest-stage line.
+fn render_top(snap: &Snapshot, profiler: Option<&stream_sampler::profile::Profiler>) -> String {
     let mut out = String::new();
     out.push_str(&format!("sso top — snapshot #{} ({} metrics)\n", snap.seq, snap.metrics.len()));
     out.push_str(&format!("{:<28} {:<12} {:>10} {:>16}\n", "METRIC", "LABEL", "KIND", "VALUE"));
@@ -676,7 +819,37 @@ fn render_top(snap: &Snapshot) -> String {
         ));
     }
     out.push_str(&render_shard_health(snap));
+    if let Some(p) = profiler {
+        out.push_str(&render_top_profile(p));
+    }
     out
+}
+
+/// The `--profile` section of the `sso top` view: end-to-end window
+/// latency quantiles and the hottest pipeline stage, folded live from
+/// the lanes' published suffixes (merge-on-read; no locks taken on the
+/// record path).
+fn render_top_profile(p: &stream_sampler::profile::Profiler) -> String {
+    use stream_sampler::profile::fmt_ns;
+    let r = p.report();
+    if r.stages.is_empty() {
+        return String::new();
+    }
+    let hottest = match r.stages.iter().find(|s| Some(s.stage) == r.dominant) {
+        Some(s) => format!("{} ({:.1}%)", s.stage.name(), s.share_pct),
+        None => "-".to_string(),
+    };
+    let latency = if r.window_count > 0 {
+        format!(
+            "p50 {}  p99 {}  ({} windows)",
+            fmt_ns(r.windows.quantile(0.50)),
+            fmt_ns(r.windows.quantile(0.99)),
+            r.window_count
+        )
+    } else {
+        "(no windows yet)".to_string()
+    };
+    format!("\n{:<18} {latency}\n{:<18} {hottest}\n", "E2E LATENCY", "HOTTEST STAGE")
 }
 
 /// The per-shard health section of the `sso top` view: one row per
@@ -807,6 +980,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("check") => run_check(&argv[1..]),
         Some("audit") => run_audit(&argv[1..]),
+        Some("trace") => run_trace(&argv[1..]),
         Some("recover") => recovered = Some(recover_options(&argv[1..])),
         Some("run") => {
             argv.remove(0);
@@ -934,15 +1108,20 @@ fn main() {
     // proper W102 diagnostic instead of a runtime error. Durable runs
     // go through the sharded runtime even at --shards 1, so they gate
     // too.
-    if (opts.shards > 1 || opts.durable.is_some())
+    if (opts.shards > 1 || opts.durable.is_some() || opts.profile.is_some())
         && stream_sampler::operator::shard_plan(&spec).is_err()
     {
         let diags = stream_sampler::query::check_shard_mergeable(query_text, &schema, &config);
         eprint!("{}", diag::render(query_text, "query", &diags));
         if opts.shards > 1 {
             eprintln!("error: --shards {} requires a shard-mergeable query", opts.shards);
-        } else {
+        } else if opts.durable.is_some() {
             eprintln!("error: --durable requires a shard-mergeable query");
+        } else {
+            eprintln!(
+                "error: --profile runs through the sharded runtime and requires a \
+                 shard-mergeable query"
+            );
         }
         std::process::exit(1);
     }
@@ -976,6 +1155,22 @@ fn main() {
 
     let wants_metrics = opts.metrics.is_some() || opts.meta.is_some() || opts.top;
     let registry = wants_metrics.then(Registry::new);
+    // The profiler's dump target: an explicit `--profile=FILE` wins,
+    // else triggered dumps land next to the durable store (when one
+    // exists) or in the working directory.
+    let profiler = opts.profile.as_ref().map(|target| {
+        let dump_path = if target != "-" {
+            std::path::PathBuf::from(target)
+        } else if let Some(dir) = &opts.durable {
+            std::path::Path::new(dir).join(stream_sampler::profile::DUMP_FILE)
+        } else {
+            std::path::PathBuf::from(stream_sampler::profile::DUMP_FILE)
+        };
+        stream_sampler::profile::Profiler::new(stream_sampler::profile::ProfilerConfig {
+            dump_path: Some(dump_path),
+            ..Default::default()
+        })
+    });
     let mut snapshots: Vec<Snapshot> = Vec::new();
     let columns: Vec<String> = spec.select.iter().map(|(n, _)| n.clone()).collect();
 
@@ -987,16 +1182,19 @@ fn main() {
             let opts = &opts;
             let parsed = &parsed;
             let packets = &packets;
-            let faults = fault_plan.as_ref();
-            let registry = registry.as_ref();
+            let att = Attachments {
+                faults: fault_plan.as_ref(),
+                registry: registry.as_ref(),
+                profiler: profiler.as_ref(),
+            };
+            let prof = att.profiler;
             let snapshots = &mut snapshots;
-            let handle = s.spawn(move || {
-                execute_query(opts, parsed, spec, packets, faults, registry, snapshots)
-            });
+            let handle =
+                s.spawn(move || execute_query(opts, parsed, spec, packets, att, snapshots));
             while !handle.is_finished() {
                 std::thread::sleep(std::time::Duration::from_millis(250));
                 // \x1b[2J\x1b[H = clear screen + home.
-                print!("\x1b[2J\x1b[H{}", render_top(&reg.snapshot()));
+                print!("\x1b[2J\x1b[H{}", render_top(&reg.snapshot(), prof));
                 let _ = std::io::stdout().flush();
             }
             handle.join().expect("top worker panicked")
@@ -1007,8 +1205,11 @@ fn main() {
             &parsed,
             spec,
             &packets,
-            fault_plan.as_ref(),
-            registry.as_ref(),
+            Attachments {
+                faults: fault_plan.as_ref(),
+                registry: registry.as_ref(),
+                profiler: profiler.as_ref(),
+            },
             &mut snapshots,
         )
     };
@@ -1023,7 +1224,10 @@ fn main() {
     let mut total_rows = 0u64;
     if opts.top {
         // Final state of the table, then a run summary instead of rows.
-        println!("{}", render_top(snapshots.last().expect("final snapshot always taken")));
+        println!(
+            "{}",
+            render_top(snapshots.last().expect("final snapshot always taken"), profiler.as_ref())
+        );
         total_rows = result.windows.iter().map(|w| w.rows.len() as u64).sum();
         println!("# {} windows, {total_rows} rows total", result.windows.len());
         if result.coverage < 1.0 {
@@ -1041,6 +1245,39 @@ fn main() {
         }
     }
 
+    if let Some(p) = &profiler {
+        // The attribution report goes to stderr like the shard lines,
+        // so `--json` window output on stdout stays machine-clean.
+        eprint!("{}", p.report().render());
+        match p.triggered() {
+            Some(reason) => {
+                // The runtime already wrote the triggered dump after
+                // worker joins; just say where it landed.
+                if let Some(path) = p.dump_path() {
+                    eprintln!(
+                        "# flight recorder ({}): sso trace {}",
+                        reason.as_str(),
+                        path.display()
+                    );
+                }
+            }
+            None if opts.profile.as_deref() != Some("-") => {
+                // An explicit FILE target gets a dump even on a clean
+                // run — that is how a chrome trace of a healthy run is
+                // produced.
+                if let Some(path) = p.dump_path() {
+                    match p.write_dump(path, stream_sampler::profile::DumpReason::Manual) {
+                        Ok(()) => eprintln!("# profile dump: sso trace {}", path.display()),
+                        Err(e) => {
+                            eprintln!("error: cannot write profile dump {}: {e}", path.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            None => {}
+        }
+    }
     if let Some(target) = &opts.metrics {
         write_metrics(target, &snapshots);
     }

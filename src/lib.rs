@@ -55,6 +55,7 @@ pub use sso_faults as faults;
 pub use sso_gigascope as gigascope;
 pub use sso_netgen as netgen;
 pub use sso_obs as obs;
+pub use sso_profile as profile;
 pub use sso_query as query;
 pub use sso_runtime as runtime;
 pub use sso_sampling as sampling;

@@ -276,3 +276,101 @@ fn deadline_fires_undersample_alert_for_stragglers() {
     let cov = snap.metrics.iter().find(|m| m.name == "rt.coverage").expect("coverage gauge");
     assert!(cov.scalar() < 1.0);
 }
+
+/// The flight recorder on the crash path: a seeded `crash at=N` run
+/// with a profiler attached must leave a decodable dump on disk whose
+/// lanes replay the final window's events in causal order — every
+/// batch's router `route` stamp precedes the worker `process` stamp
+/// that consumed it — and `sso trace DIR` must render it.
+#[test]
+fn seeded_crash_dumps_flight_recorder_and_trace_replays_causally() {
+    use stream_sampler::profile::{
+        read_dump_file, DumpReason, Profiler, ProfilerConfig, Stage, DUMP_FILE,
+    };
+
+    let dir = std::env::temp_dir().join(format!("sso-prof-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let dump_path = dir.join(DUMP_FILE);
+    let profiler =
+        Profiler::new(ProfilerConfig { dump_path: Some(dump_path.clone()), ..Default::default() });
+
+    let pkts = packets();
+    // Kill the run at ~60% of the stream: several windows are fully
+    // processed, so the dump holds cross-thread lineage to replay.
+    let fault =
+        FaultPlan::parse(&format!("crash at={}", (pkts.len() * 3) / 5)).expect("plan parses");
+    let cfg =
+        RuntimeConfig::new(SHARDS).with_profile(profiler.clone()).with_faults(fault.into_shared());
+    let err = run_plan_sharded(
+        Box::new(SelectionNode::pass_all()),
+        |_| Ok(queries::total_sum_query(WINDOW)),
+        &cfg,
+        pkts,
+    )
+    .expect_err("crash fault kills the run");
+    assert!(
+        matches!(
+            err,
+            stream_sampler::gigascope::ShardedRunError::Runtime(
+                stream_sampler::runtime::RuntimeError::Crashed { .. }
+            )
+        ),
+        "got: {err}"
+    );
+    assert_eq!(profiler.triggered(), Some(DumpReason::Crash));
+    assert!(dump_path.is_file(), "runtime writes the dump after joining workers");
+
+    let dump = read_dump_file(&dump_path).expect("dump decodes");
+    assert_eq!(dump.reason, DumpReason::Crash);
+    assert!(dump.event_count() > 0, "lanes captured events");
+    // Within a lane, publish order is record order: stamps are monotone.
+    for lane in &dump.lanes {
+        for pair in lane.events.windows(2) {
+            assert!(
+                pair[0].t_ns <= pair[1].t_ns,
+                "lane {:?}/{} out of causal order",
+                lane.kind,
+                lane.index
+            );
+        }
+    }
+    // Across lanes: for every batch of the final window, the router's
+    // `route` stamp (push start) precedes the worker's `process` stamp
+    // (batch start) — the hand-off is causal, not coincidental.
+    let events = || dump.lanes.iter().flat_map(|l| l.events.iter());
+    let final_w = events()
+        .filter(|e| e.stage == Stage::Process)
+        .map(|e| e.window)
+        .max()
+        .expect("process events recorded");
+    let mut checked = 0;
+    for p in events().filter(|e| e.stage == Stage::Process && e.window == final_w) {
+        if let Some(r) =
+            events().find(|e| e.stage == Stage::Route && e.shard == p.shard && e.batch == p.batch)
+        {
+            assert!(
+                r.t_ns <= p.t_ns,
+                "batch {} shard {}: route at {} after process at {}",
+                p.batch,
+                p.shard,
+                r.t_ns,
+                p.t_ns
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "final window {final_w} has route->process pairs to check");
+
+    // `sso trace DIR` resolves the dump inside the directory and
+    // renders the timeline.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_sso"))
+        .args(["trace", dir.to_str().expect("utf-8 tempdir")])
+        .output()
+        .expect("sso trace runs");
+    assert!(out.status.success(), "sso trace failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("timeline is utf-8");
+    assert!(text.contains("reason=crash"), "timeline names the trigger:\n{text}");
+    assert!(text.contains("process"), "timeline shows worker stages");
+    let _ = std::fs::remove_dir_all(&dir);
+}

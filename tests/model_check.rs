@@ -303,3 +303,99 @@ fn seeded_bug_off_by_one_ring_index_is_reported() {
         .expect_err("replaying the printed schedule reproduces the bug");
     assert_eq!(replayed.kind, failure.kind);
 }
+
+// ---------------------------------------------------------------------------
+// Profile lanes: record + one-Release publish vs a concurrent collector
+// ---------------------------------------------------------------------------
+
+/// The flight-recorder lane protocol (`sso-profile`): a writer records
+/// a batch of events with `Relaxed` stores and publishes them with one
+/// `Release` head store; a concurrent collector `Acquire`-loads the
+/// head. The collector must see the batch all-or-nothing — never a
+/// prefix, never a torn event — and the post-join read is exact.
+#[test]
+fn profile_lane_publish_is_all_or_nothing() {
+    use stream_sampler::profile::{DumpReason, Event, LaneKind, Profiler, ProfilerConfig, Stage};
+    let explored = check(|| {
+        let p = Profiler::new(ProfilerConfig { ring_capacity: 4, dump_path: None });
+        let writer = {
+            let mut lane = p.lane(LaneKind::Worker, 0);
+            thread::spawn(move || {
+                // One batch: two records, one publish — the engine's
+                // per-batch budget (Process + Flush, then publish).
+                lane.record(Event::new(Stage::Process, 1, 2).shard(0).window(0).batch(0).aux(7));
+                lane.record(Event::new(Stage::Flush, 3, 1).shard(0).window(0));
+                lane.publish();
+            })
+        };
+        let live = p.dump(DumpReason::Manual);
+        assert_eq!(live.lanes.len(), 1);
+        let seen = &live.lanes[0].events;
+        // Head moves 0 -> 2 in one Release store: a racing collector
+        // sees the whole batch or nothing, and what it sees is intact.
+        assert!(seen.is_empty() || seen.len() == 2, "partial batch visible: {}", seen.len());
+        if seen.len() == 2 {
+            assert_eq!(seen[0].stage, Stage::Process);
+            assert_eq!(seen[0].aux, 7, "Acquire head load must order slot reads after stores");
+            assert_eq!(seen[1].stage, Stage::Flush);
+        }
+        writer.join();
+        let settled = p.dump(DumpReason::Manual);
+        assert_eq!(settled.lanes[0].events.len(), 2, "post-join read is authoritative");
+        assert_eq!(settled.lanes[0].dropped, 0);
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete, "exploration must be exhaustive: {explored:?}");
+    assert!(explored.schedules > 1, "interleavings explored: {explored:?}");
+}
+
+/// The ring-depth accounting protocol around `push_tracked_with`
+/// (regression for the gauge sampled only at batch boundaries): the
+/// router counts a batch *at wait entry* — the moment the hook runs —
+/// or at the post-push boundary, never both and never twice. Counts
+/// travel back through `join` rather than a shared gauge cell: every
+/// extra shared write bumps the model's wake epoch and re-runs both
+/// spin loops, pushing the schedule space past exhaustion, and the
+/// balance property only needs the totals.
+#[test]
+fn ring_depth_accounting_balances_across_wait_entry() {
+    let explored = check(|| {
+        let (mut tx, mut rx) = ring::<u32>(1);
+        let producer = thread::spawn(move || {
+            let (mut at_wait_entry, mut at_boundary) = (0usize, 0usize);
+            for item in 0..2u32 {
+                let mut waited = false;
+                let stalled = tx
+                    .push_tracked_with(item, || {
+                        waited = true;
+                        // Wait entry: the batch is counted resident
+                        // *now*, not at the next batch boundary.
+                        at_wait_entry += 1;
+                    })
+                    .expect("consumer alive");
+                assert_eq!(stalled, waited, "hook must fire exactly on stalled pushes");
+                if !waited {
+                    at_boundary += 1;
+                }
+            }
+            (at_wait_entry, at_boundary)
+        });
+        let mut popped = 0usize;
+        while rx.pop().is_some() {
+            popped += 1;
+        }
+        let (at_wait_entry, at_boundary) = producer.join();
+        assert_eq!(popped, 2);
+        // Balance: every batch the consumer drained was counted into
+        // the gauge exactly once — at wait entry or at the boundary —
+        // so a decrement-per-pop scheme returns the depth to zero.
+        assert_eq!(
+            at_wait_entry + at_boundary,
+            popped,
+            "each resident batch counted exactly once ({at_wait_entry} waits, {at_boundary} boundary)"
+        );
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete, "exploration must be exhaustive: {explored:?}");
+    assert!(explored.schedules > 1, "interleavings explored: {explored:?}");
+}
