@@ -28,6 +28,7 @@ pub mod nodes;
 pub mod partial;
 pub mod ring;
 pub mod sharded;
+pub mod shared;
 
 pub use cascade::Cascade;
 pub use engine::{run_plan, run_plan_threaded, NodeStats, RunReport, TwoLevelPlan};
@@ -38,3 +39,4 @@ pub use nodes::{LowLevelQuery, PrefilterNode, SelectionNode};
 pub use partial::PartialAggNode;
 pub use ring::RingBuffer;
 pub use sharded::{run_plan_sharded, run_plan_sharded_with, ShardedRunError, ShardedRunReport};
+pub use shared::{run_fanout_shared, SharedGroup, SharedQueryPlan};

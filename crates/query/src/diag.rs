@@ -33,8 +33,10 @@ impl Severity {
 
 /// Stable diagnostic codes. `E...` are errors, `W...` warnings; `W1xx`
 /// codes come from the Gigascope cascade linter rather than the
-/// single-query analyzer, and `W2xx` codes from the `sso-analysis`
-/// static audit pass (memory bounds, skew, degradation safety).
+/// single-query analyzer, `W2xx` codes from the `sso-analysis`
+/// static audit pass (memory bounds, skew, degradation safety), and
+/// `W3xx` codes from the `sso-rewrite` plan-rewrite optimizer
+/// (multi-query sharing analysis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// Lexical error (bad character, unterminated string).
@@ -77,6 +79,10 @@ pub enum Code {
     W004,
     /// Duplicate output column names.
     W005,
+    /// Two statements in one file apply an identical normalized
+    /// prefilter over the same base stream (cheap cross-statement form
+    /// of the optimizer's sharing analysis).
+    W103,
     /// Cascade push-down is not partial-aggregation-safe.
     W101,
     /// Query is not shard-mergeable: it cannot run on a partitioned
@@ -101,6 +107,22 @@ pub enum Code {
     /// paged group table pins two pages (the open page and the touched
     /// page), so a per-shard budget under two pages cannot be enforced.
     W206,
+    /// Shareable prefilter not shared: several statements' predicates
+    /// all imply a common pure prefilter, but each fan-out query
+    /// evaluates it independently. Fires only when the optimizer's
+    /// rewrite is not applied (`sso optimize --explain`).
+    W301,
+    /// Two subplans are equivalent modulo integer/float constants;
+    /// parameterizing the constant would let one plan serve both.
+    W302,
+    /// A provable sharing rewrite is blocked by a non-shard-mergeable
+    /// sampler: the shared operator could not run on the partitioned
+    /// runtime, so each query keeps its own instance.
+    W303,
+    /// Two otherwise-compatible queries window the same stream at
+    /// periods differing by an integer multiple; the coarser query is
+    /// derivable from the finer one's partial aggregates (§7.2).
+    W304,
 }
 
 impl Code {
@@ -127,6 +149,7 @@ impl Code {
             Code::W003 => "W003",
             Code::W004 => "W004",
             Code::W005 => "W005",
+            Code::W103 => "W103",
             Code::W101 => "W101",
             Code::W102 => "W102",
             Code::W201 => "W201",
@@ -135,6 +158,10 @@ impl Code {
             Code::W204 => "W204",
             Code::W205 => "W205",
             Code::W206 => "W206",
+            Code::W301 => "W301",
+            Code::W302 => "W302",
+            Code::W303 => "W303",
+            Code::W304 => "W304",
         }
     }
 
@@ -180,6 +207,7 @@ impl std::str::FromStr for Code {
             "W003" => Code::W003,
             "W004" => Code::W004,
             "W005" => Code::W005,
+            "W103" => Code::W103,
             "W101" => Code::W101,
             "W102" => Code::W102,
             "W201" => Code::W201,
@@ -188,6 +216,10 @@ impl std::str::FromStr for Code {
             "W204" => Code::W204,
             "W205" => Code::W205,
             "W206" => Code::W206,
+            "W301" => Code::W301,
+            "W302" => Code::W302,
+            "W303" => Code::W303,
+            "W304" => Code::W304,
             other => return Err(format!("unknown diagnostic code `{other}`")),
         })
     }
@@ -450,6 +482,23 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(Diagnostic::is_error)
 }
 
+/// Drop duplicate diagnostics, keeping the first occurrence per
+/// `(code, span)`. Multi-statement files can legitimately reproduce the
+/// same finding once per statement (dummy-span warnings especially);
+/// emitting it once is all a reader or a CI consumer needs.
+pub fn dedup_diagnostics(diags: &mut Vec<Diagnostic>) {
+    let mut seen: Vec<(Code, Span)> = Vec::with_capacity(diags.len());
+    diags.retain(|d| {
+        let key = (d.code, d.span);
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+}
+
 /// 1-based (line, column) of a byte offset, counting columns in bytes.
 fn line_col(src: &str, offset: usize) -> (usize, usize) {
     let offset = offset.min(src.len());
@@ -629,6 +678,7 @@ mod tests {
             Code::W003,
             Code::W004,
             Code::W005,
+            Code::W103,
             Code::W101,
             Code::W102,
             Code::W201,
@@ -637,10 +687,35 @@ mod tests {
             Code::W204,
             Code::W205,
             Code::W206,
+            Code::W301,
+            Code::W302,
+            Code::W303,
+            Code::W304,
         ] {
             assert_eq!(code.as_str().parse::<Code>().unwrap(), code);
         }
         assert!("E0".parse::<Code>().is_err());
+    }
+
+    #[test]
+    fn dedup_keeps_first_per_code_and_span() {
+        let mut diags = vec![
+            Diagnostic::new(Code::W201, Span::DUMMY, "first copy"),
+            Diagnostic::new(Code::W201, Span::DUMMY, "second copy"),
+            Diagnostic::new(Code::W201, Span::new(3, 9), "different span survives"),
+            Diagnostic::new(Code::W103, Span::new(3, 9), "different code survives"),
+            Diagnostic::new(Code::W103, Span::new(3, 9), "exact duplicate dies"),
+        ];
+        dedup_diagnostics(&mut diags);
+        assert_eq!(diags.len(), 3);
+        assert_eq!(diags[0].message, "first copy");
+        assert_eq!(diags[1].message, "different span survives");
+        assert_eq!(diags[2].message, "different code survives");
+
+        // The deduped batch survives a JSON round trip unchanged.
+        let reparsed: Vec<Diagnostic> =
+            diags.iter().map(|d| Diagnostic::from_json(&d.to_json()).unwrap()).collect();
+        assert_eq!(reparsed, diags);
     }
 
     #[test]

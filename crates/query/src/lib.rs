@@ -42,12 +42,12 @@ pub mod plan;
 
 pub use analyze::analyze;
 pub use ast::{AstExpr, BinAstOp, ExprKind, Query, SelectItem, Span};
-pub use diag::{Code, Diagnostic, Severity};
+pub use diag::{dedup_diagnostics, Code, Diagnostic, Severity};
 pub use error::QueryError;
 pub use explain::explain;
 pub use lexer::{Lexer, Token};
 pub use parser::parse_query;
-pub use plan::{plan, PlannerConfig};
+pub use plan::{compile_packet_predicate, plan, PlannerConfig};
 
 use sso_core::SamplingOperator;
 use sso_types::Schema;

@@ -464,6 +464,62 @@ impl<'a> Planner<'a> {
     }
 }
 
+/// Compile a *pure tuple predicate* against a stream schema, outside of
+/// any query: columns resolve directly (no group-by variables) and only
+/// scalar functions are allowed — no aggregates, superaggregates, or
+/// stateful functions. This is the lowering used for shared prefilters
+/// hoisted by `sso-rewrite`: the resulting [`Expr`] can be evaluated
+/// against raw tuples ahead of the shard router with no operator state.
+pub fn compile_packet_predicate(e: &AstExpr, schema: &Schema) -> Result<Expr, QueryError> {
+    match &e.kind {
+        ExprKind::Int(v) => Ok(Expr::lit(*v)),
+        ExprKind::Float(v) => Ok(Expr::lit(*v)),
+        ExprKind::Str(s) => Ok(Expr::lit(s.as_str())),
+        ExprKind::Bool(b) => Ok(Expr::lit(*b)),
+        ExprKind::Star => {
+            Err(QueryError::Semantic("`*` is not valid in a packet predicate".into()))
+        }
+        ExprKind::Ident(name) => {
+            let idx = schema.index_of(name).map_err(|_| {
+                QueryError::Semantic(format!(
+                    "unknown name `{name}` (not a column of {})",
+                    schema.name
+                ))
+            })?;
+            Ok(Expr::Column(idx))
+        }
+        ExprKind::Neg(inner) => {
+            let c = compile_packet_predicate(inner, schema)?;
+            Ok(Expr::lit(0i64).sub(c))
+        }
+        ExprKind::Not(inner) => {
+            let c = compile_packet_predicate(inner, schema)?;
+            Ok(Expr::Not(Box::new(c)))
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            let l = compile_packet_predicate(lhs, schema)?;
+            let r = compile_packet_predicate(rhs, schema)?;
+            Ok(Expr::bin(bin_op(*op), l, r))
+        }
+        ExprKind::Call { name, superagg: true, .. } => Err(QueryError::Semantic(format!(
+            "superaggregate `{name}$` is not allowed in a packet predicate"
+        ))),
+        ExprKind::Call { name, superagg: false, args } => {
+            if let Some((sname, fun)) = sso_core::scalar::lookup(name) {
+                let mut compiled = Vec::with_capacity(args.len());
+                for a in args {
+                    compiled.push(compile_packet_predicate(a, schema)?);
+                }
+                return Ok(Expr::Scalar { name: sname, fun, args: compiled });
+            }
+            Err(QueryError::Semantic(format!(
+                "function `{name}` is not a pure scalar; packet predicates cannot hold \
+                 aggregates or stateful functions"
+            )))
+        }
+    }
+}
+
 fn bin_op(op: BinAstOp) -> BinOp {
     match op {
         BinAstOp::Add => BinOp::Add,

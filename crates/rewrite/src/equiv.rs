@@ -1,0 +1,186 @@
+//! The equivalence/implication prover over canonical predicates.
+//!
+//! This is the same closure style as the W204 degradation prover in
+//! `sso-analysis`: purely syntactic reasoning over *normalized* forms,
+//! extended with one semantic rule family — numeric comparison
+//! widening. Everything it proves is a sufficient condition; it never
+//! claims an implication it cannot justify, so a failed proof only
+//! costs a sharing opportunity, never correctness.
+//!
+//! Rules, for canonical premises `P = p1 AND … AND pn` and goal `c`:
+//!
+//! * **Syntactic membership** — `c` canonical-equal to some `pi`.
+//! * **Trivial goal** — `c` is the literal `TRUE`.
+//! * **Comparison widening** — `pi = (x OP_a A)` implies
+//!   `c = (x OP_b B)` when the canonical renderings of the left-hand
+//!   sides match and the literal bounds nest: e.g. `x >= A ⇒ x >= B`
+//!   iff `B <= A`, `x > A ⇒ x >= B` iff `B <= A`, `x = A ⇒ x OP B`
+//!   iff `A OP B` holds. Numerics compare as `f64` (both `Int` and
+//!   `Float` literals participate).
+
+use sso_query::{AstExpr, BinAstOp, ExprKind};
+
+use crate::norm::NormalizedStatement;
+
+fn lit_num(e: &AstExpr) -> Option<f64> {
+    match &e.kind {
+        ExprKind::Int(v) => Some(*v as f64),
+        ExprKind::Float(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Split a canonical comparison `lhs OP literal` into its parts.
+fn comparison(e: &AstExpr) -> Option<(&AstExpr, BinAstOp, f64)> {
+    if let ExprKind::Binary { op, lhs, rhs } = &e.kind {
+        if op.is_comparison() {
+            if let Some(b) = lit_num(rhs) {
+                return Some((lhs, *op, b));
+            }
+        }
+    }
+    None
+}
+
+/// Does `x OP_a a` (for every x) imply `x OP_b b`?
+fn widens(op_a: BinAstOp, a: f64, op_b: BinAstOp, b: f64) -> bool {
+    use BinAstOp::{Eq, Ge, Gt, Le, Lt, Ne};
+    match (op_a, op_b) {
+        // Lower bounds: anything at least / above `a` clears a bound
+        // that is no higher.
+        (Ge, Ge) => b <= a,
+        (Ge, Gt) => b < a,
+        (Gt, Gt) | (Gt, Ge) => b <= a,
+        // Upper bounds, mirrored.
+        (Le, Le) => b >= a,
+        (Le, Lt) => b > a,
+        (Lt, Lt) | (Lt, Le) => b >= a,
+        // A point premise implies whatever the point satisfies.
+        (Eq, Eq) => a == b,
+        (Eq, Ne) => a != b,
+        (Eq, Ge) => a >= b,
+        (Eq, Gt) => a > b,
+        (Eq, Le) => a <= b,
+        (Eq, Lt) => a < b,
+        _ => false,
+    }
+}
+
+/// Prove `p1 AND … AND pn ⇒ goal` (premises and goal in canonical
+/// form). An empty premise list proves only the trivial goal.
+pub fn implies(premises: &[AstExpr], goal: &AstExpr) -> bool {
+    if matches!(goal.kind, ExprKind::Bool(true)) {
+        return true;
+    }
+    if premises.iter().any(|p| p == goal) {
+        return true;
+    }
+    if let Some((gl, g_op, gb)) = comparison(goal) {
+        let gl_text = gl.to_string();
+        for p in premises {
+            if let Some((pl, p_op, pb)) = comparison(p) {
+                if pl.to_string() == gl_text && widens(p_op, pb, g_op, gb) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The strongest shared prefilter for a set of same-stream statements:
+/// every hoistable clause (deduplicated by canonical text, in first-
+/// appearance order) that *each* member's hoistable prefix provably
+/// implies. A member with an empty hoistable prefix — no WHERE, or a
+/// stateful call first — implies nothing, so it empties the shared
+/// prefilter for its whole cluster: soundness over opportunity.
+pub fn shared_prefilter(members: &[&NormalizedStatement]) -> Vec<AstExpr> {
+    let mut candidates: Vec<AstExpr> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    for m in members {
+        for c in &m.hoistable {
+            let text = c.to_string();
+            if !seen.contains(&text) {
+                seen.push(text);
+                candidates.push(c.clone());
+            }
+        }
+    }
+    candidates.into_iter().filter(|c| members.iter().all(|m| implies(&m.hoistable, c))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::normalize_statement;
+    use sso_query::parse_query;
+
+    fn clause(text: &str) -> AstExpr {
+        crate::norm::normalize(
+            &parse_query(&format!("SELECT tb FROM PKT WHERE {text} GROUP BY time/60 as tb"))
+                .unwrap()
+                .where_clause
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn membership_and_trivial_goals() {
+        let p = vec![clause("len > 100"), clause("src_port = 80")];
+        assert!(implies(&p, &clause("len > 100")));
+        assert!(implies(&p, &clause("1 < 2")), "goal folds to TRUE");
+        assert!(!implies(&p, &clause("dest_port = 80")));
+        assert!(!implies(&[], &clause("len > 0")), "empty premises prove nothing");
+    }
+
+    #[test]
+    fn comparison_widening() {
+        let p = vec![clause("len >= 130")];
+        assert!(implies(&p, &clause("len >= 100")));
+        assert!(implies(&p, &clause("len > 100")));
+        assert!(implies(&p, &clause("len >= 130")));
+        assert!(!implies(&p, &clause("len > 130")));
+        assert!(!implies(&p, &clause("len >= 131")));
+
+        let p = vec![clause("len < 100")];
+        assert!(implies(&p, &clause("len <= 100")));
+        assert!(implies(&p, &clause("len < 200")));
+        assert!(!implies(&p, &clause("len < 50")));
+
+        let p = vec![clause("len = 80")];
+        assert!(implies(&p, &clause("len >= 80")));
+        assert!(implies(&p, &clause("len > 10")));
+        assert!(implies(&p, &clause("len != 81")));
+        assert!(!implies(&p, &clause("len > 80")));
+    }
+
+    #[test]
+    fn widening_matches_lhs_canonically() {
+        // `100 <= len` orients to `len >= 100`, so it matches premises
+        // written the other way around.
+        let p = vec![clause("len >= 130")];
+        assert!(implies(&p, &clause("100 <= len")));
+        // Different LHS shapes do not match.
+        assert!(!implies(&p, &clause("src_port >= 100")));
+    }
+
+    #[test]
+    fn shared_prefilter_needs_every_member() {
+        let schema = sso_query::base_stream_schema("PKT").unwrap();
+        let mk = |t: &str| normalize_statement(0, 0, &parse_query(t).unwrap(), &schema);
+        let a = mk("SELECT tb FROM PKT WHERE len >= 100 GROUP BY time/60 as tb");
+        let b = mk("SELECT tb FROM PKT WHERE len >= 130 GROUP BY time/60 as tb");
+        let shared = shared_prefilter(&[&a, &b]);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared[0].to_string(), "(len >= 100)");
+
+        // A member with no hoistable prefix nulls the shared prefilter.
+        let c = mk("SELECT tb FROM PKT GROUP BY time/60 as tb");
+        assert!(shared_prefilter(&[&a, &b, &c]).is_empty());
+
+        // A stateful-first WHERE also contributes nothing.
+        let d = mk("SELECT tb FROM PKT WHERE ssample(len, 100) AND len >= 100 \
+                    GROUP BY time/60 as tb");
+        assert!(shared_prefilter(&[&a, &d]).is_empty());
+    }
+}

@@ -176,6 +176,15 @@ pub struct RuntimeConfig {
     /// dump them as a flight recording. `None` costs one branch per
     /// batch.
     pub profile: Option<Profiler>,
+    /// A shared prefilter from a certified plan rewrite
+    /// (`sso-rewrite`): a pure tuple predicate every registered query
+    /// implies, evaluated once per tuple *ahead of the router*. Tuples
+    /// failing it are dropped before routing; because every consumer
+    /// keeps its full residual predicate, window output is unchanged —
+    /// only routing and operator work shrinks. An evaluation error
+    /// passes the tuple through (hoisted clauses are proven total, so
+    /// this is belt-and-braces, never a correctness lever).
+    pub shared_prefilter: Option<Arc<Expr>>,
 }
 
 impl RuntimeConfig {
@@ -197,6 +206,7 @@ impl RuntimeConfig {
             sizing: None,
             durability: None,
             profile: None,
+            shared_prefilter: None,
         }
     }
 
@@ -228,6 +238,14 @@ impl RuntimeConfig {
     /// Persist operator state under `durability`'s store directory.
     pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Evaluate `prefilter` once per tuple ahead of the router,
+    /// dropping tuples that fail it (see
+    /// [`RuntimeConfig::shared_prefilter`]).
+    pub fn with_shared_prefilter(mut self, prefilter: Arc<Expr>) -> Self {
+        self.shared_prefilter = Some(prefilter);
         self
     }
 
@@ -1424,6 +1442,13 @@ where
                             p.trigger(DumpReason::Crash);
                         }
                         break;
+                    }
+                }
+                if let Some(pred) = &cfg.shared_prefilter {
+                    let mut ctx =
+                        EvalCtx { tuple: Some(&tuple), ..EvalCtx::empty("shared prefilter") };
+                    if !pred.eval_bool(&mut ctx).unwrap_or(true) {
+                        continue;
                     }
                 }
                 let shard = router.route(&tuple, cfg.shards);

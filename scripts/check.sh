@@ -77,6 +77,40 @@ assert total is not None, "corpus total must be finite"
 print("audit OK: %d statements, total ceiling %d bytes" % (len(stmts), total))
 '
 
+echo "== plan-rewrite optimizer over the example corpus (certificate schema stable) =="
+# `sso optimize` must stay clean on the example corpus (every WHERE
+# there leads with a stateful sampler, so nothing is hoistable and no
+# W103/W30x may fire), in seconds — the pass is pure static analysis
+# plus the re-audit, nothing executes. The python step pins the rewrite-report
+# JSON schema so consumers (and the golden tests) never drift silently.
+time cargo run -q --bin sso -- optimize --json --deny-warnings examples/queries.sql \
+    | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.read())
+assert set(doc) == {"report", "diagnostics"}, set(doc)
+report, diags = doc["report"], doc["diagnostics"]
+assert diags == [], f"optimize diagnostics on the example corpus: {diags}"
+assert set(report) == {"statements", "skipped", "clusters", "certificate", "shared", "reaudit"}, (
+    "rewrite report schema drift: %s" % set(report))
+skipped = report["skipped"]
+assert skipped == [], f"skipped statements: {skipped}"
+for c in report["clusters"]:
+    assert set(c) == {"stream", "members", "shared_prefilter", "groups"}, set(c)
+    for g in c["groups"]:
+        assert set(g) == {"statements", "hash", "canonical", "mergeable", "blocked"}, set(g)
+cert = report["certificate"]
+assert set(cert) == {"checksum", "steps"}, set(cert)
+for s in cert["steps"]:
+    assert set(s) == {"rule", "statements", "before", "after", "side_conditions"}, set(s)
+assert cert["steps"] == [], "example corpus must not be rewritten (stateful prefilters)"
+assert report["shared"] == [], "no shared plans expected on the example corpus"
+re = report["reaudit"]
+assert set(re) == {"ok", "total_state_bytes", "statements"}, set(re)
+assert re["ok"], "re-audit failed on the example corpus"
+print("optimize OK: %d statements, %d clusters, re-audit ok"
+      % (report["statements"], len(report["clusters"])))
+'
+
 echo "== sso --shards smoke run =="
 cargo run -q --bin sso -- --feed research --seconds 2 --shards 4 \
     "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/1 as tb" >/dev/null
@@ -193,6 +227,23 @@ print(f"8-shard attribution: dominant={dominant} router={router:.1f}%")
 assert pct <= 5.0, f"profiling overhead {pct:.2f}% exceeds the 5% budget"
 assert a["dominant_stage"], "attribution must name a dominant stage"
 assert a["dropped_events"] == 0, "trace lanes wrapped during the bench"
+'
+
+echo "== multi-query sharing gate (shared never slower, output identical) =="
+# The §7.1 simultaneous-query workload: 16 near-identical queries in 4
+# share groups. The optimizer's shared plan (one hoisted prefilter + 4
+# deduplicated operators) must produce byte-identical windows and must
+# never be slower than running all 16 operators unshared.
+cargo run -q --release -p sso-bench --bin multiquery_sharing -- --json > BENCH_rewrite.json
+python3 -c '
+import json
+r = json.load(open("BENCH_rewrite.json"))
+speedup = r["speedup"]
+shared = r["shared"]["tuples_per_sec"]
+unshared = r["unshared"]["tuples_per_sec"]
+print(f"sharing speedup: {speedup:.2f}x ({shared:.0f} vs {unshared:.0f} tuples/s)")
+assert r["identical"], "shared execution output diverged from unshared"
+assert speedup >= 1.0, f"shared execution slower than unshared: {speedup:.2f}x"
 '
 
 echo "== sso --profile smoke (chrome trace schema) =="

@@ -12,6 +12,7 @@
 //!
 //! sso check queries.sql        # static analysis only; exits 1 on errors
 //! sso audit queries.sql        # certify memory bounds + skew safety statically
+//! sso optimize queries.sql     # certified multi-query sharing rewrite
 //! sso run --metrics - 'QUERY'  # run + dump telemetry snapshots as JSON
 //! sso top 'QUERY'              # live metrics view while the query runs
 //! ```
@@ -96,6 +97,18 @@
 //! plus diagnostics; `--turnstile` additionally flags deletion-unsafe
 //! samplers. Nothing is executed: the verdict comes from the paper's
 //! closed-form state bounds evaluated symbolically.
+//!
+//! `sso optimize FILE` runs the certified plan-rewrite optimizer
+//! (`sso-rewrite`) over the file's simultaneous query set: plans are
+//! normalized to a canonical symbolic form, identical plans over one
+//! base stream are deduplicated into share groups, and prefilter
+//! clauses every member query implies are hoisted ahead of the fan-out
+//! — each applied rewrite carrying a checksummed certificate entry with
+//! its discharged side conditions, and the rewritten plan re-audited by
+//! `sso-analysis`. `--explain` reports the opportunities as W301
+//! instead of applying them; W302 flags plans equivalent modulo
+//! constants, W303 explains rewrites blocked by non-mergeable samplers,
+//! and W304 spots window periods differing by an integer multiple.
 
 use std::io::Write;
 
@@ -143,7 +156,8 @@ fn usage() -> ! {
          \x20      sso trace [--chrome FILE] [--limit N] DUMP-FILE|DIR\n\
          \x20      sso check [--json] [--deny-warnings] QUERY-FILE\n\
          \x20      sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N] \
-         [--budget BYTES] [--state-budget BYTES] [--turnstile] QUERY-FILE"
+         [--budget BYTES] [--state-budget BYTES] [--turnstile] QUERY-FILE\n\
+         \x20      sso optimize [--json] [--deny-warnings] [--explain] QUERY-FILE"
     );
     std::process::exit(2);
 }
@@ -181,8 +195,10 @@ fn run_check(args: &[String]) -> ! {
     }
 
     let config = PlannerConfig::standard();
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
+    // Collect every diagnostic (spans rebased onto the file) before
+    // printing, so the cross-statement W103 lint can be appended and
+    // duplicates collapsed once over the whole batch.
+    let mut all: Vec<stream_sampler::query::Diagnostic> = Vec::new();
     // Consecutive queries form a cascade: each one runs over the
     // previous operator's output rows.
     let mut prev: Option<(stream_sampler::query::Query, OperatorSpec)> = None;
@@ -218,8 +234,6 @@ fn run_check(args: &[String]) -> ! {
             // form of lex/parse failures.
             Err(_) => diags = stream_sampler::query::check(stmt, &Packet::schema(), &config),
         }
-        errors += diags.iter().filter(|d| d.is_error()).count();
-        warnings += diags.iter().filter(|d| !d.is_error()).count();
         // Re-base spans from the statement onto the whole file so line
         // numbers match the file the user is editing.
         for d in &mut diags {
@@ -227,18 +241,29 @@ fn run_check(args: &[String]) -> ! {
                 d.span = Span::new(d.span.start + base, d.span.end + base);
             }
         }
-        // Ignore write errors so `sso check | head` exits quietly on a
-        // closed pipe instead of panicking.
-        let mut out = std::io::stdout().lock();
-        for d in &diags {
-            let _ = if json {
-                writeln!(out, "{}", d.to_json())
-            } else {
-                writeln!(out, "{}", diag::render_one(&text, path, d))
-            };
-        }
+        all.extend(diags);
         prev = next;
     }
+    // Cross-statement lint: identical normalized prefilters over the
+    // same base stream (W103; spans already file-based).
+    all.extend(stream_sampler::rewrite::check_file_prefilters(&text));
+    // Multi-statement files can repeat the same finding once per
+    // statement (dummy-span warnings especially); emit each once.
+    diag::dedup_diagnostics(&mut all);
+
+    let errors = all.iter().filter(|d| d.is_error()).count();
+    let warnings = all.len() - errors;
+    // Ignore write errors so `sso check | head` exits quietly on a
+    // closed pipe instead of panicking.
+    let mut out = std::io::stdout().lock();
+    for d in &all {
+        let _ = if json {
+            writeln!(out, "{}", d.to_json())
+        } else {
+            writeln!(out, "{}", diag::render_one(&text, path, d))
+        };
+    }
+    drop(out);
     // The human summary line would corrupt a JSON stream; consumers
     // count objects (and read the exit code) instead.
     if !json {
@@ -321,22 +346,26 @@ fn run_audit(args: &[String]) -> ! {
     }
 
     let outcome = stream_sampler::analysis::audit_file(&text, &opts);
-    let errors = outcome.diagnostics.iter().filter(|d| d.is_error()).count();
-    let warnings = outcome.diagnostics.len() - errors;
+    // Identical `(code, span)` findings from different statements (e.g.
+    // dummy-span file-level warnings) print once.
+    let mut diags = outcome.diagnostics.clone();
+    diag::dedup_diagnostics(&mut diags);
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
 
     let mut out = std::io::stdout().lock();
     if json {
         // One object: the bounds certificate plus every diagnostic, so
         // CI consumes a single line per audited file.
-        let diags: Vec<String> = outcome.diagnostics.iter().map(|d| d.to_json()).collect();
+        let lines: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
         let _ = writeln!(
             out,
             "{{\"report\":{},\"diagnostics\":[{}]}}",
             outcome.report.to_json(),
-            diags.join(",")
+            lines.join(",")
         );
     } else {
-        for d in &outcome.diagnostics {
+        for d in &diags {
             let _ = writeln!(out, "{}", diag::render_one(&text, &path, d));
         }
         for s in &outcome.report.statements {
@@ -378,6 +407,67 @@ fn run_audit(args: &[String]) -> ! {
         };
     }
     let fail = errors > 0 || outcome.budget_exceeded() || (deny_warnings && warnings > 0);
+    std::process::exit(if fail { 1 } else { 0 });
+}
+
+/// `sso optimize [--json] [--deny-warnings] [--explain] FILE`: run the
+/// certified plan-rewrite optimizer (`sso-rewrite`) over every query in
+/// FILE. The default mode applies the sharing rewrites — deduplicating
+/// identical normalized plans and hoisting a shared prefilter — and
+/// prints the rewrite certificate plus the re-audit verdict; `--explain`
+/// reports the same opportunities as W301 lints without applying
+/// anything. Exits 0 when clean, 1 on errors, a failed re-audit, or
+/// (with `--deny-warnings`) any warning, 2 on usage or I/O problems.
+fn run_optimize(args: &[String]) -> ! {
+    use stream_sampler::rewrite::{
+        optimize_file, outcome_to_json, render_summary, OptimizeOptions,
+    };
+
+    let usage = || -> ! {
+        eprintln!("usage: sso optimize [--json] [--deny-warnings] [--explain] QUERY-FILE");
+        std::process::exit(2);
+    };
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut explain_only = false;
+    let mut path = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--explain" => explain_only = true,
+            "--help" | "-h" => usage(),
+            p if !p.starts_with("--") && path.is_none() => path = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    if stream_sampler::analysis::split_statements(&text).is_empty() {
+        eprintln!("error: {path} contains no queries");
+        std::process::exit(2);
+    }
+
+    let opts = OptimizeOptions { apply: !explain_only, ..OptimizeOptions::default() };
+    let outcome = optimize_file(&text, &opts);
+    let errors = outcome.diagnostics.iter().filter(|d| d.is_error()).count();
+    let warnings = outcome.diagnostics.len() - errors;
+
+    let mut out = std::io::stdout().lock();
+    if json {
+        // One object per file: the rewrite report (clusters, certificate,
+        // shared plans, re-audit) plus every diagnostic.
+        let _ = writeln!(out, "{}", outcome_to_json(&outcome));
+    } else {
+        for d in &outcome.diagnostics {
+            let _ = writeln!(out, "{}", diag::render_one(&text, &path, d));
+        }
+        let _ = write!(out, "{}", render_summary(&outcome));
+    }
+    let fail = errors > 0 || !outcome.reaudit.ok || (deny_warnings && warnings > 0);
     std::process::exit(if fail { 1 } else { 0 });
 }
 
@@ -980,6 +1070,7 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("check") => run_check(&argv[1..]),
         Some("audit") => run_audit(&argv[1..]),
+        Some("optimize") => run_optimize(&argv[1..]),
         Some("trace") => run_trace(&argv[1..]),
         Some("recover") => recovered = Some(recover_options(&argv[1..])),
         Some("run") => {

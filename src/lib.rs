@@ -22,6 +22,7 @@
 //! | [`gigascope`] | `sso-gigascope` | ring buffer, two-level plans, CPU accounting |
 //! | [`netgen`] | `sso-netgen` | synthetic research-center and data-center packet feeds |
 //! | [`analysis`] | `sso-analysis` | static audit: abstract interpretation certifying memory bounds, skew safety, degradation behavior |
+//! | [`rewrite`] | `sso-rewrite` | certified plan-rewrite optimizer: canonical normalization, equivalence prover, multi-query sharing |
 //!
 //! ## Quick start
 //!
@@ -57,6 +58,7 @@ pub use sso_netgen as netgen;
 pub use sso_obs as obs;
 pub use sso_profile as profile;
 pub use sso_query as query;
+pub use sso_rewrite as rewrite;
 pub use sso_runtime as runtime;
 pub use sso_sampling as sampling;
 pub use sso_store as store;
@@ -70,8 +72,8 @@ pub mod prelude {
     pub use sso_core::{shard_plan, MergeRule, ShardPlan};
     pub use sso_faults::{FaultEvent, FaultPlan};
     pub use sso_gigascope::{
-        run_plan, run_plan_sharded, run_plan_threaded, PrefilterNode, SelectionNode,
-        ShardedRunReport, TwoLevelPlan,
+        run_fanout_shared, run_plan, run_plan_sharded, run_plan_threaded, PrefilterNode,
+        SelectionNode, ShardedRunReport, SharedGroup, SharedQueryPlan, TwoLevelPlan,
     };
     pub use sso_netgen::{burst_feed, datacenter_feed, ddos_feed, research_feed};
     pub use sso_obs::{metrics_schema, snapshot_tuples, Registry, Snapshot};
