@@ -155,6 +155,24 @@ mod tests {
     }
 
     #[test]
+    fn w202_verdict_is_stated_per_router_lane() {
+        // Same narrow key, multi-router runtime: every lane hashes the
+        // key identically, so the verdict names the lane count.
+        let query = "SELECT tb, proto, sum(len) FROM PKT GROUP BY time/60 as tb, proto";
+        let out = audit_file(query, &AuditOptions { shards: 8, routers: 2, ..Default::default() });
+        let w202 = out.diagnostics.iter().find(|d| d.code == Code::W202).expect("W202 fires");
+        assert!(
+            w202.message.contains("each of 2 router lanes"),
+            "per-router verdict missing: {}",
+            w202.message
+        );
+        // Single-router audits keep the original phrasing.
+        let out = audit_file(query, &AuditOptions { shards: 8, ..Default::default() });
+        let w202 = out.diagnostics.iter().find(|d| d.code == Code::W202).expect("W202 fires");
+        assert!(!w202.message.contains("router lanes"), "{}", w202.message);
+    }
+
+    #[test]
     fn non_mergeable_plan_with_shards_raises_w203() {
         // Distinct sampling is not shard-mergeable.
         let out = audit_file(

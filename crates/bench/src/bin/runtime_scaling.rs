@@ -7,6 +7,16 @@
 //! against it we run `run_plan_sharded` at 1, 2, 4, and 8 shards and
 //! report wall-clock tuples/sec per configuration.
 //!
+//! The speedup curve is gated in `check.sh` against the recorded
+//! `host_cores`: while shards fit within the host's cores, speedup
+//! must be monotonically non-decreasing (the multi-router restructure
+//! removed the single-router inversion); once shards exceed cores the
+//! extra shards cannot run in parallel, so the gate instead bounds the
+//! oversubscription cost (each step keeps ≥ 90% of the previous
+//! step's speedup — the `worker_busy_secs` column shows the operator
+//! floor behind the residual: split samplers at 8× smaller budgets do
+//! ~10% more per-tuple work, and the router pays an 8-way scatter).
+//!
 //! Two correctness gates run alongside the timing:
 //!
 //! * **exact drift** — an exact per-window `sum(len)`/`count(*)` query
@@ -22,6 +32,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use sso_analysis::{audit_file, AuditOptions};
 use sso_bench::{header, maybe_json};
 use sso_core::libs::subset_sum::SubsetSumOpConfig;
 use sso_core::shard_plan;
@@ -48,13 +59,23 @@ struct Config {
     window_secs: u64,
     target_samples: usize,
     reps: usize,
+    routers: String,
+    /// Cores the host could actually run in parallel: the scaling gate
+    /// demands non-decreasing speedup only while shards fit in cores,
+    /// and bounded oversubscription cost beyond them.
+    host_cores: usize,
 }
 
 #[derive(serde::Serialize)]
 struct Run {
     mode: String,
     shards: usize,
+    routers: usize,
+    ring_batches: usize,
     secs: f64,
+    /// Summed worker busy time: the operator-work floor under `secs`.
+    /// The gap between them is routing + hand-off + scheduling.
+    worker_busy_secs: f64,
     tuples_per_sec: f64,
     speedup_vs_threaded: f64,
     windows: usize,
@@ -124,32 +145,126 @@ fn exact_drift_windows(packets: &[Packet]) -> usize {
         .count()
 }
 
+/// The audited form of the workload: the paper's dynamic subset-sum
+/// query, window matching [`spec`] and budget matching the *per-shard*
+/// split each worker actually runs, under the data-center feed
+/// envelope. Its certified bounds pre-size the group tables and the
+/// per-(router, shard) rings exactly as the CLI does — auditing the
+/// full budget here would make every shard reserve the full-query
+/// table and pay for the empty capacity on each cleaning scan.
+fn audit_query(per_shard_target: usize) -> String {
+    format!(
+        "SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()) FROM PKTS \
+         WHERE ssample(len, {per_shard_target}) = TRUE \
+         GROUP BY time/{WINDOW} as tb, srcIP, destIP, uts \
+         HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE \
+         CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE \
+         CLEANING BY ssclean_with(sum(len)) = TRUE"
+    )
+}
+
+/// `--routers auto|N` from the command line (0 = auto, the default).
+fn routers_arg() -> (String, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let value = args
+        .iter()
+        .position(|a| a == "--routers")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "auto".to_string());
+    let requested = match value.as_str() {
+        "auto" => 0,
+        n => n.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("usage: runtime_scaling [--routers N|auto] [--json]");
+            std::process::exit(2);
+        }),
+    };
+    (value, requested)
+}
+
 fn main() {
     let packets = datacenter_feed(SEED).take_seconds(SECONDS);
     let n = packets.len();
+    let (routers_label, requested_routers) = routers_arg();
     let mut truth: HashMap<u64, u64> = HashMap::new();
     for p in &packets {
         *truth.entry(p.time() / WINDOW).or_default() += p.len as u64;
     }
 
     if !sso_bench::json_mode() {
-        eprintln!("# {n} packets, {REPS} reps per configuration");
+        eprintln!("# {n} packets, {REPS} reps per configuration (interleaved)");
     }
 
-    // Baseline: the two-thread pipeline (producer + one operator).
+    // One sharded configuration per shard count: the plan is classified
+    // from the full-budget query (so the merge re-thresholds to the
+    // full 1000-sample target), while each shard samples with a
+    // 1000/shards budget — the union of per-partition threshold samples
+    // merged at the max shard threshold is the same estimator, and
+    // total sampling state stays shard-count-invariant. Rings and group
+    // tables are pre-sized from the static audit's certified envelope,
+    // per (router, shard) lane, exactly as `sso run` does.
+    let plan = shard_plan(&spec(ss_config()).unwrap()).expect("subset-sum is shard-mergeable");
+    let shard_counts = [1usize, 2, 4, 8];
+    let configs: Vec<(usize, SubsetSumOpConfig, RuntimeConfig)> = shard_counts
+        .iter()
+        .map(|&shards| {
+            let split = SubsetSumOpConfig {
+                target: TARGET.div_ceil(shards),
+                initial_z: 1.0,
+                ..Default::default()
+            };
+            // Worker threads are capped at the host's cores: beyond
+            // that, extra shard threads only add scheduling overhead.
+            let cores =
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+            let cfg =
+                RuntimeConfig::new(shards).with_routers(requested_routers).with_worker_cap(cores);
+            let audit_opts =
+                AuditOptions { feed: "datacenter".into(), shards, ..AuditOptions::default() };
+            let outcome = audit_file(&audit_query(split.target), &audit_opts);
+            let bounds = outcome.report.statements.first().expect("workload audits");
+            let hints = bounds.sizing_hints(shards, cfg.resolved_routers(), cfg.batch_size);
+            (shards, split, cfg.with_sizing(hints))
+        })
+        .collect();
+
+    // Interleave the repetitions round-robin across every configuration
+    // (threaded baseline included) instead of running each one's reps
+    // back to back: background noise arrives in bursts, so consecutive
+    // reps of one configuration can all land in the same slow patch and
+    // best-of-N never sees its quiet-machine time. Round-robin spreads
+    // each configuration's reps across the full measurement span.
     let mut base_secs = f64::INFINITY;
     let mut base_windows = Vec::new();
+    let mut best: Vec<Option<(f64, sso_gigascope::ShardedRunReport)>> =
+        configs.iter().map(|_| None).collect();
     for _ in 0..REPS {
-        let plan = TwoLevelPlan::new(
+        let plan_t = TwoLevelPlan::new(
             Box::new(SelectionNode::pass_all()),
             SamplingOperator::new(spec(ss_config()).unwrap()).unwrap(),
         );
         let t0 = Instant::now();
-        let report = run_plan_threaded(plan, packets.iter().cloned()).expect("threaded run");
+        let report = run_plan_threaded(plan_t, packets.iter().cloned()).expect("threaded run");
         let secs = t0.elapsed().as_secs_f64();
         if secs < base_secs {
             base_secs = secs;
             base_windows = report.windows;
+        }
+
+        for (slot, (_, split, cfg)) in configs.iter().enumerate() {
+            let t0 = Instant::now();
+            let report = run_plan_sharded_with(
+                Box::new(SelectionNode::pass_all()),
+                &plan,
+                |_| spec(split.clone()),
+                cfg,
+                packets.iter().cloned(),
+            )
+            .expect("sharded run");
+            let secs = t0.elapsed().as_secs_f64();
+            if best[slot].as_ref().map(|(b, _)| secs < *b).unwrap_or(true) {
+                best[slot] = Some((secs, report));
+            }
         }
     }
     let base_tps = n as f64 / base_secs;
@@ -157,7 +272,10 @@ fn main() {
     let mut runs = vec![Run {
         mode: "threaded".into(),
         shards: 1,
+        routers: 0,
+        ring_batches: 0,
         secs: base_secs,
+        worker_busy_secs: 0.0,
         tuples_per_sec: base_tps,
         speedup_vs_threaded: 1.0,
         windows: base_windows.len(),
@@ -165,40 +283,15 @@ fn main() {
         dropped: 0,
         max_estimate_err_pct: max_estimate_err_pct(&base_windows, &truth),
     }];
-
-    // The plan is classified from the full-budget query (so the merge
-    // re-thresholds to the full 1000-sample target), while each shard
-    // samples with a 1000/shards budget: the union of per-partition
-    // threshold samples merged at the max shard threshold is the same
-    // estimator, and total sampling state stays shard-count-invariant.
-    let plan = shard_plan(&spec(ss_config()).unwrap()).expect("subset-sum is shard-mergeable");
-    for shards in [1usize, 2, 4, 8] {
-        let split = SubsetSumOpConfig {
-            target: TARGET.div_ceil(shards),
-            initial_z: 1.0,
-            ..Default::default()
-        };
-        let mut best: Option<(f64, sso_gigascope::ShardedRunReport)> = None;
-        for _ in 0..REPS {
-            let t0 = Instant::now();
-            let report = run_plan_sharded_with(
-                Box::new(SelectionNode::pass_all()),
-                &plan,
-                |_| spec(split.clone()),
-                &RuntimeConfig::new(shards),
-                packets.iter().cloned(),
-            )
-            .expect("sharded run");
-            let secs = t0.elapsed().as_secs_f64();
-            if best.as_ref().map(|(b, _)| secs < *b).unwrap_or(true) {
-                best = Some((secs, report));
-            }
-        }
+    for ((shards, _, cfg), best) in configs.iter().zip(best) {
         let (secs, report) = best.expect("at least one rep");
         runs.push(Run {
             mode: "sharded".into(),
-            shards,
+            shards: *shards,
+            routers: cfg.resolved_routers(),
+            ring_batches: cfg.sizing.and_then(|h| h.ring_batches).unwrap_or(cfg.ring_capacity),
             secs,
+            worker_busy_secs: report.shards.iter().map(|s| s.busy().as_secs_f64()).sum(),
             tuples_per_sec: n as f64 / secs,
             speedup_vs_threaded: base_secs / secs,
             windows: report.windows.len(),
@@ -217,6 +310,10 @@ fn main() {
             window_secs: WINDOW,
             target_samples: TARGET,
             reps: REPS,
+            routers: routers_label,
+            host_cores: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         },
         exact_drift_windows: exact_drift_windows(&packets),
         runs,
@@ -227,15 +324,28 @@ fn main() {
     }
     header("Runtime scaling: dynamic subset-sum (1000 samples/period), data-center feed");
     println!(
-        "{:>9} {:>7} {:>8} {:>12} {:>9} {:>8} {:>8} {:>10}",
-        "mode", "shards", "secs", "tuples/s", "speedup", "stalls", "dropped", "max err%"
+        "{:>9} {:>7} {:>8} {:>5} {:>8} {:>8} {:>12} {:>9} {:>8} {:>8} {:>10}",
+        "mode",
+        "shards",
+        "routers",
+        "ring",
+        "secs",
+        "busy",
+        "tuples/s",
+        "speedup",
+        "stalls",
+        "dropped",
+        "max err%"
     );
     for r in &report.runs {
         println!(
-            "{:>9} {:>7} {:>8.3} {:>12.0} {:>8.2}x {:>8} {:>8} {:>9.2}%",
+            "{:>9} {:>7} {:>8} {:>5} {:>8.3} {:>8.3} {:>12.0} {:>8.2}x {:>8} {:>8} {:>9.2}%",
             r.mode,
             r.shards,
+            r.routers,
+            r.ring_batches,
             r.secs,
+            r.worker_busy_secs,
             r.tuples_per_sec,
             r.speedup_vs_threaded,
             r.stalls,

@@ -89,6 +89,28 @@ pub enum FaultEvent {
         /// Period: packet indices divisible by this are malformed.
         every: u64,
     },
+    /// Panic router lane `router` when it is handed its `at_tuple`-th
+    /// segment tuple (1-based over the lane's input segment). The
+    /// supervisor quarantines the lane for the current window — its
+    /// unrouted tuples become `rt.router_uncovered` mass — and respawns
+    /// it at the next window boundary.
+    RouterPanic {
+        /// Router lane that panics.
+        router: usize,
+        /// 1-based segment-tuple trigger.
+        at_tuple: u64,
+    },
+    /// Stall router lane `router` for `millis` before it routes its
+    /// `at_tuple`-th segment tuple — a slow producer that starves its
+    /// rings (timing-only: output is unchanged).
+    RouterStall {
+        /// Router lane that sleeps.
+        router: usize,
+        /// 1-based segment-tuple trigger.
+        at_tuple: u64,
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
     /// Kill the whole process (equivalent) after the router has
     /// dispatched `at_tuple` tuples: routing stops, workers abandon
     /// their open windows, and nothing is merged or published. Only
@@ -108,6 +130,12 @@ impl fmt::Display for FaultEvent {
             }
             FaultEvent::WorkerStall { shard, at_tuple, millis } => {
                 write!(f, "stall shard={shard} at={at_tuple} ms={millis}")
+            }
+            FaultEvent::RouterPanic { router, at_tuple } => {
+                write!(f, "panic router={router} at={at_tuple}")
+            }
+            FaultEvent::RouterStall { router, at_tuple, millis } => {
+                write!(f, "stall router={router} at={at_tuple} ms={millis}")
             }
             FaultEvent::Burst { at_packet, copies } => {
                 write!(f, "burst at={at_packet} copies={copies}")
@@ -227,9 +255,20 @@ impl FaultPlan {
                         })?;
                     continue;
                 }
+                // `panic`/`stall` address either a worker (`shard=S`) or a
+                // router lane (`router=R`); the target field picks the arm.
+                "panic" if fields.iter().any(|(k, _)| *k == "router") => FaultEvent::RouterPanic {
+                    router: field(&fields, "router", line)?,
+                    at_tuple: field(&fields, "at", line)?,
+                },
                 "panic" => FaultEvent::WorkerPanic {
                     shard: field(&fields, "shard", line)?,
                     at_tuple: field(&fields, "at", line)?,
+                },
+                "stall" if fields.iter().any(|(k, _)| *k == "router") => FaultEvent::RouterStall {
+                    router: field(&fields, "router", line)?,
+                    at_tuple: field(&fields, "at", line)?,
+                    millis: field(&fields, "ms", line)?,
                 },
                 "stall" => FaultEvent::WorkerStall {
                     shard: field(&fields, "shard", line)?,
@@ -281,6 +320,29 @@ impl FaultPlan {
         WorkerFaultSchedule { events, next: 0 }
     }
 
+    /// The router-fault schedule for one router lane: triggers sorted
+    /// by segment-tuple count, consumed front to back by
+    /// [`WorkerFaultSchedule::check`]. Router lanes reuse the worker
+    /// schedule machinery — the trigger counter is the lane's 1-based
+    /// position within its input segment.
+    pub fn router_schedule(&self, router: usize) -> WorkerFaultSchedule {
+        let mut events: Vec<(u64, WorkerFault)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::RouterPanic { router: r, at_tuple } if r == router => {
+                    Some((at_tuple, WorkerFault::Panic))
+                }
+                FaultEvent::RouterStall { router: r, at_tuple, millis } if r == router => {
+                    Some((at_tuple, WorkerFault::Stall { millis }))
+                }
+                _ => None,
+            })
+            .collect();
+        events.sort_by_key(|(at, _)| *at);
+        WorkerFaultSchedule { events, next: 0 }
+    }
+
     /// The process-crash trigger, if the plan has one (the earliest
     /// wins when several are declared).
     pub fn crash_at(&self) -> Option<u64> {
@@ -298,6 +360,13 @@ impl FaultPlan {
         self.events
             .iter()
             .any(|e| matches!(e, FaultEvent::WorkerPanic { .. } | FaultEvent::WorkerStall { .. }))
+    }
+
+    /// Whether any event targets a router lane.
+    pub fn has_router_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::RouterPanic { .. } | FaultEvent::RouterStall { .. }))
     }
 
     /// Apply every feed-level event to `packets`, deterministically:
@@ -394,6 +463,17 @@ impl WorkerFault {
             }
         }
     }
+
+    /// Trip this fault inside a router lane's supervised section: sleep
+    /// for a stall, panic for a panic.
+    pub fn trip_router(self, router: usize, at_tuple: u64) {
+        match self {
+            WorkerFault::Stall { millis } => std::thread::sleep(Duration::from_millis(millis)),
+            WorkerFault::Panic => {
+                panic!("injected fault: router {router} panics at tuple {at_tuple}")
+            }
+        }
+    }
 }
 
 /// One shard's triggers, consumed in tuple-count order. `check` is one
@@ -452,6 +532,8 @@ mod tests {
             events: vec![
                 FaultEvent::WorkerPanic { shard: 3, at_tuple: 1500 },
                 FaultEvent::WorkerStall { shard: 1, at_tuple: 900, millis: 20 },
+                FaultEvent::RouterPanic { router: 1, at_tuple: 700 },
+                FaultEvent::RouterStall { router: 0, at_tuple: 350, millis: 15 },
                 FaultEvent::Burst { at_packet: 10_000, copies: 3000 },
                 FaultEvent::Reorder { window: 64 },
                 FaultEvent::SkewTimestamps { at_packet: 5000, len: 200, offset_ns: -2_000_000_000 },
@@ -515,6 +597,87 @@ mod tests {
         assert_eq!(sched.check(13), None);
         assert!(sched.is_empty());
         assert!(plan.worker_schedule(1).is_empty());
+    }
+
+    #[test]
+    fn router_events_parse_by_target_field() {
+        let plan = FaultPlan::parse("panic router=2 at=41\nstall router=0 at=9 ms=7\n").unwrap();
+        assert_eq!(
+            plan.events,
+            vec![
+                FaultEvent::RouterPanic { router: 2, at_tuple: 41 },
+                FaultEvent::RouterStall { router: 0, at_tuple: 9, millis: 7 },
+            ]
+        );
+        assert!(plan.has_router_faults());
+        assert!(!plan.has_worker_faults(), "router events are not worker events");
+        // A panic with neither target field is rejected at the worker arm.
+        let err = FaultPlan::parse("panic at=5\n").unwrap_err();
+        assert!(err.message.contains("shard="), "{err}");
+    }
+
+    #[test]
+    fn router_schedule_fires_in_order_and_once() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent::RouterStall { router: 1, at_tuple: 20, millis: 1 },
+                FaultEvent::RouterPanic { router: 1, at_tuple: 6 },
+                FaultEvent::RouterPanic { router: 0, at_tuple: 3 },
+                FaultEvent::WorkerPanic { shard: 1, at_tuple: 2 },
+            ],
+        };
+        let mut sched = plan.router_schedule(1);
+        assert!(!sched.is_empty());
+        assert_eq!(sched.check(5), None);
+        assert_eq!(sched.check(6), Some(WorkerFault::Panic));
+        assert_eq!(sched.check(25), Some(WorkerFault::Stall { millis: 1 }));
+        assert!(sched.is_empty());
+        assert!(plan.router_schedule(2).is_empty());
+        // Worker events never leak into the router schedule and vice versa.
+        let mut workers = plan.worker_schedule(1);
+        assert_eq!(workers.check(2), Some(WorkerFault::Panic));
+        assert!(workers.is_empty());
+    }
+
+    proptest::proptest! {
+        /// Any event list survives a Display -> parse round trip.
+        #[test]
+        fn display_parse_round_trip_prop(
+            seed in proptest::prelude::any::<u64>(),
+            events in proptest::collection::vec(arb_event(), 0..12),
+        ) {
+            let plan = FaultPlan { seed, events };
+            proptest::prop_assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        }
+    }
+
+    fn arb_event() -> impl proptest::strategy::Strategy<Value = FaultEvent> {
+        use proptest::prelude::*;
+        prop_oneof![
+            (0usize..64, 1u64..100_000)
+                .prop_map(|(shard, at_tuple)| FaultEvent::WorkerPanic { shard, at_tuple }),
+            (0usize..64, 1u64..100_000, 1u64..5_000).prop_map(|(shard, at_tuple, millis)| {
+                FaultEvent::WorkerStall { shard, at_tuple, millis }
+            }),
+            (0usize..64, 1u64..100_000)
+                .prop_map(|(router, at_tuple)| FaultEvent::RouterPanic { router, at_tuple }),
+            (0usize..64, 1u64..100_000, 1u64..5_000).prop_map(|(router, at_tuple, millis)| {
+                FaultEvent::RouterStall { router, at_tuple, millis }
+            }),
+            (0u64..100_000, 1u64..10_000)
+                .prop_map(|(at_packet, copies)| FaultEvent::Burst { at_packet, copies }),
+            (2u64..1024).prop_map(|window| FaultEvent::Reorder { window }),
+            (0u64..100_000, 1u64..10_000, proptest::prelude::any::<i64>()).prop_map(
+                |(at_packet, len, offset_ns)| FaultEvent::SkewTimestamps {
+                    at_packet,
+                    len,
+                    offset_ns
+                }
+            ),
+            (1u64..100_000).prop_map(|every| FaultEvent::Malformed { every }),
+            (1u64..1_000_000).prop_map(|at_tuple| FaultEvent::Crash { at_tuple }),
+        ]
     }
 
     #[test]

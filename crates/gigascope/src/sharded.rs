@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use sso_core::{shard_plan, NotMergeable, OpError, OperatorSpec, WindowOutput};
 use sso_obs::{SampledSpan, Stopwatch};
-use sso_runtime::{run_sharded, RuntimeConfig, RuntimeError, ShardStats};
+use sso_runtime::{run_sharded, RouterStats, RuntimeConfig, RuntimeError, ShardStats};
 use sso_types::Packet;
 
 use crate::engine::NodeStats;
@@ -21,6 +21,8 @@ pub struct ShardedRunReport {
     pub windows: Vec<WindowOutput>,
     /// Per-shard worker accounting.
     pub shards: Vec<ShardStats>,
+    /// Per-router-lane accounting.
+    pub routers: Vec<RouterStats>,
     /// The span the live feed would have taken to deliver the packets.
     pub stream_span: Duration,
     /// Run-level coverage (1.0 = no faults degraded the output).
@@ -48,6 +50,16 @@ impl ShardedRunReport {
     /// Worker panics caught and quarantined.
     pub fn quarantines(&self) -> u64 {
         self.shards.iter().map(|s| s.quarantines()).sum()
+    }
+
+    /// Router-lane panics caught and quarantined.
+    pub fn router_quarantines(&self) -> u64 {
+        self.routers.iter().map(|r| r.quarantines()).sum()
+    }
+
+    /// Tuples lost to quarantined router lanes (never routed).
+    pub fn router_uncovered(&self) -> u64 {
+        self.routers.iter().map(|r| r.uncovered()).sum()
     }
 
     /// Whether any fault degraded the output.
@@ -216,6 +228,7 @@ where
         low: low_stats,
         windows: report.windows,
         shards: report.shards,
+        routers: report.routers,
         stream_span,
         coverage: report.coverage,
         stragglers: report.stragglers,

@@ -10,6 +10,7 @@ use crate::lane::LaneKind;
 fn lane_name(kind: LaneKind, index: u32) -> String {
     match kind {
         LaneKind::Worker => format!("worker/{index}"),
+        LaneKind::Router => format!("router/{index}"),
         _ => kind.name().to_string(),
     }
 }
@@ -70,11 +71,12 @@ pub fn render_timeline(dump: &Dump, limit: usize) -> String {
 /// Stable numeric thread id per lane for the trace viewer.
 fn tid(kind: LaneKind, index: u32) -> u32 {
     match kind {
-        LaneKind::Router => 0,
         LaneKind::Merge => 1,
         LaneKind::Low => 2,
-        // Workers from 10 so new router-side lanes never collide.
+        // Workers from 10, routers from 1000: each multi-router lane
+        // gets its own track, and the two families never collide.
         LaneKind::Worker => 10 + index,
+        LaneKind::Router => 1000 + index,
     }
 }
 
@@ -171,6 +173,7 @@ mod tests {
         let process = text.find("process").unwrap();
         assert!(route < process, "earlier event first");
         assert!(text.contains("worker/1"));
+        assert!(text.contains("router/0"));
         assert!(text.contains("b=4 s=1 w=0"));
     }
 
@@ -188,6 +191,9 @@ mod tests {
         assert!(json.starts_with("{\"displayTimeUnit\""));
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("\"name\":\"worker/1\""));
+        // Router lanes are per-index tracks on their own tid block.
+        assert!(json.contains("\"name\":\"router/0\""));
+        assert!(json.contains("\"tid\":1000"));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ts\":2.000"));
         assert!(json.contains("\"dur\":0.900"));

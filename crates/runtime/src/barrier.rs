@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use sso_sync::hint::spin_yield;
+use sso_sync::hint::Backoff;
 use sso_sync::Ordering::{Acquire, Release};
 use sso_sync::{SyncBool, SyncCell, SyncUsize};
 
@@ -55,8 +55,9 @@ impl<T: Send> MergeBarrier<T> {
     /// Wait until every shard has published, then take all partials in
     /// shard order (`None` entries would mean a double-take and panic).
     pub fn wait_all(&self) -> Vec<T> {
+        let mut backoff = Backoff::new();
         while self.published.load(Acquire) < self.slots.len() {
-            spin_yield();
+            backoff.wait();
         }
         self.slots
             .iter()

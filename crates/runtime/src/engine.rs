@@ -1,12 +1,25 @@
-//! The sharded runtime: a router thread hash-partitions tuples by the
-//! plan's partition key and feeds per-shard batched bounded rings; each
-//! shard runs its own operator instance; window outputs are merged by
-//! the plan's rule after the workers drain.
+//! The sharded runtime: R supervised router lanes hash-partition tuples
+//! by the plan's partition key and feed per-(router, shard) batched
+//! bounded rings; each shard runs its own operator instance draining
+//! all R of its rings in lane order; window outputs are merged by the
+//! plan's rule after the workers drain.
+//!
+//! ## Router lanes
+//!
+//! The materialized input stream is split up front into R *contiguous*
+//! segments (one cursor per lane, see [`router_cursors`]); lane `r`
+//! routes segment `r` into its own set of SPSC rings. Because the
+//! segments are contiguous in stream order, keyed routing is a pure
+//! content hash, and round-robin routing is a pure function of the
+//! tuple's global stream position, every shard receives exactly the
+//! same tuple sequence whatever R is — multi-router runs are
+//! byte-identical to single-router runs.
 //!
 //! ## Fault tolerance
 //!
-//! Three degradation mechanisms keep a run alive — and its samples
-//! honest — when a shard misbehaves (see `DESIGN.md` §"Fault model"):
+//! Degradation mechanisms keep a run alive — and its samples
+//! honest — when a shard *or a router lane* misbehaves (see `DESIGN.md`
+//! §"Fault model"):
 //!
 //! * **Quarantine supervision** ([`Supervision::Quarantine`], the
 //!   default): a worker panic is caught with the poisoned operator's
@@ -23,6 +36,12 @@
 //!   is cut at the deadline, the merge proceeds over the shards that
 //!   published, and the lost coverage is accounted and alerted through
 //!   the undersample-detector path.
+//! * **Router supervision**: each lane routes under a per-segment
+//!   `catch_unwind`; a panicked lane is quarantined for the current
+//!   window (its unrouted tuples counted as `rt.router_uncovered`
+//!   mass, degrading that window exactly like a quarantined shard) and
+//!   respawned at the next window boundary from its segment cursor.
+//!   Router death is a degraded window, not a dead process.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -38,12 +57,15 @@ use sso_core::{
     ShardPlan, SizingHints, SpillStats, WindowOutput,
 };
 use sso_faults::{FaultPlan, WorkerFaultSchedule};
-use sso_obs::{Counter, Gauge, Registry, Stopwatch, UndersampleConfig, UndersampleDetector};
+use sso_obs::{
+    Counter, Gauge, Histogram, Registry, Stopwatch, UndersampleConfig, UndersampleDetector,
+};
 use sso_profile::{
     DumpReason, Event as ProfEvent, LaneKind, LaneWriter, Profiler, Stage as ProfStage,
 };
 use sso_store::{FsyncPolicy, PagedGroupTable, ShardStore, StoreConfig, WindowRecord};
-use sso_sync::SyncBool;
+use sso_sync::hint::Backoff;
+use sso_sync::{SyncBool, SyncUsize};
 use sso_types::Tuple;
 
 use crate::barrier::MergeBarrier;
@@ -137,7 +159,26 @@ impl DurabilityConfig {
 pub struct RuntimeConfig {
     /// Number of worker shards (operator instances).
     pub shards: usize,
-    /// Ring depth per shard, in batches.
+    /// Number of supervised router lanes. `0` (the default) resolves to
+    /// `min(shards, cores/4).max(1)` — see [`auto_routers`]. Each lane
+    /// owns one ring per shard and routes one contiguous segment of the
+    /// input stream; output is byte-identical for every lane count.
+    pub routers: usize,
+    /// Explicit per-lane segment cursors (0-based start index of each
+    /// lane's input segment; must begin at 0 and be non-decreasing).
+    /// `None` computes them from the stream length — the only reason to
+    /// pass them explicitly is resuming a durable run whose MANIFEST
+    /// recorded the original cursors.
+    pub router_cursors: Option<Vec<u64>>,
+    /// Cap on worker *threads*: `0` (the default) spawns one thread per
+    /// shard; `N` multiplexes the shards onto `min(N, shards)` pool
+    /// threads, each draining its shards' rings round-robin. Results
+    /// are byte-identical either way — every shard's batches are still
+    /// consumed in its own ring order by exactly one thread — but on a
+    /// host with fewer cores than shards the cap stops idle workers
+    /// from burning scheduler quanta the busy ones need.
+    pub worker_cap: usize,
+    /// Ring depth per (router, shard) ring, in batches.
     pub ring_capacity: usize,
     /// Tuples per batch.
     pub batch_size: usize,
@@ -195,6 +236,9 @@ impl RuntimeConfig {
     pub fn new(shards: usize) -> Self {
         RuntimeConfig {
             shards,
+            routers: 0,
+            router_cursors: None,
+            worker_cap: 0,
             ring_capacity: 16,
             batch_size: 1024,
             backpressure: Backpressure::Block,
@@ -214,6 +258,47 @@ impl RuntimeConfig {
     pub fn with_registry(mut self, registry: Registry) -> Self {
         self.registry = Some(registry);
         self
+    }
+
+    /// Route with `routers` supervised lanes (`0` = auto).
+    pub fn with_routers(mut self, routers: usize) -> Self {
+        self.routers = routers;
+        self
+    }
+
+    /// Resume with the original run's per-lane segment cursors (the
+    /// MANIFEST's `router_cursors`), so a recovered run re-partitions
+    /// the regenerated stream identically.
+    pub fn with_router_cursors(mut self, cursors: Vec<u64>) -> Self {
+        self.routers = cursors.len();
+        self.router_cursors = Some(cursors);
+        self
+    }
+
+    /// The lane count this config runs with: the explicit value, or the
+    /// [`auto_routers`] default when `routers == 0`.
+    pub fn resolved_routers(&self) -> usize {
+        if self.routers == 0 {
+            auto_routers(self.shards)
+        } else {
+            self.routers
+        }
+    }
+
+    /// Run the shards on at most `cap` pool threads (`0` = one thread
+    /// per shard); see [`RuntimeConfig::worker_cap`].
+    pub fn with_worker_cap(mut self, cap: usize) -> Self {
+        self.worker_cap = cap;
+        self
+    }
+
+    /// The worker-thread count this config runs with.
+    pub fn resolved_workers(&self) -> usize {
+        if self.worker_cap == 0 {
+            self.shards
+        } else {
+            self.worker_cap.min(self.shards).max(1)
+        }
     }
 
     /// Inject faults from `plan` (worker panics and stalls).
@@ -261,6 +346,25 @@ impl RuntimeConfig {
     fn effective_ring_capacity(&self) -> usize {
         self.sizing.and_then(|h| h.ring_batches).unwrap_or(self.ring_capacity)
     }
+}
+
+/// The default router-lane count for `shards` workers:
+/// `min(shards, cores/4).max(1)`. Routing is ~4x cheaper per tuple than
+/// operator processing, so one lane per four cores keeps ingest off the
+/// workers' cores until the shard count itself is the limit.
+pub fn auto_routers(shards: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    (cores / 4).max(1).min(shards.max(1))
+}
+
+/// The per-lane segment cursors for an `n`-tuple stream split across
+/// `routers` contiguous segments: lane `r` owns stream positions
+/// `[cursors[r], cursors[r+1])` (the last segment ends at `n`). These
+/// are the cursors a durable run records in its MANIFEST so `sso
+/// recover` re-partitions the regenerated stream identically.
+pub fn router_cursors(n: u64, routers: usize) -> Vec<u64> {
+    let routers = routers.max(1);
+    (0..routers).map(|r| ((n as u128 * r as u128) / routers as u128) as u64).collect()
 }
 
 /// Per-shard accounting: a thin view over this shard's registry cells
@@ -357,6 +461,47 @@ impl ShardStats {
     }
 }
 
+/// Per-router-lane accounting: a thin view over the lane's registry
+/// cells (`rt.router_*` metrics labeled `router=R`). Exact once the
+/// run has joined its lanes.
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    /// Router-lane index.
+    pub router: usize,
+    tuples: Counter,
+    quarantines: Counter,
+    uncovered: Counter,
+    batch_tuples: Histogram,
+}
+
+impl RouterStats {
+    fn register(registry: &Registry, router: usize) -> Self {
+        let label = format!("router={router}");
+        RouterStats {
+            router,
+            tuples: registry.counter_labeled("rt.router_tuples", label.clone()),
+            quarantines: registry.counter_labeled("rt.router_quarantines", label.clone()),
+            uncovered: registry.counter_labeled("rt.router_uncovered", label.clone()),
+            batch_tuples: registry.histogram_labeled("rt.router_batch_tuples", label),
+        }
+    }
+
+    /// Segment tuples the lane handled (routed plus uncovered).
+    pub fn tuples(&self) -> u64 {
+        self.tuples.get()
+    }
+
+    /// Lane panics caught and quarantined.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.get()
+    }
+
+    /// Tuples lost while the lane was quarantined (never routed).
+    pub fn uncovered(&self) -> u64 {
+        self.uncovered.get()
+    }
+}
+
 /// Per-shard durable-store telemetry (`store.*` gauges labeled
 /// `shard=N`), set from the shard's [`ShardStore`] counters and the
 /// pager's [`SpillStats`] after every batch and at worker exit.
@@ -423,6 +568,14 @@ pub enum RuntimeError {
         /// Panic payload message.
         message: String,
     },
+    /// A router lane panicked ([`Supervision::Abort`] only; quarantine
+    /// supervision converts lane panics into coverage loss).
+    RouterPanic {
+        /// Router-lane index.
+        router: usize,
+        /// Panic payload message.
+        message: String,
+    },
     /// The configuration is unusable (zero shards, zero batch size).
     BadConfig(String),
     /// An injected `crash@N` fault fired: routing stopped at the
@@ -450,6 +603,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::WorkerPanic { shard, message } => {
                 write!(f, "shard {shard} worker panicked: {message}")
             }
+            RuntimeError::RouterPanic { router, message } => {
+                write!(f, "router lane {router} panicked: {message}")
+            }
             RuntimeError::BadConfig(msg) => write!(f, "bad runtime config: {msg}"),
             RuntimeError::Crashed { at_tuple } => {
                 write!(f, "injected crash fired at stream tuple {at_tuple}")
@@ -471,6 +627,8 @@ pub struct ShardedReport {
     pub windows: Vec<WindowOutput>,
     /// Per-shard accounting, indexed by shard.
     pub shards: Vec<ShardStats>,
+    /// Per-router-lane accounting, indexed by lane.
+    pub routers: Vec<RouterStats>,
     /// Run-level coverage: fraction of worker-delivered (plus
     /// straggler-routed) tuples represented by the merged output.
     pub coverage: f64,
@@ -500,6 +658,16 @@ impl ShardedReport {
         self.shards.iter().map(|s| s.quarantines()).sum()
     }
 
+    /// Total router-lane panics caught and quarantined.
+    pub fn router_quarantines(&self) -> u64 {
+        self.routers.iter().map(|r| r.quarantines()).sum()
+    }
+
+    /// Total tuples lost to quarantined router lanes (never routed).
+    pub fn router_uncovered(&self) -> u64 {
+        self.routers.iter().map(|r| r.uncovered()).sum()
+    }
+
     /// Whether any fault degraded the output (`coverage < 1`).
     pub fn degraded(&self) -> bool {
         self.coverage < 1.0
@@ -517,11 +685,16 @@ fn pick_shard(hash: u64, shards: usize) -> usize {
     }
 }
 
-/// How the router picks a shard for a tuple.
+/// How a router lane picks a shard for a tuple. Stateless — a routing
+/// decision depends only on the tuple's content (keyed routing) or its
+/// global stream position (round-robin), never on which lane evaluates
+/// it or what was routed before. That is what makes the per-lane
+/// segment split invisible: shard sequences are byte-identical for any
+/// lane count.
 enum Router {
-    /// No partition key: deal batches out cyclically (valid only with a
-    /// key-free merge rule).
-    RoundRobin { next: usize },
+    /// No partition key: deal tuples out cyclically by global stream
+    /// position (valid only with a key-free merge rule).
+    RoundRobin,
     /// Every partition expression is a plain input column.
     Columns(Vec<usize>),
     /// General tuple-phase expressions.
@@ -531,7 +704,7 @@ enum Router {
 impl Router {
     fn new(plan: &ShardPlan) -> Router {
         if plan.partition_exprs.is_empty() {
-            return Router::RoundRobin { next: 0 };
+            return Router::RoundRobin;
         }
         let cols: Option<Vec<usize>> = plan
             .partition_exprs
@@ -547,13 +720,11 @@ impl Router {
         }
     }
 
-    fn route(&mut self, tuple: &Tuple, shards: usize) -> usize {
+    /// The shard for the tuple at 0-based global stream position
+    /// `index`.
+    fn route(&self, tuple: &Tuple, index: u64, shards: usize) -> usize {
         match self {
-            Router::RoundRobin { next } => {
-                let s = *next;
-                *next = (*next + 1) % shards;
-                s
-            }
+            Router::RoundRobin => (index % shards as u64) as usize,
             Router::Columns(cols) => {
                 let mut h = FxHasher::default();
                 for &c in cols.iter() {
@@ -588,8 +759,8 @@ pub fn route_stream<'a>(
     shards: usize,
     tuples: impl IntoIterator<Item = &'a Tuple>,
 ) -> Vec<usize> {
-    let mut router = Router::new(plan);
-    tuples.into_iter().map(|t| router.route(t, shards)).collect()
+    let router = Router::new(plan);
+    tuples.into_iter().enumerate().map(|(i, t)| router.route(t, i as u64, shards)).collect()
 }
 
 /// Evaluate the window-defining expressions against a raw tuple. `None`
@@ -898,8 +1069,9 @@ where
 }
 
 thread_local! {
-    /// Set on worker threads running under [`Supervision::Quarantine`]:
-    /// a caught worker panic is part of the fault model, not a crash,
+    /// Set on worker and router threads running under
+    /// [`Supervision::Quarantine`]:
+    /// a caught supervised-lane panic is part of the fault model, not a crash,
     /// so the hook reduces it to one stderr line — the quarantine
     /// accounting is the real report. Every other thread (and every
     /// `Abort`-supervised worker) keeps the previously installed hook.
@@ -920,7 +1092,9 @@ fn install_supervised_panic_hook() {
                     .copied()
                     .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
                     .unwrap_or("<non-string panic payload>");
-                eprintln!("sso-runtime: worker panic (shard quarantined for this window): {msg}");
+                eprintln!(
+                    "sso-runtime: supervised panic (lane quarantined for this window): {msg}"
+                );
             } else {
                 prev(info);
             }
@@ -989,6 +1163,415 @@ fn record_router_send(
     t.lane.publish();
 }
 
+/// One router lane's sending state: its set of per-shard rings, the
+/// per-shard batch accumulators and shed state, and its accounting
+/// cells. Batch ids start at the lane index and stride by the lane
+/// count, so ids stay unique across lanes and lineage stamps stay
+/// unambiguous.
+struct RouterLane<'a> {
+    router: usize,
+    shards: usize,
+    batch_size: usize,
+    backpressure: Backpressure,
+    txs: Vec<crate::ring::Producer<(u32, Vec<Tuple>)>>,
+    batches: Vec<Vec<Tuple>>,
+    shed: Vec<ShedState>,
+    routed: Vec<u64>,
+    next_batch_id: u32,
+    id_stride: u32,
+    stats: &'a [ShardStats],
+    ring_depths: &'a [Gauge],
+    batch_hist: Histogram,
+    lane_stats: RouterStats,
+    trace: Option<RouterTrace>,
+}
+
+impl RouterLane<'_> {
+    fn push_tuple(&mut self, shard: usize, tuple: Tuple) {
+        self.batches[shard].push(tuple);
+        if self.batches[shard].len() >= self.batch_size {
+            let batch =
+                std::mem::replace(&mut self.batches[shard], Vec::with_capacity(self.batch_size));
+            self.send_batch(shard, batch);
+        }
+    }
+
+    /// End of segment: send every partial batch still buffered.
+    fn flush(&mut self) {
+        for shard in 0..self.shards {
+            let batch = std::mem::take(&mut self.batches[shard]);
+            if !batch.is_empty() {
+                self.send_batch(shard, batch);
+            }
+        }
+    }
+
+    /// Deliver one batch into the shard's ring under the configured
+    /// backpressure policy (the single-router send path, now per lane).
+    fn send_batch(&mut self, shard: usize, batch: Vec<Tuple>) {
+        let RouterLane {
+            txs,
+            shed,
+            routed,
+            next_batch_id,
+            id_stride,
+            stats,
+            ring_depths,
+            batch_hist,
+            lane_stats,
+            trace: router_trace,
+            backpressure,
+            ..
+        } = self;
+        let len = batch.len() as u64;
+        let batch_id = *next_batch_id;
+        *next_batch_id = next_batch_id.wrapping_add(*id_stride);
+        let t0 = router_trace.as_ref().map(|t| t.p.now_ns());
+        match *backpressure {
+            // Worker death closes the ring; pushes then fail with
+            // Closed and the join below surfaces the reason.
+            Backpressure::Block => {
+                let depth = &ring_depths[shard];
+                let mut waited = false;
+                let mut wait_from = 0u64;
+                let res = txs[shard].push_tracked_with((batch_id, batch), || {
+                    // The waiting batch counts toward ring depth
+                    // from wait *entry*: a full-ring stall
+                    // shorter than one batch is visible to a
+                    // mid-run snapshot, not only at the next
+                    // batch boundary.
+                    waited = true;
+                    depth.add(1.0);
+                    if let Some(t) = router_trace.as_ref() {
+                        wait_from = t.p.now_ns();
+                    }
+                });
+                match res {
+                    Ok(stalled) => {
+                        if stalled {
+                            stats[shard].stalls.inc();
+                        } else {
+                            depth.add(1.0);
+                        }
+                        routed[shard] += len;
+                        batch_hist.record(len);
+                        lane_stats.batch_tuples.record(len);
+                        if let Some(t) = router_trace.as_mut() {
+                            let end = t.p.now_ns();
+                            let w = waited.then_some(wait_from);
+                            record_router_send(t, shard, batch_id, len, t0.unwrap_or(end), end, w);
+                        }
+                    }
+                    // Closed ring: the batch the wait-entry hook
+                    // counted never arrived.
+                    Err(_) => {
+                        if waited {
+                            depth.add(-1.0);
+                        }
+                    }
+                }
+            }
+            Backpressure::DropNewest => match txs[shard].try_push((batch_id, batch)) {
+                Ok(()) => {
+                    routed[shard] += len;
+                    batch_hist.record(len);
+                    lane_stats.batch_tuples.record(len);
+                    ring_depths[shard].add(1.0);
+                    if let Some(t) = router_trace.as_mut() {
+                        let end = t.p.now_ns();
+                        record_router_send(t, shard, batch_id, len, t0.unwrap_or(end), end, None);
+                    }
+                }
+                Err(PushError::Full(_)) => {
+                    stats[shard].dropped.add(len);
+                }
+                Err(PushError::Closed(_)) => {}
+            },
+            Backpressure::Shed { weight_col } => {
+                let state = &mut shed[shard];
+                match txs[shard].try_push((batch_id, batch)) {
+                    Ok(()) => {
+                        routed[shard] += len;
+                        batch_hist.record(len);
+                        lane_stats.batch_tuples.record(len);
+                        ring_depths[shard].add(1.0);
+                        if let Some(t) = router_trace.as_mut() {
+                            let end = t.p.now_ns();
+                            record_router_send(
+                                t,
+                                shard,
+                                batch_id,
+                                len,
+                                t0.unwrap_or(end),
+                                end,
+                                None,
+                            );
+                        }
+                        if state.z > 0.0 {
+                            // Pressure easing: decay toward off.
+                            state.z *= 0.5;
+                            if state.z < state.z0 {
+                                state.z = 0.0;
+                                state.meter = 0.0;
+                            }
+                            stats[shard].shed_z.set(state.z);
+                        }
+                    }
+                    Err(PushError::Full((_, batch))) => {
+                        // Ring pressure raises the threshold (the
+                        // §7.1 mechanism in reverse): the batch
+                        // shrinks by below-threshold rejection
+                        // with exact HT accounting, then the
+                        // survivors are delivered losslessly.
+                        let mean: f64 =
+                            batch.iter().map(|t| tuple_weight(t, weight_col)).sum::<f64>()
+                                / batch.len().max(1) as f64;
+                        if state.z == 0.0 {
+                            state.z0 =
+                                if mean.is_finite() && mean > 0.0 { 2.0 * mean } else { 2.0 };
+                            state.z = state.z0;
+                            // Shedding switched on: arm the
+                            // flight recorder so the pressure
+                            // build-up is preserved.
+                            if let Some(t) = router_trace.as_ref() {
+                                t.p.trigger(DumpReason::Shed);
+                            }
+                        } else {
+                            state.z *= 2.0;
+                        }
+                        stats[shard].shed_z.set(state.z);
+                        let mut kept = Vec::with_capacity(batch.len());
+                        let mut shed_n = 0u64;
+                        let mut shed_w = 0.0;
+                        for t in batch {
+                            let w = tuple_weight(&t, weight_col);
+                            if w > state.z {
+                                kept.push(t);
+                            } else {
+                                state.meter += w;
+                                if state.meter >= state.z {
+                                    state.meter -= state.z;
+                                    kept.push(t);
+                                } else {
+                                    shed_n += 1;
+                                    shed_w += w;
+                                }
+                            }
+                        }
+                        stats[shard].shed_tuples.add(shed_n);
+                        stats[shard].shed_weight.add(shed_w);
+                        if !kept.is_empty() {
+                            let klen = kept.len() as u64;
+                            let depth = &ring_depths[shard];
+                            let mut waited = false;
+                            let mut wait_from = 0u64;
+                            let res = txs[shard].push_tracked_with((batch_id, kept), || {
+                                // Same wait-entry depth account
+                                // as the Block arm.
+                                waited = true;
+                                depth.add(1.0);
+                                if let Some(t) = router_trace.as_ref() {
+                                    wait_from = t.p.now_ns();
+                                }
+                            });
+                            match res {
+                                Ok(stalled) => {
+                                    if stalled {
+                                        stats[shard].stalls.inc();
+                                    } else {
+                                        depth.add(1.0);
+                                    }
+                                    routed[shard] += klen;
+                                    batch_hist.record(klen);
+                                    lane_stats.batch_tuples.record(klen);
+                                    if let Some(t) = router_trace.as_mut() {
+                                        let end = t.p.now_ns();
+                                        let w = waited.then_some(wait_from);
+                                        record_router_send(
+                                            t,
+                                            shard,
+                                            batch_id,
+                                            klen,
+                                            t0.unwrap_or(end),
+                                            end,
+                                            w,
+                                        );
+                                    }
+                                }
+                                Err(_) => {
+                                    if waited {
+                                        depth.add(-1.0);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(PushError::Closed(_)) => {}
+                }
+            }
+        }
+    }
+}
+
+/// What a router lane hands back when its segment is done: tuples
+/// delivered per shard, tuples lost to lane quarantine keyed by window,
+/// and whether the injected crash trigger fell inside this segment.
+struct LaneOutcome {
+    routed: Vec<u64>,
+    uncovered: Vec<(Tuple, u64)>,
+    crash_fired: Option<u64>,
+}
+
+#[inline]
+fn passes_prefilter(prefilter: Option<&Expr>, tuple: &Tuple) -> bool {
+    match prefilter {
+        None => true,
+        Some(pred) => {
+            let mut ctx = EvalCtx { tuple: Some(tuple), ..EvalCtx::empty("shared prefilter") };
+            pred.eval_bool(&mut ctx).unwrap_or(true)
+        }
+    }
+}
+
+fn add_lane_uncovered(uncovered: &mut Vec<(Tuple, u64)>, key: Tuple, n: u64) {
+    match uncovered.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, c)) => *c += n,
+        None => uncovered.push((key, n)),
+    }
+}
+
+/// One router lane's whole run: route the contiguous segment starting
+/// at global stream position `seg_start` under the workers' supervision
+/// contract — per-segment `catch_unwind`, a panicked lane quarantined
+/// for the current window (its unrouted tuples counted, never sent),
+/// respawned at the next window boundary from the segment cursor. The
+/// injected process-crash fault cuts routing at the trigger position
+/// exactly as the single-router loop did: only tuples at global
+/// positions `< at` are routed, and buffered batches die unsent.
+#[allow(clippy::too_many_arguments)]
+fn route_segment(
+    lane: &mut RouterLane<'_>,
+    router_def: &Router,
+    wexprs: &[Expr],
+    prefilter: Option<&Expr>,
+    supervision: Supervision,
+    crash_at: Option<u64>,
+    crashed: &SyncBool,
+    profiler: Option<&Profiler>,
+    mut faults: WorkerFaultSchedule,
+    mut seg: Vec<Tuple>,
+    seg_start: u64,
+) -> LaneOutcome {
+    let seg_len = seg.len();
+    // The crash trigger is a 1-based global position: tuples strictly
+    // before it are routed, the trigger tuple and everything after it
+    // is lost.
+    let cut_len = match crash_at {
+        Some(n) => (n.saturating_sub(1).saturating_sub(seg_start) as usize).min(seg_len),
+        None => seg_len,
+    };
+    let fires = crash_at.filter(|&n| n > seg_start && n <= seg_start + seg_len as u64);
+    let mut uncovered: Vec<(Tuple, u64)> = Vec::new();
+    let mut quarantined: Option<Tuple> = None;
+    let mut local = 0usize;
+    // Lane-local 1-based tuple ordinal: router fault triggers
+    // (`panic router=R at=N`) key on it, quarantined tuples included —
+    // the same counting workers use.
+    let mut count = 0u64;
+    while local < cut_len {
+        if let Some(qkey) = quarantined.clone() {
+            while local < cut_len {
+                let t = &seg[local];
+                if window_key(wexprs, t).as_ref() == Some(&qkey) {
+                    count += 1;
+                    if passes_prefilter(prefilter, t) {
+                        add_lane_uncovered(&mut uncovered, qkey.clone(), 1);
+                        lane.lane_stats.uncovered.inc();
+                    }
+                    local += 1;
+                } else {
+                    // Window boundary: the lane respawns from its
+                    // cursor — routing is stateless, so going live
+                    // again *is* the respawn.
+                    quarantined = None;
+                    break;
+                }
+            }
+            if quarantined.is_some() {
+                break;
+            }
+        }
+        // Live segment: one catch_unwind per segment, not per tuple.
+        // `local` lives outside the closure: after a panic it names the
+        // tuple that tripped it (the injected trip fires before the
+        // tuple is taken out of the segment, so it is still intact for
+        // window-key attribution).
+        let outcome = {
+            let local = &mut local;
+            let count = &mut count;
+            let faults = &mut faults;
+            let seg = &mut seg;
+            let lane = &mut *lane;
+            let router = lane.router;
+            catch_unwind(AssertUnwindSafe(move || {
+                while *local < cut_len {
+                    *count += 1;
+                    if let Some(f) = faults.check(*count) {
+                        f.trip_router(router, *count);
+                    }
+                    let tuple = std::mem::replace(&mut seg[*local], Tuple::new(Vec::new()));
+                    if !passes_prefilter(prefilter, &tuple) {
+                        *local += 1;
+                        continue;
+                    }
+                    let index = seg_start + *local as u64;
+                    let shard = router_def.route(&tuple, index, lane.shards);
+                    *local += 1;
+                    lane.push_tuple(shard, tuple);
+                }
+            }))
+        };
+        if let Err(payload) = outcome {
+            if supervision == Supervision::Abort {
+                resume_unwind(payload);
+            }
+            // The tripping tuple's window is poisoned for this lane:
+            // the tuple itself (if it would have been routed) and every
+            // following same-window tuple in the segment are lost.
+            let t = &seg[local];
+            let key = window_key(wexprs, t).unwrap_or_else(|| Tuple::new(Vec::new()));
+            if passes_prefilter(prefilter, t) {
+                add_lane_uncovered(&mut uncovered, key.clone(), 1);
+                lane.lane_stats.uncovered.inc();
+            }
+            lane.lane_stats.quarantines.inc();
+            if let Some(p) = profiler {
+                p.trigger(DumpReason::Panic);
+            }
+            quarantined = Some(key);
+            local += 1;
+        }
+    }
+    if let Some(at) = fires {
+        // The arriving trigger tuple kills the "process": everything
+        // buffered on this lane dies with it, and the workers see the
+        // flag and drain-discard.
+        crashed.store(true, AtomicOrdering::Release);
+        if let Some(p) = profiler {
+            p.trigger(DumpReason::Crash);
+        }
+        lane.lane_stats.tuples.add(count);
+        return LaneOutcome {
+            routed: std::mem::take(&mut lane.routed),
+            uncovered,
+            crash_fired: Some(at),
+        };
+    }
+    lane.flush();
+    lane.lane_stats.tuples.add(count);
+    LaneOutcome { routed: std::mem::take(&mut lane.routed), uncovered, crash_fired: None }
+}
+
 /// Run `tuples` through `cfg.shards` operator instances partitioned and
 /// merged per `plan`, returning the merged windows.
 ///
@@ -999,11 +1582,14 @@ fn record_router_send(
 /// `Sync` because quarantine supervision calls it *from the worker
 /// threads* to respawn a fresh operator after a panic.
 ///
-/// The router runs on the calling thread; workers run under
+/// The stream is materialized on the calling thread, split into
+/// [`RuntimeConfig::routers`] contiguous segments, and routed by that
+/// many supervised lane threads; workers run under
 /// [`std::thread::scope`]. An operator error always aborts the run with
-/// the shard index attached; a worker panic aborts only under
-/// [`Supervision::Abort`] — the default quarantines the shard for the
-/// poisoned window and completes the run with coverage accounting.
+/// the shard index attached; a worker or router-lane panic aborts only
+/// under [`Supervision::Abort`] — the default quarantines the shard (or
+/// lane) for the poisoned window and completes the run with coverage
+/// accounting.
 pub fn run_sharded<F, I>(
     plan: &ShardPlan,
     make_spec: F,
@@ -1022,6 +1608,29 @@ where
             "batch size and ring capacity must be positive".into(),
         ));
     }
+
+    // Materialize the stream up front: the lane segmentation needs the
+    // total length, and a lazily generated feed must be produced on one
+    // thread anyway to keep its order deterministic.
+    let stream: Vec<Tuple> = tuples.into_iter().collect();
+    let total = stream.len() as u64;
+    let routers = cfg.resolved_routers();
+    let cursors = match &cfg.router_cursors {
+        None => router_cursors(total, routers),
+        Some(c) => {
+            if c.len() != routers
+                || c.first() != Some(&0)
+                || c.windows(2).any(|w| w[0] > w[1])
+                || c.last().copied().unwrap_or(0) > total
+            {
+                return Err(RuntimeError::BadConfig(format!(
+                    "router cursors must be {routers} non-decreasing offsets starting at 0 \
+                     within the {total}-tuple stream"
+                )));
+            }
+            c.clone()
+        }
+    };
 
     // A run without a caller-supplied registry records into a private
     // disabled one: ShardStats cells still work, spans stay off.
@@ -1079,6 +1688,8 @@ where
 
     let stats: Vec<ShardStats> =
         (0..cfg.shards).map(|shard| ShardStats::register(&registry, shard)).collect();
+    let router_stats: Vec<RouterStats> =
+        (0..routers).map(|r| RouterStats::register(&registry, r)).collect();
     // Ring depth is maintained by hand (inc on enqueue, dec on dequeue):
     // the channel exposes no len(), and per-shard gauge cells sum to the
     // total queued batches at snapshot time.
@@ -1087,12 +1698,7 @@ where
         .collect();
     let batch_hist = registry.histogram("rt.batch_tuples");
 
-    // Tuples actually delivered into each shard's ring (post-shed/drop):
-    // a straggler's routed count is the traffic its missing partial
-    // would have covered.
-    let mut routed: Vec<u64> = vec![0; cfg.shards];
-
-    // Workers deposit their final partials here; the router thread
+    // Workers deposit their final partials here; the calling thread
     // waits on it after the joins (or cuts it at the window deadline),
     // so the merge observes every published shard's last window through
     // the barrier's Release/Acquire protocol.
@@ -1100,389 +1706,371 @@ where
     if cfg.supervision == Supervision::Quarantine {
         install_supervised_panic_hook();
     }
-    // The process-crash fault: when the router's stream position reaches
-    // the trigger, this flag flips and the run dies like a kill — no
-    // flushes, no merge, no final checkpoints.
-    let crash_at = cfg.faults.as_ref().and_then(|p| p.crash_at());
+    // The process-crash fault: when any lane's global stream position
+    // reaches the trigger, this flag flips and the run dies like a
+    // kill — no flushes, no merge, no final checkpoints. (`at=0` is
+    // clamped to the first tuple.)
+    let crash_at = cfg.faults.as_ref().and_then(|p| p.crash_at()).map(|n| n.max(1));
     let crashed = Arc::new(SyncBool::new(false));
     let make_spec = &make_spec;
-    // Lineage tracing: the router and merge paths each own a lane; the
-    // workers open theirs on their own threads. Everything is `None`
-    // (one branch per batch) when profiling is off.
-    let mut router_trace = cfg.profile.as_ref().map(|p| RouterTrace {
-        p: p.clone(),
-        lane: p.lane(LaneKind::Router, 0),
-        mark_ns: p.now_ns(),
-    });
+    // Lane quarantine attributes unrouted tuples to the window they
+    // would have landed in; every shard shares the same window shape,
+    // so shard 0's expressions serve all lanes.
+    let lane_wexprs: Vec<Expr> =
+        shard_setups.first().map(|(op, ..)| op.spec().window_exprs()).unwrap_or_default();
+    // Routing is stateless, so one definition serves every lane.
+    let router_def = Router::new(plan);
+    // Lineage tracing: the merge path owns a lane here; router lanes
+    // and workers open theirs on their own threads. Everything is
+    // `None` (one branch per batch) when profiling is off.
     let mut merge_trace = cfg.profile.as_ref().map(|p| (p.clone(), p.lane(LaneKind::Merge, 0)));
-    let (partials, stragglers) =
-        std::thread::scope(|s| -> Result<(Vec<Option<ShardPartial>>, Vec<usize>), RuntimeError> {
-            let mut txs = Vec::with_capacity(cfg.shards);
-            let mut handles = Vec::with_capacity(cfg.shards);
-            for (shard, (op, store, watermark, recovered)) in shard_setups.into_iter().enumerate() {
-                // Ring items carry the router-assigned batch id so
-                // worker-side stamps share lineage with the route stamp.
-                let (tx, mut rx) = ring::<(u32, Vec<Tuple>)>(cfg.effective_ring_capacity());
-                txs.push(tx);
-                let stats = stats[shard].clone();
-                let depth = ring_depths[shard].clone();
+    type ScopeOut = (Vec<Option<ShardPartial>>, Vec<usize>, Vec<(Tuple, u64)>, Vec<u64>);
+    let (partials, stragglers, router_uncovered, routed) =
+        std::thread::scope(|s| -> Result<ScopeOut, RuntimeError> {
+            // One SPSC ring per (router, shard): lane r owns row r of
+            // producers, shard k drains column k in lane order. Ring
+            // items carry the lane-assigned batch id so worker-side
+            // stamps share lineage with the route stamp.
+            type BatchTx = crate::ring::Producer<(u32, Vec<Tuple>)>;
+            type BatchRx = crate::ring::Consumer<(u32, Vec<Tuple>)>;
+            let mut txs_by_router: Vec<Vec<BatchTx>> =
+                (0..routers).map(|_| Vec::with_capacity(cfg.shards)).collect();
+            let mut rxs_by_shard: Vec<Vec<BatchRx>> =
+                (0..cfg.shards).map(|_| Vec::with_capacity(routers)).collect();
+            for txs in txs_by_router.iter_mut() {
+                for rxs in rxs_by_shard.iter_mut() {
+                    let (tx, rx) = ring::<(u32, Vec<Tuple>)>(cfg.effective_ring_capacity());
+                    txs.push(tx);
+                    rxs.push(rx);
+                }
+            }
+            // The worker pool: `resolved_workers()` threads share the
+            // shards contiguously (thread t owns shards
+            // [t·S/W, (t+1)·S/W)). With the default cap of one thread
+            // per shard each pool thread owns exactly one task and this
+            // degenerates to the classic per-shard worker; with a cap
+            // below the shard count one thread round-robins its tasks
+            // with non-blocking pops, so an oversubscribed host is not
+            // forced to context-switch per batch. Byte-identical either
+            // way: each shard's batches are consumed in its own ring
+            // order by exactly one thread.
+            let pool_threads = cfg.resolved_workers();
+            let mut shard_inputs: Vec<_> = shard_setups.into_iter().zip(rxs_by_shard).collect();
+            // Per pool thread: (last shard it touched, join handle) —
+            // the cell attributes an Abort-supervised panic to the
+            // shard whose batch was running when the thread died.
+            let mut handles = Vec::with_capacity(pool_threads);
+            for t in (0..pool_threads).rev() {
+                let group: Vec<_> = shard_inputs.split_off(t * cfg.shards / pool_threads);
+                let first_shard = t * cfg.shards / pool_threads;
+                let stats: &[ShardStats] = &stats;
+                let ring_depths: &[Gauge] = &ring_depths;
                 let barrier = barrier.clone();
-                let wexprs = op.spec().window_exprs();
-                let faults =
-                    cfg.faults.as_ref().map(|p| p.worker_schedule(shard)).unwrap_or_default();
+                let cfg_faults = cfg.faults.clone();
                 let registry = registry.clone();
                 let supervision = cfg.supervision;
-                let store_stats = store.as_ref().map(|_| StoreStats::register(&registry, shard));
                 let crashed = Arc::clone(&crashed);
                 let wprof = cfg.profile.clone();
-                handles.push(s.spawn(move || -> Result<(), RuntimeError> {
+                let on_shard = Arc::new(SyncUsize::new(first_shard));
+                let shard_cell = Arc::clone(&on_shard);
+                let handle = s.spawn(move || -> Result<(), RuntimeError> {
                     if supervision == Supervision::Quarantine {
                         QUIET_WORKER_PANICS.with(|q| q.set(true));
                     }
-                    let mut wtrace =
-                        wprof.as_ref().map(|p| (p.clone(), p.lane(LaneKind::Worker, shard as u32)));
-                    let mut worker = Worker {
-                        shard,
-                        op: Some(op),
-                        quarantined: None,
-                        window_tuples: 0,
-                        tuple_count: 0,
-                        // Recovered windows seed the partial so the
-                        // merge sees them exactly as a fault-free run
-                        // would have produced them.
-                        windows: recovered,
-                        uncovered: Vec::new(),
-                        wexprs,
-                        faults,
-                        supervision,
-                        stats: stats.clone(),
-                        registry,
-                        make_spec,
-                        store,
-                        watermark,
-                        store_stats,
-                        profiler: wprof.clone(),
-                    };
-                    while let Some((batch_id, batch)) = rx.pop() {
-                        depth.add(-1.0);
-                        if crashed.load(AtomicOrdering::Acquire) {
-                            // Simulated process death: drain the ring
-                            // without processing — the open window and
-                            // any unrecorded state are lost.
-                            continue;
+                    struct Task<'t, F> {
+                        shard: usize,
+                        rxs: Vec<crate::ring::Consumer<(u32, Vec<Tuple>)>>,
+                        /// Lowest unfinished lane; the shard is done
+                        /// when it reaches `rxs.len()`.
+                        lane: usize,
+                        done: bool,
+                        worker: Option<Worker<'t, F>>,
+                        stats: ShardStats,
+                        depth: Gauge,
+                        wtrace: Option<(Profiler, LaneWriter)>,
+                    }
+                    let mut tasks: Vec<Task<'_, F>> = group
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, ((op, store, watermark, recovered), rxs))| {
+                            let shard = first_shard + i;
+                            let wexprs = op.spec().window_exprs();
+                            let faults = cfg_faults
+                                .as_ref()
+                                .map(|p| p.worker_schedule(shard))
+                                .unwrap_or_default();
+                            let store_stats =
+                                store.as_ref().map(|_| StoreStats::register(&registry, shard));
+                            Task {
+                                shard,
+                                rxs,
+                                lane: 0,
+                                done: false,
+                                worker: Some(Worker {
+                                    shard,
+                                    op: Some(op),
+                                    quarantined: None,
+                                    window_tuples: 0,
+                                    tuple_count: 0,
+                                    // Recovered windows seed the partial
+                                    // so the merge sees them exactly as
+                                    // a fault-free run would have
+                                    // produced them.
+                                    windows: recovered,
+                                    uncovered: Vec::new(),
+                                    wexprs,
+                                    faults,
+                                    supervision,
+                                    stats: stats[shard].clone(),
+                                    registry: registry.clone(),
+                                    make_spec,
+                                    store,
+                                    watermark,
+                                    store_stats,
+                                    profiler: wprof.clone(),
+                                }),
+                                stats: stats[shard].clone(),
+                                depth: ring_depths[shard].clone(),
+                                wtrace: wprof
+                                    .as_ref()
+                                    .map(|p| (p.clone(), p.lane(LaneKind::Worker, shard as u32))),
+                            }
+                        })
+                        .collect();
+                    // Round-robin over unfinished tasks. Within a task,
+                    // drain all R rings in lane order: lane r holds the
+                    // stream segment starting at cursor r, so
+                    // full-drain-per-lane delivers each shard's tuples
+                    // in global stream order. Deadlock-free: pops never
+                    // block (an empty open ring moves the scan on), so
+                    // every lane's pushes always progress somewhere.
+                    let mut remaining = tasks.len();
+                    let mut backoff = Backoff::new();
+                    while remaining > 0 {
+                        let mut progressed = false;
+                        for task in tasks.iter_mut() {
+                            if task.done {
+                                continue;
+                            }
+                            let worker = task.worker.as_mut().expect("live task has a worker");
+                            loop {
+                                if task.lane == task.rxs.len() {
+                                    // Every lane drained and closed:
+                                    // the shard is complete.
+                                    task.done = true;
+                                    remaining -= 1;
+                                    if crashed.load(AtomicOrdering::Acquire) {
+                                        // Simulated process death:
+                                        // routing was cut exactly at
+                                        // the trigger position, so what
+                                        // was delivered is
+                                        // deterministic — but the open
+                                        // window dies here. No finish,
+                                        // no finalize, no publish:
+                                        // exactly what a killed process
+                                        // leaves behind.
+                                        break;
+                                    }
+                                    shard_cell.store(task.shard, AtomicOrdering::Relaxed);
+                                    let sw = Stopwatch::start();
+                                    worker.finish()?;
+                                    let busy = sw.elapsed_ns();
+                                    task.stats.busy_ns.add(busy);
+                                    if let Some((p, lane)) = task.wtrace.as_mut() {
+                                        let end = p.now_ns();
+                                        lane.record(
+                                            ProfEvent::new(
+                                                ProfStage::Flush,
+                                                end.saturating_sub(busy),
+                                                busy,
+                                            )
+                                            .shard(task.shard as u16)
+                                            .window(worker.windows.len().saturating_sub(1) as u32),
+                                        );
+                                        lane.publish();
+                                    }
+                                    let worker =
+                                        task.worker.take().expect("finishing task has a worker");
+                                    barrier.publish(task.shard, worker.into_partial());
+                                    break;
+                                }
+                                match task.rxs[task.lane].try_pop() {
+                                    Err(()) => task.lane += 1,
+                                    Ok(None) => break,
+                                    Ok(Some((batch_id, batch))) => {
+                                        progressed = true;
+                                        shard_cell.store(task.shard, AtomicOrdering::Relaxed);
+                                        task.depth.add(-1.0);
+                                        let win = worker.windows.len() as u32;
+                                        let sw = Stopwatch::start();
+                                        worker.run_batch(&batch)?;
+                                        let busy = sw.elapsed_ns();
+                                        task.stats.tuples.add(batch.len() as u64);
+                                        task.stats.busy_ns.add(busy);
+                                        if let Some((p, lane)) = task.wtrace.as_mut() {
+                                            let end = p.now_ns();
+                                            lane.record(
+                                                ProfEvent::new(
+                                                    ProfStage::Process,
+                                                    end.saturating_sub(busy),
+                                                    busy,
+                                                )
+                                                .shard(task.shard as u16)
+                                                .window(win)
+                                                .batch(batch_id)
+                                                .aux(batch.len() as u64),
+                                            );
+                                            lane.publish();
+                                        }
+                                        worker.publish_store_stats();
+                                    }
+                                }
+                            }
                         }
-                        let win = worker.windows.len() as u32;
-                        let sw = Stopwatch::start();
-                        worker.run_batch(&batch)?;
-                        let busy = sw.elapsed_ns();
-                        stats.tuples.add(batch.len() as u64);
-                        stats.busy_ns.add(busy);
-                        if let Some((p, lane)) = wtrace.as_mut() {
-                            let end = p.now_ns();
-                            lane.record(
-                                ProfEvent::new(ProfStage::Process, end.saturating_sub(busy), busy)
-                                    .shard(shard as u16)
-                                    .window(win)
-                                    .batch(batch_id)
-                                    .aux(batch.len() as u64),
-                            );
-                            lane.publish();
+                        if remaining > 0 {
+                            if progressed {
+                                backoff.reset();
+                            } else {
+                                backoff.wait();
+                            }
                         }
-                        worker.publish_store_stats();
                     }
-                    if crashed.load(AtomicOrdering::Acquire) {
-                        // No finish, no finalize, no publish: exactly
-                        // what a killed process leaves behind.
-                        return Ok(());
-                    }
-                    let sw = Stopwatch::start();
-                    worker.finish()?;
-                    let busy = sw.elapsed_ns();
-                    stats.busy_ns.add(busy);
-                    if let Some((p, lane)) = wtrace.as_mut() {
-                        let end = p.now_ns();
-                        lane.record(
-                            ProfEvent::new(ProfStage::Flush, end.saturating_sub(busy), busy)
-                                .shard(shard as u16)
-                                .window(worker.windows.len().saturating_sub(1) as u32),
-                        );
-                        lane.publish();
-                    }
-                    barrier.publish(shard, worker.into_partial());
                     Ok(())
+                });
+                handles.push((on_shard, handle));
+            }
+            handles.reverse();
+
+            // Spawn the router lanes: lane r routes segment r through its
+            // own row of rings, under the same supervision contract the
+            // workers run. Outcomes travel through a per-router
+            // MergeBarrier so the calling thread observes every lane's
+            // final accounting through one Release/Acquire protocol.
+            let lane_barrier: Arc<MergeBarrier<LaneOutcome>> = MergeBarrier::new(routers);
+            let mut segments: Vec<Vec<Tuple>> = Vec::with_capacity(routers);
+            {
+                let mut rest = stream;
+                for r in (1..routers).rev() {
+                    let at = (cursors[r] as usize).min(rest.len());
+                    segments.push(rest.split_off(at));
+                }
+                segments.push(rest);
+                segments.reverse();
+            }
+            let mut lane_handles = Vec::with_capacity(routers);
+            for (r, seg) in segments.into_iter().enumerate() {
+                let txs = std::mem::take(&mut txs_by_router[r]);
+                let seg_start = cursors[r];
+                let lane_stats = router_stats[r].clone();
+                let stats: &[ShardStats] = &stats;
+                let ring_depths: &[Gauge] = &ring_depths;
+                let batch_hist = batch_hist.clone();
+                let faults = cfg.faults.as_ref().map(|p| p.router_schedule(r)).unwrap_or_default();
+                let crashed = Arc::clone(&crashed);
+                let lane_barrier = Arc::clone(&lane_barrier);
+                let router_def = &router_def;
+                let wexprs: &[Expr] = &lane_wexprs;
+                let prefilter = cfg.shared_prefilter.as_deref();
+                let supervision = cfg.supervision;
+                let profile = cfg.profile.clone();
+                lane_handles.push(s.spawn(move || {
+                    if supervision == Supervision::Quarantine {
+                        QUIET_WORKER_PANICS.with(|q| q.set(true));
+                    }
+                    let trace = profile.as_ref().map(|p| RouterTrace {
+                        p: p.clone(),
+                        lane: p.lane(LaneKind::Router, r as u32),
+                        mark_ns: p.now_ns(),
+                    });
+                    let shards = cfg.shards;
+                    let mut lane = RouterLane {
+                        router: r,
+                        shards,
+                        batch_size: cfg.batch_size,
+                        backpressure: cfg.backpressure,
+                        txs,
+                        batches: (0..shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect(),
+                        shed: (0..shards)
+                            .map(|_| ShedState { z: 0.0, z0: 0.0, meter: 0.0 })
+                            .collect(),
+                        routed: vec![0; shards],
+                        next_batch_id: r as u32,
+                        id_stride: routers as u32,
+                        stats,
+                        ring_depths,
+                        batch_hist,
+                        lane_stats,
+                        trace,
+                    };
+                    let outcome = route_segment(
+                        &mut lane,
+                        router_def,
+                        wexprs,
+                        prefilter,
+                        supervision,
+                        crash_at,
+                        &crashed,
+                        profile.as_ref(),
+                        faults,
+                        seg,
+                        seg_start,
+                    );
+                    // Publishing is the lane's last act: rings close
+                    // when `lane` (and its producers) drop right after.
+                    lane_barrier.publish(r, outcome);
                 }));
             }
+            drop(txs_by_router);
 
-            let mut router = Router::new(plan);
-            let mut shed: Vec<ShedState> =
-                (0..cfg.shards).map(|_| ShedState { z: 0.0, z0: 0.0, meter: 0.0 }).collect();
-            let mut batches: Vec<Vec<Tuple>> =
-                (0..cfg.shards).map(|_| Vec::with_capacity(cfg.batch_size)).collect();
-            let routed = &mut routed;
-            let router_trace = &mut router_trace;
-            let mut next_batch_id: u32 = 0;
-            let mut send_batch = |shard: usize, batch: Vec<Tuple>| {
-                let len = batch.len() as u64;
-                let batch_id = next_batch_id;
-                next_batch_id = next_batch_id.wrapping_add(1);
-                let t0 = router_trace.as_ref().map(|t| t.p.now_ns());
-                match cfg.backpressure {
-                    // Worker death closes the ring; pushes then fail with
-                    // Closed and the join below surfaces the reason.
-                    Backpressure::Block => {
-                        let depth = &ring_depths[shard];
-                        let mut waited = false;
-                        let mut wait_from = 0u64;
-                        let res = txs[shard].push_tracked_with((batch_id, batch), || {
-                            // The waiting batch counts toward ring depth
-                            // from wait *entry*: a full-ring stall
-                            // shorter than one batch is visible to a
-                            // mid-run snapshot, not only at the next
-                            // batch boundary.
-                            waited = true;
-                            depth.add(1.0);
-                            if let Some(t) = router_trace.as_ref() {
-                                wait_from = t.p.now_ns();
-                            }
-                        });
-                        match res {
-                            Ok(stalled) => {
-                                if stalled {
-                                    stats[shard].stalls.inc();
-                                } else {
-                                    depth.add(1.0);
-                                }
-                                routed[shard] += len;
-                                batch_hist.record(len);
-                                if let Some(t) = router_trace.as_mut() {
-                                    let end = t.p.now_ns();
-                                    let w = waited.then_some(wait_from);
-                                    record_router_send(
-                                        t,
-                                        shard,
-                                        batch_id,
-                                        len,
-                                        t0.unwrap_or(end),
-                                        end,
-                                        w,
-                                    );
-                                }
-                            }
-                            // Closed ring: the batch the wait-entry hook
-                            // counted never arrived.
-                            Err(_) => {
-                                if waited {
-                                    depth.add(-1.0);
-                                }
-                            }
-                        }
-                    }
-                    Backpressure::DropNewest => match txs[shard].try_push((batch_id, batch)) {
-                        Ok(()) => {
-                            routed[shard] += len;
-                            batch_hist.record(len);
-                            ring_depths[shard].add(1.0);
-                            if let Some(t) = router_trace.as_mut() {
-                                let end = t.p.now_ns();
-                                record_router_send(
-                                    t,
-                                    shard,
-                                    batch_id,
-                                    len,
-                                    t0.unwrap_or(end),
-                                    end,
-                                    None,
-                                );
-                            }
-                        }
-                        Err(PushError::Full(_)) => {
-                            stats[shard].dropped.add(len);
-                        }
-                        Err(PushError::Closed(_)) => {}
-                    },
-                    Backpressure::Shed { weight_col } => {
-                        let state = &mut shed[shard];
-                        match txs[shard].try_push((batch_id, batch)) {
-                            Ok(()) => {
-                                routed[shard] += len;
-                                batch_hist.record(len);
-                                ring_depths[shard].add(1.0);
-                                if let Some(t) = router_trace.as_mut() {
-                                    let end = t.p.now_ns();
-                                    record_router_send(
-                                        t,
-                                        shard,
-                                        batch_id,
-                                        len,
-                                        t0.unwrap_or(end),
-                                        end,
-                                        None,
-                                    );
-                                }
-                                if state.z > 0.0 {
-                                    // Pressure easing: decay toward off.
-                                    state.z *= 0.5;
-                                    if state.z < state.z0 {
-                                        state.z = 0.0;
-                                        state.meter = 0.0;
-                                    }
-                                    stats[shard].shed_z.set(state.z);
-                                }
-                            }
-                            Err(PushError::Full((_, batch))) => {
-                                // Ring pressure raises the threshold (the
-                                // §7.1 mechanism in reverse): the batch
-                                // shrinks by below-threshold rejection
-                                // with exact HT accounting, then the
-                                // survivors are delivered losslessly.
-                                let mean: f64 =
-                                    batch.iter().map(|t| tuple_weight(t, weight_col)).sum::<f64>()
-                                        / batch.len().max(1) as f64;
-                                if state.z == 0.0 {
-                                    state.z0 = if mean.is_finite() && mean > 0.0 {
-                                        2.0 * mean
-                                    } else {
-                                        2.0
-                                    };
-                                    state.z = state.z0;
-                                    // Shedding switched on: arm the
-                                    // flight recorder so the pressure
-                                    // build-up is preserved.
-                                    if let Some(t) = router_trace.as_ref() {
-                                        t.p.trigger(DumpReason::Shed);
-                                    }
-                                } else {
-                                    state.z *= 2.0;
-                                }
-                                stats[shard].shed_z.set(state.z);
-                                let mut kept = Vec::with_capacity(batch.len());
-                                let mut shed_n = 0u64;
-                                let mut shed_w = 0.0;
-                                for t in batch {
-                                    let w = tuple_weight(&t, weight_col);
-                                    if w > state.z {
-                                        kept.push(t);
-                                    } else {
-                                        state.meter += w;
-                                        if state.meter >= state.z {
-                                            state.meter -= state.z;
-                                            kept.push(t);
-                                        } else {
-                                            shed_n += 1;
-                                            shed_w += w;
-                                        }
-                                    }
-                                }
-                                stats[shard].shed_tuples.add(shed_n);
-                                stats[shard].shed_weight.add(shed_w);
-                                if !kept.is_empty() {
-                                    let klen = kept.len() as u64;
-                                    let depth = &ring_depths[shard];
-                                    let mut waited = false;
-                                    let mut wait_from = 0u64;
-                                    let res =
-                                        txs[shard].push_tracked_with((batch_id, kept), || {
-                                            // Same wait-entry depth account
-                                            // as the Block arm.
-                                            waited = true;
-                                            depth.add(1.0);
-                                            if let Some(t) = router_trace.as_ref() {
-                                                wait_from = t.p.now_ns();
-                                            }
-                                        });
-                                    match res {
-                                        Ok(stalled) => {
-                                            if stalled {
-                                                stats[shard].stalls.inc();
-                                            } else {
-                                                depth.add(1.0);
-                                            }
-                                            routed[shard] += klen;
-                                            batch_hist.record(klen);
-                                            if let Some(t) = router_trace.as_mut() {
-                                                let end = t.p.now_ns();
-                                                let w = waited.then_some(wait_from);
-                                                record_router_send(
-                                                    t,
-                                                    shard,
-                                                    batch_id,
-                                                    klen,
-                                                    t0.unwrap_or(end),
-                                                    end,
-                                                    w,
-                                                );
-                                            }
-                                        }
-                                        Err(_) => {
-                                            if waited {
-                                                depth.add(-1.0);
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                            Err(PushError::Closed(_)) => {}
-                        }
-                    }
+            // Join the lanes before touching the worker barrier: an
+            // Abort-supervised lane panic surfaces here (its unwound
+            // producers already closed its rings, so the workers still
+            // drain and exit), and a joined lane has published its
+            // outcome — `wait_all` below returns immediately.
+            for (r, handle) in lane_handles.into_iter().enumerate() {
+                if let Err(payload) = handle.join() {
+                    return Err(RuntimeError::RouterPanic {
+                        router: r,
+                        message: panic_message(payload.as_ref()),
+                    });
                 }
-            };
-
-            let mut stream_pos = 0u64;
+            }
             let mut crash_fired: Option<u64> = None;
-            for tuple in tuples {
-                stream_pos += 1;
-                if let Some(n) = crash_at {
-                    if stream_pos >= n {
-                        // The arriving tuple kills the "process": it and
-                        // everything after it is lost, along with every
-                        // batch still buffered on the router.
-                        crashed.store(true, AtomicOrdering::Release);
-                        crash_fired = Some(n);
-                        if let Some(p) = &cfg.profile {
-                            p.trigger(DumpReason::Crash);
-                        }
-                        break;
-                    }
+            let mut router_uncovered: Vec<(Tuple, u64)> = Vec::new();
+            // Tuples actually delivered into each shard's rings
+            // (post-shed/drop), summed over lanes: a straggler's routed
+            // count is the traffic its missing partial would have
+            // covered.
+            let mut routed: Vec<u64> = vec![0; cfg.shards];
+            for outcome in lane_barrier.wait_all() {
+                for (shard, n) in outcome.routed.iter().enumerate() {
+                    routed[shard] += n;
                 }
-                if let Some(pred) = &cfg.shared_prefilter {
-                    let mut ctx =
-                        EvalCtx { tuple: Some(&tuple), ..EvalCtx::empty("shared prefilter") };
-                    if !pred.eval_bool(&mut ctx).unwrap_or(true) {
-                        continue;
-                    }
+                for (key, n) in outcome.uncovered {
+                    add_lane_uncovered(&mut router_uncovered, key, n);
                 }
-                let shard = router.route(&tuple, cfg.shards);
-                batches[shard].push(tuple);
-                if batches[shard].len() >= cfg.batch_size {
-                    let batch =
-                        std::mem::replace(&mut batches[shard], Vec::with_capacity(cfg.batch_size));
-                    send_batch(shard, batch);
-                }
+                crash_fired = crash_fired.or(outcome.crash_fired);
             }
-            if crash_fired.is_none() {
-                for (shard, batch) in batches.into_iter().enumerate() {
-                    if !batch.is_empty() {
-                        send_batch(shard, batch);
-                    }
-                }
-            }
-            drop(txs);
             let bw_start = merge_trace.as_ref().map(|(p, _)| p.now_ns());
 
             let mut stragglers: Vec<usize> = Vec::new();
-            let join_all = |handles: Vec<
+            #[allow(clippy::type_complexity)]
+            let join_all = |handles: Vec<(
+                Arc<SyncUsize>,
                 std::thread::ScopedJoinHandle<'_, Result<(), RuntimeError>>,
-            >|
+            )>|
              -> Result<(), RuntimeError> {
-                for (shard, handle) in handles.into_iter().enumerate() {
+                for (on_shard, handle) in handles {
                     match handle.join() {
                         Ok(Ok(())) => {}
                         Ok(Err(e)) => return Err(e),
                         Err(payload) => {
+                            // The cell tracks the shard whose batch was
+                            // running when the pool thread died.
                             return Err(RuntimeError::WorkerPanic {
-                                shard,
+                                shard: on_shard.load(AtomicOrdering::Relaxed),
                                 message: panic_message(payload.as_ref()),
-                            })
+                            });
                         }
                     }
                 }
@@ -1542,11 +2130,19 @@ where
                 );
                 lane.publish();
             }
-            Ok((partials, stragglers))
+            Ok((partials, stragglers, router_uncovered, routed))
         })?;
 
     let straggler_routed: u64 = stragglers.iter().map(|&s| routed[s]).sum();
-    let parts: Vec<ShardPartial> = partials.into_iter().flatten().collect();
+    let router_uncovered_total: u64 = router_uncovered.iter().map(|(_, n)| *n).sum();
+    let mut parts: Vec<ShardPartial> = partials.into_iter().flatten().collect();
+    if !router_uncovered.is_empty() {
+        // Lane-quarantine losses enter the merge as one windows-free
+        // partial: merge-finalize folds the per-window counts into each
+        // window's Degradation verdict exactly as it does a quarantined
+        // shard's.
+        parts.push(ShardPartial { windows: Vec::new(), uncovered: router_uncovered });
+    }
     let merge_start = merge_trace.as_ref().map(|(p, _)| p.now_ns());
     let windows = crate::merge::merge_shard_partials(parts, &plan.rule, cfg.seed, straggler_routed);
     if let Some((p, lane)) = merge_trace.as_mut() {
@@ -1568,9 +2164,10 @@ where
     }
 
     // Run-level coverage: delivered tuples the merged output represents,
-    // over everything delivered (stragglers contribute only loss).
+    // over everything delivered or lost before delivery (stragglers and
+    // quarantined router lanes contribute only loss).
     let mut covered = 0u64;
-    let mut uncovered_total = straggler_routed;
+    let mut uncovered_total = straggler_routed + router_uncovered_total;
     for (shard, st) in stats.iter().enumerate() {
         if stragglers.contains(&shard) {
             continue;
@@ -1584,10 +2181,10 @@ where
         covered as f64 / (covered + uncovered_total) as f64
     };
     registry.gauge("rt.coverage").set(coverage);
-    if !stragglers.is_empty() {
-        // The deadline cut real traffic out of the result: fire the
-        // undersample path so the degradation shows up on the same
-        // alert channel as the §7.1 pathology.
+    if !stragglers.is_empty() || router_uncovered_total > 0 {
+        // The deadline (or a quarantined lane) cut real traffic out of
+        // the result: fire the undersample path so the degradation
+        // shows up on the same alert channel as the §7.1 pathology.
         let offered = covered + uncovered_total;
         UndersampleDetector::register(&registry, "rt", UndersampleConfig { ratio: 1.0 })
             .observe(covered, offered, offered);
@@ -1600,7 +2197,7 @@ where
             eprintln!("sso-profile: flight-recorder dump failed: {e}");
         }
     }
-    Ok(ShardedReport { windows, shards: stats, coverage, stragglers })
+    Ok(ShardedReport { windows, shards: stats, routers: router_stats, coverage, stragglers })
 }
 
 #[cfg(test)]
@@ -1796,6 +2393,149 @@ mod tests {
         assert!(degraded[0].degradation.coverage < 1.0);
         for w in report.windows.iter().filter(|w| !w.degradation.degraded) {
             assert_eq!(w.degradation.coverage, 1.0);
+        }
+    }
+
+    #[test]
+    fn router_cursors_split_contiguously() {
+        assert_eq!(router_cursors(10, 4), vec![0, 2, 5, 7]);
+        assert_eq!(router_cursors(0, 3), vec![0, 0, 0]);
+        assert_eq!(router_cursors(5, 1), vec![0]);
+        assert_eq!(router_cursors(7, 0), vec![0], "zero lanes clamps to one");
+    }
+
+    #[test]
+    fn multi_router_runs_are_byte_identical() {
+        // Key-free (round-robin by stream position) and keyed (content
+        // hash) plans: neither routing decision depends on which lane
+        // evaluates it, so the lane count must be invisible.
+        let tuples = stream(3, 1000, 16);
+        let make_sum = |_| Ok(queries::total_sum_query(1));
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let base =
+            run_sharded(&plan, make_sum, &RuntimeConfig::new(3).with_routers(1), tuples.clone())
+                .unwrap()
+                .windows;
+        for routers in [2, 4] {
+            let cfg = RuntimeConfig::new(3).with_routers(routers);
+            let got = run_sharded(&plan, make_sum, &cfg, tuples.clone()).unwrap();
+            assert_eq!(got.routers.len(), routers);
+            assert_eq!(base.len(), got.windows.len());
+            for (a, b) in base.iter().zip(&got.windows) {
+                assert_eq!(a.window, b.window);
+                assert_eq!(a.rows, b.rows, "{routers} routers must not drift");
+            }
+        }
+        let spec = queries::heavy_hitters_query(1, 1 << 20, None).unwrap();
+        let plan = shard_plan(&spec).unwrap();
+        let make = |_| queries::heavy_hitters_query(1, 1 << 20, None);
+        let single =
+            run_sharded(&plan, make, &RuntimeConfig::new(4).with_routers(1), tuples.clone())
+                .unwrap()
+                .windows;
+        let multi = run_sharded(&plan, make, &RuntimeConfig::new(4).with_routers(3), tuples)
+            .unwrap()
+            .windows;
+        assert_eq!(single.len(), multi.len());
+        for (a, b) in single.iter().zip(&multi) {
+            assert_eq!(a.rows, b.rows);
+        }
+    }
+
+    #[test]
+    fn explicit_cursors_match_the_computed_partition() {
+        let tuples = stream(2, 600, 4);
+        let cursors = router_cursors(tuples.len() as u64, 3);
+        let make = |_| Ok(queries::total_sum_query(1));
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let auto = run_sharded(&plan, make, &RuntimeConfig::new(2).with_routers(3), tuples.clone())
+            .unwrap()
+            .windows;
+        let explicit =
+            run_sharded(&plan, make, &RuntimeConfig::new(2).with_router_cursors(cursors), tuples)
+                .unwrap()
+                .windows;
+        assert_eq!(auto.len(), explicit.len());
+        for (a, b) in auto.iter().zip(&explicit) {
+            assert_eq!(a.rows, b.rows);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_router_cursors() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let make = |_| Ok(queries::total_sum_query(1));
+        for cursors in [vec![5, 3], vec![0, 800], vec![0, 10, 5]] {
+            let cfg = RuntimeConfig::new(2).with_router_cursors(cursors.clone());
+            let err = run_sharded(&plan, make, &cfg, stream(1, 100, 4)).unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::BadConfig(_)),
+                "cursors {cursors:?} should be rejected, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn router_panic_quarantines_one_window_and_replays_identically() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let make = |_| Ok(queries::total_sum_query(1));
+        // 1800 tuples, 3 windows of 600. Lane 1 of 2 owns positions
+        // 900..1800; its 150th tuple is global index 1049 — mid-window 2.
+        let mut fault = FaultPlan::empty(7);
+        fault.events.push(sso_faults::FaultEvent::RouterPanic { router: 1, at_tuple: 150 });
+        let fault = fault.into_shared();
+        let tuples = stream(3, 600, 4);
+        let n = tuples.len() as u64;
+        let run = || {
+            let cfg =
+                RuntimeConfig::new(2).with_routers(2).with_faults(std::sync::Arc::clone(&fault));
+            run_sharded(&plan, make, &cfg, tuples.clone()).unwrap()
+        };
+        let report = run();
+        assert_eq!(report.router_quarantines(), 1);
+        // The tripping tuple (index 1049) and every following tuple of
+        // window 2 (through index 1199) are lost, never routed.
+        assert_eq!(report.router_uncovered(), 151);
+        assert_eq!(report.quarantines(), 0, "no worker was harmed");
+        assert!(report.degraded());
+        assert_eq!(report.windows.len(), 3);
+        let degraded: Vec<_> = report.windows.iter().filter(|w| w.degradation.degraded).collect();
+        assert_eq!(degraded.len(), 1, "exactly one window pays for the lane death");
+        assert!(degraded[0].degradation.coverage < 1.0);
+        // Conservation: delivered + lane-lost covers the whole stream.
+        let delivered: u64 = report.shards.iter().map(|s| s.tuples()).sum();
+        assert_eq!(delivered + report.router_uncovered(), n);
+        let covered: u64 = report.windows.iter().map(|w| w.stats.tuples).sum();
+        assert_eq!(covered, delivered, "every routed tuple is represented");
+        assert!((report.coverage - covered as f64 / n as f64).abs() < 1e-12);
+        // Same seed, same fault plan: byte-identical replay.
+        let replay = run();
+        assert_eq!(report.windows.len(), replay.windows.len());
+        for (a, b) in report.windows.iter().zip(&replay.windows) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.degradation.degraded, b.degradation.degraded);
+        }
+    }
+
+    #[test]
+    fn abort_supervision_reports_router_panics() {
+        let spec = queries::total_sum_query(1);
+        let plan = shard_plan(&spec).unwrap();
+        let mut fault = FaultPlan::empty(7);
+        fault.events.push(sso_faults::FaultEvent::RouterPanic { router: 1, at_tuple: 10 });
+        let mut cfg = RuntimeConfig::new(2).with_routers(2).with_faults(fault.into_shared());
+        cfg.supervision = Supervision::Abort;
+        let err = run_sharded(&plan, |_| Ok(queries::total_sum_query(1)), &cfg, stream(1, 600, 4))
+            .unwrap_err();
+        match err {
+            RuntimeError::RouterPanic { router: 1, message } => {
+                assert!(message.contains("router 1"), "{message}");
+            }
+            other => panic!("expected RouterPanic, got {other}"),
         }
     }
 

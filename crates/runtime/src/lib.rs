@@ -41,8 +41,8 @@ pub mod ring;
 
 pub use barrier::MergeBarrier;
 pub use engine::{
-    route_stream, run_sharded, Backpressure, DurabilityConfig, RuntimeConfig, RuntimeError,
-    ShardStats, ShardedReport, Supervision,
+    auto_routers, route_stream, router_cursors, run_sharded, Backpressure, DurabilityConfig,
+    RouterStats, RuntimeConfig, RuntimeError, ShardStats, ShardedReport, Supervision,
 };
 pub use merge::{merge_shard_partials, merge_windows, ShardPartial};
 pub use ring::{ring, Consumer, Producer, PushError};

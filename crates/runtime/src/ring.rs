@@ -23,7 +23,9 @@
 
 use std::sync::Arc;
 
+#[cfg(test)]
 use sso_sync::hint::spin_yield;
+use sso_sync::hint::Backoff;
 use sso_sync::Ordering::{Acquire, Relaxed, Release};
 use sso_sync::{SyncBool, SyncCell, SyncUsize};
 
@@ -127,6 +129,7 @@ impl<T: Send> Producer<T> {
         mut on_first_stall: impl FnMut(),
     ) -> Result<bool, T> {
         let mut stalled = false;
+        let mut backoff = Backoff::new();
         loop {
             match self.try_push(value) {
                 Ok(()) => return Ok(stalled),
@@ -137,7 +140,7 @@ impl<T: Send> Producer<T> {
                         on_first_stall();
                     }
                     value = v;
-                    spin_yield();
+                    backoff.wait();
                 }
             }
         }
@@ -185,13 +188,16 @@ impl<T: Send> Consumer<T> {
     }
 
     /// Dequeue, waiting while the ring is empty. `None` means the
-    /// producer is gone and the ring is drained.
+    /// producer is gone and the ring is drained. The wait escalates
+    /// from yields to micro-sleeps ([`Backoff`]) so idle consumers on
+    /// an oversubscribed host don't starve the producer of cycles.
     pub fn pop(&mut self) -> Option<T> {
+        let mut backoff = Backoff::new();
         loop {
             match self.try_pop() {
                 Ok(Some(v)) => return Some(v),
                 Err(()) => return None,
-                Ok(None) => spin_yield(),
+                Ok(None) => backoff.wait(),
             }
         }
     }

@@ -26,9 +26,19 @@
 //!   --limit R                         print at most R rows per window (default 20)
 //!   --shards N                        run N partitioned operator shards (default 1);
 //!                                     refuses non-shard-mergeable queries with W102
+//!   --routers N|auto                  feed the shards through N supervised router
+//!                                     lanes (auto = min(shards, cores/4), at least
+//!                                     1); output is byte-identical at any lane
+//!                                     count, and a panicked lane degrades one
+//!                                     window instead of killing the run
+//!   --workers N|auto                  cap worker threads at N (auto = the host's
+//!                                     cores): surplus shards multiplex round-robin
+//!                                     on pool threads, byte-identical to
+//!                                     one-thread-per-shard (default: per-shard)
 //!   --fault-plan FILE                 inject faults from a fault-plan file (see
 //!                                     `sso-faults`); feed-level events perturb the
-//!                                     packets, worker events need --shards > 1
+//!                                     packets, worker/router events need the
+//!                                     sharded runtime (--shards/--routers)
 //!   --fault-seed S                    generate a seeded fault plan instead of
 //!                                     reading one (same replayable format)
 //!   --durable DIR                     persist operator state to DIR: per-shard
@@ -69,10 +79,12 @@
 //! (or the newest `*.ssoprof` inside).
 //!
 //! `sso recover DIR` replays a durable run from its `MANIFEST`: the
-//! original feed is regenerated, every window already in the store is
-//! served back without recomputation, and the run continues from the
-//! first unrecorded window. Fault plans are deliberately not replayed —
-//! recovery is expected to match the fault-free run.
+//! original feed is regenerated and re-partitioned across the recorded
+//! router-lane cursors (`routers` / `router_cursors` keys), every
+//! window already in the store is served back without recomputation,
+//! and the run continues from the first unrecorded window. Fault plans
+//! are deliberately not replayed — recovery is expected to match the
+//! fault-free run.
 //!
 //! `sso check FILE` runs the static analyzer over every `;`-separated
 //! query in FILE without executing anything, printing rustc-style
@@ -126,6 +138,17 @@ struct Options {
     seed: u64,
     limit: usize,
     shards: usize,
+    /// `--routers N|auto`: supervised router-lane count. `0` = auto
+    /// (`min(shards, cores/4).max(1)`); non-zero pins the lane count.
+    routers: usize,
+    /// `--workers N|auto`: worker-thread cap. `0` = one thread per
+    /// shard; `auto` = the host's cores; N pools surplus shards onto
+    /// `min(N, shards)` threads (byte-identical results either way).
+    workers: usize,
+    /// Per-lane segment cursors restored from a MANIFEST by `sso
+    /// recover`, so the resumed run re-partitions the regenerated
+    /// stream exactly as the crashed run did.
+    router_cursors: Option<Vec<u64>>,
     fault_plan: Option<String>,
     fault_seed: Option<u64>,
     durable: Option<String>,
@@ -148,8 +171,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: sso [run|top] [--feed research|datacenter|ddos|burst] [--trace FILE] \
-         [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] \
-         [--fault-plan FILE] [--fault-seed S] \
+         [--dump FILE] [--seconds N] [--seed S] [--limit R] [--shards N] [--routers N|auto] \
+         [--workers N|auto] [--fault-plan FILE] [--fault-seed S] \
          [--durable DIR] [--state-budget BYTES] [--fsync always|never|every=N] \
          [--metrics[=FILE]] [--profile[=FILE]] [--meta QUERY] [--explain] [--json] 'QUERY'\n\
          \x20      sso recover [--json] [--limit R] [--metrics[=FILE]] STORE-DIR\n\
@@ -289,7 +312,7 @@ fn run_audit(args: &[String]) -> ! {
     let usage = || -> ! {
         eprintln!(
             "usage: sso audit [--json] [--deny-warnings] [--feed NAME] [--shards N] \
-             [--budget BYTES] [--state-budget BYTES] [--turnstile] QUERY-FILE"
+             [--routers N] [--budget BYTES] [--state-budget BYTES] [--turnstile] QUERY-FILE"
         );
         std::process::exit(2);
     };
@@ -312,6 +335,13 @@ fn run_audit(args: &[String]) -> ! {
             "--feed" => opts.feed = value(&mut i),
             "--shards" => {
                 opts.shards = value(&mut i)
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--routers" => {
+                opts.routers = value(&mut i)
                     .parse::<usize>()
                     .ok()
                     .filter(|&n| n > 0)
@@ -480,6 +510,9 @@ fn parse_args(argv: &[String], top: bool) -> Options {
         seed: 1,
         limit: 20,
         shards: 1,
+        routers: 0,
+        workers: 0,
+        router_cursors: None,
         fault_plan: None,
         fault_seed: None,
         durable: None,
@@ -515,6 +548,24 @@ fn parse_args(argv: &[String], top: bool) -> Options {
                     .ok()
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage())
+            }
+            "--routers" => {
+                // `auto` and `0` both mean the core-count default; any
+                // positive N pins the supervised lane count.
+                opts.routers = match value(&mut i).as_str() {
+                    "auto" => 0,
+                    n => n.parse::<usize>().ok().unwrap_or_else(|| usage()),
+                }
+            }
+            "--workers" => {
+                // `0` keeps one thread per shard; `auto` caps at the
+                // host's cores; N pools onto min(N, shards) threads.
+                opts.workers = match value(&mut i).as_str() {
+                    "auto" => std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1),
+                    n => n.parse::<usize>().ok().unwrap_or_else(|| usage()),
+                }
             }
             "--fault-plan" => opts.fault_plan = Some(value(&mut i)),
             "--fault-seed" => {
@@ -619,6 +670,15 @@ fn recover_options(args: &[String]) -> Options {
     let seed = parse_num("seed", require("seed"));
     let shards = parse_num("shards", require("shards")) as usize;
     let state_budget = get("state_budget").map(|v| parse_num("state_budget", v));
+    // The lane partition is part of the recorded run shape: replaying
+    // the exact cursors (not re-deriving them on this machine's core
+    // count) is what keeps the resumed run byte-identical. Manifests
+    // from single-router builds carry neither key; 0/None falls back to
+    // this machine's auto default.
+    let routers = get("routers").map(|v| parse_num("routers", v) as usize).unwrap_or(0);
+    let router_cursors = get("router_cursors").map(|v| {
+        v.split(',').map(|c| parse_num("router_cursors", c.to_string())).collect::<Vec<u64>>()
+    });
     Options {
         feed: get("feed").unwrap_or_else(|| "research".to_string()),
         trace: get("trace"),
@@ -627,6 +687,9 @@ fn recover_options(args: &[String]) -> Options {
         seed,
         limit,
         shards,
+        routers,
+        workers: 0,
+        router_cursors,
         // Fault plans are deliberately not replayed: recovery must
         // converge on the fault-free output, and re-arming the crash
         // event would kill the resumed run at the same tuple again.
@@ -771,12 +834,17 @@ fn execute_query(
     // Durable and profiled runs always go through the sharded runtime —
     // that is where the per-shard store and the lineage-stamped stage
     // pipeline live — even at --shards 1.
-    if opts.shards > 1 || opts.durable.is_some() || profiler.is_some() {
+    if opts.shards > 1 || opts.routers != 0 || opts.durable.is_some() || profiler.is_some() {
         let make = |_shard: usize| {
             stream_sampler::query::plan(parsed, &schema, &config)
                 .map_err(|e| stream_sampler::operator::OpError::InvalidSpec(e.to_string()))
         };
-        let mut cfg = RuntimeConfig::new(opts.shards);
+        let mut cfg = RuntimeConfig::new(opts.shards)
+            .with_routers(opts.routers)
+            .with_worker_cap(opts.workers);
+        if let Some(cursors) = &opts.router_cursors {
+            cfg = cfg.with_router_cursors(cursors.clone());
+        }
         // Pre-size group tables and rings from the static audit's
         // certified ceilings. With --trace the declared envelope may
         // not describe the input, but the hints stay sound: reserve()
@@ -786,11 +854,12 @@ fn execute_query(
             let audit_opts = stream_sampler::analysis::AuditOptions {
                 feed: opts.feed.clone(),
                 shards: opts.shards,
+                routers: cfg.resolved_routers(),
                 ..Default::default()
             };
             let outcome = stream_sampler::analysis::audit_file(text, &audit_opts);
             if let Some(s) = outcome.report.statements.first() {
-                let hints = s.sizing_hints(opts.shards, cfg.batch_size);
+                let hints = s.sizing_hints(opts.shards, cfg.resolved_routers(), cfg.batch_size);
                 cfg = cfg.with_sizing(hints);
             }
         }
@@ -1000,12 +1069,62 @@ fn render_shard_health(snap: &Snapshot) -> String {
             shard, row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7]
         ));
     }
+    out.push_str(&render_router_health(snap));
     if let Some(cov) = snap.metrics.iter().find(|m| m.name == "rt.coverage") {
         let val = cov.scalar();
         out.push_str(&format!(
             "coverage {:.4}{}\n",
             val,
             if val < 1.0 { "  ** DEGRADED **" } else { "" }
+        ));
+    }
+    out
+}
+
+/// The ROUTERS rows of the `sso top` health table: one line per
+/// supervised router lane with its routed-tuple count, batch count (the
+/// per-lane `rt.router_batch_tuples` histogram's observation count),
+/// quarantines, and unrouted (uncovered) loss mass. Empty for
+/// single-instance runs.
+fn render_router_health(snap: &Snapshot) -> String {
+    // label "router=R" → [tuples, batches, quarantines, uncovered].
+    let mut routers: Vec<(usize, [f64; 4])> = Vec::new();
+    for m in &snap.metrics {
+        let col = match m.name {
+            "rt.router_tuples" => 0,
+            "rt.router_batch_tuples" => 1,
+            "rt.router_quarantines" => 2,
+            "rt.router_uncovered" => 3,
+            _ => continue,
+        };
+        let Some(router) = m.label.strip_prefix("router=").and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let row = match routers.iter_mut().find(|(r, _)| *r == router) {
+            Some((_, row)) => row,
+            None => {
+                routers.push((router, [0.0; 4]));
+                &mut routers.last_mut().expect("just pushed").1
+            }
+        };
+        // The batch histogram's scalar is total tuples; the column
+        // reports how many batches the lane cut.
+        row[col] = if col == 1 { m.hits() as f64 } else { m.scalar() };
+    }
+    if routers.is_empty() {
+        return String::new();
+    }
+    routers.sort_by_key(|(r, _)| *r);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n{:<6} {:>12} {:>9} {:>12} {:>10}\n",
+        "ROUTER", "TUPLES", "BATCHES", "QUARANTINED", "UNCOVERED"
+    ));
+    for (router, row) in &routers {
+        out.push_str(&format!(
+            "{:<6} {:>12} {:>9} {:>12} {:>10}\n",
+            router, row[0], row[1], row[2], row[3]
         ));
     }
     out
@@ -1199,13 +1318,15 @@ fn main() {
     // proper W102 diagnostic instead of a runtime error. Durable runs
     // go through the sharded runtime even at --shards 1, so they gate
     // too.
-    if (opts.shards > 1 || opts.durable.is_some() || opts.profile.is_some())
+    if (opts.shards > 1 || opts.routers != 0 || opts.durable.is_some() || opts.profile.is_some())
         && stream_sampler::operator::shard_plan(&spec).is_err()
     {
         let diags = stream_sampler::query::check_shard_mergeable(query_text, &schema, &config);
         eprint!("{}", diag::render(query_text, "query", &diags));
         if opts.shards > 1 {
             eprintln!("error: --shards {} requires a shard-mergeable query", opts.shards);
+        } else if opts.routers != 0 {
+            eprintln!("error: --routers {} requires a shard-mergeable query", opts.routers);
         } else if opts.durable.is_some() {
             eprintln!("error: --durable requires a shard-mergeable query");
         } else {
@@ -1222,12 +1343,24 @@ fn main() {
     // the manifest must survive the crash it exists to recover from.
     if let (Some(dir), false) = (&opts.durable, opts.resume) {
         let path = std::path::Path::new(dir);
+        // Pin the lane partition, not just the request: `--routers auto`
+        // resolves against THIS machine's core count, and the per-lane
+        // segment cursors depend on the stream length — both must be
+        // replayed verbatim for `sso recover` to re-route every tuple
+        // to the same shard in the same batch.
+        let routers = RuntimeConfig::new(opts.shards).with_routers(opts.routers).resolved_routers();
+        let cursors = stream_sampler::runtime::router_cursors(packets.len() as u64, routers);
         let mut entries: Vec<(String, String)> = vec![
             ("query".into(), query_text.replace(['\n', '\r'], " ")),
             ("feed".into(), opts.feed.clone()),
             ("seed".into(), opts.seed.to_string()),
             ("seconds".into(), opts.seconds.to_string()),
             ("shards".into(), opts.shards.to_string()),
+            ("routers".into(), routers.to_string()),
+            (
+                "router_cursors".into(),
+                cursors.iter().map(u64::to_string).collect::<Vec<_>>().join(","),
+            ),
             ("fsync".into(), opts.fsync.clone()),
         ];
         if let Some(trace) = &opts.trace {

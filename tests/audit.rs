@@ -117,9 +117,10 @@ fn sizing_hints_preserve_sharded_output() {
 
     let out = audit_file(text, &AuditOptions { shards: 2, ..AuditOptions::default() });
     let bounds = &out.report.statements[0];
-    let hints = bounds.sizing_hints(2, RuntimeConfig::new(2).batch_size);
+    let cfg = RuntimeConfig::new(2).with_routers(2);
+    let hints = bounds.sizing_hints(2, cfg.resolved_routers(), cfg.batch_size);
     assert!(hints.groups > 0, "certificate must yield a reservation");
-    let sized = run(&RuntimeConfig::new(2).with_sizing(hints));
+    let sized = run(&cfg.with_sizing(hints));
 
     assert_eq!(plain.windows.len(), sized.windows.len());
     let ceiling = bounds.groups_bound.finite().unwrap() as usize;

@@ -188,6 +188,155 @@ fn worker_stalls_change_timing_not_results() {
     assert_reports_byte_identical(&faulted, &clean, "stalls vs clean");
 }
 
+/// The router-lane half of the fault model: a seeded `panic router=R
+/// at=N` mid-window leaves the run alive with exactly one degraded
+/// window (the victim lane's unrouted remainder of that window counted
+/// as `rt.router_uncovered` mass), the re-thresholded estimates equal a
+/// fault-free run over the surviving tuples row-for-row, and the same
+/// seed replays byte-identically. Content routing makes the surviving
+/// set position-computable: the loss is the contiguous slice from the
+/// trip index to the next window boundary inside the victim's segment.
+#[test]
+fn router_panic_degrades_exactly_one_window_with_exact_surviving_estimates() {
+    use stream_sampler::runtime::router_cursors;
+
+    // One-second windows over an 8-second feed: the victim lane's
+    // segment spans several windows, so the quarantine both opens
+    // (mid-window trip) and closes (respawn at the next boundary).
+    let window = 1u64;
+    let make = move |_| queries::basic_subset_sum_query(window, 400.0);
+    let pkts = research_feed(0xfa).take_seconds(8);
+    let routers = 2usize;
+    let victim = 1usize;
+    let seg_start = router_cursors(pkts.len() as u64, routers)[victim] as usize;
+    let window_of = |i: usize| pkts[i].time() / window;
+
+    // Trip mid-window in the first window boundary PAST the segment
+    // start: fully interior to the lane, with a later window to resume
+    // into.
+    let boundary = (seg_start..pkts.len())
+        .find(|&i| window_of(i) != window_of(seg_start))
+        .expect("segment spans a window boundary");
+    let trip = boundary + 2;
+    let poisoned_w = window_of(trip);
+    assert_eq!(poisoned_w, window_of(trip - 1), "trip lands mid-window");
+    assert!(poisoned_w < window_of(pkts.len() - 1), "a later window exists to respawn into");
+    let lost: Vec<usize> = (trip..pkts.len()).take_while(|&i| window_of(i) == poisoned_w).collect();
+    let at_tuple = (trip - seg_start + 1) as u64; // lane-local, 1-based
+
+    let fault = FaultPlan::parse(&format!("panic router={victim} at={at_tuple}"))
+        .expect("router grammar parses")
+        .into_shared();
+    let cfg = RuntimeConfig::new(SHARDS).with_routers(routers).with_faults(fault);
+
+    let report = run(make, &cfg, pkts.clone());
+    assert!(report.degraded(), "an unrouted window slice must degrade the run");
+    assert_eq!(report.router_quarantines(), 1, "one lane panic, one quarantine");
+    assert_eq!(report.quarantines(), 0, "no worker was harmed");
+    assert_eq!(report.router_uncovered(), lost.len() as u64, "loss is exactly the window slice");
+
+    // Conservation: offered == delivered + router-uncovered, exactly.
+    let delivered: u64 = report.shards.iter().map(|s| s.tuples()).sum();
+    assert_eq!(delivered + report.router_uncovered(), pkts.len() as u64);
+
+    // Exactly the poisoned window is tagged.
+    for w in &report.windows {
+        let wid = w.window.get(0).as_u64().expect("tb window key");
+        if wid == poisoned_w {
+            assert!(w.degradation.degraded, "poisoned window must be tagged");
+            assert!(w.degradation.coverage < 1.0);
+        } else {
+            assert!(!w.degradation.degraded, "window {wid} lost nothing");
+            assert_eq!(w.degradation.coverage, 1.0);
+        }
+    }
+
+    // Exactness over survivors: content routing is position-free, so
+    // dropping the lost slice from the input reproduces the degraded
+    // run's estimates bit-for-bit.
+    let surviving: Vec<Packet> =
+        pkts.iter().enumerate().filter(|(i, _)| !lost.contains(i)).map(|(_, p)| *p).collect();
+    let reference = run(make, &RuntimeConfig::new(SHARDS).with_routers(routers), surviving);
+    assert!(!reference.degraded());
+    assert_eq!(reference.windows.len(), report.windows.len());
+    for (f, r) in report.windows.iter().zip(&reference.windows) {
+        assert_eq!(f.window, r.window);
+        assert_eq!(
+            f.rows, r.rows,
+            "window {:?}: degraded output must equal the fault-free run over surviving tuples",
+            f.window
+        );
+        assert_eq!(f.stats.tuples, r.stats.tuples, "covered-tuple accounting for {:?}", f.window);
+    }
+
+    // Replayability: the same plan reproduces the result to the byte.
+    let replay = run(make, &cfg, pkts);
+    assert_reports_byte_identical(&report, &replay, "same-seed router-panic replay");
+    assert_eq!(report.router_uncovered(), replay.router_uncovered(), "replayed loss mass");
+}
+
+/// Router stalls are timing-only faults, exactly like worker stalls:
+/// under blocking backpressure a stalled lane delays batches but loses
+/// nothing, so the result is byte-identical to the fault-free run.
+#[test]
+fn router_stalls_change_timing_not_results() {
+    let make = |_| Ok(queries::total_sum_query(WINDOW));
+    let pkts = research_feed(3).take_seconds(3);
+    let fault = FaultPlan::parse("stall router=0 at=100 ms=15\nstall router=1 at=50 ms=10")
+        .expect("router stall grammar parses");
+    let cfg = RuntimeConfig::new(4).with_routers(2).with_faults(fault.into_shared());
+
+    let faulted = run(make, &cfg, pkts.clone());
+    let clean = run(make, &RuntimeConfig::new(4).with_routers(2), pkts);
+    assert!(!faulted.degraded(), "stalls lose nothing");
+    assert_eq!(faulted.coverage, 1.0);
+    assert_eq!(faulted.router_uncovered(), 0);
+    assert_reports_byte_identical(&faulted, &clean, "router stalls vs clean");
+}
+
+/// The loss ledger with router faults in the mix, across all three
+/// backpressure modes: unrouted quarantine mass joins drops and sheds
+/// as accounted loss — offered == delivered + dropped + shed +
+/// router-uncovered, and delivered == covered + worker-uncovered.
+#[test]
+fn router_faults_keep_the_ledger_exact() {
+    let plan = FaultPlan::parse("panic router=0 at=100\nstall router=1 at=50 ms=5")
+        .expect("router grammar parses")
+        .into_shared();
+    let pkts = research_feed(11).take_seconds(4);
+    let offered = pkts.len() as u64;
+    for (name, backpressure, ring_capacity) in [
+        ("block", Backpressure::Block, 16usize),
+        ("drop", Backpressure::DropNewest, 1),
+        ("shed", Backpressure::Shed { weight_col: None }, 1),
+    ] {
+        let mut cfg = RuntimeConfig::new(8).with_routers(2).with_faults(plan.clone());
+        cfg.backpressure = backpressure;
+        cfg.ring_capacity = ring_capacity;
+        cfg.batch_size = 64;
+        let report = run(|_| Ok(queries::total_sum_query(WINDOW)), &cfg, pkts.clone());
+
+        let delivered: u64 = report.shards.iter().map(|s| s.tuples()).sum();
+        let lost = report.dropped() + report.shed() + report.router_uncovered();
+        assert_eq!(
+            delivered + lost,
+            offered,
+            "{name}: offered must equal delivered + accounted losses"
+        );
+        let covered: u64 = report.windows.iter().map(|w| w.stats.tuples).sum();
+        let uncovered: u64 = report.shards.iter().map(|s| s.uncovered()).sum();
+        assert_eq!(
+            covered + uncovered,
+            delivered,
+            "{name}: delivered must equal covered + worker-uncovered"
+        );
+        // The lane panic fires at a fixed segment ordinal, before any
+        // backpressure can intervene: it must be caught in every mode.
+        assert_eq!(report.router_quarantines(), 1, "{name}: lane panic must be caught");
+        assert!(report.router_uncovered() > 0, "{name}: quarantine mass is accounted");
+    }
+}
+
 /// The loss ledger, over every event type a seeded plan generates and
 /// all three backpressure modes: offered == delivered + dropped + shed,
 /// and delivered == covered + uncovered. Exact, for every seed.

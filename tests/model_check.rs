@@ -181,6 +181,45 @@ fn ring_push_tracked_counts_one_stall_per_wait() {
     assert!(explored.schedules > 1, "interleavings explored: {explored:?}");
 }
 
+/// Multi-router drain order: a shard owns one SPSC ring PER router
+/// lane, and the worker drains ring 0 to closure before ever reading
+/// ring 1 — exactly the engine's per-shard consume loop. The drained
+/// sequence must be lane 0's batches in FIFO order followed by lane
+/// 1's, with nothing lost: lane order plus the lanes' strided batch
+/// ids is what makes R-router runs byte-identical to single-router
+/// runs. Lane 0 is pre-filled and closed from the main thread — the
+/// two lanes share no cells, so a second *live* producer adds no new
+/// dependency pairs, only spin-loop schedules past the budget; the
+/// race under test is lane 1 pushing while the consumer retires lane 0.
+#[test]
+fn multi_router_rings_drain_in_lane_order() {
+    let explored = check(|| {
+        let (mut tx0, mut rx0) = ring::<u32>(2);
+        let (mut tx1, mut rx1) = ring::<u32>(1);
+        for i in 0..2u32 {
+            tx0.try_push(i).expect("capacity 2 holds both");
+        }
+        drop(tx0); // lane 0 finished its segment; ring 0 is closed
+        let lane1 = thread::spawn(move || {
+            for i in 10..12u32 {
+                tx1.push(i).expect("worker alive");
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx0.pop() {
+            got.push(v);
+        }
+        while let Some(v) = rx1.pop() {
+            got.push(v);
+        }
+        lane1.join();
+        assert_eq!(got, vec![0, 1, 10, 11], "drain is FIFO within a lane, lanes in index order");
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(explored.complete, "exploration must be exhaustive: {explored:?}");
+    assert!(explored.schedules > 1, "interleavings explored: {explored:?}");
+}
+
 // ---------------------------------------------------------------------------
 // Merge-finalize barrier
 // ---------------------------------------------------------------------------

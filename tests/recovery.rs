@@ -128,6 +128,78 @@ fn lossy_counting_crash_recovery_matches_fault_free() {
     crash_then_recover(|_| queries::heavy_hitters_query(WINDOW, 200, None), "lossy-counting");
 }
 
+/// The CLI recover path with multi-router ingestion: a durable
+/// `--routers 2` run killed mid-stream by `crash at=N` leaves a
+/// MANIFEST whose `routers` and `router_cursors` keys pin the lane
+/// partition (schema-pinned here, value for value), and `sso recover
+/// DIR` restores every cursor and resumes with window output
+/// byte-identical to a fault-free run of the same query.
+#[test]
+fn cli_recover_restores_router_cursors_from_manifest() {
+    let sso = env!("CARGO_BIN_EXE_sso");
+    let dir = tmpdir("cli-routers");
+    let seed = 9u64;
+    let seconds = 4u64;
+    let query = "SELECT tb, srcIP, sum(len) FROM PKT GROUP BY time/2 as tb, srcIP";
+    let n = research_feed(seed).take_seconds(seconds).len() as u64;
+    let at_tuple = (n * 3) / 5;
+    let plan_path =
+        std::env::temp_dir().join(format!("sso-recovery-cli-routers-{}.fault", std::process::id()));
+    std::fs::write(&plan_path, format!("crash at={at_tuple}\n")).expect("plan file");
+    let base = |extra: &[&str]| {
+        let mut cmd = std::process::Command::new(sso);
+        cmd.args(["run", "--feed", "research"])
+            .args(["--seed", &seed.to_string()])
+            .args(["--seconds", &seconds.to_string()])
+            .args(["--shards", "4", "--routers", "2", "--json"])
+            .args(extra)
+            .arg(query);
+        cmd.output().expect("sso runs")
+    };
+
+    // The fault-free reference: same query, same lane shape, no store.
+    let reference = base(&[]);
+    assert!(reference.status.success(), "{}", String::from_utf8_lossy(&reference.stderr));
+
+    // The durable run dies at the injected crash, after the MANIFEST
+    // (written before execution) has pinned the lane partition.
+    let dir_s = dir.to_str().expect("utf-8 tempdir");
+    let crashed = base(&["--durable", dir_s, "--fault-plan", plan_path.to_str().unwrap()]);
+    assert!(!crashed.status.success(), "the injected crash must kill the run");
+    let stderr = String::from_utf8_lossy(&crashed.stderr);
+    assert!(stderr.contains("sso recover"), "crash output points at recovery:\n{stderr}");
+
+    // Schema pin: exactly these keys, exactly these values.
+    let manifest = stream_sampler::store::read_manifest(&dir).expect("MANIFEST survives");
+    let get = |k: &str| {
+        manifest.iter().find(|(key, _)| key == k).map(|(_, v)| v.as_str()).unwrap_or_else(|| {
+            panic!("MANIFEST must carry `{k}`: {manifest:?}");
+        })
+    };
+    assert_eq!(get("shards"), "4");
+    assert_eq!(get("routers"), "2");
+    assert_eq!(
+        get("router_cursors"),
+        format!("0,{}", n / 2),
+        "two lanes split the {n}-tuple stream at its midpoint"
+    );
+
+    // Recovery restores the cursors and converges on the fault-free
+    // output, byte for byte on the machine-readable channel.
+    let recovered = std::process::Command::new(sso)
+        .args(["recover", "--json", dir_s])
+        .output()
+        .expect("sso recover runs");
+    assert!(recovered.status.success(), "{}", String::from_utf8_lossy(&recovered.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&recovered.stdout),
+        String::from_utf8_lossy(&reference.stdout),
+        "recovered windows must equal the fault-free run's"
+    );
+    let _ = std::fs::remove_file(&plan_path);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The spill pager acceptance: a lossy-counting query whose certified
 /// in-RAM ceiling is megabytes completes under a state budget of three
 /// pages per shard, pages cold groups through the spill file, and never

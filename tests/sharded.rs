@@ -304,5 +304,137 @@ proptest! {
                 prop_assert_eq!(&a.rows, &b.rows, "rows for window {:?} at {} shards", a.window, shards);
             }
         }
+
+        // Router lanes must be equally invisible under disorder: the
+        // same perturbed stream at 2 and 4 router lanes is byte-
+        // identical to the single-lane run at the same shard count.
+        let lane_run = |routers: usize| {
+            run_plan_sharded(
+                Box::new(SelectionNode::pass_all()),
+                |_| Ok(queries::total_sum_query(WINDOW)),
+                &RuntimeConfig::new(4).with_routers(routers),
+                pkts.clone(),
+            )
+            .expect("sharded run")
+            .windows
+        };
+        let one_lane = lane_run(1);
+        for routers in [2usize, 4] {
+            let got = lane_run(routers);
+            prop_assert_eq!(one_lane.len(), got.len(), "window count at {} routers", routers);
+            for (a, b) in one_lane.iter().zip(&got) {
+                prop_assert_eq!(&a.window, &b.window, "window key at {} routers", routers);
+                prop_assert_eq!(
+                    &a.rows, &b.rows,
+                    "rows for window {:?} at {} routers", a.window, routers
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-router ingestion: the feed is split into per-lane contiguous
+// segments and every lane hash-routes its own slice, so the number of
+// router lanes must be invisible in the merged output — byte-identical
+// at 1, 2, and 4 lanes for every mergeable example query, with and
+// without a hoisted shared prefilter in front of the lanes.
+
+fn sharded_routers<F>(make: F, shards: usize, routers: usize, pkts: &[Packet]) -> ShardedRunReport
+where
+    F: Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError> + Sync,
+{
+    run_plan_sharded(
+        Box::new(SelectionNode::pass_all()),
+        make,
+        &RuntimeConfig::new(shards).with_routers(routers),
+        pkts.to_vec(),
+    )
+    .expect("sharded run")
+}
+
+#[test]
+fn router_count_leaves_every_mergeable_query_byte_identical() {
+    type MakeSpec =
+        Box<dyn Fn(usize) -> Result<OperatorSpec, stream_sampler::operator::OpError> + Sync>;
+    let cases: Vec<(&str, MakeSpec)> = vec![
+        ("total_sum", Box::new(|_| Ok(queries::total_sum_query(WINDOW)))),
+        ("heavy_hitters", Box::new(|_| queries::heavy_hitters_query(WINDOW, 1 << 20, None))),
+        ("minhash", Box::new(|_| queries::minhash_query(WINDOW, 16))),
+        ("basic_subset_sum", Box::new(|_| queries::basic_subset_sum_query(WINDOW, 400.0))),
+        (
+            "subset_sum",
+            Box::new(|_| {
+                queries::subset_sum_query(
+                    WINDOW,
+                    SubsetSumOpConfig { target: 100, initial_z: 1.0, ..Default::default() },
+                    false,
+                )
+            }),
+        ),
+        (
+            "reservoir",
+            Box::new(|_| {
+                queries::reservoir_query(
+                    WINDOW,
+                    ReservoirOpConfig { n: 50, seed: 7, ..Default::default() },
+                )
+            }),
+        ),
+    ];
+    let pkts = packets();
+    for (name, make) in &cases {
+        let one = sharded_routers(make, 4, 1, &pkts);
+        for routers in [2usize, 4] {
+            let many = sharded_routers(make, 4, routers, &pkts);
+            assert_windows_equal(&one.windows, &many.windows, &format!("{name} x{routers} lanes"));
+            assert_eq!(
+                many.shards.iter().map(|s| s.tuples()).sum::<u64>(),
+                pkts.len() as u64,
+                "{name} x{routers} lanes: every tuple must reach a shard"
+            );
+            assert_eq!(many.router_uncovered(), 0, "{name}: fault-free lanes lose nothing");
+            assert_eq!(many.routers.len(), routers, "{name}: one stats block per lane");
+        }
+    }
+}
+
+#[test]
+fn router_count_is_invisible_under_a_shared_prefilter() {
+    use std::sync::Arc;
+
+    let text = "SELECT tb, sum(len), count(*) FROM PKT WHERE len >= 100 GROUP BY time/2 as tb";
+    let schema = stream_sampler::query::base_stream_schema("PKT").unwrap();
+    let config = stream_sampler::query::PlannerConfig::standard();
+    let spec = || {
+        let q = stream_sampler::query::parse_query(text).unwrap();
+        stream_sampler::query::plan(&q, &schema, &config).map_err(|e| match e {
+            stream_sampler::query::QueryError::Plan(op) => op,
+            other => panic!("unexpected: {other}"),
+        })
+    };
+    let pred = stream_sampler::query::parse_query(text).unwrap().where_clause.unwrap();
+    let prefilter =
+        Arc::new(stream_sampler::query::compile_packet_predicate(&pred, &schema).unwrap());
+    let pkts = packets();
+
+    // The prefilter runs on every lane, ahead of routing; lane count
+    // must not change which tuples it admits or where they land.
+    let run_with = |routers: usize, filtered: bool| {
+        let mut cfg = RuntimeConfig::new(4).with_routers(routers);
+        if filtered {
+            cfg = cfg.with_shared_prefilter(prefilter.clone());
+        }
+        run_plan_sharded(Box::new(SelectionNode::pass_all()), |_| spec(), &cfg, pkts.clone())
+            .expect("sharded run")
+    };
+    let plain = run_with(1, false);
+    for routers in [1usize, 2, 4] {
+        let filtered = run_with(routers, true);
+        assert_windows_equal(
+            &plain.windows,
+            &filtered.windows,
+            &format!("shared prefilter x{routers} lanes"),
+        );
     }
 }
